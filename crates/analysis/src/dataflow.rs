@@ -1,0 +1,128 @@
+//! A small generic backward dataflow solver over the PandaScript CFG,
+//! at statement granularity (paper Eq. 3–4: `Out = ∪ In(succ)`,
+//! `In = Gen ∪ (Out − Kill)` — here expressed as an arbitrary transfer).
+
+use lafp_ir::ast::StmtId;
+use lafp_ir::cfg::{BlockId, Cfg, Terminator};
+use std::collections::HashMap;
+
+/// A program point: before/after a statement or a block terminator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Point {
+    /// The i-th simple statement of a block.
+    Stmt(BlockId, usize),
+    /// The block's terminator (branch/loop condition evaluation).
+    Term(BlockId),
+}
+
+/// Units a backward analysis visits inside one block, in *reverse* order:
+/// terminator first, then statements from last to first.
+pub fn block_units(cfg: &Cfg, b: BlockId) -> Vec<(Point, Option<StmtId>)> {
+    let mut units = Vec::new();
+    let term_stmt = match &cfg.blocks[b].terminator {
+        Terminator::Branch { stmt, .. } | Terminator::LoopBranch { stmt, .. } => Some(*stmt),
+        _ => None,
+    };
+    units.push((Point::Term(b), term_stmt));
+    for (i, &s) in cfg.blocks[b].stmts.iter().enumerate().rev() {
+        units.push((Point::Stmt(b, i), Some(s)));
+    }
+    units
+}
+
+/// A join-semilattice fact set for backward analyses.
+pub trait Lattice: Clone + PartialEq + Default {
+    /// In-place join (set union for the analyses in this crate).
+    fn join(&mut self, other: &Self);
+}
+
+/// Backward dataflow: supply a transfer function from `Out` to `In` for
+/// each unit; the solver iterates to fixpoint and returns the `In` fact of
+/// every program point (the fact *before* the unit executes).
+pub fn solve_backward<L: Lattice>(
+    cfg: &Cfg,
+    transfer: &mut dyn FnMut(Option<StmtId>, Point, &L) -> L,
+) -> HashMap<Point, L> {
+    let nblocks = cfg.blocks.len();
+    // block_in[b] = fact at the top of block b (before its first unit).
+    let mut block_in: Vec<L> = vec![L::default(); nblocks];
+    let mut facts: HashMap<Point, L> = HashMap::new();
+    // Iterate blocks in postorder-ish (reverse of reverse_postorder) until
+    // stable — fine for the small CFGs PandaScript produces.
+    let order: Vec<BlockId> = cfg.reverse_postorder().into_iter().rev().collect();
+    loop {
+        let mut changed = false;
+        for &b in &order {
+            // Out of the block = join of successors' In.
+            let mut out = L::default();
+            for s in cfg.successors(b) {
+                out.join(&block_in[s]);
+            }
+            // Walk units backward.
+            for (point, stmt) in block_units(cfg, b) {
+                let in_fact = transfer(stmt, point, &out);
+                facts.insert(point, in_fact.clone());
+                out = in_fact;
+            }
+            if block_in[b] != out {
+                block_in[b] = out;
+                changed = true;
+            }
+        }
+        if !changed {
+            return facts;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lafp_ir::lower::lower;
+    use lafp_ir::parser::parse;
+    use std::collections::BTreeSet;
+
+    #[derive(Debug, Clone, PartialEq, Default)]
+    struct Names(BTreeSet<String>);
+
+    impl Lattice for Names {
+        fn join(&mut self, other: &Self) {
+            self.0.extend(other.0.iter().cloned());
+        }
+    }
+
+    #[test]
+    fn loop_facts_reach_fixpoint() {
+        // x used in the loop body must be live before the loop.
+        let src = "x = 1\nfor i in xs:\n    y = x\nz = 1\n";
+        let ast = parse(src).unwrap();
+        let cfg = lower(&ast);
+        let facts = solve_backward::<Names>(&cfg, &mut |stmt, _point, out| {
+            let mut f = out.clone();
+            if let Some(id) = stmt {
+                match &ast.stmt(id).kind {
+                    lafp_ir::ast::StmtKind::Assign { target, value } => {
+                        if let lafp_ir::ast::Target::Name(n) = target {
+                            f.0.remove(n);
+                        }
+                        for n in value.names_used() {
+                            f.0.insert(n);
+                        }
+                    }
+                    lafp_ir::ast::StmtKind::For { var, iter, .. } => {
+                        f.0.remove(var);
+                        for n in iter.names_used() {
+                            f.0.insert(n);
+                        }
+                    }
+                    _ => {}
+                }
+            }
+            f
+        });
+        // Before the first statement (x = 1), x must not be live; xs must be.
+        let entry_first = facts[&Point::Stmt(cfg.entry, 0)].clone();
+        assert!(!entry_first.0.contains("x"));
+        assert!(entry_first.0.contains("xs"));
+    }
+}

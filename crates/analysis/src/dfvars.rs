@@ -1,0 +1,400 @@
+//! Dataframe-variable and import classification (paper §3.4, §3.6).
+//!
+//! "To invoke compute on a dataframe, we need to figure out which variables
+//! are dataframe variables. This information is inferred from the types of
+//! the Pandas API calls." — §3.4.
+
+use lafp_ir::ast::{Ast, Expr, StmtId, StmtKind, Target};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// What kind of value a variable holds (flow-insensitive join).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum VarKind {
+    /// A dataframe.
+    Frame,
+    /// A series projected from a frame column: (frame var, column).
+    Series(String, String),
+    /// A scalar (aggregate result, lazy len, ...).
+    Scalar,
+    /// Anything else (paths, lists, modules...).
+    Other,
+}
+
+/// Result of the inference pass.
+#[derive(Debug, Clone, Default)]
+pub struct DfVarInfo {
+    /// Variable kinds.
+    pub kinds: BTreeMap<String, VarKind>,
+    /// Alias under which `lazyfatpandas.pandas` / `pandas` was imported
+    /// (usually `pd`).
+    pub pandas_alias: Option<String>,
+    /// Aliases of *external* modules (e.g. `plt` → `matplotlib.pyplot`).
+    pub external_modules: BTreeMap<String, String>,
+    /// Columns assigned per dataframe variable (`df["c"] = ...`); the
+    /// complement is the §3.6 read-only set.
+    pub assigned_columns: BTreeMap<String, BTreeSet<String>>,
+}
+
+/// Dataframe methods that return a dataframe (or series treated as frame).
+pub const FRAME_METHODS: &[&str] = &[
+    "head",
+    "tail",
+    "fillna",
+    "dropna",
+    "drop",
+    "rename",
+    "sort_values",
+    "drop_duplicates",
+    "describe",
+    "merge",
+    "astype",
+    "round",
+    "abs",
+    "copy",
+    "reset_index",
+];
+
+/// Series/column aggregate methods that return scalars.
+pub const SCALAR_METHODS: &[&str] = &["mean", "sum", "count", "min", "max", "nunique", "std"];
+
+/// Informative methods whose attribute usage LAA ignores (§3.1 heuristic).
+pub const INFORMATIVE_METHODS: &[&str] = &["head", "info", "describe"];
+
+impl DfVarInfo {
+    /// Is this variable a dataframe?
+    pub fn is_frame(&self, name: &str) -> bool {
+        matches!(self.kinds.get(name), Some(VarKind::Frame))
+    }
+
+    /// Is this variable a series (projected column)?
+    pub fn series_source(&self, name: &str) -> Option<(&str, &str)> {
+        match self.kinds.get(name) {
+            Some(VarKind::Series(f, c)) => Some((f.as_str(), c.as_str())),
+            _ => None,
+        }
+    }
+
+    /// Columns of `frame` that are *never* assigned — safe for the
+    /// `category` dtype under §3.6 (modulo being present in the file).
+    pub fn is_read_only_column(&self, frame: &str, column: &str) -> bool {
+        !self
+            .assigned_columns
+            .get(frame)
+            .is_some_and(|s| s.contains(column))
+    }
+
+    /// Is `name` the alias of an external (non-pandas) module?
+    pub fn is_external_module(&self, name: &str) -> bool {
+        self.external_modules.contains_key(name)
+    }
+}
+
+/// Run the inference over the whole module (flow-insensitive, iterated to
+/// fixpoint so chains like `a = df.head()` then `b = a.fillna(0)` resolve).
+pub fn infer(ast: &Ast) -> DfVarInfo {
+    let mut info = DfVarInfo::default();
+    // Imports first.
+    for id in ast.all_ids() {
+        match &ast.stmt(id).kind {
+            StmtKind::Import { module, alias } => {
+                let name = alias.clone().unwrap_or_else(|| module.clone());
+                if module == "lazyfatpandas.pandas" || module == "pandas" {
+                    info.pandas_alias = Some(name);
+                } else if module != "lazyfatpandas" {
+                    info.external_modules.insert(name, module.clone());
+                }
+            }
+            StmtKind::FromImport { .. } => {}
+            _ => {}
+        }
+    }
+    // Iterate assignments to fixpoint.
+    let ids: Vec<StmtId> = ast.all_ids().collect();
+    loop {
+        let mut changed = false;
+        for &id in &ids {
+            if let StmtKind::Assign { target, value } = &ast.stmt(id).kind {
+                match target {
+                    Target::Name(name) => {
+                        let kind = classify_expr(value, &info);
+                        let prev = info.kinds.get(name);
+                        let joined = join_kinds(prev, kind);
+                        if info.kinds.get(name) != Some(&joined) {
+                            info.kinds.insert(name.clone(), joined);
+                            changed = true;
+                        }
+                    }
+                    Target::Subscript { obj, key } => {
+                        if let Some(col) = key.as_str_lit() {
+                            let set = info.assigned_columns.entry(obj.clone()).or_default();
+                            if set.insert(col.to_string()) {
+                                changed = true;
+                            }
+                        }
+                        // Writing a column implies the object is a frame.
+                        if info.kinds.get(obj) != Some(&VarKind::Frame) {
+                            info.kinds.insert(obj.clone(), VarKind::Frame);
+                            changed = true;
+                        }
+                    }
+                }
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    info
+}
+
+fn join_kinds(prev: Option<&VarKind>, new: VarKind) -> VarKind {
+    match prev {
+        None => new,
+        Some(p) if *p == new => new,
+        // A variable holding a frame on any path is conservatively a frame
+        // (forced computes stay safe).
+        Some(VarKind::Frame) => VarKind::Frame,
+        Some(_) if new == VarKind::Frame => VarKind::Frame,
+        Some(_) => VarKind::Other,
+    }
+}
+
+/// Classify the value kind an expression produces.
+pub fn classify_expr(e: &Expr, info: &DfVarInfo) -> VarKind {
+    match e {
+        Expr::Name(n) => info.kinds.get(n).cloned().unwrap_or(VarKind::Other),
+        // pd.read_csv(...) / pd.DataFrame(...) / pd.concat(...)
+        Expr::Call { func, .. } => match func.as_ref() {
+            Expr::Attribute { value, attr } => {
+                if let Expr::Name(recv) = value.as_ref() {
+                    if Some(recv) == info.pandas_alias.as_ref()
+                        && matches!(attr.as_str(), "read_csv" | "DataFrame" | "concat" | "merge")
+                    {
+                        return VarKind::Frame;
+                    }
+                }
+                // method on a frame/series
+                let recv_kind = classify_expr(value, info);
+                match recv_kind {
+                    VarKind::Frame => {
+                        if SCALAR_METHODS.contains(&attr.as_str()) {
+                            // pandas df.sum() / grouped['c'].sum() return a
+                            // Series — frame-valued for materialization
+                            // purposes (it can be plotted/printed whole).
+                            VarKind::Frame
+                        } else if FRAME_METHODS.contains(&attr.as_str())
+                            || attr == "groupby"
+                        {
+                            VarKind::Frame
+                        } else {
+                            VarKind::Other
+                        }
+                    }
+                    VarKind::Series(..) => {
+                        if SCALAR_METHODS.contains(&attr.as_str()) {
+                            VarKind::Scalar
+                        } else {
+                            // .fillna/.astype/... on a series stays one
+                            recv_kind
+                        }
+                    }
+                    _ => VarKind::Other,
+                }
+            }
+            Expr::Name(name) if name == "len" => VarKind::Scalar,
+            _ => VarKind::Other,
+        },
+        // df[...] — filter (frame) or column projection (series)
+        Expr::Subscript { value, index } => {
+            let base = classify_expr(value, info);
+            if base != VarKind::Frame {
+                return VarKind::Other;
+            }
+            match index.as_ref() {
+                Expr::Str(col) => {
+                    if let Expr::Name(f) = value.as_ref() {
+                        VarKind::Series(f.clone(), col.clone())
+                    } else {
+                        // e.g. df.groupby(...)['c'] — an anonymous
+                        // column-of-frame; frame-like for our purposes.
+                        VarKind::Frame
+                    }
+                }
+                Expr::List(_) => VarKind::Frame, // df[['a','b']]
+                _ => VarKind::Frame,             // boolean mask filter
+            }
+        }
+        // df.colname — series; df.colname.dt.x — still series-ish
+        Expr::Attribute { value, attr } => {
+            match classify_expr(value, info) {
+                VarKind::Frame => {
+                    if let Expr::Name(f) = value.as_ref() {
+                        VarKind::Series(f.clone(), attr.clone())
+                    } else {
+                        VarKind::Other
+                    }
+                }
+                VarKind::Series(f, c) => {
+                    // dt/str accessor namespaces keep the series source.
+                    VarKind::Series(f, c.clone())
+                }
+                _ => VarKind::Other,
+            }
+        }
+        Expr::BinOp { left, right, .. } => {
+            // Arithmetic over series stays series-like; over frames: frame.
+            match (classify_expr(left, info), classify_expr(right, info)) {
+                (VarKind::Series(f, c), _) | (_, VarKind::Series(f, c)) => {
+                    VarKind::Series(f, c)
+                }
+                (VarKind::Frame, _) | (_, VarKind::Frame) => VarKind::Frame,
+                _ => VarKind::Other,
+            }
+        }
+        _ => VarKind::Other,
+    }
+}
+
+/// Does this statement call into an external module with a frame-ish
+/// argument (the §3.4 forced-computation trigger)? Returns the argument
+/// variable names that need materialization.
+pub fn external_call_frame_args(ast: &Ast, id: StmtId, info: &DfVarInfo) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut scan = |e: &Expr| {
+        e.walk(&mut |node| {
+            if let Expr::Call { func, args, .. } = node {
+                if let Expr::Attribute { value, .. } = func.as_ref() {
+                    if let Expr::Name(module) = value.as_ref() {
+                        if info.is_external_module(module) {
+                            for a in args {
+                                if let Expr::Name(v) = a {
+                                    match info.kinds.get(v) {
+                                        Some(VarKind::Frame) | Some(VarKind::Series(..)) => {
+                                            out.push(v.clone())
+                                        }
+                                        _ => {}
+                                    }
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        });
+    };
+    match &ast.stmt(id).kind {
+        StmtKind::Expr(e) => scan(e),
+        StmtKind::Assign { value, .. } => scan(value),
+        _ => {}
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lafp_ir::parser::parse;
+
+    fn info_of(src: &str) -> (Ast, DfVarInfo) {
+        let ast = parse(src).unwrap();
+        let info = infer(&ast);
+        (ast, info)
+    }
+
+    #[test]
+    fn read_csv_makes_frames() {
+        let (_, info) = info_of(
+            "import lazyfatpandas.pandas as pd\ndf = pd.read_csv('x.csv')\n",
+        );
+        assert_eq!(info.pandas_alias.as_deref(), Some("pd"));
+        assert!(info.is_frame("df"));
+    }
+
+    #[test]
+    fn propagation_through_operations() {
+        let (_, info) = info_of(
+            "\
+import pandas as pd
+df = pd.read_csv('x.csv')
+f = df[df.fare > 0]
+p = df[['a', 'b']]
+h = f.head(5)
+s = df['fare']
+a = df.fare
+m = df.fare.mean()
+n = len(df)
+g = df.groupby(['day'])['count'].sum()
+",
+        );
+        assert!(info.is_frame("df"));
+        assert!(info.is_frame("f"));
+        assert!(info.is_frame("p"));
+        assert!(info.is_frame("h"));
+        assert_eq!(info.series_source("s"), Some(("df", "fare")));
+        assert_eq!(info.series_source("a"), Some(("df", "fare")));
+        assert_eq!(info.kinds.get("m"), Some(&VarKind::Scalar));
+        assert_eq!(info.kinds.get("n"), Some(&VarKind::Scalar));
+    }
+
+    #[test]
+    fn groupby_chain_is_frame() {
+        let (_, info) = info_of(
+            "import pandas as pd\ndf = pd.read_csv('x')\ng = df.groupby(['d'])['c'].sum()\n",
+        );
+        // groupby(...)['c'].sum() — sum over grouped column aggregates to a
+        // frame/series we treat as frame-valued for printing purposes.
+        assert!(matches!(
+            info.kinds.get("g"),
+            Some(VarKind::Scalar) | Some(VarKind::Frame) | Some(VarKind::Other)
+        ));
+    }
+
+    #[test]
+    fn external_modules_and_forced_args() {
+        let (ast, info) = info_of(
+            "\
+import lazyfatpandas.pandas as pd
+import matplotlib.pyplot as plt
+df = pd.read_csv('x.csv')
+plt.plot(df)
+",
+        );
+        assert!(info.is_external_module("plt"));
+        assert!(!info.is_external_module("pd"));
+        let call_stmt = ast.module[3];
+        assert_eq!(
+            external_call_frame_args(&ast, call_stmt, &info),
+            vec!["df".to_string()]
+        );
+    }
+
+    #[test]
+    fn assigned_columns_and_read_only() {
+        let (_, info) = info_of(
+            "\
+import pandas as pd
+df = pd.read_csv('x.csv')
+df['day'] = df.ts.dt.dayofweek
+",
+        );
+        assert!(!info.is_read_only_column("df", "day"));
+        assert!(info.is_read_only_column("df", "ts"));
+        assert!(info.assigned_columns["df"].contains("day"));
+    }
+
+    #[test]
+    fn conditional_assignment_joins_to_frame() {
+        let (_, info) = info_of(
+            "\
+import pandas as pd
+if big:
+    df = pd.read_csv('a.csv')
+else:
+    df = pd.read_csv('b.csv')
+x = df.head(1)
+",
+        );
+        assert!(info.is_frame("df"));
+        assert!(info.is_frame("x"));
+    }
+}

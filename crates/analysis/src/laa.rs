@@ -1,0 +1,766 @@
+//! Live Attribute Analysis (paper §3.1): column-level liveness.
+//!
+//! Facts are per-dataframe column sets. The transfer function implements
+//! the paper's Gen/Kill equations (Eq. 1–2):
+//!
+//! * using `df.c` (or `df["c"]`, keys of group-bys, sort keys, predicate
+//!   columns, ...) makes `(df, c)` live;
+//! * using all of `df` (bare `df` in a print/call/merge) makes all of its
+//!   columns live;
+//! * `df = ...` kills all columns of `df`;
+//! * a frame **derived** from another maps its live columns back onto the
+//!   source (rule 3 of §3.1), through renames and projections;
+//! * aggregates kill everything except group keys and aggregated columns;
+//! * `head` / `info` / `describe` usage is ignored (the §3.1 heuristic),
+//!   so `print(df.head())` alone does not make all columns live.
+
+use crate::dataflow::{solve_backward, Lattice, Point};
+use crate::dfvars::{DfVarInfo, INFORMATIVE_METHODS, SCALAR_METHODS};
+use lafp_ir::ast::{Ast, Expr, StmtId, StmtKind, Target};
+use lafp_ir::cfg::{Cfg, Terminator};
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+
+/// Live columns of one dataframe: either *all* of them or a named set.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct ColSet {
+    /// All columns are live (whole-frame use reached this point).
+    pub all: bool,
+    /// Named live columns (ignored when `all`).
+    pub cols: BTreeSet<String>,
+}
+
+impl ColSet {
+    /// The "all columns" element.
+    pub fn all() -> ColSet {
+        ColSet {
+            all: true,
+            cols: BTreeSet::new(),
+        }
+    }
+
+    /// A named set.
+    pub fn of<I: IntoIterator<Item = String>>(cols: I) -> ColSet {
+        ColSet {
+            all: false,
+            cols: cols.into_iter().collect(),
+        }
+    }
+
+    /// Is nothing live?
+    pub fn is_empty(&self) -> bool {
+        !self.all && self.cols.is_empty()
+    }
+
+    fn join(&mut self, other: &ColSet) {
+        self.all |= other.all;
+        if !self.all {
+            self.cols.extend(other.cols.iter().cloned());
+        } else {
+            self.cols.clear();
+        }
+    }
+}
+
+/// Map from dataframe variable to its live columns.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct AttrFact(pub BTreeMap<String, ColSet>);
+
+impl Lattice for AttrFact {
+    fn join(&mut self, other: &Self) {
+        for (var, cols) in &other.0 {
+            self.0.entry(var.clone()).or_default().join(cols);
+        }
+    }
+}
+
+impl AttrFact {
+    fn add(&mut self, var: &str, col: &str) {
+        let slot = self.0.entry(var.to_string()).or_default();
+        if !slot.all {
+            slot.cols.insert(col.to_string());
+        }
+    }
+
+    fn add_all(&mut self, var: &str) {
+        *self.0.entry(var.to_string()).or_default() = ColSet::all();
+    }
+
+    fn kill(&mut self, var: &str) {
+        self.0.remove(var);
+    }
+
+    /// Live columns of `var` (empty set if none).
+    pub fn columns(&self, var: &str) -> ColSet {
+        self.0.get(var).cloned().unwrap_or_default()
+    }
+}
+
+/// Result of live attribute analysis.
+#[derive(Debug, Clone)]
+pub struct LaaResult {
+    facts: HashMap<Point, AttrFact>,
+}
+
+impl LaaResult {
+    /// Fact immediately before the program point.
+    pub fn live_in(&self, point: Point) -> AttrFact {
+        self.facts.get(&point).cloned().unwrap_or_default()
+    }
+
+    /// Live columns of `var` immediately **after** statement `stmt` — what
+    /// the column-selection rewrite asks at each `read_csv` site (§3.1:
+    /// "columns that are live in Out_n of the program point n where the
+    /// dataframe is created").
+    pub fn live_columns_after(
+        &self,
+        cfg: &Cfg,
+        stmt: StmtId,
+        var: &str,
+    ) -> ColSet {
+        for (b, block) in cfg.blocks.iter().enumerate() {
+            if let Some(i) = block.stmts.iter().position(|&s| s == stmt) {
+                let fact = if i + 1 < block.stmts.len() {
+                    self.live_in(Point::Stmt(b, i + 1))
+                } else {
+                    self.live_in(Point::Term(b))
+                };
+                return fact.columns(var);
+            }
+            match &block.terminator {
+                Terminator::Branch { stmt: s, .. } | Terminator::LoopBranch { stmt: s, .. }
+                    if *s == stmt =>
+                {
+                    let mut out = ColSet::default();
+                    for succ in cfg.successors(b) {
+                        let top = if cfg.blocks[succ].stmts.is_empty() {
+                            Point::Term(succ)
+                        } else {
+                            Point::Stmt(succ, 0)
+                        };
+                        out.join(&self.live_in(top).columns(var));
+                    }
+                    return out;
+                }
+                _ => {}
+            }
+        }
+        ColSet::default()
+    }
+}
+
+/// Run LAA.
+pub fn analyze(ast: &Ast, cfg: &Cfg, info: &DfVarInfo) -> LaaResult {
+    let facts = solve_backward::<AttrFact>(cfg, &mut |stmt, _point, out| {
+        let mut fact = out.clone();
+        if let Some(id) = stmt {
+            transfer(ast, info, id, &mut fact, out);
+        }
+        fact
+    });
+    LaaResult { facts }
+}
+
+/// In-place transfer: `fact` starts as a copy of `out`; apply Kill then Gen.
+fn transfer(ast: &Ast, info: &DfVarInfo, id: StmtId, fact: &mut AttrFact, out: &AttrFact) {
+    match &ast.stmt(id).kind {
+        StmtKind::Assign { target, value } => match target {
+            Target::Name(x) => {
+                // Liveness of x's columns just after this statement.
+                let x_live = out.columns(x);
+                // Kill: all columns of x (Eq. 2).
+                fact.kill(x);
+                // Gen: direct uses + derived mapping of x_live onto sources.
+                apply_derivation(info, value, &x_live, fact);
+            }
+            Target::Subscript { obj, key } => {
+                // df["c"] = expr: kills column c of df, uses expr's columns.
+                if let Some(col) = key.as_str_lit() {
+                    if let Some(slot) = fact.0.get_mut(obj) {
+                        slot.cols.remove(col);
+                    }
+                }
+                collect_uses(info, value, fact);
+            }
+        },
+        StmtKind::Expr(e) => collect_uses(info, e, fact),
+        StmtKind::If { cond, .. } => collect_uses(info, cond, fact),
+        StmtKind::For { iter, .. } => collect_uses(info, iter, fact),
+        _ => {}
+    }
+}
+
+/// Gen for `x = value` given the liveness `x_live` of x after the
+/// statement: map derived liveness onto source frames (§3.1 rule 3) and
+/// collect the expression's direct column uses.
+fn apply_derivation(info: &DfVarInfo, value: &Expr, x_live: &ColSet, fact: &mut AttrFact) {
+    match value {
+        // x = v  (alias): identity map.
+        Expr::Name(v) if info.is_frame(v) => {
+            let slot = fact.0.entry(v.clone()).or_default();
+            slot.join(x_live);
+        }
+        // x = v[<mask>] — filter: identity map + mask uses.
+        // x = v[["a","b"]] — projection: live∩select, All ↦ the selection.
+        // x = v["c"] / x = v.c — series read.
+        Expr::Subscript { value: recv, index } => {
+            if let Expr::Name(v) = recv.as_ref() {
+                if info.is_frame(v) {
+                    match index.as_ref() {
+                        Expr::Str(c) => {
+                            // Reading a column makes it live whenever the
+                            // statement executes (conservative).
+                            fact.add(v, c);
+                            return;
+                        }
+                        Expr::List(_) => {
+                            if let Some(cols) = index.as_str_list() {
+                                // The projection itself requires its listed
+                                // columns to exist (pandas raises on missing
+                                // keys), so they are live regardless of the
+                                // projection result's downstream liveness.
+                                let slot = fact.0.entry(v.clone()).or_default();
+                                if !slot.all {
+                                    slot.cols.extend(cols);
+                                }
+                                return;
+                            }
+                        }
+                        mask => {
+                            let slot = fact.0.entry(v.clone()).or_default();
+                            slot.join(x_live);
+                            collect_uses(info, mask, fact);
+                            return;
+                        }
+                    }
+                }
+            }
+            collect_uses(info, value, fact);
+        }
+        // x = v.attr — series read via attribute.
+        Expr::Attribute { value: recv, attr } => {
+            if let Expr::Name(v) = recv.as_ref() {
+                if info.is_frame(v) {
+                    fact.add(v, attr);
+                    return;
+                }
+            }
+            collect_uses(info, value, fact);
+        }
+        Expr::Call { func, args, kwargs } => {
+            // groupby chain?
+            if let Some((v, mut used)) = match_groupby_chain(info, value) {
+                // Aggregates: only keys + aggregated column stay live.
+                let slot = fact.0.entry(v).or_default();
+                if !slot.all {
+                    slot.cols.append(&mut used);
+                }
+                return;
+            }
+            if let Expr::Attribute { value: recv, attr } = func.as_ref() {
+                if let Expr::Name(v) = recv.as_ref() {
+                    if info.is_frame(v) {
+                        match attr.as_str() {
+                            // Identity-mapped frame methods.
+                            "fillna" | "dropna" | "sort_values" | "drop_duplicates"
+                            | "astype" | "round" | "abs" | "copy" | "reset_index" | "tail" => {
+                                let slot = fact.0.entry(v.clone()).or_default();
+                                slot.join(x_live);
+                                add_method_key_uses(info, v, attr, args, kwargs, fact);
+                                for a in args.iter() {
+                                    collect_uses(info, a, fact);
+                                }
+                                return;
+                            }
+                            // head: named columns map through, but the
+                            // whole-frame usage heuristic drops `all`.
+                            "head" => {
+                                let slot = fact.0.entry(v.clone()).or_default();
+                                if !slot.all {
+                                    slot.cols.extend(x_live.cols.iter().cloned());
+                                }
+                                return;
+                            }
+                            // describe/info: ignored entirely (§3.1).
+                            "describe" | "info" => return,
+                            // rename: map new names back to old.
+                            "rename" => {
+                                let mapping = rename_mapping(kwargs);
+                                let slot = fact.0.entry(v.clone()).or_default();
+                                if x_live.all {
+                                    slot.join(&ColSet::all());
+                                } else if !slot.all {
+                                    for c in &x_live.cols {
+                                        let original = mapping
+                                            .iter()
+                                            .find(|(_, new)| new == c)
+                                            .map(|(old, _)| old.clone())
+                                            .unwrap_or_else(|| c.clone());
+                                        slot.cols.insert(original);
+                                    }
+                                }
+                                return;
+                            }
+                            // drop(columns=[...]): identity for survivors.
+                            "drop" => {
+                                let slot = fact.0.entry(v.clone()).or_default();
+                                slot.join(x_live);
+                                return;
+                            }
+                            // merge: live columns may come from either side.
+                            "merge" => {
+                                let slot = fact.0.entry(v.clone()).or_default();
+                                slot.join(x_live);
+                                if let Some(Expr::Name(w)) = args.first() {
+                                    if info.is_frame(w) {
+                                        let wslot = fact.0.entry(w.clone()).or_default();
+                                        wslot.join(x_live);
+                                    }
+                                }
+                                add_method_key_uses(info, v, attr, args, kwargs, fact);
+                                if let (Some(Expr::Name(w)), Some(on)) =
+                                    (args.first(), kwarg(kwargs, "on"))
+                                {
+                                    if let Some(keys) = on.as_str_list() {
+                                        for k in keys {
+                                            fact.add(w, &k);
+                                        }
+                                    }
+                                }
+                                return;
+                            }
+                            _ => {}
+                        }
+                    }
+                    // Scalar aggregate over a series var or chained column.
+                    if SCALAR_METHODS.contains(&attr.as_str()) {
+                        collect_uses(info, recv, fact);
+                        return;
+                    }
+                }
+            }
+            // Unknown call: conservative direct uses.
+            collect_uses(info, value, fact);
+        }
+        _ => collect_uses(info, value, fact),
+    }
+}
+
+fn kwarg<'a>(kwargs: &'a [(String, Expr)], name: &str) -> Option<&'a Expr> {
+    kwargs.iter().find(|(k, _)| k == name).map(|(_, v)| v)
+}
+
+/// Column-name-bearing arguments of known methods (`by=`, `on=`,
+/// `subset=`, or the positional first arg of sort_values).
+fn add_method_key_uses(
+    info: &DfVarInfo,
+    frame: &str,
+    method: &str,
+    args: &[Expr],
+    kwargs: &[(String, Expr)],
+    fact: &mut AttrFact,
+) {
+    let _ = info;
+    let mut key_exprs: Vec<&Expr> = Vec::new();
+    for key in ["by", "on", "subset", "columns"] {
+        if let Some(e) = kwarg(kwargs, key) {
+            key_exprs.push(e);
+        }
+    }
+    if method == "sort_values" {
+        if let Some(first) = args.first() {
+            key_exprs.push(first);
+        }
+    }
+    for e in key_exprs {
+        if let Some(cols) = e.as_str_list() {
+            for c in cols {
+                fact.add(frame, &c);
+            }
+        } else if let Some(c) = e.as_str_lit() {
+            fact.add(frame, c);
+        }
+    }
+}
+
+/// `df.groupby([keys...])["col"].agg()` — returns (frame var, used cols).
+pub fn match_groupby_chain(info: &DfVarInfo, e: &Expr) -> Option<(String, BTreeSet<String>)> {
+    // Call(Attribute(Subscript(Call(Attribute(Name(v), "groupby"), [keys]), "col"), agg))
+    let Expr::Call { func, .. } = e else {
+        return None;
+    };
+    let Expr::Attribute { value: sub, attr } = func.as_ref() else {
+        return None;
+    };
+    if !SCALAR_METHODS.contains(&attr.as_str()) {
+        return None;
+    }
+    let (gb_call, value_col) = match sub.as_ref() {
+        Expr::Subscript { value, index } => (value.as_ref(), index.as_str_lit()?),
+        _ => return None,
+    };
+    let Expr::Call {
+        func: gb_func,
+        args: gb_args,
+        ..
+    } = gb_call
+    else {
+        return None;
+    };
+    let Expr::Attribute {
+        value: frame,
+        attr: gb_name,
+    } = gb_func.as_ref()
+    else {
+        return None;
+    };
+    if gb_name != "groupby" {
+        return None;
+    }
+    let Expr::Name(v) = frame.as_ref() else {
+        return None;
+    };
+    if !info.is_frame(v) {
+        return None;
+    }
+    let mut used: BTreeSet<String> = BTreeSet::new();
+    match gb_args.first() {
+        Some(keys) => {
+            if let Some(list) = keys.as_str_list() {
+                used.extend(list);
+            } else if let Some(k) = keys.as_str_lit() {
+                used.insert(k.to_string());
+            } else {
+                return None;
+            }
+        }
+        None => return None,
+    }
+    used.insert(value_col.to_string());
+    Some((v.clone(), used))
+}
+
+/// Direct column uses of an expression in a *value position* (prints,
+/// conditions, call arguments): bare frame names are whole-frame uses.
+pub fn collect_uses(info: &DfVarInfo, e: &Expr, fact: &mut AttrFact) {
+    match e {
+        Expr::Name(v) => {
+            if info.is_frame(v) {
+                fact.add_all(v);
+            } else if let Some((f, c)) = info.series_source(v) {
+                let (f, c) = (f.to_string(), c.to_string());
+                fact.add(&f, &c);
+            }
+        }
+        Expr::Attribute { value, attr } => {
+            if let Expr::Name(v) = value.as_ref() {
+                if info.is_frame(v) {
+                    fact.add(v, attr);
+                    return;
+                }
+            }
+            // dt/str namespaces and deeper chains.
+            collect_uses(info, value, fact);
+        }
+        Expr::Subscript { value, index } => {
+            if let Expr::Name(v) = value.as_ref() {
+                if info.is_frame(v) {
+                    match index.as_ref() {
+                        Expr::Str(c) => {
+                            fact.add(v, c);
+                            return;
+                        }
+                        Expr::List(_) => {
+                            if let Some(cols) = index.as_str_list() {
+                                for c in cols {
+                                    fact.add(v, &c);
+                                }
+                                return;
+                            }
+                        }
+                        mask => {
+                            // df[mask] used directly in a value position:
+                            // the filtered frame flows onward whole.
+                            fact.add_all(v);
+                            collect_uses(info, mask, fact);
+                            return;
+                        }
+                    }
+                }
+            }
+            collect_uses(info, value, fact);
+            collect_uses(info, index, fact);
+        }
+        Expr::Call { func, args, kwargs } => {
+            if let Some((v, used)) = match_groupby_chain(info, e) {
+                for c in used {
+                    fact.add(&v, &c);
+                }
+                return;
+            }
+            // len(df) needs a row count, not any particular column — the
+            // lazy len of lazyfatpandas.func (§3.3). Whatever columns other
+            // uses make live suffice for counting rows.
+            if matches!(func.as_ref(), Expr::Name(n) if n == "len") {
+                for a in args {
+                    if !matches!(a, Expr::Name(v) if info.is_frame(v)) {
+                        collect_uses(info, a, fact);
+                    }
+                }
+                return;
+            }
+            if let Expr::Attribute { value, attr } = func.as_ref() {
+                if let Expr::Name(v) = value.as_ref() {
+                    if info.is_frame(v) && INFORMATIVE_METHODS.contains(&attr.as_str()) {
+                        // §3.1 heuristic: df.head()/df.info()/df.describe()
+                        // in a value position uses nothing.
+                        return;
+                    }
+                    if info.is_frame(v) {
+                        // A method on the frame in value position: the
+                        // result flows onward; conservatively whole use,
+                        // except scalar aggregates of a single column which
+                        // are handled by the Attribute arm via recursion.
+                        add_method_key_uses(info, v, attr, args, kwargs, fact);
+                        fact.add_all(v);
+                        for a in args {
+                            collect_uses(info, a, fact);
+                        }
+                        return;
+                    }
+                }
+                // e.g. df.fare.mean(): recurse into the receiver chain.
+                collect_uses(info, value, fact);
+                for a in args {
+                    collect_uses(info, a, fact);
+                }
+                for (_, v) in kwargs {
+                    collect_uses(info, v, fact);
+                }
+                return;
+            }
+            collect_uses(info, func, fact);
+            for a in args {
+                collect_uses(info, a, fact);
+            }
+            for (_, v) in kwargs {
+                collect_uses(info, v, fact);
+            }
+        }
+        Expr::FString(pieces) => {
+            for p in pieces {
+                if let lafp_ir::ast::FPiece::Expr(inner) = p {
+                    collect_uses(info, inner, fact);
+                }
+            }
+        }
+        Expr::BinOp { left, right, .. } | Expr::Compare { left, right, .. } => {
+            collect_uses(info, left, fact);
+            collect_uses(info, right, fact);
+        }
+        Expr::Unary { operand, .. } => collect_uses(info, operand, fact),
+        Expr::List(items) => {
+            for i in items {
+                collect_uses(info, i, fact);
+            }
+        }
+        Expr::Dict(items) => {
+            for (k, v) in items {
+                collect_uses(info, k, fact);
+                collect_uses(info, v, fact);
+            }
+        }
+        _ => {}
+    }
+}
+
+fn rename_mapping(kwargs: &[(String, Expr)]) -> Vec<(String, String)> {
+    let mut out = Vec::new();
+    if let Some(Expr::Dict(items)) = kwarg(kwargs, "columns") {
+        for (k, v) in items {
+            if let (Some(old), Some(new)) = (k.as_str_lit(), v.as_str_lit()) {
+                out.push((old.to_string(), new.to_string()));
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dfvars;
+    use lafp_ir::lower::lower;
+    use lafp_ir::parser::parse;
+
+    fn laa_for(src: &str) -> (Ast, Cfg, DfVarInfo, LaaResult) {
+        let ast = parse(src).unwrap();
+        let cfg = lower(&ast);
+        let info = dfvars::infer(&ast);
+        let laa = analyze(&ast, &cfg, &info);
+        (ast, cfg, info, laa)
+    }
+
+    /// The paper's running example (Figure 3): only three of the columns
+    /// are live at the read_csv site.
+    #[test]
+    fn figure3_live_columns() {
+        let src = "\
+import lazyfatpandas.pandas as pd
+df = pd.read_csv('data.csv', parse_dates=['tpep_pickup_datetime'])
+df = df[df.fare_amount > 0]
+df['day'] = df.tpep_pickup_datetime.dt.dayofweek
+df = df.groupby(['day'])['passenger_count'].sum()
+print(df)
+";
+        let (ast, cfg, _info, laa) = laa_for(src);
+        let read_stmt = ast.module[1];
+        let live = laa.live_columns_after(&cfg, read_stmt, "df");
+        assert!(!live.all, "whole frame must not be live");
+        let expected: BTreeSet<String> = [
+            "fare_amount",
+            "passenger_count",
+            "tpep_pickup_datetime",
+        ]
+        .into_iter()
+        .map(String::from)
+        .collect();
+        assert_eq!(live.cols, expected);
+    }
+
+    #[test]
+    fn whole_frame_print_makes_all_live() {
+        let src = "\
+import pandas as pd
+df = pd.read_csv('d.csv')
+print(df)
+";
+        let (ast, cfg, _info, laa) = laa_for(src);
+        let live = laa.live_columns_after(&cfg, ast.module[1], "df");
+        assert!(live.all);
+    }
+
+    #[test]
+    fn head_heuristic_keeps_columns_dead() {
+        let src = "\
+import pandas as pd
+df = pd.read_csv('d.csv')
+print(df.head())
+s = df.fare.mean()
+print(f'{s}')
+";
+        let (ast, cfg, _info, laa) = laa_for(src);
+        let live = laa.live_columns_after(&cfg, ast.module[1], "df");
+        assert!(!live.all, "head/describe usage is ignored (§3.1)");
+        assert_eq!(
+            live.cols,
+            ["fare".to_string()].into_iter().collect::<BTreeSet<_>>()
+        );
+    }
+
+    #[test]
+    fn projection_restricts_liveness() {
+        let src = "\
+import pandas as pd
+df = pd.read_csv('d.csv')
+p = df[['a', 'b']]
+print(p)
+";
+        let (ast, cfg, _info, laa) = laa_for(src);
+        let live = laa.live_columns_after(&cfg, ast.module[1], "df");
+        assert!(!live.all, "All-of-p maps to just the selected columns");
+        assert_eq!(
+            live.cols,
+            ["a".to_string(), "b".to_string()].into_iter().collect::<BTreeSet<_>>()
+        );
+    }
+
+    #[test]
+    fn derived_filter_propagates_to_source() {
+        let src = "\
+import pandas as pd
+df = pd.read_csv('d.csv')
+f = df[df.fare > 0]
+g = f.groupby(['day'])['count'].sum()
+print(g)
+";
+        let (ast, cfg, _info, laa) = laa_for(src);
+        let live = laa.live_columns_after(&cfg, ast.module[1], "df");
+        assert!(!live.all);
+        let expected: BTreeSet<String> = ["fare", "day", "count"]
+            .into_iter()
+            .map(String::from)
+            .collect();
+        assert_eq!(live.cols, expected);
+    }
+
+    #[test]
+    fn rename_maps_new_names_to_old() {
+        let src = "\
+import pandas as pd
+df = pd.read_csv('d.csv')
+r = df.rename(columns={'old': 'new'})
+s = r['new']
+print(f'{s.sum()}')
+";
+        let (ast, cfg, _info, laa) = laa_for(src);
+        let live = laa.live_columns_after(&cfg, ast.module[1], "df");
+        assert!(live.cols.contains("old"), "got {live:?}");
+        assert!(!live.cols.contains("new"));
+    }
+
+    #[test]
+    fn branches_join_column_liveness() {
+        let src = "\
+import pandas as pd
+df = pd.read_csv('d.csv')
+if mode > 0:
+    x = df['a']
+else:
+    x = df['b']
+print(f'{x.sum()}')
+";
+        let (ast, cfg, _info, laa) = laa_for(src);
+        let live = laa.live_columns_after(&cfg, ast.module[1], "df");
+        assert!(live.cols.contains("a") && live.cols.contains("b"));
+        assert!(!live.cols.contains("c"));
+    }
+
+    #[test]
+    fn reassignment_kills_columns() {
+        let src = "\
+import pandas as pd
+df = pd.read_csv('a.csv')
+x = df['used_early']
+df = pd.read_csv('b.csv')
+print(df['later'])
+print(f'{x.sum()}')
+";
+        let (ast, cfg, _info, laa) = laa_for(src);
+        let live_first = laa.live_columns_after(&cfg, ast.module[1], "df");
+        assert!(live_first.cols.contains("used_early"));
+        assert!(
+            !live_first.cols.contains("later"),
+            "second read's columns must not leak across the kill: {live_first:?}"
+        );
+    }
+
+    #[test]
+    fn merge_keys_live_on_both_sides() {
+        let src = "\
+import pandas as pd
+a = pd.read_csv('a.csv')
+b = pd.read_csv('b.csv')
+m = a.merge(b, on=['k'])
+v = m['v']
+print(f'{v.sum()}')
+";
+        let (ast, cfg, _info, laa) = laa_for(src);
+        let live_a = laa.live_columns_after(&cfg, ast.module[1], "a");
+        let live_b = laa.live_columns_after(&cfg, ast.module[2], "b");
+        assert!(live_a.cols.contains("k"));
+        assert!(live_b.cols.contains("k"));
+        // v could come from either side
+        assert!(live_a.cols.contains("v"));
+        assert!(live_b.cols.contains("v"));
+    }
+}

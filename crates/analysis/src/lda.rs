@@ -1,0 +1,120 @@
+//! Live DataFrame Analysis (paper §3.5): which dataframe variables are
+//! live *after* a given statement — the `live_df=[...]` argument injected
+//! at forced-computation sites so shared subexpressions get persisted.
+
+use crate::dataflow::Point;
+use crate::dfvars::DfVarInfo;
+use crate::lva::{self, LvaResult};
+use lafp_ir::ast::{Ast, StmtId};
+use lafp_ir::cfg::{Cfg, Terminator};
+use std::collections::BTreeSet;
+
+/// Result of live dataframe analysis.
+#[derive(Debug, Clone)]
+pub struct LdaResult {
+    lva: LvaResult,
+}
+
+/// Run LDA (it is LVA restricted to dataframe-kinded variables).
+pub fn analyze(ast: &Ast, cfg: &Cfg) -> LdaResult {
+    LdaResult {
+        lva: lva::analyze(ast, cfg),
+    }
+}
+
+impl LdaResult {
+    /// Dataframe variables live immediately **after** statement `stmt`
+    /// (i.e. at the In of the next program point). This is exactly the
+    /// `live_df` list of §3.5.
+    pub fn live_frames_after(
+        &self,
+        ast: &Ast,
+        cfg: &Cfg,
+        info: &DfVarInfo,
+        stmt: StmtId,
+    ) -> BTreeSet<String> {
+        // Locate the statement's position, then take the In of the point
+        // that follows it (next stmt in block, the terminator, or the
+        // join of successor block tops).
+        for (b, block) in cfg.blocks.iter().enumerate() {
+            if let Some(i) = block.stmts.iter().position(|&s| s == stmt) {
+                let after = if i + 1 < block.stmts.len() {
+                    self.lva.live_in(Point::Stmt(b, i + 1)).clone()
+                } else {
+                    self.lva.live_in(Point::Term(b)).clone()
+                };
+                return after
+                    .into_iter()
+                    .filter(|v| info.is_frame(v))
+                    .collect();
+            }
+            // Compound statements live on terminators.
+            match &block.terminator {
+                Terminator::Branch { stmt: s, .. } | Terminator::LoopBranch { stmt: s, .. }
+                    if *s == stmt =>
+                {
+                    let mut out = BTreeSet::new();
+                    for succ in cfg.successors(b) {
+                        let top = if cfg.blocks[succ].stmts.is_empty() {
+                            Point::Term(succ)
+                        } else {
+                            Point::Stmt(succ, 0)
+                        };
+                        out.extend(self.lva.live_in(top).iter().cloned());
+                    }
+                    return out.into_iter().filter(|v| info.is_frame(v)).collect();
+                }
+                _ => {}
+            }
+        }
+        let _ = ast;
+        BTreeSet::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dfvars;
+    use lafp_ir::lower::lower;
+    use lafp_ir::parser::parse;
+
+    #[test]
+    fn live_df_matches_paper_example() {
+        // Figure 10/11: after plt.plot(p_per_day), df is live (used for
+        // avg_fare later) but p_per_day is not.
+        let src = "\
+import lazyfatpandas.pandas as pd
+import matplotlib.pyplot as plt
+df = pd.read_csv('data.csv')
+p_per_day = df.groupby(['day'])['passenger_count'].sum()
+plt.plot(p_per_day)
+avg_fare = df['fare_amount'].mean()
+print(f'Average fare: {avg_fare}')
+";
+        let ast = parse(src).unwrap();
+        let cfg = lower(&ast);
+        let info = dfvars::infer(&ast);
+        let lda = analyze(&ast, &cfg);
+        let plot_stmt = ast.module[4];
+        let live = lda.live_frames_after(&ast, &cfg, &info, plot_stmt);
+        assert!(live.contains("df"), "df used later via fare_amount");
+        assert!(!live.contains("p_per_day"), "p_per_day dead after plot");
+    }
+
+    #[test]
+    fn nothing_live_at_end() {
+        let src = "\
+import pandas as pd
+df = pd.read_csv('d.csv')
+print(df)
+";
+        let ast = parse(src).unwrap();
+        let cfg = lower(&ast);
+        let info = dfvars::infer(&ast);
+        let lda = analyze(&ast, &cfg);
+        let print_stmt = *ast.module.last().unwrap();
+        let live = lda.live_frames_after(&ast, &cfg, &info, print_stmt);
+        assert!(live.is_empty());
+    }
+}

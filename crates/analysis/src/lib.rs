@@ -1,0 +1,34 @@
+//! # lafp-analysis — dataflow analyses over the SCIRPy-style CFG
+//!
+//! Implements the static analyses of paper §3 on PandaScript CFGs:
+//!
+//! * **Dataframe-variable inference** ([`dfvars`]) — which variables hold
+//!   dataframes / series / scalars, which imports are external modules
+//!   (§3.4), and which columns a dataframe ever assigns (the read-only
+//!   check of §3.6).
+//! * **Live Variable Analysis** ([`lva`]) — classic backward liveness,
+//!   provided by Soot in the paper.
+//! * **Live Attribute Analysis** ([`laa`], §3.1) — per-column liveness
+//!   with the paper's Gen/Kill equations (Eq. 1–4): whole-frame uses make
+//!   all columns live, definitions kill, derived frames propagate liveness
+//!   to their sources, aggregates kill all but the grouped/aggregated
+//!   columns, and the `head`/`info`/`describe` heuristic ignores their
+//!   attribute usage.
+//! * **Live DataFrame Analysis** ([`lda`], §3.5) — which dataframes are
+//!   live after a program point (the `live_df` argument of forced
+//!   computes).
+//!
+//! All analyses run on a statement-level program-point lattice: a point is
+//! (block, index) where index ranges over the block's statements plus its
+//! terminator.
+
+pub mod dataflow;
+pub mod dfvars;
+pub mod laa;
+pub mod lda;
+pub mod lva;
+
+pub use dfvars::{DfVarInfo, VarKind};
+pub use laa::{ColSet, LaaResult};
+pub use lda::LdaResult;
+pub use lva::LvaResult;

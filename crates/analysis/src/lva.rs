@@ -1,0 +1,122 @@
+//! Live Variable Analysis — the classic backward analysis the paper gets
+//! from Soot (§2.3), at PandaScript statement granularity.
+
+use crate::dataflow::{solve_backward, Lattice, Point};
+use lafp_ir::ast::{Ast, StmtId, StmtKind, Target};
+use lafp_ir::cfg::Cfg;
+use std::collections::{BTreeSet, HashMap};
+
+/// Set of live variable names.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct VarSet(pub BTreeSet<String>);
+
+impl Lattice for VarSet {
+    fn join(&mut self, other: &Self) {
+        self.0.extend(other.0.iter().cloned());
+    }
+}
+
+/// Result of live variable analysis.
+#[derive(Debug, Clone)]
+pub struct LvaResult {
+    facts: HashMap<Point, VarSet>,
+}
+
+impl LvaResult {
+    /// Variables live immediately *before* the program point.
+    pub fn live_in(&self, point: Point) -> &BTreeSet<String> {
+        static EMPTY: std::sync::OnceLock<BTreeSet<String>> = std::sync::OnceLock::new();
+        self.facts
+            .get(&point)
+            .map(|v| &v.0)
+            .unwrap_or_else(|| EMPTY.get_or_init(BTreeSet::new))
+    }
+}
+
+/// Uses and defs of one statement for variable-level liveness.
+pub fn stmt_uses_defs(ast: &Ast, id: StmtId) -> (Vec<String>, Option<String>) {
+    match &ast.stmt(id).kind {
+        StmtKind::Assign { target, value } => {
+            let mut uses = value.names_used();
+            match target {
+                Target::Name(n) => (uses, Some(n.clone())),
+                Target::Subscript { obj, key } => {
+                    // df['c'] = ... reads and writes df (partial kill: none)
+                    uses.push(obj.clone());
+                    uses.extend(key.names_used());
+                    (uses, None)
+                }
+            }
+        }
+        StmtKind::Expr(e) => (e.names_used(), None),
+        StmtKind::If { cond, .. } => (cond.names_used(), None),
+        StmtKind::For { var, iter, .. } => (iter.names_used(), Some(var.clone())),
+        _ => (Vec::new(), None),
+    }
+}
+
+/// Run LVA over a CFG.
+pub fn analyze(ast: &Ast, cfg: &Cfg) -> LvaResult {
+    let facts = solve_backward::<VarSet>(cfg, &mut |stmt, _point, out| {
+        let mut f = out.clone();
+        if let Some(id) = stmt {
+            let (uses, def) = stmt_uses_defs(ast, id);
+            if let Some(d) = def {
+                f.0.remove(&d);
+            }
+            f.0.extend(uses);
+        }
+        f
+    });
+    LvaResult { facts }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lafp_ir::lower::lower;
+    use lafp_ir::parser::parse;
+
+    #[test]
+    fn dead_after_last_use() {
+        let src = "a = 1\nb = a\nc = 2\nprint(c)\n";
+        let ast = parse(src).unwrap();
+        let cfg = lower(&ast);
+        let r = analyze(&ast, &cfg);
+        // Before `b = a`: a is live. Before `c = 2`: nothing but print's c...
+        let before_b = r.live_in(Point::Stmt(cfg.entry, 1));
+        assert!(before_b.contains("a"));
+        let before_c = r.live_in(Point::Stmt(cfg.entry, 2));
+        assert!(!before_c.contains("a"), "a dead after b = a");
+        assert!(!before_c.contains("b"), "b never used");
+    }
+
+    #[test]
+    fn branch_joins_liveness() {
+        let src = "\
+x = 1
+y = 2
+if c > 0:
+    print(x)
+else:
+    print(y)
+";
+        let ast = parse(src).unwrap();
+        let cfg = lower(&ast);
+        let r = analyze(&ast, &cfg);
+        let before_first = r.live_in(Point::Stmt(cfg.entry, 0));
+        assert!(before_first.contains("c"));
+        let before_if = r.live_in(Point::Term(cfg.entry));
+        assert!(before_if.contains("x") && before_if.contains("y"));
+    }
+
+    #[test]
+    fn subscript_store_keeps_frame_live() {
+        let src = "df['day'] = df.ts\nprint(df)\n";
+        let ast = parse(src).unwrap();
+        let cfg = lower(&ast);
+        let r = analyze(&ast, &cfg);
+        let before = r.live_in(Point::Stmt(cfg.entry, 0));
+        assert!(before.contains("df"), "partial write does not kill df");
+    }
+}

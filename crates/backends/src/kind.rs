@@ -1,0 +1,93 @@
+//! Backend selection, mirroring the paper's
+//! `pd.BACKEND_ENGINE = pd.BackendEngines.PANDAS` configuration line (§2.6).
+
+use std::fmt;
+
+/// Which execution backend LaFP drives.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum BackendKind {
+    /// Single-threaded eager engine (the Pandas stand-in).
+    Pandas,
+    /// Partition-parallel eager engine (the Modin stand-in).
+    Modin,
+    /// Lazy, partitioned, out-of-core engine (the Dask stand-in).
+    /// The paper makes Dask LaFP's default backend.
+    #[default]
+    Dask,
+}
+
+impl BackendKind {
+    /// All backends, in the order the paper's figures list them.
+    pub const ALL: [BackendKind; 3] = [BackendKind::Pandas, BackendKind::Modin, BackendKind::Dask];
+
+    /// Parse a configuration name.
+    pub fn parse(name: &str) -> Option<BackendKind> {
+        match name.to_ascii_lowercase().as_str() {
+            "pandas" => Some(BackendKind::Pandas),
+            "modin" => Some(BackendKind::Modin),
+            "dask" => Some(BackendKind::Dask),
+            _ => None,
+        }
+    }
+
+    /// Is this an eager backend (executes operator-by-operator)?
+    ///
+    /// Pandas and Modin are eager; Dask is lazy (§2.6).
+    pub fn is_eager(self) -> bool {
+        !matches!(self, BackendKind::Dask)
+    }
+
+    /// Does this backend guarantee row order for positional access?
+    /// Dask does not (§5.2).
+    pub fn preserves_row_order(self) -> bool {
+        !matches!(self, BackendKind::Dask)
+    }
+
+    /// Transient working-set factor: how many extra bytes of scratch the
+    /// backend touches per byte of operator input. Pandas-style whole-frame
+    /// ops copy their input; Modin's partition-at-a-time execution (with a
+    /// Ray-like shared object store) keeps the scratch smaller. These
+    /// constants are the calibration knobs documented in DESIGN.md.
+    pub fn transient_factor(self) -> f64 {
+        match self {
+            BackendKind::Pandas => 1.0,
+            BackendKind::Modin => 0.25,
+            BackendKind::Dask => 0.0, // charges per-partition explicitly
+        }
+    }
+}
+
+impl fmt::Display for BackendKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            BackendKind::Pandas => "pandas",
+            BackendKind::Modin => "modin",
+            BackendKind::Dask => "dask",
+        };
+        f.write_str(name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_roundtrip() {
+        for k in BackendKind::ALL {
+            assert_eq!(BackendKind::parse(&k.to_string()), Some(k));
+        }
+        assert_eq!(BackendKind::parse("PANDAS"), Some(BackendKind::Pandas));
+        assert_eq!(BackendKind::parse("spark"), None);
+    }
+
+    #[test]
+    fn classification() {
+        assert!(BackendKind::Pandas.is_eager());
+        assert!(BackendKind::Modin.is_eager());
+        assert!(!BackendKind::Dask.is_eager());
+        assert!(!BackendKind::Dask.preserves_row_order());
+        assert!(BackendKind::Pandas.preserves_row_order());
+        assert_eq!(BackendKind::default(), BackendKind::Dask);
+    }
+}

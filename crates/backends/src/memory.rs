@@ -1,0 +1,208 @@
+//! The simulated memory budget.
+//!
+//! The paper runs on a 32 GB machine and reports which programs run out of
+//! memory per backend and dataset size (Figure 12), plus peak memory
+//! consumption (Figure 15). We reproduce both with an explicit tracker:
+//! every materialized frame (and transient working set) is *charged*
+//! against a budget; exceeding it raises `ColumnarError::OutOfMemory`
+//! instead of letting the OS kill the process. Datasets and budget are
+//! scaled 1:100, which preserves the working-set-to-budget ratios that
+//! decide success or failure.
+
+use lafp_columnar::{ColumnarError, Result};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+/// Tracks simulated memory usage against a budget and records the peak.
+#[derive(Debug)]
+pub struct MemoryTracker {
+    current: AtomicUsize,
+    peak: AtomicUsize,
+    budget: usize,
+}
+
+impl MemoryTracker {
+    /// A tracker with the given budget in bytes.
+    pub fn with_budget(budget: usize) -> Arc<MemoryTracker> {
+        Arc::new(MemoryTracker {
+            current: AtomicUsize::new(0),
+            peak: AtomicUsize::new(0),
+            budget,
+        })
+    }
+
+    /// A tracker that never refuses (still records the peak).
+    pub fn unlimited() -> Arc<MemoryTracker> {
+        Self::with_budget(usize::MAX)
+    }
+
+    /// The configured budget.
+    pub fn budget(&self) -> usize {
+        self.budget
+    }
+
+    /// Bytes currently charged.
+    pub fn current(&self) -> usize {
+        self.current.load(Ordering::Relaxed)
+    }
+
+    /// High-water mark since construction (or the last [`reset_peak`]).
+    ///
+    /// [`reset_peak`]: MemoryTracker::reset_peak
+    pub fn peak(&self) -> usize {
+        self.peak.load(Ordering::Relaxed)
+    }
+
+    /// Reset the high-water mark to the current usage.
+    pub fn reset_peak(&self) {
+        self.peak.store(self.current(), Ordering::Relaxed);
+    }
+
+    /// Charge `bytes`, failing with `OutOfMemory` if the budget would be
+    /// exceeded. Returns an RAII reservation that releases on drop.
+    pub fn charge(self: &Arc<Self>, bytes: usize) -> Result<MemoryReservation> {
+        let mut cur = self.current.load(Ordering::Relaxed);
+        loop {
+            let next = cur.saturating_add(bytes);
+            if next > self.budget {
+                return Err(ColumnarError::OutOfMemory {
+                    requested: bytes,
+                    available: self.budget.saturating_sub(cur),
+                });
+            }
+            match self.current.compare_exchange_weak(
+                cur,
+                next,
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => {
+                    self.peak.fetch_max(next, Ordering::Relaxed);
+                    return Ok(MemoryReservation {
+                        tracker: Arc::clone(self),
+                        bytes,
+                    });
+                }
+                Err(actual) => cur = actual,
+            }
+        }
+    }
+
+    fn release(&self, bytes: usize) {
+        self.current.fetch_sub(bytes, Ordering::Relaxed);
+    }
+}
+
+/// RAII guard for charged bytes; dropping it releases the charge.
+#[derive(Debug)]
+pub struct MemoryReservation {
+    tracker: Arc<MemoryTracker>,
+    bytes: usize,
+}
+
+impl MemoryReservation {
+    /// An empty reservation against `tracker` (charges nothing).
+    pub fn empty(tracker: &Arc<MemoryTracker>) -> MemoryReservation {
+        MemoryReservation {
+            tracker: Arc::clone(tracker),
+            bytes: 0,
+        }
+    }
+
+    /// Bytes held by this reservation.
+    pub fn bytes(&self) -> usize {
+        self.bytes
+    }
+
+    /// Grow the reservation by `extra` bytes (used by streaming
+    /// accumulators whose state grows as partitions arrive).
+    pub fn grow(&mut self, extra: usize) -> Result<()> {
+        let more = self.tracker.charge(extra)?;
+        self.bytes += more.bytes;
+        std::mem::forget(more);
+        Ok(())
+    }
+}
+
+impl Drop for MemoryReservation {
+    fn drop(&mut self) {
+        self.tracker.release(self.bytes);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn charge_and_release_via_drop() {
+        let t = MemoryTracker::with_budget(100);
+        let r = t.charge(60).unwrap();
+        assert_eq!(t.current(), 60);
+        assert_eq!(t.peak(), 60);
+        drop(r);
+        assert_eq!(t.current(), 0);
+        assert_eq!(t.peak(), 60, "peak survives release");
+    }
+
+    #[test]
+    fn budget_enforced() {
+        let t = MemoryTracker::with_budget(100);
+        let _r = t.charge(80).unwrap();
+        let err = t.charge(30).unwrap_err();
+        match err {
+            ColumnarError::OutOfMemory {
+                requested,
+                available,
+            } => {
+                assert_eq!(requested, 30);
+                assert_eq!(available, 20);
+            }
+            other => panic!("unexpected error {other:?}"),
+        }
+        // After the failure, a smaller charge still fits.
+        assert!(t.charge(20).is_ok());
+    }
+
+    #[test]
+    fn grow_extends_reservation() {
+        let t = MemoryTracker::with_budget(100);
+        let mut r = t.charge(10).unwrap();
+        r.grow(50).unwrap();
+        assert_eq!(t.current(), 60);
+        assert_eq!(r.bytes(), 60);
+        assert!(r.grow(100).is_err());
+        drop(r);
+        assert_eq!(t.current(), 0);
+    }
+
+    #[test]
+    fn peak_tracks_high_water_mark() {
+        let t = MemoryTracker::unlimited();
+        let a = t.charge(100).unwrap();
+        drop(a);
+        let _b = t.charge(40).unwrap();
+        assert_eq!(t.peak(), 100);
+        t.reset_peak();
+        assert_eq!(t.peak(), 40);
+    }
+
+    #[test]
+    fn concurrent_charges_stay_within_budget() {
+        let t = MemoryTracker::with_budget(1000);
+        std::thread::scope(|s| {
+            for _ in 0..8 {
+                let t = Arc::clone(&t);
+                s.spawn(move || {
+                    for _ in 0..100 {
+                        if let Ok(r) = t.charge(10) {
+                            assert!(t.current() <= 1000);
+                            drop(r);
+                        }
+                    }
+                });
+            }
+        });
+        assert_eq!(t.current(), 0);
+    }
+}

@@ -1,0 +1,63 @@
+//! Microbenchmarks of the columnar substrate kernels: the CSV scan with
+//! and without projection (the mechanism behind §3.1's wins), filters,
+//! group-by and the hash join.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use lafp_bench::datagen::{ensure_datasets, Size};
+use lafp_columnar::csv::{read_csv, CsvOptions};
+use lafp_columnar::groupby::{group_by, GroupBySpec};
+use lafp_columnar::join::{merge, JoinKind};
+use lafp_columnar::AggKind;
+use lafp_expr::Expr;
+use std::hint::black_box;
+
+fn data_dir() -> std::path::PathBuf {
+    ensure_datasets(std::path::Path::new("target/lafp-data"), Size::Small).unwrap()
+}
+
+fn bench_scan(c: &mut Criterion) {
+    let dir = data_dir();
+    let path = dir.join("nyt.csv");
+    let mut g = c.benchmark_group("csv_scan");
+    g.sample_size(10);
+    g.bench_function("all_22_columns", |b| {
+        b.iter(|| black_box(read_csv(&path, &CsvOptions::new()).unwrap()))
+    });
+    let projected = CsvOptions::new().with_usecols(vec![
+        "fare_amount".into(),
+        "passenger_count".into(),
+        "tpep_pickup_datetime".into(),
+    ]);
+    g.bench_function("usecols_3_columns", |b| {
+        b.iter(|| black_box(read_csv(&path, &projected).unwrap()))
+    });
+    g.finish();
+}
+
+fn bench_kernels(c: &mut Criterion) {
+    let dir = data_dir();
+    let df = read_csv(&dir.join("nyt.csv"), &CsvOptions::new()).unwrap();
+    let mut g = c.benchmark_group("kernels");
+    g.sample_size(20);
+    let pred = Expr::col("fare_amount").gt(Expr::lit_float(0.0));
+    g.bench_function("filter", |b| {
+        b.iter(|| black_box(df.filter(&pred.evaluate_mask(&df).unwrap()).unwrap()))
+    });
+    let spec = GroupBySpec {
+        keys: vec!["passenger_count".into()],
+        value: "fare_amount".into(),
+        agg: AggKind::Sum,
+    };
+    g.bench_function("group_by", |b| b.iter(|| black_box(group_by(&df, &spec).unwrap())));
+    let ratings = read_csv(&dir.join("mov.csv"), &CsvOptions::new()).unwrap();
+    let titles = read_csv(&dir.join("mov_titles.csv"), &CsvOptions::new()).unwrap();
+    g.bench_function("hash_join", |b| {
+        b.iter(|| {
+            black_box(merge(&ratings, &titles, &["movie_id".into()], JoinKind::Inner).unwrap())
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_scan, bench_kernels);
+criterion_main!(benches);

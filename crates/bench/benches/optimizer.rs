@@ -1,0 +1,71 @@
+//! Microbenchmarks of the LaFP runtime optimizer passes and the JIT
+//! static-analysis pipeline (the §5.3 overhead).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use lafp_bench::programs;
+use lafp_core::graph::TaskGraph;
+use lafp_core::op::LogicalOp;
+use lafp_core::optimizer;
+use lafp_expr::Expr;
+use std::hint::black_box;
+
+fn chain_graph(depth: usize) -> (TaskGraph, lafp_core::NodeId) {
+    let mut g = TaskGraph::new();
+    let mut node = g.add(
+        LogicalOp::ReadCsv {
+            path: "data.csv".into(),
+            options: lafp_columnar::csv::CsvOptions::new(),
+        },
+        vec![],
+    );
+    for i in 0..depth {
+        node = g.add(
+            LogicalOp::WithColumn(format!("c{i}"), Expr::col("x")),
+            vec![node],
+        );
+    }
+    let f = g.add(
+        LogicalOp::Filter(Expr::col("x").gt(Expr::lit_int(0))),
+        vec![node],
+    );
+    (g, f)
+}
+
+fn bench_passes(c: &mut Criterion) {
+    let mut g = c.benchmark_group("optimizer");
+    g.bench_function("predicate_pushdown_depth16", |b| {
+        b.iter(|| {
+            let (mut graph, root) = chain_graph(16);
+            optimizer::pushdown_predicates(&mut graph, &[root]);
+            black_box(graph.len())
+        })
+    });
+    g.bench_function("cse_merge", |b| {
+        b.iter(|| {
+            let (mut graph, _) = chain_graph(16);
+            black_box(optimizer::merge_common_subexpressions(&mut graph).len())
+        })
+    });
+    g.bench_function("graph_construction_overhead", |b| {
+        b.iter(|| black_box(chain_graph(64).0.len()))
+    });
+    g.finish();
+}
+
+fn bench_jit(c: &mut Criterion) {
+    let mut g = c.benchmark_group("jit_static_analysis");
+    for p in programs::all() {
+        g.bench_function(p.name, |b| {
+            b.iter(|| {
+                black_box(
+                    lafp_rewrite::analyze(p.source, &lafp_rewrite::RewriteOptions::default())
+                        .unwrap(),
+                )
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_passes, bench_jit);
+criterion_main!(benches);

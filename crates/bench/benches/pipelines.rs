@@ -1,0 +1,61 @@
+//! End-to-end pipeline benchmarks: the Figure-3 taxi workload per
+//! configuration, and the lazy-print batching effect on the Dask backend.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use lafp_bench::datagen::{ensure_datasets, Size};
+use lafp_bench::programs::program;
+use lafp_bench::runner::{run_cell, Config, RunKnobs};
+use std::hint::black_box;
+
+fn bench_configurations(c: &mut Criterion) {
+    let dir = ensure_datasets(std::path::Path::new("target/lafp-data"), Size::Small).unwrap();
+    let p = program("nyt").unwrap();
+    let knobs = RunKnobs {
+        budget: Some(usize::MAX),
+        use_metadata: false,
+        ..Default::default()
+    };
+    let mut g = c.benchmark_group("nyt_pipeline");
+    g.sample_size(10);
+    for config in Config::ALL {
+        g.bench_function(config.label(), |b| {
+            b.iter(|| {
+                let r = run_cell(&p, config, &dir, &knobs);
+                assert!(r.ok, "{:?}", r.error);
+                black_box(r.output_hash)
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_lazy_print(c: &mut Criterion) {
+    let dir = ensure_datasets(std::path::Path::new("target/lafp-data"), Size::Small).unwrap();
+    let p = program("env").unwrap();
+    let mut g = c.benchmark_group("lazy_print_env");
+    g.sample_size(10);
+    let with = RunKnobs {
+        budget: Some(usize::MAX),
+        use_metadata: false,
+        ..Default::default()
+    };
+    g.bench_function("LDask_lazy_print", |b| {
+        b.iter(|| black_box(run_cell(&p, Config::LDask, &dir, &with).ok))
+    });
+    let without = RunKnobs {
+        disable_lazy_print: true,
+        budget: Some(usize::MAX),
+        use_metadata: false,
+        ..Default::default()
+    };
+    g.bench_function("LDask_eager_print", |b| {
+        b.iter(|| black_box(run_cell(&p, Config::LDask, &dir, &without).ok))
+    });
+    g.bench_function("Dask_baseline", |b| {
+        b.iter(|| black_box(run_cell(&p, Config::Dask, &dir, &with).ok))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_configurations, bench_lazy_print);
+criterion_main!(benches);

@@ -1,0 +1,20 @@
+//! Internal calibration helper: per-program success/peak at Large.
+use lafp_bench::datagen::{ensure_datasets, Size};
+use lafp_bench::programs::all;
+use lafp_bench::runner::{run_cell, Config, RunKnobs};
+fn main() {
+    let dir = ensure_datasets(std::path::Path::new("target/lafp-data"), Size::Large).unwrap();
+    for p in all() {
+        let mut line = format!("{:<5}", p.name);
+        for config in [Config::Pandas, Config::Modin, Config::Dask] {
+            let r = run_cell(&p, config, &dir, &RunKnobs::default());
+            line.push_str(&format!(
+                " {}={}({:.0}MB)",
+                config.label(),
+                if r.ok { "ok " } else { r.error.as_deref().unwrap_or("?") },
+                r.peak_memory as f64 / 1e6
+            ));
+        }
+        println!("{line}");
+    }
+}

@@ -1,0 +1,12 @@
+//! Internal size-calibration helper.
+fn main() {
+    use lafp_columnar::csv::{read_csv, CsvOptions};
+    use lafp_columnar::HeapSize;
+    let dir = lafp_bench::datagen::ensure_datasets(std::path::Path::new("target/lafp-data"), lafp_bench::datagen::Size::Large).unwrap();
+    for name in ["emp.csv","nyt.csv","stu.csv","env.csv","dso.csv","zip.csv","ais.csv","cty.csv","fdb.csv","mov.csv"] {
+        let p = dir.join(name);
+        let csv_bytes = std::fs::metadata(&p).unwrap().len();
+        let df = read_csv(&p, &CsvOptions::new()).unwrap();
+        println!("{name}: csv={:.1}MB mem={:.1}MB", csv_bytes as f64/1e6, df.heap_size() as f64/1e6);
+    }
+}

@@ -1,0 +1,59 @@
+//! The experiment harness: regenerates every table and figure of §5.
+//!
+//! ```text
+//! cargo run -p lafp-bench --release --bin harness -- all
+//! cargo run -p lafp-bench --release --bin harness -- fig12 fig13
+//! ```
+//!
+//! Artifacts: `fig12` `fig13` `fig14` `fig15` `ablation` `overhead`
+//! `regress`, or `all`. Data lives under `target/lafp-data/` (override
+//! with `LAFP_DATA_DIR`).
+
+use lafp_bench::datagen::Size;
+use lafp_bench::experiments;
+use std::path::PathBuf;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let wanted: Vec<&str> = if args.is_empty() || args.iter().any(|a| a == "all") {
+        vec!["fig12", "fig13", "fig14", "fig15", "ablation", "overhead", "regress"]
+    } else {
+        args.iter().map(String::as_str).collect()
+    };
+    let root = std::env::var("LAFP_DATA_DIR")
+        .map(PathBuf::from)
+        .unwrap_or_else(|_| PathBuf::from("target/lafp-data"));
+
+    eprintln!("preparing datasets under {} ...", root.display());
+    let dirs = experiments::prepare_data(&root).expect("dataset generation");
+
+    let needs_sweep = wanted
+        .iter()
+        .any(|w| matches!(*w, "fig12" | "fig13" | "fig14" | "fig15" | "regress"));
+    let sizes = Size::ALL;
+    let sweep = if needs_sweep {
+        eprintln!("running the 10 programs x 6 configurations x 3 sizes sweep ...");
+        Some(experiments::run_sweep(&dirs, &sizes))
+    } else {
+        None
+    };
+
+    for artifact in wanted {
+        match artifact {
+            "fig12" => println!("{}", experiments::figure12(sweep.as_ref().unwrap(), &sizes)),
+            "fig13" => println!("{}", experiments::figure13(sweep.as_ref().unwrap())),
+            "fig14" => println!("{}", experiments::figure14(sweep.as_ref().unwrap(), &sizes)),
+            "fig15" => println!("{}", experiments::figure15(sweep.as_ref().unwrap(), &sizes)),
+            "ablation" => println!("{}", experiments::stu_caching_ablation(&dirs)),
+            "overhead" => println!("{}", experiments::analysis_overhead(&dirs)),
+            "regress" => {
+                let (report, ok) = experiments::regression(sweep.as_ref().unwrap(), &sizes);
+                println!("{report}");
+                if !ok {
+                    std::process::exit(1);
+                }
+            }
+            other => eprintln!("unknown artifact {other:?} (use fig12..fig15, ablation, overhead, regress, all)"),
+        }
+    }
+}

@@ -1,0 +1,515 @@
+//! Seeded synthetic datasets for the ten benchmark programs.
+//!
+//! The paper replicates/prunes real datasets to 1.4, 4.2 and 12.6 GB and
+//! runs on a 32 GB machine; we scale both by 1:1000 (see DESIGN.md). Rows
+//! counts are chosen so each dataset's CSV is roughly the target size.
+
+use lafp_columnar::csv::quote_field;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::fmt::Write as _;
+use std::fs;
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+
+/// The three dataset sizes of §5.1, scaled 1:1000.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Size {
+    /// ~1.4 MB (stands in for 1.4 GB).
+    Small,
+    /// ~4.2 MB (4.2 GB).
+    Medium,
+    /// ~12.6 MB (12.6 GB).
+    Large,
+}
+
+impl Size {
+    /// All sizes in paper order.
+    pub const ALL: [Size; 3] = [Size::Small, Size::Medium, Size::Large];
+
+    /// Row-count multiplier relative to Small.
+    pub fn factor(self) -> usize {
+        match self {
+            Size::Small => 1,
+            Size::Medium => 3,
+            Size::Large => 9,
+        }
+    }
+
+    /// The label used in reports (the paper's sizes).
+    pub fn label(self) -> &'static str {
+        match self {
+            Size::Small => "1.4GB",
+            Size::Medium => "4.2GB",
+            Size::Large => "12.6GB",
+        }
+    }
+
+    /// The simulated machine memory (32 GB scaled 1:1000).
+    pub const MEMORY_BUDGET: usize = 32 * 1024 * 1024;
+
+    /// Directory name for this size under the data root.
+    pub fn dir_name(self) -> &'static str {
+        match self {
+            Size::Small => "s1",
+            Size::Medium => "s2",
+            Size::Large => "s3",
+        }
+    }
+}
+
+/// Base row counts at `Size::Small` per dataset (calibrated so the Small
+/// CSVs total ~1.4 MB across the file set a program reads).
+const BASE_ROWS: usize = 6_000;
+
+/// Generate (or reuse) all datasets for `size` under `root/sN/`; returns
+/// the data directory. Generation is deterministic (fixed seed).
+pub fn ensure_datasets(root: &Path, size: Size) -> std::io::Result<PathBuf> {
+    let dir = root.join(size.dir_name());
+    const DATA_VERSION: &str = "v7";
+    let marker = dir.join(".complete");
+    if marker.exists()
+        && fs::read_to_string(&marker).is_ok_and(|m| m.contains(DATA_VERSION))
+    {
+        return Ok(dir);
+    }
+    fs::create_dir_all(&dir)?;
+    let rows = BASE_ROWS * size.factor();
+    write_nyt(&dir, rows)?;
+    write_ais(&dir, rows)?;
+    write_cty(&dir, rows)?;
+    write_dso(&dir, rows)?;
+    write_emp(&dir, rows)?;
+    write_env(&dir, rows)?;
+    write_fdb(&dir, rows)?;
+    write_mov(&dir, rows)?;
+    write_stu(&dir, rows)?;
+    write_zip(&dir, rows)?;
+    fs::write(&marker, format!("{DATA_VERSION} rows={rows}\n"))?;
+    Ok(dir)
+}
+
+/// Compute metastore sidecars for every dataset in `dir` (the paper's
+/// background metadata task, run outside the measured region).
+pub fn compute_all_metadata(dir: &Path) -> lafp_columnar::Result<()> {
+    for entry in fs::read_dir(dir).map_err(lafp_columnar::ColumnarError::from)? {
+        let entry = entry.map_err(lafp_columnar::ColumnarError::from)?;
+        let path = entry.path();
+        if path.extension().is_some_and(|e| e == "csv") {
+            lafp_meta::scan::compute_and_store(&path)?;
+        }
+    }
+    Ok(())
+}
+
+struct Csv {
+    out: std::io::BufWriter<fs::File>,
+    buf: String,
+}
+
+impl Csv {
+    fn create(dir: &Path, name: &str, header: &str) -> std::io::Result<Csv> {
+        let file = fs::File::create(dir.join(name))?;
+        let mut out = std::io::BufWriter::new(file);
+        writeln!(out, "{header}")?;
+        Ok(Csv {
+            out,
+            buf: String::new(),
+        })
+    }
+
+    fn row(&mut self, fields: &[String]) -> std::io::Result<()> {
+        self.buf.clear();
+        for (i, f) in fields.iter().enumerate() {
+            if i > 0 {
+                self.buf.push(',');
+            }
+            self.buf.push_str(&quote_field(f));
+        }
+        writeln!(self.out, "{}", self.buf)
+    }
+}
+
+fn dt(rng: &mut StdRng) -> String {
+    // Dates through 2024, always valid.
+    let day = rng.gen_range(0..365);
+    let secs = 1_704_067_200i64 + day * 86_400 + rng.gen_range(0..86_400);
+    lafp_columnar::value::format_datetime(secs)
+}
+
+fn s(v: impl ToString) -> String {
+    v.to_string()
+}
+
+fn f2(v: f64) -> String {
+    format!("{v:.2}")
+}
+
+/// NYC-taxi-like trips, 22 columns (the Figure-3 workload).
+fn write_nyt(dir: &Path, rows: usize) -> std::io::Result<()> {
+    let rows = rows * 72 / 100; // wide rows: 22 columns
+    let mut rng = StdRng::seed_from_u64(101);
+    let mut csv = Csv::create(
+        dir,
+        "nyt.csv",
+        "vendor_id,tpep_pickup_datetime,tpep_dropoff_datetime,passenger_count,trip_distance,\
+         rate_code,store_and_fwd_flag,pu_location,do_location,payment_type,fare_amount,extra,\
+         mta_tax,tip_amount,tolls_amount,improvement_surcharge,total_amount,congestion_surcharge,\
+         airport_fee,trip_type,ehail_fee,note",
+    )?;
+    for i in 0..rows {
+        let fare = rng.gen_range(-5.0..95.0);
+        csv.row(&[
+            s(rng.gen_range(1..=2)),
+            dt(&mut rng),
+            dt(&mut rng),
+            s(rng.gen_range(1..=6)),
+            f2(rng.gen_range(0.1..40.0)),
+            s(rng.gen_range(1..=6)),
+            if rng.gen_bool(0.5) { "Y" } else { "N" }.into(),
+            s(rng.gen_range(1..=265)),
+            s(rng.gen_range(1..=265)),
+            s(rng.gen_range(1..=4)),
+            f2(fare),
+            f2(rng.gen_range(0.0..3.0)),
+            f2(0.5),
+            f2(rng.gen_range(0.0..20.0)),
+            f2(rng.gen_range(0.0..10.0)),
+            f2(0.3),
+            f2(fare + rng.gen_range(0.0..30.0)),
+            f2(rng.gen_range(0.0..2.75)),
+            f2(rng.gen_range(0.0..5.0)),
+            s(rng.gen_range(1..=2)),
+            f2(rng.gen_range(0.0..1.0)),
+            format!("trip-note-{i}"),
+        ])?;
+    }
+    Ok(())
+}
+
+/// AIS vessel positions, 18 columns, few of which any query touches.
+fn write_ais(dir: &Path, rows: usize) -> std::io::Result<()> {
+    let mut rng = StdRng::seed_from_u64(202);
+    let mut csv = Csv::create(
+        dir,
+        "ais.csv",
+        "mmsi,base_datetime,lat,lon,sog,cog,heading,vessel_name,imo,call_sign,vessel_type,\
+         status,length,width,draft,cargo,transceiver,remark",
+    )?;
+    let types = ["cargo", "tanker", "fishing", "tug", "passenger", "pleasure"];
+    for i in 0..rows {
+        csv.row(&[
+            s(200_000_000 + rng.gen_range(0..99_999_999u64)),
+            dt(&mut rng),
+            f2(rng.gen_range(-60.0..60.0)),
+            f2(rng.gen_range(-180.0..180.0)),
+            f2(rng.gen_range(0.0..25.0)),
+            f2(rng.gen_range(0.0..360.0)),
+            s(rng.gen_range(0..360)),
+            format!("VESSEL {i}"),
+            s(rng.gen_range(1_000_000..9_999_999)),
+            format!("C{i}"),
+            types[rng.gen_range(0..types.len())].into(),
+            s(rng.gen_range(0..15)),
+            f2(rng.gen_range(10.0..300.0)),
+            f2(rng.gen_range(3.0..50.0)),
+            f2(rng.gen_range(1.0..20.0)),
+            s(rng.gen_range(0..9)),
+            if rng.gen_bool(0.8) { "A" } else { "B" }.into(),
+            format!("remark-{i}"),
+        ])?;
+    }
+    Ok(())
+}
+
+/// City stats + a country lookup (merge workload).
+fn write_cty(dir: &Path, rows: usize) -> std::io::Result<()> {
+    let mut rng = StdRng::seed_from_u64(303);
+    let mut csv = Csv::create(
+        dir,
+        "cty.csv",
+        "city_id,name,country_code,population,area,elevation,timezone,founded,mayor,motto",
+    )?;
+    let codes: Vec<String> = (0..40).map(|i| format!("C{i:02}")).collect();
+    for i in 0..rows {
+        csv.row(&[
+            s(i),
+            format!("City {i}"),
+            codes[rng.gen_range(0..codes.len())].clone(),
+            s(rng.gen_range(1_000..10_000_000u64)),
+            f2(rng.gen_range(5.0..2000.0)),
+            s(rng.gen_range(-100..3500)),
+            format!("UTC{:+}", rng.gen_range(-11..13)),
+            s(rng.gen_range(900..2000)),
+            format!("Mayor {i}"),
+            format!("motto of city {i}"),
+        ])?;
+    }
+    let mut lookup = Csv::create(dir, "cty_countries.csv", "country_code,country_name,continent")?;
+    let continents = ["Africa", "Americas", "Asia", "Europe", "Oceania"];
+    for (i, code) in codes.iter().enumerate() {
+        lookup.row(&[
+            code.clone(),
+            format!("Country {i}"),
+            continents[i % continents.len()].into(),
+        ])?;
+    }
+    Ok(())
+}
+
+/// Generic data-science table (describe/sort workload).
+fn write_dso(dir: &Path, rows: usize) -> std::io::Result<()> {
+    let mut rng = StdRng::seed_from_u64(404);
+    let mut csv = Csv::create(
+        dir,
+        "dso.csv",
+        "id,v1,v2,v3,v4,v5,v6,category,flag,comment",
+    )?;
+    let cats = ["alpha", "beta", "gamma", "delta"];
+    for i in 0..rows {
+        csv.row(&[
+            s(i),
+            f2(rng.gen_range(-100.0..100.0)),
+            f2(rng.gen_range(0.0..1.0)),
+            s(rng.gen_range(0..1000)),
+            f2(rng.gen_range(-1.0..1.0)),
+            f2(rng.gen_range(0.0..1e6)),
+            s(rng.gen_range(0..10)),
+            cats[rng.gen_range(0..cats.len())].into(),
+            if rng.gen_bool(0.5) { "true" } else { "false" }.into(),
+            format!("comment text {i}"),
+        ])?;
+    }
+    Ok(())
+}
+
+/// Employees (the program that plots a huge frame and OOMs everywhere).
+fn write_emp(dir: &Path, rows: usize) -> std::io::Result<()> {
+    let rows = rows + rows / 2; // widest dataset: the universal-OOM workload
+    let mut rng = StdRng::seed_from_u64(505);
+    let mut csv = Csv::create(
+        dir,
+        "emp.csv",
+        "emp_id,full_name,dept,title,salary,bonus,age,city,hire_date,manager,review,bio",
+    )?;
+    let depts = ["eng", "sales", "hr", "finance", "ops", "legal"];
+    for i in 0..rows {
+        csv.row(&[
+            s(i),
+            format!("Employee Number {i}"),
+            depts[rng.gen_range(0..depts.len())].into(),
+            format!("Title-{}", rng.gen_range(0..30)),
+            f2(rng.gen_range(30_000.0..250_000.0)),
+            f2(rng.gen_range(0.0..50_000.0)),
+            s(rng.gen_range(21..68)),
+            format!("City{}", rng.gen_range(0..80)),
+            dt(&mut rng),
+            format!("Manager {}", rng.gen_range(0..200)),
+            format!(
+                "review text for employee {i}: consistently meets expectations across \
+                 quarters; peer feedback positive; growth plan on track ({i})"
+            ),
+            format!(
+                "biography paragraph for employee {i}: joined from a previous role in a \
+                 related industry, relocated, mentors juniors, leads the working group {i}"
+            ),
+        ])?;
+    }
+    Ok(())
+}
+
+/// Environmental sensor readings (multi-print workload).
+fn write_env(dir: &Path, rows: usize) -> std::io::Result<()> {
+    let rows = rows + rows * 15 / 100; // dense sensor feed
+    let mut rng = StdRng::seed_from_u64(606);
+    let mut csv = Csv::create(
+        dir,
+        "env.csv",
+        "station,ts,temp,humidity,pm25,pm10,no2,o3,wind,pressure,operator,notes",
+    )?;
+    for i in 0..rows {
+        csv.row(&[
+            format!("ST{:03}", rng.gen_range(0..50)),
+            dt(&mut rng),
+            f2(rng.gen_range(-20.0..45.0)),
+            f2(rng.gen_range(10.0..100.0)),
+            f2(rng.gen_range(0.0..250.0)),
+            f2(rng.gen_range(0.0..400.0)),
+            f2(rng.gen_range(0.0..200.0)),
+            f2(rng.gen_range(0.0..180.0)),
+            f2(rng.gen_range(0.0..30.0)),
+            f2(rng.gen_range(950.0..1050.0)),
+            format!("op-{}", rng.gen_range(0..8)),
+            format!("maintenance note {i}"),
+        ])?;
+    }
+    Ok(())
+}
+
+/// Startup funding (fillna/astype + metadata category workload).
+fn write_fdb(dir: &Path, rows: usize) -> std::io::Result<()> {
+    let mut rng = StdRng::seed_from_u64(707);
+    let mut csv = Csv::create(
+        dir,
+        "fdb.csv",
+        "company,category,city,state,funding_total,rounds,founded_year,status,investors,pitch",
+    )?;
+    let cats = [
+        "fintech", "biotech", "saas", "ecommerce", "ai", "hardware", "media", "energy",
+    ];
+    let states = ["CA", "NY", "TX", "WA", "MA", "IL", "CO", "GA"];
+    let statuses = ["operating", "acquired", "closed"];
+    for i in 0..rows {
+        let funding = if rng.gen_bool(0.15) {
+            String::new() // nulls for fillna
+        } else {
+            f2(rng.gen_range(50_000.0..5e8))
+        };
+        csv.row(&[
+            format!("Startup {i}"),
+            cats[rng.gen_range(0..cats.len())].into(),
+            format!("City{}", rng.gen_range(0..60)),
+            states[rng.gen_range(0..states.len())].into(),
+            funding,
+            s(rng.gen_range(1..8)),
+            s(rng.gen_range(1995..2024)),
+            statuses[rng.gen_range(0..statuses.len())].into(),
+            format!("Investor A{i}; Investor B{i}"),
+            format!("pitch deck text for startup {i}"),
+        ])?;
+    }
+    Ok(())
+}
+
+/// Movie ratings + a title lookup (merge + shared-subframe workload).
+fn write_mov(dir: &Path, rows: usize) -> std::io::Result<()> {
+    let rows = rows * 2; // ratings are narrow rows; double for realistic bulk
+    let mut rng = StdRng::seed_from_u64(808);
+    let n_movies = 500;
+    let mut csv = Csv::create(dir, "mov.csv", "user_id,movie_id,rating,rated_at,device,session")?;
+    for i in 0..rows {
+        csv.row(&[
+            s(rng.gen_range(0..rows / 4 + 1)),
+            s(rng.gen_range(0..n_movies)),
+            f2(rng.gen_range(1..=10) as f64 / 2.0),
+            dt(&mut rng),
+            if rng.gen_bool(0.6) { "mobile" } else { "web" }.into(),
+            format!("session-{i}"),
+        ])?;
+    }
+    let genres = ["drama", "comedy", "action", "scifi", "docu", "horror"];
+    let mut movies = Csv::create(dir, "mov_titles.csv", "movie_id,title,genre,year")?;
+    for m in 0..n_movies {
+        movies.row(&[
+            s(m),
+            format!("Movie #{m}"),
+            genres[rng.gen_range(0..genres.len())].into(),
+            s(rng.gen_range(1960..2025)),
+        ])?;
+    }
+    Ok(())
+}
+
+/// Student records (metadata + caching ablation workload).
+fn write_stu(dir: &Path, rows: usize) -> std::io::Result<()> {
+    let mut rng = StdRng::seed_from_u64(909);
+    let mut csv = Csv::create(
+        dir,
+        "stu.csv",
+        "student_id,name,grade_level,school,math,reading,science,history,attendance,city,counselor,remark",
+    )?;
+    let schools: Vec<String> = (0..12).map(|i| format!("School-{i:02}")).collect();
+    for i in 0..rows {
+        csv.row(&[
+            s(i),
+            format!("Student Name {i}"),
+            s(rng.gen_range(1..=12)),
+            schools[rng.gen_range(0..schools.len())].clone(),
+            f2(rng.gen_range(0.0..100.0)),
+            f2(rng.gen_range(0.0..100.0)),
+            f2(rng.gen_range(0.0..100.0)),
+            f2(rng.gen_range(0.0..100.0)),
+            f2(rng.gen_range(60.0..100.0)),
+            format!("Town{}", rng.gen_range(0..30)),
+            format!("Counselor {}", rng.gen_range(0..40)),
+            format!("remark about student {i}"),
+        ])?;
+    }
+    Ok(())
+}
+
+/// Zip-code census (sort/head workload).
+fn write_zip(dir: &Path, rows: usize) -> std::io::Result<()> {
+    let mut rng = StdRng::seed_from_u64(1010);
+    let mut csv = Csv::create(
+        dir,
+        "zip.csv",
+        "zip,state,population,median_income,households,land_area,lat,lon,county,note",
+    )?;
+    for i in 0..rows {
+        csv.row(&[
+            format!("{:05}", i % 99_999),
+            format!("S{}", rng.gen_range(0..50)),
+            s(rng.gen_range(100..100_000u64)),
+            f2(rng.gen_range(20_000.0..180_000.0)),
+            s(rng.gen_range(50..40_000u64)),
+            f2(rng.gen_range(1.0..900.0)),
+            f2(rng.gen_range(25.0..49.0)),
+            f2(rng.gen_range(-125.0..-67.0)),
+            format!("County {}", rng.gen_range(0..300)),
+            format!("zip note {i}"),
+        ])?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lafp_columnar::csv::read_header;
+
+    #[test]
+    fn generation_is_deterministic_and_complete() {
+        let root = std::env::temp_dir().join(format!(
+            "lafp-datagen-{}",
+            std::time::SystemTime::now()
+                .duration_since(std::time::UNIX_EPOCH)
+                .unwrap()
+                .as_nanos()
+        ));
+        let dir = ensure_datasets(&root, Size::Small).unwrap();
+        for name in [
+            "nyt.csv",
+            "ais.csv",
+            "cty.csv",
+            "cty_countries.csv",
+            "dso.csv",
+            "emp.csv",
+            "env.csv",
+            "fdb.csv",
+            "mov.csv",
+            "mov_titles.csv",
+            "stu.csv",
+            "zip.csv",
+        ] {
+            assert!(dir.join(name).exists(), "{name}");
+        }
+        // nyt has the paper's 22 columns.
+        assert_eq!(read_header(&dir.join("nyt.csv")).unwrap().len(), 22);
+        // Regenerating is a no-op (marker short-circuit).
+        let size_before = std::fs::metadata(dir.join("nyt.csv")).unwrap().len();
+        ensure_datasets(&root, Size::Small).unwrap();
+        assert_eq!(
+            std::fs::metadata(dir.join("nyt.csv")).unwrap().len(),
+            size_before
+        );
+    }
+
+    #[test]
+    fn sizes_scale() {
+        assert_eq!(Size::Small.factor(), 1);
+        assert_eq!(Size::Medium.factor(), 3);
+        assert_eq!(Size::Large.factor(), 9);
+        assert_eq!(Size::Small.label(), "1.4GB");
+    }
+}

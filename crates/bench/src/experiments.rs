@@ -1,0 +1,279 @@
+//! Figure/table generators: each function regenerates one artifact of §5
+//! and returns it as printable text (the harness binary writes them out).
+
+use crate::datagen::{compute_all_metadata, ensure_datasets, Size};
+use crate::programs::{all, program};
+use crate::runner::{run_cell, Config, RunKnobs, RunResult};
+use std::collections::HashMap;
+use std::fmt::Write as _;
+use std::path::{Path, PathBuf};
+
+/// Results of a full sweep: (program, config, size) → result.
+pub type Sweep = HashMap<(String, Config, Size), RunResult>;
+
+/// Prepare data for all sizes; returns size → data dir.
+pub fn prepare_data(root: &Path) -> std::io::Result<HashMap<Size, PathBuf>> {
+    let mut dirs = HashMap::new();
+    for size in Size::ALL {
+        let dir = ensure_datasets(root, size)?;
+        // The paper computes metadata as a background task, outside the
+        // measured region.
+        compute_all_metadata(&dir).map_err(std::io::Error::other)?;
+        dirs.insert(size, dir);
+    }
+    Ok(dirs)
+}
+
+/// Run the full 10 × 6 × |sizes| sweep.
+pub fn run_sweep(dirs: &HashMap<Size, PathBuf>, sizes: &[Size]) -> Sweep {
+    let mut sweep = Sweep::new();
+    for size in sizes {
+        let dir = &dirs[size];
+        for p in all() {
+            for config in Config::ALL {
+                let result = run_cell(&p, config, dir, &RunKnobs::default());
+                sweep.insert((p.name.to_string(), config, *size), result);
+            }
+        }
+    }
+    sweep
+}
+
+/// Figure 12: number of programs successfully executed per platform/size.
+pub fn figure12(sweep: &Sweep, sizes: &[Size]) -> String {
+    let mut out = String::from(
+        "Figure 12: Number of Programs Successfully Executed on Different Platforms\n\
+         Size     Pandas LPandas Modin LModin Dask LDask\n",
+    );
+    for size in sizes {
+        let mut row = format!("{:<8}", size.label());
+        for config in Config::ALL {
+            let n = all()
+                .iter()
+                .filter(|p| {
+                    sweep
+                        .get(&(p.name.to_string(), config, *size))
+                        .is_some_and(|r| r.ok)
+                })
+                .count();
+            write!(row, " {n:>6}").unwrap();
+        }
+        out.push_str(&row);
+        out.push('\n');
+    }
+    out
+}
+
+/// Figure 13: absolute execution times on the small (1.4 GB) dataset.
+pub fn figure13(sweep: &Sweep) -> String {
+    let mut out = String::from(
+        "Figure 13: Execution Time on Different Platforms - 1.4 GB (milliseconds)\n\
+         prog   Pandas LPandas   Modin  LModin    Dask   LDask\n",
+    );
+    for p in all() {
+        let mut row = format!("{:<5}", p.name);
+        for config in Config::ALL {
+            match sweep.get(&(p.name.to_string(), config, Size::Small)) {
+                Some(r) if r.ok => write!(row, " {:>7.1}", r.wall.as_secs_f64() * 1e3).unwrap(),
+                _ => write!(row, " {:>7}", "OOM").unwrap(),
+            }
+        }
+        out.push_str(&row);
+        out.push('\n');
+    }
+    out
+}
+
+/// Figures 14a–c: % reduction in execution time (LaFP vs baseline); failed
+/// baselines count as infinite time → 100 % improvement, per the paper.
+pub fn figure14(sweep: &Sweep, sizes: &[Size]) -> String {
+    percent_figure(sweep, sizes, "Figure 14: %Reduction in Execution Time", |r| {
+        r.wall.as_secs_f64()
+    })
+}
+
+/// Figures 15a–c: % reduction in peak memory consumption.
+pub fn figure15(sweep: &Sweep, sizes: &[Size]) -> String {
+    percent_figure(
+        sweep,
+        sizes,
+        "Figure 15: %Reduction in Memory Consumption",
+        |r| r.peak_memory as f64,
+    )
+}
+
+fn percent_figure(
+    sweep: &Sweep,
+    sizes: &[Size],
+    title: &str,
+    metric: impl Fn(&RunResult) -> f64,
+) -> String {
+    let mut out = String::new();
+    for size in sizes {
+        writeln!(out, "{title} (Dataset size: {})", size.label()).unwrap();
+        writeln!(out, "prog   vs Pandas  vs Modin   vs Dask").unwrap();
+        for p in all() {
+            let mut row = format!("{:<5}", p.name);
+            for lafp in [Config::LPandas, Config::LModin, Config::LDask] {
+                let base = sweep.get(&(p.name.to_string(), lafp.baseline(), *size));
+                let opt = sweep.get(&(p.name.to_string(), lafp, *size));
+                let cell = match (base, opt) {
+                    (Some(b), Some(o)) if b.ok && o.ok => {
+                        let (bv, ov) = (metric(b), metric(o));
+                        if bv > 0.0 {
+                            format!("{:>8.1}%", 100.0 * (bv - ov) / bv)
+                        } else {
+                            format!("{:>9}", "-")
+                        }
+                    }
+                    // Baseline failed, optimized ran: infinite improvement.
+                    (Some(b), Some(o)) if !b.ok && o.ok => format!("{:>8.1}%", 100.0),
+                    // Neither ran: missing data point.
+                    _ => format!("{:>9}", "n/a"),
+                };
+                row.push_str(&cell);
+            }
+            out.push_str(&row);
+            out.push('\n');
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// §5.3/§5.4 'stu' caching ablation on the Dask backend at 12.6 GB:
+/// speedup and memory ratio with and without common-reuse persistence.
+pub fn stu_caching_ablation(dirs: &HashMap<Size, PathBuf>) -> String {
+    let dir = &dirs[&Size::Large];
+    let p = program("stu").expect("stu exists");
+    let unlimited = RunKnobs {
+        budget: Some(usize::MAX),
+        ..Default::default()
+    };
+    let baseline = run_cell(&p, Config::Dask, dir, &unlimited);
+    let cached = run_cell(&p, Config::LDask, dir, &unlimited);
+    let uncached = run_cell(
+        &p,
+        Config::LDask,
+        dir,
+        &RunKnobs {
+            disable_caching: true,
+            budget: Some(usize::MAX),
+            ..Default::default()
+        },
+    );
+    let speedup = |r: &RunResult| baseline.wall.as_secs_f64() / r.wall.as_secs_f64();
+    let memx = |r: &RunResult| r.peak_memory as f64 / baseline.peak_memory as f64;
+    format!(
+        "stu caching ablation (Dask backend, 12.6GB):\n\
+         Dask baseline      : {:>8.1} ms, peak {:>6.1} MB\n\
+         LDask w/  caching  : {:>8.1} ms ({:.1}x speedup), peak {:.2}x baseline\n\
+         LDask w/o caching  : {:>8.1} ms ({:.1}x speedup), peak {:.2}x baseline\n",
+        baseline.wall.as_secs_f64() * 1e3,
+        baseline.peak_memory as f64 / 1e6,
+        cached.wall.as_secs_f64() * 1e3,
+        speedup(&cached),
+        memx(&cached),
+        uncached.wall.as_secs_f64() * 1e3,
+        speedup(&uncached),
+        memx(&uncached),
+    )
+}
+
+/// §5.3 JIT static-analysis overhead per program.
+pub fn analysis_overhead(dirs: &HashMap<Size, PathBuf>) -> String {
+    let dir = &dirs[&Size::Small];
+    let mut out = String::from("JIT static analysis + rewrite overhead (§5.3):\n");
+    for p in all() {
+        let opts = lafp_rewrite::RewriteOptions {
+            data_dir: Some(dir.clone()),
+            ..Default::default()
+        };
+        let analyzed = lafp_rewrite::analyze(p.source, &opts).expect("programs analyze");
+        writeln!(
+            out,
+            "  {:<5} {:>8.2} ms (usecols: {}, forced computes: {}, categories: {})",
+            p.name,
+            analyzed.report.duration.as_secs_f64() * 1e3,
+            analyzed.report.usecols.len(),
+            analyzed.report.forced_computes.len(),
+            analyzed.report.categories.len(),
+        )
+        .unwrap();
+    }
+    out
+}
+
+/// §5.2 regression: every configuration that completes must hash-match the
+/// unoptimized Pandas result. Returns (report, all_passed).
+pub fn regression(sweep: &Sweep, sizes: &[Size]) -> (String, bool) {
+    let mut out = String::from("Regression (order-insensitive result hashes vs Pandas):\n");
+    let mut all_ok = true;
+    for size in sizes {
+        for p in all() {
+            let Some(base) = sweep.get(&(p.name.to_string(), Config::Pandas, *size)) else {
+                continue;
+            };
+            if !base.ok {
+                continue; // no reference at this size (paper: compare where possible)
+            }
+            for config in Config::ALL {
+                let Some(r) = sweep.get(&(p.name.to_string(), config, *size)) else {
+                    continue;
+                };
+                if r.ok && (r.output_hash != base.output_hash || r.outputs != base.outputs) {
+                    writeln!(
+                        out,
+                        "  MISMATCH {} {} {}",
+                        p.name,
+                        config.label(),
+                        size.label()
+                    )
+                    .unwrap();
+                    all_ok = false;
+                }
+            }
+        }
+    }
+    if all_ok {
+        out.push_str("  all configurations match the Pandas reference\n");
+    }
+    (out, all_ok)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn figure12_formats_counts() {
+        let root = std::env::temp_dir().join("lafp-exp-tests-data");
+        let dir = ensure_datasets(&root, Size::Small).unwrap();
+        let mut dirs = HashMap::new();
+        dirs.insert(Size::Small, dir);
+        // A miniature sweep: one program, all configs, Small only.
+        let p = program("nyt").unwrap();
+        let mut sweep = Sweep::new();
+        for config in Config::ALL {
+            let r = run_cell(
+                &p,
+                config,
+                &dirs[&Size::Small],
+                &RunKnobs {
+                    budget: Some(usize::MAX),
+                    use_metadata: false,
+                    ..Default::default()
+                },
+            );
+            sweep.insert(("nyt".to_string(), config, Size::Small), r);
+        }
+        let fig = figure12(&sweep, &[Size::Small]);
+        assert!(fig.contains("1.4GB"));
+        let fig13 = figure13(&sweep);
+        assert!(fig13.contains("nyt"));
+        let fig14 = figure14(&sweep, &[Size::Small]);
+        assert!(fig14.contains("vs Pandas"));
+        let (reg, ok) = regression(&sweep, &[Size::Small]);
+        assert!(ok, "{reg}");
+    }
+}

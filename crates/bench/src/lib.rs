@@ -1,0 +1,29 @@
+//! # lafp-bench — the paper's evaluation, reproduced
+//!
+//! Everything needed to regenerate §5 of the paper:
+//!
+//! * [`datagen`] — seeded generators for the ten benchmark datasets
+//!   (taxi, vessels, cities, employees, sensors, startups, movies,
+//!   students, zip/census, generic data-science) at the three paper sizes,
+//!   scaled 1:1000 (1.4 GB → 1.4 MB) together with the memory budget
+//!   (32 GB → 32 MB), which preserves the working-set-to-budget ratios
+//!   that decide the Figure-12 success matrix.
+//! * [`programs`] — the ten PandaScript benchmark programs
+//!   (`ais cty dso emp env fdb mov nyt stu zip`), each exercising the
+//!   operator mix its namesake exercises in the paper.
+//! * [`runner`] — runs one (program, configuration, size) cell: the six
+//!   configurations are Pandas/Modin/Dask baselines and LPandas/LModin/
+//!   LDask (JIT-rewritten on the LaFP runtime).
+//! * [`experiments`] — the figure generators: Fig. 12 (success counts),
+//!   Fig. 13 (absolute times), Fig. 14 (time improvements), Fig. 15
+//!   (memory improvements), the `stu` caching ablation, the JIT overhead
+//!   table, and the §5.2 regression check.
+
+pub mod datagen;
+pub mod experiments;
+pub mod programs;
+pub mod runner;
+
+pub use datagen::{ensure_datasets, Size};
+pub use programs::{program, Program, PROGRAM_NAMES};
+pub use runner::{run_cell, Config, RunResult};

@@ -1,0 +1,269 @@
+//! The ten benchmark programs (§5.1), written in PandaScript exactly as a
+//! Pandas user would write them — including the two-line LaFP change
+//! (`import lazyfatpandas.pandas as pd` + `pd.analyze()`), which the plain
+//! baselines simply treat as importing pandas.
+
+/// A benchmark program.
+#[derive(Debug, Clone)]
+pub struct Program {
+    /// Short name (the paper's x-axis labels).
+    pub name: &'static str,
+    /// PandaScript source.
+    pub source: &'static str,
+    /// Whether the program's final outputs depend on row order beyond
+    /// sorted/aggregated frames (none of ours do — §5.2's allowance).
+    pub order_sensitive: bool,
+}
+
+/// Program names in the paper's order.
+pub const PROGRAM_NAMES: [&str; 10] = [
+    "ais", "cty", "dso", "emp", "env", "fdb", "mov", "nyt", "stu", "zip",
+];
+
+/// Look up a program by name.
+pub fn program(name: &str) -> Option<Program> {
+    let source = match name {
+        "ais" => AIS,
+        "cty" => CTY,
+        "dso" => DSO,
+        "emp" => EMP,
+        "env" => ENV,
+        "fdb" => FDB,
+        "mov" => MOV,
+        "nyt" => NYT,
+        "stu" => STU,
+        "zip" => ZIP,
+        _ => return None,
+    };
+    Some(Program {
+        name: PROGRAM_NAMES.iter().find(|n| **n == name)?,
+        source,
+        order_sensitive: false,
+    })
+}
+
+/// All programs in paper order.
+pub fn all() -> Vec<Program> {
+    PROGRAM_NAMES
+        .iter()
+        .map(|n| program(n).expect("known name"))
+        .collect()
+}
+
+/// Figure 3's taxi workload: filter bad rows, add a weekday feature,
+/// aggregate passengers per day. Column selection keeps 3 of 22 columns.
+const NYT: &str = "\
+import lazyfatpandas.pandas as pd
+pd.analyze()
+df = pd.read_csv('nyt.csv', parse_dates=['tpep_pickup_datetime'])
+df = df[df.fare_amount > 0]
+df['day'] = df.tpep_pickup_datetime.dt.dayofweek
+g = df.groupby(['day'])['passenger_count'].sum()
+print(g)
+";
+
+/// Vessel positions: moving vessels' mean speed per type (3 of 18 cols).
+const AIS: &str = "\
+import lazyfatpandas.pandas as pd
+pd.analyze()
+df = pd.read_csv('ais.csv')
+df = df[df.sog > 0.5]
+g = df.groupby(['vessel_type'])['sog'].mean()
+print(g)
+n = len(df)
+print(f'moving positions: {n}')
+";
+
+/// Cities joined with their countries; big-city population by continent.
+const CTY: &str = "\
+import lazyfatpandas.pandas as pd
+pd.analyze()
+cities = pd.read_csv('cty.csv')
+countries = pd.read_csv('cty_countries.csv')
+m = cities.merge(countries, on=['country_code'], how='inner')
+m = m[m.population > 100000]
+g = m.groupby(['continent'])['population'].sum()
+print(g)
+";
+
+/// Data-science exploration: peek, summarize, rank. Projections are
+/// explicit so the informative outputs (`head`, `describe`) are identical
+/// with and without column selection; the §3.1 heuristic is exercised by
+/// the analysis unit tests instead.
+const DSO: &str = "\
+import lazyfatpandas.pandas as pd
+pd.analyze()
+df = pd.read_csv('dso.csv')
+peek = df[['v1', 'v2', 'v3', 'category']]
+print(peek.head())
+print(peek.describe())
+top = df.sort_values(['v1'], ascending=False)
+sel = top[['id', 'v1', 'v5']]
+print(sel.head(10))
+avg = df.v5.mean()
+print(f'v5 mean: {avg}')
+";
+
+/// Employees: per-department salary report, then a plot of the whole
+/// frame — the external call that materializes a large dataframe and runs
+/// out of memory on every backend at 12.6 GB (§5.2).
+const EMP: &str = "\
+import lazyfatpandas.pandas as pd
+import matplotlib.pyplot as plt
+pd.analyze()
+df = pd.read_csv('emp.csv')
+g = df.groupby(['dept'])['salary'].mean()
+print(g)
+plt.plot(df)
+plt.savefig('emp.png')
+hi = df.salary.max()
+print(f'max salary: {hi}')
+";
+
+/// Sensor readings: many interleaved prints (the lazy-print showcase).
+const ENV: &str = "\
+import lazyfatpandas.pandas as pd
+pd.analyze()
+df = pd.read_csv('env.csv')
+df = df[df.pm25 >= 0.0]
+m1 = df.pm25.mean()
+print(f'pm25 mean: {m1}')
+m2 = df.pm10.mean()
+print(f'pm10 mean: {m2}')
+m3 = df.no2.mean()
+print(f'no2 mean: {m3}')
+m4 = df.o3.mean()
+print(f'o3 mean: {m4}')
+g = df.groupby(['station'])['pm25'].max()
+print(g.head(5))
+t = df.temp.max()
+print(f'max temp: {t}')
+";
+
+/// Startup funding: clean nulls, integer-ize, aggregate by state.
+/// Low-cardinality read-only strings (category, state, status) are the
+/// §3.6 category-dtype candidates.
+const FDB: &str = "\
+import lazyfatpandas.pandas as pd
+pd.analyze()
+df = pd.read_csv('fdb.csv')
+df['funding_total'] = df.funding_total.fillna(0.0)
+df = df[df.founded_year >= 2000]
+g = df.groupby(['state'])['funding_total'].sum()
+print(g)
+ops = df[df.status == 'operating']
+n = len(ops)
+print(f'operating startups: {n}')
+";
+
+/// Movie ratings joined with titles; two aggregates over the shared
+/// merged frame with a plot in between (common computation reuse, §3.5).
+const MOV: &str = "\
+import lazyfatpandas.pandas as pd
+import matplotlib.pyplot as plt
+pd.analyze()
+ratings = pd.read_csv('mov.csv')
+movies = pd.read_csv('mov_titles.csv')
+m = ratings.merge(movies, on=['movie_id'], how='inner')
+g1 = m.groupby(['genre'])['rating'].mean()
+plt.plot(g1)
+g2 = m.groupby(['genre'])['rating'].count()
+print(g2)
+avg = m.rating.mean()
+print(f'overall rating: {avg}')
+";
+
+/// Students: a filtered, feature-extended frame reused by four plots and
+/// a final report — the caching ablation workload (persist on/off flips
+/// the runtime by ~an order of magnitude, §5.3/§5.4).
+const STU: &str = "\
+import lazyfatpandas.pandas as pd
+import matplotlib.pyplot as plt
+pd.analyze()
+df = pd.read_csv('stu.csv')
+df = df[df.attendance > 70.0]
+df['stem'] = (df.math + df.science) / 2.0
+g1 = df.groupby(['school'])['math'].mean()
+plt.plot(g1)
+g2 = df.groupby(['school'])['reading'].mean()
+plt.plot(g2)
+g3 = df.groupby(['school'])['science'].mean()
+plt.plot(g3)
+g4 = df.groupby(['grade_level'])['stem'].mean()
+plt.plot(g4)
+top = df.groupby(['school'])['stem'].max()
+print(top)
+avg = df.stem.mean()
+print(f'district stem average: {avg}')
+";
+
+/// Zip census: richest high-population zips (pushdown + sort + head).
+const ZIP: &str = "\
+import lazyfatpandas.pandas as pd
+pd.analyze()
+df = pd.read_csv('zip.csv')
+df['density'] = df.population / df.land_area
+df = df[df.population > 5000]
+top = df.sort_values(['median_income'], ascending=False)
+report = top[['zip', 'state', 'median_income', 'density']]
+print(report.head(10))
+n = len(df)
+print(f'qualifying zips: {n}')
+";
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_ten_programs_parse() {
+        let programs = all();
+        assert_eq!(programs.len(), 10);
+        for p in &programs {
+            lafp_ir::parser::parse(p.source)
+                .unwrap_or_else(|e| panic!("{}: {e}", p.name));
+        }
+    }
+
+    #[test]
+    fn all_ten_programs_rewrite() {
+        for p in all() {
+            let analyzed =
+                lafp_rewrite::analyze(p.source, &lafp_rewrite::RewriteOptions::default())
+                    .unwrap_or_else(|e| panic!("{}: {e}", p.name));
+            // Every program prints something, so lazy print always fires.
+            assert!(analyzed.report.lazy_print, "{}", p.name);
+            // Re-parseable optimized source.
+            lafp_ir::parser::parse(&analyzed.optimized_source)
+                .unwrap_or_else(|e| panic!("{}: {e}\n{}", p.name, analyzed.optimized_source));
+        }
+    }
+
+    #[test]
+    fn column_selection_fires_on_projection_friendly_programs() {
+        for name in ["nyt", "ais", "env", "stu", "zip"] {
+            let p = program(name).unwrap();
+            let analyzed =
+                lafp_rewrite::analyze(p.source, &lafp_rewrite::RewriteOptions::default())
+                    .unwrap();
+            assert!(
+                !analyzed.report.usecols.is_empty(),
+                "{name} should get usecols"
+            );
+        }
+    }
+
+    #[test]
+    fn forced_compute_fires_on_plotting_programs() {
+        for name in ["emp", "mov", "stu"] {
+            let p = program(name).unwrap();
+            let analyzed =
+                lafp_rewrite::analyze(p.source, &lafp_rewrite::RewriteOptions::default())
+                    .unwrap();
+            assert!(
+                !analyzed.report.forced_computes.is_empty(),
+                "{name} should get forced computes"
+            );
+        }
+    }
+}

@@ -1,0 +1,272 @@
+//! Running one experiment cell: (program, configuration, size).
+
+use crate::datagen::Size;
+use crate::programs::Program;
+use lafp_backends::BackendKind;
+use lafp_core::optimizer::OptimizerFlags;
+use lafp_core::LafpConfig;
+use lafp_interp::{result_hash, ExecMode, Interp};
+use lafp_rewrite::{analyze, RewriteOptions};
+use std::path::Path;
+use std::time::{Duration, Instant};
+
+/// The six configurations of §5.1.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Config {
+    /// Plain eager Pandas baseline.
+    Pandas,
+    /// LaFP (rewritten) on the Pandas backend.
+    LPandas,
+    /// Plain eager Modin baseline.
+    Modin,
+    /// LaFP on the Modin backend.
+    LModin,
+    /// Manually-ported Dask baseline.
+    Dask,
+    /// LaFP on the Dask backend.
+    LDask,
+}
+
+impl Config {
+    /// All configurations in the paper's column order (Figure 12).
+    pub const ALL: [Config; 6] = [
+        Config::Pandas,
+        Config::LPandas,
+        Config::Modin,
+        Config::LModin,
+        Config::Dask,
+        Config::LDask,
+    ];
+
+    /// Display label.
+    pub fn label(self) -> &'static str {
+        match self {
+            Config::Pandas => "Pandas",
+            Config::LPandas => "LPandas",
+            Config::Modin => "Modin",
+            Config::LModin => "LModin",
+            Config::Dask => "Dask",
+            Config::LDask => "LDask",
+        }
+    }
+
+    /// Is this a LaFP (optimized) configuration?
+    pub fn is_lafp(self) -> bool {
+        matches!(self, Config::LPandas | Config::LModin | Config::LDask)
+    }
+
+    /// The baseline this LaFP configuration is compared against (Fig. 14/15).
+    pub fn baseline(self) -> Config {
+        match self {
+            Config::LPandas => Config::Pandas,
+            Config::LModin => Config::Modin,
+            Config::LDask => Config::Dask,
+            other => other,
+        }
+    }
+
+    fn backend(self) -> BackendKind {
+        match self {
+            Config::Pandas | Config::LPandas => BackendKind::Pandas,
+            Config::Modin | Config::LModin => BackendKind::Modin,
+            Config::Dask | Config::LDask => BackendKind::Dask,
+        }
+    }
+}
+
+/// Result of one cell.
+#[derive(Debug, Clone)]
+pub struct RunResult {
+    /// Completed without (simulated) OOM or other error.
+    pub ok: bool,
+    /// Error rendering when `!ok`.
+    pub error: Option<String>,
+    /// End-to-end execution wall time (excludes data generation; includes
+    /// the JIT analysis for LaFP configs, like the paper's end-to-end
+    /// numbers).
+    pub wall: Duration,
+    /// JIT static analysis + rewrite time (LaFP configs only; §5.3).
+    pub analysis: Option<Duration>,
+    /// Peak simulated memory in bytes.
+    pub peak_memory: usize,
+    /// Order-insensitive hash of the printed output (§5.2 regression).
+    pub output_hash: u64,
+    /// Number of print outputs produced.
+    pub outputs: usize,
+}
+
+/// Extra knobs for ablations.
+#[derive(Debug, Clone)]
+pub struct RunKnobs {
+    /// Disable §3.5 common-reuse persistence (the `stu` ablation).
+    pub disable_caching: bool,
+    /// Disable §3.1 column selection.
+    pub disable_column_selection: bool,
+    /// Disable §3.3 lazy print.
+    pub disable_lazy_print: bool,
+    /// Memory budget override (`None` = the scaled 32 GB).
+    pub budget: Option<usize>,
+    /// Consult the metastore at runtime (§3.6).
+    pub use_metadata: bool,
+}
+
+impl Default for RunKnobs {
+    fn default() -> Self {
+        RunKnobs {
+            disable_caching: false,
+            disable_column_selection: false,
+            disable_lazy_print: false,
+            budget: None,
+            use_metadata: true,
+        }
+    }
+}
+
+/// Run one (program, config) cell against datasets in `data_dir`.
+pub fn run_cell(
+    program: &Program,
+    config: Config,
+    data_dir: &Path,
+    knobs: &RunKnobs,
+) -> RunResult {
+    let budget = knobs.budget.unwrap_or(Size::MEMORY_BUDGET);
+    let lafp_config = LafpConfig {
+        backend: config.backend(),
+        memory_budget: budget,
+        threads: 6, // the paper's hexa-core machine
+        chunk_rows: 0,
+        optimizer: OptimizerFlags {
+            common_reuse: !knobs.disable_caching,
+            ..Default::default()
+        },
+        use_metadata: knobs.use_metadata && config.is_lafp(),
+        print_rows: 5,
+    };
+    let started = Instant::now();
+    let (ast, analysis) = if config.is_lafp() {
+        let opts = RewriteOptions {
+            column_selection: !knobs.disable_column_selection,
+            lazy_print: !knobs.disable_lazy_print,
+            forced_compute: true,
+            metadata_dtypes: knobs.use_metadata,
+            data_dir: Some(data_dir.to_path_buf()),
+        };
+        match analyze(program.source, &opts) {
+            Ok(analyzed) => (analyzed.ast, Some(analyzed.report.duration)),
+            Err(e) => {
+                return RunResult {
+                    ok: false,
+                    error: Some(e.to_string()),
+                    wall: started.elapsed(),
+                    analysis: None,
+                    peak_memory: 0,
+                    output_hash: 0,
+                    outputs: 0,
+                }
+            }
+        }
+    } else {
+        match lafp_ir::parser::parse(program.source) {
+            Ok(ast) => (ast, None),
+            Err(e) => {
+                return RunResult {
+                    ok: false,
+                    error: Some(e.to_string()),
+                    wall: started.elapsed(),
+                    analysis: None,
+                    peak_memory: 0,
+                    output_hash: 0,
+                    outputs: 0,
+                }
+            }
+        }
+    };
+    let mode = if config.is_lafp() {
+        ExecMode::Lafp
+    } else {
+        match config.backend() {
+            BackendKind::Dask => ExecMode::PlainDask,
+            kind => ExecMode::Eager(kind),
+        }
+    };
+    let mut interp = Interp::new(mode, lafp_config, data_dir.to_path_buf());
+    match interp.run(&ast) {
+        Ok(outcome) => RunResult {
+            ok: true,
+            error: None,
+            wall: started.elapsed(),
+            analysis,
+            peak_memory: outcome.peak_memory,
+            output_hash: result_hash(&outcome.output),
+            outputs: outcome.output.len(),
+        },
+        Err(e) => RunResult {
+            ok: false,
+            error: Some(e.to_string()),
+            wall: started.elapsed(),
+            analysis,
+            peak_memory: interp.tracker().peak(),
+            output_hash: 0,
+            outputs: 0,
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::datagen::{ensure_datasets, Size};
+    use crate::programs::program;
+
+    fn small_dir() -> std::path::PathBuf {
+        let root = std::env::temp_dir().join("lafp-runner-tests-data");
+        ensure_datasets(&root, Size::Small).unwrap()
+    }
+
+    #[test]
+    fn nyt_runs_and_agrees_on_all_configs() {
+        let dir = small_dir();
+        let p = program("nyt").unwrap();
+        let knobs = RunKnobs {
+            budget: Some(usize::MAX),
+            use_metadata: false,
+            ..Default::default()
+        };
+        let baseline = run_cell(&p, Config::Pandas, &dir, &knobs);
+        assert!(baseline.ok, "{:?}", baseline.error);
+        assert!(baseline.outputs > 0);
+        for config in Config::ALL {
+            let r = run_cell(&p, config, &dir, &knobs);
+            assert!(r.ok, "{}: {:?}", config.label(), r.error);
+            assert_eq!(
+                r.output_hash,
+                baseline.output_hash,
+                "{} must match pandas",
+                config.label()
+            );
+            if config.is_lafp() {
+                assert!(r.analysis.is_some());
+            }
+        }
+    }
+
+    #[test]
+    fn lafp_uses_less_memory_on_projection_programs() {
+        let dir = small_dir();
+        let p = program("ais").unwrap();
+        let knobs = RunKnobs {
+            budget: Some(usize::MAX),
+            use_metadata: false,
+            ..Default::default()
+        };
+        let plain = run_cell(&p, Config::Pandas, &dir, &knobs);
+        let lafp = run_cell(&p, Config::LPandas, &dir, &knobs);
+        assert!(plain.ok && lafp.ok);
+        assert!(
+            (lafp.peak_memory as f64) < 0.6 * plain.peak_memory as f64,
+            "column selection: {} vs {}",
+            lafp.peak_memory,
+            plain.peak_memory
+        );
+    }
+}

@@ -1,0 +1,302 @@
+//! Bit-packed boolean masks, used both as validity (null) masks and as
+//! filter masks.
+
+use crate::HeapSize;
+
+/// A growable bit-packed bitmap of fixed logical length.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Bitmap {
+    words: Vec<u64>,
+    len: usize,
+}
+
+impl Bitmap {
+    /// Create a bitmap of `len` bits, all set to `value`.
+    pub fn new(len: usize, value: bool) -> Self {
+        let nwords = len.div_ceil(64);
+        let fill = if value { u64::MAX } else { 0 };
+        let mut bm = Bitmap {
+            words: vec![fill; nwords],
+            len,
+        };
+        bm.mask_tail();
+        bm
+    }
+
+    /// Create an empty bitmap.
+    pub fn empty() -> Self {
+        Bitmap {
+            words: Vec::new(),
+            len: 0,
+        }
+    }
+
+    /// Build from an iterator of booleans.
+    pub fn from_iter<I: IntoIterator<Item = bool>>(iter: I) -> Self {
+        let mut bm = Bitmap::empty();
+        for b in iter {
+            bm.push(b);
+        }
+        bm
+    }
+
+    /// Build from a slice of booleans.
+    pub fn from_bools(bools: &[bool]) -> Self {
+        Self::from_iter(bools.iter().copied())
+    }
+
+    /// Number of bits.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True if the bitmap holds no bits.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Get bit `i`. Panics if out of bounds.
+    #[inline]
+    pub fn get(&self, i: usize) -> bool {
+        assert!(i < self.len, "bit index {i} out of bounds (len {})", self.len);
+        (self.words[i / 64] >> (i % 64)) & 1 == 1
+    }
+
+    /// Set bit `i` to `value`. Panics if out of bounds.
+    #[inline]
+    pub fn set(&mut self, i: usize, value: bool) {
+        assert!(i < self.len, "bit index {i} out of bounds (len {})", self.len);
+        let word = &mut self.words[i / 64];
+        let mask = 1u64 << (i % 64);
+        if value {
+            *word |= mask;
+        } else {
+            *word &= !mask;
+        }
+    }
+
+    /// Append one bit.
+    pub fn push(&mut self, value: bool) {
+        if self.len.is_multiple_of(64) {
+            self.words.push(0);
+        }
+        self.len += 1;
+        if value {
+            let i = self.len - 1;
+            self.words[i / 64] |= 1u64 << (i % 64);
+        }
+    }
+
+    /// Number of set bits.
+    pub fn count_set(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// True if every bit is set.
+    pub fn all_set(&self) -> bool {
+        self.count_set() == self.len
+    }
+
+    /// True if no bit is set.
+    pub fn none_set(&self) -> bool {
+        self.count_set() == 0
+    }
+
+    /// Bitwise AND of two equal-length bitmaps.
+    pub fn and(&self, other: &Bitmap) -> Bitmap {
+        assert_eq!(self.len, other.len, "bitmap length mismatch");
+        let words = self
+            .words
+            .iter()
+            .zip(&other.words)
+            .map(|(a, b)| a & b)
+            .collect();
+        Bitmap {
+            words,
+            len: self.len,
+        }
+    }
+
+    /// Bitwise OR of two equal-length bitmaps.
+    pub fn or(&self, other: &Bitmap) -> Bitmap {
+        assert_eq!(self.len, other.len, "bitmap length mismatch");
+        let words = self
+            .words
+            .iter()
+            .zip(&other.words)
+            .map(|(a, b)| a | b)
+            .collect();
+        Bitmap {
+            words,
+            len: self.len,
+        }
+    }
+
+    /// Bitwise NOT.
+    pub fn not(&self) -> Bitmap {
+        let words = self.words.iter().map(|w| !w).collect();
+        let mut bm = Bitmap {
+            words,
+            len: self.len,
+        };
+        bm.mask_tail();
+        bm
+    }
+
+    /// Iterate over the bits.
+    pub fn iter(&self) -> impl Iterator<Item = bool> + '_ {
+        (0..self.len).map(move |i| self.get(i))
+    }
+
+    /// Indices of set bits, ascending.
+    pub fn set_indices(&self) -> Vec<usize> {
+        let mut out = Vec::with_capacity(self.count_set());
+        for (wi, &word) in self.words.iter().enumerate() {
+            let mut w = word;
+            while w != 0 {
+                let bit = w.trailing_zeros() as usize;
+                out.push(wi * 64 + bit);
+                w &= w - 1;
+            }
+        }
+        out
+    }
+
+    /// Select the bits at `indices` into a new bitmap (gather).
+    pub fn take(&self, indices: &[usize]) -> Bitmap {
+        Bitmap::from_iter(indices.iter().map(|&i| self.get(i)))
+    }
+
+    /// Keep only the bits where `mask` is set (compaction by filter mask).
+    pub fn filter(&self, mask: &Bitmap) -> Bitmap {
+        assert_eq!(self.len, mask.len, "bitmap length mismatch");
+        Bitmap::from_iter((0..self.len).filter(|&i| mask.get(i)).map(|i| self.get(i)))
+    }
+
+    /// Concatenate `other` onto the end of `self`.
+    pub fn extend_from(&mut self, other: &Bitmap) {
+        for b in other.iter() {
+            self.push(b);
+        }
+    }
+
+    /// Contiguous sub-range `[offset, offset + len)`.
+    pub fn slice(&self, offset: usize, len: usize) -> Bitmap {
+        assert!(offset + len <= self.len, "slice out of bounds");
+        Bitmap::from_iter((offset..offset + len).map(|i| self.get(i)))
+    }
+
+    /// Zero any bits beyond the logical length in the final word so that
+    /// popcount-based operations stay correct.
+    fn mask_tail(&mut self) {
+        let rem = self.len % 64;
+        if rem != 0 {
+            if let Some(last) = self.words.last_mut() {
+                *last &= (1u64 << rem) - 1;
+            }
+        }
+    }
+}
+
+impl HeapSize for Bitmap {
+    fn heap_size(&self) -> usize {
+        self.words.capacity() * 8
+    }
+}
+
+impl FromIterator<bool> for Bitmap {
+    fn from_iter<I: IntoIterator<Item = bool>>(iter: I) -> Self {
+        Bitmap::from_iter(iter)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_all_true_and_false() {
+        let t = Bitmap::new(70, true);
+        assert_eq!(t.len(), 70);
+        assert_eq!(t.count_set(), 70);
+        assert!(t.all_set());
+        let f = Bitmap::new(70, false);
+        assert!(f.none_set());
+    }
+
+    #[test]
+    fn push_get_set() {
+        let mut bm = Bitmap::empty();
+        for i in 0..200 {
+            bm.push(i % 3 == 0);
+        }
+        assert_eq!(bm.len(), 200);
+        for i in 0..200 {
+            assert_eq!(bm.get(i), i % 3 == 0, "bit {i}");
+        }
+        bm.set(1, true);
+        assert!(bm.get(1));
+        bm.set(0, false);
+        assert!(!bm.get(0));
+    }
+
+    #[test]
+    fn boolean_algebra() {
+        let a = Bitmap::from_bools(&[true, true, false, false]);
+        let b = Bitmap::from_bools(&[true, false, true, false]);
+        assert_eq!(
+            a.and(&b),
+            Bitmap::from_bools(&[true, false, false, false])
+        );
+        assert_eq!(a.or(&b), Bitmap::from_bools(&[true, true, true, false]));
+        assert_eq!(a.not(), Bitmap::from_bools(&[false, false, true, true]));
+    }
+
+    #[test]
+    fn not_masks_tail_bits() {
+        // A 3-bit bitmap's NOT must not leak set bits past the length.
+        let a = Bitmap::from_bools(&[false, false, false]);
+        let n = a.not();
+        assert_eq!(n.count_set(), 3);
+        assert!(n.all_set());
+    }
+
+    #[test]
+    fn set_indices_and_take() {
+        let bm = Bitmap::from_bools(&[true, false, true, false, true]);
+        assert_eq!(bm.set_indices(), vec![0, 2, 4]);
+        let taken = bm.take(&[4, 1, 0]);
+        assert_eq!(taken, Bitmap::from_bools(&[true, false, true]));
+    }
+
+    #[test]
+    fn filter_compacts() {
+        let data = Bitmap::from_bools(&[true, true, false, false]);
+        let mask = Bitmap::from_bools(&[true, false, true, false]);
+        assert_eq!(data.filter(&mask), Bitmap::from_bools(&[true, false]));
+    }
+
+    #[test]
+    fn slice_and_extend() {
+        let mut a = Bitmap::from_bools(&[true, false, true]);
+        let b = Bitmap::from_bools(&[false, true]);
+        a.extend_from(&b);
+        assert_eq!(a.len(), 5);
+        assert_eq!(a.slice(2, 3), Bitmap::from_bools(&[true, false, true]));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn get_out_of_bounds_panics() {
+        Bitmap::new(4, true).get(4);
+    }
+
+    #[test]
+    fn crossing_word_boundaries() {
+        let bools: Vec<bool> = (0..130).map(|i| i % 2 == 0).collect();
+        let bm = Bitmap::from_bools(&bools);
+        assert_eq!(bm.count_set(), 65);
+        assert_eq!(bm.set_indices().len(), 65);
+        assert_eq!(bm.slice(63, 4), Bitmap::from_bools(&[false, true, false, true]));
+    }
+}

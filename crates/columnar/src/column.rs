@@ -1,0 +1,1272 @@
+//! Typed column vectors and their vectorized kernels.
+
+use crate::bitmap::Bitmap;
+use crate::dtype::DType;
+use crate::error::{ColumnarError, Result};
+use crate::value::{self, Scalar};
+use crate::HeapSize;
+use std::sync::Arc;
+
+/// Dictionary-encoded string column payload (pandas `category`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Categorical {
+    /// Per-row indexes into `dict`.
+    pub codes: Vec<u32>,
+    /// The (deduplicated) category values, shared across derived columns.
+    pub dict: Arc<Vec<String>>,
+}
+
+/// A typed column of values with an optional validity mask.
+///
+/// `validity == None` means "no nulls". For `Float64`, `NaN` additionally
+/// counts as null, matching pandas.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Column {
+    /// 64-bit integers.
+    Int64(Vec<i64>, Option<Bitmap>),
+    /// 64-bit floats (NaN ≡ null).
+    Float64(Vec<f64>, Option<Bitmap>),
+    /// Booleans.
+    Bool(Bitmap, Option<Bitmap>),
+    /// UTF-8 strings.
+    Utf8(Vec<String>, Option<Bitmap>),
+    /// Epoch-second timestamps.
+    Datetime(Vec<i64>, Option<Bitmap>),
+    /// Dictionary-encoded strings.
+    Categorical(Categorical, Option<Bitmap>),
+}
+
+/// Binary comparison operators for [`Column::compare`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CmpOp {
+    /// `==`
+    Eq,
+    /// `!=`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+}
+
+impl CmpOp {
+    /// Apply to an `Ordering`-comparable pair.
+    fn eval(self, ord: std::cmp::Ordering) -> bool {
+        use std::cmp::Ordering::*;
+        match self {
+            CmpOp::Eq => ord == Equal,
+            CmpOp::Ne => ord != Equal,
+            CmpOp::Lt => ord == Less,
+            CmpOp::Le => ord != Greater,
+            CmpOp::Gt => ord == Greater,
+            CmpOp::Ge => ord != Less,
+        }
+    }
+}
+
+/// Binary arithmetic operators for [`Column::arith`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ArithOp {
+    /// `+`
+    Add,
+    /// `-`
+    Sub,
+    /// `*`
+    Mul,
+    /// `/` (always produces float, like pandas true division)
+    Div,
+    /// `%`
+    Mod,
+}
+
+/// Datetime accessor fields (`.dt.*`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DtField {
+    /// Monday=0 .. Sunday=6.
+    DayOfWeek,
+    /// Hour of day 0..23.
+    Hour,
+    /// Day of month 1..31.
+    Day,
+    /// Month 1..12.
+    Month,
+    /// Calendar year.
+    Year,
+}
+
+impl DtField {
+    /// Parse the pandas accessor name.
+    pub fn parse(name: &str) -> Option<DtField> {
+        match name {
+            "dayofweek" | "weekday" => Some(DtField::DayOfWeek),
+            "hour" => Some(DtField::Hour),
+            "day" => Some(DtField::Day),
+            "month" => Some(DtField::Month),
+            "year" => Some(DtField::Year),
+            _ => None,
+        }
+    }
+}
+
+/// String accessor operations (`.str.*`).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum StrOp {
+    /// Lowercase.
+    Lower,
+    /// Uppercase.
+    Upper,
+    /// Character count (as Int64).
+    Len,
+    /// Substring containment test (as Bool).
+    Contains(String),
+    /// Prefix test (as Bool).
+    StartsWith(String),
+}
+
+impl Column {
+    // -- constructors --------------------------------------------------
+
+    /// Int column without nulls.
+    pub fn from_i64(values: Vec<i64>) -> Column {
+        Column::Int64(values, None)
+    }
+
+    /// Float column without a validity mask (NaN still reads as null).
+    pub fn from_f64(values: Vec<f64>) -> Column {
+        Column::Float64(values, None)
+    }
+
+    /// Bool column without nulls.
+    pub fn from_bool(values: Vec<bool>) -> Column {
+        Column::Bool(Bitmap::from_bools(&values), None)
+    }
+
+    /// String column without nulls.
+    pub fn from_strings<S: Into<String>, I: IntoIterator<Item = S>>(values: I) -> Column {
+        Column::Utf8(values.into_iter().map(Into::into).collect(), None)
+    }
+
+    /// Datetime column (epoch seconds) without nulls.
+    pub fn from_datetimes(values: Vec<i64>) -> Column {
+        Column::Datetime(values, None)
+    }
+
+    /// Int column with nulls.
+    pub fn from_opt_i64(values: Vec<Option<i64>>) -> Column {
+        let validity = Bitmap::from_iter(values.iter().map(Option::is_some));
+        let data = values.into_iter().map(Option::unwrap_or_default).collect();
+        Column::Int64(data, some_if_has_nulls(validity))
+    }
+
+    /// Float column with nulls (stored as NaN and masked).
+    pub fn from_opt_f64(values: Vec<Option<f64>>) -> Column {
+        let validity = Bitmap::from_iter(values.iter().map(Option::is_some));
+        let data = values
+            .into_iter()
+            .map(|v| v.unwrap_or(f64::NAN))
+            .collect();
+        Column::Float64(data, some_if_has_nulls(validity))
+    }
+
+    /// String column with nulls.
+    pub fn from_opt_strings(values: Vec<Option<String>>) -> Column {
+        let validity = Bitmap::from_iter(values.iter().map(Option::is_some));
+        let data = values.into_iter().map(Option::unwrap_or_default).collect();
+        Column::Utf8(data, some_if_has_nulls(validity))
+    }
+
+    /// Datetime column with nulls.
+    pub fn from_opt_datetimes(values: Vec<Option<i64>>) -> Column {
+        let validity = Bitmap::from_iter(values.iter().map(Option::is_some));
+        let data = values.into_iter().map(Option::unwrap_or_default).collect();
+        Column::Datetime(data, some_if_has_nulls(validity))
+    }
+
+    /// Column of `len` copies of a scalar.
+    pub fn full(len: usize, value: &Scalar) -> Column {
+        match value {
+            Scalar::Null => Column::Float64(vec![f64::NAN; len], Some(Bitmap::new(len, false))),
+            Scalar::Int(v) => Column::from_i64(vec![*v; len]),
+            Scalar::Float(v) => Column::from_f64(vec![*v; len]),
+            Scalar::Bool(v) => Column::from_bool(vec![*v; len]),
+            Scalar::Str(v) => Column::from_strings(vec![v.clone(); len]),
+            Scalar::Datetime(v) => Column::from_datetimes(vec![*v; len]),
+        }
+    }
+
+    /// Build a column of the given dtype from scalars (used by builders and
+    /// tests). Scalars must be null or coercible to `dtype`.
+    pub fn from_scalars(dtype: DType, values: &[Scalar]) -> Result<Column> {
+        let mut col = ColumnBuilder::new(dtype);
+        for v in values {
+            col.push_scalar(v)?;
+        }
+        Ok(col.finish())
+    }
+
+    // -- basics --------------------------------------------------------
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        match self {
+            Column::Int64(v, _) => v.len(),
+            Column::Float64(v, _) => v.len(),
+            Column::Bool(v, _) => v.len(),
+            Column::Utf8(v, _) => v.len(),
+            Column::Datetime(v, _) => v.len(),
+            Column::Categorical(c, _) => c.codes.len(),
+        }
+    }
+
+    /// True when the column has no rows.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The column's dtype.
+    pub fn dtype(&self) -> DType {
+        match self {
+            Column::Int64(..) => DType::Int64,
+            Column::Float64(..) => DType::Float64,
+            Column::Bool(..) => DType::Bool,
+            Column::Utf8(..) => DType::Utf8,
+            Column::Datetime(..) => DType::Datetime,
+            Column::Categorical(..) => DType::Categorical,
+        }
+    }
+
+    /// Validity mask, if any.
+    pub fn validity(&self) -> Option<&Bitmap> {
+        match self {
+            Column::Int64(_, v)
+            | Column::Float64(_, v)
+            | Column::Bool(_, v)
+            | Column::Utf8(_, v)
+            | Column::Datetime(_, v)
+            | Column::Categorical(_, v) => v.as_ref(),
+        }
+    }
+
+    /// Is row `i` null? (NaN counts for floats.)
+    pub fn is_null_at(&self, i: usize) -> bool {
+        if let Some(v) = self.validity() {
+            if !v.get(i) {
+                return true;
+            }
+        }
+        if let Column::Float64(data, _) = self {
+            return data[i].is_nan();
+        }
+        false
+    }
+
+    /// Number of non-null rows.
+    pub fn count_valid(&self) -> usize {
+        (0..self.len()).filter(|&i| !self.is_null_at(i)).count()
+    }
+
+    /// Number of null rows.
+    pub fn count_null(&self) -> usize {
+        self.len() - self.count_valid()
+    }
+
+    /// Value at row `i` as a scalar.
+    pub fn get(&self, i: usize) -> Scalar {
+        if self.is_null_at(i) {
+            return Scalar::Null;
+        }
+        match self {
+            Column::Int64(v, _) => Scalar::Int(v[i]),
+            Column::Float64(v, _) => Scalar::Float(v[i]),
+            Column::Bool(v, _) => Scalar::Bool(v.get(i)),
+            Column::Utf8(v, _) => Scalar::Str(v[i].clone()),
+            Column::Datetime(v, _) => Scalar::Datetime(v[i]),
+            Column::Categorical(c, _) => Scalar::Str(c.dict[c.codes[i] as usize].clone()),
+        }
+    }
+
+    /// Iterate rows as scalars.
+    pub fn iter(&self) -> impl Iterator<Item = Scalar> + '_ {
+        (0..self.len()).map(move |i| self.get(i))
+    }
+
+    /// Bool column flagging null rows (pandas `isna`).
+    pub fn is_null_mask(&self) -> Bitmap {
+        Bitmap::from_iter((0..self.len()).map(|i| self.is_null_at(i)))
+    }
+
+    // -- selection kernels ----------------------------------------------
+
+    /// Keep rows where `mask` is set.
+    pub fn filter(&self, mask: &Bitmap) -> Result<Column> {
+        if mask.len() != self.len() {
+            return Err(ColumnarError::LengthMismatch {
+                left: self.len(),
+                right: mask.len(),
+            });
+        }
+        let idx = mask.set_indices();
+        Ok(self.take_unchecked(&idx))
+    }
+
+    /// Gather rows at `indices` (must be in bounds).
+    pub fn take(&self, indices: &[usize]) -> Result<Column> {
+        let len = self.len();
+        if let Some(&bad) = indices.iter().find(|&&i| i >= len) {
+            return Err(ColumnarError::InvalidArgument(format!(
+                "take index {bad} out of bounds for column of length {len}"
+            )));
+        }
+        Ok(self.take_unchecked(indices))
+    }
+
+    fn take_unchecked(&self, indices: &[usize]) -> Column {
+        let validity = self.validity().map(|v| v.take(indices));
+        match self {
+            Column::Int64(data, _) => {
+                Column::Int64(indices.iter().map(|&i| data[i]).collect(), validity)
+            }
+            Column::Float64(data, _) => {
+                Column::Float64(indices.iter().map(|&i| data[i]).collect(), validity)
+            }
+            Column::Bool(data, _) => Column::Bool(data.take(indices), validity),
+            Column::Utf8(data, _) => Column::Utf8(
+                indices.iter().map(|&i| data[i].clone()).collect(),
+                validity,
+            ),
+            Column::Datetime(data, _) => {
+                Column::Datetime(indices.iter().map(|&i| data[i]).collect(), validity)
+            }
+            Column::Categorical(c, _) => Column::Categorical(
+                Categorical {
+                    codes: indices.iter().map(|&i| c.codes[i]).collect(),
+                    dict: Arc::clone(&c.dict),
+                },
+                validity,
+            ),
+        }
+    }
+
+    /// Contiguous row range `[offset, offset + len)`.
+    pub fn slice(&self, offset: usize, len: usize) -> Column {
+        let end = (offset + len).min(self.len());
+        let idx: Vec<usize> = (offset.min(self.len())..end).collect();
+        self.take_unchecked(&idx)
+    }
+
+    /// Concatenate two same-dtype columns (categoricals are re-encoded).
+    pub fn concat(&self, other: &Column) -> Result<Column> {
+        if self.dtype() != other.dtype() {
+            return Err(ColumnarError::TypeMismatch {
+                op: format!("concat with {}", other.dtype()),
+                dtype: self.dtype().to_string(),
+            });
+        }
+        let mut b = ColumnBuilder::new(self.dtype());
+        for s in self.iter().chain(other.iter()) {
+            b.push_scalar(&s)?;
+        }
+        Ok(b.finish())
+    }
+
+    // -- comparison / arithmetic / logic ---------------------------------
+
+    /// Element-wise comparison against another column; null op anything is
+    /// null... which for a filter mask means "excluded", so we surface the
+    /// pandas behaviour of nulls comparing false.
+    pub fn compare(&self, op: CmpOp, other: &Column) -> Result<Bitmap> {
+        if self.len() != other.len() {
+            return Err(ColumnarError::LengthMismatch {
+                left: self.len(),
+                right: other.len(),
+            });
+        }
+        Ok(Bitmap::from_iter((0..self.len()).map(|i| {
+            let (a, b) = (self.get(i), other.get(i));
+            if a.is_null() || b.is_null() {
+                // pandas: NaN comparisons are False, except `!=` which is True
+                op == CmpOp::Ne && !(a.is_null() && b.is_null() && op == CmpOp::Eq)
+            } else {
+                op.eval(a.cmp_values(&b))
+            }
+        })))
+    }
+
+    /// Element-wise comparison against a scalar.
+    pub fn compare_scalar(&self, op: CmpOp, rhs: &Scalar) -> Result<Bitmap> {
+        // Fast paths for the hot numeric cases.
+        match (self, rhs.as_f64()) {
+            (Column::Int64(data, validity), Some(x)) => {
+                return Ok(Bitmap::from_iter(data.iter().enumerate().map(|(i, v)| {
+                    if validity.as_ref().is_some_and(|m| !m.get(i)) {
+                        op == CmpOp::Ne
+                    } else {
+                        op.eval((*v as f64).partial_cmp(&x).unwrap())
+                    }
+                })))
+            }
+            (Column::Float64(data, validity), Some(x)) => {
+                return Ok(Bitmap::from_iter(data.iter().enumerate().map(|(i, v)| {
+                    let null = v.is_nan() || validity.as_ref().is_some_and(|m| !m.get(i));
+                    if null {
+                        op == CmpOp::Ne
+                    } else {
+                        match v.partial_cmp(&x) {
+                            Some(ord) => op.eval(ord),
+                            None => false,
+                        }
+                    }
+                })))
+            }
+            _ => {}
+        }
+        Ok(Bitmap::from_iter((0..self.len()).map(|i| {
+            let a = self.get(i);
+            if a.is_null() || rhs.is_null() {
+                op == CmpOp::Ne
+            } else {
+                op.eval(a.cmp_values(rhs))
+            }
+        })))
+    }
+
+    /// Element-wise arithmetic against another column. Int/Int stays int
+    /// except for `Div`, which is float like pandas.
+    pub fn arith(&self, op: ArithOp, other: &Column) -> Result<Column> {
+        if self.len() != other.len() {
+            return Err(ColumnarError::LengthMismatch {
+                left: self.len(),
+                right: other.len(),
+            });
+        }
+        arith_impl(op, self.len(), |i| (self.get(i), other.get(i)), self, other)
+    }
+
+    /// Element-wise arithmetic against a scalar.
+    pub fn arith_scalar(&self, op: ArithOp, rhs: &Scalar) -> Result<Column> {
+        // Fast integer path.
+        if let (Column::Int64(data, validity), Some(x), false) =
+            (self, rhs.as_i64(), matches!(rhs, Scalar::Datetime(_)))
+        {
+            if op != ArithOp::Div && !(op == ArithOp::Mod && x == 0) {
+                let out: Vec<i64> = data
+                    .iter()
+                    .map(|&v| match op {
+                        ArithOp::Add => v.wrapping_add(x),
+                        ArithOp::Sub => v.wrapping_sub(x),
+                        ArithOp::Mul => v.wrapping_mul(x),
+                        ArithOp::Mod => v.rem_euclid(x),
+                        ArithOp::Div => unreachable!(),
+                    })
+                    .collect();
+                return Ok(Column::Int64(out, validity.clone()));
+            }
+        }
+        let rhs_col = Column::full(self.len(), rhs);
+        self.arith(op, &rhs_col)
+    }
+
+    /// Element-wise logical AND of two bool columns.
+    pub fn and(&self, other: &Column) -> Result<Bitmap> {
+        Ok(self.as_mask()?.and(&other.as_mask()?))
+    }
+
+    /// Element-wise logical OR of two bool columns.
+    pub fn or(&self, other: &Column) -> Result<Bitmap> {
+        Ok(self.as_mask()?.or(&other.as_mask()?))
+    }
+
+    /// Logical NOT of a bool column.
+    pub fn invert(&self) -> Result<Bitmap> {
+        Ok(self.as_mask()?.not())
+    }
+
+    /// View a bool column as a filter mask (nulls read as false).
+    pub fn as_mask(&self) -> Result<Bitmap> {
+        match self {
+            Column::Bool(bits, validity) => Ok(match validity {
+                Some(v) => bits.and(v),
+                None => bits.clone(),
+            }),
+            _ => Err(ColumnarError::TypeMismatch {
+                op: "as_mask".into(),
+                dtype: self.dtype().to_string(),
+            }),
+        }
+    }
+
+    // -- unary kernels ---------------------------------------------------
+
+    /// Absolute value (numeric columns).
+    pub fn abs(&self) -> Result<Column> {
+        match self {
+            Column::Int64(v, m) => Ok(Column::Int64(
+                v.iter().map(|x| x.wrapping_abs()).collect(),
+                m.clone(),
+            )),
+            Column::Float64(v, m) => {
+                Ok(Column::Float64(v.iter().map(|x| x.abs()).collect(), m.clone()))
+            }
+            _ => Err(ColumnarError::TypeMismatch {
+                op: "abs".into(),
+                dtype: self.dtype().to_string(),
+            }),
+        }
+    }
+
+    /// Round to `digits` decimal places (floats; ints pass through).
+    pub fn round(&self, digits: i32) -> Result<Column> {
+        match self {
+            Column::Float64(v, m) => {
+                let p = 10f64.powi(digits);
+                Ok(Column::Float64(
+                    v.iter().map(|x| (x * p).round() / p).collect(),
+                    m.clone(),
+                ))
+            }
+            Column::Int64(..) => Ok(self.clone()),
+            _ => Err(ColumnarError::TypeMismatch {
+                op: "round".into(),
+                dtype: self.dtype().to_string(),
+            }),
+        }
+    }
+
+    /// Replace nulls with `fill` (pandas `fillna`).
+    pub fn fillna(&self, fill: &Scalar) -> Result<Column> {
+        let mut b = ColumnBuilder::new(self.dtype());
+        for i in 0..self.len() {
+            if self.is_null_at(i) {
+                b.push_scalar(fill)?;
+            } else {
+                b.push_scalar(&self.get(i))?;
+            }
+        }
+        Ok(b.finish())
+    }
+
+    /// Cast to `target` dtype (pandas `astype`).
+    pub fn cast(&self, target: DType) -> Result<Column> {
+        if self.dtype() == target {
+            return Ok(self.clone());
+        }
+        if target == DType::Categorical {
+            return self.to_categorical();
+        }
+        let mut b = ColumnBuilder::new(target);
+        for i in 0..self.len() {
+            let s = self.get(i);
+            let converted = cast_scalar(&s, target).ok_or_else(|| ColumnarError::ParseError {
+                value: s.to_string(),
+                dtype: target.to_string(),
+                line: None,
+            })?;
+            b.push_scalar(&converted)?;
+        }
+        Ok(b.finish())
+    }
+
+    /// Dictionary-encode a string column.
+    pub fn to_categorical(&self) -> Result<Column> {
+        match self {
+            Column::Utf8(values, validity) => {
+                let mut dict: Vec<String> = Vec::new();
+                let mut index: std::collections::HashMap<String, u32> =
+                    std::collections::HashMap::new();
+                let mut codes = Vec::with_capacity(values.len());
+                for v in values {
+                    let code = match index.get(v.as_str()) {
+                        Some(&c) => c,
+                        None => {
+                            let c = dict.len() as u32;
+                            dict.push(v.clone());
+                            index.insert(v.clone(), c);
+                            c
+                        }
+                    };
+                    codes.push(code);
+                }
+                Ok(Column::Categorical(
+                    Categorical {
+                        codes,
+                        dict: Arc::new(dict),
+                    },
+                    validity.clone(),
+                ))
+            }
+            Column::Categorical(..) => Ok(self.clone()),
+            _ => Err(ColumnarError::TypeMismatch {
+                op: "astype(category)".into(),
+                dtype: self.dtype().to_string(),
+            }),
+        }
+    }
+
+    /// Decode a categorical back to plain strings (no-op for Utf8).
+    pub fn to_utf8(&self) -> Result<Column> {
+        match self {
+            Column::Categorical(c, validity) => Ok(Column::Utf8(
+                c.codes
+                    .iter()
+                    .map(|&code| c.dict[code as usize].clone())
+                    .collect(),
+                validity.clone(),
+            )),
+            Column::Utf8(..) => Ok(self.clone()),
+            _ => Err(ColumnarError::TypeMismatch {
+                op: "to_utf8".into(),
+                dtype: self.dtype().to_string(),
+            }),
+        }
+    }
+
+    /// Datetime field accessor (`.dt.<field>`), producing Int64.
+    pub fn dt_field(&self, field: DtField) -> Result<Column> {
+        match self {
+            Column::Datetime(values, validity) => {
+                let out: Vec<i64> = values
+                    .iter()
+                    .map(|&secs| {
+                        let days = secs.div_euclid(86_400);
+                        let (y, m, d) = value::civil_from_days(days);
+                        match field {
+                            DtField::DayOfWeek => value::dayofweek(secs),
+                            DtField::Hour => secs.rem_euclid(86_400) / 3600,
+                            DtField::Day => d as i64,
+                            DtField::Month => m as i64,
+                            DtField::Year => y,
+                        }
+                    })
+                    .collect();
+                Ok(Column::Int64(out, validity.clone()))
+            }
+            _ => Err(ColumnarError::TypeMismatch {
+                op: format!("dt.{field:?}"),
+                dtype: self.dtype().to_string(),
+            }),
+        }
+    }
+
+    /// String accessor (`.str.<op>`).
+    pub fn str_op(&self, op: &StrOp) -> Result<Column> {
+        let utf8 = match self {
+            Column::Utf8(..) | Column::Categorical(..) => self.to_utf8()?,
+            _ => {
+                return Err(ColumnarError::TypeMismatch {
+                    op: format!("str.{op:?}"),
+                    dtype: self.dtype().to_string(),
+                })
+            }
+        };
+        let (values, validity) = match utf8 {
+            Column::Utf8(v, m) => (v, m),
+            _ => unreachable!(),
+        };
+        Ok(match op {
+            StrOp::Lower => Column::Utf8(values.iter().map(|s| s.to_lowercase()).collect(), validity),
+            StrOp::Upper => Column::Utf8(values.iter().map(|s| s.to_uppercase()).collect(), validity),
+            StrOp::Len => Column::Int64(
+                values.iter().map(|s| s.chars().count() as i64).collect(),
+                validity,
+            ),
+            StrOp::Contains(pat) => Column::Bool(
+                Bitmap::from_iter(values.iter().map(|s| s.contains(pat.as_str()))),
+                validity,
+            ),
+            StrOp::StartsWith(pat) => Column::Bool(
+                Bitmap::from_iter(values.iter().map(|s| s.starts_with(pat.as_str()))),
+                validity,
+            ),
+        })
+    }
+
+    // -- reductions --------------------------------------------------------
+
+    /// Sum of non-null values (int columns sum to int, others to float).
+    pub fn sum(&self) -> Scalar {
+        match self {
+            Column::Int64(v, _) => {
+                let mut acc = 0i64;
+                for i in 0..v.len() {
+                    if !self.is_null_at(i) {
+                        acc = acc.wrapping_add(v[i]);
+                    }
+                }
+                Scalar::Int(acc)
+            }
+            _ => {
+                let mut acc = 0.0;
+                let mut any = false;
+                for i in 0..self.len() {
+                    if let Some(x) = self.get(i).as_f64() {
+                        if !x.is_nan() {
+                            acc += x;
+                            any = true;
+                        }
+                    }
+                }
+                if any {
+                    Scalar::Float(acc)
+                } else {
+                    Scalar::Null
+                }
+            }
+        }
+    }
+
+    /// Mean of non-null values.
+    pub fn mean(&self) -> Scalar {
+        let n = self.count_valid();
+        if n == 0 {
+            return Scalar::Null;
+        }
+        match self.sum() {
+            Scalar::Int(s) => Scalar::Float(s as f64 / n as f64),
+            Scalar::Float(s) => Scalar::Float(s / n as f64),
+            _ => Scalar::Null,
+        }
+    }
+
+    /// Minimum non-null value.
+    pub fn min(&self) -> Scalar {
+        self.iter()
+            .filter(|s| !s.is_null())
+            .min_by(|a, b| a.cmp_values(b))
+            .unwrap_or(Scalar::Null)
+    }
+
+    /// Maximum non-null value.
+    pub fn max(&self) -> Scalar {
+        self.iter()
+            .filter(|s| !s.is_null())
+            .max_by(|a, b| a.cmp_values(b))
+            .unwrap_or(Scalar::Null)
+    }
+
+    /// Count of non-null values.
+    pub fn count(&self) -> Scalar {
+        Scalar::Int(self.count_valid() as i64)
+    }
+
+    /// Number of distinct non-null values.
+    pub fn nunique(&self) -> Scalar {
+        let mut seen = std::collections::HashSet::new();
+        for s in self.iter().filter(|s| !s.is_null()) {
+            seen.insert(s.to_string());
+        }
+        Scalar::Int(seen.len() as i64)
+    }
+
+    /// Sample standard deviation (ddof = 1), pandas default.
+    pub fn std(&self) -> Scalar {
+        let values: Vec<f64> = (0..self.len())
+            .filter(|&i| !self.is_null_at(i))
+            .filter_map(|i| self.get(i).as_f64())
+            .collect();
+        if values.len() < 2 {
+            return Scalar::Null;
+        }
+        let mean = values.iter().sum::<f64>() / values.len() as f64;
+        let var = values.iter().map(|v| (v - mean).powi(2)).sum::<f64>()
+            / (values.len() - 1) as f64;
+        Scalar::Float(var.sqrt())
+    }
+
+    // -- hashing (group-by / join / dedup) --------------------------------
+
+    /// Mix each row's value into the provided per-row hash accumulators
+    /// (FNV-1a style). `hashes.len()` must equal `self.len()`.
+    pub fn hash_into(&self, hashes: &mut [u64]) {
+        const PRIME: u64 = 0x100000001b3;
+        debug_assert_eq!(hashes.len(), self.len());
+        for (i, h) in hashes.iter_mut().enumerate() {
+            let v = if self.is_null_at(i) {
+                u64::MAX
+            } else {
+                match self {
+                    Column::Int64(v, _) => v[i] as u64,
+                    Column::Datetime(v, _) => v[i] as u64,
+                    Column::Float64(v, _) => v[i].to_bits(),
+                    Column::Bool(v, _) => v.get(i) as u64,
+                    Column::Utf8(v, _) => fnv1a(v[i].as_bytes()),
+                    Column::Categorical(c, _) => fnv1a(c.dict[c.codes[i] as usize].as_bytes()),
+                }
+            };
+            *h = (*h ^ v).wrapping_mul(PRIME);
+        }
+    }
+}
+
+/// FNV-1a over a byte slice.
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf29ce484222325;
+    for &b in bytes {
+        h = (h ^ b as u64).wrapping_mul(0x100000001b3);
+    }
+    h
+}
+
+fn arith_impl(
+    op: ArithOp,
+    len: usize,
+    get: impl Fn(usize) -> (Scalar, Scalar),
+    left: &Column,
+    right: &Column,
+) -> Result<Column> {
+    let both_int = left.dtype() == DType::Int64 && right.dtype() == DType::Int64;
+    if both_int && op != ArithOp::Div {
+        let mut out = Vec::with_capacity(len);
+        let mut validity = Bitmap::new(len, true);
+        let mut has_null = false;
+        for i in 0..len {
+            let (a, b) = get(i);
+            match (a.as_i64(), b.as_i64()) {
+                (Some(x), Some(y)) if !(op == ArithOp::Mod && y == 0) => out.push(match op {
+                    ArithOp::Add => x.wrapping_add(y),
+                    ArithOp::Sub => x.wrapping_sub(y),
+                    ArithOp::Mul => x.wrapping_mul(y),
+                    ArithOp::Mod => x.rem_euclid(y),
+                    ArithOp::Div => unreachable!(),
+                }),
+                _ => {
+                    out.push(0);
+                    validity.set(i, false);
+                    has_null = true;
+                }
+            }
+        }
+        return Ok(Column::Int64(out, has_null.then_some(validity)));
+    }
+    // Float path (also covers datetime-difference as float seconds).
+    let mut out = Vec::with_capacity(len);
+    for i in 0..len {
+        let (a, b) = get(i);
+        let v = match (a.as_f64(), b.as_f64()) {
+            (Some(x), Some(y)) => match op {
+                ArithOp::Add => x + y,
+                ArithOp::Sub => x - y,
+                ArithOp::Mul => x * y,
+                ArithOp::Div => x / y,
+                ArithOp::Mod => x.rem_euclid(y),
+            },
+            _ => f64::NAN,
+        };
+        out.push(v);
+    }
+    Ok(Column::Float64(out, None))
+}
+
+fn cast_scalar(s: &Scalar, target: DType) -> Option<Scalar> {
+    if s.is_null() {
+        return Some(Scalar::Null);
+    }
+    Some(match target {
+        DType::Int64 => match s {
+            Scalar::Int(v) => Scalar::Int(*v),
+            Scalar::Float(v) => Scalar::Int(*v as i64),
+            Scalar::Bool(b) => Scalar::Int(i64::from(*b)),
+            Scalar::Str(t) => Scalar::Int(t.trim().parse().ok()?),
+            Scalar::Datetime(v) => Scalar::Int(*v),
+            Scalar::Null => unreachable!(),
+        },
+        DType::Float64 => Scalar::Float(match s {
+            Scalar::Str(t) => t.trim().parse().ok()?,
+            other => other.as_f64()?,
+        }),
+        DType::Bool => match s {
+            Scalar::Bool(b) => Scalar::Bool(*b),
+            Scalar::Int(v) => Scalar::Bool(*v != 0),
+            Scalar::Float(v) => Scalar::Bool(*v != 0.0),
+            Scalar::Str(t) => match t.trim() {
+                "True" | "true" | "1" => Scalar::Bool(true),
+                "False" | "false" | "0" => Scalar::Bool(false),
+                _ => return None,
+            },
+            _ => return None,
+        },
+        DType::Utf8 | DType::Categorical => Scalar::Str(s.to_string()),
+        DType::Datetime => match s {
+            Scalar::Datetime(v) => Scalar::Datetime(*v),
+            Scalar::Int(v) => Scalar::Datetime(*v),
+            Scalar::Str(t) => Scalar::Datetime(value::parse_datetime(t)?),
+            _ => return None,
+        },
+    })
+}
+
+fn some_if_has_nulls(validity: Bitmap) -> Option<Bitmap> {
+    if validity.all_set() {
+        None
+    } else {
+        Some(validity)
+    }
+}
+
+/// Incremental column builder used by casts, CSV parsing and row gathers.
+#[derive(Debug)]
+pub struct ColumnBuilder {
+    dtype: DType,
+    ints: Vec<i64>,
+    floats: Vec<f64>,
+    bools: Bitmap,
+    strings: Vec<String>,
+    validity: Bitmap,
+    has_null: bool,
+}
+
+impl ColumnBuilder {
+    /// New builder producing a column of `dtype`.
+    pub fn new(dtype: DType) -> Self {
+        ColumnBuilder {
+            dtype,
+            ints: Vec::new(),
+            floats: Vec::new(),
+            bools: Bitmap::empty(),
+            strings: Vec::new(),
+            validity: Bitmap::empty(),
+            has_null: false,
+        }
+    }
+
+    /// Rows pushed so far.
+    pub fn len(&self) -> usize {
+        self.validity.len()
+    }
+
+    /// True if no rows were pushed.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Push a null row.
+    pub fn push_null(&mut self) {
+        self.has_null = true;
+        self.validity.push(false);
+        match self.dtype {
+            DType::Int64 | DType::Datetime => self.ints.push(0),
+            DType::Float64 => self.floats.push(f64::NAN),
+            DType::Bool => self.bools.push(false),
+            DType::Utf8 | DType::Categorical => self.strings.push(String::new()),
+        }
+    }
+
+    /// Push a scalar, coercing where safe; errors on incompatible values.
+    pub fn push_scalar(&mut self, s: &Scalar) -> Result<()> {
+        if s.is_null() {
+            self.push_null();
+            return Ok(());
+        }
+        let coerced = cast_scalar(s, self.dtype).ok_or_else(|| ColumnarError::ParseError {
+            value: s.to_string(),
+            dtype: self.dtype.to_string(),
+            line: None,
+        })?;
+        self.validity.push(true);
+        match (self.dtype, coerced) {
+            (DType::Int64, Scalar::Int(v)) | (DType::Datetime, Scalar::Datetime(v)) => {
+                self.ints.push(v)
+            }
+            (DType::Float64, Scalar::Float(v)) => self.floats.push(v),
+            (DType::Bool, Scalar::Bool(v)) => self.bools.push(v),
+            (DType::Utf8, Scalar::Str(v)) | (DType::Categorical, Scalar::Str(v)) => {
+                self.strings.push(v)
+            }
+            (dt, other) => {
+                return Err(ColumnarError::ParseError {
+                    value: other.to_string(),
+                    dtype: dt.to_string(),
+                    line: None,
+                })
+            }
+        }
+        Ok(())
+    }
+
+    /// Finish into a column.
+    pub fn finish(self) -> Column {
+        let validity = if self.has_null {
+            Some(self.validity)
+        } else {
+            None
+        };
+        match self.dtype {
+            DType::Int64 => Column::Int64(self.ints, validity),
+            DType::Datetime => Column::Datetime(self.ints, validity),
+            DType::Float64 => Column::Float64(self.floats, validity),
+            DType::Bool => Column::Bool(self.bools, validity),
+            DType::Utf8 => Column::Utf8(self.strings, validity),
+            DType::Categorical => {
+                let utf8 = Column::Utf8(self.strings, validity);
+                utf8.to_categorical().expect("utf8 to categorical")
+            }
+        }
+    }
+}
+
+impl HeapSize for Column {
+    fn heap_size(&self) -> usize {
+        let validity_size = self.validity().map_or(0, HeapSize::heap_size);
+        validity_size
+            + match self {
+                Column::Int64(v, _) | Column::Datetime(v, _) => v.capacity() * 8,
+                Column::Float64(v, _) => v.capacity() * 8,
+                Column::Bool(v, _) => v.heap_size(),
+                Column::Utf8(v, _) => v.heap_size(),
+                Column::Categorical(c, _) => {
+                    c.codes.capacity() * 4
+                        + c.dict.iter().map(|s| s.capacity() + 24).sum::<usize>()
+                }
+            }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn int_col() -> Column {
+        Column::from_i64(vec![3, 1, 4, 1, 5])
+    }
+
+    #[test]
+    fn basic_accessors() {
+        let c = int_col();
+        assert_eq!(c.len(), 5);
+        assert_eq!(c.dtype(), DType::Int64);
+        assert_eq!(c.get(2), Scalar::Int(4));
+        assert_eq!(c.count_valid(), 5);
+    }
+
+    #[test]
+    fn nulls_in_opt_constructors() {
+        let c = Column::from_opt_i64(vec![Some(1), None, Some(3)]);
+        assert!(c.is_null_at(1));
+        assert!(!c.is_null_at(0));
+        assert_eq!(c.get(1), Scalar::Null);
+        assert_eq!(c.count_null(), 1);
+        // NaN counts as null for floats even without a mask.
+        let f = Column::from_f64(vec![1.0, f64::NAN]);
+        assert!(f.is_null_at(1));
+        assert_eq!(f.count_valid(), 1);
+    }
+
+    #[test]
+    fn filter_take_slice() {
+        let c = int_col();
+        let mask = Bitmap::from_bools(&[true, false, true, false, true]);
+        let filtered = c.filter(&mask).unwrap();
+        assert_eq!(filtered, Column::from_i64(vec![3, 4, 5]));
+        let taken = c.take(&[4, 0]).unwrap();
+        assert_eq!(taken, Column::from_i64(vec![5, 3]));
+        assert!(c.take(&[9]).is_err());
+        assert_eq!(c.slice(1, 2), Column::from_i64(vec![1, 4]));
+        assert_eq!(c.slice(4, 10).len(), 1);
+    }
+
+    #[test]
+    fn compare_scalar_numeric() {
+        let c = int_col();
+        let mask = c.compare_scalar(CmpOp::Gt, &Scalar::Int(2)).unwrap();
+        assert_eq!(mask, Bitmap::from_bools(&[true, false, true, false, true]));
+        let mask = c.compare_scalar(CmpOp::Eq, &Scalar::Float(1.0)).unwrap();
+        assert_eq!(
+            mask,
+            Bitmap::from_bools(&[false, true, false, true, false])
+        );
+    }
+
+    #[test]
+    fn compare_nulls_are_false() {
+        let c = Column::from_opt_i64(vec![Some(1), None]);
+        let m = c.compare_scalar(CmpOp::Gt, &Scalar::Int(0)).unwrap();
+        assert_eq!(m, Bitmap::from_bools(&[true, false]));
+        // != with null is true (pandas semantics)
+        let m = c.compare_scalar(CmpOp::Ne, &Scalar::Int(0)).unwrap();
+        assert_eq!(m, Bitmap::from_bools(&[true, true]));
+    }
+
+    #[test]
+    fn arith_int_and_float() {
+        let c = int_col();
+        let sum = c.arith_scalar(ArithOp::Add, &Scalar::Int(10)).unwrap();
+        assert_eq!(sum, Column::from_i64(vec![13, 11, 14, 11, 15]));
+        let div = c.arith_scalar(ArithOp::Div, &Scalar::Int(2)).unwrap();
+        assert_eq!(div.dtype(), DType::Float64);
+        assert_eq!(div.get(0), Scalar::Float(1.5));
+        let prod = c.arith(ArithOp::Mul, &int_col()).unwrap();
+        assert_eq!(prod, Column::from_i64(vec![9, 1, 16, 1, 25]));
+    }
+
+    #[test]
+    fn arith_null_propagates() {
+        let a = Column::from_opt_i64(vec![Some(1), None]);
+        let b = Column::from_i64(vec![10, 10]);
+        let out = a.arith(ArithOp::Add, &b).unwrap();
+        assert_eq!(out.get(0), Scalar::Int(11));
+        assert!(out.is_null_at(1));
+    }
+
+    #[test]
+    fn logical_ops() {
+        let a = Column::from_bool(vec![true, true, false]);
+        let b = Column::from_bool(vec![true, false, false]);
+        assert_eq!(a.and(&b).unwrap(), Bitmap::from_bools(&[true, false, false]));
+        assert_eq!(a.or(&b).unwrap(), Bitmap::from_bools(&[true, true, false]));
+        assert_eq!(a.invert().unwrap(), Bitmap::from_bools(&[false, false, true]));
+        assert!(int_col().as_mask().is_err());
+    }
+
+    #[test]
+    fn fillna_and_round_abs() {
+        let c = Column::from_opt_f64(vec![Some(1.26), None, Some(-2.74)]);
+        let filled = c.fillna(&Scalar::Float(0.0)).unwrap();
+        assert_eq!(filled.count_null(), 0);
+        assert_eq!(filled.get(1), Scalar::Float(0.0));
+        let rounded = filled.round(1).unwrap();
+        assert_eq!(rounded.get(0), Scalar::Float(1.3));
+        let absd = rounded.abs().unwrap();
+        assert_eq!(absd.get(2), Scalar::Float(2.7));
+    }
+
+    #[test]
+    fn cast_between_types() {
+        let ints = int_col();
+        let floats = ints.cast(DType::Float64).unwrap();
+        assert_eq!(floats.get(0), Scalar::Float(3.0));
+        let strs = ints.cast(DType::Utf8).unwrap();
+        assert_eq!(strs.get(0), Scalar::Str("3".into()));
+        let back = strs.cast(DType::Int64).unwrap();
+        assert_eq!(back, ints);
+        let bad = Column::from_strings(vec!["xyz"]).cast(DType::Int64);
+        assert!(bad.is_err());
+    }
+
+    #[test]
+    fn categorical_roundtrip_and_size() {
+        let c = Column::from_strings(vec!["NY", "SF", "NY", "NY", "LA"]);
+        let cat = c.to_categorical().unwrap();
+        assert_eq!(cat.dtype(), DType::Categorical);
+        assert_eq!(cat.get(0), Scalar::Str("NY".into()));
+        assert_eq!(cat.get(4), Scalar::Str("LA".into()));
+        let back = cat.to_utf8().unwrap();
+        assert_eq!(back, c);
+        // dictionary encoding of a repetitive column is smaller
+        let many: Vec<&str> = std::iter::repeat("category-value").take(1000).collect();
+        let plain = Column::from_strings(many.clone());
+        let encoded = plain.to_categorical().unwrap();
+        assert!(encoded.heap_size() < plain.heap_size());
+    }
+
+    #[test]
+    fn dt_accessors() {
+        let ts = value::parse_datetime("2024-05-17 13:45:09").unwrap();
+        let c = Column::from_datetimes(vec![ts]);
+        assert_eq!(c.dt_field(DtField::Year).unwrap().get(0), Scalar::Int(2024));
+        assert_eq!(c.dt_field(DtField::Month).unwrap().get(0), Scalar::Int(5));
+        assert_eq!(c.dt_field(DtField::Day).unwrap().get(0), Scalar::Int(17));
+        assert_eq!(c.dt_field(DtField::Hour).unwrap().get(0), Scalar::Int(13));
+        // 2024-05-17 was a Friday => 4
+        assert_eq!(
+            c.dt_field(DtField::DayOfWeek).unwrap().get(0),
+            Scalar::Int(4)
+        );
+        assert!(int_col().dt_field(DtField::Year).is_err());
+    }
+
+    #[test]
+    fn str_accessors() {
+        let c = Column::from_strings(vec!["Hello", "world"]);
+        assert_eq!(
+            c.str_op(&StrOp::Lower).unwrap().get(0),
+            Scalar::Str("hello".into())
+        );
+        assert_eq!(
+            c.str_op(&StrOp::Upper).unwrap().get(1),
+            Scalar::Str("WORLD".into())
+        );
+        assert_eq!(c.str_op(&StrOp::Len).unwrap().get(0), Scalar::Int(5));
+        let m = c.str_op(&StrOp::Contains("orl".into())).unwrap();
+        assert_eq!(m.get(0), Scalar::Bool(false));
+        assert_eq!(m.get(1), Scalar::Bool(true));
+        let m = c.str_op(&StrOp::StartsWith("He".into())).unwrap();
+        assert_eq!(m.get(0), Scalar::Bool(true));
+    }
+
+    #[test]
+    fn reductions() {
+        let c = int_col();
+        assert_eq!(c.sum(), Scalar::Int(14));
+        assert_eq!(c.mean(), Scalar::Float(2.8));
+        assert_eq!(c.min(), Scalar::Int(1));
+        assert_eq!(c.max(), Scalar::Int(5));
+        assert_eq!(c.count(), Scalar::Int(5));
+        assert_eq!(c.nunique(), Scalar::Int(4));
+        let with_null = Column::from_opt_f64(vec![Some(2.0), None, Some(4.0)]);
+        assert_eq!(with_null.sum(), Scalar::Float(6.0));
+        assert_eq!(with_null.mean(), Scalar::Float(3.0));
+        assert_eq!(with_null.count(), Scalar::Int(2));
+        let empty = Column::from_f64(vec![]);
+        assert_eq!(empty.sum(), Scalar::Null);
+        assert_eq!(empty.mean(), Scalar::Null);
+    }
+
+    #[test]
+    fn std_matches_sample_formula() {
+        let c = Column::from_f64(vec![2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]);
+        if let Scalar::Float(s) = c.std() {
+            assert!((s - 2.138089935299395).abs() < 1e-12);
+        } else {
+            panic!("std should be float");
+        }
+        assert_eq!(Column::from_f64(vec![1.0]).std(), Scalar::Null);
+    }
+
+    #[test]
+    fn concat_same_and_mismatched() {
+        let a = Column::from_i64(vec![1, 2]);
+        let b = Column::from_i64(vec![3]);
+        assert_eq!(a.concat(&b).unwrap(), Column::from_i64(vec![1, 2, 3]));
+        assert!(a.concat(&Column::from_strings(vec!["x"])).is_err());
+    }
+
+    #[test]
+    fn hashing_distinguishes_rows() {
+        let c = Column::from_strings(vec!["a", "b", "a"]);
+        let mut h = vec![0u64; 3];
+        c.hash_into(&mut h);
+        assert_eq!(h[0], h[2]);
+        assert_ne!(h[0], h[1]);
+        // combined with a second column the tuples (a,1) (b,1) (a,2) differ
+        let c2 = Column::from_i64(vec![1, 1, 2]);
+        c2.hash_into(&mut h);
+        assert_ne!(h[0], h[2]);
+    }
+
+    #[test]
+    fn builder_coerces_and_rejects() {
+        let mut b = ColumnBuilder::new(DType::Float64);
+        b.push_scalar(&Scalar::Int(1)).unwrap();
+        b.push_scalar(&Scalar::Float(2.5)).unwrap();
+        b.push_null();
+        let col = b.finish();
+        assert_eq!(col.dtype(), DType::Float64);
+        assert_eq!(col.get(0), Scalar::Float(1.0));
+        assert!(col.is_null_at(2));
+
+        let mut b = ColumnBuilder::new(DType::Int64);
+        assert!(b.push_scalar(&Scalar::Str("abc".into())).is_err());
+    }
+
+    #[test]
+    fn full_column_from_scalar() {
+        let c = Column::full(3, &Scalar::Str("x".into()));
+        assert_eq!(c.len(), 3);
+        assert_eq!(c.get(2), Scalar::Str("x".into()));
+        let n = Column::full(2, &Scalar::Null);
+        assert_eq!(n.count_null(), 2);
+    }
+}

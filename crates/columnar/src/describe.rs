@@ -1,0 +1,129 @@
+//! `df.describe()` and `df.info()` — the informative APIs that the paper's
+//! live-attribute analysis special-cases (§3.1): their output does not feed
+//! the program result, so LAA ignores their column usage.
+
+use crate::column::{Column, ColumnBuilder};
+use crate::dtype::DType;
+use crate::error::Result;
+use crate::frame::DataFrame;
+use crate::series::Series;
+use crate::value::Scalar;
+
+/// Summary statistics over the numeric columns, mirroring pandas
+/// `describe()`: count, mean, std, min, 25%, 50%, 75%, max.
+pub fn describe(frame: &DataFrame) -> Result<DataFrame> {
+    let numeric: Vec<&Series> = frame
+        .series()
+        .iter()
+        .filter(|s| s.dtype().is_numeric())
+        .collect();
+    let stats = ["count", "mean", "std", "min", "25%", "50%", "75%", "max"];
+    let mut out: Vec<Series> = Vec::with_capacity(numeric.len() + 1);
+    out.push(Series::new(
+        "statistic",
+        Column::from_strings(stats.to_vec()),
+    ));
+    for s in numeric {
+        let mut values: Vec<f64> = (0..s.len())
+            .filter(|&i| !s.column().is_null_at(i))
+            .filter_map(|i| s.get(i).as_f64())
+            .collect();
+        values.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let mut b = ColumnBuilder::new(DType::Float64);
+        b.push_scalar(&Scalar::Float(values.len() as f64))?;
+        for stat in [
+            s.column().mean(),
+            s.column().std(),
+            quantile(&values, 0.0),
+            quantile(&values, 0.25),
+            quantile(&values, 0.5),
+            quantile(&values, 0.75),
+            quantile(&values, 1.0),
+        ] {
+            b.push_scalar(&stat)?;
+        }
+        out.push(Series::new(s.name(), b.finish()));
+    }
+    DataFrame::new(out)
+}
+
+/// Linear-interpolated quantile over pre-sorted values (pandas default).
+fn quantile(sorted: &[f64], q: f64) -> Scalar {
+    if sorted.is_empty() {
+        return Scalar::Null;
+    }
+    let pos = q * (sorted.len() - 1) as f64;
+    let lo = pos.floor() as usize;
+    let hi = pos.ceil() as usize;
+    let frac = pos - lo as f64;
+    Scalar::Float(sorted[lo] * (1.0 - frac) + sorted[hi] * frac)
+}
+
+/// A compact `df.info()`-style description: per-column name, non-null
+/// count, dtype — returned as a string (info prints, it doesn't return).
+pub fn info_string(frame: &DataFrame) -> String {
+    let mut out = format!(
+        "RangeIndex: {} entries\nData columns (total {} columns):\n",
+        frame.num_rows(),
+        frame.num_columns()
+    );
+    for s in frame.series() {
+        out.push_str(&format!(
+            " {:<24} {:>8} non-null  {}\n",
+            s.name(),
+            s.column().count_valid(),
+            s.dtype()
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::df;
+
+    fn sample() -> DataFrame {
+        df![
+            ("x", Column::from_f64(vec![1.0, 2.0, 3.0, 4.0])),
+            ("n", Column::from_i64(vec![10, 20, 30, 40])),
+            ("name", Column::from_strings(vec!["a", "b", "c", "d"])),
+        ]
+    }
+
+    #[test]
+    fn describe_covers_numeric_columns_only() {
+        let d = describe(&sample()).unwrap();
+        assert_eq!(d.column_names(), vec!["statistic", "x", "n"]);
+        assert_eq!(d.num_rows(), 8);
+    }
+
+    #[test]
+    fn describe_stats_correct() {
+        let d = describe(&sample()).unwrap();
+        let x = d.column("x").unwrap();
+        assert_eq!(x.get(0), Scalar::Float(4.0)); // count
+        assert_eq!(x.get(1), Scalar::Float(2.5)); // mean
+        assert_eq!(x.get(3), Scalar::Float(1.0)); // min
+        assert_eq!(x.get(4), Scalar::Float(1.75)); // 25%
+        assert_eq!(x.get(5), Scalar::Float(2.5)); // 50%
+        assert_eq!(x.get(6), Scalar::Float(3.25)); // 75%
+        assert_eq!(x.get(7), Scalar::Float(4.0)); // max
+    }
+
+    #[test]
+    fn quantile_interpolates() {
+        let v = vec![1.0, 2.0, 10.0];
+        assert_eq!(quantile(&v, 0.5), Scalar::Float(2.0));
+        assert_eq!(quantile(&v, 0.75), Scalar::Float(6.0));
+        assert_eq!(quantile(&[], 0.5), Scalar::Null);
+    }
+
+    #[test]
+    fn info_lists_columns() {
+        let text = info_string(&sample());
+        assert!(text.contains("4 entries"));
+        assert!(text.contains("name"));
+        assert!(text.contains("object"));
+    }
+}

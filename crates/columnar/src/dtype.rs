@@ -1,0 +1,120 @@
+//! Column data types.
+
+use std::fmt;
+
+/// The dtype of a [`crate::Column`].
+///
+/// Mirrors the subset of the Pandas type system exercised by the paper's
+/// benchmark programs, including the `category` dtype that the metadata
+/// optimization of §3.6 switches low-cardinality read-only string columns to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DType {
+    /// 64-bit signed integers (pandas `int64`).
+    Int64,
+    /// 64-bit floats (pandas `float64`).
+    Float64,
+    /// Booleans.
+    Bool,
+    /// UTF-8 strings (pandas `object`).
+    Utf8,
+    /// Timestamps stored as seconds since the Unix epoch (pandas `datetime64`).
+    Datetime,
+    /// Dictionary-encoded strings (pandas `category`).
+    Categorical,
+}
+
+impl DType {
+    /// Parse a user-facing dtype name as accepted by `astype` / `read_csv`.
+    pub fn parse(name: &str) -> Option<DType> {
+        match name {
+            "int64" | "int" | "i64" => Some(DType::Int64),
+            "float64" | "float" | "f64" => Some(DType::Float64),
+            "bool" | "boolean" => Some(DType::Bool),
+            "str" | "object" | "utf8" | "string" => Some(DType::Utf8),
+            "datetime" | "datetime64" | "datetime64[ns]" | "datetime64[s]" => {
+                Some(DType::Datetime)
+            }
+            "category" => Some(DType::Categorical),
+            _ => None,
+        }
+    }
+
+    /// True for numeric dtypes (participate in arithmetic and `describe`).
+    pub fn is_numeric(self) -> bool {
+        matches!(self, DType::Int64 | DType::Float64)
+    }
+
+    /// True for dtypes backed by strings (plain or dictionary encoded).
+    pub fn is_string_like(self) -> bool {
+        matches!(self, DType::Utf8 | DType::Categorical)
+    }
+
+    /// Fixed per-row width in bytes, where one exists (strings are `None`).
+    pub fn fixed_width(self) -> Option<usize> {
+        match self {
+            DType::Int64 | DType::Float64 | DType::Datetime => Some(8),
+            DType::Bool => Some(1),
+            DType::Categorical => Some(4),
+            DType::Utf8 => None,
+        }
+    }
+}
+
+impl fmt::Display for DType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            DType::Int64 => "int64",
+            DType::Float64 => "float64",
+            DType::Bool => "bool",
+            DType::Utf8 => "object",
+            DType::Datetime => "datetime64",
+            DType::Categorical => "category",
+        };
+        f.write_str(name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_roundtrips_display() {
+        for dt in [
+            DType::Int64,
+            DType::Float64,
+            DType::Bool,
+            DType::Utf8,
+            DType::Datetime,
+            DType::Categorical,
+        ] {
+            assert_eq!(DType::parse(&dt.to_string()), Some(dt), "{dt}");
+        }
+    }
+
+    #[test]
+    fn parse_aliases() {
+        assert_eq!(DType::parse("int"), Some(DType::Int64));
+        assert_eq!(DType::parse("str"), Some(DType::Utf8));
+        assert_eq!(DType::parse("datetime64[ns]"), Some(DType::Datetime));
+        assert_eq!(DType::parse("unknown"), None);
+    }
+
+    #[test]
+    fn numeric_classification() {
+        assert!(DType::Int64.is_numeric());
+        assert!(DType::Float64.is_numeric());
+        assert!(!DType::Utf8.is_numeric());
+        assert!(DType::Categorical.is_string_like());
+        assert!(DType::Utf8.is_string_like());
+        assert!(!DType::Datetime.is_string_like());
+    }
+
+    #[test]
+    fn widths() {
+        assert_eq!(DType::Int64.fixed_width(), Some(8));
+        assert_eq!(DType::Bool.fixed_width(), Some(1));
+        assert_eq!(DType::Categorical.fixed_width(), Some(4));
+        assert_eq!(DType::Utf8.fixed_width(), None);
+    }
+}

@@ -1,0 +1,112 @@
+//! Error type shared by all columnar kernels.
+
+use std::fmt;
+
+/// Result alias for columnar operations.
+pub type Result<T> = std::result::Result<T, ColumnarError>;
+
+/// Errors raised by the columnar substrate.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ColumnarError {
+    /// A referenced column does not exist in the frame.
+    ColumnNotFound(String),
+    /// A column with this name already exists where uniqueness is required.
+    DuplicateColumn(String),
+    /// Operation applied to a column of an unsupported dtype.
+    TypeMismatch {
+        /// Operation that was attempted.
+        op: String,
+        /// The dtype it was attempted on.
+        dtype: String,
+    },
+    /// Two columns participating in one kernel have different lengths.
+    LengthMismatch {
+        /// Length of the left operand.
+        left: usize,
+        /// Length of the right operand.
+        right: usize,
+    },
+    /// A value could not be parsed as the requested dtype.
+    ParseError {
+        /// The offending raw text.
+        value: String,
+        /// The dtype we tried to parse it as.
+        dtype: String,
+        /// Line number (1-based, including header) if known.
+        line: Option<usize>,
+    },
+    /// CSV structural problem (ragged row, missing header column, ...).
+    Csv(String),
+    /// Underlying I/O failure (message-only so the error stays `Clone`).
+    Io(String),
+    /// The simulated memory budget was exhausted.
+    OutOfMemory {
+        /// Bytes the operation attempted to reserve.
+        requested: usize,
+        /// Bytes available under the budget at that moment.
+        available: usize,
+    },
+    /// Catch-all for invalid arguments.
+    InvalidArgument(String),
+}
+
+impl fmt::Display for ColumnarError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ColumnarError::ColumnNotFound(name) => write!(f, "column not found: {name:?}"),
+            ColumnarError::DuplicateColumn(name) => write!(f, "duplicate column: {name:?}"),
+            ColumnarError::TypeMismatch { op, dtype } => {
+                write!(f, "operation {op:?} not supported on dtype {dtype}")
+            }
+            ColumnarError::LengthMismatch { left, right } => {
+                write!(f, "length mismatch: {left} vs {right}")
+            }
+            ColumnarError::ParseError { value, dtype, line } => match line {
+                Some(line) => write!(f, "cannot parse {value:?} as {dtype} (line {line})"),
+                None => write!(f, "cannot parse {value:?} as {dtype}"),
+            },
+            ColumnarError::Csv(msg) => write!(f, "csv error: {msg}"),
+            ColumnarError::Io(msg) => write!(f, "io error: {msg}"),
+            ColumnarError::OutOfMemory {
+                requested,
+                available,
+            } => write!(
+                f,
+                "simulated out of memory: requested {requested} bytes, {available} available"
+            ),
+            ColumnarError::InvalidArgument(msg) => write!(f, "invalid argument: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ColumnarError {}
+
+impl From<std::io::Error> for ColumnarError {
+    fn from(err: std::io::Error) -> Self {
+        ColumnarError::Io(err.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let err = ColumnarError::ColumnNotFound("fare".into());
+        assert!(err.to_string().contains("fare"));
+        let err = ColumnarError::OutOfMemory {
+            requested: 10,
+            available: 4,
+        };
+        assert!(err.to_string().contains("10"));
+        assert!(err.to_string().contains("4"));
+    }
+
+    #[test]
+    fn io_error_converts() {
+        let io = std::io::Error::new(std::io::ErrorKind::NotFound, "nope");
+        let err: ColumnarError = io.into();
+        assert!(matches!(err, ColumnarError::Io(_)));
+    }
+}

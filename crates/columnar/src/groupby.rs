@@ -1,0 +1,471 @@
+//! Hash group-by aggregation, including the partial-aggregate form used by
+//! the out-of-core (Dask-like) backend to keep the working set small.
+
+use crate::column::{Column, ColumnBuilder};
+use crate::dtype::DType;
+use crate::error::{ColumnarError, Result};
+use crate::frame::DataFrame;
+use crate::series::Series;
+use crate::value::Scalar;
+use std::collections::HashMap;
+
+/// Aggregate functions supported by `groupby(...)[col].agg(...)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AggKind {
+    /// Sum of the value column.
+    Sum,
+    /// Arithmetic mean.
+    Mean,
+    /// Count of non-null values.
+    Count,
+    /// Minimum.
+    Min,
+    /// Maximum.
+    Max,
+    /// Distinct count. (Not decomposable: the streaming form keeps a set.)
+    NUnique,
+}
+
+impl AggKind {
+    /// Parse the pandas method name.
+    pub fn parse(name: &str) -> Option<AggKind> {
+        match name {
+            "sum" => Some(AggKind::Sum),
+            "mean" => Some(AggKind::Mean),
+            "count" | "size" => Some(AggKind::Count),
+            "min" => Some(AggKind::Min),
+            "max" => Some(AggKind::Max),
+            "nunique" => Some(AggKind::NUnique),
+            _ => None,
+        }
+    }
+
+    /// Method name as written in programs.
+    pub fn name(self) -> &'static str {
+        match self {
+            AggKind::Sum => "sum",
+            AggKind::Mean => "mean",
+            AggKind::Count => "count",
+            AggKind::Min => "min",
+            AggKind::Max => "max",
+            AggKind::NUnique => "nunique",
+        }
+    }
+}
+
+/// A group-by request: grouping keys, value column, aggregate.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GroupBySpec {
+    /// Key column names.
+    pub keys: Vec<String>,
+    /// The aggregated value column.
+    pub value: String,
+    /// Which aggregate to compute.
+    pub agg: AggKind,
+}
+
+/// Running per-group state; merging two states gives the state of the
+/// concatenated input, which is what makes streaming aggregation possible.
+#[derive(Debug, Clone)]
+pub struct AggState {
+    sum: f64,
+    int_sum: i64,
+    count: u64,
+    min: Option<Scalar>,
+    max: Option<Scalar>,
+    distinct: std::collections::HashSet<String>,
+    value_is_int: bool,
+}
+
+impl AggState {
+    fn new(value_is_int: bool) -> AggState {
+        AggState {
+            sum: 0.0,
+            int_sum: 0,
+            count: 0,
+            min: None,
+            max: None,
+            distinct: std::collections::HashSet::new(),
+            value_is_int,
+        }
+    }
+
+    fn update(&mut self, v: &Scalar, agg: AggKind) {
+        if v.is_null() {
+            return;
+        }
+        self.count += 1;
+        match agg {
+            AggKind::Sum | AggKind::Mean => {
+                if let Some(x) = v.as_f64() {
+                    self.sum += x;
+                }
+                if let Some(x) = v.as_i64() {
+                    self.int_sum = self.int_sum.wrapping_add(x);
+                }
+            }
+            AggKind::Min => {
+                if self.min.as_ref().is_none_or(|m| v.cmp_values(m).is_lt()) {
+                    self.min = Some(v.clone());
+                }
+            }
+            AggKind::Max => {
+                if self.max.as_ref().is_none_or(|m| v.cmp_values(m).is_gt()) {
+                    self.max = Some(v.clone());
+                }
+            }
+            AggKind::NUnique => {
+                self.distinct.insert(v.to_string());
+            }
+            AggKind::Count => {}
+        }
+    }
+
+    /// Merge another partial state into this one.
+    pub fn merge(&mut self, other: &AggState) {
+        self.sum += other.sum;
+        self.int_sum = self.int_sum.wrapping_add(other.int_sum);
+        self.count += other.count;
+        if let Some(m) = &other.min {
+            if self.min.as_ref().is_none_or(|s| m.cmp_values(s).is_lt()) {
+                self.min = Some(m.clone());
+            }
+        }
+        if let Some(m) = &other.max {
+            if self.max.as_ref().is_none_or(|s| m.cmp_values(s).is_gt()) {
+                self.max = Some(m.clone());
+            }
+        }
+        for d in &other.distinct {
+            self.distinct.insert(d.clone());
+        }
+    }
+
+    fn finish(&self, agg: AggKind) -> Scalar {
+        match agg {
+            AggKind::Sum => {
+                if self.count == 0 {
+                    Scalar::Null
+                } else if self.value_is_int {
+                    Scalar::Int(self.int_sum)
+                } else {
+                    Scalar::Float(self.sum)
+                }
+            }
+            AggKind::Mean => {
+                if self.count == 0 {
+                    Scalar::Null
+                } else {
+                    Scalar::Float(self.sum / self.count as f64)
+                }
+            }
+            AggKind::Count => Scalar::Int(self.count as i64),
+            AggKind::Min => self.min.clone().unwrap_or(Scalar::Null),
+            AggKind::Max => self.max.clone().unwrap_or(Scalar::Null),
+            AggKind::NUnique => Scalar::Int(self.distinct.len() as i64),
+        }
+    }
+
+    /// Approximate heap bytes held by this state (for the memory budget).
+    pub fn heap_size(&self) -> usize {
+        96 + self.distinct.iter().map(|s| s.capacity() + 48).sum::<usize>()
+    }
+}
+
+/// Streaming group-by accumulator: feed chunks, then `finish`.
+#[derive(Debug)]
+pub struct GroupByAccumulator {
+    spec: GroupBySpec,
+    /// Keyed by the canonical string of the composite key; the scalar key
+    /// values live in `key_order` for output reconstruction.
+    groups: HashMap<String, AggState>,
+    key_order: Vec<Vec<Scalar>>,
+    value_is_int: bool,
+}
+
+impl GroupByAccumulator {
+    /// Start an accumulation for `spec`.
+    pub fn new(spec: GroupBySpec) -> GroupByAccumulator {
+        GroupByAccumulator {
+            spec,
+            groups: HashMap::new(),
+            key_order: Vec::new(),
+            value_is_int: true,
+        }
+    }
+
+    /// The spec this accumulator computes.
+    pub fn spec(&self) -> &GroupBySpec {
+        &self.spec
+    }
+
+    /// Consume one chunk of input rows.
+    pub fn update(&mut self, chunk: &DataFrame) -> Result<()> {
+        let key_cols: Vec<&Series> = self
+            .spec
+            .keys
+            .iter()
+            .map(|k| chunk.column(k))
+            .collect::<Result<Vec<_>>>()?;
+        let value_col = chunk.column(&self.spec.value)?;
+        if value_col.dtype() != DType::Int64 && value_col.dtype() != DType::Bool {
+            self.value_is_int = false;
+        }
+        let agg = self.spec.agg;
+        let value_is_int = self.value_is_int;
+        for i in 0..chunk.num_rows() {
+            let key: Vec<Scalar> = key_cols.iter().map(|s| s.get(i)).collect();
+            let canon = KeyWrap::canon(&key);
+            let state = match self.groups.entry(canon) {
+                std::collections::hash_map::Entry::Occupied(e) => e.into_mut(),
+                std::collections::hash_map::Entry::Vacant(e) => {
+                    self.key_order.push(key);
+                    e.insert(AggState::new(value_is_int))
+                }
+            };
+            state.update(&value_col.get(i), agg);
+        }
+        Ok(())
+    }
+
+    /// Merge a sibling accumulator (same spec) — used by the parallel
+    /// (Modin-like) backend to combine per-partition states.
+    pub fn merge(&mut self, other: &GroupByAccumulator) {
+        self.value_is_int = self.value_is_int && other.value_is_int;
+        for key in &other.key_order {
+            let canon = KeyWrap::canon(key);
+            let theirs = &other.groups[&canon];
+            match self.groups.get_mut(&canon) {
+                Some(mine) => mine.merge(theirs),
+                None => {
+                    self.key_order.push(key.clone());
+                    self.groups.insert(canon, theirs.clone());
+                }
+            }
+        }
+    }
+
+    /// Approximate heap bytes (memory-budget accounting for streaming aggs).
+    pub fn heap_size(&self) -> usize {
+        self.groups
+            .values()
+            .map(AggState::heap_size)
+            .sum::<usize>()
+            + self.key_order.len() * 64
+    }
+
+    /// Produce the result frame: one row per group, sorted by key (pandas
+    /// `groupby` sorts group keys by default).
+    pub fn finish(mut self) -> Result<DataFrame> {
+        self.key_order
+            .sort_by(|a, b| KeyWrap::canon(a).cmp(&KeyWrap::canon(b)));
+        let mut key_builders: Vec<ColumnBuilder> = Vec::new();
+        let n_keys = self.spec.keys.len();
+        // Infer key dtypes from the first group's scalars.
+        for k in 0..n_keys {
+            let dtype = self
+                .key_order
+                .iter()
+                .find_map(|key| key[k].dtype())
+                .unwrap_or(DType::Utf8);
+            key_builders.push(ColumnBuilder::new(dtype));
+        }
+        let mut value_builder: Option<ColumnBuilder> = None;
+        let mut values: Vec<Scalar> = Vec::with_capacity(self.key_order.len());
+        for key in &self.key_order {
+            for (k, b) in key_builders.iter_mut().enumerate() {
+                b.push_scalar(&key[k])?;
+            }
+            let state = &self.groups[&KeyWrap::canon(key)];
+            values.push(state.finish(self.spec.agg));
+        }
+        let out_dtype = values
+            .iter()
+            .find_map(Scalar::dtype)
+            .unwrap_or(DType::Float64);
+        let vb = value_builder.get_or_insert_with(|| ColumnBuilder::new(out_dtype));
+        for v in &values {
+            vb.push_scalar(v)?;
+        }
+        let mut series = Vec::with_capacity(n_keys + 1);
+        for (k, b) in key_builders.into_iter().enumerate() {
+            series.push(Series::new(self.spec.keys[k].clone(), b.finish()));
+        }
+        series.push(Series::new(
+            self.spec.value.clone(),
+            value_builder
+                .map(ColumnBuilder::finish)
+                .unwrap_or(Column::from_f64(vec![])),
+        ));
+        DataFrame::new(series)
+    }
+}
+
+struct KeyWrap;
+
+impl KeyWrap {
+    /// Canonical string for a composite key (separator chosen to not occur
+    /// in rendered scalars).
+    fn canon(key: &[Scalar]) -> String {
+        key.iter()
+            .map(|s| s.to_string())
+            .collect::<Vec<_>>()
+            .join("\u{1}")
+    }
+}
+
+/// One-shot group-by over a whole frame.
+pub fn group_by(frame: &DataFrame, spec: &GroupBySpec) -> Result<DataFrame> {
+    if spec.keys.is_empty() {
+        return Err(ColumnarError::InvalidArgument(
+            "groupby requires at least one key".into(),
+        ));
+    }
+    let mut acc = GroupByAccumulator::new(spec.clone());
+    acc.update(frame)?;
+    acc.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::df;
+
+    fn trips() -> DataFrame {
+        df![
+            ("day", Column::from_i64(vec![1, 0, 1, 0, 1])),
+            (
+                "passenger_count",
+                Column::from_i64(vec![2, 1, 3, 4, 1])
+            ),
+            ("fare", Column::from_f64(vec![5.0, 6.0, 7.0, 8.0, 9.0])),
+        ]
+    }
+
+    fn spec(agg: AggKind) -> GroupBySpec {
+        GroupBySpec {
+            keys: vec!["day".into()],
+            value: "passenger_count".into(),
+            agg,
+        }
+    }
+
+    #[test]
+    fn sum_by_key_sorted() {
+        let out = group_by(&trips(), &spec(AggKind::Sum)).unwrap();
+        assert_eq!(out.num_rows(), 2);
+        // keys sorted ascending: day=0 then day=1
+        assert_eq!(out.column("day").unwrap().get(0), Scalar::Int(0));
+        assert_eq!(out.column("passenger_count").unwrap().get(0), Scalar::Int(5));
+        assert_eq!(out.column("passenger_count").unwrap().get(1), Scalar::Int(6));
+    }
+
+    #[test]
+    fn mean_count_min_max_nunique() {
+        let out = group_by(&trips(), &spec(AggKind::Mean)).unwrap();
+        assert_eq!(
+            out.column("passenger_count").unwrap().get(1),
+            Scalar::Float(2.0)
+        );
+        let out = group_by(&trips(), &spec(AggKind::Count)).unwrap();
+        assert_eq!(out.column("passenger_count").unwrap().get(0), Scalar::Int(2));
+        let out = group_by(&trips(), &spec(AggKind::Min)).unwrap();
+        assert_eq!(out.column("passenger_count").unwrap().get(1), Scalar::Int(1));
+        let out = group_by(&trips(), &spec(AggKind::Max)).unwrap();
+        assert_eq!(out.column("passenger_count").unwrap().get(1), Scalar::Int(3));
+        let out = group_by(&trips(), &spec(AggKind::NUnique)).unwrap();
+        assert_eq!(out.column("passenger_count").unwrap().get(1), Scalar::Int(3));
+    }
+
+    #[test]
+    fn float_values_sum_to_float() {
+        let s = GroupBySpec {
+            keys: vec!["day".into()],
+            value: "fare".into(),
+            agg: AggKind::Sum,
+        };
+        let out = group_by(&trips(), &s).unwrap();
+        assert_eq!(out.column("fare").unwrap().get(0), Scalar::Float(14.0));
+    }
+
+    #[test]
+    fn multi_key_groupby() {
+        let df = df![
+            ("a", Column::from_strings(vec!["x", "x", "y"])),
+            ("b", Column::from_i64(vec![1, 1, 2])),
+            ("v", Column::from_i64(vec![10, 20, 30])),
+        ];
+        let s = GroupBySpec {
+            keys: vec!["a".into(), "b".into()],
+            value: "v".into(),
+            agg: AggKind::Sum,
+        };
+        let out = group_by(&df, &s).unwrap();
+        assert_eq!(out.num_rows(), 2);
+        assert_eq!(out.num_columns(), 3);
+        assert_eq!(out.column("v").unwrap().get(0), Scalar::Int(30));
+    }
+
+    #[test]
+    fn streaming_chunks_equal_oneshot() {
+        let df = trips();
+        let whole = group_by(&df, &spec(AggKind::Mean)).unwrap();
+        let mut acc = GroupByAccumulator::new(spec(AggKind::Mean));
+        acc.update(&df.slice(0, 2)).unwrap();
+        acc.update(&df.slice(2, 3)).unwrap();
+        let chunked = acc.finish().unwrap();
+        assert_eq!(whole, chunked);
+    }
+
+    #[test]
+    fn parallel_merge_equal_oneshot() {
+        let df = trips();
+        let whole = group_by(&df, &spec(AggKind::Sum)).unwrap();
+        let mut left = GroupByAccumulator::new(spec(AggKind::Sum));
+        left.update(&df.slice(0, 3)).unwrap();
+        let mut right = GroupByAccumulator::new(spec(AggKind::Sum));
+        right.update(&df.slice(3, 2)).unwrap();
+        left.merge(&right);
+        assert_eq!(whole, left.finish().unwrap());
+    }
+
+    #[test]
+    fn nulls_skipped() {
+        let df = df![
+            ("k", Column::from_i64(vec![1, 1, 1])),
+            ("v", Column::from_opt_i64(vec![Some(1), None, Some(3)])),
+        ];
+        let s = GroupBySpec {
+            keys: vec!["k".into()],
+            value: "v".into(),
+            agg: AggKind::Count,
+        };
+        let out = group_by(&df, &s).unwrap();
+        assert_eq!(out.column("v").unwrap().get(0), Scalar::Int(2));
+    }
+
+    #[test]
+    fn empty_keys_rejected() {
+        let s = GroupBySpec {
+            keys: vec![],
+            value: "v".into(),
+            agg: AggKind::Sum,
+        };
+        assert!(group_by(&trips(), &s).is_err());
+    }
+
+    #[test]
+    fn agg_kind_parse_roundtrip() {
+        for agg in [
+            AggKind::Sum,
+            AggKind::Mean,
+            AggKind::Count,
+            AggKind::Min,
+            AggKind::Max,
+            AggKind::NUnique,
+        ] {
+            assert_eq!(AggKind::parse(agg.name()), Some(agg));
+        }
+        assert_eq!(AggKind::parse("median"), None);
+    }
+}

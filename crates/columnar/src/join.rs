@@ -1,0 +1,243 @@
+//! Hash joins (pandas `merge`).
+
+use crate::column::{Column, ColumnBuilder};
+use crate::error::{ColumnarError, Result};
+use crate::frame::DataFrame;
+use crate::series::Series;
+use std::collections::HashMap;
+/// Join kinds supported by `merge(..., how=...)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum JoinKind {
+    /// Keep only matching rows.
+    Inner,
+    /// Keep every left row; right columns are null when unmatched.
+    Left,
+}
+
+impl JoinKind {
+    /// Parse the pandas `how=` value.
+    pub fn parse(name: &str) -> Option<JoinKind> {
+        match name {
+            "inner" => Some(JoinKind::Inner),
+            "left" => Some(JoinKind::Left),
+            _ => None,
+        }
+    }
+
+    /// The `how=` spelling.
+    pub fn name(self) -> &'static str {
+        match self {
+            JoinKind::Inner => "inner",
+            JoinKind::Left => "left",
+        }
+    }
+}
+
+/// Hash-join `left` and `right` on equality of the named key columns
+/// (`on` must exist on both sides, like pandas `merge(on=...)`).
+///
+/// Non-key columns that exist on both sides get pandas-style `_x` / `_y`
+/// suffixes. The right side is the build side; output preserves left row
+/// order (then right match order), matching pandas.
+pub fn merge(
+    left: &DataFrame,
+    right: &DataFrame,
+    on: &[String],
+    how: JoinKind,
+) -> Result<DataFrame> {
+    if on.is_empty() {
+        return Err(ColumnarError::InvalidArgument(
+            "merge requires at least one key".into(),
+        ));
+    }
+    for k in on {
+        left.column(k)?;
+        right.column(k)?;
+    }
+
+    // Build: key string -> right row indices.
+    let right_keys = key_strings(right, on)?;
+    let mut build: HashMap<&str, Vec<usize>> = HashMap::new();
+    for (i, k) in right_keys.iter().enumerate() {
+        build.entry(k.as_str()).or_default().push(i);
+    }
+
+    // Probe with the left side.
+    let left_keys = key_strings(left, on)?;
+    let mut left_idx: Vec<usize> = Vec::new();
+    let mut right_idx: Vec<Option<usize>> = Vec::new();
+    for (i, k) in left_keys.iter().enumerate() {
+        match build.get(k.as_str()) {
+            Some(matches) => {
+                for &j in matches {
+                    left_idx.push(i);
+                    right_idx.push(Some(j));
+                }
+            }
+            None => {
+                if how == JoinKind::Left {
+                    left_idx.push(i);
+                    right_idx.push(None);
+                }
+            }
+        }
+    }
+
+    // Assemble output columns.
+    let mut out: Vec<Series> = Vec::new();
+    let key_set: std::collections::HashSet<&str> = on.iter().map(String::as_str).collect();
+    let overlap: std::collections::HashSet<&str> = left
+        .column_names()
+        .into_iter()
+        .filter(|n| !key_set.contains(n) && right.has_column(n))
+        .collect();
+
+    for s in left.series() {
+        let name = if overlap.contains(s.name()) {
+            format!("{}_x", s.name())
+        } else {
+            s.name().to_string()
+        };
+        out.push(Series::new(name, s.column().take(&left_idx)?));
+    }
+    for s in right.series() {
+        if key_set.contains(s.name()) {
+            continue; // key columns come from the left side
+        }
+        let name = if overlap.contains(s.name()) {
+            format!("{}_y", s.name())
+        } else {
+            s.name().to_string()
+        };
+        out.push(Series::new(name, gather_optional(s.column(), &right_idx)?));
+    }
+    DataFrame::new(out)
+}
+
+/// Canonical per-row key strings for the join columns.
+fn key_strings(frame: &DataFrame, on: &[String]) -> Result<Vec<String>> {
+    let cols: Vec<&Series> = on
+        .iter()
+        .map(|k| frame.column(k))
+        .collect::<Result<Vec<_>>>()?;
+    Ok((0..frame.num_rows())
+        .map(|i| {
+            cols.iter()
+                .map(|s| s.get(i).to_string())
+                .collect::<Vec<_>>()
+                .join("\u{1}")
+        })
+        .collect())
+}
+
+/// Gather with `None` producing a null row (for left-join misses).
+fn gather_optional(col: &Column, indices: &[Option<usize>]) -> Result<Column> {
+    if indices.iter().all(Option::is_some) {
+        let idx: Vec<usize> = indices.iter().map(|i| i.unwrap()).collect();
+        return col.take(&idx);
+    }
+    let mut b = ColumnBuilder::new(col.dtype());
+    for ix in indices {
+        match ix {
+            Some(i) => b.push_scalar(&col.get(*i))?,
+            None => b.push_null(),
+        }
+    }
+    Ok(b.finish())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::df;
+    use crate::value::Scalar;
+
+    fn ratings() -> DataFrame {
+        df![
+            ("movie_id", Column::from_i64(vec![1, 2, 1, 3])),
+            ("rating", Column::from_f64(vec![4.0, 3.5, 5.0, 2.0])),
+        ]
+    }
+
+    fn titles() -> DataFrame {
+        df![
+            ("movie_id", Column::from_i64(vec![1, 2, 4])),
+            ("title", Column::from_strings(vec!["Heat", "Tron", "Solaris"])),
+        ]
+    }
+
+    #[test]
+    fn inner_join_matches_only() {
+        let out = merge(&ratings(), &titles(), &["movie_id".into()], JoinKind::Inner).unwrap();
+        assert_eq!(out.num_rows(), 3); // movie 3 has no title; movie 4 no rating
+        assert_eq!(out.column_names(), vec!["movie_id", "rating", "title"]);
+        assert_eq!(out.column("title").unwrap().get(0), Scalar::Str("Heat".into()));
+        // left order preserved: rows for movie 1, 2, 1
+        assert_eq!(out.column("movie_id").unwrap().get(2), Scalar::Int(1));
+    }
+
+    #[test]
+    fn left_join_keeps_unmatched_with_nulls() {
+        let out = merge(&ratings(), &titles(), &["movie_id".into()], JoinKind::Left).unwrap();
+        assert_eq!(out.num_rows(), 4);
+        assert!(out.column("title").unwrap().column().is_null_at(3));
+    }
+
+    #[test]
+    fn one_to_many_duplicates_probe_rows() {
+        let dup_titles = df![
+            ("movie_id", Column::from_i64(vec![1, 1])),
+            ("title", Column::from_strings(vec!["Heat", "Heat (1995)"])),
+        ];
+        let out = merge(&ratings(), &dup_titles, &["movie_id".into()], JoinKind::Inner).unwrap();
+        // movie 1 appears twice on the left, twice on the right => 4 rows
+        assert_eq!(out.num_rows(), 4);
+    }
+
+    #[test]
+    fn overlapping_columns_get_suffixes() {
+        let left = df![
+            ("k", Column::from_i64(vec![1])),
+            ("v", Column::from_i64(vec![10])),
+        ];
+        let right = df![
+            ("k", Column::from_i64(vec![1])),
+            ("v", Column::from_i64(vec![20])),
+        ];
+        let out = merge(&left, &right, &["k".into()], JoinKind::Inner).unwrap();
+        assert_eq!(out.column_names(), vec!["k", "v_x", "v_y"]);
+        assert_eq!(out.column("v_x").unwrap().get(0), Scalar::Int(10));
+        assert_eq!(out.column("v_y").unwrap().get(0), Scalar::Int(20));
+    }
+
+    #[test]
+    fn multi_key_join() {
+        let left = df![
+            ("a", Column::from_strings(vec!["x", "x"])),
+            ("b", Column::from_i64(vec![1, 2])),
+            ("v", Column::from_i64(vec![10, 20])),
+        ];
+        let right = df![
+            ("a", Column::from_strings(vec!["x"])),
+            ("b", Column::from_i64(vec![2])),
+            ("w", Column::from_i64(vec![99])),
+        ];
+        let out = merge(&left, &right, &["a".into(), "b".into()], JoinKind::Inner).unwrap();
+        assert_eq!(out.num_rows(), 1);
+        assert_eq!(out.column("v").unwrap().get(0), Scalar::Int(20));
+    }
+
+    #[test]
+    fn missing_key_errors() {
+        assert!(merge(&ratings(), &titles(), &["nope".into()], JoinKind::Inner).is_err());
+        assert!(merge(&ratings(), &titles(), &[], JoinKind::Inner).is_err());
+    }
+
+    #[test]
+    fn join_kind_parse() {
+        assert_eq!(JoinKind::parse("inner"), Some(JoinKind::Inner));
+        assert_eq!(JoinKind::parse("left"), Some(JoinKind::Left));
+        assert_eq!(JoinKind::parse("outer"), None);
+        assert_eq!(JoinKind::Inner.name(), "inner");
+    }
+}

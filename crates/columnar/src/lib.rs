@@ -1,0 +1,68 @@
+//! # lafp-columnar
+//!
+//! The columnar dataframe substrate underneath Lazy Fat Pandas (LaFP).
+//!
+//! The paper ("Efficient Dataframe Systems: Lazy Fat Pandas on a Diet",
+//! EDBT 2026) runs on top of Pandas/Modin/Dask; this crate provides the
+//! equivalent storage and kernel layer, built from scratch:
+//!
+//! * [`DType`] / [`Scalar`] — the type system (int64, float64, bool, utf8,
+//!   datetime, categorical) and scalar values with nulls.
+//! * [`Bitmap`] — bit-packed validity masks.
+//! * [`Column`] — a typed column vector plus vectorized kernels
+//!   (comparisons, arithmetic, casts, date accessors, string ops, take /
+//!   filter / concat, reductions).
+//! * [`Series`] — a named column.
+//! * [`DataFrame`] — an ordered collection of equal-length series with
+//!   relational kernels: filter, projection, group-by aggregation, hash
+//!   joins, sorts, dedup, describe, concat.
+//! * [`csv`] — a quoted-CSV reader (with projection, dtype overrides, date
+//!   parsing and chunked/streaming access used by the out-of-core backend)
+//!   and writer.
+//!
+//! Every structure reports its heap footprint via [`HeapSize`], which the
+//! backend layer uses to charge the simulated memory budget that reproduces
+//! the paper's out-of-memory matrix (Figure 12).
+
+pub mod bitmap;
+pub mod column;
+pub mod csv;
+pub mod describe;
+pub mod dtype;
+pub mod error;
+pub mod frame;
+pub mod groupby;
+pub mod join;
+pub mod series;
+pub mod sort;
+pub mod value;
+
+pub use bitmap::Bitmap;
+pub use column::Column;
+pub use dtype::DType;
+pub use error::{ColumnarError, Result};
+pub use frame::DataFrame;
+pub use groupby::{AggKind, GroupBySpec};
+pub use join::JoinKind;
+pub use series::Series;
+pub use sort::SortOptions;
+pub use value::Scalar;
+
+/// Heap footprint reporting used by the simulated memory budget.
+pub trait HeapSize {
+    /// Bytes of heap memory retained by `self` (excluding `size_of::<Self>()`).
+    fn heap_size(&self) -> usize;
+}
+
+impl HeapSize for String {
+    fn heap_size(&self) -> usize {
+        self.capacity()
+    }
+}
+
+impl<T: HeapSize> HeapSize for Vec<T> {
+    fn heap_size(&self) -> usize {
+        self.capacity() * std::mem::size_of::<T>()
+            + self.iter().map(HeapSize::heap_size).sum::<usize>()
+    }
+}

@@ -1,0 +1,129 @@
+//! A named column.
+
+use crate::column::Column;
+use crate::dtype::DType;
+use crate::error::Result;
+use crate::value::Scalar;
+use crate::HeapSize;
+
+/// A named [`Column`] — the 1-D object of the dataframe API.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Series {
+    name: String,
+    column: Column,
+}
+
+impl Series {
+    /// Create a series from a name and column.
+    pub fn new(name: impl Into<String>, column: Column) -> Series {
+        Series {
+            name: name.into(),
+            column,
+        }
+    }
+
+    /// The series name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Rename, consuming self.
+    pub fn renamed(mut self, name: impl Into<String>) -> Series {
+        self.name = name.into();
+        self
+    }
+
+    /// Borrow the underlying column.
+    pub fn column(&self) -> &Column {
+        &self.column
+    }
+
+    /// Take the underlying column.
+    pub fn into_column(self) -> Column {
+        self.column
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.column.len()
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.column.is_empty()
+    }
+
+    /// Dtype of the underlying column.
+    pub fn dtype(&self) -> DType {
+        self.column.dtype()
+    }
+
+    /// Value at row `i`.
+    pub fn get(&self, i: usize) -> Scalar {
+        self.column.get(i)
+    }
+
+    /// Map the underlying column through a kernel, keeping the name.
+    pub fn map_column(&self, f: impl FnOnce(&Column) -> Result<Column>) -> Result<Series> {
+        Ok(Series {
+            name: self.name.clone(),
+            column: f(&self.column)?,
+        })
+    }
+
+    /// Render the series the way our `print` does: positional index,
+    /// value per line, then a `Name:` trailer — a compact nod to pandas.
+    pub fn to_display_string(&self) -> String {
+        let mut out = String::new();
+        for i in 0..self.len() {
+            out.push_str(&format!("{i}\t{}\n", self.get(i)));
+        }
+        out.push_str(&format!("Name: {}, dtype: {}", self.name, self.dtype()));
+        out
+    }
+}
+
+impl HeapSize for Series {
+    fn heap_size(&self) -> usize {
+        self.name.capacity() + self.column.heap_size()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_access() {
+        let s = Series::new("fare", Column::from_f64(vec![1.0, 2.0]));
+        assert_eq!(s.name(), "fare");
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.dtype(), DType::Float64);
+        assert_eq!(s.get(1), Scalar::Float(2.0));
+    }
+
+    #[test]
+    fn renamed_keeps_data() {
+        let s = Series::new("a", Column::from_i64(vec![7]));
+        let r = s.clone().renamed("b");
+        assert_eq!(r.name(), "b");
+        assert_eq!(r.column(), s.column());
+    }
+
+    #[test]
+    fn map_column_applies_kernel() {
+        let s = Series::new("x", Column::from_i64(vec![-1, 2]));
+        let abs = s.map_column(|c| c.abs()).unwrap();
+        assert_eq!(abs.name(), "x");
+        assert_eq!(abs.get(0), Scalar::Int(1));
+    }
+
+    #[test]
+    fn display_contains_name_and_values() {
+        let s = Series::new("n", Column::from_i64(vec![10, 20]));
+        let text = s.to_display_string();
+        assert!(text.contains("10"));
+        assert!(text.contains("Name: n"));
+        assert!(text.contains("int64"));
+    }
+}

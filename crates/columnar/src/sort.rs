@@ -1,0 +1,161 @@
+//! Multi-key sorting (pandas `sort_values`).
+
+use crate::error::Result;
+use crate::frame::DataFrame;
+use crate::value::Scalar;
+use std::cmp::Ordering;
+
+/// Options for a `sort_values` call.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SortOptions {
+    /// Key column names, highest priority first.
+    pub by: Vec<String>,
+    /// Per-key ascending flags; a single flag is broadcast over all keys.
+    pub ascending: Vec<bool>,
+}
+
+impl SortOptions {
+    /// Ascending sort on the given keys.
+    pub fn ascending(by: Vec<String>) -> SortOptions {
+        let n = by.len();
+        SortOptions {
+            by,
+            ascending: vec![true; n],
+        }
+    }
+
+    /// Single-key sort with a direction.
+    pub fn single(key: impl Into<String>, ascending: bool) -> SortOptions {
+        SortOptions {
+            by: vec![key.into()],
+            ascending: vec![ascending],
+        }
+    }
+
+    fn dir(&self, k: usize) -> bool {
+        self.ascending.get(k).copied().unwrap_or(
+            self.ascending.first().copied().unwrap_or(true),
+        )
+    }
+}
+
+/// Stable multi-key sort; nulls sort last regardless of direction
+/// (pandas `na_position='last'` default).
+pub fn sort_values(frame: &DataFrame, options: &SortOptions) -> Result<DataFrame> {
+    let key_cols: Vec<Vec<Scalar>> = options
+        .by
+        .iter()
+        .map(|name| {
+            frame
+                .column(name)
+                .map(|s| (0..frame.num_rows()).map(|i| s.get(i)).collect())
+        })
+        .collect::<Result<Vec<_>>>()?;
+    let mut order: Vec<usize> = (0..frame.num_rows()).collect();
+    order.sort_by(|&a, &b| {
+        for (k, col) in key_cols.iter().enumerate() {
+            let (x, y) = (&col[a], &col[b]);
+            // Nulls always last:
+            let ord = match (x.is_null(), y.is_null()) {
+                (true, true) => Ordering::Equal,
+                (true, false) => Ordering::Greater,
+                (false, true) => Ordering::Less,
+                (false, false) => {
+                    let o = x.cmp_values(y);
+                    if options.dir(k) {
+                        o
+                    } else {
+                        o.reverse()
+                    }
+                }
+            };
+            if ord != Ordering::Equal {
+                return ord;
+            }
+        }
+        Ordering::Equal
+    });
+    frame.take(&order)
+}
+
+/// `df.nlargest(n, col)` — top-n by one column, descending.
+pub fn nlargest(frame: &DataFrame, n: usize, column: &str) -> Result<DataFrame> {
+    let sorted = sort_values(frame, &SortOptions::single(column, false))?;
+    Ok(sorted.head(n))
+}
+
+/// `df.nsmallest(n, col)` — bottom-n by one column, ascending.
+pub fn nsmallest(frame: &DataFrame, n: usize, column: &str) -> Result<DataFrame> {
+    let sorted = sort_values(frame, &SortOptions::single(column, true))?;
+    Ok(sorted.head(n))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::column::Column;
+    use crate::df;
+
+    fn sample() -> DataFrame {
+        df![
+            ("name", Column::from_strings(vec!["b", "a", "c", "a"])),
+            ("score", Column::from_opt_f64(vec![Some(2.0), Some(3.0), None, Some(1.0)])),
+        ]
+    }
+
+    #[test]
+    fn single_key_ascending() {
+        let out = sort_values(&sample(), &SortOptions::single("score", true)).unwrap();
+        assert_eq!(out.column("score").unwrap().get(0), Scalar::Float(1.0));
+        // null last
+        assert!(out.column("score").unwrap().column().is_null_at(3));
+    }
+
+    #[test]
+    fn single_key_descending_nulls_still_last() {
+        let out = sort_values(&sample(), &SortOptions::single("score", false)).unwrap();
+        assert_eq!(out.column("score").unwrap().get(0), Scalar::Float(3.0));
+        assert!(out.column("score").unwrap().column().is_null_at(3));
+    }
+
+    #[test]
+    fn multi_key_with_mixed_directions() {
+        let out = sort_values(
+            &sample(),
+            &SortOptions {
+                by: vec!["name".into(), "score".into()],
+                ascending: vec![true, false],
+            },
+        )
+        .unwrap();
+        // names: a, a, b, c; within the 'a's score desc: 3.0 then 1.0
+        assert_eq!(out.column("name").unwrap().get(0), Scalar::Str("a".into()));
+        assert_eq!(out.column("score").unwrap().get(0), Scalar::Float(3.0));
+        assert_eq!(out.column("score").unwrap().get(1), Scalar::Float(1.0));
+    }
+
+    #[test]
+    fn sort_is_stable() {
+        let df = df![
+            ("k", Column::from_i64(vec![1, 1, 1])),
+            ("tag", Column::from_strings(vec!["first", "second", "third"])),
+        ];
+        let out = sort_values(&df, &SortOptions::single("k", true)).unwrap();
+        assert_eq!(out.column("tag").unwrap().get(0), Scalar::Str("first".into()));
+        assert_eq!(out.column("tag").unwrap().get(2), Scalar::Str("third".into()));
+    }
+
+    #[test]
+    fn nlargest_nsmallest() {
+        let top = nlargest(&sample(), 2, "score").unwrap();
+        assert_eq!(top.num_rows(), 2);
+        assert_eq!(top.column("score").unwrap().get(0), Scalar::Float(3.0));
+        let bottom = nsmallest(&sample(), 1, "score").unwrap();
+        assert_eq!(bottom.column("score").unwrap().get(0), Scalar::Float(1.0));
+    }
+
+    #[test]
+    fn unknown_key_errors() {
+        assert!(sort_values(&sample(), &SortOptions::single("ghost", true)).is_err());
+    }
+}

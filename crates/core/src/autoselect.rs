@@ -1,0 +1,193 @@
+//! Automated backend choice — the paper's stated next step (§2.6: "The
+//! optimal back-end can also be identified in a cost-based manner,
+//! implementation of which is a part of future work"; §3.6: "Decisions on
+//! what framework to use depend on whether the dataframes can fit in
+//! memory, which can be inferred from the metadata statistics").
+//!
+//! The rule implemented here is the one the paper sketches: estimate the
+//! in-memory footprint of every dataset the program reads (restricted to
+//! the columns static analysis proved live, when available), compare
+//! against the memory budget, and pick:
+//!
+//! * **Pandas** when the working set fits with comfortable headroom —
+//!   eager single-threaded execution has the least overhead (Fig. 13);
+//! * **Modin** when it still fits but headroom is thin or the data is
+//!   large enough for parallel scans to pay off;
+//! * **Dask** when the estimate approaches or exceeds the budget — only
+//!   the streaming backend can run it at all (Fig. 12);
+//! * additionally, programs that are **row-order sensitive** must avoid
+//!   Dask (§5.2), falling back to Modin and accepting the OOM risk.
+
+use lafp_backends::BackendKind;
+use lafp_meta::MetaStore;
+use std::path::Path;
+
+/// One dataset a program will read: path plus (optionally) the live
+/// columns from Live Attribute Analysis.
+#[derive(Debug, Clone)]
+pub struct DatasetUse {
+    /// CSV path.
+    pub path: std::path::PathBuf,
+    /// Live columns (usecols); `None` = all columns.
+    pub live_columns: Option<Vec<String>>,
+}
+
+/// Eager execution needs roughly input + scratch + result at an operator's
+/// peak; this multiplier converts a resident-frame estimate into a peak
+/// working-set estimate (matches the backend memory model in
+/// `lafp-backends`).
+const EAGER_PEAK_FACTOR: f64 = 3.0;
+
+/// Below this fraction of the budget, single-threaded eager execution is
+/// the fastest option; above it, prefer partition-parallel Modin.
+const PANDAS_COMFORT: f64 = 0.35;
+
+/// Above this fraction of the budget, only the streaming backend is safe.
+const EAGER_LIMIT: f64 = 0.9;
+
+/// Estimated bytes of the resident frames for `datasets`, using metastore
+/// statistics where available and file size as a (conservative, 2.5×
+/// inflation) fallback.
+pub fn estimate_resident_bytes(datasets: &[DatasetUse]) -> u64 {
+    let store = MetaStore::new();
+    datasets
+        .iter()
+        .map(|d| match store.load(&d.path) {
+            Ok(Some(meta)) => match &d.live_columns {
+                Some(cols) => meta.estimated_bytes_for(cols),
+                None => meta.estimated_bytes(),
+            },
+            _ => file_size_estimate(&d.path),
+        })
+        .sum()
+}
+
+fn file_size_estimate(path: &Path) -> u64 {
+    std::fs::metadata(path)
+        .map(|m| (m.len() as f64 * 2.5) as u64)
+        .unwrap_or(0)
+}
+
+/// Pick the backend for a program, per the rule above.
+pub fn choose_backend(
+    datasets: &[DatasetUse],
+    memory_budget: usize,
+    order_sensitive: bool,
+) -> BackendKind {
+    let resident = estimate_resident_bytes(datasets) as f64;
+    let peak = resident * EAGER_PEAK_FACTOR;
+    let budget = memory_budget as f64;
+    if order_sensitive {
+        // Dask is off the table (§5.2): best remaining option.
+        return if peak <= budget * PANDAS_COMFORT {
+            BackendKind::Pandas
+        } else {
+            BackendKind::Modin
+        };
+    }
+    if peak <= budget * PANDAS_COMFORT {
+        BackendKind::Pandas
+    } else if peak <= budget * EAGER_LIMIT {
+        BackendKind::Modin
+    } else {
+        BackendKind::Dask
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn write_dataset(rows: usize) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join("lafp-autoselect-tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join(format!(
+            "a{}.csv",
+            std::time::SystemTime::now()
+                .duration_since(std::time::UNIX_EPOCH)
+                .unwrap()
+                .as_nanos()
+        ));
+        let mut content = String::from("a,b,c,long_text\n");
+        for i in 0..rows {
+            content.push_str(&format!("{i},{},{}.5,padding text {i}\n", i * 2, i));
+        }
+        std::fs::write(&path, content).unwrap();
+        lafp_meta::scan::compute_and_store(&path).unwrap();
+        path
+    }
+
+    fn uses(path: &Path, cols: Option<Vec<String>>) -> Vec<DatasetUse> {
+        vec![DatasetUse {
+            path: path.to_path_buf(),
+            live_columns: cols,
+        }]
+    }
+
+    #[test]
+    fn small_data_picks_pandas() {
+        let path = write_dataset(50);
+        let choice = choose_backend(&uses(&path, None), 64 * 1024 * 1024, false);
+        assert_eq!(choice, BackendKind::Pandas);
+    }
+
+    #[test]
+    fn medium_data_picks_modin_large_picks_dask() {
+        let path = write_dataset(2000);
+        let resident = estimate_resident_bytes(&uses(&path, None));
+        assert!(resident > 0);
+        // Budget sized so the estimate lands between the two thresholds.
+        let medium_budget = (resident as f64 * EAGER_PEAK_FACTOR / 0.6) as usize;
+        assert_eq!(
+            choose_backend(&uses(&path, None), medium_budget, false),
+            BackendKind::Modin
+        );
+        let tight_budget = (resident as f64 * EAGER_PEAK_FACTOR / 1.5) as usize;
+        assert_eq!(
+            choose_backend(&uses(&path, None), tight_budget, false),
+            BackendKind::Dask
+        );
+    }
+
+    #[test]
+    fn order_sensitivity_forbids_dask() {
+        let path = write_dataset(2000);
+        let resident = estimate_resident_bytes(&uses(&path, None));
+        let tight_budget = (resident as f64 * EAGER_PEAK_FACTOR / 1.5) as usize;
+        assert_eq!(
+            choose_backend(&uses(&path, None), tight_budget, true),
+            BackendKind::Modin,
+            "order-sensitive programs cannot run on Dask (§5.2)"
+        );
+    }
+
+    #[test]
+    fn live_columns_shrink_the_estimate() {
+        let path = write_dataset(2000);
+        let all = estimate_resident_bytes(&uses(&path, None));
+        let narrow = estimate_resident_bytes(&uses(&path, Some(vec!["a".into()])));
+        assert!(
+            narrow < all / 2,
+            "column selection shifts the backend decision: {narrow} vs {all}"
+        );
+        // And it can flip the choice from Dask back to an eager backend.
+        let budget = (all as f64 * EAGER_PEAK_FACTOR / 1.2) as usize;
+        assert_eq!(choose_backend(&uses(&path, None), budget, false), BackendKind::Dask);
+        assert_ne!(
+            choose_backend(&uses(&path, Some(vec!["a".into()])), budget, false),
+            BackendKind::Dask
+        );
+    }
+
+    #[test]
+    fn missing_metadata_falls_back_to_file_size() {
+        let dir = std::env::temp_dir().join("lafp-autoselect-tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("no-meta.csv");
+        std::fs::write(&path, "a\n1\n2\n3\n").unwrap();
+        let est = estimate_resident_bytes(&uses(&path, None));
+        assert!(est > 0);
+        let missing = dir.join("does-not-exist.csv");
+        assert_eq!(estimate_resident_bytes(&uses(&missing, None)), 0);
+    }
+}

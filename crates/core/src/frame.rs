@@ -1,0 +1,298 @@
+//! The user-facing lazy dataframe (the paper's `LaFPDataFrame` /
+//! `FatDataFrame`) and lazy scalar types.
+//!
+//! Every method records a node in the session task graph and returns a new
+//! handle — nothing executes until a materialization boundary: `compute()`,
+//! `flush()`, or an API that needs real data (§2.5).
+
+use crate::context::LaFP;
+use crate::exec;
+use crate::graph::NodeId;
+use crate::op::{LogicalOp, PrintPiece};
+use lafp_columnar::column::{ArithOp, CmpOp};
+use lafp_columnar::groupby::GroupBySpec;
+use lafp_columnar::join::JoinKind;
+use lafp_columnar::sort::SortOptions;
+use lafp_columnar::{AggKind, DataFrame, Result, Scalar};
+use lafp_expr::Expr;
+
+/// A lazy dataframe: a handle to a task-graph node (§2.5).
+#[derive(Clone)]
+pub struct LazyFrame {
+    ctx: LaFP,
+    node: NodeId,
+}
+
+/// A lazy scalar (result of `mean()`, `sum()`, lazy `len()`, ...).
+#[derive(Clone)]
+pub struct LazyScalar {
+    ctx: LaFP,
+    node: NodeId,
+}
+
+/// One argument of a lazy `print` call: literal text or a deferred value.
+pub enum PrintArg {
+    /// Literal text (the non-`{}` parts of an f-string).
+    Text(String),
+    /// A lazy frame whose value prints when flushed.
+    Frame(LazyFrame),
+    /// A lazy scalar whose value prints when flushed.
+    Scalar(LazyScalar),
+}
+
+impl LazyFrame {
+    pub(crate) fn from_node(ctx: LaFP, node: NodeId) -> LazyFrame {
+        LazyFrame { ctx, node }
+    }
+
+    /// The task-graph node this frame denotes.
+    pub fn node(&self) -> NodeId {
+        self.node
+    }
+
+    /// The session this frame belongs to.
+    pub fn session(&self) -> &LaFP {
+        &self.ctx
+    }
+
+    fn derive(&self, op: LogicalOp) -> LazyFrame {
+        let node = self.ctx.add_node(op, vec![self.node]);
+        LazyFrame {
+            ctx: self.ctx.clone(),
+            node,
+        }
+    }
+
+    // -- pandas API surface ------------------------------------------------
+
+    /// `df[df.col > 0]` — row filter by boolean expression.
+    pub fn filter(&self, predicate: Expr) -> LazyFrame {
+        self.derive(LogicalOp::Filter(predicate))
+    }
+
+    /// `df[col] = expr` — add or replace a computed column.
+    pub fn with_column(&self, name: impl Into<String>, expr: Expr) -> LazyFrame {
+        self.derive(LogicalOp::WithColumn(name.into(), expr))
+    }
+
+    /// `df[[cols]]` — projection.
+    pub fn select(&self, cols: Vec<String>) -> LazyFrame {
+        self.derive(LogicalOp::Select(cols))
+    }
+
+    /// `df.drop(columns=[...])`.
+    pub fn drop(&self, cols: Vec<String>) -> LazyFrame {
+        self.derive(LogicalOp::DropColumns(cols))
+    }
+
+    /// `df.rename(columns={old: new})`.
+    pub fn rename(&self, mapping: Vec<(String, String)>) -> LazyFrame {
+        self.derive(LogicalOp::Rename(mapping))
+    }
+
+    /// Frame-wide `df.fillna(value)`.
+    pub fn fillna(&self, value: Scalar) -> LazyFrame {
+        self.derive(LogicalOp::FillNa(value))
+    }
+
+    /// `df.drop_duplicates(subset=...)` (empty = all columns).
+    pub fn drop_duplicates(&self, subset: Vec<String>) -> LazyFrame {
+        self.derive(LogicalOp::DropDuplicates(subset))
+    }
+
+    /// `df.groupby(keys)[value].<agg>()`.
+    pub fn groupby_agg(
+        &self,
+        keys: Vec<String>,
+        value: impl Into<String>,
+        agg: AggKind,
+    ) -> LazyFrame {
+        self.derive(LogicalOp::GroupByAgg(GroupBySpec {
+            keys,
+            value: value.into(),
+            agg,
+        }))
+    }
+
+    /// `left.merge(right, on=..., how=...)`.
+    pub fn merge(&self, right: &LazyFrame, on: Vec<String>, how: JoinKind) -> LazyFrame {
+        let node = self
+            .ctx
+            .add_node(LogicalOp::Merge { on, how }, vec![self.node, right.node]);
+        LazyFrame {
+            ctx: self.ctx.clone(),
+            node,
+        }
+    }
+
+    /// `df.sort_values(by, ascending)`.
+    pub fn sort_values(&self, options: SortOptions) -> LazyFrame {
+        self.derive(LogicalOp::Sort(options))
+    }
+
+    /// `df.head(n)`.
+    pub fn head(&self, n: usize) -> LazyFrame {
+        self.derive(LogicalOp::Head(n))
+    }
+
+    /// `df.tail(n)`.
+    pub fn tail(&self, n: usize) -> LazyFrame {
+        self.derive(LogicalOp::Tail(n))
+    }
+
+    /// `df.describe()`.
+    pub fn describe(&self) -> LazyFrame {
+        self.derive(LogicalOp::Describe)
+    }
+
+    /// `pd.concat([self, other])`.
+    pub fn concat(&self, other: &LazyFrame) -> LazyFrame {
+        let node = self
+            .ctx
+            .add_node(LogicalOp::Concat, vec![self.node, other.node]);
+        LazyFrame {
+            ctx: self.ctx.clone(),
+            node,
+        }
+    }
+
+    /// `df[col].<agg>()` — lazy scalar reduction.
+    pub fn reduce(&self, column: impl Into<String>, agg: AggKind) -> LazyScalar {
+        let node = self.ctx.add_node(
+            LogicalOp::Reduce {
+                column: column.into(),
+                agg,
+            },
+            vec![self.node],
+        );
+        LazyScalar {
+            ctx: self.ctx.clone(),
+            node,
+        }
+    }
+
+    /// Lazy `len(df)` (`lazyfatpandas.func.len`, §3.3).
+    pub fn len(&self) -> LazyScalar {
+        let node = self.ctx.add_node(LogicalOp::Len, vec![self.node]);
+        LazyScalar {
+            ctx: self.ctx.clone(),
+            node,
+        }
+    }
+
+    // -- expression sugar ---------------------------------------------------
+
+    /// `df.col > lit` expression builder rooted at a column of this frame.
+    pub fn col(&self, name: impl Into<String>) -> Expr {
+        Expr::col(name)
+    }
+
+    // -- materialization boundaries ------------------------------------------
+
+    /// Force computation (§3.4): flushes pending lazy prints first (output
+    /// ordering!), then materializes this frame. `live` is the `live_df`
+    /// list from static analysis (§3.5): dataframes still needed later,
+    /// whose shared subexpressions should be persisted.
+    pub fn compute(&self, live: &[&LazyFrame]) -> Result<DataFrame> {
+        let live_nodes: Vec<NodeId> = live.iter().map(|f| f.node).collect();
+        exec::compute_frame(&self.ctx, self.node, &live_nodes)
+    }
+
+    /// Lazy print of this frame (§3.3).
+    pub fn print(&self) {
+        print_args(&self.ctx, vec![PrintArg::Frame(self.clone())]);
+    }
+}
+
+impl LazyScalar {
+    /// The task-graph node this scalar denotes.
+    pub fn node(&self) -> NodeId {
+        self.node
+    }
+
+    /// Force computation of the scalar (flushes pending prints first).
+    pub fn compute(&self, live: &[&LazyFrame]) -> Result<Scalar> {
+        let live_nodes: Vec<NodeId> = live.iter().map(|f| f.node).collect();
+        exec::compute_scalar(&self.ctx, self.node, &live_nodes)
+    }
+
+    /// Lazy print of this scalar.
+    pub fn print(&self) {
+        print_args(&self.ctx, vec![PrintArg::Scalar(self.clone())]);
+    }
+}
+
+/// Record a lazy print node from a mixed argument list (§3.3). Frames and
+/// scalars become value inputs referenced by the template; an order edge to
+/// the previous print keeps output in program order.
+pub(crate) fn print_args(ctx: &LaFP, args: Vec<PrintArg>) {
+    let mut pieces = Vec::with_capacity(args.len());
+    let mut inputs = Vec::new();
+    for arg in args {
+        match arg {
+            PrintArg::Text(t) => pieces.push(PrintPiece::Text(t)),
+            PrintArg::Frame(f) => {
+                pieces.push(PrintPiece::Value(inputs.len()));
+                inputs.push(f.node);
+            }
+            PrintArg::Scalar(s) => {
+                pieces.push(PrintPiece::Value(inputs.len()));
+                inputs.push(s.node);
+            }
+        }
+    }
+    let mut inner = ctx.inner.lock();
+    let node = inner.graph.add(LogicalOp::Print(pieces), inputs);
+    if let Some(prev) = inner.last_print {
+        inner.graph.add_order_dep(node, prev);
+    }
+    inner.last_print = Some(node);
+    inner.pending_prints.push(node);
+}
+
+// Free-standing sugar for building expressions without a frame handle.
+
+/// Column reference (`df.name` in predicates).
+pub fn col(name: impl Into<String>) -> Expr {
+    Expr::col(name)
+}
+
+/// Integer literal.
+pub fn lit(v: i64) -> Expr {
+    Expr::lit_int(v)
+}
+
+/// Float literal.
+pub fn litf(v: f64) -> Expr {
+    Expr::lit_float(v)
+}
+
+/// String literal.
+pub fn lits(v: impl Into<String>) -> Expr {
+    Expr::lit_str(v)
+}
+
+/// Comparison helper mirroring `a > b` etc. in PandaScript.
+pub fn cmp(a: Expr, op: CmpOp, b: Expr) -> Expr {
+    a.cmp(op, b)
+}
+
+/// Arithmetic helper mirroring `a + b` etc. in PandaScript.
+pub fn arith(a: Expr, op: ArithOp, b: Expr) -> Expr {
+    a.arith(op, b)
+}
+
+/// Re-exported join kind for call sites.
+pub use lafp_columnar::join::JoinKind as Join;
+
+impl std::fmt::Debug for LazyFrame {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "LazyFrame({})", self.node)
+    }
+}
+
+impl std::fmt::Debug for LazyScalar {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "LazyScalar({})", self.node)
+    }
+}

@@ -1,0 +1,340 @@
+//! The task graph (paper Figure 6): an arena of operator nodes with value
+//! edges plus order edges between prints.
+
+use crate::op::{LogicalOp, Value};
+use lafp_backends::MemoryReservation;
+use std::collections::{HashMap, HashSet};
+use std::fmt;
+
+/// Identifier of a node in the LaFP task graph.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NodeId(pub usize);
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+/// A materialized node result with the memory reservation charging it.
+#[derive(Debug)]
+pub struct Materialized {
+    /// The value.
+    pub value: Value,
+    /// The simulated-memory charge backing it (released when dropped).
+    pub reservation: MemoryReservation,
+}
+
+/// One node of the task graph.
+#[derive(Debug)]
+pub struct Node {
+    /// The operator.
+    pub op: LogicalOp,
+    /// Value inputs (data flows from input to this node).
+    pub inputs: Vec<NodeId>,
+    /// Order-only dependencies (print sequencing, §3.3): must execute
+    /// before this node but contribute no data.
+    pub order_deps: Vec<NodeId>,
+    /// Persist this node's result across compute calls (§3.5).
+    pub persist: bool,
+    /// Cached result (set while executing; kept only for persisted nodes).
+    pub result: Option<Materialized>,
+}
+
+/// The LaFP task-graph arena.
+#[derive(Debug, Default)]
+pub struct TaskGraph {
+    nodes: Vec<Node>,
+}
+
+impl TaskGraph {
+    /// Empty graph.
+    pub fn new() -> TaskGraph {
+        TaskGraph::default()
+    }
+
+    /// Number of nodes ever created.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// True if no nodes exist.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Add a node.
+    pub fn add(&mut self, op: LogicalOp, inputs: Vec<NodeId>) -> NodeId {
+        let id = NodeId(self.nodes.len());
+        self.nodes.push(Node {
+            op,
+            inputs,
+            order_deps: Vec::new(),
+            persist: false,
+            result: None,
+        });
+        id
+    }
+
+    /// Add an order-only edge (`before` must run before `node`).
+    pub fn add_order_dep(&mut self, node: NodeId, before: NodeId) {
+        self.nodes[node.0].order_deps.push(before);
+    }
+
+    /// Borrow a node.
+    pub fn node(&self, id: NodeId) -> &Node {
+        &self.nodes[id.0]
+    }
+
+    /// Mutably borrow a node.
+    pub fn node_mut(&mut self, id: NodeId) -> &mut Node {
+        &mut self.nodes[id.0]
+    }
+
+    /// All ids, in creation order.
+    pub fn ids(&self) -> impl Iterator<Item = NodeId> {
+        (0..self.nodes.len()).map(NodeId)
+    }
+
+    /// Nodes reachable from `roots` through value and order edges,
+    /// stopping at nodes that already hold a result (they re-execute as
+    /// constants). This is the implicit dead-node cull: unreachable nodes
+    /// simply never execute.
+    pub fn reachable(&self, roots: &[NodeId]) -> HashSet<NodeId> {
+        let mut seen = HashSet::new();
+        let mut stack: Vec<NodeId> = roots.to_vec();
+        while let Some(id) = stack.pop() {
+            if !seen.insert(id) {
+                continue;
+            }
+            let node = &self.nodes[id.0];
+            if node.result.is_some() {
+                continue; // materialized: upstream not needed
+            }
+            stack.extend(node.inputs.iter().copied());
+            stack.extend(node.order_deps.iter().copied());
+        }
+        seen
+    }
+
+    /// Like [`reachable`](Self::reachable) but ignoring existing results
+    /// (used by liveness bookkeeping for persisted nodes).
+    pub fn reachable_through_results(&self, roots: &[NodeId]) -> HashSet<NodeId> {
+        let mut seen = HashSet::new();
+        let mut stack: Vec<NodeId> = roots.to_vec();
+        while let Some(id) = stack.pop() {
+            if !seen.insert(id) {
+                continue;
+            }
+            let node = &self.nodes[id.0];
+            stack.extend(node.inputs.iter().copied());
+            stack.extend(node.order_deps.iter().copied());
+        }
+        seen
+    }
+
+    /// Topological order of the subgraph reachable from `roots`
+    /// (inputs and order deps before consumers).
+    pub fn topo_order(&self, roots: &[NodeId]) -> Vec<NodeId> {
+        let include = self.reachable(roots);
+        let mut order = Vec::with_capacity(include.len());
+        let mut state: HashMap<NodeId, u8> = HashMap::new();
+        let mut stack: Vec<(NodeId, bool)> = roots.iter().map(|&r| (r, false)).collect();
+        while let Some((id, expanded)) = stack.pop() {
+            if expanded {
+                state.insert(id, 2);
+                order.push(id);
+                continue;
+            }
+            if let Some(_) = state.get(&id) { continue }
+            state.insert(id, 1);
+            stack.push((id, true));
+            let node = &self.nodes[id.0];
+            if node.result.is_none() {
+                for &dep in node.inputs.iter().chain(node.order_deps.iter()).rev() {
+                    if include.contains(&dep) && !state.contains_key(&dep) {
+                        stack.push((dep, false));
+                    }
+                }
+            }
+            let _ = include;
+        }
+        order
+    }
+
+    /// Consumers of each node within `subset` (value edges only), used for
+    /// the ref-counted result clearing of §2.6.
+    pub fn consumer_counts(&self, subset: &HashSet<NodeId>) -> HashMap<NodeId, usize> {
+        let mut counts: HashMap<NodeId, usize> = HashMap::new();
+        for &id in subset {
+            let node = &self.nodes[id.0];
+            if node.result.is_some() {
+                continue;
+            }
+            for &input in &node.inputs {
+                if subset.contains(&input) {
+                    *counts.entry(input).or_default() += 1;
+                }
+            }
+        }
+        counts
+    }
+
+    /// All parents (value-edge consumers) of `id` in the whole graph.
+    pub fn parents_of(&self, id: NodeId) -> Vec<NodeId> {
+        self.ids()
+            .filter(|&p| self.nodes[p.0].inputs.contains(&id))
+            .collect()
+    }
+
+    /// Replace every value/order edge to `from` with `to` (CSE merging).
+    pub fn redirect(&mut self, from: NodeId, to: NodeId) {
+        for node in &mut self.nodes {
+            for input in &mut node.inputs {
+                if *input == from {
+                    *input = to;
+                }
+            }
+            for dep in &mut node.order_deps {
+                if *dep == from {
+                    *dep = to;
+                }
+            }
+        }
+    }
+
+    /// Render the subgraph reachable from `roots` in dependency order,
+    /// one node per line — a textual Figure 6.
+    pub fn explain(&self, roots: &[NodeId]) -> String {
+        let order = self.topo_order(roots);
+        let mut out = String::new();
+        for id in order {
+            let node = &self.nodes[id.0];
+            let inputs: Vec<String> = node.inputs.iter().map(|i| i.to_string()).collect();
+            let deps = if node.order_deps.is_empty() {
+                String::new()
+            } else {
+                format!(
+                    " after[{}]",
+                    node.order_deps
+                        .iter()
+                        .map(|d| d.to_string())
+                        .collect::<Vec<_>>()
+                        .join(",")
+                )
+            };
+            let persist = if node.persist { " [persist]" } else { "" };
+            let cached = if node.result.is_some() { " [cached]" } else { "" };
+            out.push_str(&format!(
+                "{id}: {} <- [{}]{deps}{persist}{cached}\n",
+                node.op.label(),
+                inputs.join(",")
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lafp_expr::Expr;
+
+    fn read_node() -> LogicalOp {
+        LogicalOp::ReadCsv {
+            path: "data.csv".into(),
+            options: lafp_columnar::csv::CsvOptions::new(),
+        }
+    }
+
+    #[test]
+    fn build_and_reach() {
+        let mut g = TaskGraph::new();
+        let r = g.add(read_node(), vec![]);
+        let f = g.add(
+            LogicalOp::Filter(Expr::col("x").gt(Expr::lit_int(0))),
+            vec![r],
+        );
+        let dead = g.add(LogicalOp::Head(5), vec![r]);
+        let reach = g.reachable(&[f]);
+        assert!(reach.contains(&r) && reach.contains(&f));
+        assert!(!reach.contains(&dead));
+    }
+
+    #[test]
+    fn topo_order_inputs_first() {
+        let mut g = TaskGraph::new();
+        let r = g.add(read_node(), vec![]);
+        let f = g.add(
+            LogicalOp::Filter(Expr::col("x").gt(Expr::lit_int(0))),
+            vec![r],
+        );
+        let h = g.add(LogicalOp::Head(3), vec![f]);
+        let order = g.topo_order(&[h]);
+        let pos = |id: NodeId| order.iter().position(|&x| x == id).unwrap();
+        assert!(pos(r) < pos(f));
+        assert!(pos(f) < pos(h));
+    }
+
+    #[test]
+    fn order_deps_respected_in_topo() {
+        let mut g = TaskGraph::new();
+        let r = g.add(read_node(), vec![]);
+        let p1 = g.add(LogicalOp::Print(vec![]), vec![r]);
+        let p2 = g.add(LogicalOp::Print(vec![]), vec![r]);
+        g.add_order_dep(p2, p1);
+        let order = g.topo_order(&[p2]);
+        let pos = |id: NodeId| order.iter().position(|&x| x == id).unwrap();
+        assert!(pos(p1) < pos(p2), "print order edge must sequence prints");
+    }
+
+    #[test]
+    fn consumer_counts_for_refcounting() {
+        let mut g = TaskGraph::new();
+        let r = g.add(read_node(), vec![]);
+        let a = g.add(LogicalOp::Head(1), vec![r]);
+        let b = g.add(LogicalOp::Tail(1), vec![r]);
+        let c = g.add(LogicalOp::Concat, vec![a, b]);
+        let subset = g.reachable(&[c]);
+        let counts = g.consumer_counts(&subset);
+        assert_eq!(counts[&r], 2);
+        assert_eq!(counts[&a], 1);
+        assert_eq!(counts.get(&c), None);
+    }
+
+    #[test]
+    fn redirect_rewires_edges() {
+        let mut g = TaskGraph::new();
+        let r1 = g.add(read_node(), vec![]);
+        let r2 = g.add(read_node(), vec![]);
+        let f = g.add(
+            LogicalOp::Filter(Expr::col("x").gt(Expr::lit_int(0))),
+            vec![r2],
+        );
+        g.redirect(r2, r1);
+        assert_eq!(g.node(f).inputs, vec![r1]);
+    }
+
+    #[test]
+    fn parents_of_counts_all_consumers() {
+        let mut g = TaskGraph::new();
+        let r = g.add(read_node(), vec![]);
+        let _a = g.add(LogicalOp::Head(1), vec![r]);
+        let _b = g.add(LogicalOp::Tail(1), vec![r]);
+        assert_eq!(g.parents_of(r).len(), 2);
+    }
+
+    #[test]
+    fn explain_renders_plan() {
+        let mut g = TaskGraph::new();
+        let r = g.add(read_node(), vec![]);
+        let f = g.add(
+            LogicalOp::Filter(Expr::col("fare").gt(Expr::lit_float(0.0))),
+            vec![r],
+        );
+        let text = g.explain(&[f]);
+        assert!(text.contains("read_csv"));
+        assert!(text.contains("filter"));
+        assert!(text.contains("df.fare"));
+    }
+}

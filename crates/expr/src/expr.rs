@@ -1,0 +1,548 @@
+//! The expression tree and its evaluation / analysis methods.
+
+use lafp_columnar::column::{ArithOp, CmpOp, Column, DtField, StrOp};
+use lafp_columnar::{Bitmap, ColumnarError, DataFrame, Result, Scalar};
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// A row-level expression over the columns of one dataframe.
+///
+/// This is what filter predicates and computed-column definitions carry in
+/// the LaFP task graph, and what the runtime optimizer inspects to decide
+/// whether a filter can be swapped below an operator (§3.2's
+/// `used_attrs` / `mod_attrs` conditions).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    /// Reference to a column of the input frame.
+    Col(String),
+    /// A literal scalar.
+    Lit(Scalar),
+    /// Comparison between two sub-expressions.
+    Cmp(Box<Expr>, CmpOp, Box<Expr>),
+    /// Arithmetic between two sub-expressions.
+    Arith(Box<Expr>, ArithOp, Box<Expr>),
+    /// Boolean conjunction.
+    And(Box<Expr>, Box<Expr>),
+    /// Boolean disjunction.
+    Or(Box<Expr>, Box<Expr>),
+    /// Boolean negation.
+    Not(Box<Expr>),
+    /// Datetime accessor (`expr.dt.<field>`).
+    Dt(Box<Expr>, DtField),
+    /// String accessor (`expr.str.<op>`).
+    Str(Box<Expr>, StrOp),
+    /// Null test (`expr.isna()`).
+    IsNull(Box<Expr>),
+    /// Non-null test (`expr.notna()`).
+    NotNull(Box<Expr>),
+    /// Absolute value.
+    Abs(Box<Expr>),
+    /// Round to n decimal places.
+    Round(Box<Expr>, i32),
+    /// Replace nulls with a literal (`expr.fillna(lit)`).
+    FillNa(Box<Expr>, Scalar),
+    /// Cast (`expr.astype(dtype)`).
+    Cast(Box<Expr>, lafp_columnar::DType),
+}
+
+impl Expr {
+    /// Column reference.
+    pub fn col(name: impl Into<String>) -> Expr {
+        Expr::Col(name.into())
+    }
+
+    /// Integer literal.
+    pub fn lit_int(v: i64) -> Expr {
+        Expr::Lit(Scalar::Int(v))
+    }
+
+    /// Float literal.
+    pub fn lit_float(v: f64) -> Expr {
+        Expr::Lit(Scalar::Float(v))
+    }
+
+    /// String literal.
+    pub fn lit_str(v: impl Into<String>) -> Expr {
+        Expr::Lit(Scalar::Str(v.into()))
+    }
+
+    /// `self <op> rhs` comparison.
+    pub fn cmp(self, op: CmpOp, rhs: Expr) -> Expr {
+        Expr::Cmp(Box::new(self), op, Box::new(rhs))
+    }
+
+    /// `self > rhs`.
+    pub fn gt(self, rhs: Expr) -> Expr {
+        self.cmp(CmpOp::Gt, rhs)
+    }
+
+    /// `self < rhs`.
+    pub fn lt(self, rhs: Expr) -> Expr {
+        self.cmp(CmpOp::Lt, rhs)
+    }
+
+    /// `self == rhs`.
+    pub fn eq_(self, rhs: Expr) -> Expr {
+        self.cmp(CmpOp::Eq, rhs)
+    }
+
+    /// `self >= rhs`.
+    pub fn ge(self, rhs: Expr) -> Expr {
+        self.cmp(CmpOp::Ge, rhs)
+    }
+
+    /// `self <= rhs`.
+    pub fn le(self, rhs: Expr) -> Expr {
+        self.cmp(CmpOp::Le, rhs)
+    }
+
+    /// `self != rhs`.
+    pub fn ne_(self, rhs: Expr) -> Expr {
+        self.cmp(CmpOp::Ne, rhs)
+    }
+
+    /// `self <op> rhs` arithmetic.
+    pub fn arith(self, op: ArithOp, rhs: Expr) -> Expr {
+        Expr::Arith(Box::new(self), op, Box::new(rhs))
+    }
+
+    /// Conjunction.
+    pub fn and(self, rhs: Expr) -> Expr {
+        Expr::And(Box::new(self), Box::new(rhs))
+    }
+
+    /// Disjunction.
+    pub fn or(self, rhs: Expr) -> Expr {
+        Expr::Or(Box::new(self), Box::new(rhs))
+    }
+
+    /// Negation.
+    pub fn not(self) -> Expr {
+        Expr::Not(Box::new(self))
+    }
+
+    /// Datetime accessor.
+    pub fn dt(self, field: DtField) -> Expr {
+        Expr::Dt(Box::new(self), field)
+    }
+
+    /// String accessor.
+    pub fn str_op(self, op: StrOp) -> Expr {
+        Expr::Str(Box::new(self), op)
+    }
+
+    // -- analysis --------------------------------------------------------
+
+    /// The set of input columns this expression reads — the paper's
+    /// `used_attrs` for predicate-pushdown safe points (§3.2).
+    pub fn used_columns(&self) -> BTreeSet<String> {
+        let mut out = BTreeSet::new();
+        self.collect_columns(&mut out);
+        out
+    }
+
+    fn collect_columns(&self, out: &mut BTreeSet<String>) {
+        match self {
+            Expr::Col(name) => {
+                out.insert(name.clone());
+            }
+            Expr::Lit(_) => {}
+            Expr::Cmp(a, _, b) | Expr::Arith(a, _, b) | Expr::And(a, b) | Expr::Or(a, b) => {
+                a.collect_columns(out);
+                b.collect_columns(out);
+            }
+            Expr::Not(e)
+            | Expr::Dt(e, _)
+            | Expr::Str(e, _)
+            | Expr::IsNull(e)
+            | Expr::NotNull(e)
+            | Expr::Abs(e)
+            | Expr::Round(e, _)
+            | Expr::FillNa(e, _)
+            | Expr::Cast(e, _) => e.collect_columns(out),
+        }
+    }
+
+    /// Rewrite column references through a renaming map (used when pushing
+    /// a predicate below a `rename` operator: the predicate must refer to
+    /// the pre-rename column names).
+    pub fn substitute(&self, map: &dyn Fn(&str) -> Option<String>) -> Expr {
+        match self {
+            Expr::Col(name) => Expr::Col(map(name).unwrap_or_else(|| name.clone())),
+            Expr::Lit(v) => Expr::Lit(v.clone()),
+            Expr::Cmp(a, op, b) => Expr::Cmp(
+                Box::new(a.substitute(map)),
+                *op,
+                Box::new(b.substitute(map)),
+            ),
+            Expr::Arith(a, op, b) => Expr::Arith(
+                Box::new(a.substitute(map)),
+                *op,
+                Box::new(b.substitute(map)),
+            ),
+            Expr::And(a, b) => a.substitute(map).and(b.substitute(map)),
+            Expr::Or(a, b) => a.substitute(map).or(b.substitute(map)),
+            Expr::Not(e) => e.substitute(map).not(),
+            Expr::Dt(e, f) => e.substitute(map).dt(*f),
+            Expr::Str(e, o) => e.substitute(map).str_op(o.clone()),
+            Expr::IsNull(e) => Expr::IsNull(Box::new(e.substitute(map))),
+            Expr::NotNull(e) => Expr::NotNull(Box::new(e.substitute(map))),
+            Expr::Abs(e) => Expr::Abs(Box::new(e.substitute(map))),
+            Expr::Round(e, d) => Expr::Round(Box::new(e.substitute(map)), *d),
+            Expr::FillNa(e, v) => Expr::FillNa(Box::new(e.substitute(map)), v.clone()),
+            Expr::Cast(e, t) => Expr::Cast(Box::new(e.substitute(map)), *t),
+        }
+    }
+
+    /// Structural 64-bit fingerprint: equal expressions fingerprint equal.
+    /// Used (with input-node identity) for common-subexpression detection.
+    pub fn fingerprint(&self) -> u64 {
+        let mut h = 0xcbf29ce484222325u64;
+        self.hash_into(&mut h);
+        h
+    }
+
+    fn hash_into(&self, h: &mut u64) {
+        let mix = |h: &mut u64, v: u64| {
+            *h = (*h ^ v).wrapping_mul(0x100000001b3);
+        };
+        let mix_str = |h: &mut u64, s: &str| {
+            for b in s.as_bytes() {
+                mix(h, *b as u64);
+            }
+            mix(h, 0xFF);
+        };
+        match self {
+            Expr::Col(name) => {
+                mix(h, 1);
+                mix_str(h, name);
+            }
+            Expr::Lit(v) => {
+                mix(h, 2);
+                mix_str(h, &format!("{v:?}"));
+            }
+            Expr::Cmp(a, op, b) => {
+                mix(h, 3);
+                mix(h, *op as u64);
+                a.hash_into(h);
+                b.hash_into(h);
+            }
+            Expr::Arith(a, op, b) => {
+                mix(h, 4);
+                mix(h, *op as u64);
+                a.hash_into(h);
+                b.hash_into(h);
+            }
+            Expr::And(a, b) => {
+                mix(h, 5);
+                a.hash_into(h);
+                b.hash_into(h);
+            }
+            Expr::Or(a, b) => {
+                mix(h, 6);
+                a.hash_into(h);
+                b.hash_into(h);
+            }
+            Expr::Not(e) => {
+                mix(h, 7);
+                e.hash_into(h);
+            }
+            Expr::Dt(e, f) => {
+                mix(h, 8);
+                mix(h, *f as u64);
+                e.hash_into(h);
+            }
+            Expr::Str(e, o) => {
+                mix(h, 9);
+                mix_str(h, &format!("{o:?}"));
+                e.hash_into(h);
+            }
+            Expr::IsNull(e) => {
+                mix(h, 10);
+                e.hash_into(h);
+            }
+            Expr::NotNull(e) => {
+                mix(h, 11);
+                e.hash_into(h);
+            }
+            Expr::Abs(e) => {
+                mix(h, 12);
+                e.hash_into(h);
+            }
+            Expr::Round(e, d) => {
+                mix(h, 13);
+                mix(h, *d as u64);
+                e.hash_into(h);
+            }
+            Expr::FillNa(e, v) => {
+                mix(h, 14);
+                mix_str(h, &format!("{v:?}"));
+                e.hash_into(h);
+            }
+            Expr::Cast(e, t) => {
+                mix(h, 15);
+                mix_str(h, &t.to_string());
+                e.hash_into(h);
+            }
+        }
+    }
+
+    // -- evaluation -------------------------------------------------------
+
+    /// Evaluate to a column against `frame`; scalars broadcast to the
+    /// frame's row count.
+    pub fn evaluate(&self, frame: &DataFrame) -> Result<Column> {
+        match self {
+            Expr::Col(name) => Ok(frame.column(name)?.column().clone()),
+            Expr::Lit(v) => Ok(Column::full(frame.num_rows(), v)),
+            Expr::Cmp(a, op, b) => {
+                let mask = match (a.as_ref(), b.as_ref()) {
+                    // Fast path: column vs literal avoids materializing the literal.
+                    (_, Expr::Lit(v)) => a.evaluate(frame)?.compare_scalar(*op, v)?,
+                    (Expr::Lit(v), _) => b.evaluate(frame)?.compare_scalar(flip(*op), v)?,
+                    _ => a.evaluate(frame)?.compare(*op, &b.evaluate(frame)?)?,
+                };
+                Ok(Column::Bool(mask, None))
+            }
+            Expr::Arith(a, op, b) => match (a.as_ref(), b.as_ref()) {
+                (_, Expr::Lit(v)) => a.evaluate(frame)?.arith_scalar(*op, v),
+                _ => a.evaluate(frame)?.arith(*op, &b.evaluate(frame)?),
+            },
+            Expr::And(a, b) => {
+                let mask = a.evaluate(frame)?.and(&b.evaluate(frame)?)?;
+                Ok(Column::Bool(mask, None))
+            }
+            Expr::Or(a, b) => {
+                let mask = a.evaluate(frame)?.or(&b.evaluate(frame)?)?;
+                Ok(Column::Bool(mask, None))
+            }
+            Expr::Not(e) => Ok(Column::Bool(e.evaluate(frame)?.invert()?, None)),
+            Expr::Dt(e, f) => e.evaluate(frame)?.dt_field(*f),
+            Expr::Str(e, o) => e.evaluate(frame)?.str_op(o),
+            Expr::IsNull(e) => Ok(Column::Bool(e.evaluate(frame)?.is_null_mask(), None)),
+            Expr::NotNull(e) => Ok(Column::Bool(e.evaluate(frame)?.is_null_mask().not(), None)),
+            Expr::Abs(e) => e.evaluate(frame)?.abs(),
+            Expr::Round(e, d) => e.evaluate(frame)?.round(*d),
+            Expr::FillNa(e, v) => e.evaluate(frame)?.fillna(v),
+            Expr::Cast(e, t) => e.evaluate(frame)?.cast(*t),
+        }
+    }
+
+    /// Evaluate as a filter mask; errors if the expression isn't boolean.
+    pub fn evaluate_mask(&self, frame: &DataFrame) -> Result<Bitmap> {
+        let col = self.evaluate(frame)?;
+        col.as_mask().map_err(|_| ColumnarError::TypeMismatch {
+            op: format!("filter predicate {self}"),
+            dtype: col.dtype().to_string(),
+        })
+    }
+
+    /// Evaluate against an empty projection of `frame` — i.e. evaluate a
+    /// constant expression (no column refs) to a single scalar.
+    pub fn evaluate_scalar(&self) -> Result<Scalar> {
+        if !self.used_columns().is_empty() {
+            return Err(ColumnarError::InvalidArgument(format!(
+                "expression {self} references columns; cannot evaluate as a constant"
+            )));
+        }
+        let unit = DataFrame::new(vec![lafp_columnar::Series::new(
+            "__unit",
+            Column::from_i64(vec![0]),
+        )])?;
+        Ok(self.evaluate(&unit)?.get(0))
+    }
+}
+
+/// Flip a comparison for operand swap: `lit < col` ⇔ `col > lit`.
+fn flip(op: CmpOp) -> CmpOp {
+    match op {
+        CmpOp::Lt => CmpOp::Gt,
+        CmpOp::Le => CmpOp::Ge,
+        CmpOp::Gt => CmpOp::Lt,
+        CmpOp::Ge => CmpOp::Le,
+        CmpOp::Eq => CmpOp::Eq,
+        CmpOp::Ne => CmpOp::Ne,
+    }
+}
+
+impl fmt::Display for Expr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Expr::Col(name) => write!(f, "df.{name}"),
+            Expr::Lit(Scalar::Str(s)) => write!(f, "{s:?}"),
+            Expr::Lit(v) => write!(f, "{v}"),
+            Expr::Cmp(a, op, b) => {
+                let sym = match op {
+                    CmpOp::Eq => "==",
+                    CmpOp::Ne => "!=",
+                    CmpOp::Lt => "<",
+                    CmpOp::Le => "<=",
+                    CmpOp::Gt => ">",
+                    CmpOp::Ge => ">=",
+                };
+                write!(f, "({a} {sym} {b})")
+            }
+            Expr::Arith(a, op, b) => {
+                let sym = match op {
+                    ArithOp::Add => "+",
+                    ArithOp::Sub => "-",
+                    ArithOp::Mul => "*",
+                    ArithOp::Div => "/",
+                    ArithOp::Mod => "%",
+                };
+                write!(f, "({a} {sym} {b})")
+            }
+            Expr::And(a, b) => write!(f, "({a} & {b})"),
+            Expr::Or(a, b) => write!(f, "({a} | {b})"),
+            Expr::Not(e) => write!(f, "~{e}"),
+            Expr::Dt(e, field) => write!(f, "{e}.dt.{field:?}"),
+            Expr::Str(e, op) => write!(f, "{e}.str.{op:?}"),
+            Expr::IsNull(e) => write!(f, "{e}.isna()"),
+            Expr::NotNull(e) => write!(f, "{e}.notna()"),
+            Expr::Abs(e) => write!(f, "{e}.abs()"),
+            Expr::Round(e, d) => write!(f, "{e}.round({d})"),
+            Expr::FillNa(e, v) => write!(f, "{e}.fillna({v})"),
+            Expr::Cast(e, t) => write!(f, "{e}.astype({t:?})"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lafp_columnar::df;
+
+    fn frame() -> DataFrame {
+        df![
+            ("fare", Column::from_f64(vec![5.0, -1.0, 12.0])),
+            ("tip", Column::from_f64(vec![1.0, 0.0, 2.0])),
+            ("city", Column::from_strings(vec!["NY", "SF", "NY"])),
+        ]
+    }
+
+    #[test]
+    fn used_columns_collects_all_refs() {
+        let e = Expr::col("fare")
+            .gt(Expr::lit_float(0.0))
+            .and(Expr::col("city").eq_(Expr::lit_str("NY")));
+        let used: Vec<String> = e.used_columns().into_iter().collect();
+        assert_eq!(used, vec!["city".to_string(), "fare".to_string()]);
+        assert!(Expr::lit_int(1).used_columns().is_empty());
+    }
+
+    #[test]
+    fn evaluate_comparison_and_logic() {
+        let e = Expr::col("fare").gt(Expr::lit_float(0.0));
+        let mask = e.evaluate_mask(&frame()).unwrap();
+        assert_eq!(mask.set_indices(), vec![0, 2]);
+        let e2 = e.and(Expr::col("city").eq_(Expr::lit_str("NY")));
+        assert_eq!(e2.evaluate_mask(&frame()).unwrap().set_indices(), vec![0, 2]);
+        let e3 = Expr::col("fare")
+            .lt(Expr::lit_float(0.0))
+            .or(Expr::col("tip").gt(Expr::lit_float(1.5)));
+        assert_eq!(e3.evaluate_mask(&frame()).unwrap().set_indices(), vec![1, 2]);
+        let e4 = Expr::col("fare").gt(Expr::lit_float(0.0)).not();
+        assert_eq!(e4.evaluate_mask(&frame()).unwrap().set_indices(), vec![1]);
+    }
+
+    #[test]
+    fn evaluate_arith_broadcasts_literals() {
+        let e = Expr::col("fare").arith(ArithOp::Add, Expr::col("tip"));
+        let c = e.evaluate(&frame()).unwrap();
+        assert_eq!(c.get(0), Scalar::Float(6.0));
+        let e = Expr::col("fare").arith(ArithOp::Mul, Expr::lit_float(2.0));
+        assert_eq!(e.evaluate(&frame()).unwrap().get(2), Scalar::Float(24.0));
+    }
+
+    #[test]
+    fn flipped_literal_on_left() {
+        // 0 < fare  ==  fare > 0
+        let e = Expr::lit_float(0.0).lt(Expr::col("fare"));
+        assert_eq!(e.evaluate_mask(&frame()).unwrap().set_indices(), vec![0, 2]);
+    }
+
+    #[test]
+    fn non_boolean_filter_rejected() {
+        let e = Expr::col("fare");
+        assert!(e.evaluate_mask(&frame()).is_err());
+    }
+
+    #[test]
+    fn fingerprints_equal_iff_structurally_equal() {
+        let a = Expr::col("fare").gt(Expr::lit_float(0.0));
+        let b = Expr::col("fare").gt(Expr::lit_float(0.0));
+        let c = Expr::col("fare").ge(Expr::lit_float(0.0));
+        let d = Expr::col("tip").gt(Expr::lit_float(0.0));
+        assert_eq!(a.fingerprint(), b.fingerprint());
+        assert_ne!(a.fingerprint(), c.fingerprint());
+        assert_ne!(a.fingerprint(), d.fingerprint());
+    }
+
+    #[test]
+    fn substitute_renames_columns() {
+        let e = Expr::col("new_name").gt(Expr::lit_int(0));
+        let renamed = e.substitute(&|c| {
+            (c == "new_name").then(|| "old_name".to_string())
+        });
+        assert_eq!(
+            renamed.used_columns().into_iter().collect::<Vec<_>>(),
+            vec!["old_name".to_string()]
+        );
+    }
+
+    #[test]
+    fn null_handling_expressions() {
+        let df = df![("x", Column::from_opt_f64(vec![Some(1.0), None]))];
+        let isna = Expr::IsNull(Box::new(Expr::col("x")));
+        assert_eq!(isna.evaluate_mask(&df).unwrap().set_indices(), vec![1]);
+        let notna = Expr::NotNull(Box::new(Expr::col("x")));
+        assert_eq!(notna.evaluate_mask(&df).unwrap().set_indices(), vec![0]);
+        let filled = Expr::FillNa(Box::new(Expr::col("x")), Scalar::Float(9.0));
+        assert_eq!(filled.evaluate(&df).unwrap().get(1), Scalar::Float(9.0));
+    }
+
+    #[test]
+    fn evaluate_scalar_constants() {
+        let e = Expr::lit_int(2).arith(ArithOp::Mul, Expr::lit_int(21));
+        assert_eq!(e.evaluate_scalar().unwrap(), Scalar::Int(42));
+        assert!(Expr::col("x").evaluate_scalar().is_err());
+    }
+
+    #[test]
+    fn display_is_readable() {
+        let e = Expr::col("fare")
+            .gt(Expr::lit_float(0.0))
+            .and(Expr::col("city").eq_(Expr::lit_str("NY")));
+        let text = e.to_string();
+        assert!(text.contains("df.fare"));
+        assert!(text.contains(">"));
+        assert!(text.contains("\"NY\""));
+    }
+
+    #[test]
+    fn dt_and_str_in_expressions() {
+        use lafp_columnar::value::parse_datetime;
+        let df = df![
+            (
+                "when",
+                Column::from_datetimes(vec![
+                    parse_datetime("2024-01-01 09:00:00").unwrap(), // Monday
+                    parse_datetime("2024-01-06 09:00:00").unwrap(), // Saturday
+                ])
+            ),
+            ("name", Column::from_strings(vec!["Alpha", "beta"])),
+        ];
+        let weekday = Expr::col("when").dt(DtField::DayOfWeek);
+        let mask = weekday
+            .clone()
+            .ge(Expr::lit_int(5))
+            .evaluate_mask(&df)
+            .unwrap();
+        assert_eq!(mask.set_indices(), vec![1]);
+        let lower = Expr::col("name").str_op(StrOp::Lower);
+        assert_eq!(
+            lower.evaluate(&df).unwrap().get(0),
+            Scalar::Str("alpha".into())
+        );
+    }
+}

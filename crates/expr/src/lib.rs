@@ -1,0 +1,13 @@
+//! # lafp-expr
+//!
+//! Row-level expression trees shared by the LaFP task graph and all
+//! backends. A filter node in the paper's task graph (Figure 6) carries a
+//! predicate like `df.fare_amount > 0`; this crate is that predicate:
+//! construction, the `used_attrs` computation that predicate pushdown's
+//! safe-point conditions need (§3.2), structural fingerprints for common
+//! subexpression detection (§3.5), and vectorized evaluation against a
+//! `DataFrame`.
+
+pub mod expr;
+
+pub use expr::Expr;

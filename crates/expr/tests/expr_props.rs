@@ -1,0 +1,99 @@
+//! Property-based tests on expression evaluation invariants.
+
+use lafp_columnar::column::{ArithOp, CmpOp, Column};
+use lafp_columnar::{DataFrame, Scalar, Series};
+use lafp_expr::Expr;
+use proptest::prelude::*;
+
+fn frame(values: &[i64]) -> DataFrame {
+    DataFrame::new(vec![Series::new("x", Column::from_i64(values.to_vec()))]).unwrap()
+}
+
+proptest! {
+    /// A predicate and its negation partition the rows.
+    #[test]
+    fn negation_partitions(values in prop::collection::vec(-100i64..100, 0..150), t in -100i64..100) {
+        let df = frame(&values);
+        let p = Expr::col("x").gt(Expr::lit_int(t));
+        let m = p.clone().evaluate_mask(&df).unwrap();
+        let n = p.not().evaluate_mask(&df).unwrap();
+        prop_assert_eq!(m.count_set() + n.count_set(), values.len());
+        prop_assert_eq!(m.and(&n).count_set(), 0);
+    }
+
+    /// `a & b` is the intersection of the individual masks, `a | b` the union.
+    #[test]
+    fn conjunction_is_intersection(values in prop::collection::vec(-100i64..100, 0..150),
+                                   lo in -100i64..0, hi in 0i64..100) {
+        let df = frame(&values);
+        let a = Expr::col("x").ge(Expr::lit_int(lo));
+        let b = Expr::col("x").le(Expr::lit_int(hi));
+        let both = a.clone().and(b.clone()).evaluate_mask(&df).unwrap();
+        let either = a.clone().or(b.clone()).evaluate_mask(&df).unwrap();
+        let ma = a.evaluate_mask(&df).unwrap();
+        let mb = b.evaluate_mask(&df).unwrap();
+        prop_assert_eq!(&both, &ma.and(&mb));
+        prop_assert_eq!(&either, &ma.or(&mb));
+    }
+
+    /// Filter commutes with row-wise arithmetic: computing a column then
+    /// filtering equals filtering then computing — the §3.2 pushdown
+    /// safety condition for WithColumn, checked semantically.
+    #[test]
+    fn pushdown_semantics_hold(values in prop::collection::vec(-50i64..50, 0..120)) {
+        let df = frame(&values);
+        let derived = Expr::col("x").arith(ArithOp::Mul, Expr::lit_int(2));
+        let pred = Expr::col("x").gt(Expr::lit_int(0));
+        // compute-then-filter
+        let with = df.with_column("y", derived.evaluate(&df).unwrap()).unwrap();
+        let a = with.filter(&pred.evaluate_mask(&with).unwrap()).unwrap();
+        // filter-then-compute
+        let filtered = df.filter(&pred.evaluate_mask(&df).unwrap()).unwrap();
+        let b = filtered
+            .with_column("y", derived.evaluate(&filtered).unwrap())
+            .unwrap();
+        prop_assert_eq!(a, b);
+    }
+
+    /// Comparison operators agree with Rust's integer ordering.
+    #[test]
+    fn comparisons_match_rust(values in prop::collection::vec(-100i64..100, 1..100), t in -100i64..100) {
+        let df = frame(&values);
+        for (op, f) in [
+            (CmpOp::Eq, Box::new(move |v: i64| v == t) as Box<dyn Fn(i64) -> bool>),
+            (CmpOp::Ne, Box::new(move |v| v != t)),
+            (CmpOp::Lt, Box::new(move |v| v < t)),
+            (CmpOp::Le, Box::new(move |v| v <= t)),
+            (CmpOp::Gt, Box::new(move |v| v > t)),
+            (CmpOp::Ge, Box::new(move |v| v >= t)),
+        ] {
+            let mask = Expr::col("x").cmp(op, Expr::lit_int(t)).evaluate_mask(&df).unwrap();
+            for (i, &v) in values.iter().enumerate() {
+                prop_assert_eq!(mask.get(i), f(v), "{:?} {} {}", op, v, t);
+            }
+        }
+    }
+
+    /// Fingerprints are stable under cloning and differ for different
+    /// thresholds (no trivial collisions on this family).
+    #[test]
+    fn fingerprint_stability(t1 in -1000i64..1000, t2 in -1000i64..1000) {
+        let a = Expr::col("x").gt(Expr::lit_int(t1));
+        prop_assert_eq!(a.fingerprint(), a.clone().fingerprint());
+        let b = Expr::col("x").gt(Expr::lit_int(t2));
+        if t1 != t2 {
+            prop_assert_ne!(a.fingerprint(), b.fingerprint());
+        } else {
+            prop_assert_eq!(a.fingerprint(), b.fingerprint());
+        }
+    }
+
+    /// Scalar folding: constant expressions evaluate like i64 arithmetic.
+    #[test]
+    fn constant_folding_matches(a in -1000i64..1000, b in 1i64..1000) {
+        let sum = Expr::lit_int(a).arith(ArithOp::Add, Expr::lit_int(b));
+        prop_assert_eq!(sum.evaluate_scalar().unwrap(), Scalar::Int(a + b));
+        let div = Expr::lit_int(a).arith(ArithOp::Div, Expr::lit_int(b));
+        prop_assert_eq!(div.evaluate_scalar().unwrap(), Scalar::Float(a as f64 / b as f64));
+    }
+}

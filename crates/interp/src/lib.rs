@@ -1,0 +1,28 @@
+//! # lafp-interp — executing PandaScript programs
+//!
+//! The paper evaluates six configurations (§5): plain Pandas / Modin /
+//! Dask (the baselines; for Dask, the manually-ported program that forces
+//! `compute()` at prints and external calls), and LPandas / LModin / LDask
+//! (the same program run through the JIT rewriter on the LaFP runtime).
+//!
+//! This crate is the executor for all six:
+//!
+//! * [`ExecMode::Eager`] — statement-by-statement eager evaluation on the
+//!   Pandas-like or Modin-like engine; every value a program variable
+//!   holds is materialized (and charged against the memory budget).
+//! * [`ExecMode::PlainDask`] — the "manual Dask port": lazy graphs, but
+//!   each print/plot/aggregate forces a separate `compute()` pass, with no
+//!   cross-statement optimization and no persistence hints.
+//! * [`ExecMode::Lafp`] — the full LaFP runtime (lazy task graph, runtime
+//!   optimizer, lazy print, `compute(live_df=...)`).
+//!
+//! [`regress`] provides the order-insensitive result hashing used by the
+//! paper's regression framework (§5.2) to check that every optimized
+//! configuration matches unoptimized Pandas.
+
+pub mod interp;
+pub mod regress;
+pub mod value;
+
+pub use interp::{ExecMode, Interp, RunOutcome};
+pub use regress::result_hash;

@@ -1,0 +1,114 @@
+//! Runtime values of the PandaScript interpreter.
+
+use lafp_backends::{DaskNodeId, MemoryReservation};
+use lafp_columnar::{DataFrame, Scalar};
+use lafp_core::LazyFrame;
+use lafp_expr::Expr as ColExpr;
+use std::rc::Rc;
+use std::sync::Arc;
+
+/// A dataframe handle, whose representation depends on the execution mode.
+#[derive(Clone)]
+pub enum FrameVal {
+    /// Materialized frame (eager modes); the reservation charges it
+    /// against the simulated budget for as long as any variable holds it.
+    Eager(Arc<DataFrame>, Rc<MemoryReservation>),
+    /// A node in the plain-Dask engine graph.
+    DaskNode(DaskNodeId),
+    /// A LaFP lazy frame.
+    Lafp(LazyFrame),
+}
+
+impl std::fmt::Debug for FrameVal {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FrameVal::Eager(df, _) => write!(f, "Eager({:?})", df.shape()),
+            FrameVal::DaskNode(id) => write!(f, "DaskNode({id})"),
+            FrameVal::Lafp(lf) => write!(f, "Lafp({})", lf.node()),
+        }
+    }
+}
+
+/// A series: a column expression over a frame (`df.fare * 2`, a boolean
+/// mask, ...). Kept symbolic so filters and computed columns translate to
+/// operator expressions in every mode.
+#[derive(Debug, Clone)]
+pub struct SeriesVal {
+    /// The frame the expression reads.
+    pub frame: FrameVal,
+    /// The column-level expression.
+    pub expr: ColExpr,
+}
+
+/// Accessor namespaces (`series.dt`, `series.str`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Namespace {
+    /// Datetime accessors.
+    Dt,
+    /// String accessors.
+    Str,
+}
+
+/// Any value a PandaScript variable can hold.
+#[derive(Debug, Clone)]
+pub enum PyValue {
+    /// A dataframe.
+    Frame(FrameVal),
+    /// A column expression over a frame.
+    Series(SeriesVal),
+    /// `series.dt` / `series.str` awaiting the accessor field.
+    Accessor(SeriesVal, Namespace),
+    /// A concrete scalar (numbers, strings, bools, aggregates in eager
+    /// modes).
+    Scalar(Scalar),
+    /// A lazily-computed scalar (LaFP mode aggregates / lazy len).
+    LazyScalar(lafp_core::LazyScalar),
+    /// A pending `df.groupby([keys])` awaiting column selection.
+    GroupBy(FrameVal, Vec<String>),
+    /// A pending `df.groupby([keys])["col"]` awaiting the aggregate.
+    GroupByCol(FrameVal, Vec<String>, String),
+    /// A list (paths, column lists, live_df lists...).
+    List(Vec<PyValue>),
+    /// A dict literal (kwargs payloads like dtype maps).
+    Dict(Vec<(PyValue, PyValue)>),
+    /// Python's None.
+    None,
+    /// A module handle (pd, plt, ...).
+    Module(String),
+}
+
+impl PyValue {
+    /// String view.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            PyValue::Scalar(Scalar::Str(s)) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Truthiness for `if` conditions.
+    pub fn truthy(&self) -> bool {
+        match self {
+            PyValue::Scalar(Scalar::Bool(b)) => *b,
+            PyValue::Scalar(Scalar::Int(v)) => *v != 0,
+            PyValue::Scalar(Scalar::Float(v)) => *v != 0.0,
+            PyValue::Scalar(Scalar::Str(s)) => !s.is_empty(),
+            PyValue::Scalar(Scalar::Null) => false,
+            PyValue::List(items) => !items.is_empty(),
+            PyValue::None => false,
+            _ => true,
+        }
+    }
+
+    /// Extract a string list (e.g. `usecols=[...]`, `by=[...]`).
+    pub fn as_string_list(&self) -> Option<Vec<String>> {
+        match self {
+            PyValue::List(items) => items
+                .iter()
+                .map(|v| v.as_str().map(str::to_string))
+                .collect(),
+            PyValue::Scalar(Scalar::Str(s)) => Some(vec![s.clone()]),
+            _ => None,
+        }
+    }
+}

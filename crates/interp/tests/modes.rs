@@ -1,0 +1,234 @@
+//! Cross-configuration integration tests: the same PandaScript program
+//! must produce hash-identical results in all six configurations (§5.2).
+
+use lafp_backends::BackendKind;
+use lafp_columnar::column::Column;
+use lafp_columnar::csv::write_csv;
+use lafp_columnar::df;
+use lafp_core::LafpConfig;
+use lafp_interp::{result_hash, ExecMode, Interp};
+use lafp_rewrite::{analyze, RewriteOptions};
+use std::path::PathBuf;
+
+fn dataset(rows: usize) -> (PathBuf, PathBuf) {
+    let dir = std::env::temp_dir().join(format!(
+        "lafp-interp-it-{}",
+        std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .unwrap()
+            .as_nanos()
+    ));
+    std::fs::create_dir_all(&dir).unwrap();
+    let trips = df![
+        (
+            "pickup_datetime",
+            Column::from_datetimes(
+                (0..rows)
+                    .map(|i| 1_700_000_000 + (i as i64) * 3600)
+                    .collect()
+            )
+        ),
+        (
+            "fare_amount",
+            Column::from_f64((0..rows).map(|i| (i % 40) as f64 - 3.0).collect())
+        ),
+        (
+            "passenger_count",
+            Column::from_i64((0..rows).map(|i| (i % 4 + 1) as i64).collect())
+        ),
+        (
+            "vendor",
+            Column::from_strings((0..rows).map(|i| format!("V{}", i % 3)).collect::<Vec<_>>())
+        ),
+        (
+            "unused_blob",
+            Column::from_strings((0..rows).map(|i| format!("blob-{i}")).collect::<Vec<_>>())
+        ),
+    ];
+    let trips_path = dir.join("trips.csv");
+    write_csv(&trips, &trips_path).unwrap();
+    let lookup = df![
+        ("vendor", Column::from_strings(vec!["V0", "V1", "V2"])),
+        ("vendor_name", Column::from_strings(vec!["Acme", "Blue", "Cab"])),
+    ];
+    let lookup_path = dir.join("vendors.csv");
+    write_csv(&lookup, &lookup_path).unwrap();
+    (dir, trips_path)
+}
+
+const PROGRAM: &str = "\
+import lazyfatpandas.pandas as pd
+pd.analyze()
+df = pd.read_csv('trips.csv', parse_dates=['pickup_datetime'])
+df = df[df.fare_amount > 0]
+df['day'] = df.pickup_datetime.dt.dayofweek
+g = df.groupby(['day'])['passenger_count'].sum()
+print(g)
+avg = df.fare_amount.mean()
+print(f'Average fare: {avg}')
+";
+
+fn run_mode(mode: ExecMode, backend: BackendKind, src: &str, dir: &PathBuf) -> Vec<String> {
+    let config = LafpConfig {
+        backend,
+        chunk_rows: 16,
+        ..Default::default()
+    };
+    let mut interp = Interp::new(mode, config, dir.clone());
+    let ast = lafp_ir::parser::parse(src).unwrap();
+    interp.run(&ast).unwrap().output
+}
+
+fn run_lafp(backend: BackendKind, src: &str, dir: &PathBuf) -> Vec<String> {
+    let opts = RewriteOptions {
+        data_dir: Some(dir.clone()),
+        ..Default::default()
+    };
+    let analyzed = analyze(src, &opts).unwrap();
+    let config = LafpConfig {
+        backend,
+        chunk_rows: 16,
+        ..Default::default()
+    };
+    let mut interp = Interp::new(ExecMode::Lafp, config, dir.clone());
+    interp.run(&analyzed.ast).unwrap().output
+}
+
+#[test]
+fn all_six_configurations_agree() {
+    let (dir, _) = dataset(100);
+    let pandas = run_mode(ExecMode::Eager(BackendKind::Pandas), BackendKind::Pandas, PROGRAM, &dir);
+    let modin = run_mode(ExecMode::Eager(BackendKind::Modin), BackendKind::Modin, PROGRAM, &dir);
+    let dask = run_mode(ExecMode::PlainDask, BackendKind::Dask, PROGRAM, &dir);
+    let lpandas = run_lafp(BackendKind::Pandas, PROGRAM, &dir);
+    let lmodin = run_lafp(BackendKind::Modin, PROGRAM, &dir);
+    let ldask = run_lafp(BackendKind::Dask, PROGRAM, &dir);
+
+    let reference = result_hash(&pandas);
+    assert_eq!(pandas.len(), 2);
+    for (name, out) in [
+        ("modin", &modin),
+        ("dask", &dask),
+        ("lpandas", &lpandas),
+        ("lmodin", &lmodin),
+        ("ldask", &ldask),
+    ] {
+        assert_eq!(out.len(), pandas.len(), "{name}: {out:?}");
+        assert_eq!(result_hash(out), reference, "{name}:\n{out:#?}\nvs\n{pandas:#?}");
+    }
+}
+
+#[test]
+fn merge_and_sort_program_agrees() {
+    let (dir, _) = dataset(60);
+    let src = "\
+import lazyfatpandas.pandas as pd
+pd.analyze()
+t = pd.read_csv('trips.csv')
+v = pd.read_csv('vendors.csv')
+m = t.merge(v, on=['vendor'], how='inner')
+g = m.groupby(['vendor_name'])['fare_amount'].mean()
+s = g.sort_values(['vendor_name'], ascending=True)
+print(s)
+";
+    let pandas = run_mode(ExecMode::Eager(BackendKind::Pandas), BackendKind::Pandas, src, &dir);
+    let ldask = run_lafp(BackendKind::Dask, src, &dir);
+    let dask = run_mode(ExecMode::PlainDask, BackendKind::Dask, src, &dir);
+    assert_eq!(result_hash(&pandas), result_hash(&ldask), "{pandas:?} vs {ldask:?}");
+    assert_eq!(result_hash(&pandas), result_hash(&dask));
+}
+
+#[test]
+fn external_plot_forces_compute_everywhere() {
+    let (dir, _) = dataset(40);
+    let src = "\
+import lazyfatpandas.pandas as pd
+import matplotlib.pyplot as plt
+pd.analyze()
+df = pd.read_csv('trips.csv')
+g = df.groupby(['vendor'])['fare_amount'].sum()
+plt.plot(g)
+avg = df.fare_amount.mean()
+print(f'avg {avg}')
+";
+    // LaFP path (rewritten, with live_df).
+    let analyzed = analyze(src, &RewriteOptions::default()).unwrap();
+    assert!(analyzed.optimized_source.contains("compute(live_df=[df])"));
+    let config = LafpConfig {
+        backend: BackendKind::Dask,
+        chunk_rows: 16,
+        ..Default::default()
+    };
+    let mut interp = Interp::new(ExecMode::Lafp, config, dir.clone());
+    let out = interp.run(&analyzed.ast).unwrap();
+    assert_eq!(out.plots.len(), 1, "plot recorded");
+    assert_eq!(out.output.len(), 1);
+    // Plain pandas baseline.
+    let pandas = {
+        let config = LafpConfig::default();
+        let mut interp = Interp::new(
+            ExecMode::Eager(BackendKind::Pandas),
+            config,
+            dir.clone(),
+        );
+        let ast = lafp_ir::parser::parse(src).unwrap();
+        interp.run(&ast).unwrap()
+    };
+    assert_eq!(pandas.plots.len(), 1);
+    assert_eq!(result_hash(&pandas.output), result_hash(&out.output));
+}
+
+#[test]
+fn control_flow_and_loops_run() {
+    let (dir, _) = dataset(30);
+    let src = "\
+import lazyfatpandas.pandas as pd
+pd.analyze()
+total = 0
+for name in ['trips.csv', 'trips.csv']:
+    df = pd.read_csv(name)
+    n = len(df)
+    total = total + n
+if total > 0:
+    print(f'total {total}')
+else:
+    print('empty')
+";
+    let pandas = run_mode(ExecMode::Eager(BackendKind::Pandas), BackendKind::Pandas, src, &dir);
+    assert_eq!(pandas, vec!["total 60".to_string()]);
+    let ldask = run_lafp(BackendKind::Dask, src, &dir);
+    assert_eq!(ldask, vec!["total 60".to_string()]);
+}
+
+#[test]
+fn column_selection_reduces_lafp_memory() {
+    let (dir, _) = dataset(2000);
+    // Optimized (usecols injected) vs unoptimized on the Pandas backend.
+    let analyzed = analyze(PROGRAM, &RewriteOptions::default()).unwrap();
+    assert!(!analyzed.report.usecols.is_empty());
+    let run = |ast: &lafp_ir::ast::Ast| {
+        let config = LafpConfig {
+            backend: BackendKind::Pandas,
+            ..Default::default()
+        };
+        let mut interp = Interp::new(ExecMode::Lafp, config, dir.clone());
+        interp.run(ast).unwrap().peak_memory
+    };
+    let optimized_peak = run(&analyzed.ast);
+    let no_opt = analyze(
+        PROGRAM,
+        &RewriteOptions {
+            column_selection: false,
+            lazy_print: false,
+            forced_compute: false,
+            metadata_dtypes: false,
+            data_dir: None,
+        },
+    )
+    .unwrap();
+    let baseline_peak = run(&no_opt.ast);
+    assert!(
+        (optimized_peak as f64) < 0.7 * baseline_peak as f64,
+        "column selection should cut peak memory: {optimized_peak} vs {baseline_peak}"
+    );
+}

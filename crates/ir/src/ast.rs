@@ -1,0 +1,349 @@
+//! The PandaScript AST, stored in an arena so statements have stable ids
+//! that the CFG, the analyses and the rewriter can all reference.
+
+/// Index of a statement in the [`Ast`] arena.
+pub type StmtId = usize;
+
+/// A parsed module: an arena of statements plus the top-level order.
+#[derive(Debug, Clone, Default)]
+pub struct Ast {
+    /// All statements (including nested ones), indexed by [`StmtId`].
+    pub stmts: Vec<StmtNode>,
+    /// Top-level statement ids in program order.
+    pub module: Vec<StmtId>,
+}
+
+impl Ast {
+    /// Add a statement to the arena (not to the module body).
+    pub fn alloc(&mut self, kind: StmtKind, line: usize) -> StmtId {
+        self.stmts.push(StmtNode { kind, line });
+        self.stmts.len() - 1
+    }
+
+    /// Borrow a statement node.
+    pub fn stmt(&self, id: StmtId) -> &StmtNode {
+        &self.stmts[id]
+    }
+
+    /// Mutably borrow a statement node.
+    pub fn stmt_mut(&mut self, id: StmtId) -> &mut StmtNode {
+        &mut self.stmts[id]
+    }
+
+    /// Iterate over every statement id in the arena.
+    pub fn all_ids(&self) -> impl Iterator<Item = StmtId> {
+        0..self.stmts.len()
+    }
+}
+
+/// One statement with its source line.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StmtNode {
+    /// The statement.
+    pub kind: StmtKind,
+    /// 1-based source line (0 for synthesized statements).
+    pub line: usize,
+}
+
+/// Statement kinds.
+#[derive(Debug, Clone, PartialEq)]
+pub enum StmtKind {
+    /// `import module.path as alias`.
+    Import {
+        /// Dotted module path.
+        module: String,
+        /// Optional alias.
+        alias: Option<String>,
+    },
+    /// `from module.path import name, ...`.
+    FromImport {
+        /// Dotted module path.
+        module: String,
+        /// Imported names.
+        names: Vec<String>,
+    },
+    /// A bare expression statement (calls like `pd.analyze()`).
+    Expr(Expr),
+    /// `target = value`.
+    Assign {
+        /// Assignment target.
+        target: Target,
+        /// Right-hand side.
+        value: Expr,
+    },
+    /// `if cond: then... [else: orelse...]` (elif chains nest in orelse).
+    If {
+        /// Condition.
+        cond: Expr,
+        /// Then-branch statement ids.
+        then: Vec<StmtId>,
+        /// Else-branch statement ids (possibly empty).
+        orelse: Vec<StmtId>,
+    },
+    /// `for var in iter: body...`.
+    For {
+        /// Loop variable.
+        var: String,
+        /// Iterated expression.
+        iter: Expr,
+        /// Body statement ids.
+        body: Vec<StmtId>,
+    },
+}
+
+/// Assignment targets.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Target {
+    /// `name = ...`.
+    Name(String),
+    /// `obj["key"] = ...` / `obj[expr] = ...` (column stores).
+    Subscript {
+        /// The subscripted object (a variable name in our programs).
+        obj: String,
+        /// The subscript key.
+        key: Expr,
+    },
+}
+
+/// One piece of an f-string.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FPiece {
+    /// Literal text.
+    Text(String),
+    /// An interpolated `{expression}`.
+    Expr(Expr),
+}
+
+/// Expressions.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    /// Variable reference.
+    Name(String),
+    /// Integer literal.
+    Int(i64),
+    /// Float literal.
+    Float(f64),
+    /// String literal.
+    Str(String),
+    /// Boolean literal.
+    Bool(bool),
+    /// `None`.
+    NoneLit,
+    /// f-string.
+    FString(Vec<FPiece>),
+    /// List display `[a, b, c]`.
+    List(Vec<Expr>),
+    /// Dict display `{"a": 1}`.
+    Dict(Vec<(Expr, Expr)>),
+    /// Attribute access `value.attr`.
+    Attribute {
+        /// Receiver.
+        value: Box<Expr>,
+        /// Attribute name.
+        attr: String,
+    },
+    /// Subscription `value[index]`.
+    Subscript {
+        /// Receiver.
+        value: Box<Expr>,
+        /// Index expression.
+        index: Box<Expr>,
+    },
+    /// Call `func(args..., kw=..)`.
+    Call {
+        /// Callee expression.
+        func: Box<Expr>,
+        /// Positional arguments.
+        args: Vec<Expr>,
+        /// Keyword arguments.
+        kwargs: Vec<(String, Expr)>,
+    },
+    /// Binary operation (`+ - * / % & |`).
+    BinOp {
+        /// Left operand.
+        left: Box<Expr>,
+        /// Operator.
+        op: BinOpKind,
+        /// Right operand.
+        right: Box<Expr>,
+    },
+    /// Comparison (`== != < <= > >=`).
+    Compare {
+        /// Left operand.
+        left: Box<Expr>,
+        /// Operator.
+        op: CmpOpKind,
+        /// Right operand.
+        right: Box<Expr>,
+    },
+    /// Unary operation (`~x`, `-x`, `not x`).
+    Unary {
+        /// Operator.
+        op: UnaryOpKind,
+        /// Operand.
+        operand: Box<Expr>,
+    },
+}
+
+/// Binary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BinOpKind {
+    /// `+`
+    Add,
+    /// `-`
+    Sub,
+    /// `*`
+    Mul,
+    /// `/`
+    Div,
+    /// `%`
+    Mod,
+    /// `&` (boolean-mask AND in pandas land)
+    And,
+    /// `|` (boolean-mask OR)
+    Or,
+}
+
+/// Comparison operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CmpOpKind {
+    /// `==`
+    Eq,
+    /// `!=`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+}
+
+/// Unary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum UnaryOpKind {
+    /// `~` (mask negation)
+    Invert,
+    /// `-`
+    Neg,
+    /// `not`
+    Not,
+}
+
+impl Expr {
+    /// Walk this expression tree, calling `f` on every node (pre-order).
+    pub fn walk<'a>(&'a self, f: &mut dyn FnMut(&'a Expr)) {
+        f(self);
+        match self {
+            Expr::FString(pieces) => {
+                for p in pieces {
+                    if let FPiece::Expr(e) = p {
+                        e.walk(f);
+                    }
+                }
+            }
+            Expr::List(items) => {
+                for e in items {
+                    e.walk(f);
+                }
+            }
+            Expr::Dict(items) => {
+                for (k, v) in items {
+                    k.walk(f);
+                    v.walk(f);
+                }
+            }
+            Expr::Attribute { value, .. } => value.walk(f),
+            Expr::Subscript { value, index } => {
+                value.walk(f);
+                index.walk(f);
+            }
+            Expr::Call { func, args, kwargs } => {
+                func.walk(f);
+                for a in args {
+                    a.walk(f);
+                }
+                for (_, v) in kwargs {
+                    v.walk(f);
+                }
+            }
+            Expr::BinOp { left, right, .. } | Expr::Compare { left, right, .. } => {
+                left.walk(f);
+                right.walk(f);
+            }
+            Expr::Unary { operand, .. } => operand.walk(f),
+            _ => {}
+        }
+    }
+
+    /// All variable names read by this expression.
+    pub fn names_used(&self) -> Vec<String> {
+        let mut out = Vec::new();
+        self.walk(&mut |e| {
+            if let Expr::Name(n) = e {
+                out.push(n.clone());
+            }
+        });
+        out
+    }
+
+    /// If this expression is a plain string literal, its value.
+    pub fn as_str_lit(&self) -> Option<&str> {
+        match self {
+            Expr::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// If this is a list of string literals, their values.
+    pub fn as_str_list(&self) -> Option<Vec<String>> {
+        match self {
+            Expr::List(items) => items
+                .iter()
+                .map(|e| e.as_str_lit().map(str::to_string))
+                .collect(),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arena_allocation() {
+        let mut ast = Ast::default();
+        let id = ast.alloc(StmtKind::Expr(Expr::Int(1)), 3);
+        assert_eq!(ast.stmt(id).line, 3);
+        ast.stmt_mut(id).kind = StmtKind::Expr(Expr::Int(2));
+        assert_eq!(ast.stmt(id).kind, StmtKind::Expr(Expr::Int(2)));
+    }
+
+    #[test]
+    fn walk_visits_nested_nodes() {
+        let e = Expr::Call {
+            func: Box::new(Expr::Attribute {
+                value: Box::new(Expr::Name("df".into())),
+                attr: "head".into(),
+            }),
+            args: vec![Expr::Int(5)],
+            kwargs: vec![("usecols".into(), Expr::List(vec![Expr::Str("a".into())]))],
+        };
+        // Call + Attribute + Name + Int + List + Str = 6 nodes.
+        let mut count = 0;
+        e.walk(&mut |_| count += 1);
+        assert_eq!(count, 6);
+        assert_eq!(e.names_used(), vec!["df".to_string()]);
+    }
+
+    #[test]
+    fn string_list_extraction() {
+        let e = Expr::List(vec![Expr::Str("a".into()), Expr::Str("b".into())]);
+        assert_eq!(e.as_str_list(), Some(vec!["a".into(), "b".into()]));
+        let mixed = Expr::List(vec![Expr::Str("a".into()), Expr::Int(1)]);
+        assert_eq!(mixed.as_str_list(), None);
+    }
+}

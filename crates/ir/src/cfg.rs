@@ -1,0 +1,188 @@
+//! The SCIRPy-analog control-flow graph: basic blocks of statement units
+//! with explicit branch/loop terminators (paper §2.2).
+
+use crate::ast::StmtId;
+
+/// Index of a basic block.
+pub type BlockId = usize;
+
+/// A basic block: straight-line simple statements plus a terminator.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Block {
+    /// Simple statements (imports, assigns, expression statements).
+    pub stmts: Vec<StmtId>,
+    /// Control transfer out of the block.
+    pub terminator: Terminator,
+}
+
+/// Block terminators.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Terminator {
+    /// Unconditional jump.
+    Jump(BlockId),
+    /// Two-way branch on the condition of the referenced `If` statement.
+    Branch {
+        /// The `If` statement (condition lives in the AST).
+        stmt: StmtId,
+        /// Condition-true successor.
+        then_blk: BlockId,
+        /// Condition-false successor.
+        else_blk: BlockId,
+    },
+    /// Loop header of the referenced `For` statement: iterate or exit.
+    LoopBranch {
+        /// The `For` statement (loop var + iterable live in the AST).
+        stmt: StmtId,
+        /// Loop body entry.
+        body: BlockId,
+        /// Loop exit.
+        exit: BlockId,
+    },
+    /// Program exit.
+    End,
+}
+
+/// The control-flow graph of one PandaScript module.
+#[derive(Debug, Clone, Default)]
+pub struct Cfg {
+    /// All basic blocks.
+    pub blocks: Vec<Block>,
+    /// Entry block.
+    pub entry: BlockId,
+}
+
+impl Cfg {
+    /// Add an empty block, returning its id.
+    pub fn add_block(&mut self) -> BlockId {
+        self.blocks.push(Block {
+            stmts: Vec::new(),
+            terminator: Terminator::End,
+        });
+        self.blocks.len() - 1
+    }
+
+    /// Successor blocks of `b`.
+    pub fn successors(&self, b: BlockId) -> Vec<BlockId> {
+        match &self.blocks[b].terminator {
+            Terminator::Jump(t) => vec![*t],
+            Terminator::Branch {
+                then_blk, else_blk, ..
+            } => vec![*then_blk, *else_blk],
+            Terminator::LoopBranch { body, exit, .. } => vec![*body, *exit],
+            Terminator::End => vec![],
+        }
+    }
+
+    /// Predecessor blocks of `b` (computed by scan; graphs are small).
+    pub fn predecessors(&self, b: BlockId) -> Vec<BlockId> {
+        (0..self.blocks.len())
+            .filter(|&p| self.successors(p).contains(&b))
+            .collect()
+    }
+
+    /// Blocks in reverse postorder from the entry (good order for forward
+    /// dataflow; reverse it for backward analyses).
+    pub fn reverse_postorder(&self) -> Vec<BlockId> {
+        let mut visited = vec![false; self.blocks.len()];
+        let mut post = Vec::new();
+        // Iterative DFS with an explicit stack.
+        let mut stack: Vec<(BlockId, usize)> = vec![(self.entry, 0)];
+        visited[self.entry] = true;
+        while let Some((b, child)) = stack.pop() {
+            let succs = self.successors(b);
+            if child < succs.len() {
+                stack.push((b, child + 1));
+                let s = succs[child];
+                if !visited[s] {
+                    visited[s] = true;
+                    stack.push((s, 0));
+                }
+            } else {
+                post.push(b);
+            }
+        }
+        post.reverse();
+        post
+    }
+
+    /// Render a compact textual form (for tests and debugging).
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for (i, b) in self.blocks.iter().enumerate() {
+            out.push_str(&format!("B{i}: stmts={:?} ", b.stmts));
+            out.push_str(&match &b.terminator {
+                Terminator::Jump(t) => format!("jump B{t}"),
+                Terminator::Branch {
+                    then_blk, else_blk, ..
+                } => format!("branch B{then_blk} B{else_blk}"),
+                Terminator::LoopBranch { body, exit, .. } => {
+                    format!("loop B{body} exit B{exit}")
+                }
+                Terminator::End => "end".into(),
+            });
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lower::lower;
+    use crate::parser::parse;
+
+    #[test]
+    fn straight_line_is_one_block() {
+        let ast = parse("x = 1\ny = 2\nz = 3\n").unwrap();
+        let cfg = lower(&ast);
+        assert_eq!(cfg.blocks[cfg.entry].stmts.len(), 3);
+        assert_eq!(cfg.successors(cfg.entry), vec![] as Vec<BlockId>);
+    }
+
+    #[test]
+    fn if_makes_diamond() {
+        let ast = parse("if x > 0:\n    y = 1\nelse:\n    y = 2\nz = 3\n").unwrap();
+        let cfg = lower(&ast);
+        let succs = cfg.successors(cfg.entry);
+        assert_eq!(succs.len(), 2, "branch out of entry");
+        // Both arms join at the same block.
+        let j1 = cfg.successors(succs[0]);
+        let j2 = cfg.successors(succs[1]);
+        assert_eq!(j1, j2);
+        assert_eq!(cfg.predecessors(j1[0]).len(), 2);
+    }
+
+    #[test]
+    fn for_makes_back_edge() {
+        let ast = parse("for i in xs:\n    y = i\nz = 1\n").unwrap();
+        let cfg = lower(&ast);
+        // Find the loop header.
+        let header = (0..cfg.blocks.len())
+            .find(|&b| matches!(cfg.blocks[b].terminator, Terminator::LoopBranch { .. }))
+            .expect("loop header exists");
+        let (body, exit) = match cfg.blocks[header].terminator {
+            Terminator::LoopBranch { body, exit, .. } => (body, exit),
+            _ => unreachable!(),
+        };
+        // Body jumps back to the header.
+        assert_eq!(cfg.successors(body), vec![header]);
+        assert!(cfg.blocks[exit].stmts.len() == 1);
+    }
+
+    #[test]
+    fn reverse_postorder_starts_at_entry() {
+        let ast = parse("if x > 0:\n    y = 1\nz = 2\n").unwrap();
+        let cfg = lower(&ast);
+        let rpo = cfg.reverse_postorder();
+        assert_eq!(rpo[0], cfg.entry);
+        assert_eq!(rpo.len(), cfg.blocks.len());
+    }
+
+    #[test]
+    fn render_is_compact() {
+        let ast = parse("x = 1\n").unwrap();
+        let cfg = lower(&ast);
+        assert!(cfg.render().contains("B0"));
+    }
+}

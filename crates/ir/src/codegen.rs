@@ -1,0 +1,270 @@
+//! Source emission: AST → PandaScript text (the "SCIRPy_to_python_opt"
+//! step of Figure 5). The emitted text re-parses to an equivalent AST.
+
+use crate::ast::{Ast, BinOpKind, CmpOpKind, Expr, FPiece, StmtId, StmtKind, Target, UnaryOpKind};
+
+/// Emit a whole module.
+pub fn emit_module(ast: &Ast) -> String {
+    let mut out = String::new();
+    for &id in &ast.module {
+        emit_stmt(ast, id, 0, &mut out);
+    }
+    out
+}
+
+/// Emit one statement at the given indent level.
+pub fn emit_stmt(ast: &Ast, id: StmtId, indent: usize, out: &mut String) {
+    let pad = "    ".repeat(indent);
+    match &ast.stmt(id).kind {
+        StmtKind::Import { module, alias } => {
+            out.push_str(&pad);
+            out.push_str("import ");
+            out.push_str(module);
+            if let Some(a) = alias {
+                out.push_str(" as ");
+                out.push_str(a);
+            }
+            out.push('\n');
+        }
+        StmtKind::FromImport { module, names } => {
+            out.push_str(&pad);
+            out.push_str("from ");
+            out.push_str(module);
+            out.push_str(" import ");
+            out.push_str(&names.join(", "));
+            out.push('\n');
+        }
+        StmtKind::Expr(e) => {
+            out.push_str(&pad);
+            out.push_str(&emit_expr(e));
+            out.push('\n');
+        }
+        StmtKind::Assign { target, value } => {
+            out.push_str(&pad);
+            match target {
+                Target::Name(n) => out.push_str(n),
+                Target::Subscript { obj, key } => {
+                    out.push_str(obj);
+                    out.push('[');
+                    out.push_str(&emit_expr(key));
+                    out.push(']');
+                }
+            }
+            out.push_str(" = ");
+            out.push_str(&emit_expr(value));
+            out.push('\n');
+        }
+        StmtKind::If { cond, then, orelse } => {
+            out.push_str(&pad);
+            out.push_str("if ");
+            out.push_str(&emit_expr(cond));
+            out.push_str(":\n");
+            emit_body(ast, then, indent + 1, out);
+            if !orelse.is_empty() {
+                out.push_str(&pad);
+                out.push_str("else:\n");
+                emit_body(ast, orelse, indent + 1, out);
+            }
+        }
+        StmtKind::For { var, iter, body } => {
+            out.push_str(&pad);
+            out.push_str("for ");
+            out.push_str(var);
+            out.push_str(" in ");
+            out.push_str(&emit_expr(iter));
+            out.push_str(":\n");
+            emit_body(ast, body, indent + 1, out);
+        }
+    }
+}
+
+fn emit_body(ast: &Ast, body: &[StmtId], indent: usize, out: &mut String) {
+    if body.is_empty() {
+        out.push_str(&"    ".repeat(indent));
+        out.push_str("pass\n"); // keep blocks syntactically valid
+        return;
+    }
+    for &id in body {
+        emit_stmt(ast, id, indent, out);
+    }
+}
+
+/// Emit an expression. Parenthesization is conservative: nested binary
+/// operations are parenthesized, which is always re-parseable.
+pub fn emit_expr(e: &Expr) -> String {
+    match e {
+        Expr::Name(n) => n.clone(),
+        Expr::Int(v) => v.to_string(),
+        Expr::Float(v) => {
+            if *v == v.trunc() && v.abs() < 1e15 {
+                format!("{v:.1}")
+            } else {
+                v.to_string()
+            }
+        }
+        Expr::Str(s) => quote(s),
+        Expr::Bool(true) => "True".into(),
+        Expr::Bool(false) => "False".into(),
+        Expr::NoneLit => "None".into(),
+        Expr::FString(pieces) => {
+            let mut inner = String::new();
+            for p in pieces {
+                match p {
+                    FPiece::Text(t) => {
+                        inner.push_str(&t.replace('{', "{{").replace('}', "}}"))
+                    }
+                    FPiece::Expr(e) => {
+                        inner.push('{');
+                        inner.push_str(&emit_expr(e));
+                        inner.push('}');
+                    }
+                }
+            }
+            format!("f'{}'", inner.replace('\'', "\\'"))
+        }
+        Expr::List(items) => format!(
+            "[{}]",
+            items.iter().map(emit_expr).collect::<Vec<_>>().join(", ")
+        ),
+        Expr::Dict(items) => format!(
+            "{{{}}}",
+            items
+                .iter()
+                .map(|(k, v)| format!("{}: {}", emit_expr(k), emit_expr(v)))
+                .collect::<Vec<_>>()
+                .join(", ")
+        ),
+        Expr::Attribute { value, attr } => format!("{}.{}", emit_postfix(value), attr),
+        Expr::Subscript { value, index } => {
+            format!("{}[{}]", emit_postfix(value), emit_expr(index))
+        }
+        Expr::Call { func, args, kwargs } => {
+            let mut parts: Vec<String> = args.iter().map(emit_expr).collect();
+            parts.extend(
+                kwargs
+                    .iter()
+                    .map(|(k, v)| format!("{}={}", k, emit_expr(v))),
+            );
+            format!("{}({})", emit_postfix(func), parts.join(", "))
+        }
+        Expr::BinOp { left, op, right } => {
+            let sym = match op {
+                BinOpKind::Add => "+",
+                BinOpKind::Sub => "-",
+                BinOpKind::Mul => "*",
+                BinOpKind::Div => "/",
+                BinOpKind::Mod => "%",
+                BinOpKind::And => "&",
+                BinOpKind::Or => "|",
+            };
+            format!("({} {} {})", emit_expr(left), sym, emit_expr(right))
+        }
+        Expr::Compare { left, op, right } => {
+            let sym = match op {
+                CmpOpKind::Eq => "==",
+                CmpOpKind::Ne => "!=",
+                CmpOpKind::Lt => "<",
+                CmpOpKind::Le => "<=",
+                CmpOpKind::Gt => ">",
+                CmpOpKind::Ge => ">=",
+            };
+            format!("({} {} {})", emit_expr(left), sym, emit_expr(right))
+        }
+        Expr::Unary { op, operand } => {
+            let sym = match op {
+                UnaryOpKind::Invert => "~",
+                UnaryOpKind::Neg => "-",
+                UnaryOpKind::Not => "not ",
+            };
+            format!("{}{}", sym, emit_expr(operand))
+        }
+    }
+}
+
+/// Postfix positions (callee, attribute receiver) need parens around binary
+/// operands: `(a + b).sum()`.
+fn emit_postfix(e: &Expr) -> String {
+    match e {
+        Expr::BinOp { .. } | Expr::Compare { .. } | Expr::Unary { .. } => {
+            format!("({})", emit_expr(e))
+        }
+        _ => emit_expr(e),
+    }
+}
+
+fn quote(s: &str) -> String {
+    format!("'{}'", s.replace('\\', "\\\\").replace('\'', "\\'"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+
+    /// Emitting and re-parsing must fix-point (parse ∘ emit ∘ parse = parse).
+    fn roundtrip(src: &str) {
+        let ast1 = parse(src).unwrap();
+        let emitted1 = emit_module(&ast1);
+        let ast2 = parse(&emitted1).unwrap();
+        let emitted2 = emit_module(&ast2);
+        assert_eq!(emitted1, emitted2, "emission must be stable\n{emitted1}");
+    }
+
+    #[test]
+    fn roundtrip_figure3() {
+        roundtrip(
+            "\
+import lazyfatpandas.pandas as pd
+pd.analyze()
+df = pd.read_csv('data.csv', parse_dates=['t'])
+df = df[df.fare_amount > 0]
+df['day'] = df.t.dt.dayofweek
+df = df.groupby(['day'])['passenger_count'].sum()
+print(df)
+",
+        );
+    }
+
+    #[test]
+    fn roundtrip_control_flow() {
+        roundtrip(
+            "\
+if x > 0:
+    y = 1
+elif x < 0:
+    y = 2
+else:
+    y = 3
+for i in items:
+    total = total + i
+",
+        );
+    }
+
+    #[test]
+    fn roundtrip_fstrings_and_dicts() {
+        roundtrip("print(f'avg {x} of {y.mean()}')\nd = {'a': 1, 'b': 2}\n");
+    }
+
+    #[test]
+    fn roundtrip_operators() {
+        roundtrip("m = (df.a > 0) & ((df.b < 1) | (df.c == 'x'))\nz = ~m\nw = not flag\n");
+        roundtrip("x = (1 + 2) * 3 - 4 / 5 % 2\n");
+    }
+
+    #[test]
+    fn strings_escape() {
+        roundtrip("s = 'it\\'s'\n");
+    }
+
+    #[test]
+    fn empty_block_emits_pass() {
+        // Synthesized ASTs can have empty branches.
+        let mut ast = parse("if x > 0:\n    y = 1\n").unwrap();
+        if let StmtKind::If { then, .. } = &mut ast.stmt_mut(ast.module[0]).kind {
+            then.clear();
+        }
+        let out = emit_module(&ast);
+        assert!(out.contains("pass"));
+    }
+}

@@ -1,0 +1,431 @@
+//! Indentation-aware lexer for PandaScript.
+
+use crate::token::{Token, TokenKind};
+use crate::SyntaxError;
+
+/// Tokenize a source string, producing INDENT/DEDENT structure tokens like
+/// Python's tokenizer. Comments (`# ...`) and blank lines are skipped.
+pub fn lex(source: &str) -> Result<Vec<Token>, SyntaxError> {
+    let mut tokens = Vec::new();
+    let mut indents: Vec<usize> = vec![0];
+    for (line_idx, raw_line) in source.lines().enumerate() {
+        let line_no = line_idx + 1;
+        let without_comment = strip_comment(raw_line);
+        let trimmed = without_comment.trim_end();
+        if trimmed.trim().is_empty() {
+            continue; // blank or comment-only line
+        }
+        let indent = leading_spaces(trimmed, line_no)?;
+        let cur = *indents.last().expect("indent stack non-empty");
+        if indent > cur {
+            indents.push(indent);
+            tokens.push(Token {
+                kind: TokenKind::Indent,
+                line: line_no,
+            });
+        } else {
+            while indent < *indents.last().expect("indent stack non-empty") {
+                indents.pop();
+                tokens.push(Token {
+                    kind: TokenKind::Dedent,
+                    line: line_no,
+                });
+            }
+            if indent != *indents.last().expect("indent stack non-empty") {
+                return Err(SyntaxError {
+                    line: line_no,
+                    message: format!("inconsistent indentation ({indent} spaces)"),
+                });
+            }
+        }
+        lex_line(trimmed.trim_start(), line_no, &mut tokens)?;
+        tokens.push(Token {
+            kind: TokenKind::Newline,
+            line: line_no,
+        });
+    }
+    let last_line = source.lines().count();
+    while indents.len() > 1 {
+        indents.pop();
+        tokens.push(Token {
+            kind: TokenKind::Dedent,
+            line: last_line,
+        });
+    }
+    tokens.push(Token {
+        kind: TokenKind::Eof,
+        line: last_line + 1,
+    });
+    Ok(tokens)
+}
+
+/// Remove a trailing comment, respecting string literals.
+fn strip_comment(line: &str) -> String {
+    let mut out = String::with_capacity(line.len());
+    let mut chars = line.chars().peekable();
+    let mut in_str: Option<char> = None;
+    while let Some(c) = chars.next() {
+        match in_str {
+            Some(quote) => {
+                out.push(c);
+                if c == '\\' {
+                    if let Some(&next) = chars.peek() {
+                        out.push(next);
+                        chars.next();
+                    }
+                } else if c == quote {
+                    in_str = None;
+                }
+            }
+            None => {
+                if c == '#' {
+                    break;
+                }
+                if c == '\'' || c == '"' {
+                    in_str = Some(c);
+                }
+                out.push(c);
+            }
+        }
+    }
+    out
+}
+
+fn leading_spaces(line: &str, line_no: usize) -> Result<usize, SyntaxError> {
+    let mut n = 0;
+    for c in line.chars() {
+        match c {
+            ' ' => n += 1,
+            '\t' => {
+                return Err(SyntaxError {
+                    line: line_no,
+                    message: "tabs are not allowed for indentation".into(),
+                })
+            }
+            _ => break,
+        }
+    }
+    Ok(n)
+}
+
+fn lex_line(text: &str, line: usize, out: &mut Vec<Token>) -> Result<(), SyntaxError> {
+    let mut chars: Vec<char> = text.chars().collect();
+    // Pad to simplify lookahead.
+    chars.push('\0');
+    let mut i = 0;
+    let push = |out: &mut Vec<Token>, kind: TokenKind| out.push(Token { kind, line });
+    while i < chars.len() - 1 {
+        let c = chars[i];
+        match c {
+            ' ' => {
+                i += 1;
+            }
+            '0'..='9' => {
+                let start = i;
+                while chars[i].is_ascii_digit() {
+                    i += 1;
+                }
+                let mut is_float = false;
+                if chars[i] == '.' && chars[i + 1].is_ascii_digit() {
+                    is_float = true;
+                    i += 1;
+                    while chars[i].is_ascii_digit() {
+                        i += 1;
+                    }
+                }
+                let text: String = chars[start..i].iter().collect();
+                if is_float {
+                    push(out, TokenKind::Float(text.parse().map_err(|_| SyntaxError {
+                        line,
+                        message: format!("bad float literal {text}"),
+                    })?));
+                } else {
+                    push(out, TokenKind::Int(text.parse().map_err(|_| SyntaxError {
+                        line,
+                        message: format!("bad integer literal {text}"),
+                    })?));
+                }
+            }
+            'a'..='z' | 'A'..='Z' | '_' => {
+                // f-string prefix?
+                if (c == 'f' || c == 'F') && (chars[i + 1] == '\'' || chars[i + 1] == '"') {
+                    let (text, next) = lex_string(&chars, i + 1, line)?;
+                    push(out, TokenKind::FStr(text));
+                    i = next;
+                    continue;
+                }
+                let start = i;
+                while chars[i].is_ascii_alphanumeric() || chars[i] == '_' {
+                    i += 1;
+                }
+                let word: String = chars[start..i].iter().collect();
+                push(
+                    out,
+                    match word.as_str() {
+                        "import" => TokenKind::Import,
+                        "from" => TokenKind::From,
+                        "as" => TokenKind::As,
+                        "if" => TokenKind::If,
+                        "elif" => TokenKind::Elif,
+                        "else" => TokenKind::Else,
+                        "for" => TokenKind::For,
+                        "in" => TokenKind::In,
+                        "not" => TokenKind::Not,
+                        "True" => TokenKind::True,
+                        "False" => TokenKind::False,
+                        "None" => TokenKind::NoneKw,
+                        "def" => TokenKind::Def,
+                        "return" => TokenKind::Return,
+                        _ => TokenKind::Ident(word),
+                    },
+                );
+            }
+            '\'' | '"' => {
+                let (text, next) = lex_string(&chars, i, line)?;
+                push(out, TokenKind::Str(text));
+                i = next;
+            }
+            '=' => {
+                if chars[i + 1] == '=' {
+                    push(out, TokenKind::Eq);
+                    i += 2;
+                } else {
+                    push(out, TokenKind::Assign);
+                    i += 1;
+                }
+            }
+            '!' => {
+                if chars[i + 1] == '=' {
+                    push(out, TokenKind::Ne);
+                    i += 2;
+                } else {
+                    return Err(SyntaxError {
+                        line,
+                        message: "unexpected '!'".into(),
+                    });
+                }
+            }
+            '<' => {
+                if chars[i + 1] == '=' {
+                    push(out, TokenKind::Le);
+                    i += 2;
+                } else {
+                    push(out, TokenKind::Lt);
+                    i += 1;
+                }
+            }
+            '>' => {
+                if chars[i + 1] == '=' {
+                    push(out, TokenKind::Ge);
+                    i += 2;
+                } else {
+                    push(out, TokenKind::Gt);
+                    i += 1;
+                }
+            }
+            '+' => {
+                push(out, TokenKind::Plus);
+                i += 1;
+            }
+            '-' => {
+                push(out, TokenKind::Minus);
+                i += 1;
+            }
+            '*' => {
+                push(out, TokenKind::Star);
+                i += 1;
+            }
+            '/' => {
+                push(out, TokenKind::Slash);
+                i += 1;
+            }
+            '%' => {
+                push(out, TokenKind::Percent);
+                i += 1;
+            }
+            '&' => {
+                push(out, TokenKind::Amp);
+                i += 1;
+            }
+            '|' => {
+                push(out, TokenKind::Pipe);
+                i += 1;
+            }
+            '~' => {
+                push(out, TokenKind::Tilde);
+                i += 1;
+            }
+            '(' => {
+                push(out, TokenKind::LParen);
+                i += 1;
+            }
+            ')' => {
+                push(out, TokenKind::RParen);
+                i += 1;
+            }
+            '[' => {
+                push(out, TokenKind::LBracket);
+                i += 1;
+            }
+            ']' => {
+                push(out, TokenKind::RBracket);
+                i += 1;
+            }
+            '{' => {
+                push(out, TokenKind::LBrace);
+                i += 1;
+            }
+            '}' => {
+                push(out, TokenKind::RBrace);
+                i += 1;
+            }
+            ',' => {
+                push(out, TokenKind::Comma);
+                i += 1;
+            }
+            ':' => {
+                push(out, TokenKind::Colon);
+                i += 1;
+            }
+            '.' => {
+                push(out, TokenKind::Dot);
+                i += 1;
+            }
+            other => {
+                return Err(SyntaxError {
+                    line,
+                    message: format!("unexpected character {other:?}"),
+                })
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Lex a quoted string starting at `chars[start]`; returns (content, next).
+fn lex_string(
+    chars: &[char],
+    start: usize,
+    line: usize,
+) -> Result<(String, usize), SyntaxError> {
+    let quote = chars[start];
+    let mut out = String::new();
+    let mut i = start + 1;
+    while i < chars.len() - 1 {
+        let c = chars[i];
+        if c == '\\' {
+            let next = chars[i + 1];
+            out.push(match next {
+                'n' => '\n',
+                't' => '\t',
+                '\\' => '\\',
+                '\'' => '\'',
+                '"' => '"',
+                other => other,
+            });
+            i += 2;
+        } else if c == quote {
+            return Ok((out, i + 1));
+        } else {
+            out.push(c);
+            i += 1;
+        }
+    }
+    Err(SyntaxError {
+        line,
+        message: "unterminated string literal".into(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<TokenKind> {
+        lex(src).unwrap().into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn simple_assignment() {
+        let k = kinds("x = 1\n");
+        assert_eq!(
+            k,
+            vec![
+                TokenKind::Ident("x".into()),
+                TokenKind::Assign,
+                TokenKind::Int(1),
+                TokenKind::Newline,
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn operators_and_literals() {
+        let k = kinds("y = df.fare >= 2.5\n");
+        assert!(k.contains(&TokenKind::Ge));
+        assert!(k.contains(&TokenKind::Float(2.5)));
+        assert!(k.contains(&TokenKind::Dot));
+    }
+
+    #[test]
+    fn strings_and_escapes() {
+        let k = kinds("s = 'he said \\'hi\\''\n");
+        assert!(k.contains(&TokenKind::Str("he said 'hi'".into())));
+        let k = kinds("s = \"double\"\n");
+        assert!(k.contains(&TokenKind::Str("double".into())));
+    }
+
+    #[test]
+    fn fstrings_detected() {
+        let k = kinds("print(f'avg: {x}')\n");
+        assert!(k.iter().any(|t| matches!(t, TokenKind::FStr(s) if s == "avg: {x}")));
+    }
+
+    #[test]
+    fn comments_stripped_but_not_in_strings() {
+        let k = kinds("x = 1  # a comment\n");
+        assert_eq!(k.len(), 5);
+        let k = kinds("s = 'has # inside'\n");
+        assert!(k.contains(&TokenKind::Str("has # inside".into())));
+    }
+
+    #[test]
+    fn indentation_structure() {
+        let src = "if x > 0:\n    y = 1\n    z = 2\nw = 3\n";
+        let k = kinds(src);
+        let indents = k.iter().filter(|t| **t == TokenKind::Indent).count();
+        let dedents = k.iter().filter(|t| **t == TokenKind::Dedent).count();
+        assert_eq!(indents, 1);
+        assert_eq!(dedents, 1);
+    }
+
+    #[test]
+    fn nested_blocks_dedent_fully_at_eof() {
+        let src = "for i in data:\n    if i > 0:\n        x = i\n";
+        let k = kinds(src);
+        let dedents = k.iter().filter(|t| **t == TokenKind::Dedent).count();
+        assert_eq!(dedents, 2);
+    }
+
+    #[test]
+    fn rejects_tabs_and_bad_chars() {
+        assert!(lex("\tx = 1\n").is_err());
+        assert!(lex("x = 1 $\n").is_err());
+        assert!(lex("s = 'unterminated\n").is_err());
+        assert!(lex("x = 1 ! 2\n").is_err());
+    }
+
+    #[test]
+    fn inconsistent_indent_rejected() {
+        let src = "if x > 0:\n    y = 1\n  z = 2\n";
+        assert!(lex(src).is_err());
+    }
+
+    #[test]
+    fn keywords_recognized() {
+        let k = kinds("from lazyfatpandas.func import print\n");
+        assert_eq!(k[0], TokenKind::From);
+        assert!(k.contains(&TokenKind::Import));
+    }
+}

@@ -1,0 +1,57 @@
+//! # lafp-ir — PandaScript and the SCIRPy-style IR
+//!
+//! The paper's programs are plain Python/Pandas; its static analyzer parses
+//! them, converts them to **SCIRPy** (a Soot/Jimple-compatible statement IR),
+//! builds a control-flow graph, analyzes it, rewrites it, reconstructs
+//! structured **regions**, and emits Python back (§2.1–2.2).
+//!
+//! This crate is that toolchain for **PandaScript**, a Python-like language
+//! covering exactly the surface the paper's benchmarks exercise:
+//! imports, assignments (including `df["col"] = ...` subscript stores),
+//! expression statements, `print` (plain and f-strings), `if`/`elif`/`else`
+//! and `for ... in ...:` blocks, with indentation-based structure.
+//!
+//! Pipeline:
+//!
+//! ```text
+//! source --lexer--> tokens --parser--> AST (arena)
+//!        --lower--> CFG of statement units (the SCIRPy analog)
+//!        --regions--> region tree --codegen--> source
+//! ```
+//!
+//! The dataflow analyses (`lafp-analysis`) run on the CFG; the rewriter
+//! (`lafp-rewrite`) mutates the AST arena; codegen pretty-prints either the
+//! AST or the region tree (the latter closes the paper's IR->source loop
+//! and doubles as a CFG-construction test).
+
+pub mod ast;
+pub mod cfg;
+pub mod codegen;
+pub mod lexer;
+pub mod lower;
+pub mod parser;
+pub mod regions;
+pub mod token;
+
+pub use ast::{Ast, Expr, FPiece, StmtId, StmtKind, StmtNode, Target};
+pub use cfg::{BlockId, Cfg, Terminator};
+pub use lexer::lex;
+pub use parser::parse;
+pub use token::{Token, TokenKind};
+
+/// Parse error with a line number.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SyntaxError {
+    /// 1-based source line.
+    pub line: usize,
+    /// Human-readable message.
+    pub message: String,
+}
+
+impl std::fmt::Display for SyntaxError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for SyntaxError {}

@@ -1,0 +1,132 @@
+//! AST → CFG lowering (the "python_to_SCIRPy" step of Figure 5).
+
+use crate::ast::{Ast, StmtId, StmtKind};
+use crate::cfg::{BlockId, Cfg, Terminator};
+
+/// Lower a module to its control-flow graph. Compound statements become
+/// branch/loop terminators referencing their AST node (conditions and
+/// iterables stay in the AST, where the rewriter can edit them).
+pub fn lower(ast: &Ast) -> Cfg {
+    let mut cfg = Cfg::default();
+    let entry = cfg.add_block();
+    cfg.entry = entry;
+    let last = lower_seq(ast, &ast.module, &mut cfg, entry);
+    cfg.blocks[last].terminator = Terminator::End;
+    cfg
+}
+
+/// Lower a statement sequence starting in `current`; returns the block
+/// where control continues.
+fn lower_seq(ast: &Ast, stmts: &[StmtId], cfg: &mut Cfg, mut current: BlockId) -> BlockId {
+    for &id in stmts {
+        match &ast.stmt(id).kind {
+            StmtKind::Import { .. }
+            | StmtKind::FromImport { .. }
+            | StmtKind::Expr(_)
+            | StmtKind::Assign { .. } => {
+                cfg.blocks[current].stmts.push(id);
+            }
+            StmtKind::If { then, orelse, .. } => {
+                let then_blk = cfg.add_block();
+                let else_blk = cfg.add_block();
+                let join = cfg.add_block();
+                cfg.blocks[current].terminator = Terminator::Branch {
+                    stmt: id,
+                    then_blk,
+                    else_blk,
+                };
+                let then_end = lower_seq(ast, then, cfg, then_blk);
+                cfg.blocks[then_end].terminator = Terminator::Jump(join);
+                let else_end = lower_seq(ast, orelse, cfg, else_blk);
+                cfg.blocks[else_end].terminator = Terminator::Jump(join);
+                current = join;
+            }
+            StmtKind::For { body, .. } => {
+                let header = cfg.add_block();
+                let body_blk = cfg.add_block();
+                let exit = cfg.add_block();
+                cfg.blocks[current].terminator = Terminator::Jump(header);
+                cfg.blocks[header].terminator = Terminator::LoopBranch {
+                    stmt: id,
+                    body: body_blk,
+                    exit,
+                };
+                let body_end = lower_seq(ast, body, cfg, body_blk);
+                cfg.blocks[body_end].terminator = Terminator::Jump(header);
+                current = exit;
+            }
+        }
+    }
+    current
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+
+    #[test]
+    fn nested_structures_lower_without_panic() {
+        let src = "\
+x = 1
+for i in xs:
+    if i > 0:
+        y = i
+    else:
+        y = 0
+    z = y
+if x > 0:
+    w = 1
+done = 1
+";
+        let ast = parse(src).unwrap();
+        let cfg = lower(&ast);
+        // Every simple statement appears exactly once across blocks.
+        let placed: usize = cfg.blocks.iter().map(|b| b.stmts.len()).sum();
+        let simple = ast
+            .all_ids()
+            .filter(|&id| {
+                !matches!(
+                    ast.stmt(id).kind,
+                    StmtKind::If { .. } | StmtKind::For { .. }
+                )
+            })
+            .count();
+        assert_eq!(placed, simple);
+        // Exactly one End terminator.
+        let ends = cfg
+            .blocks
+            .iter()
+            .filter(|b| b.terminator == Terminator::End)
+            .count();
+        assert_eq!(ends, 1);
+    }
+
+    #[test]
+    fn empty_module() {
+        let ast = parse("").unwrap();
+        let cfg = lower(&ast);
+        assert_eq!(cfg.blocks.len(), 1);
+        assert_eq!(cfg.blocks[0].terminator, Terminator::End);
+    }
+
+    #[test]
+    fn elif_chain_produces_nested_diamonds() {
+        let src = "\
+if a > 0:
+    x = 1
+elif a < 0:
+    x = 2
+else:
+    x = 3
+";
+        let ast = parse(src).unwrap();
+        let cfg = lower(&ast);
+        let branches = cfg
+            .blocks
+            .iter()
+            .filter(|b| matches!(b.terminator, Terminator::Branch { .. }))
+            .count();
+        assert_eq!(branches, 2, "outer if + nested elif");
+    }
+}

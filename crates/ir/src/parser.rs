@@ -1,0 +1,707 @@
+//! Recursive-descent parser for PandaScript, with Python operator
+//! precedence (bitwise `&`/`|` bind tighter than comparisons, which is why
+//! pandas predicates are written `(df.a > 0) & (df.b < 1)`).
+
+use crate::ast::{Ast, BinOpKind, CmpOpKind, Expr, FPiece, StmtId, StmtKind, Target, UnaryOpKind};
+use crate::lexer::lex;
+use crate::token::{Token, TokenKind};
+use crate::SyntaxError;
+
+/// Parse a full PandaScript module.
+pub fn parse(source: &str) -> Result<Ast, SyntaxError> {
+    let tokens = lex(source)?;
+    let mut parser = Parser {
+        tokens,
+        pos: 0,
+        ast: Ast::default(),
+    };
+    let module = parser.parse_block_until_eof()?;
+    parser.ast.module = module;
+    Ok(parser.ast)
+}
+
+/// Parse a single expression (used for f-string interpolations).
+pub fn parse_expression(source: &str) -> Result<Expr, SyntaxError> {
+    let tokens = lex(source)?;
+    let mut parser = Parser {
+        tokens,
+        pos: 0,
+        ast: Ast::default(),
+    };
+    let e = parser.parse_expr()?;
+    Ok(e)
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+    ast: Ast,
+}
+
+impl Parser {
+    fn peek(&self) -> &TokenKind {
+        &self.tokens[self.pos].kind
+    }
+
+    fn line(&self) -> usize {
+        self.tokens[self.pos].line
+    }
+
+    fn bump(&mut self) -> TokenKind {
+        let t = self.tokens[self.pos].kind.clone();
+        self.pos += 1;
+        t
+    }
+
+    fn eat(&mut self, kind: &TokenKind) -> bool {
+        if self.peek() == kind {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect(&mut self, kind: TokenKind) -> Result<(), SyntaxError> {
+        if self.peek() == &kind {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.error(format!(
+                "expected {}, found {}",
+                kind.describe(),
+                self.peek().describe()
+            )))
+        }
+    }
+
+    fn error(&self, message: String) -> SyntaxError {
+        SyntaxError {
+            line: self.line(),
+            message,
+        }
+    }
+
+    fn ident(&mut self) -> Result<String, SyntaxError> {
+        match self.bump() {
+            TokenKind::Ident(name) => Ok(name),
+            other => Err(SyntaxError {
+                line: self.tokens[self.pos - 1].line,
+                message: format!("expected identifier, found {}", other.describe()),
+            }),
+        }
+    }
+
+    // -- statements -------------------------------------------------------
+
+    fn parse_block_until_eof(&mut self) -> Result<Vec<StmtId>, SyntaxError> {
+        let mut out = Vec::new();
+        while self.peek() != &TokenKind::Eof {
+            out.push(self.parse_stmt()?);
+        }
+        Ok(out)
+    }
+
+    /// Parse an indented block after a `:` NEWLINE INDENT.
+    fn parse_block(&mut self) -> Result<Vec<StmtId>, SyntaxError> {
+        self.expect(TokenKind::Colon)?;
+        self.expect(TokenKind::Newline)?;
+        self.expect(TokenKind::Indent)?;
+        let mut out = Vec::new();
+        while self.peek() != &TokenKind::Dedent && self.peek() != &TokenKind::Eof {
+            out.push(self.parse_stmt()?);
+        }
+        self.expect(TokenKind::Dedent)?;
+        Ok(out)
+    }
+
+    fn parse_stmt(&mut self) -> Result<StmtId, SyntaxError> {
+        let line = self.line();
+        match self.peek().clone() {
+            TokenKind::Import => {
+                self.bump();
+                let module = self.dotted_name()?;
+                let alias = if self.eat(&TokenKind::As) {
+                    Some(self.ident()?)
+                } else {
+                    None
+                };
+                self.expect(TokenKind::Newline)?;
+                Ok(self.ast.alloc(StmtKind::Import { module, alias }, line))
+            }
+            TokenKind::From => {
+                self.bump();
+                let module = self.dotted_name()?;
+                self.expect(TokenKind::Import)?;
+                let mut names = vec![self.import_name()?];
+                while self.eat(&TokenKind::Comma) {
+                    names.push(self.import_name()?);
+                }
+                self.expect(TokenKind::Newline)?;
+                Ok(self.ast.alloc(StmtKind::FromImport { module, names }, line))
+            }
+            TokenKind::If => {
+                self.bump();
+                self.parse_if(line)
+            }
+            TokenKind::For => {
+                self.bump();
+                let var = self.ident()?;
+                self.expect(TokenKind::In)?;
+                let iter = self.parse_expr()?;
+                let body = self.parse_block()?;
+                Ok(self.ast.alloc(StmtKind::For { var, iter, body }, line))
+            }
+            TokenKind::Def | TokenKind::Return => Err(self.error(
+                "function definitions are outside the analyzed PandaScript subset".into(),
+            )),
+            _ => {
+                let expr = self.parse_expr()?;
+                if self.eat(&TokenKind::Assign) {
+                    let target = expr_to_target(expr).map_err(|m| self.error(m))?;
+                    let value = self.parse_expr()?;
+                    self.expect(TokenKind::Newline)?;
+                    Ok(self.ast.alloc(StmtKind::Assign { target, value }, line))
+                } else {
+                    self.expect(TokenKind::Newline)?;
+                    Ok(self.ast.alloc(StmtKind::Expr(expr), line))
+                }
+            }
+        }
+    }
+
+    fn parse_if(&mut self, line: usize) -> Result<StmtId, SyntaxError> {
+        let cond = self.parse_expr()?;
+        let then = self.parse_block()?;
+        let orelse = if self.peek() == &TokenKind::Elif {
+            let elif_line = self.line();
+            self.bump();
+            vec![self.parse_if(elif_line)?]
+        } else if self.eat(&TokenKind::Else) {
+            self.parse_block()?
+        } else {
+            Vec::new()
+        };
+        Ok(self.ast.alloc(StmtKind::If { cond, then, orelse }, line))
+    }
+
+    fn dotted_name(&mut self) -> Result<String, SyntaxError> {
+        let mut name = self.ident()?;
+        while self.eat(&TokenKind::Dot) {
+            name.push('.');
+            name.push_str(&self.ident()?);
+        }
+        Ok(name)
+    }
+
+    /// `print` and `len` are keywords nowhere, but they arrive as Ident.
+    fn import_name(&mut self) -> Result<String, SyntaxError> {
+        self.ident()
+    }
+
+    // -- expressions (Python precedence) ------------------------------------
+
+    pub(crate) fn parse_expr(&mut self) -> Result<Expr, SyntaxError> {
+        self.parse_not()
+    }
+
+    fn parse_not(&mut self) -> Result<Expr, SyntaxError> {
+        if self.eat(&TokenKind::Not) {
+            let operand = self.parse_not()?;
+            return Ok(Expr::Unary {
+                op: UnaryOpKind::Not,
+                operand: Box::new(operand),
+            });
+        }
+        self.parse_comparison()
+    }
+
+    fn parse_comparison(&mut self) -> Result<Expr, SyntaxError> {
+        let left = self.parse_bitor()?;
+        let op = match self.peek() {
+            TokenKind::Eq => CmpOpKind::Eq,
+            TokenKind::Ne => CmpOpKind::Ne,
+            TokenKind::Lt => CmpOpKind::Lt,
+            TokenKind::Le => CmpOpKind::Le,
+            TokenKind::Gt => CmpOpKind::Gt,
+            TokenKind::Ge => CmpOpKind::Ge,
+            _ => return Ok(left),
+        };
+        self.bump();
+        let right = self.parse_bitor()?;
+        Ok(Expr::Compare {
+            left: Box::new(left),
+            op,
+            right: Box::new(right),
+        })
+    }
+
+    fn parse_bitor(&mut self) -> Result<Expr, SyntaxError> {
+        let mut left = self.parse_bitand()?;
+        while self.eat(&TokenKind::Pipe) {
+            let right = self.parse_bitand()?;
+            left = Expr::BinOp {
+                left: Box::new(left),
+                op: BinOpKind::Or,
+                right: Box::new(right),
+            };
+        }
+        Ok(left)
+    }
+
+    fn parse_bitand(&mut self) -> Result<Expr, SyntaxError> {
+        let mut left = self.parse_additive()?;
+        while self.eat(&TokenKind::Amp) {
+            let right = self.parse_additive()?;
+            left = Expr::BinOp {
+                left: Box::new(left),
+                op: BinOpKind::And,
+                right: Box::new(right),
+            };
+        }
+        Ok(left)
+    }
+
+    fn parse_additive(&mut self) -> Result<Expr, SyntaxError> {
+        let mut left = self.parse_multiplicative()?;
+        loop {
+            let op = match self.peek() {
+                TokenKind::Plus => BinOpKind::Add,
+                TokenKind::Minus => BinOpKind::Sub,
+                _ => break,
+            };
+            self.bump();
+            let right = self.parse_multiplicative()?;
+            left = Expr::BinOp {
+                left: Box::new(left),
+                op,
+                right: Box::new(right),
+            };
+        }
+        Ok(left)
+    }
+
+    fn parse_multiplicative(&mut self) -> Result<Expr, SyntaxError> {
+        let mut left = self.parse_unary()?;
+        loop {
+            let op = match self.peek() {
+                TokenKind::Star => BinOpKind::Mul,
+                TokenKind::Slash => BinOpKind::Div,
+                TokenKind::Percent => BinOpKind::Mod,
+                _ => break,
+            };
+            self.bump();
+            let right = self.parse_unary()?;
+            left = Expr::BinOp {
+                left: Box::new(left),
+                op,
+                right: Box::new(right),
+            };
+        }
+        Ok(left)
+    }
+
+    fn parse_unary(&mut self) -> Result<Expr, SyntaxError> {
+        if self.eat(&TokenKind::Tilde) {
+            let operand = self.parse_unary()?;
+            return Ok(Expr::Unary {
+                op: UnaryOpKind::Invert,
+                operand: Box::new(operand),
+            });
+        }
+        if self.eat(&TokenKind::Minus) {
+            let operand = self.parse_unary()?;
+            // Fold negative literals for cleaner ASTs.
+            return Ok(match operand {
+                Expr::Int(v) => Expr::Int(-v),
+                Expr::Float(v) => Expr::Float(-v),
+                other => Expr::Unary {
+                    op: UnaryOpKind::Neg,
+                    operand: Box::new(other),
+                },
+            });
+        }
+        self.parse_postfix()
+    }
+
+    fn parse_postfix(&mut self) -> Result<Expr, SyntaxError> {
+        let mut expr = self.parse_primary()?;
+        loop {
+            match self.peek() {
+                TokenKind::Dot => {
+                    self.bump();
+                    let attr = self.ident()?;
+                    expr = Expr::Attribute {
+                        value: Box::new(expr),
+                        attr,
+                    };
+                }
+                TokenKind::LParen => {
+                    self.bump();
+                    let (args, kwargs) = self.parse_call_args()?;
+                    expr = Expr::Call {
+                        func: Box::new(expr),
+                        args,
+                        kwargs,
+                    };
+                }
+                TokenKind::LBracket => {
+                    self.bump();
+                    let index = self.parse_expr()?;
+                    self.expect(TokenKind::RBracket)?;
+                    expr = Expr::Subscript {
+                        value: Box::new(expr),
+                        index: Box::new(index),
+                    };
+                }
+                _ => break,
+            }
+        }
+        Ok(expr)
+    }
+
+    fn parse_call_args(&mut self) -> Result<(Vec<Expr>, Vec<(String, Expr)>), SyntaxError> {
+        let mut args = Vec::new();
+        let mut kwargs = Vec::new();
+        if self.eat(&TokenKind::RParen) {
+            return Ok((args, kwargs));
+        }
+        loop {
+            // kwarg? ident '=' ...
+            if let TokenKind::Ident(name) = self.peek().clone() {
+                if self.tokens[self.pos + 1].kind == TokenKind::Assign {
+                    self.bump();
+                    self.bump();
+                    let value = self.parse_expr()?;
+                    kwargs.push((name, value));
+                    if self.eat(&TokenKind::Comma) {
+                        continue;
+                    }
+                    self.expect(TokenKind::RParen)?;
+                    break;
+                }
+            }
+            if !kwargs.is_empty() {
+                return Err(self.error("positional argument after keyword argument".into()));
+            }
+            args.push(self.parse_expr()?);
+            if self.eat(&TokenKind::Comma) {
+                continue;
+            }
+            self.expect(TokenKind::RParen)?;
+            break;
+        }
+        Ok((args, kwargs))
+    }
+
+    fn parse_primary(&mut self) -> Result<Expr, SyntaxError> {
+        let line = self.line();
+        match self.bump() {
+            TokenKind::Ident(name) => Ok(Expr::Name(name)),
+            TokenKind::Int(v) => Ok(Expr::Int(v)),
+            TokenKind::Float(v) => Ok(Expr::Float(v)),
+            TokenKind::Str(s) => Ok(Expr::Str(s)),
+            TokenKind::FStr(raw) => parse_fstring(&raw, line),
+            TokenKind::True => Ok(Expr::Bool(true)),
+            TokenKind::False => Ok(Expr::Bool(false)),
+            TokenKind::NoneKw => Ok(Expr::NoneLit),
+            TokenKind::LParen => {
+                let inner = self.parse_expr()?;
+                self.expect(TokenKind::RParen)?;
+                Ok(inner)
+            }
+            TokenKind::LBracket => {
+                let mut items = Vec::new();
+                if !self.eat(&TokenKind::RBracket) {
+                    loop {
+                        items.push(self.parse_expr()?);
+                        if self.eat(&TokenKind::Comma) {
+                            if self.peek() == &TokenKind::RBracket {
+                                break;
+                            }
+                            continue;
+                        }
+                        break;
+                    }
+                    self.expect(TokenKind::RBracket)?;
+                }
+                Ok(Expr::List(items))
+            }
+            TokenKind::LBrace => {
+                let mut items = Vec::new();
+                if !self.eat(&TokenKind::RBrace) {
+                    loop {
+                        let key = self.parse_expr()?;
+                        self.expect(TokenKind::Colon)?;
+                        let value = self.parse_expr()?;
+                        items.push((key, value));
+                        if self.eat(&TokenKind::Comma) {
+                            if self.peek() == &TokenKind::RBrace {
+                                break;
+                            }
+                            continue;
+                        }
+                        break;
+                    }
+                    self.expect(TokenKind::RBrace)?;
+                }
+                Ok(Expr::Dict(items))
+            }
+            other => Err(SyntaxError {
+                line,
+                message: format!("unexpected {}", other.describe()),
+            }),
+        }
+    }
+}
+
+/// Split an f-string body into text and `{expr}` pieces; `{{`/`}}` escape.
+fn parse_fstring(raw: &str, line: usize) -> Result<Expr, SyntaxError> {
+    let mut pieces = Vec::new();
+    let mut text = String::new();
+    let mut chars = raw.chars().peekable();
+    while let Some(c) = chars.next() {
+        match c {
+            '{' if chars.peek() == Some(&'{') => {
+                chars.next();
+                text.push('{');
+            }
+            '}' if chars.peek() == Some(&'}') => {
+                chars.next();
+                text.push('}');
+            }
+            '{' => {
+                if !text.is_empty() {
+                    pieces.push(FPiece::Text(std::mem::take(&mut text)));
+                }
+                let mut inner = String::new();
+                let mut depth = 1;
+                for c in chars.by_ref() {
+                    match c {
+                        '{' => depth += 1,
+                        '}' => {
+                            depth -= 1;
+                            if depth == 0 {
+                                break;
+                            }
+                        }
+                        _ => {}
+                    }
+                    inner.push(c);
+                }
+                if depth != 0 {
+                    return Err(SyntaxError {
+                        line,
+                        message: "unbalanced braces in f-string".into(),
+                    });
+                }
+                let expr = crate::parser::parse_expression(&format!("{inner}\n"))
+                    .map_err(|e| SyntaxError {
+                        line,
+                        message: format!("in f-string expression {inner:?}: {}", e.message),
+                    })?;
+                pieces.push(FPiece::Expr(expr));
+            }
+            '}' => {
+                return Err(SyntaxError {
+                    line,
+                    message: "single '}' in f-string".into(),
+                })
+            }
+            other => text.push(other),
+        }
+    }
+    if !text.is_empty() {
+        pieces.push(FPiece::Text(text));
+    }
+    Ok(Expr::FString(pieces))
+}
+
+fn expr_to_target(expr: Expr) -> Result<Target, String> {
+    match expr {
+        Expr::Name(name) => Ok(Target::Name(name)),
+        Expr::Subscript { value, index } => match *value {
+            Expr::Name(obj) => Ok(Target::Subscript { obj, key: *index }),
+            _ => Err("only simple names can be subscript-assigned".into()),
+        },
+        _ => Err("invalid assignment target".into()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn top(src: &str) -> (Ast, Vec<StmtId>) {
+        let ast = parse(src).unwrap();
+        let m = ast.module.clone();
+        (ast, m)
+    }
+
+    #[test]
+    fn parse_figure3_program() {
+        let src = "\
+import lazyfatpandas.pandas as pd
+pd.analyze()
+df = pd.read_csv('data.csv', parse_dates=['tpep_pickup_datetime'])
+df = df[df.fare_amount > 0]
+df['day'] = df.tpep_pickup_datetime.dt.dayofweek
+df = df.groupby(['day'])['passenger_count'].sum()
+print(df)
+";
+        let (ast, m) = top(src);
+        assert_eq!(m.len(), 7);
+        assert!(matches!(
+            &ast.stmt(m[0]).kind,
+            StmtKind::Import { module, alias: Some(a) }
+                if module == "lazyfatpandas.pandas" && a == "pd"
+        ));
+        // df['day'] = ... is a subscript store
+        assert!(matches!(
+            &ast.stmt(m[4]).kind,
+            StmtKind::Assign { target: Target::Subscript { obj, .. }, .. } if obj == "df"
+        ));
+    }
+
+    #[test]
+    fn kwargs_and_lists() {
+        let (ast, m) = top("df = pd.read_csv('d.csv', usecols=['a', 'b'], nrows=10)\n");
+        match &ast.stmt(m[0]).kind {
+            StmtKind::Assign { value: Expr::Call { kwargs, args, .. }, .. } => {
+                assert_eq!(args.len(), 1);
+                assert_eq!(kwargs.len(), 2);
+                assert_eq!(kwargs[0].0, "usecols");
+                assert_eq!(
+                    kwargs[0].1.as_str_list(),
+                    Some(vec!["a".into(), "b".into()])
+                );
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn precedence_pandas_style() {
+        // (df.a > 0) & (df.b < 1) parses as And of comparisons
+        let (ast, m) = top("m = (df.a > 0) & (df.b < 1)\n");
+        match &ast.stmt(m[0]).kind {
+            StmtKind::Assign { value: Expr::BinOp { op: BinOpKind::And, left, right }, .. } => {
+                assert!(matches!(**left, Expr::Compare { .. }));
+                assert!(matches!(**right, Expr::Compare { .. }));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        // arithmetic precedence: 1 + 2 * 3
+        let (ast, m) = top("x = 1 + 2 * 3\n");
+        match &ast.stmt(m[0]).kind {
+            StmtKind::Assign { value: Expr::BinOp { op: BinOpKind::Add, right, .. }, .. } => {
+                assert!(matches!(**right, Expr::BinOp { op: BinOpKind::Mul, .. }));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn if_elif_else_nesting() {
+        let src = "\
+if x > 0:
+    y = 1
+elif x < 0:
+    y = 2
+else:
+    y = 3
+";
+        let (ast, m) = top(src);
+        assert_eq!(m.len(), 1);
+        match &ast.stmt(m[0]).kind {
+            StmtKind::If { then, orelse, .. } => {
+                assert_eq!(then.len(), 1);
+                assert_eq!(orelse.len(), 1);
+                assert!(matches!(ast.stmt(orelse[0]).kind, StmtKind::If { .. }));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn for_loop() {
+        let (ast, m) = top("for f in files:\n    df = pd.read_csv(f)\n");
+        match &ast.stmt(m[0]).kind {
+            StmtKind::For { var, body, .. } => {
+                assert_eq!(var, "f");
+                assert_eq!(body.len(), 1);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn fstring_pieces() {
+        let (ast, m) = top("print(f'Average fare: {avg_fare} done')\n");
+        match &ast.stmt(m[0]).kind {
+            StmtKind::Expr(Expr::Call { args, .. }) => match &args[0] {
+                Expr::FString(pieces) => {
+                    assert_eq!(pieces.len(), 3);
+                    assert!(matches!(&pieces[0], FPiece::Text(t) if t == "Average fare: "));
+                    assert!(
+                        matches!(&pieces[1], FPiece::Expr(Expr::Name(n)) if n == "avg_fare")
+                    );
+                    assert!(matches!(&pieces[2], FPiece::Text(t) if t == " done"));
+                }
+                other => panic!("unexpected {other:?}"),
+            },
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn fstring_escapes_and_errors() {
+        let (ast, m) = top("print(f'{{literal}} {x}')\n");
+        match &ast.stmt(m[0]).kind {
+            StmtKind::Expr(Expr::Call { args, .. }) => match &args[0] {
+                Expr::FString(pieces) => {
+                    assert!(matches!(&pieces[0], FPiece::Text(t) if t == "{literal} "));
+                }
+                other => panic!("unexpected {other:?}"),
+            },
+            other => panic!("unexpected {other:?}"),
+        }
+        assert!(parse("print(f'{unclosed')\n").is_err());
+        assert!(parse("print(f'}bad')\n").is_err());
+    }
+
+    #[test]
+    fn chained_methods_and_subscripts() {
+        let (ast, m) = top("g = df.groupby(['day'])['count'].sum()\n");
+        match &ast.stmt(m[0]).kind {
+            StmtKind::Assign { value, .. } => {
+                // Call(Attribute(Subscript(Call(Attribute(df, groupby))), sum))
+                assert!(matches!(value, Expr::Call { .. }));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn errors_have_lines() {
+        let err = parse("x = 1\ny = (\n").unwrap_err();
+        assert_eq!(err.line, 2);
+        let err = parse("def f():\n    return 1\n").unwrap_err();
+        assert_eq!(err.line, 1);
+        assert!(parse("x = = 1\n").is_err());
+        assert!(parse("f(a, b=1, c)\n").is_err());
+    }
+
+    #[test]
+    fn negative_literals_fold() {
+        let (ast, m) = top("x = -5\ny = -2.5\n");
+        assert!(matches!(
+            ast.stmt(m[0]).kind,
+            StmtKind::Assign { value: Expr::Int(-5), .. }
+        ));
+        assert!(matches!(
+            ast.stmt(m[1]).kind,
+            StmtKind::Assign { value: Expr::Float(v), .. } if v == -2.5
+        ));
+    }
+}

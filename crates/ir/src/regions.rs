@@ -1,0 +1,308 @@
+//! Region reconstruction: CFG → hierarchical program regions (paper §2.2,
+//! following Hecht–Ullman-style structuring of reducible flow graphs), and
+//! region → source emission, which closes the IR→Python loop.
+//!
+//! Regions:
+//! * **basic-block region** — the simple statements of one block;
+//! * **branch region** — a `Branch` terminator with its two arms, ending at
+//!   the branch's immediate postdominator (the join block);
+//! * **loop region** — a `LoopBranch` header with its body (back edge to
+//!   the header), continuing at the loop exit;
+//! * **sequential region** — concatenation of the above.
+
+use crate::ast::{Ast, StmtId, StmtKind};
+use crate::cfg::{BlockId, Cfg, Terminator};
+use crate::codegen;
+
+/// A node of the region tree.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Region {
+    /// One simple statement.
+    Stmt(StmtId),
+    /// Two-way branch; `stmt` is the originating `If` (condition source).
+    Branch {
+        /// The `If` statement carrying the condition.
+        stmt: StmtId,
+        /// Then-region.
+        then: Vec<Region>,
+        /// Else-region.
+        orelse: Vec<Region>,
+    },
+    /// Loop; `stmt` is the originating `For` (var + iterable source).
+    Loop {
+        /// The `For` statement carrying var/iterable.
+        stmt: StmtId,
+        /// Body region.
+        body: Vec<Region>,
+    },
+}
+
+/// Build the region tree of a CFG produced by [`crate::lower::lower`].
+///
+/// Works for reducible CFGs whose joins are the immediate postdominators of
+/// their branches — which is every CFG our lowering emits. Returns `None`
+/// if the graph does not structure (irreducible input).
+pub fn build_regions(cfg: &Cfg) -> Option<Vec<Region>> {
+    let ipdom = immediate_postdominators(cfg);
+    let mut out = Vec::new();
+    walk(cfg, &ipdom, cfg.entry, None, &mut out)?;
+    Some(out)
+}
+
+/// Emit source from a region tree (the final IR→Python step).
+pub fn emit_regions(ast: &Ast, regions: &[Region]) -> String {
+    let mut out = String::new();
+    emit_region_seq(ast, regions, 0, &mut out);
+    out
+}
+
+fn emit_region_seq(ast: &Ast, regions: &[Region], indent: usize, out: &mut String) {
+    if regions.is_empty() {
+        out.push_str(&"    ".repeat(indent));
+        out.push_str("pass\n");
+        return;
+    }
+    for r in regions {
+        match r {
+            Region::Stmt(id) => codegen::emit_stmt(ast, *id, indent, out),
+            Region::Branch { stmt, then, orelse } => {
+                let pad = "    ".repeat(indent);
+                if let StmtKind::If { cond, .. } = &ast.stmt(*stmt).kind {
+                    out.push_str(&pad);
+                    out.push_str("if ");
+                    out.push_str(&codegen::emit_expr(cond));
+                    out.push_str(":\n");
+                    emit_region_seq(ast, then, indent + 1, out);
+                    if !orelse.is_empty() {
+                        out.push_str(&pad);
+                        out.push_str("else:\n");
+                        emit_region_seq(ast, orelse, indent + 1, out);
+                    }
+                }
+            }
+            Region::Loop { stmt, body } => {
+                let pad = "    ".repeat(indent);
+                if let StmtKind::For { var, iter, .. } = &ast.stmt(*stmt).kind {
+                    out.push_str(&pad);
+                    out.push_str("for ");
+                    out.push_str(var);
+                    out.push_str(" in ");
+                    out.push_str(&codegen::emit_expr(iter));
+                    out.push_str(":\n");
+                    emit_region_seq(ast, body, indent + 1, out);
+                }
+            }
+        }
+    }
+}
+
+/// Structure blocks from `from` until `stop` (exclusive), appending regions.
+fn walk(
+    cfg: &Cfg,
+    ipdom: &[Option<BlockId>],
+    mut from: BlockId,
+    stop: Option<BlockId>,
+    out: &mut Vec<Region>,
+) -> Option<()> {
+    loop {
+        if Some(from) == stop {
+            return Some(());
+        }
+        let block = &cfg.blocks[from];
+        for &s in &block.stmts {
+            out.push(Region::Stmt(s));
+        }
+        match &block.terminator {
+            Terminator::End => return Some(()),
+            Terminator::Jump(t) => {
+                if Some(*t) == stop {
+                    return Some(());
+                }
+                from = *t;
+            }
+            Terminator::Branch {
+                stmt,
+                then_blk,
+                else_blk,
+            } => {
+                let join = ipdom[from]?;
+                let mut then = Vec::new();
+                walk(cfg, ipdom, *then_blk, Some(join), &mut then)?;
+                let mut orelse = Vec::new();
+                walk(cfg, ipdom, *else_blk, Some(join), &mut orelse)?;
+                out.push(Region::Branch {
+                    stmt: *stmt,
+                    then,
+                    orelse,
+                });
+                if Some(join) == stop {
+                    return Some(());
+                }
+                from = join;
+            }
+            Terminator::LoopBranch { stmt, body, exit } => {
+                let mut body_regions = Vec::new();
+                // The body runs until the back edge to this header.
+                walk(cfg, ipdom, *body, Some(from), &mut body_regions)?;
+                out.push(Region::Loop {
+                    stmt: *stmt,
+                    body: body_regions,
+                });
+                if Some(*exit) == stop {
+                    return Some(());
+                }
+                from = *exit;
+            }
+        }
+    }
+}
+
+/// Immediate postdominators via the iterative dataflow algorithm on the
+/// reversed CFG. Exit blocks (`End` terminator) postdominate themselves.
+fn immediate_postdominators(cfg: &Cfg) -> Vec<Option<BlockId>> {
+    let n = cfg.blocks.len();
+    // postdom sets as bitsets (graphs are tiny).
+    let full: Vec<bool> = vec![true; n];
+    let mut pdom: Vec<Vec<bool>> = vec![full; n];
+    for b in 0..n {
+        if matches!(cfg.blocks[b].terminator, Terminator::End) {
+            let mut only = vec![false; n];
+            only[b] = true;
+            pdom[b] = only;
+        }
+    }
+    let mut changed = true;
+    while changed {
+        changed = false;
+        for b in (0..n).rev() {
+            if matches!(cfg.blocks[b].terminator, Terminator::End) {
+                continue;
+            }
+            let succs = cfg.successors(b);
+            if succs.is_empty() {
+                continue;
+            }
+            let mut meet = pdom[succs[0]].clone();
+            for &s in &succs[1..] {
+                for i in 0..n {
+                    meet[i] = meet[i] && pdom[s][i];
+                }
+            }
+            meet[b] = true;
+            if meet != pdom[b] {
+                pdom[b] = meet;
+                changed = true;
+            }
+        }
+    }
+    // ipdom(b): the postdominator (≠ b) that is dominated by every other
+    // postdominator of b — i.e. the "closest" one.
+    (0..n)
+        .map(|b| {
+            let candidates: Vec<BlockId> =
+                (0..n).filter(|&d| d != b && pdom[b][d]).collect();
+            candidates
+                .iter()
+                .copied()
+                .find(|&c| candidates.iter().all(|&o| pdom[c][o]))
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::codegen::emit_module;
+    use crate::lower::lower;
+    use crate::parser::parse;
+
+    /// Region-based emission must agree with AST-based emission: the CFG
+    /// and region reconstruction lose nothing.
+    fn assert_region_roundtrip(src: &str) {
+        let ast = parse(src).unwrap();
+        let cfg = lower(&ast);
+        let regions = build_regions(&cfg).expect("structured program");
+        let via_regions = emit_regions(&ast, &regions);
+        let via_ast = emit_module(&ast);
+        assert_eq!(via_regions, via_ast, "source:\n{src}");
+    }
+
+    #[test]
+    fn straight_line() {
+        assert_region_roundtrip("x = 1\ny = x\nprint(y)\n");
+    }
+
+    #[test]
+    fn single_if() {
+        assert_region_roundtrip("if x > 0:\n    y = 1\nz = 2\n");
+    }
+
+    #[test]
+    fn if_else_and_join_code() {
+        assert_region_roundtrip(
+            "\
+a = 1
+if x > 0:
+    y = 1
+else:
+    y = 2
+z = y
+",
+        );
+    }
+
+    #[test]
+    fn elif_chain() {
+        assert_region_roundtrip(
+            "\
+if x > 0:
+    y = 1
+elif x < 0:
+    y = 2
+else:
+    y = 3
+done = 1
+",
+        );
+    }
+
+    #[test]
+    fn loops_and_nesting() {
+        assert_region_roundtrip(
+            "\
+total = 0
+for i in items:
+    if i > 0:
+        total = total + i
+    else:
+        total = total - i
+print(total)
+",
+        );
+    }
+
+    #[test]
+    fn loop_inside_branch() {
+        assert_region_roundtrip(
+            "\
+if big:
+    for f in files:
+        df = pd.read_csv(f)
+else:
+    df = pd.read_csv('small.csv')
+print(df)
+",
+        );
+    }
+
+    #[test]
+    fn postdominators_of_diamond() {
+        let ast = parse("if x > 0:\n    y = 1\nelse:\n    y = 2\nz = 3\n").unwrap();
+        let cfg = lower(&ast);
+        let ipdom = immediate_postdominators(&cfg);
+        // The entry's immediate postdominator is the join block, which
+        // contains the statement after the if.
+        let join = ipdom[cfg.entry].expect("join exists");
+        assert_eq!(cfg.blocks[join].stmts.len(), 1);
+    }
+}

@@ -1,0 +1,88 @@
+//! Tokens of PandaScript.
+
+/// A lexical token with its source line.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Token {
+    /// Token kind and payload.
+    pub kind: TokenKind,
+    /// 1-based source line.
+    pub line: usize,
+}
+
+/// Token kinds.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TokenKind {
+    /// Identifier or non-reserved name.
+    Ident(String),
+    /// Integer literal.
+    Int(i64),
+    /// Float literal.
+    Float(f64),
+    /// Plain string literal (quotes removed, escapes resolved).
+    Str(String),
+    /// f-string literal: raw inner text, to be split by the parser.
+    FStr(String),
+    /// Keywords.
+    Import,
+    From,
+    As,
+    If,
+    Elif,
+    Else,
+    For,
+    In,
+    Not,
+    True,
+    False,
+    NoneKw,
+    Def,
+    Return,
+    /// Punctuation / operators.
+    Assign,      // =
+    Eq,          // ==
+    Ne,          // !=
+    Lt,          // <
+    Le,          // <=
+    Gt,          // >
+    Ge,          // >=
+    Plus,        // +
+    Minus,       // -
+    Star,        // *
+    Slash,       // /
+    Percent,     // %
+    Amp,         // &
+    Pipe,        // |
+    Tilde,       // ~
+    LParen,      // (
+    RParen,      // )
+    LBracket,    // [
+    RBracket,    // ]
+    LBrace,      // {
+    RBrace,      // }
+    Comma,       // ,
+    Colon,       // :
+    Dot,         // .
+    /// Structure.
+    Newline,
+    Indent,
+    Dedent,
+    Eof,
+}
+
+impl TokenKind {
+    /// Render for error messages.
+    pub fn describe(&self) -> String {
+        match self {
+            TokenKind::Ident(s) => format!("identifier {s:?}"),
+            TokenKind::Int(v) => format!("integer {v}"),
+            TokenKind::Float(v) => format!("float {v}"),
+            TokenKind::Str(s) => format!("string {s:?}"),
+            TokenKind::FStr(_) => "f-string".into(),
+            TokenKind::Newline => "newline".into(),
+            TokenKind::Indent => "indent".into(),
+            TokenKind::Dedent => "dedent".into(),
+            TokenKind::Eof => "end of file".into(),
+            other => format!("{other:?}").to_lowercase(),
+        }
+    }
+}

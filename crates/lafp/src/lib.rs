@@ -1,0 +1,48 @@
+//! # Lazy Fat Pandas (LaFP)
+//!
+//! A from-scratch Rust reproduction of *"Efficient Dataframe Systems:
+//! Lazy Fat Pandas on a Diet"* (EDBT 2026): write plain eager
+//! dataframe programs; LaFP's JIT static analysis rewrites them and a
+//! lazy task-graph runtime executes them — on a Pandas-like, Modin-like
+//! or Dask-like backend — with database-style optimizations: column
+//! selection, predicate pushdown, lazy print, forced computation for
+//! external APIs, and common computation reuse.
+//!
+//! ## Quick start (lazy dataframe API)
+//!
+//! ```
+//! use lafp::core::{LaFP, LafpConfig};
+//! use lafp::expr::Expr;
+//! use lafp::columnar::AggKind;
+//!
+//! # fn main() -> lafp::columnar::Result<()> {
+//! # let dir = std::env::temp_dir().join("lafp-doc");
+//! # std::fs::create_dir_all(&dir).unwrap();
+//! # let path = dir.join("trips.csv");
+//! # std::fs::write(&path, "fare_amount,passenger_count,day\n5.5,2,1\n-1.0,1,2\n7.0,3,1\n").unwrap();
+//! let pd = LaFP::new(); // Dask-like backend by default
+//! let df = pd.read_csv(&path);
+//! let df = df.filter(Expr::col("fare_amount").gt(Expr::lit_float(0.0)));
+//! let by_day = df.groupby_agg(vec!["day".into()], "passenger_count", AggKind::Sum);
+//! by_day.print();                    // lazy print: nothing runs yet
+//! pd.flush()?;                       // one batched pass computes it all
+//! assert_eq!(pd.take_output().len(), 1);
+//! # Ok(()) }
+//! ```
+//!
+//! ## Quick start (whole programs)
+//!
+//! PandaScript programs — plain Pandas code with the paper's two-line
+//! change — are rewritten by [`rewrite::analyze`] (JIT static analysis,
+//! Figure 5) and executed by [`interp::Interp`] on any backend. See the
+//! `examples/` directory.
+
+pub use lafp_analysis as analysis;
+pub use lafp_backends as backends;
+pub use lafp_columnar as columnar;
+pub use lafp_core as core;
+pub use lafp_expr as expr;
+pub use lafp_interp as interp;
+pub use lafp_ir as ir;
+pub use lafp_meta as meta;
+pub use lafp_rewrite as rewrite;

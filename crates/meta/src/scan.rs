@@ -1,0 +1,175 @@
+//! Metadata computation: one streaming pass over the dataset.
+//!
+//! The paper computes metadata "by running a script on the file ... as a
+//! background task" (§3.6). Here it is a library call; the bench harness
+//! runs it ahead of the measured region, matching the paper's methodology
+//! (metadata computation is not part of program execution time).
+
+use crate::store::{ColumnMeta, DatasetMeta, MetaStore, NDISTINCT_CAP};
+use lafp_columnar::csv::{CsvChunkReader, CsvOptions};
+use lafp_columnar::{DataFrame, HeapSize, Result, Scalar};
+use std::collections::HashSet;
+use std::path::Path;
+
+/// Per-column accumulation state for the metadata scan.
+struct ColumnScan {
+    name: String,
+    min: Option<Scalar>,
+    max: Option<Scalar>,
+    distinct: HashSet<String>,
+    distinct_capped: bool,
+    null_count: u64,
+}
+
+impl ColumnScan {
+    fn new(name: String) -> ColumnScan {
+        ColumnScan {
+            name,
+            min: None,
+            max: None,
+            distinct: HashSet::new(),
+            distinct_capped: false,
+            null_count: 0,
+        }
+    }
+
+    fn update(&mut self, value: &Scalar) {
+        if value.is_null() {
+            self.null_count += 1;
+            return;
+        }
+        if self.min.as_ref().is_none_or(|m| value.cmp_values(m).is_lt()) {
+            self.min = Some(value.clone());
+        }
+        if self.max.as_ref().is_none_or(|m| value.cmp_values(m).is_gt()) {
+            self.max = Some(value.clone());
+        }
+        if !self.distinct_capped {
+            self.distinct.insert(value.to_string());
+            if self.distinct.len() as u64 > NDISTINCT_CAP {
+                self.distinct_capped = true;
+            }
+        }
+    }
+}
+
+/// Scan `path` chunk-by-chunk and compute its [`DatasetMeta`].
+pub fn compute_metadata(path: &Path) -> Result<DatasetMeta> {
+    let mut reader = CsvChunkReader::open(path, &CsvOptions::new(), 16_384)?;
+    let schema = reader.schema();
+    let mut scans: Vec<ColumnScan> = schema
+        .iter()
+        .map(|(name, _)| ColumnScan::new(name.clone()))
+        .collect();
+    let mut nrows: u64 = 0;
+    let mut heap_bytes: u64 = 0;
+    while let Some(chunk) = reader.next_chunk()? {
+        nrows += chunk.num_rows() as u64;
+        heap_bytes += chunk.heap_size() as u64;
+        update_scans(&mut scans, &chunk)?;
+    }
+    let row_bytes = if nrows == 0 {
+        0.0
+    } else {
+        heap_bytes as f64 / nrows as f64
+    };
+    let columns = schema
+        .into_iter()
+        .zip(scans)
+        .map(|((name, dtype), scan)| ColumnMeta {
+            name,
+            dtype,
+            min: scan.min.as_ref().map(Scalar::to_string),
+            max: scan.max.as_ref().map(Scalar::to_string),
+            ndistinct: if scan.distinct_capped {
+                NDISTINCT_CAP + 1
+            } else {
+                scan.distinct.len() as u64
+            },
+            null_count: scan.null_count,
+        })
+        .collect();
+    Ok(DatasetMeta {
+        path: path.to_path_buf(),
+        modified_unix: MetaStore::file_mtime(path)?,
+        nrows,
+        row_bytes,
+        columns,
+    })
+}
+
+fn update_scans(scans: &mut [ColumnScan], chunk: &DataFrame) -> Result<()> {
+    for scan in scans.iter_mut() {
+        let col = chunk.column(&scan.name)?;
+        for i in 0..col.len() {
+            scan.update(&col.get(i));
+        }
+    }
+    Ok(())
+}
+
+/// Compute and persist metadata in one call (the "background task").
+pub fn compute_and_store(path: &Path) -> Result<DatasetMeta> {
+    let meta = compute_metadata(path)?;
+    MetaStore::new().save(&meta)?;
+    Ok(meta)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lafp_columnar::DType;
+    use std::path::PathBuf;
+
+    fn temp_csv(content: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join("lafp-meta-scan-tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join(format!(
+            "m{}.csv",
+            std::time::SystemTime::now()
+                .duration_since(std::time::UNIX_EPOCH)
+                .unwrap()
+                .as_nanos()
+        ));
+        std::fs::write(&path, content).unwrap();
+        path
+    }
+
+    #[test]
+    fn computes_types_ranges_distincts() {
+        let path = temp_csv("city,fare\nNY,5.0\nSF,7.5\nNY,\nLA,2.5\n");
+        let meta = compute_metadata(&path).unwrap();
+        assert_eq!(meta.nrows, 4);
+        let city = meta.column("city").unwrap();
+        assert_eq!(city.dtype, DType::Utf8);
+        assert_eq!(city.ndistinct, 3);
+        assert_eq!(city.min.as_deref(), Some("LA"));
+        assert_eq!(city.max.as_deref(), Some("SF"));
+        let fare = meta.column("fare").unwrap();
+        assert_eq!(fare.dtype, DType::Float64);
+        assert_eq!(fare.null_count, 1);
+        assert_eq!(fare.min.as_deref(), Some("2.5"));
+        assert!(meta.row_bytes > 0.0);
+    }
+
+    #[test]
+    fn compute_and_store_roundtrips_through_store() {
+        let path = temp_csv("a\n1\n2\n3\n");
+        let meta = compute_and_store(&path).unwrap();
+        let loaded = MetaStore::new().load(&path).unwrap().unwrap();
+        assert_eq!(loaded, meta);
+        // Rewriting the file invalidates the sidecar once mtime changes.
+        std::thread::sleep(std::time::Duration::from_millis(1100));
+        std::fs::write(&path, "a\n9\n").unwrap();
+        assert!(MetaStore::new().load(&path).unwrap().is_none());
+    }
+
+    #[test]
+    fn empty_data_file() {
+        let path = temp_csv("a,b\n");
+        let meta = compute_metadata(&path).unwrap();
+        assert_eq!(meta.nrows, 0);
+        assert_eq!(meta.row_bytes, 0.0);
+        assert_eq!(meta.column("a").unwrap().ndistinct, 0);
+    }
+}

@@ -1,0 +1,395 @@
+//! Metadata records and the sidecar-file store.
+
+use lafp_columnar::{ColumnarError, DType, Result, Scalar};
+use std::path::{Path, PathBuf};
+
+/// Statistics for one column of a dataset.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ColumnMeta {
+    /// Column name.
+    pub name: String,
+    /// Detected dtype.
+    pub dtype: DType,
+    /// Minimum non-null value (rendered), if any.
+    pub min: Option<String>,
+    /// Maximum non-null value (rendered), if any.
+    pub max: Option<String>,
+    /// Exact-up-to-a-cap distinct count (capped at [`NDISTINCT_CAP`]).
+    pub ndistinct: u64,
+    /// Number of null cells.
+    pub null_count: u64,
+}
+
+/// Distinct counting stops at this many values; beyond it a column is
+/// certainly not a category candidate.
+pub const NDISTINCT_CAP: u64 = 10_000;
+
+/// Columns with at most this many distinct values qualify for the
+/// `category` dtype optimization (when also read-only; §3.6).
+pub const CATEGORY_THRESHOLD: u64 = 256;
+
+impl ColumnMeta {
+    /// Is this column a candidate for dictionary (`category`) encoding?
+    /// The *read-only* half of the §3.6 safety condition is checked by
+    /// static analysis, not here.
+    pub fn is_category_candidate(&self) -> bool {
+        self.dtype == DType::Utf8 && self.ndistinct > 0 && self.ndistinct <= CATEGORY_THRESHOLD
+    }
+
+    /// Selectivity estimate for an equality predicate on this column.
+    pub fn eq_selectivity(&self) -> f64 {
+        if self.ndistinct == 0 {
+            1.0
+        } else {
+            1.0 / self.ndistinct as f64
+        }
+    }
+
+    /// Numeric range as scalars when the column is numeric.
+    pub fn numeric_range(&self) -> Option<(f64, f64)> {
+        let lo: f64 = self.min.as_ref()?.parse().ok()?;
+        let hi: f64 = self.max.as_ref()?.parse().ok()?;
+        Some((lo, hi))
+    }
+
+    /// Selectivity estimate for `column > value` under a uniform
+    /// assumption, used by the runtime optimizer's cost heuristics.
+    pub fn gt_selectivity(&self, value: &Scalar) -> f64 {
+        match (self.numeric_range(), value.as_f64()) {
+            (Some((lo, hi)), Some(v)) if hi > lo => ((hi - v) / (hi - lo)).clamp(0.0, 1.0),
+            _ => 0.5,
+        }
+    }
+}
+
+/// Metadata for one dataset file.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DatasetMeta {
+    /// The dataset file this describes.
+    pub path: PathBuf,
+    /// File modification time (seconds since epoch) when computed.
+    pub modified_unix: u64,
+    /// Number of data rows.
+    pub nrows: u64,
+    /// Average in-memory bytes per row.
+    pub row_bytes: f64,
+    /// Per-column statistics, in file order.
+    pub columns: Vec<ColumnMeta>,
+}
+
+impl DatasetMeta {
+    /// Look up one column's stats.
+    pub fn column(&self, name: &str) -> Option<&ColumnMeta> {
+        self.columns.iter().find(|c| c.name == name)
+    }
+
+    /// Estimated in-memory size of the full dataset.
+    pub fn estimated_bytes(&self) -> u64 {
+        (self.nrows as f64 * self.row_bytes) as u64
+    }
+
+    /// Estimated in-memory size if only `cols` are loaded.
+    pub fn estimated_bytes_for(&self, cols: &[String]) -> u64 {
+        let per_row: f64 = self
+            .columns
+            .iter()
+            .filter(|c| cols.contains(&c.name))
+            .map(|c| match c.dtype.fixed_width() {
+                Some(w) => w as f64,
+                None => 24.0,
+            })
+            .sum();
+        let total_fixed: f64 = self
+            .columns
+            .iter()
+            .map(|c| c.dtype.fixed_width().map_or(24.0, |w| w as f64))
+            .sum();
+        if total_fixed <= 0.0 {
+            return self.estimated_bytes();
+        }
+        (self.nrows as f64 * self.row_bytes * (per_row / total_fixed)) as u64
+    }
+
+    /// The dtype map this metadata implies for `read_csv(dtype=...)`:
+    /// every column with a known type, with category for low-cardinality
+    /// string columns in `read_only_cols`.
+    pub fn dtype_overrides(&self, read_only_cols: &[String]) -> Vec<(String, DType)> {
+        self.columns
+            .iter()
+            .map(|c| {
+                let dt = if c.is_category_candidate()
+                    && read_only_cols.contains(&c.name)
+                {
+                    DType::Categorical
+                } else {
+                    c.dtype
+                };
+                (c.name.clone(), dt)
+            })
+            .collect()
+    }
+}
+
+/// Reads and writes `<dataset>.lafpmeta` sidecar files.
+#[derive(Debug, Clone, Default)]
+pub struct MetaStore;
+
+impl MetaStore {
+    /// Create a store (stateless; sidecars live next to the data files).
+    pub fn new() -> MetaStore {
+        MetaStore
+    }
+
+    /// Sidecar path for a dataset.
+    pub fn sidecar_path(dataset: &Path) -> PathBuf {
+        let mut os = dataset.as_os_str().to_os_string();
+        os.push(".lafpmeta");
+        PathBuf::from(os)
+    }
+
+    /// File mtime in unix seconds.
+    pub fn file_mtime(path: &Path) -> Result<u64> {
+        let meta = std::fs::metadata(path)
+            .map_err(|e| ColumnarError::Io(format!("{path:?}: {e}")))?;
+        let mtime = meta
+            .modified()
+            .map_err(|e| ColumnarError::Io(e.to_string()))?;
+        Ok(mtime
+            .duration_since(std::time::UNIX_EPOCH)
+            .map(|d| d.as_secs())
+            .unwrap_or(0))
+    }
+
+    /// Load metadata for `dataset` if present **and still valid** (the
+    /// file's mtime matches the one recorded at computation time).
+    pub fn load(&self, dataset: &Path) -> Result<Option<DatasetMeta>> {
+        let sidecar = Self::sidecar_path(dataset);
+        if !sidecar.exists() {
+            return Ok(None);
+        }
+        let text = std::fs::read_to_string(&sidecar)
+            .map_err(|e| ColumnarError::Io(format!("{sidecar:?}: {e}")))?;
+        let meta = parse_sidecar(dataset, &text)?;
+        let current = Self::file_mtime(dataset)?;
+        if meta.modified_unix != current {
+            return Ok(None); // stale: dataset was modified after computation
+        }
+        Ok(Some(meta))
+    }
+
+    /// Persist metadata next to the dataset.
+    pub fn save(&self, meta: &DatasetMeta) -> Result<()> {
+        let sidecar = Self::sidecar_path(&meta.path);
+        std::fs::write(&sidecar, render_sidecar(meta))
+            .map_err(|e| ColumnarError::Io(format!("{sidecar:?}: {e}")))?;
+        Ok(())
+    }
+}
+
+fn render_sidecar(meta: &DatasetMeta) -> String {
+    let mut out = String::new();
+    out.push_str("lafpmeta-version=1\n");
+    out.push_str(&format!("modified_unix={}\n", meta.modified_unix));
+    out.push_str(&format!("nrows={}\n", meta.nrows));
+    out.push_str(&format!("row_bytes={}\n", meta.row_bytes));
+    for c in &meta.columns {
+        out.push_str(&format!("column={}\n", escape(&c.name)));
+        out.push_str(&format!("  dtype={}\n", c.dtype));
+        if let Some(min) = &c.min {
+            out.push_str(&format!("  min={}\n", escape(min)));
+        }
+        if let Some(max) = &c.max {
+            out.push_str(&format!("  max={}\n", escape(max)));
+        }
+        out.push_str(&format!("  ndistinct={}\n", c.ndistinct));
+        out.push_str(&format!("  null_count={}\n", c.null_count));
+    }
+    out
+}
+
+fn parse_sidecar(dataset: &Path, text: &str) -> Result<DatasetMeta> {
+    let bad = |msg: &str| ColumnarError::Csv(format!("sidecar for {dataset:?}: {msg}"));
+    let mut meta = DatasetMeta {
+        path: dataset.to_path_buf(),
+        modified_unix: 0,
+        nrows: 0,
+        row_bytes: 0.0,
+        columns: Vec::new(),
+    };
+    for line in text.lines() {
+        let trimmed = line.trim();
+        if trimmed.is_empty() {
+            continue;
+        }
+        let (key, value) = trimmed
+            .split_once('=')
+            .ok_or_else(|| bad(&format!("malformed line {trimmed:?}")))?;
+        match key {
+            "lafpmeta-version" => {}
+            "modified_unix" => meta.modified_unix = value.parse().map_err(|_| bad("mtime"))?,
+            "nrows" => meta.nrows = value.parse().map_err(|_| bad("nrows"))?,
+            "row_bytes" => meta.row_bytes = value.parse().map_err(|_| bad("row_bytes"))?,
+            "column" => meta.columns.push(ColumnMeta {
+                name: unescape(value),
+                dtype: DType::Utf8,
+                min: None,
+                max: None,
+                ndistinct: 0,
+                null_count: 0,
+            }),
+            "dtype" | "min" | "max" | "ndistinct" | "null_count" => {
+                let col = meta
+                    .columns
+                    .last_mut()
+                    .ok_or_else(|| bad("column field before any column"))?;
+                match key {
+                    "dtype" => {
+                        col.dtype =
+                            DType::parse(value).ok_or_else(|| bad("unknown dtype"))?
+                    }
+                    "min" => col.min = Some(unescape(value)),
+                    "max" => col.max = Some(unescape(value)),
+                    "ndistinct" => col.ndistinct = value.parse().map_err(|_| bad("ndistinct"))?,
+                    "null_count" => {
+                        col.null_count = value.parse().map_err(|_| bad("null_count"))?
+                    }
+                    _ => unreachable!(),
+                }
+            }
+            other => return Err(bad(&format!("unknown key {other:?}"))),
+        }
+    }
+    Ok(meta)
+}
+
+fn escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('\n', "\\n")
+}
+
+fn unescape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    let mut chars = s.chars();
+    while let Some(c) = chars.next() {
+        if c == '\\' {
+            match chars.next() {
+                Some('n') => out.push('\n'),
+                Some(other) => out.push(other),
+                None => out.push('\\'),
+            }
+        } else {
+            out.push(c);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_meta(path: PathBuf, mtime: u64) -> DatasetMeta {
+        DatasetMeta {
+            path,
+            modified_unix: mtime,
+            nrows: 1000,
+            row_bytes: 40.0,
+            columns: vec![
+                ColumnMeta {
+                    name: "city".into(),
+                    dtype: DType::Utf8,
+                    min: Some("Austin".into()),
+                    max: Some("Zurich".into()),
+                    ndistinct: 40,
+                    null_count: 3,
+                },
+                ColumnMeta {
+                    name: "fare".into(),
+                    dtype: DType::Float64,
+                    min: Some("0".into()),
+                    max: Some("100".into()),
+                    ndistinct: 900,
+                    null_count: 0,
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn sidecar_roundtrip() {
+        let meta = sample_meta(PathBuf::from("/data/x.csv"), 42);
+        let parsed = parse_sidecar(Path::new("/data/x.csv"), &render_sidecar(&meta)).unwrap();
+        assert_eq!(parsed, meta);
+    }
+
+    #[test]
+    fn category_candidates() {
+        let meta = sample_meta(PathBuf::from("x"), 0);
+        assert!(meta.column("city").unwrap().is_category_candidate());
+        // numeric column never a category candidate
+        assert!(!meta.column("fare").unwrap().is_category_candidate());
+        // high-cardinality string column is not
+        let mut c = meta.column("city").unwrap().clone();
+        c.ndistinct = 100_000;
+        assert!(!c.is_category_candidate());
+    }
+
+    #[test]
+    fn selectivity_estimates() {
+        let meta = sample_meta(PathBuf::from("x"), 0);
+        let fare = meta.column("fare").unwrap();
+        assert!((fare.eq_selectivity() - 1.0 / 900.0).abs() < 1e-9);
+        assert!((fare.gt_selectivity(&Scalar::Float(75.0)) - 0.25).abs() < 1e-9);
+        assert_eq!(fare.gt_selectivity(&Scalar::Str("x".into())), 0.5);
+    }
+
+    #[test]
+    fn dtype_overrides_use_category_only_for_read_only() {
+        let meta = sample_meta(PathBuf::from("x"), 0);
+        let overrides = meta.dtype_overrides(&["city".into()]);
+        assert!(overrides.contains(&("city".into(), DType::Categorical)));
+        let overrides = meta.dtype_overrides(&[]);
+        assert!(overrides.contains(&("city".into(), DType::Utf8)));
+    }
+
+    #[test]
+    fn size_estimates_scale_with_projection() {
+        let meta = sample_meta(PathBuf::from("x"), 0);
+        let full = meta.estimated_bytes();
+        let fare_only = meta.estimated_bytes_for(&["fare".into()]);
+        assert!(fare_only < full);
+        assert!(fare_only > 0);
+    }
+
+    #[test]
+    fn store_load_validates_mtime() {
+        let dir = std::env::temp_dir().join("lafp-meta-tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        let data = dir.join(format!(
+            "d{}.csv",
+            std::time::SystemTime::now()
+                .duration_since(std::time::UNIX_EPOCH)
+                .unwrap()
+                .as_nanos()
+        ));
+        std::fs::write(&data, "a,b\n1,2\n").unwrap();
+        let mtime = MetaStore::file_mtime(&data).unwrap();
+        let store = MetaStore::new();
+        store.save(&sample_meta(data.clone(), mtime)).unwrap();
+        assert!(store.load(&data).unwrap().is_some());
+        // Touch the file into the future => stale metadata is rejected.
+        let stale = sample_meta(data.clone(), mtime.wrapping_sub(100));
+        store.save(&stale).unwrap();
+        assert!(store.load(&data).unwrap().is_none());
+        // Missing sidecar => None, not an error.
+        let other = dir.join("nothing.csv");
+        std::fs::write(&other, "x\n").unwrap();
+        assert!(store.load(&other).unwrap().is_none());
+    }
+
+    #[test]
+    fn escape_handles_newlines_and_backslashes() {
+        for s in ["plain", "with\nnewline", "back\\slash"] {
+            assert_eq!(unescape(&escape(s)), s);
+        }
+    }
+}

@@ -1,0 +1,201 @@
+//! The Just-in-Time static analysis pipeline (paper §2.4, Figure 5).
+//!
+//! `pd.analyze()` in a PandaScript program transfers control here: the
+//! source is parsed, converted to the CFG IR, analyzed, rewritten, and
+//! converted back to source; the caller (the interpreter) then executes
+//! the optimized program instead of the original — no separate compile
+//! step, exactly as the paper prescribes.
+
+use crate::passes;
+use lafp_analysis::{dfvars, laa, lda};
+use lafp_ir::ast::Ast;
+use lafp_ir::codegen::emit_module;
+use lafp_ir::lower::lower;
+use lafp_ir::parser::parse;
+use lafp_ir::SyntaxError;
+use std::path::PathBuf;
+use std::time::Duration;
+
+/// Which rewrite passes run (ablation toggles for the benchmarks).
+#[derive(Debug, Clone)]
+pub struct RewriteOptions {
+    /// §3.1 column selection.
+    pub column_selection: bool,
+    /// §3.3 lazy print.
+    pub lazy_print: bool,
+    /// §3.4 forced compute with §3.5 live_df.
+    pub forced_compute: bool,
+    /// §3.6 metadata-driven category dtypes.
+    pub metadata_dtypes: bool,
+    /// Base directory for resolving relative dataset paths (metadata pass).
+    pub data_dir: Option<PathBuf>,
+}
+
+impl Default for RewriteOptions {
+    fn default() -> Self {
+        RewriteOptions {
+            column_selection: true,
+            lazy_print: true,
+            forced_compute: true,
+            metadata_dtypes: true,
+            data_dir: None,
+        }
+    }
+}
+
+/// What the JIT pass did — input to the §5.3 overhead experiment and the
+/// regression harness.
+#[derive(Debug, Clone, Default)]
+pub struct RewriteReport {
+    /// usecols injected per dataframe variable.
+    pub usecols: Vec<(String, Vec<String>)>,
+    /// Lazy print was enabled.
+    pub lazy_print: bool,
+    /// Forced-compute rewrites: (line, argument, live_df list).
+    pub forced_computes: Vec<(usize, String, Vec<String>)>,
+    /// Category dtypes applied: (frame var, column).
+    pub categories: Vec<(String, String)>,
+    /// Wall-clock time of parse + analyses + rewrite + emit.
+    pub duration: Duration,
+}
+
+/// An analyzed-and-optimized program.
+#[derive(Debug, Clone)]
+pub struct AnalyzedProgram {
+    /// The rewritten AST (executable by the interpreter).
+    pub ast: Ast,
+    /// The optimized source (Figure 4 / Figure 8 style output).
+    pub optimized_source: String,
+    /// What happened.
+    pub report: RewriteReport,
+}
+
+/// Run the Figure-5 pipeline on a source program.
+pub fn analyze(source: &str, options: &RewriteOptions) -> Result<AnalyzedProgram, SyntaxError> {
+    let started = std::time::Instant::now();
+    let mut ast = parse(source)?;
+    let mut report = RewriteReport::default();
+
+    // Analyses on the *original* program.
+    let cfg = lower(&ast);
+    let info = dfvars::infer(&ast);
+    let laa_result = laa::analyze(&ast, &cfg, &info);
+    let lda_result = lda::analyze(&ast, &cfg);
+
+    passes::strip_analyze(&mut ast, &info);
+    if options.column_selection {
+        report.usecols = passes::column_selection(
+            &mut ast,
+            &cfg,
+            &info,
+            &laa_result,
+            options.data_dir.as_deref(),
+        );
+    }
+    if options.forced_compute {
+        report.forced_computes = passes::forced_compute(&mut ast, &cfg, &info, &lda_result);
+    }
+    if options.metadata_dtypes {
+        report.categories =
+            passes::metadata_category(&mut ast, &info, options.data_dir.as_deref());
+    }
+    if options.lazy_print {
+        report.lazy_print = passes::lazy_print(&mut ast, &info);
+    }
+
+    let optimized_source = emit_module(&ast);
+    report.duration = started.elapsed();
+    Ok(AnalyzedProgram {
+        ast,
+        optimized_source,
+        report,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const FIG3: &str = "\
+import lazyfatpandas.pandas as pd
+pd.analyze()
+df = pd.read_csv('data.csv', parse_dates=['tpep_pickup_datetime'])
+df = df[df.fare_amount > 0]
+df['day'] = df.tpep_pickup_datetime.dt.dayofweek
+df = df.groupby(['day'])['passenger_count'].sum()
+print(df)
+";
+
+    #[test]
+    fn figure3_becomes_figure4() {
+        let analyzed = analyze(FIG3, &RewriteOptions::default()).unwrap();
+        let out = &analyzed.optimized_source;
+        // The shape of Figure 4: lazy print import, usecols, flush, no analyze().
+        assert!(out.contains("from lazyfatpandas.func import print"), "{out}");
+        assert!(out.contains("usecols="), "{out}");
+        assert!(out.contains("'fare_amount'"));
+        assert!(out.trim_end().ends_with("pd.flush()"));
+        assert!(!out.contains("analyze"));
+        // Optimized source must re-parse.
+        lafp_ir::parser::parse(out).unwrap();
+        assert_eq!(analyzed.report.usecols.len(), 1);
+        assert!(analyzed.report.lazy_print);
+    }
+
+    #[test]
+    fn figure10_becomes_figure11() {
+        let src = "\
+import lazyfatpandas.pandas as pd
+import matplotlib.pyplot as plt
+pd.analyze()
+df = pd.read_csv('data.csv')
+print(df.head())
+df['day'] = df.pickup_datetime.dt.dayofweek
+p_per_day = df.groupby(['day'])['passenger_count'].sum()
+print(p_per_day)
+plt.plot(p_per_day)
+plt.savefig('fig.png')
+avg_fare = df.fare_amount.mean()
+print(f'Average fare: {avg_fare}')
+";
+        let analyzed = analyze(src, &RewriteOptions::default()).unwrap();
+        let out = &analyzed.optimized_source;
+        assert!(
+            out.contains("plt.plot(p_per_day.compute(live_df=[df]))"),
+            "{out}"
+        );
+        assert!(out.contains("from lazyfatpandas.func import print"));
+        assert!(out.trim_end().ends_with("pd.flush()"));
+        // Column selection picked the three used columns.
+        assert!(out.contains("'fare_amount'") && out.contains("'passenger_count'"));
+        assert_eq!(analyzed.report.forced_computes.len(), 1);
+    }
+
+    #[test]
+    fn toggles_disable_passes() {
+        let opts = RewriteOptions {
+            column_selection: false,
+            lazy_print: false,
+            forced_compute: false,
+            metadata_dtypes: false,
+            data_dir: None,
+        };
+        let analyzed = analyze(FIG3, &opts).unwrap();
+        let out = &analyzed.optimized_source;
+        assert!(!out.contains("usecols"));
+        assert!(!out.contains("flush"));
+        assert!(!out.contains("analyze"), "strip_analyze always runs");
+    }
+
+    #[test]
+    fn overhead_is_small_and_measured() {
+        let analyzed = analyze(FIG3, &RewriteOptions::default()).unwrap();
+        assert!(analyzed.report.duration.as_secs_f64() < 1.0);
+        assert!(analyzed.report.duration.as_nanos() > 0);
+    }
+
+    #[test]
+    fn syntax_errors_propagate() {
+        assert!(analyze("x = (\n", &RewriteOptions::default()).is_err());
+    }
+}

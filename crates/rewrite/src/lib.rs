@@ -1,0 +1,25 @@
+//! # lafp-rewrite — the static optimizer and the JIT pipeline
+//!
+//! Implements the compile-time half of LaFP (paper §2.3–2.4, §3): given a
+//! PandaScript program, run the analyses from `lafp-analysis` and rewrite
+//! the AST:
+//!
+//! * **Column selection** (§3.1) — inject `usecols=[...]` into `read_csv`
+//!   calls from Live Attribute Analysis.
+//! * **Lazy print** (§3.3) — add `from lazyfatpandas.func import print`
+//!   and a final `pd.flush()`.
+//! * **Forced computation** (§3.4) — wrap frame arguments of external
+//!   module calls in `.compute(live_df=[...])`, with the live list from
+//!   Live DataFrame Analysis (§3.5).
+//! * **Metadata dtypes** (§3.6) — consult the metastore and declare
+//!   low-cardinality **read-only** string columns as `category`.
+//! * Drop the `pd.analyze()` bootstrap call from the optimized program.
+//!
+//! [`jit::analyze`] is the Figure-5 pipeline: parse → analyze → rewrite →
+//! emit optimized source (the caller then executes it), returning a
+//! [`jit::RewriteReport`] that the §5.3 overhead experiment measures.
+
+pub mod jit;
+pub mod passes;
+
+pub use jit::{analyze, AnalyzedProgram, RewriteOptions, RewriteReport};

@@ -1,0 +1,482 @@
+//! The individual source-to-source rewrite passes.
+
+use lafp_analysis::dfvars::DfVarInfo;
+use lafp_analysis::laa::LaaResult;
+use lafp_analysis::lda::LdaResult;
+use lafp_ir::ast::{Ast, Expr, StmtId, StmtKind, Target};
+use lafp_ir::cfg::Cfg;
+use lafp_meta::MetaStore;
+use std::collections::BTreeSet;
+use std::path::Path;
+
+/// Find `x = <pd>.read_csv(path, ...)` statements: (stmt, var, path lit).
+pub fn read_csv_sites(ast: &Ast, info: &DfVarInfo) -> Vec<(StmtId, String, Option<String>)> {
+    let mut out = Vec::new();
+    for id in ast.all_ids() {
+        if let StmtKind::Assign {
+            target: Target::Name(var),
+            value,
+        } = &ast.stmt(id).kind
+        {
+            if let Expr::Call { func, args, .. } = value {
+                if let Expr::Attribute { value: recv, attr } = func.as_ref() {
+                    if attr == "read_csv" {
+                        if let Expr::Name(m) = recv.as_ref() {
+                            if Some(m) == info.pandas_alias.as_ref() {
+                                let path = args.first().and_then(|a| {
+                                    a.as_str_lit().map(str::to_string)
+                                });
+                                out.push((id, var.clone(), path));
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+/// §3.1 column selection: inject `usecols=[live columns]` where LAA proves
+/// a proper subset suffices. Returns the per-site column lists injected.
+///
+/// This runs at JIT time (program start), so the dataset is available: the
+/// live set is intersected with the file's actual header — necessary when
+/// liveness is conservative (e.g. merges attribute live columns to both
+/// sides) and a column exists in only one input.
+pub fn column_selection(
+    ast: &mut Ast,
+    cfg: &Cfg,
+    info: &DfVarInfo,
+    laa: &LaaResult,
+    data_dir: Option<&Path>,
+) -> Vec<(String, Vec<String>)> {
+    let mut injected = Vec::new();
+    for (stmt, var, path) in read_csv_sites(ast, info) {
+        let live = laa.live_columns_after(cfg, stmt, &var);
+        if live.all || live.is_empty() {
+            continue;
+        }
+        let mut cols: Vec<String> = live.cols.iter().cloned().collect();
+        // Intersect with the file header when resolvable.
+        if let Some(path) = &path {
+            let resolved = match data_dir {
+                Some(dir) if Path::new(path).is_relative() => dir.join(path),
+                _ => Path::new(path).to_path_buf(),
+            };
+            if let Ok(header) = lafp_columnar::csv::read_header(&resolved) {
+                cols.retain(|c| header.contains(c));
+            }
+        }
+        if cols.is_empty() {
+            continue;
+        }
+        if let StmtKind::Assign { value: Expr::Call { kwargs, .. }, .. } =
+            &mut ast.stmt_mut(stmt).kind
+        {
+            // Respect an existing user-provided usecols (intersect).
+            let list = Expr::List(cols.iter().map(|c| Expr::Str(c.clone())).collect());
+            match kwargs.iter_mut().find(|(k, _)| k == "usecols") {
+                Some((_, existing)) => {
+                    if let Some(user) = existing.as_str_list() {
+                        let merged: Vec<String> =
+                            cols.iter().filter(|c| user.contains(c)).cloned().collect();
+                        *existing = Expr::List(
+                            merged.iter().map(|c| Expr::Str(c.clone())).collect(),
+                        );
+                    }
+                }
+                None => kwargs.push(("usecols".into(), list)),
+            }
+            // parse_dates must stay within usecols.
+            if let Some((_, pd_expr)) = kwargs.iter_mut().find(|(k, _)| k == "parse_dates") {
+                if let Some(dates) = pd_expr.as_str_list() {
+                    let kept: Vec<Expr> = dates
+                        .into_iter()
+                        .filter(|d| cols.contains(d))
+                        .map(Expr::Str)
+                        .collect();
+                    *pd_expr = Expr::List(kept);
+                }
+            }
+            injected.push((var.clone(), cols));
+        }
+    }
+    injected
+}
+
+/// §3.3 lazy print: add the `from lazyfatpandas.func import print` override
+/// after the last import and a `pd.flush()` at the end. Returns whether the
+/// program had any prints (the pass is a no-op otherwise).
+pub fn lazy_print(ast: &mut Ast, info: &DfVarInfo) -> bool {
+    let has_print = ast.all_ids().any(|id| {
+        matches!(
+            &ast.stmt(id).kind,
+            StmtKind::Expr(Expr::Call { func, .. })
+                if matches!(func.as_ref(), Expr::Name(n) if n == "print")
+        )
+    });
+    if !has_print {
+        return false;
+    }
+    let already = ast.all_ids().any(|id| {
+        matches!(
+            &ast.stmt(id).kind,
+            StmtKind::FromImport { module, names }
+                if module == "lazyfatpandas.func" && names.iter().any(|n| n == "print")
+        )
+    });
+    if !already {
+        let import = ast.alloc(
+            StmtKind::FromImport {
+                module: "lazyfatpandas.func".into(),
+                names: vec!["print".into()],
+            },
+            0,
+        );
+        let pos = ast
+            .module
+            .iter()
+            .rposition(|&id| {
+                matches!(
+                    ast.stmt(id).kind,
+                    StmtKind::Import { .. } | StmtKind::FromImport { .. }
+                )
+            })
+            .map(|p| p + 1)
+            .unwrap_or(0);
+        ast.module.insert(pos, import);
+    }
+    // pd.flush() at the very end.
+    let alias = info.pandas_alias.clone().unwrap_or_else(|| "pd".into());
+    let flush = ast.alloc(
+        StmtKind::Expr(Expr::Call {
+            func: Box::new(Expr::Attribute {
+                value: Box::new(Expr::Name(alias)),
+                attr: "flush".into(),
+            }),
+            args: vec![],
+            kwargs: vec![],
+        }),
+        0,
+    );
+    ast.module.push(flush);
+    true
+}
+
+/// §3.4 forced computation: rewrite frame arguments of external-module
+/// calls into `arg.compute(live_df=[...])`. Returns `(line, arg, live)`
+/// descriptions of each rewrite.
+pub fn forced_compute(
+    ast: &mut Ast,
+    cfg: &Cfg,
+    info: &DfVarInfo,
+    lda: &LdaResult,
+) -> Vec<(usize, String, Vec<String>)> {
+    let mut rewrites = Vec::new();
+    let ids: Vec<StmtId> = ast.all_ids().collect();
+    for id in ids {
+        let frame_args = lafp_analysis::dfvars::external_call_frame_args(ast, id, info);
+        if frame_args.is_empty() {
+            continue;
+        }
+        let live: Vec<String> = lda
+            .live_frames_after(ast, cfg, info, id)
+            .into_iter()
+            .collect();
+        let line = ast.stmt(id).line;
+        let live_list = Expr::List(live.iter().cloned().map(Expr::Name).collect());
+        let wrap = |e: &mut Expr| {
+            if let Expr::Call { func, args, .. } = e {
+                if let Expr::Attribute { value, .. } = func.as_ref() {
+                    if matches!(value.as_ref(), Expr::Name(m) if info.is_external_module(m)) {
+                        for a in args.iter_mut() {
+                            if let Expr::Name(v) = a {
+                                if frame_args.contains(v) {
+                                    let inner = std::mem::replace(a, Expr::NoneLit);
+                                    *a = Expr::Call {
+                                        func: Box::new(Expr::Attribute {
+                                            value: Box::new(inner),
+                                            attr: "compute".into(),
+                                        }),
+                                        args: vec![],
+                                        kwargs: vec![(
+                                            "live_df".into(),
+                                            live_list.clone(),
+                                        )],
+                                    };
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        };
+        match &mut ast.stmt_mut(id).kind {
+            StmtKind::Expr(e) => wrap(e),
+            StmtKind::Assign { value, .. } => wrap(value),
+            _ => {}
+        }
+        for arg in frame_args {
+            rewrites.push((line, arg, live.clone()));
+        }
+    }
+    rewrites
+}
+
+/// §3.6 metadata dtype optimization: for each `read_csv` of a file with a
+/// valid metastore entry, declare low-cardinality **read-only** string
+/// columns as `category` via `dtype={...}`. Returns `(var, col)` pairs.
+pub fn metadata_category(
+    ast: &mut Ast,
+    info: &DfVarInfo,
+    data_dir: Option<&Path>,
+) -> Vec<(String, String)> {
+    let store = MetaStore::new();
+    let mut applied = Vec::new();
+    for (stmt, var, path) in read_csv_sites(ast, info) {
+        let Some(path) = path else { continue };
+        let resolved = match data_dir {
+            Some(dir) if Path::new(&path).is_relative() => dir.join(&path),
+            _ => Path::new(&path).to_path_buf(),
+        };
+        let Ok(Some(meta)) = store.load(&resolved) else {
+            continue;
+        };
+        // Columns actually read (respect an injected/user usecols).
+        let usecols: Option<BTreeSet<String>> = match &ast.stmt(stmt).kind {
+            StmtKind::Assign { value: Expr::Call { kwargs, .. }, .. } => kwargs
+                .iter()
+                .find(|(k, _)| k == "usecols")
+                .and_then(|(_, v)| v.as_str_list())
+                .map(|v| v.into_iter().collect()),
+            _ => None,
+        };
+        let mut pairs: Vec<(String, String)> = Vec::new();
+        for col in &meta.columns {
+            let read = usecols.as_ref().is_none_or(|u| u.contains(&col.name));
+            if read
+                && col.is_category_candidate()
+                && info.is_read_only_column(&var, &col.name)
+            {
+                pairs.push((col.name.clone(), "category".into()));
+            }
+        }
+        if pairs.is_empty() {
+            continue;
+        }
+        if let StmtKind::Assign { value: Expr::Call { kwargs, .. }, .. } =
+            &mut ast.stmt_mut(stmt).kind
+        {
+            let dict = Expr::Dict(
+                pairs
+                    .iter()
+                    .map(|(c, d)| (Expr::Str(c.clone()), Expr::Str(d.clone())))
+                    .collect(),
+            );
+            match kwargs.iter_mut().find(|(k, _)| k == "dtype") {
+                Some((_, existing)) => {
+                    if let Expr::Dict(items) = existing {
+                        for (c, d) in &pairs {
+                            if !items.iter().any(|(k, _)| k.as_str_lit() == Some(c)) {
+                                items.push((Expr::Str(c.clone()), Expr::Str(d.clone())));
+                            }
+                        }
+                    }
+                }
+                None => kwargs.push(("dtype".into(), dict)),
+            }
+        }
+        for (c, _) in pairs {
+            applied.push((var.clone(), c));
+        }
+    }
+    applied
+}
+
+/// Remove the `pd.analyze()` bootstrap call (Figure 4: the optimized
+/// program does not re-trigger the JIT).
+pub fn strip_analyze(ast: &mut Ast, info: &DfVarInfo) -> bool {
+    let alias = info.pandas_alias.clone().unwrap_or_else(|| "pd".into());
+    let before = ast.module.len();
+    let keep: Vec<StmtId> = ast
+        .module
+        .iter()
+        .copied()
+        .filter(|&id| {
+            !matches!(
+                &ast.stmt(id).kind,
+                StmtKind::Expr(Expr::Call { func, .. })
+                    if matches!(
+                        func.as_ref(),
+                        Expr::Attribute { value, attr }
+                            if attr == "analyze"
+                                && matches!(value.as_ref(), Expr::Name(m) if *m == alias)
+                    )
+            )
+        })
+        .collect();
+    ast.module = keep;
+    ast.module.len() != before
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lafp_analysis::{dfvars, laa, lda};
+    use lafp_ir::codegen::emit_module;
+    use lafp_ir::lower::lower;
+    use lafp_ir::parser::parse;
+
+    fn prepared(src: &str) -> (Ast, Cfg, DfVarInfo, LaaResult, LdaResult) {
+        let ast = parse(src).unwrap();
+        let cfg = lower(&ast);
+        let info = dfvars::infer(&ast);
+        let laa = laa::analyze(&ast, &cfg, &info);
+        let lda = lda::analyze(&ast, &cfg);
+        (ast, cfg, info, laa, lda)
+    }
+
+    const FIG3: &str = "\
+import lazyfatpandas.pandas as pd
+pd.analyze()
+df = pd.read_csv('data.csv', parse_dates=['tpep_pickup_datetime'])
+df = df[df.fare_amount > 0]
+df['day'] = df.tpep_pickup_datetime.dt.dayofweek
+df = df.groupby(['day'])['passenger_count'].sum()
+print(df)
+";
+
+    #[test]
+    fn column_selection_injects_usecols() {
+        let (mut ast, cfg, info, laa, _) = prepared(FIG3);
+        let injected = column_selection(&mut ast, &cfg, &info, &laa, None);
+        assert_eq!(injected.len(), 1);
+        assert_eq!(
+            injected[0].1,
+            vec!["fare_amount", "passenger_count", "tpep_pickup_datetime"]
+        );
+        let out = emit_module(&ast);
+        assert!(out.contains("usecols=['fare_amount', 'passenger_count', 'tpep_pickup_datetime']"), "{out}");
+        // parse_dates column retained (it is live).
+        assert!(out.contains("parse_dates=['tpep_pickup_datetime']"));
+    }
+
+    #[test]
+    fn column_selection_skips_whole_frame_uses() {
+        let src = "\
+import lazyfatpandas.pandas as pd
+df = pd.read_csv('d.csv')
+print(df)
+";
+        let (mut ast, cfg, info, laa, _) = prepared(src);
+        let injected = column_selection(&mut ast, &cfg, &info, &laa, None);
+        assert!(injected.is_empty());
+        assert!(!emit_module(&ast).contains("usecols"));
+    }
+
+    #[test]
+    fn column_selection_respects_user_usecols() {
+        let src = "\
+import lazyfatpandas.pandas as pd
+df = pd.read_csv('d.csv', usecols=['a', 'b', 'c'])
+s = df['a']
+print(f'{s.sum()}')
+";
+        let (mut ast, cfg, info, laa, _) = prepared(src);
+        column_selection(&mut ast, &cfg, &info, &laa, None);
+        let out = emit_module(&ast);
+        assert!(out.contains("usecols=['a']"), "{out}");
+    }
+
+    #[test]
+    fn lazy_print_adds_import_and_flush() {
+        let (mut ast, _, info, _, _) = prepared(FIG3);
+        assert!(lazy_print(&mut ast, &info));
+        let out = emit_module(&ast);
+        assert!(out.contains("from lazyfatpandas.func import print"));
+        assert!(out.trim_end().ends_with("pd.flush()"));
+        // Idempotent: running again does not duplicate the import.
+        assert!(lazy_print(&mut ast, &info));
+        let out2 = emit_module(&ast);
+        assert_eq!(
+            out2.matches("from lazyfatpandas.func import print").count(),
+            1
+        );
+    }
+
+    #[test]
+    fn lazy_print_noop_without_prints() {
+        let src = "import lazyfatpandas.pandas as pd\ndf = pd.read_csv('d.csv')\n";
+        let (mut ast, _, info, _, _) = prepared(src);
+        assert!(!lazy_print(&mut ast, &info));
+    }
+
+    #[test]
+    fn forced_compute_wraps_external_args() {
+        let src = "\
+import lazyfatpandas.pandas as pd
+import matplotlib.pyplot as plt
+df = pd.read_csv('data.csv')
+p_per_day = df.groupby(['day'])['passenger_count'].sum()
+plt.plot(p_per_day)
+avg = df['fare_amount'].mean()
+print(f'{avg}')
+";
+        let (mut ast, cfg, info, _, lda) = prepared(src);
+        let rewrites = forced_compute(&mut ast, &cfg, &info, &lda);
+        assert_eq!(rewrites.len(), 1);
+        assert_eq!(rewrites[0].1, "p_per_day");
+        assert_eq!(rewrites[0].2, vec!["df".to_string()], "df live after plot");
+        let out = emit_module(&ast);
+        assert!(
+            out.contains("plt.plot(p_per_day.compute(live_df=[df]))"),
+            "{out}"
+        );
+    }
+
+    #[test]
+    fn strip_analyze_removes_bootstrap() {
+        let (mut ast, _, info, _, _) = prepared(FIG3);
+        assert!(strip_analyze(&mut ast, &info));
+        let out = emit_module(&ast);
+        assert!(!out.contains("analyze()"));
+        assert!(!strip_analyze(&mut ast, &info), "second run: nothing left");
+    }
+
+    #[test]
+    fn metadata_category_applies_to_read_only_low_cardinality() {
+        // Build a dataset + metadata sidecar on disk.
+        let dir = std::env::temp_dir().join("lafp-rewrite-tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join(format!(
+            "m{}.csv",
+            std::time::SystemTime::now()
+                .duration_since(std::time::UNIX_EPOCH)
+                .unwrap()
+                .as_nanos()
+        ));
+        let mut content = String::from("city,note,value\n");
+        for i in 0..50 {
+            content.push_str(&format!("C{},unique-note-{i},{i}\n", i % 3));
+        }
+        std::fs::write(&path, content).unwrap();
+        lafp_meta::scan::compute_and_store(&path).unwrap();
+
+        let src = format!(
+            "\
+import lazyfatpandas.pandas as pd
+df = pd.read_csv('{}')
+df['note'] = df.city
+print(df)
+",
+            path.display()
+        );
+        let (mut ast, _, info, _, _) = prepared(&src);
+        let applied = metadata_category(&mut ast, &info, None);
+        // city: 3 distinct, read-only => category. note: assigned => no.
+        assert_eq!(applied, vec![("df".to_string(), "city".to_string())]);
+        let out = emit_module(&ast);
+        assert!(out.contains("dtype={'city': 'category'}"), "{out}");
+    }
+}

@@ -1,0 +1,32 @@
+//! Run the same benchmark program on all six configurations (the paper's
+//! Figure-13 view, one program) and print time, memory, and result hash.
+
+use lafp_bench::datagen::{ensure_datasets, Size};
+use lafp_bench::programs::program;
+use lafp_bench::runner::{run_cell, Config, RunKnobs};
+
+fn main() {
+    let dir = ensure_datasets(std::path::Path::new("target/lafp-data"), Size::Small)
+        .expect("dataset generation");
+    let name = std::env::args().nth(1).unwrap_or_else(|| "nyt".into());
+    let p = program(&name).unwrap_or_else(|| {
+        eprintln!("unknown program {name:?}; use one of {:?}", lafp_bench::PROGRAM_NAMES);
+        std::process::exit(2)
+    });
+    println!("program: {}\n", p.name);
+    println!("{:<9} {:>9} {:>10} {:>18}", "config", "time(ms)", "peak(MB)", "result hash");
+    for config in Config::ALL {
+        let r = run_cell(&p, config, &dir, &RunKnobs::default());
+        if r.ok {
+            println!(
+                "{:<9} {:>9.1} {:>10.2} {:>18x}",
+                config.label(),
+                r.wall.as_secs_f64() * 1e3,
+                r.peak_memory as f64 / 1e6,
+                r.output_hash
+            );
+        } else {
+            println!("{:<9} {:>9} {:>10} {}", config.label(), "-", "-", r.error.unwrap_or_default());
+        }
+    }
+}

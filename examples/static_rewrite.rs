@@ -1,0 +1,36 @@
+//! Show the JIT static analyzer's source-to-source output for every
+//! benchmark program: column selection, lazy print, forced computes and
+//! metadata category dtypes (paper §3).
+
+use lafp_bench::datagen::{compute_all_metadata, ensure_datasets, Size};
+use lafp_bench::programs;
+use lafp::rewrite::{analyze, RewriteOptions};
+
+fn main() {
+    let dir = ensure_datasets(std::path::Path::new("target/lafp-data"), Size::Small)
+        .expect("dataset generation");
+    compute_all_metadata(&dir).expect("metadata scan");
+    let only: Option<String> = std::env::args().nth(1);
+    for p in programs::all() {
+        if only.as_deref().is_some_and(|o| o != p.name) {
+            continue;
+        }
+        let analyzed = analyze(
+            p.source,
+            &RewriteOptions {
+                data_dir: Some(dir.clone()),
+                ..Default::default()
+            },
+        )
+        .expect("analysis");
+        println!("==================== {} ====================", p.name);
+        println!("{}", analyzed.optimized_source);
+        println!(
+            "[{:.2} ms; usecols: {:?}; forced computes: {}; categories: {:?}]\n",
+            analyzed.report.duration.as_secs_f64() * 1e3,
+            analyzed.report.usecols,
+            analyzed.report.forced_computes.len(),
+            analyzed.report.categories,
+        );
+    }
+}

@@ -1,0 +1,118 @@
+//! Property-based tests over the core data structures and invariants.
+
+use lafp::columnar::column::{ArithOp, CmpOp, Column};
+use lafp::columnar::{Bitmap, DataFrame, Scalar, Series};
+use lafp::expr::Expr;
+use proptest::prelude::*;
+
+proptest! {
+    /// Filter then count == count of mask bits; filtering preserves order.
+    #[test]
+    fn filter_preserves_selected_rows(values in prop::collection::vec(-1000i64..1000, 0..200)) {
+        let col = Column::from_i64(values.clone());
+        let df = DataFrame::new(vec![Series::new("v", col)]).unwrap();
+        let pred = Expr::col("v").gt(Expr::lit_int(0));
+        let mask = pred.evaluate_mask(&df).unwrap();
+        let out = df.filter(&mask).unwrap();
+        let expected: Vec<i64> = values.iter().copied().filter(|v| *v > 0).collect();
+        prop_assert_eq!(out.num_rows(), expected.len());
+        for (i, e) in expected.iter().enumerate() {
+            prop_assert_eq!(out.column("v").unwrap().get(i), Scalar::Int(*e));
+        }
+    }
+
+    /// Bitmap boolean algebra obeys De Morgan.
+    #[test]
+    fn bitmap_de_morgan(bits_a in prop::collection::vec(any::<bool>(), 1..256),
+                        bits_b in prop::collection::vec(any::<bool>(), 1..256)) {
+        let n = bits_a.len().min(bits_b.len());
+        let a = Bitmap::from_bools(&bits_a[..n]);
+        let b = Bitmap::from_bools(&bits_b[..n]);
+        prop_assert_eq!(a.and(&b).not(), a.not().or(&b.not()));
+        prop_assert_eq!(a.or(&b).not(), a.not().and(&b.not()));
+    }
+
+    /// Sum of a split equals sum of the whole (the streaming-aggregation
+    /// invariant the Dask engine depends on).
+    #[test]
+    fn split_sum_equals_whole(values in prop::collection::vec(-1e6f64..1e6, 1..300),
+                              split in 0usize..300) {
+        let col = Column::from_f64(values.clone());
+        let df = DataFrame::new(vec![Series::new("v", col)]).unwrap();
+        let split = split.min(values.len());
+        let left = df.slice(0, split);
+        let right = df.slice(split, values.len() - split);
+        let whole = match df.column("v").unwrap().column().sum() {
+            Scalar::Float(x) => x,
+            _ => unreachable!(),
+        };
+        let l = left.column("v").unwrap().column().sum().as_f64().unwrap_or(0.0);
+        let r = right.column("v").unwrap().column().sum().as_f64().unwrap_or(0.0);
+        prop_assert!((whole - (l + r)).abs() < 1e-6 * (1.0 + whole.abs()));
+    }
+
+    /// Sorting is a permutation and is ordered.
+    #[test]
+    fn sort_is_ordered_permutation(values in prop::collection::vec(-1000i64..1000, 0..200)) {
+        use lafp::columnar::sort::{sort_values, SortOptions};
+        let df = DataFrame::new(vec![Series::new("v", Column::from_i64(values.clone()))]).unwrap();
+        let sorted = sort_values(&df, &SortOptions::single("v", true)).unwrap();
+        prop_assert_eq!(sorted.num_rows(), values.len());
+        let mut expected = values.clone();
+        expected.sort_unstable();
+        for (i, e) in expected.iter().enumerate() {
+            prop_assert_eq!(sorted.column("v").unwrap().get(i), Scalar::Int(*e));
+        }
+    }
+
+    /// Comparison followed by inversion partitions all non-null rows.
+    #[test]
+    fn mask_and_inverse_partition(values in prop::collection::vec(-100i64..100, 0..200)) {
+        let df = DataFrame::new(vec![Series::new("v", Column::from_i64(values.clone()))]).unwrap();
+        let pred = Expr::col("v").cmp(CmpOp::Ge, Expr::lit_int(0));
+        let mask = pred.evaluate_mask(&df).unwrap();
+        let inv = mask.not();
+        prop_assert_eq!(mask.count_set() + inv.count_set(), values.len());
+    }
+
+    /// Arithmetic expressions evaluate like scalar arithmetic, row-wise.
+    #[test]
+    fn arith_matches_scalar_semantics(a in -1000i64..1000, b in 1i64..1000,
+                                      rows in 1usize..50) {
+        let df = DataFrame::new(vec![
+            Series::new("x", Column::from_i64(vec![a; rows])),
+        ]).unwrap();
+        let e = Expr::col("x").arith(ArithOp::Add, Expr::lit_int(b));
+        let out = e.evaluate(&df).unwrap();
+        prop_assert_eq!(out.get(0), Scalar::Int(a + b));
+        let e = Expr::col("x").arith(ArithOp::Div, Expr::lit_int(b));
+        let out = e.evaluate(&df).unwrap();
+        prop_assert_eq!(out.get(0), Scalar::Float(a as f64 / b as f64));
+    }
+
+    /// CSV write/read round-trips frames (modulo dtype-preserving values).
+    #[test]
+    fn csv_roundtrip(ints in prop::collection::vec(-1000i64..1000, 1..60),
+                     words in prop::collection::vec("[a-z]{1,8}", 1..60)) {
+        use lafp::columnar::csv::{read_csv, write_csv, CsvOptions};
+        let n = ints.len().min(words.len());
+        let df = DataFrame::new(vec![
+            Series::new("n", Column::from_i64(ints[..n].to_vec())),
+            Series::new("w", Column::from_strings(words[..n].to_vec())),
+        ]).unwrap();
+        let dir = std::env::temp_dir().join("lafp-proptests");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join(format!("p{}.csv", rand_suffix()));
+        write_csv(&df, &path).unwrap();
+        let back = read_csv(&path, &CsvOptions::new()).unwrap();
+        prop_assert_eq!(back, df);
+        std::fs::remove_file(&path).ok();
+    }
+}
+
+fn rand_suffix() -> u128 {
+    std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .unwrap()
+        .as_nanos()
+}
