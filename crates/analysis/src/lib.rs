@@ -22,6 +22,8 @@
 //! (block, index) where index ranges over the block's statements plus its
 //! terminator.
 
+#![warn(missing_docs)]
+
 pub mod dataflow;
 pub mod dfvars;
 pub mod laa;

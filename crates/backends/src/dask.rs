@@ -302,9 +302,9 @@ impl DaskEngine {
                 });
             }
         }
-        for id in 0..self.nodes.len() {
+        for (node, req) in self.nodes.iter_mut().zip(&required) {
             if let (DaskOp::ReadCsv { options, .. }, Some(ColumnRequirement::Some(cols))) =
-                (&mut self.nodes[id].op, &required[id])
+                (&mut node.op, req)
             {
                 let mut cols: Vec<String> = cols.iter().cloned().collect();
                 cols.sort();

@@ -18,6 +18,8 @@
 //! budget produces `ColumnarError::OutOfMemory`, which is how the
 //! reproduction regenerates the paper's Figure 12 success/failure matrix.
 
+#![warn(missing_docs)]
+
 pub mod dask;
 pub mod eager;
 pub mod kind;

@@ -7,7 +7,6 @@
 use lafp_columnar::csv::quote_field;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use std::fmt::Write as _;
 use std::fs;
 use std::io::Write as _;
 use std::path::{Path, PathBuf};
@@ -132,8 +131,8 @@ impl Csv {
 
 fn dt(rng: &mut StdRng) -> String {
     // Dates through 2024, always valid.
-    let day = rng.gen_range(0..365);
-    let secs = 1_704_067_200i64 + day * 86_400 + rng.gen_range(0..86_400);
+    let day: i64 = rng.gen_range(0..365);
+    let secs = 1_704_067_200i64 + day * 86_400 + rng.gen_range(0i64..86_400);
     lafp_columnar::value::format_datetime(secs)
 }
 

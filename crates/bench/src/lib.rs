@@ -19,6 +19,8 @@
 //!   (memory improvements), the `stu` caching ablation, the JIT overhead
 //!   table, and the §5.2 regression check.
 
+#![warn(missing_docs)]
+
 pub mod datagen;
 pub mod experiments;
 pub mod programs;

@@ -1,0 +1,107 @@
+//! Golden (snapshot) tests for the static rewriter: every benchmark
+//! program in `lafp_bench::programs::all()` is run through
+//! `lafp_rewrite::analyze` and the emitted optimized PandaScript is
+//! compared byte-for-byte against a checked-in snapshot.
+//!
+//! This pins the optimizer's observable output — column selection, lazy
+//! print injection, forced computes, `pd.analyze()` stripping — without
+//! executing any backend, so optimizer regressions surface as a readable
+//! text diff rather than a downstream numeric mismatch.
+//!
+//! To regenerate after an intentional optimizer change:
+//!
+//! ```text
+//! LAFP_UPDATE_SNAPSHOTS=1 cargo test -p lafp-bench --test golden_rewrite
+//! ```
+
+use lafp_bench::programs::all;
+use lafp_rewrite::{analyze, RewriteOptions};
+use std::path::PathBuf;
+
+fn snapshot_path(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/snapshots")
+        .join(format!("{name}.optimized.ps"))
+}
+
+/// The rewrite configuration the snapshots pin down. No `data_dir`: the
+/// rewrite must not depend on generated datasets, so the header
+/// intersection and metadata passes run in their dataset-absent mode.
+fn options() -> RewriteOptions {
+    RewriteOptions {
+        data_dir: None,
+        ..Default::default()
+    }
+}
+
+#[test]
+fn optimized_sources_match_snapshots() {
+    let update = std::env::var_os("LAFP_UPDATE_SNAPSHOTS").is_some();
+    let mut mismatches = Vec::new();
+    for p in all() {
+        let analyzed = analyze(p.source, &options())
+            .unwrap_or_else(|e| panic!("{}: rewrite failed: {e:?}", p.name));
+        let got = analyzed.optimized_source;
+        let path = snapshot_path(p.name);
+        if update {
+            std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+            std::fs::write(&path, &got).unwrap();
+            continue;
+        }
+        let want = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+            panic!(
+                "{}: missing snapshot {} ({e}); run with LAFP_UPDATE_SNAPSHOTS=1",
+                p.name,
+                path.display()
+            )
+        });
+        if got != want {
+            mismatches.push(format!(
+                "--- {name} ---\n=== expected ===\n{want}\n=== got ===\n{got}",
+                name = p.name
+            ));
+        }
+    }
+    assert!(
+        mismatches.is_empty(),
+        "optimized output drifted for {} program(s); \
+         if intentional, regenerate with LAFP_UPDATE_SNAPSHOTS=1\n\n{}",
+        mismatches.len(),
+        mismatches.join("\n")
+    );
+}
+
+#[test]
+fn rewrite_is_deterministic() {
+    // Two analyses of the same source must emit identical text — the
+    // property that makes snapshot testing sound.
+    for p in all() {
+        let a = analyze(p.source, &options()).unwrap().optimized_source;
+        let b = analyze(p.source, &options()).unwrap().optimized_source;
+        assert_eq!(a, b, "{}: nondeterministic rewrite output", p.name);
+    }
+}
+
+#[test]
+fn every_program_flushes_lazy_prints() {
+    // Structural invariant independent of exact snapshot bytes: with lazy
+    // print enabled, every rewritten program ends by flushing.
+    for p in all() {
+        let analyzed = analyze(p.source, &options()).unwrap();
+        assert!(
+            analyzed.report.lazy_print,
+            "{}: lazy print should be on by default",
+            p.name
+        );
+        assert!(
+            analyzed.optimized_source.contains("pd.flush()"),
+            "{}: rewritten source must flush pending prints",
+            p.name
+        );
+        assert!(
+            !analyzed.optimized_source.contains("pd.analyze()"),
+            "{}: bootstrap pd.analyze() call must be stripped",
+            p.name
+        );
+    }
+}

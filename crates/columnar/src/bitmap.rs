@@ -31,15 +31,6 @@ impl Bitmap {
         }
     }
 
-    /// Build from an iterator of booleans.
-    pub fn from_iter<I: IntoIterator<Item = bool>>(iter: I) -> Self {
-        let mut bm = Bitmap::empty();
-        for b in iter {
-            bm.push(b);
-        }
-        bm
-    }
-
     /// Build from a slice of booleans.
     pub fn from_bools(bools: &[bool]) -> Self {
         Self::from_iter(bools.iter().copied())
@@ -206,7 +197,11 @@ impl HeapSize for Bitmap {
 
 impl FromIterator<bool> for Bitmap {
     fn from_iter<I: IntoIterator<Item = bool>>(iter: I) -> Self {
-        Bitmap::from_iter(iter)
+        let mut bm = Bitmap::empty();
+        for b in iter {
+            bm.push(b);
+        }
+        bm
     }
 }
 
@@ -298,5 +293,74 @@ mod tests {
         assert_eq!(bm.count_set(), 65);
         assert_eq!(bm.set_indices().len(), 65);
         assert_eq!(bm.slice(63, 4), Bitmap::from_bools(&[false, true, false, true]));
+    }
+
+    /// The lengths where bit-packing bugs live: empty, one short of a word,
+    /// exactly one word, one past a word.
+    #[test]
+    fn word_boundary_lengths() {
+        for len in [0usize, 63, 64, 65] {
+            let t = Bitmap::new(len, true);
+            assert_eq!(t.len(), len, "len {len}");
+            assert_eq!(t.count_set(), len, "count_set at len {len}");
+            assert!(t.all_set(), "all_set at len {len}");
+            assert_eq!(t.not().count_set(), 0, "NOT leaks tail bits at {len}");
+
+            let f = Bitmap::new(len, false);
+            assert!(f.none_set(), "none_set at len {len}");
+            assert_eq!(f.not().count_set(), len, "NOT of empty at len {len}");
+            assert!(f.not().all_set() || len == 0, "NOT all_set at len {len}");
+
+            assert_eq!(t.and(&f).count_set(), 0, "AND at len {len}");
+            assert_eq!(t.or(&f).count_set(), len, "OR at len {len}");
+        }
+    }
+
+    #[test]
+    fn empty_bitmap_invariants() {
+        let e = Bitmap::empty();
+        assert_eq!(e.len(), 0);
+        assert!(e.is_empty());
+        // Degenerate all/none conventions on the empty mask.
+        assert!(e.all_set());
+        assert!(e.none_set());
+        assert_eq!(e.set_indices(), Vec::<usize>::new());
+        assert_eq!(e.iter().count(), 0);
+        assert_eq!(e.slice(0, 0), Bitmap::empty());
+    }
+
+    #[test]
+    fn push_across_word_boundary() {
+        let mut bm = Bitmap::empty();
+        for i in 0..65 {
+            bm.push(i >= 63);
+            assert_eq!(bm.len(), i + 1);
+        }
+        assert!(!bm.get(62));
+        assert!(bm.get(63));
+        assert!(bm.get(64));
+        assert_eq!(bm.count_set(), 2);
+    }
+
+    #[test]
+    fn set_at_word_boundaries() {
+        let mut bm = Bitmap::new(65, false);
+        for i in [0usize, 63, 64] {
+            bm.set(i, true);
+            assert!(bm.get(i), "set bit {i}");
+        }
+        assert_eq!(bm.count_set(), 3);
+        bm.set(63, false);
+        assert_eq!(bm.count_set(), 2);
+    }
+
+    #[test]
+    fn slice_at_word_boundaries() {
+        let bools: Vec<bool> = (0..65).map(|i| i == 63 || i == 64).collect();
+        let bm = Bitmap::from_bools(&bools);
+        assert_eq!(bm.slice(0, 0).len(), 0);
+        assert_eq!(bm.slice(64, 1), Bitmap::from_bools(&[true]));
+        assert_eq!(bm.slice(0, 63).count_set(), 0);
+        assert_eq!(bm.slice(63, 2), Bitmap::from_bools(&[true, true]));
     }
 }

@@ -691,9 +691,9 @@ impl Column {
         match self {
             Column::Int64(v, _) => {
                 let mut acc = 0i64;
-                for i in 0..v.len() {
+                for (i, val) in v.iter().enumerate() {
                     if !self.is_null_at(i) {
-                        acc = acc.wrapping_add(v[i]);
+                        acc = acc.wrapping_add(*val);
                     }
                 }
                 Scalar::Int(acc)
@@ -1155,7 +1155,7 @@ mod tests {
         let back = cat.to_utf8().unwrap();
         assert_eq!(back, c);
         // dictionary encoding of a repetitive column is smaller
-        let many: Vec<&str> = std::iter::repeat("category-value").take(1000).collect();
+        let many: Vec<&str> = std::iter::repeat_n("category-value", 1000).collect();
         let plain = Column::from_strings(many.clone());
         let encoded = plain.to_categorical().unwrap();
         assert!(encoded.heap_size() < plain.heap_size());
@@ -1268,5 +1268,92 @@ mod tests {
         assert_eq!(c.get(2), Scalar::Str("x".into()));
         let n = Column::full(2, &Scalar::Null);
         assert_eq!(n.count_null(), 2);
+    }
+
+    #[test]
+    fn arith_propagates_nulls_int() {
+        let a = Column::from_opt_i64(vec![Some(10), None, Some(30)]);
+        let b = Column::from_opt_i64(vec![Some(1), Some(2), None]);
+        for op in [ArithOp::Add, ArithOp::Sub, ArithOp::Mul, ArithOp::Mod] {
+            let out = a.arith(op, &b).unwrap();
+            assert_eq!(out.dtype(), DType::Int64, "{op:?} keeps int dtype");
+            assert!(!out.is_null_at(0), "{op:?} valid op valid");
+            assert!(out.is_null_at(1), "{op:?} null lhs propagates");
+            assert!(out.is_null_at(2), "{op:?} null rhs propagates");
+        }
+        // Scalar variants propagate the same way.
+        let out = a.arith_scalar(ArithOp::Add, &Scalar::Int(5)).unwrap();
+        assert_eq!(out.get(0), Scalar::Int(15));
+        assert!(out.is_null_at(1));
+    }
+
+    #[test]
+    fn arith_propagates_nulls_float() {
+        // Division always produces float; nulls become NaN (= null).
+        let a = Column::from_opt_i64(vec![Some(10), None]);
+        let out = a.arith_scalar(ArithOp::Div, &Scalar::Int(4)).unwrap();
+        assert_eq!(out.dtype(), DType::Float64);
+        assert_eq!(out.get(0), Scalar::Float(2.5));
+        assert!(out.is_null_at(1));
+        // NaN inputs count as null and stay null through arithmetic.
+        let f = Column::from_f64(vec![1.5, f64::NAN]);
+        let out = f.arith_scalar(ArithOp::Mul, &Scalar::Float(2.0)).unwrap();
+        assert_eq!(out.get(0), Scalar::Float(3.0));
+        assert!(out.is_null_at(1));
+    }
+
+    #[test]
+    fn mod_by_zero_is_null() {
+        let a = Column::from_i64(vec![7, 9]);
+        let z = Column::from_i64(vec![0, 2]);
+        let out = a.arith(ArithOp::Mod, &z).unwrap();
+        assert!(out.is_null_at(0), "x % 0 is null, not a panic");
+        assert_eq!(out.get(1), Scalar::Int(1));
+        let out = a.arith_scalar(ArithOp::Mod, &Scalar::Int(0)).unwrap();
+        assert_eq!(out.count_null(), 2);
+    }
+
+    #[test]
+    fn compare_columns_with_nulls() {
+        let a = Column::from_opt_i64(vec![Some(1), None, Some(3), None]);
+        let b = Column::from_opt_i64(vec![Some(1), Some(2), None, None]);
+        // Null on either side: every comparison is false except `!=`.
+        for op in [CmpOp::Eq, CmpOp::Lt, CmpOp::Le, CmpOp::Gt, CmpOp::Ge] {
+            let m = a.compare(op, &b).unwrap();
+            assert!(!m.get(1), "{op:?} with null lhs");
+            assert!(!m.get(2), "{op:?} with null rhs");
+            assert!(!m.get(3), "{op:?} with both null");
+        }
+        let ne = a.compare(CmpOp::Ne, &b).unwrap();
+        assert_eq!(ne, Bitmap::from_bools(&[false, true, true, true]));
+        let eq = a.compare(CmpOp::Eq, &b).unwrap();
+        assert_eq!(eq, Bitmap::from_bools(&[true, false, false, false]));
+    }
+
+    #[test]
+    fn compare_scalar_float_nan_lhs() {
+        // The Float64 fast path must treat NaN cells as null.
+        let c = Column::from_f64(vec![1.0, f64::NAN, -2.0]);
+        let m = c.compare_scalar(CmpOp::Lt, &Scalar::Float(0.0)).unwrap();
+        assert_eq!(m, Bitmap::from_bools(&[false, false, true]));
+        let m = c.compare_scalar(CmpOp::Ne, &Scalar::Float(1.0)).unwrap();
+        assert_eq!(m, Bitmap::from_bools(&[false, true, true]));
+    }
+
+    #[test]
+    fn compare_scalar_null_rhs() {
+        let c = int_col();
+        let m = c.compare_scalar(CmpOp::Eq, &Scalar::Null).unwrap();
+        assert_eq!(m.count_set(), 0);
+        let m = c.compare_scalar(CmpOp::Ne, &Scalar::Null).unwrap();
+        assert_eq!(m.count_set(), c.len());
+    }
+
+    #[test]
+    fn sum_and_mean_skip_nulls() {
+        let c = Column::from_opt_i64(vec![Some(1), None, Some(5)]);
+        assert_eq!(c.sum(), Scalar::Int(6));
+        assert_eq!(c.mean(), Scalar::Float(3.0));
+        assert_eq!(c.count(), Scalar::Int(2));
     }
 }

@@ -24,6 +24,8 @@
 //! backend layer uses to charge the simulated memory budget that reproduces
 //! the paper's out-of-memory matrix (Figure 12).
 
+#![warn(missing_docs)]
+
 pub mod bitmap;
 pub mod column;
 pub mod csv;

@@ -146,7 +146,7 @@ impl TaskGraph {
                 order.push(id);
                 continue;
             }
-            if let Some(_) = state.get(&id) { continue }
+            if state.contains_key(&id) { continue }
             state.insert(id, 1);
             stack.push((id, true));
             let node = &self.nodes[id.0];

@@ -24,6 +24,8 @@
 //! * **Dead-node culling and common-subexpression merging**, and
 //!   ref-counted result clearing during eager execution (§2.6).
 
+#![warn(missing_docs)]
+
 pub mod autoselect;
 pub mod context;
 pub mod exec;

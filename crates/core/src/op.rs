@@ -436,7 +436,7 @@ mod tests {
     fn labels_are_compact() {
         let op = LogicalOp::Head(5);
         assert_eq!(op.label(), "head 5");
-        assert!(LogicalOp::Len.is_frame_valued() == false);
+        assert!(!LogicalOp::Len.is_frame_valued());
         assert!(LogicalOp::Describe.is_frame_valued());
     }
 }

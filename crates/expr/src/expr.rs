@@ -116,11 +116,6 @@ impl Expr {
         Expr::Or(Box::new(self), Box::new(rhs))
     }
 
-    /// Negation.
-    pub fn not(self) -> Expr {
-        Expr::Not(Box::new(self))
-    }
-
     /// Datetime accessor.
     pub fn dt(self, field: DtField) -> Expr {
         Expr::Dt(Box::new(self), field)
@@ -182,7 +177,7 @@ impl Expr {
             ),
             Expr::And(a, b) => a.substitute(map).and(b.substitute(map)),
             Expr::Or(a, b) => a.substitute(map).or(b.substitute(map)),
-            Expr::Not(e) => e.substitute(map).not(),
+            Expr::Not(e) => !e.substitute(map),
             Expr::Dt(e, f) => e.substitute(map).dt(*f),
             Expr::Str(e, o) => e.substitute(map).str_op(o.clone()),
             Expr::IsNull(e) => Expr::IsNull(Box::new(e.substitute(map))),
@@ -353,6 +348,15 @@ impl Expr {
     }
 }
 
+impl std::ops::Not for Expr {
+    type Output = Expr;
+
+    /// Negation: `expr.not()` / `!expr` builds [`Expr::Not`].
+    fn not(self) -> Expr {
+        Expr::Not(Box::new(self))
+    }
+}
+
 /// Flip a comparison for operand swap: `lit < col` ⇔ `col > lit`.
 fn flip(op: CmpOp) -> CmpOp {
     match op {
@@ -441,7 +445,7 @@ mod tests {
             .lt(Expr::lit_float(0.0))
             .or(Expr::col("tip").gt(Expr::lit_float(1.5)));
         assert_eq!(e3.evaluate_mask(&frame()).unwrap().set_indices(), vec![1, 2]);
-        let e4 = Expr::col("fare").gt(Expr::lit_float(0.0)).not();
+        let e4 = !Expr::col("fare").gt(Expr::lit_float(0.0));
         assert_eq!(e4.evaluate_mask(&frame()).unwrap().set_indices(), vec![1]);
     }
 

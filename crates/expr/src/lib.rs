@@ -8,6 +8,8 @@
 //! subexpression detection (§3.5), and vectorized evaluation against a
 //! `DataFrame`.
 
+#![warn(missing_docs)]
+
 pub mod expr;
 
 pub use expr::Expr;

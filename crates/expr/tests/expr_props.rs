@@ -16,7 +16,7 @@ proptest! {
         let df = frame(&values);
         let p = Expr::col("x").gt(Expr::lit_int(t));
         let m = p.clone().evaluate_mask(&df).unwrap();
-        let n = p.not().evaluate_mask(&df).unwrap();
+        let n = (!p).evaluate_mask(&df).unwrap();
         prop_assert_eq!(m.count_set() + n.count_set(), values.len());
         prop_assert_eq!(m.and(&n).count_set(), 0);
     }

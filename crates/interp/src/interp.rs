@@ -271,7 +271,7 @@ impl Interp {
                 match (op, v) {
                     (UnaryOpKind::Invert, PyValue::Series(s)) => Ok(PyValue::Series(SeriesVal {
                         frame: s.frame,
-                        expr: s.expr.not(),
+                        expr: !s.expr,
                     })),
                     (UnaryOpKind::Not, v) => Ok(PyValue::Scalar(Scalar::Bool(!v.truthy()))),
                     (UnaryOpKind::Neg, PyValue::Scalar(Scalar::Int(v))) => {

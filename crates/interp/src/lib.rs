@@ -20,6 +20,8 @@
 //! paper's regression framework (§5.2) to check that every optimized
 //! configuration matches unoptimized Pandas.
 
+#![warn(missing_docs)]
+
 pub mod interp;
 pub mod regress;
 pub mod value;

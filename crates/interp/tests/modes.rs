@@ -8,7 +8,7 @@ use lafp_columnar::df;
 use lafp_core::LafpConfig;
 use lafp_interp::{result_hash, ExecMode, Interp};
 use lafp_rewrite::{analyze, RewriteOptions};
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 
 fn dataset(rows: usize) -> (PathBuf, PathBuf) {
     let dir = std::env::temp_dir().join(format!(
@@ -68,20 +68,20 @@ avg = df.fare_amount.mean()
 print(f'Average fare: {avg}')
 ";
 
-fn run_mode(mode: ExecMode, backend: BackendKind, src: &str, dir: &PathBuf) -> Vec<String> {
+fn run_mode(mode: ExecMode, backend: BackendKind, src: &str, dir: &Path) -> Vec<String> {
     let config = LafpConfig {
         backend,
         chunk_rows: 16,
         ..Default::default()
     };
-    let mut interp = Interp::new(mode, config, dir.clone());
+    let mut interp = Interp::new(mode, config, dir.to_path_buf());
     let ast = lafp_ir::parser::parse(src).unwrap();
     interp.run(&ast).unwrap().output
 }
 
-fn run_lafp(backend: BackendKind, src: &str, dir: &PathBuf) -> Vec<String> {
+fn run_lafp(backend: BackendKind, src: &str, dir: &Path) -> Vec<String> {
     let opts = RewriteOptions {
-        data_dir: Some(dir.clone()),
+        data_dir: Some(dir.to_path_buf()),
         ..Default::default()
     };
     let analyzed = analyze(src, &opts).unwrap();
@@ -90,7 +90,7 @@ fn run_lafp(backend: BackendKind, src: &str, dir: &PathBuf) -> Vec<String> {
         chunk_rows: 16,
         ..Default::default()
     };
-    let mut interp = Interp::new(ExecMode::Lafp, config, dir.clone());
+    let mut interp = Interp::new(ExecMode::Lafp, config, dir.to_path_buf());
     interp.run(&analyzed.ast).unwrap().output
 }
 

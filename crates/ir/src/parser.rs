@@ -7,6 +7,9 @@ use crate::lexer::lex;
 use crate::token::{Token, TokenKind};
 use crate::SyntaxError;
 
+/// Positional and keyword arguments of one call expression.
+type CallArgs = (Vec<Expr>, Vec<(String, Expr)>);
+
 /// Parse a full PandaScript module.
 pub fn parse(source: &str) -> Result<Ast, SyntaxError> {
     let tokens = lex(source)?;
@@ -360,7 +363,7 @@ impl Parser {
         Ok(expr)
     }
 
-    fn parse_call_args(&mut self) -> Result<(Vec<Expr>, Vec<(String, Expr)>), SyntaxError> {
+    fn parse_call_args(&mut self) -> Result<CallArgs, SyntaxError> {
         let mut args = Vec::new();
         let mut kwargs = Vec::new();
         if self.eat(&TokenKind::RParen) {

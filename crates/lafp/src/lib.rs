@@ -37,6 +37,8 @@
 //! Figure 5) and executed by [`interp::Interp`] on any backend. See the
 //! `examples/` directory.
 
+#![warn(missing_docs)]
+
 pub use lafp_analysis as analysis;
 pub use lafp_backends as backends;
 pub use lafp_columnar as columnar;

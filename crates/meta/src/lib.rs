@@ -16,6 +16,8 @@
 //! text format (one section per column) rather than JSON, keeping the crate
 //! inside the sanctioned dependency set.
 
+#![warn(missing_docs)]
+
 pub mod scan;
 pub mod store;
 

@@ -19,6 +19,8 @@
 //! emit optimized source (the caller then executes it), returning a
 //! [`jit::RewriteReport`] that the §5.3 overhead experiment measures.
 
+#![warn(missing_docs)]
+
 pub mod jit;
 pub mod passes;
 

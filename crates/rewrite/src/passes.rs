@@ -15,19 +15,17 @@ pub fn read_csv_sites(ast: &Ast, info: &DfVarInfo) -> Vec<(StmtId, String, Optio
     for id in ast.all_ids() {
         if let StmtKind::Assign {
             target: Target::Name(var),
-            value,
+            value: Expr::Call { func, args, .. },
         } = &ast.stmt(id).kind
         {
-            if let Expr::Call { func, args, .. } = value {
-                if let Expr::Attribute { value: recv, attr } = func.as_ref() {
-                    if attr == "read_csv" {
-                        if let Expr::Name(m) = recv.as_ref() {
-                            if Some(m) == info.pandas_alias.as_ref() {
-                                let path = args.first().and_then(|a| {
-                                    a.as_str_lit().map(str::to_string)
-                                });
-                                out.push((id, var.clone(), path));
-                            }
+            if let Expr::Attribute { value: recv, attr } = func.as_ref() {
+                if attr == "read_csv" {
+                    if let Expr::Name(m) = recv.as_ref() {
+                        if Some(m) == info.pandas_alias.as_ref() {
+                            let path = args
+                                .first()
+                                .and_then(|a| a.as_str_lit().map(str::to_string));
+                            out.push((id, var.clone(), path));
                         }
                     }
                 }

@@ -1,0 +1,117 @@
+//! Offline shim for the subset of the `proptest` API this workspace uses.
+//! The build environment has no crates.io access, so the real crate cannot
+//! be fetched; property tests compile unmodified against this shim.
+//!
+//! Differences from real proptest: inputs are drawn from a deterministic
+//! per-test RNG (seeded from the test name, so failures reproduce), there
+//! is no shrinking, and the strategy language covers only what the
+//! workspace tests use — integer/float ranges, `any::<bool>()`,
+//! `prop::collection::vec`, and string-literal strategies restricted to
+//! the `[class]{m,n}` regex subset.
+
+#![warn(missing_docs)]
+
+pub mod strategy;
+pub mod test_runner;
+
+/// `prop::collection` analog: strategies for containers.
+pub mod collection {
+    use crate::strategy::{SizeRange, Strategy};
+    use crate::test_runner::TestRng;
+
+    /// Strategy producing `Vec`s of `element` with a length in `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    /// See [`vec`].
+    #[derive(Clone, Debug)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            let len = rng.usize_in(self.size.lo, self.size.hi_exclusive);
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+/// Number of random cases each property runs. Kept moderate because some
+/// workspace properties do file I/O per case.
+pub const NUM_CASES: u32 = 64;
+
+/// The glob import real proptest tests start with.
+pub mod prelude {
+    pub use crate::strategy::{any, Strategy};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+
+    /// The `prop::` namespace (`prop::collection::vec(...)`).
+    pub mod prop {
+        pub use crate::collection;
+    }
+}
+
+/// `prop_assert!` analog. The shim has no shrinking phase, so this simply
+/// panics with the failing condition (and the per-test seed printed by the
+/// harness makes the case reproducible).
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        assert!($cond)
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        assert!($cond, $($fmt)+)
+    };
+}
+
+/// `prop_assert_eq!` analog (panics instead of returning a rejection).
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => {
+        assert_eq!($a, $b)
+    };
+    ($a:expr, $b:expr, $($fmt:tt)+) => {
+        assert_eq!($a, $b, $($fmt)+)
+    };
+}
+
+/// `prop_assert_ne!` analog (panics instead of returning a rejection).
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => {
+        assert_ne!($a, $b)
+    };
+    ($a:expr, $b:expr, $($fmt:tt)+) => {
+        assert_ne!($a, $b, $($fmt)+)
+    };
+}
+
+/// `proptest! { ... }` analog: each `fn name(arg in strategy, ...) { body }`
+/// becomes a `#[test]` that draws `NUM_CASES` inputs from the strategies
+/// and runs the body on each.
+#[macro_export]
+macro_rules! proptest {
+    ($($(#[$meta:meta])* fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let mut __rng =
+                    $crate::test_runner::TestRng::from_name(stringify!($name));
+                for __case in 0..$crate::NUM_CASES {
+                    $(
+                        let $arg =
+                            $crate::strategy::Strategy::generate(&($strat), &mut __rng);
+                    )+
+                    $body
+                }
+            }
+        )*
+    };
+}

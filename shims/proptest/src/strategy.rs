@@ -1,0 +1,276 @@
+//! The strategy trait and the concrete strategies the workspace tests use.
+
+use crate::test_runner::TestRng;
+
+/// A recipe for generating random values of one type.
+pub trait Strategy {
+    /// The type of value this strategy produces.
+    type Value;
+    /// Draw one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+}
+
+impl<S: Strategy + ?Sized> Strategy for &S {
+    type Value = S::Value;
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        (**self).generate(rng)
+    }
+}
+
+macro_rules! int_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for std::ops::Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                rng.i128_in(self.start as i128, self.end as i128) as $t
+            }
+        }
+        impl Strategy for std::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty range strategy");
+                rng.i128_in(lo as i128, hi as i128 + 1) as $t
+            }
+        }
+    )*};
+}
+int_strategy!(i8, i16, i32, i64, isize, u8, u16, u32, usize);
+
+impl Strategy for std::ops::Range<f64> {
+    type Value = f64;
+    fn generate(&self, rng: &mut TestRng) -> f64 {
+        assert!(self.start < self.end, "empty range strategy");
+        self.start + (self.end - self.start) * rng.unit_f64()
+    }
+}
+
+/// Strategy for any value of a type with a canonical distribution.
+#[derive(Clone, Copy, Debug)]
+pub struct Any<T>(std::marker::PhantomData<T>);
+
+/// `any::<T>()` — the canonical whole-type strategy.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(std::marker::PhantomData)
+}
+
+/// Types with a canonical `any::<T>()` strategy.
+pub trait Arbitrary: Sized {
+    /// Draw one arbitrary value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+macro_rules! arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+arbitrary_int!(i8, i16, i32, i64, u8, u16, u32, u64, usize);
+
+/// A vec length range (`0..200` in `prop::collection::vec` calls).
+#[derive(Clone, Copy, Debug)]
+pub struct SizeRange {
+    pub(crate) lo: usize,
+    pub(crate) hi_exclusive: usize,
+}
+
+impl From<std::ops::Range<usize>> for SizeRange {
+    fn from(r: std::ops::Range<usize>) -> Self {
+        SizeRange {
+            lo: r.start,
+            hi_exclusive: r.end.max(r.start + 1),
+        }
+    }
+}
+
+impl From<std::ops::RangeInclusive<usize>> for SizeRange {
+    fn from(r: std::ops::RangeInclusive<usize>) -> Self {
+        SizeRange {
+            lo: *r.start(),
+            hi_exclusive: *r.end() + 1,
+        }
+    }
+}
+
+impl From<usize> for SizeRange {
+    fn from(n: usize) -> Self {
+        SizeRange {
+            lo: n,
+            hi_exclusive: n + 1,
+        }
+    }
+}
+
+// --- string-literal strategies -------------------------------------------
+//
+// Real proptest treats `&str` as a regex strategy. The shim supports the
+// subset the workspace tests use: a sequence of atoms, each a literal
+// character or a character class `[a-z0-9_]`, optionally repeated
+// `{m}` / `{m,n}`.
+
+impl Strategy for &str {
+    type Value = String;
+    fn generate(&self, rng: &mut TestRng) -> String {
+        generate_from_pattern(self, rng)
+    }
+}
+
+impl Strategy for String {
+    type Value = String;
+    fn generate(&self, rng: &mut TestRng) -> String {
+        generate_from_pattern(self, rng)
+    }
+}
+
+fn generate_from_pattern(pattern: &str, rng: &mut TestRng) -> String {
+    let mut out = String::new();
+    let chars: Vec<char> = pattern.chars().collect();
+    let mut i = 0;
+    while i < chars.len() {
+        let (alphabet, next) = match chars[i] {
+            '[' => parse_class(&chars, i + 1),
+            c => (vec![c], i + 1),
+        };
+        i = next;
+        let (min, max, next) = parse_repeat(&chars, i);
+        i = next;
+        let n = if max > min {
+            rng.usize_in(min, max + 1)
+        } else {
+            min
+        };
+        for _ in 0..n {
+            let k = rng.usize_in(0, alphabet.len());
+            out.push(alphabet[k]);
+        }
+    }
+    out
+}
+
+/// Parse a `[...]` class body starting at `i` (past the `[`); returns the
+/// alphabet and the index past the closing `]`.
+fn parse_class(chars: &[char], mut i: usize) -> (Vec<char>, usize) {
+    let mut alphabet = Vec::new();
+    while i < chars.len() && chars[i] != ']' {
+        if i + 2 < chars.len() && chars[i + 1] == '-' && chars[i + 2] != ']' {
+            let (lo, hi) = (chars[i], chars[i + 2]);
+            assert!(lo <= hi, "bad class range in string strategy");
+            for c in lo..=hi {
+                alphabet.push(c);
+            }
+            i += 3;
+        } else {
+            alphabet.push(chars[i]);
+            i += 1;
+        }
+    }
+    assert!(i < chars.len(), "unterminated [class] in string strategy");
+    assert!(!alphabet.is_empty(), "empty [class] in string strategy");
+    (alphabet, i + 1)
+}
+
+/// Parse an optional `{m}` / `{m,n}` repetition at `i`; returns
+/// (min, max, next index). Without braces the repetition is exactly 1.
+fn parse_repeat(chars: &[char], i: usize) -> (usize, usize, usize) {
+    if i >= chars.len() || chars[i] != '{' {
+        return (1, 1, i);
+    }
+    let close = chars[i..]
+        .iter()
+        .position(|&c| c == '}')
+        .expect("unterminated {m,n} in string strategy")
+        + i;
+    let body: String = chars[i + 1..close].iter().collect();
+    let (min, max) = match body.split_once(',') {
+        Some((m, n)) => (
+            m.trim().parse().expect("bad {m,n}"),
+            n.trim().parse().expect("bad {m,n}"),
+        ),
+        None => {
+            let m: usize = body.trim().parse().expect("bad {m}");
+            (m, m)
+        }
+    };
+    assert!(min <= max, "bad {{m,n}} in string strategy");
+    (min, max, close + 1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_runner::TestRng;
+
+    #[test]
+    fn int_ranges_in_bounds() {
+        let mut rng = TestRng::from_name("ints");
+        for _ in 0..1000 {
+            let v = (-5i64..7).generate(&mut rng);
+            assert!((-5..7).contains(&v));
+            let v = (0usize..=3).generate(&mut rng);
+            assert!(v <= 3);
+        }
+    }
+
+    #[test]
+    fn float_range_in_bounds() {
+        let mut rng = TestRng::from_name("floats");
+        for _ in 0..1000 {
+            let v = (-1e3f64..1e3).generate(&mut rng);
+            assert!((-1e3..1e3).contains(&v));
+        }
+    }
+
+    #[test]
+    fn vec_strategy_respects_size() {
+        let mut rng = TestRng::from_name("vecs");
+        let s = crate::collection::vec(0i64..10, 2..5);
+        for _ in 0..200 {
+            let v = s.generate(&mut rng);
+            assert!((2..5).contains(&v.len()));
+            assert!(v.iter().all(|x| (0..10).contains(x)));
+        }
+    }
+
+    #[test]
+    fn string_pattern_subset() {
+        let mut rng = TestRng::from_name("strings");
+        for _ in 0..200 {
+            let s = "[a-z]{1,8}".generate(&mut rng);
+            assert!((1..=8).contains(&s.len()));
+            assert!(s.chars().all(|c| c.is_ascii_lowercase()));
+            let t = "ab[0-9]{2}".generate(&mut rng);
+            assert_eq!(t.len(), 4);
+            assert!(t.starts_with("ab"));
+            assert!(t[2..].chars().all(|c| c.is_ascii_digit()));
+        }
+    }
+
+    #[test]
+    fn any_bool_produces_both() {
+        let mut rng = TestRng::from_name("bools");
+        let s = any::<bool>();
+        let mut seen = [false, false];
+        for _ in 0..100 {
+            seen[s.generate(&mut rng) as usize] = true;
+        }
+        assert!(seen[0] && seen[1]);
+    }
+}

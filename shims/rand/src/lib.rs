@@ -1,0 +1,172 @@
+//! Offline shim for the subset of the `rand` 0.8 API this workspace uses:
+//! `StdRng::seed_from_u64`, `Rng::gen_range` over integer/float ranges,
+//! `Rng::gen_bool`. The build environment has no crates.io access, so the
+//! real crate cannot be fetched.
+//!
+//! The generator is splitmix64 — statistically fine for benchmark data
+//! generation, NOT cryptographic. Sequences are stable across runs and
+//! platforms, which is what the seeded dataset generators require.
+
+#![warn(missing_docs)]
+
+/// Concrete RNG types, mirroring `rand::rngs`.
+pub mod rngs {
+    /// A deterministic 64-bit RNG (splitmix64 core).
+    #[derive(Clone, Debug)]
+    pub struct StdRng {
+        pub(crate) state: u64,
+    }
+
+    impl StdRng {
+        pub(crate) fn next_u64_impl(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+    }
+}
+
+/// Seeding constructors, mirroring `rand::SeedableRng`.
+pub trait SeedableRng: Sized {
+    /// Build an RNG whose sequence is fully determined by `seed`.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+impl SeedableRng for rngs::StdRng {
+    fn seed_from_u64(seed: u64) -> Self {
+        rngs::StdRng { state: seed }
+    }
+}
+
+/// Uniform-range sampling support, mirroring `rand::distributions::uniform`.
+pub mod distributions {
+    /// Uniform sampling traits.
+    pub mod uniform {
+        use crate::Rng;
+
+        /// A range that can produce a uniformly distributed `T`.
+        pub trait SampleRange<T> {
+            /// Draw one sample from `rng`.
+            fn sample_single<R: Rng + ?Sized>(self, rng: &mut R) -> T;
+        }
+
+        macro_rules! int_range {
+            ($($t:ty),*) => {$(
+                impl SampleRange<$t> for std::ops::Range<$t> {
+                    fn sample_single<R: Rng + ?Sized>(self, rng: &mut R) -> $t {
+                        assert!(self.start < self.end, "empty gen_range");
+                        let span = (self.end as i128 - self.start as i128) as u128;
+                        let v = (rng.next_u64() as u128) % span;
+                        (self.start as i128 + v as i128) as $t
+                    }
+                }
+                impl SampleRange<$t> for std::ops::RangeInclusive<$t> {
+                    fn sample_single<R: Rng + ?Sized>(self, rng: &mut R) -> $t {
+                        let (start, end) = (*self.start(), *self.end());
+                        assert!(start <= end, "empty gen_range");
+                        let span = (end as i128 - start as i128) as u128 + 1;
+                        let v = (rng.next_u64() as u128) % span;
+                        (start as i128 + v as i128) as $t
+                    }
+                }
+            )*};
+        }
+        int_range!(i8, i16, i32, i64, isize, u8, u16, u32, u64, usize);
+
+        macro_rules! float_range {
+            ($($t:ty),*) => {$(
+                impl SampleRange<$t> for std::ops::Range<$t> {
+                    fn sample_single<R: Rng + ?Sized>(self, rng: &mut R) -> $t {
+                        assert!(self.start < self.end, "empty gen_range");
+                        let unit = (rng.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+                        self.start + (self.end - self.start) * unit as $t
+                    }
+                }
+            )*};
+        }
+        float_range!(f64);
+
+        impl SampleRange<f32> for std::ops::Range<f32> {
+            fn sample_single<R: Rng + ?Sized>(self, rng: &mut R) -> f32 {
+                assert!(self.start < self.end, "empty gen_range");
+                let unit = (rng.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+                self.start + (self.end - self.start) * unit as f32
+            }
+        }
+    }
+}
+
+/// The user-facing RNG trait, mirroring `rand::Rng`.
+pub trait Rng {
+    /// Next raw 64 random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// Uniform sample from `range` (half-open or inclusive).
+    fn gen_range<T, S>(&mut self, range: S) -> T
+    where
+        S: distributions::uniform::SampleRange<T>,
+        Self: Sized,
+    {
+        range.sample_single(self)
+    }
+
+    /// Bernoulli trial with success probability `p` in `[0, 1]`.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "gen_bool p out of range");
+        let unit = (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+        unit < p
+    }
+}
+
+impl Rng for rngs::StdRng {
+    fn next_u64(&mut self) -> u64 {
+        self.next_u64_impl()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_sequence() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut r = StdRng::seed_from_u64(1);
+        for _ in 0..10_000 {
+            let v: i64 = r.gen_range(-5..7);
+            assert!((-5..7).contains(&v));
+            let v: u64 = r.gen_range(3..=9);
+            assert!((3..=9).contains(&v));
+            let f: f64 = r.gen_range(-1.5..2.5);
+            assert!((-1.5..2.5).contains(&f));
+        }
+    }
+
+    #[test]
+    fn gen_bool_extremes() {
+        let mut r = StdRng::seed_from_u64(2);
+        assert!(!r.gen_bool(0.0));
+        assert!(r.gen_bool(1.0));
+    }
+
+    #[test]
+    fn int_range_hits_all_values() {
+        let mut r = StdRng::seed_from_u64(3);
+        let mut seen = [false; 4];
+        for _ in 0..1000 {
+            seen[r.gen_range(0usize..4)] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+}
