@@ -8,13 +8,86 @@
 //! Artifacts: `fig12` `fig13` `fig14` `fig15` `ablation` `overhead`
 //! `regress`, or `all`. Data lives under `target/lafp-data/` (override
 //! with `LAFP_DATA_DIR`).
+//!
+//! Kernel microbenchmarks (the per-PR perf trajectory):
+//!
+//! ```text
+//! cargo run -p lafp-bench --release --bin harness -- bench \
+//!     --rows 1000000 --iters 3 --json BENCH_PR2.json
+//! ```
+//!
+//! `--rows` defaults to 1,000,000 (use a small value for smoke runs),
+//! `--iters` to 3 (best-of), `--json` writes the machine-readable artifact
+//! (a human-readable table always goes to stdout). The artifact's PR label
+//! comes from `--pr N`, or is parsed from a `BENCH_PR<N>.json` file name.
 
 use lafp_bench::datagen::Size;
-use lafp_bench::experiments;
+use lafp_bench::{experiments, kernel_bench};
 use std::path::PathBuf;
+
+/// Run the kernel microbench suite (the `bench` artifact).
+fn run_kernel_bench(args: &[String]) {
+    let mut rows = 1_000_000usize;
+    let mut iters = 3usize;
+    let mut json: Option<PathBuf> = None;
+    let mut pr: Option<u32> = None;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--rows" => {
+                rows = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--rows needs a number");
+            }
+            "--iters" => {
+                iters = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--iters needs a number");
+            }
+            "--json" => {
+                json = Some(PathBuf::from(it.next().expect("--json needs a path")));
+            }
+            "--pr" => {
+                pr = Some(
+                    it.next()
+                        .and_then(|v| v.parse().ok())
+                        .expect("--pr needs a number"),
+                );
+            }
+            other => panic!("unknown bench flag {other:?} (use --rows, --iters, --json, --pr)"),
+        }
+    }
+    // PR number for the artifact metadata: --pr wins, else it is parsed
+    // from a BENCH_PR<N>.json file name, else 0 (unlabeled run).
+    let pr = pr.unwrap_or_else(|| {
+        json.as_ref()
+            .and_then(|p| p.file_name()?.to_str()?.strip_prefix("BENCH_PR")?.strip_suffix(".json")?.parse().ok())
+            .unwrap_or(0)
+    });
+    eprintln!("kernel microbench: {rows} rows, best of {iters} ...");
+    let results = kernel_bench::run_suite(rows, iters);
+    println!("{:<28} {:>12} {:>14} {:>9}", "kernel", "seed_ms", "vectorized_ms", "speedup");
+    for r in &results {
+        println!(
+            "{:<28} {:>12.3} {:>14.3} {:>8.2}x",
+            r.name, r.seed_ms, r.vectorized_ms, r.speedup
+        );
+    }
+    if let Some(path) = json {
+        let body = kernel_bench::render_json(pr, rows, iters, &results);
+        std::fs::write(&path, body).expect("write bench json");
+        eprintln!("wrote {}", path.display());
+    }
+}
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.first().is_some_and(|a| a == "bench") {
+        run_kernel_bench(&args[1..]);
+        return;
+    }
     let wanted: Vec<&str> = if args.is_empty() || args.iter().any(|a| a == "all") {
         vec!["fig12", "fig13", "fig14", "fig15", "ablation", "overhead", "regress"]
     } else {

@@ -88,6 +88,41 @@ pub fn ensure_datasets(root: &Path, size: Size) -> std::io::Result<PathBuf> {
     Ok(dir)
 }
 
+/// In-memory frame for the kernel microbenchmarks: a taxi-like mix of an
+/// int key (100 distinct), int and float value columns (the floats with a
+/// few nulls), a low-cardinality string column and a unique string column.
+/// Seeded, so every run benches identical data; no CSV round-trip.
+pub fn kernel_frame(rows: usize) -> lafp_columnar::DataFrame {
+    use lafp_columnar::{Column, DataFrame, Series};
+    let mut rng = StdRng::seed_from_u64(4242);
+    let key: Vec<i64> = (0..rows).map(|_| rng.gen_range(0..100)).collect();
+    let passenger: Vec<i64> = (0..rows).map(|_| rng.gen_range(1..=6)).collect();
+    let fare: Vec<Option<f64>> = (0..rows)
+        .map(|_| {
+            if rng.gen_bool(0.02) {
+                None
+            } else {
+                Some(rng.gen_range(-5.0..95.0))
+            }
+        })
+        .collect();
+    let tip: Vec<f64> = (0..rows).map(|_| rng.gen_range(0.0..20.0)).collect();
+    let vendors = ["CMT", "VTS", "DDS", "NYC", "JUNO", "LYFT"];
+    let vendor: Vec<&str> = (0..rows)
+        .map(|_| vendors[rng.gen_range(0..vendors.len())])
+        .collect();
+    let note: Vec<String> = (0..rows).map(|i| format!("trip-note-{i}")).collect();
+    DataFrame::new(vec![
+        Series::new("key", Column::from_i64(key)),
+        Series::new("passenger_count", Column::from_i64(passenger)),
+        Series::new("fare", Column::from_opt_f64(fare)),
+        Series::new("tip", Column::from_f64(tip)),
+        Series::new("vendor", Column::from_strings(vendor)),
+        Series::new("note", Column::from_strings(note)),
+    ])
+    .expect("kernel frame")
+}
+
 /// Compute metastore sidecars for every dataset in `dir` (the paper's
 /// background metadata task, run outside the measured region).
 pub fn compute_all_metadata(dir: &Path) -> lafp_columnar::Result<()> {

@@ -1,0 +1,591 @@
+//! Kernel microbenchmarks: the vectorized kernels raced against in-tree
+//! re-implementations of the seed-era (PR 1) scalar-boxed algorithms, on
+//! the same data in the same process, so each PR's `BENCH_PR<N>.json`
+//! records an apples-to-apples trajectory point.
+//!
+//! The reference implementations mirror the seed code paths: group-by keys
+//! rendered to a canonical `String` per row with `Scalar`-boxed aggregate
+//! state, element-wise kernels calling `get(i) -> Scalar` per element, and
+//! `slice` materializing an index vector and gathering. They live here (not
+//! in `lafp-columnar`) so the production crate carries no dead slow paths.
+//!
+//! ```text
+//! cargo run -p lafp-bench --release --bin harness -- bench \
+//!     --rows 1000000 --json BENCH_PR2.json
+//! ```
+
+use crate::datagen::kernel_frame;
+use lafp_columnar::column::{ArithOp, CmpOp, ColumnBuilder};
+use lafp_columnar::groupby::{group_by, AggKind, GroupBySpec};
+use lafp_columnar::{Bitmap, Column, DType, DataFrame, Scalar, Series};
+use std::collections::HashMap;
+use std::hint::black_box;
+use std::time::Instant;
+
+/// One bench row: seed vs vectorized timing for a kernel.
+#[derive(Debug, Clone)]
+pub struct BenchResult {
+    /// Kernel name.
+    pub name: String,
+    /// Best-of-N wall time of the seed-era reference, in milliseconds.
+    pub seed_ms: f64,
+    /// Best-of-N wall time of the vectorized kernel, in milliseconds.
+    pub vectorized_ms: f64,
+    /// `seed_ms / vectorized_ms`.
+    pub speedup: f64,
+}
+
+fn best_of_ms(iters: usize, mut f: impl FnMut()) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..iters.max(1) {
+        let t = Instant::now();
+        f();
+        best = best.min(t.elapsed().as_secs_f64() * 1e3);
+    }
+    best
+}
+
+// ---------------------------------------------------------------------------
+// Seed-era reference implementations
+// ---------------------------------------------------------------------------
+
+/// The seed accumulator state: `Scalar`-boxed min/max, stringly distinct.
+#[derive(Clone)]
+struct RefAggState {
+    sum: f64,
+    int_sum: i64,
+    count: u64,
+    min: Option<Scalar>,
+    max: Option<Scalar>,
+    distinct: std::collections::HashSet<String>,
+    value_is_int: bool,
+}
+
+impl RefAggState {
+    fn new(value_is_int: bool) -> RefAggState {
+        RefAggState {
+            sum: 0.0,
+            int_sum: 0,
+            count: 0,
+            min: None,
+            max: None,
+            distinct: Default::default(),
+            value_is_int,
+        }
+    }
+
+    fn update(&mut self, v: &Scalar, agg: AggKind) {
+        if v.is_null() {
+            return;
+        }
+        self.count += 1;
+        match agg {
+            AggKind::Sum | AggKind::Mean => {
+                if let Some(x) = v.as_f64() {
+                    self.sum += x;
+                }
+                if let Some(x) = v.as_i64() {
+                    self.int_sum = self.int_sum.wrapping_add(x);
+                }
+            }
+            AggKind::Min => {
+                if self.min.as_ref().is_none_or(|m| v.cmp_values(m).is_lt()) {
+                    self.min = Some(v.clone());
+                }
+            }
+            AggKind::Max => {
+                if self.max.as_ref().is_none_or(|m| v.cmp_values(m).is_gt()) {
+                    self.max = Some(v.clone());
+                }
+            }
+            AggKind::NUnique => {
+                self.distinct.insert(v.to_string());
+            }
+            AggKind::Count => {}
+        }
+    }
+
+    fn finish(&self, agg: AggKind) -> Scalar {
+        match agg {
+            AggKind::Sum => {
+                if self.count == 0 {
+                    Scalar::Null
+                } else if self.value_is_int {
+                    Scalar::Int(self.int_sum)
+                } else {
+                    Scalar::Float(self.sum)
+                }
+            }
+            AggKind::Mean => {
+                if self.count == 0 {
+                    Scalar::Null
+                } else {
+                    Scalar::Float(self.sum / self.count as f64)
+                }
+            }
+            AggKind::Count => Scalar::Int(self.count as i64),
+            AggKind::Min => self.min.clone().unwrap_or(Scalar::Null),
+            AggKind::Max => self.max.clone().unwrap_or(Scalar::Null),
+            AggKind::NUnique => Scalar::Int(self.distinct.len() as i64),
+        }
+    }
+}
+
+fn canon(key: &[Scalar]) -> String {
+    key.iter()
+        .map(|s| s.to_string())
+        .collect::<Vec<_>>()
+        .join("\u{1}")
+}
+
+/// The seed group-by: one `Vec<Scalar>` + canonical `String` per input row.
+fn group_by_ref(frame: &DataFrame, spec: &GroupBySpec) -> DataFrame {
+    let key_cols: Vec<&Series> = spec
+        .keys
+        .iter()
+        .map(|k| frame.column(k).unwrap())
+        .collect();
+    let value_col = frame.column(&spec.value).unwrap();
+    let value_is_int =
+        value_col.column().dtype() == DType::Int64 || value_col.column().dtype() == DType::Bool;
+    let mut groups: HashMap<String, RefAggState> = HashMap::new();
+    let mut key_order: Vec<Vec<Scalar>> = Vec::new();
+    for i in 0..frame.num_rows() {
+        let key: Vec<Scalar> = key_cols.iter().map(|s| s.get(i)).collect();
+        let canon_key = canon(&key);
+        let state = match groups.entry(canon_key) {
+            std::collections::hash_map::Entry::Occupied(e) => e.into_mut(),
+            std::collections::hash_map::Entry::Vacant(e) => {
+                key_order.push(key);
+                e.insert(RefAggState::new(value_is_int))
+            }
+        };
+        state.update(&value_col.get(i), spec.agg);
+    }
+    key_order.sort_by_cached_key(|k| canon(k));
+    let mut key_builders: Vec<ColumnBuilder> = (0..spec.keys.len())
+        .map(|k| {
+            let dtype = key_order
+                .iter()
+                .find_map(|key| key[k].dtype())
+                .unwrap_or(DType::Utf8);
+            ColumnBuilder::new(dtype)
+        })
+        .collect();
+    let mut values: Vec<Scalar> = Vec::with_capacity(key_order.len());
+    for key in &key_order {
+        for (k, b) in key_builders.iter_mut().enumerate() {
+            b.push_scalar(&key[k]).unwrap();
+        }
+        values.push(groups[&canon(key)].finish(spec.agg));
+    }
+    let out_dtype = values
+        .iter()
+        .find_map(Scalar::dtype)
+        .unwrap_or(DType::Float64);
+    let mut vb = ColumnBuilder::new(out_dtype);
+    for v in &values {
+        vb.push_scalar(v).unwrap();
+    }
+    let mut series = Vec::new();
+    for (k, b) in key_builders.into_iter().enumerate() {
+        series.push(Series::new(spec.keys[k].clone(), b.finish()));
+    }
+    series.push(Series::new(spec.value.clone(), vb.finish()));
+    DataFrame::new(series).unwrap()
+}
+
+/// The seed element-wise arithmetic: `get(i) -> Scalar` per element.
+fn arith_ref(left: &Column, op: ArithOp, right: &Column) -> Column {
+    let len = left.len();
+    let both_int = left.dtype() == DType::Int64 && right.dtype() == DType::Int64;
+    if both_int && op != ArithOp::Div {
+        let mut out = Vec::with_capacity(len);
+        let mut validity = Bitmap::new(len, true);
+        let mut has_null = false;
+        for i in 0..len {
+            let (a, b) = (left.get(i), right.get(i));
+            match (a.as_i64(), b.as_i64()) {
+                (Some(x), Some(y)) if !(op == ArithOp::Mod && y == 0) => out.push(match op {
+                    ArithOp::Add => x.wrapping_add(y),
+                    ArithOp::Sub => x.wrapping_sub(y),
+                    ArithOp::Mul => x.wrapping_mul(y),
+                    ArithOp::Mod => x.rem_euclid(y),
+                    ArithOp::Div => unreachable!(),
+                }),
+                _ => {
+                    out.push(0);
+                    validity.set(i, false);
+                    has_null = true;
+                }
+            }
+        }
+        return Column::Int64(out, has_null.then_some(validity));
+    }
+    let mut out = Vec::with_capacity(len);
+    for i in 0..len {
+        let (a, b) = (left.get(i), right.get(i));
+        let v = match (a.as_f64(), b.as_f64()) {
+            (Some(x), Some(y)) => match op {
+                ArithOp::Add => x + y,
+                ArithOp::Sub => x - y,
+                ArithOp::Mul => x * y,
+                ArithOp::Div => x / y,
+                ArithOp::Mod => x.rem_euclid(y),
+            },
+            _ => f64::NAN,
+        };
+        out.push(v);
+    }
+    Column::Float64(out, None)
+}
+
+/// The seed column comparison: two `Scalar`s per row.
+fn compare_ref(left: &Column, op: CmpOp, right: &Column) -> Bitmap {
+    Bitmap::from_iter((0..left.len()).map(|i| {
+        let (a, b) = (left.get(i), right.get(i));
+        if a.is_null() || b.is_null() {
+            op == CmpOp::Ne
+        } else {
+            let ord = a.cmp_values(&b);
+            match op {
+                CmpOp::Eq => ord.is_eq(),
+                CmpOp::Ne => !ord.is_eq(),
+                CmpOp::Lt => ord.is_lt(),
+                CmpOp::Le => !ord.is_gt(),
+                CmpOp::Gt => ord.is_gt(),
+                CmpOp::Ge => !ord.is_lt(),
+            }
+        }
+    }))
+}
+
+/// The seed filter: index vector, then a gather that deep-copied string
+/// payloads (emulated with a `String` materialization per kept row).
+fn filter_ref(frame: &DataFrame, mask: &Bitmap) -> DataFrame {
+    let idx = mask.set_indices();
+    let columns = frame
+        .series()
+        .iter()
+        .map(|s| {
+            let col = match s.column() {
+                Column::Utf8(..) => {
+                    let strings: Vec<Option<String>> = idx
+                        .iter()
+                        .map(|&i| match s.column().get(i) {
+                            Scalar::Str(v) => Some(v),
+                            _ => None,
+                        })
+                        .collect();
+                    Column::from_opt_strings(strings)
+                }
+                other => other.take(&idx).unwrap(),
+            };
+            Series::new(s.name(), col)
+        })
+        .collect();
+    DataFrame::new(columns).unwrap()
+}
+
+/// The seed slice: materialize the index range, then gather row by row
+/// (with the string deep-copy the seed's `Vec<String>` storage implied).
+fn slice_ref(col: &Column, offset: usize, len: usize) -> Column {
+    let end = (offset + len).min(col.len());
+    let idx: Vec<usize> = (offset.min(col.len())..end).collect();
+    match col {
+        Column::Utf8(..) => {
+            let strings: Vec<Option<String>> = idx
+                .iter()
+                .map(|&i| match col.get(i) {
+                    Scalar::Str(v) => Some(v),
+                    _ => None,
+                })
+                .collect();
+            Column::from_opt_strings(strings)
+        }
+        other => other.take(&idx).unwrap(),
+    }
+}
+
+/// The seed fillna: scalar builder loop.
+fn fillna_ref(col: &Column, fill: &Scalar) -> Column {
+    let mut b = ColumnBuilder::new(col.dtype());
+    for i in 0..col.len() {
+        if col.is_null_at(i) {
+            b.push_scalar(fill).unwrap();
+        } else {
+            b.push_scalar(&col.get(i)).unwrap();
+        }
+    }
+    b.finish()
+}
+
+/// The seed cast: scalar builder loop through `Scalar` boxing.
+fn cast_ref(col: &Column, target: DType) -> Column {
+    let mut b = ColumnBuilder::new(target);
+    for i in 0..col.len() {
+        match col.get(i) {
+            Scalar::Null => b.push_null(),
+            s => b.push_scalar(&s).unwrap(),
+        }
+    }
+    b.finish()
+}
+
+/// The seed float reduction: one `Scalar` per row.
+fn sum_ref(col: &Column) -> Scalar {
+    let mut acc = 0.0;
+    let mut any = false;
+    for i in 0..col.len() {
+        if let Some(x) = col.get(i).as_f64() {
+            if !x.is_nan() {
+                acc += x;
+                any = true;
+            }
+        }
+    }
+    if any {
+        Scalar::Float(acc)
+    } else {
+        Scalar::Null
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The suite
+// ---------------------------------------------------------------------------
+
+/// Scalar-wise column equivalence (representation-agnostic).
+fn assert_col_equiv(a: &Column, b: &Column, what: &str) {
+    assert_eq!(a.len(), b.len(), "{what}: length");
+    assert_eq!(a.dtype(), b.dtype(), "{what}: dtype");
+    for i in 0..a.len() {
+        let (x, y) = (a.get(i), b.get(i));
+        assert!(
+            (x.is_null() && y.is_null()) || x == y,
+            "{what}: row {i}: {x:?} vs {y:?}"
+        );
+    }
+}
+
+/// Run the full kernel suite at `rows` rows, `iters` timing repetitions
+/// each. Every pair is checked for result equivalence before timing.
+pub fn run_suite(rows: usize, iters: usize) -> Vec<BenchResult> {
+    let frame = kernel_frame(rows);
+    let fare = frame.column("fare").unwrap().column();
+    let tip = frame.column("tip").unwrap().column();
+    let key = frame.column("key").unwrap().column();
+    let passenger = frame.column("passenger_count").unwrap().column();
+    let mut results = Vec::new();
+    let mut push = |name: &str, seed_ms: f64, vectorized_ms: f64| {
+        results.push(BenchResult {
+            name: name.to_string(),
+            seed_ms,
+            vectorized_ms,
+            speedup: seed_ms / vectorized_ms,
+        });
+    };
+
+    // -- group-by ------------------------------------------------------
+    let spec = GroupBySpec {
+        keys: vec!["key".into()],
+        value: "fare".into(),
+        agg: AggKind::Sum,
+    };
+    assert_eq!(group_by_ref(&frame, &spec), group_by(&frame, &spec).unwrap());
+    let seed = best_of_ms(iters, || {
+        black_box(group_by_ref(black_box(&frame), &spec));
+    });
+    let fast = best_of_ms(iters, || {
+        black_box(group_by(black_box(&frame), &spec).unwrap());
+    });
+    push("groupby_i64key_sum_f64", seed, fast);
+
+    let multi = GroupBySpec {
+        keys: vec!["vendor".into(), "key".into()],
+        value: "tip".into(),
+        agg: AggKind::Mean,
+    };
+    assert_eq!(
+        group_by_ref(&frame, &multi),
+        group_by(&frame, &multi).unwrap()
+    );
+    let seed = best_of_ms(iters, || {
+        black_box(group_by_ref(black_box(&frame), &multi));
+    });
+    let fast = best_of_ms(iters, || {
+        black_box(group_by(black_box(&frame), &multi).unwrap());
+    });
+    push("groupby_multikey_mean_f64", seed, fast);
+
+    // -- filter --------------------------------------------------------
+    let mask = fare.compare_scalar(CmpOp::Gt, &Scalar::Float(40.0)).unwrap();
+    assert_eq!(filter_ref(&frame, &mask), frame.filter(&mask).unwrap());
+    let seed = best_of_ms(iters, || {
+        black_box(filter_ref(black_box(&frame), &mask));
+    });
+    let fast = best_of_ms(iters, || {
+        black_box(frame.filter(black_box(&mask)).unwrap());
+    });
+    push("filter_mixed_frame", seed, fast);
+
+    // -- element-wise arithmetic ---------------------------------------
+    assert_col_equiv(
+        &arith_ref(fare, ArithOp::Mul, tip),
+        &fare.arith(ArithOp::Mul, tip).unwrap(),
+        "arith f64",
+    );
+    let seed = best_of_ms(iters, || {
+        black_box(arith_ref(black_box(fare), ArithOp::Mul, tip));
+    });
+    let fast = best_of_ms(iters, || {
+        black_box(black_box(fare).arith(ArithOp::Mul, tip).unwrap());
+    });
+    push("arith_mul_f64", seed, fast);
+
+    assert_col_equiv(
+        &arith_ref(key, ArithOp::Add, passenger),
+        &key.arith(ArithOp::Add, passenger).unwrap(),
+        "arith i64",
+    );
+    let seed = best_of_ms(iters, || {
+        black_box(arith_ref(black_box(key), ArithOp::Add, passenger));
+    });
+    let fast = best_of_ms(iters, || {
+        black_box(black_box(key).arith(ArithOp::Add, passenger).unwrap());
+    });
+    push("arith_add_i64", seed, fast);
+
+    // -- comparison ----------------------------------------------------
+    assert_eq!(compare_ref(fare, CmpOp::Gt, tip), fare.compare(CmpOp::Gt, tip).unwrap());
+    let seed = best_of_ms(iters, || {
+        black_box(compare_ref(black_box(fare), CmpOp::Gt, tip));
+    });
+    let fast = best_of_ms(iters, || {
+        black_box(black_box(fare).compare(CmpOp::Gt, tip).unwrap());
+    });
+    push("compare_gt_f64", seed, fast);
+
+    // -- slice (head) --------------------------------------------------
+    // Many short heads per timed pass: a single 1000-row slice is too fast
+    // to time on its own.
+    let head_loops = 200usize;
+    assert_col_equiv(&slice_ref(fare, 10, 1000), &fare.slice(10, 1000), "slice");
+    let seed = best_of_ms(iters, || {
+        for k in 0..head_loops {
+            black_box(slice_ref(black_box(fare), k, 1000));
+        }
+    });
+    let fast = best_of_ms(iters, || {
+        for k in 0..head_loops {
+            black_box(black_box(fare).slice(k, 1000));
+        }
+    });
+    push("slice_head_1000_x200", seed, fast);
+
+    // Frame-level slice across all six columns (strings included).
+    let seed = best_of_ms(iters, || {
+        for k in 0..head_loops {
+            black_box(
+                DataFrame::new(
+                    frame
+                        .series()
+                        .iter()
+                        .map(|s| Series::new(s.name(), slice_ref(s.column(), k, 1000)))
+                        .collect(),
+                )
+                .unwrap(),
+            );
+        }
+    });
+    let fast = best_of_ms(iters, || {
+        for k in 0..head_loops {
+            black_box(black_box(&frame).slice(k, 1000));
+        }
+    });
+    push("slice_frame_1000_x200", seed, fast);
+
+    // -- fillna / cast / sum -------------------------------------------
+    assert_col_equiv(
+        &fillna_ref(fare, &Scalar::Float(0.0)),
+        &fare.fillna(&Scalar::Float(0.0)).unwrap(),
+        "fillna",
+    );
+    let seed = best_of_ms(iters, || {
+        black_box(fillna_ref(black_box(fare), &Scalar::Float(0.0)));
+    });
+    let fast = best_of_ms(iters, || {
+        black_box(black_box(fare).fillna(&Scalar::Float(0.0)).unwrap());
+    });
+    push("fillna_f64", seed, fast);
+
+    assert_col_equiv(
+        &cast_ref(key, DType::Float64),
+        &key.cast(DType::Float64).unwrap(),
+        "cast",
+    );
+    let seed = best_of_ms(iters, || {
+        black_box(cast_ref(black_box(key), DType::Float64));
+    });
+    let fast = best_of_ms(iters, || {
+        black_box(black_box(key).cast(DType::Float64).unwrap());
+    });
+    push("cast_i64_to_f64", seed, fast);
+
+    assert_eq!(sum_ref(fare), fare.sum());
+    let seed = best_of_ms(iters, || {
+        black_box(sum_ref(black_box(fare)));
+    });
+    let fast = best_of_ms(iters, || {
+        black_box(black_box(fare).sum());
+    });
+    push("sum_f64", seed, fast);
+
+    results
+}
+
+/// Render the results as the `BENCH_PR<N>.json` trajectory artifact.
+pub fn render_json(pr: u32, rows: usize, iters: usize, results: &[BenchResult]) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str(&format!("  \"pr\": {pr},\n"));
+    out.push_str(&format!("  \"rows\": {rows},\n"));
+    out.push_str(&format!("  \"iters\": {iters},\n"));
+    out.push_str(
+        "  \"reference\": \"seed-era (PR 1) scalar-boxed kernels, re-implemented in \
+         lafp-bench::kernel_bench and raced in the same process\",\n",
+    );
+    out.push_str("  \"benches\": [\n");
+    for (i, r) in results.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"name\": \"{}\", \"seed_ms\": {:.3}, \"vectorized_ms\": {:.3}, \
+             \"speedup\": {:.2}}}{}\n",
+            r.name,
+            r.seed_ms,
+            r.vectorized_ms,
+            r.speedup,
+            if i + 1 == results.len() { "" } else { "," }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Smoke: the suite runs at a small size and every pair agrees (the
+    /// equivalence asserts inside `run_suite` are the real test).
+    #[test]
+    fn suite_smoke() {
+        let results = run_suite(2_000, 1);
+        assert!(results.len() >= 8);
+        for r in &results {
+            assert!(r.seed_ms >= 0.0 && r.vectorized_ms > 0.0, "{}", r.name);
+        }
+        let json = render_json(2, 2_000, 1, &results);
+        assert!(json.contains("\"benches\""));
+        assert!(json.contains("groupby_i64key_sum_f64"));
+    }
+}

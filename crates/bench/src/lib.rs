@@ -18,14 +18,20 @@
 //!   Fig. 13 (absolute times), Fig. 14 (time improvements), Fig. 15
 //!   (memory improvements), the `stu` caching ablation, the JIT overhead
 //!   table, and the §5.2 regression check.
+//! * [`kernel_bench`] — kernel microbenchmarks racing the vectorized
+//!   columnar kernels against seed-era scalar-boxed reference
+//!   implementations; `harness -- bench --json` writes the per-PR
+//!   `BENCH_PR<N>.json` trajectory artifact.
 
 #![warn(missing_docs)]
 
 pub mod datagen;
 pub mod experiments;
+pub mod kernel_bench;
 pub mod programs;
 pub mod runner;
 
 pub use datagen::{ensure_datasets, Size};
+pub use kernel_bench::{run_suite, BenchResult};
 pub use programs::{program, Program, PROGRAM_NAMES};
 pub use runner::{run_cell, Config, RunResult};

@@ -142,15 +142,23 @@ impl Bitmap {
     /// Indices of set bits, ascending.
     pub fn set_indices(&self) -> Vec<usize> {
         let mut out = Vec::with_capacity(self.count_set());
+        self.for_each_set(|i| out.push(i));
+        out
+    }
+
+    /// Call `f` with each set-bit index, ascending, one word at a time —
+    /// the compaction driver for filter kernels, which avoids
+    /// materializing an index vector.
+    #[inline]
+    pub fn for_each_set(&self, mut f: impl FnMut(usize)) {
         for (wi, &word) in self.words.iter().enumerate() {
             let mut w = word;
             while w != 0 {
                 let bit = w.trailing_zeros() as usize;
-                out.push(wi * 64 + bit);
+                f(wi * 64 + bit);
                 w &= w - 1;
             }
         }
-        out
     }
 
     /// Select the bits at `indices` into a new bitmap (gather).
@@ -161,7 +169,9 @@ impl Bitmap {
     /// Keep only the bits where `mask` is set (compaction by filter mask).
     pub fn filter(&self, mask: &Bitmap) -> Bitmap {
         assert_eq!(self.len, mask.len, "bitmap length mismatch");
-        Bitmap::from_iter((0..self.len).filter(|&i| mask.get(i)).map(|i| self.get(i)))
+        let mut out = Bitmap::empty();
+        mask.for_each_set(|i| out.push(self.get(i)));
+        out
     }
 
     /// Concatenate `other` onto the end of `self`.
@@ -171,10 +181,27 @@ impl Bitmap {
         }
     }
 
-    /// Contiguous sub-range `[offset, offset + len)`.
+    /// Contiguous sub-range `[offset, offset + len)`. Word-at-a-time: each
+    /// output word is stitched from (at most) two input words, so slicing
+    /// costs O(len / 64) instead of one bit test per row.
     pub fn slice(&self, offset: usize, len: usize) -> Bitmap {
         assert!(offset + len <= self.len, "slice out of bounds");
-        Bitmap::from_iter((offset..offset + len).map(|i| self.get(i)))
+        let nwords = len.div_ceil(64);
+        let base = offset / 64;
+        let shift = offset % 64;
+        let mut words = Vec::with_capacity(nwords);
+        for w in 0..nwords {
+            let lo = self.words.get(base + w).copied().unwrap_or(0) >> shift;
+            let hi = if shift == 0 {
+                0
+            } else {
+                self.words.get(base + w + 1).copied().unwrap_or(0) << (64 - shift)
+            };
+            words.push(lo | hi);
+        }
+        let mut bm = Bitmap { words, len };
+        bm.mask_tail();
+        bm
     }
 
     /// Zero any bits beyond the logical length in the final word so that

@@ -28,8 +28,9 @@ pub enum Column {
     Float64(Vec<f64>, Option<Bitmap>),
     /// Booleans.
     Bool(Bitmap, Option<Bitmap>),
-    /// UTF-8 strings.
-    Utf8(Vec<String>, Option<Bitmap>),
+    /// UTF-8 strings, shared: gathers (`filter`/`take`/`sort`) copy
+    /// pointers, not bytes.
+    Utf8(Vec<Arc<str>>, Option<Bitmap>),
     /// Epoch-second timestamps.
     Datetime(Vec<i64>, Option<Bitmap>),
     /// Dictionary-encoded strings.
@@ -147,7 +148,10 @@ impl Column {
 
     /// String column without nulls.
     pub fn from_strings<S: Into<String>, I: IntoIterator<Item = S>>(values: I) -> Column {
-        Column::Utf8(values.into_iter().map(Into::into).collect(), None)
+        Column::Utf8(
+            values.into_iter().map(|s| Arc::from(s.into())).collect(),
+            None,
+        )
     }
 
     /// Datetime column (epoch seconds) without nulls.
@@ -175,7 +179,10 @@ impl Column {
     /// String column with nulls.
     pub fn from_opt_strings(values: Vec<Option<String>>) -> Column {
         let validity = Bitmap::from_iter(values.iter().map(Option::is_some));
-        let data = values.into_iter().map(Option::unwrap_or_default).collect();
+        let data = values
+            .into_iter()
+            .map(|v| Arc::from(v.unwrap_or_default()))
+            .collect();
         Column::Utf8(data, some_if_has_nulls(validity))
     }
 
@@ -193,7 +200,10 @@ impl Column {
             Scalar::Int(v) => Column::from_i64(vec![*v; len]),
             Scalar::Float(v) => Column::from_f64(vec![*v; len]),
             Scalar::Bool(v) => Column::from_bool(vec![*v; len]),
-            Scalar::Str(v) => Column::from_strings(vec![v.clone(); len]),
+            Scalar::Str(v) => {
+                let s: Arc<str> = Arc::from(v.as_str());
+                Column::Utf8(vec![s; len], None)
+            }
             Scalar::Datetime(v) => Column::from_datetimes(vec![*v; len]),
         }
     }
@@ -266,7 +276,21 @@ impl Column {
 
     /// Number of non-null rows.
     pub fn count_valid(&self) -> usize {
-        (0..self.len()).filter(|&i| !self.is_null_at(i)).count()
+        match self {
+            // Floats must additionally discount NaN cells.
+            Column::Float64(data, validity) => match validity {
+                Some(m) => data
+                    .iter()
+                    .enumerate()
+                    .filter(|(i, v)| m.get(*i) && !v.is_nan())
+                    .count(),
+                None => data.iter().filter(|v| !v.is_nan()).count(),
+            },
+            _ => match self.validity() {
+                Some(m) => m.count_set(),
+                None => self.len(),
+            },
+        }
     }
 
     /// Number of null rows.
@@ -283,7 +307,7 @@ impl Column {
             Column::Int64(v, _) => Scalar::Int(v[i]),
             Column::Float64(v, _) => Scalar::Float(v[i]),
             Column::Bool(v, _) => Scalar::Bool(v.get(i)),
-            Column::Utf8(v, _) => Scalar::Str(v[i].clone()),
+            Column::Utf8(v, _) => Scalar::Str(v[i].to_string()),
             Column::Datetime(v, _) => Scalar::Datetime(v[i]),
             Column::Categorical(c, _) => Scalar::Str(c.dict[c.codes[i] as usize].clone()),
         }
@@ -301,7 +325,8 @@ impl Column {
 
     // -- selection kernels ----------------------------------------------
 
-    /// Keep rows where `mask` is set.
+    /// Keep rows where `mask` is set. Compaction runs straight off the
+    /// mask words — no index vector is materialized.
     pub fn filter(&self, mask: &Bitmap) -> Result<Column> {
         if mask.len() != self.len() {
             return Err(ColumnarError::LengthMismatch {
@@ -309,8 +334,42 @@ impl Column {
                 right: mask.len(),
             });
         }
-        let idx = mask.set_indices();
-        Ok(self.take_unchecked(&idx))
+        let n = mask.count_set();
+        let validity = self.validity().map(|v| v.filter(mask));
+        Ok(match self {
+            Column::Int64(data, _) => {
+                let mut out = Vec::with_capacity(n);
+                mask.for_each_set(|i| out.push(data[i]));
+                Column::Int64(out, validity)
+            }
+            Column::Float64(data, _) => {
+                let mut out = Vec::with_capacity(n);
+                mask.for_each_set(|i| out.push(data[i]));
+                Column::Float64(out, validity)
+            }
+            Column::Bool(data, _) => Column::Bool(data.filter(mask), validity),
+            Column::Utf8(data, _) => {
+                let mut out = Vec::with_capacity(n);
+                mask.for_each_set(|i| out.push(Arc::clone(&data[i])));
+                Column::Utf8(out, validity)
+            }
+            Column::Datetime(data, _) => {
+                let mut out = Vec::with_capacity(n);
+                mask.for_each_set(|i| out.push(data[i]));
+                Column::Datetime(out, validity)
+            }
+            Column::Categorical(c, _) => {
+                let mut codes = Vec::with_capacity(n);
+                mask.for_each_set(|i| codes.push(c.codes[i]));
+                Column::Categorical(
+                    Categorical {
+                        codes,
+                        dict: Arc::clone(&c.dict),
+                    },
+                    validity,
+                )
+            }
+        })
     }
 
     /// Gather rows at `indices` (must be in bounds).
@@ -335,7 +394,8 @@ impl Column {
             }
             Column::Bool(data, _) => Column::Bool(data.take(indices), validity),
             Column::Utf8(data, _) => Column::Utf8(
-                indices.iter().map(|&i| data[i].clone()).collect(),
+                // Arc clone: a pointer copy, not a byte copy of the string.
+                indices.iter().map(|&i| Arc::clone(&data[i])).collect(),
                 validity,
             ),
             Column::Datetime(data, _) => {
@@ -351,11 +411,29 @@ impl Column {
         }
     }
 
-    /// Contiguous row range `[offset, offset + len)`.
+    /// Contiguous row range `[offset, offset + len)`, clamped to the
+    /// column length. Slices the underlying buffers directly — O(len)
+    /// memcpy-style copies, no index vector, no per-row work — so `head(n)`
+    /// no longer costs O(column length).
     pub fn slice(&self, offset: usize, len: usize) -> Column {
-        let end = (offset + len).min(self.len());
-        let idx: Vec<usize> = (offset.min(self.len())..end).collect();
-        self.take_unchecked(&idx)
+        let start = offset.min(self.len());
+        let end = offset.saturating_add(len).min(self.len());
+        let n = end - start;
+        let validity = self.validity().map(|v| v.slice(start, n));
+        match self {
+            Column::Int64(data, _) => Column::Int64(data[start..end].to_vec(), validity),
+            Column::Float64(data, _) => Column::Float64(data[start..end].to_vec(), validity),
+            Column::Bool(data, _) => Column::Bool(data.slice(start, n), validity),
+            Column::Utf8(data, _) => Column::Utf8(data[start..end].to_vec(), validity),
+            Column::Datetime(data, _) => Column::Datetime(data[start..end].to_vec(), validity),
+            Column::Categorical(c, _) => Column::Categorical(
+                Categorical {
+                    codes: c.codes[start..end].to_vec(),
+                    dict: Arc::clone(&c.dict),
+                },
+                validity,
+            ),
+        }
     }
 
     /// Concatenate two same-dtype columns (categoricals are re-encoded).
@@ -366,11 +444,67 @@ impl Column {
                 dtype: self.dtype().to_string(),
             });
         }
-        let mut b = ColumnBuilder::new(self.dtype());
-        for s in self.iter().chain(other.iter()) {
-            b.push_scalar(&s)?;
-        }
-        Ok(b.finish())
+        let total = self.len() + other.len();
+        // Null slots are normalized to the builder's sentinel values
+        // (0 / NaN / "") so the typed path is bit-identical to the old
+        // scalar-at-a-time builder loop.
+        let has_null = self.count_null() + other.count_null() > 0;
+        let validity = has_null.then(|| {
+            Bitmap::from_iter(
+                (0..self.len())
+                    .map(|i| !self.is_null_at(i))
+                    .chain((0..other.len()).map(|i| !other.is_null_at(i))),
+            )
+        });
+        Ok(match (self, other) {
+            (Column::Int64(a, _), Column::Int64(b, _)) => {
+                let mut out = Vec::with_capacity(total);
+                out.extend(a.iter().enumerate().map(|(i, &v)| if self.is_null_at(i) { 0 } else { v }));
+                out.extend(b.iter().enumerate().map(|(i, &v)| if other.is_null_at(i) { 0 } else { v }));
+                Column::Int64(out, validity)
+            }
+            (Column::Datetime(a, _), Column::Datetime(b, _)) => {
+                let mut out = Vec::with_capacity(total);
+                out.extend(a.iter().enumerate().map(|(i, &v)| if self.is_null_at(i) { 0 } else { v }));
+                out.extend(b.iter().enumerate().map(|(i, &v)| if other.is_null_at(i) { 0 } else { v }));
+                Column::Datetime(out, validity)
+            }
+            (Column::Float64(a, _), Column::Float64(b, _)) => {
+                let mut out = Vec::with_capacity(total);
+                out.extend(a.iter().enumerate().map(|(i, &v)| if self.is_null_at(i) { f64::NAN } else { v }));
+                out.extend(b.iter().enumerate().map(|(i, &v)| if other.is_null_at(i) { f64::NAN } else { v }));
+                Column::Float64(out, validity)
+            }
+            (Column::Bool(a, _), Column::Bool(b, _)) => {
+                let mut bits = Bitmap::empty();
+                for i in 0..a.len() {
+                    bits.push(!self.is_null_at(i) && a.get(i));
+                }
+                for i in 0..b.len() {
+                    bits.push(!other.is_null_at(i) && b.get(i));
+                }
+                Column::Bool(bits, validity)
+            }
+            (Column::Utf8(a, _), Column::Utf8(b, _)) => {
+                let empty: Arc<str> = Arc::from("");
+                let mut out = Vec::with_capacity(total);
+                out.extend(a.iter().enumerate().map(|(i, v)| {
+                    if self.is_null_at(i) { Arc::clone(&empty) } else { Arc::clone(v) }
+                }));
+                out.extend(b.iter().enumerate().map(|(i, v)| {
+                    if other.is_null_at(i) { Arc::clone(&empty) } else { Arc::clone(v) }
+                }));
+                Column::Utf8(out, validity)
+            }
+            // Categoricals re-encode their dictionary; keep the builder path.
+            _ => {
+                let mut b = ColumnBuilder::new(self.dtype());
+                for s in self.iter().chain(other.iter()) {
+                    b.push_scalar(&s)?;
+                }
+                b.finish()
+            }
+        })
     }
 
     // -- comparison / arithmetic / logic ---------------------------------
@@ -385,15 +519,78 @@ impl Column {
                 right: other.len(),
             });
         }
-        Ok(Bitmap::from_iter((0..self.len()).map(|i| {
-            let (a, b) = (self.get(i), other.get(i));
-            if a.is_null() || b.is_null() {
-                // pandas: NaN comparisons are False, except `!=` which is True
-                op == CmpOp::Ne && !(a.is_null() && b.is_null() && op == CmpOp::Eq)
-            } else {
-                op.eval(a.cmp_values(&b))
+        let len = self.len();
+        // Typed fast paths: match the buffer pair once, then run a tight
+        // loop. Null rows compare false except under `Ne` (pandas).
+        let bits = match (self, other) {
+            (Column::Int64(a, va), Column::Int64(b, vb)) => {
+                cmp_loop(op, len, va, vb, |i| a[i].cmp(&b[i]))
             }
-        })))
+            (Column::Datetime(a, va), Column::Datetime(b, vb)) => {
+                cmp_loop(op, len, va, vb, |i| a[i].cmp(&b[i]))
+            }
+            (Column::Float64(a, va), Column::Float64(b, vb)) => {
+                Bitmap::from_iter((0..len).map(|i| {
+                    let (x, y) = (a[i], b[i]);
+                    if x.is_nan()
+                        || y.is_nan()
+                        || va.as_ref().is_some_and(|m| !m.get(i))
+                        || vb.as_ref().is_some_and(|m| !m.get(i))
+                    {
+                        op == CmpOp::Ne
+                    } else {
+                        op.eval(x.partial_cmp(&y).unwrap_or(std::cmp::Ordering::Equal))
+                    }
+                }))
+            }
+            (Column::Int64(a, va), Column::Float64(b, vb)) => {
+                Bitmap::from_iter((0..len).map(|i| {
+                    if b[i].is_nan()
+                        || va.as_ref().is_some_and(|m| !m.get(i))
+                        || vb.as_ref().is_some_and(|m| !m.get(i))
+                    {
+                        op == CmpOp::Ne
+                    } else {
+                        op.eval(
+                            (a[i] as f64)
+                                .partial_cmp(&b[i])
+                                .unwrap_or(std::cmp::Ordering::Equal),
+                        )
+                    }
+                }))
+            }
+            (Column::Float64(a, va), Column::Int64(b, vb)) => {
+                Bitmap::from_iter((0..len).map(|i| {
+                    if a[i].is_nan()
+                        || va.as_ref().is_some_and(|m| !m.get(i))
+                        || vb.as_ref().is_some_and(|m| !m.get(i))
+                    {
+                        op == CmpOp::Ne
+                    } else {
+                        op.eval(
+                            a[i].partial_cmp(&(b[i] as f64))
+                                .unwrap_or(std::cmp::Ordering::Equal),
+                        )
+                    }
+                }))
+            }
+            (Column::Utf8(a, va), Column::Utf8(b, vb)) => {
+                cmp_loop(op, len, va, vb, |i| a[i].as_ref().cmp(b[i].as_ref()))
+            }
+            (Column::Bool(a, va), Column::Bool(b, vb)) => {
+                cmp_loop(op, len, va, vb, |i| a.get(i).cmp(&b.get(i)))
+            }
+            // Mixed / categorical pairs fall back to the scalar loop.
+            _ => Bitmap::from_iter((0..len).map(|i| {
+                let (a, b) = (self.get(i), other.get(i));
+                if a.is_null() || b.is_null() {
+                    op == CmpOp::Ne
+                } else {
+                    op.eval(a.cmp_values(&b))
+                }
+            })),
+        };
+        Ok(bits)
     }
 
     /// Element-wise comparison against a scalar.
@@ -424,6 +621,16 @@ impl Column {
             }
             _ => {}
         }
+        // String fast path: compare &str directly, no Scalar per row.
+        if let (Column::Utf8(data, validity), Scalar::Str(s)) = (self, rhs) {
+            return Ok(Bitmap::from_iter(data.iter().enumerate().map(|(i, v)| {
+                if validity.as_ref().is_some_and(|m| !m.get(i)) {
+                    op == CmpOp::Ne
+                } else {
+                    op.eval(v.as_ref().cmp(s.as_str()))
+                }
+            })));
+        }
         Ok(Bitmap::from_iter((0..self.len()).map(|i| {
             let a = self.get(i);
             if a.is_null() || rhs.is_null() {
@@ -443,7 +650,96 @@ impl Column {
                 right: other.len(),
             });
         }
-        arith_impl(op, self.len(), |i| (self.get(i), other.get(i)), self, other)
+        let len = self.len();
+        if let (Column::Int64(a, va), Column::Int64(b, vb)) = (self, other) {
+            if op != ArithOp::Div {
+                return Ok(int_arith(op, a, va.as_ref(), b, vb.as_ref()));
+            }
+        }
+        let apply = |x: f64, y: f64| match op {
+            ArithOp::Add => x + y,
+            ArithOp::Sub => x - y,
+            ArithOp::Mul => x * y,
+            ArithOp::Div => x / y,
+            ArithOp::Mod => x.rem_euclid(y),
+        };
+        // Direct arms for the dominant float pairs: one fused loop, no
+        // intermediate lane buffers. Null operands read as NaN.
+        let fval = |d: &[f64], m: &Option<Bitmap>, i: usize| -> f64 {
+            if m.as_ref().is_some_and(|m| !m.get(i)) {
+                f64::NAN
+            } else {
+                d[i]
+            }
+        };
+        let ival = |d: &[i64], m: &Option<Bitmap>, i: usize| -> f64 {
+            if m.as_ref().is_some_and(|m| !m.get(i)) {
+                f64::NAN
+            } else {
+                d[i] as f64
+            }
+        };
+        let out: Vec<f64> = match (self, other) {
+            (Column::Float64(a, va), Column::Float64(b, vb)) => (0..len)
+                .map(|i| apply(fval(a, va, i), fval(b, vb, i)))
+                .collect(),
+            (Column::Int64(a, va), Column::Float64(b, vb)) => (0..len)
+                .map(|i| apply(ival(a, va, i), fval(b, vb, i)))
+                .collect(),
+            (Column::Float64(a, va), Column::Int64(b, vb)) => (0..len)
+                .map(|i| apply(fval(a, va, i), ival(b, vb, i)))
+                .collect(),
+            // Remaining numeric mixes (bool/datetime operands, int÷int) go
+            // through f64 lanes with NaN in the null slots. Non-numeric
+            // operands are all-NaN, the same result the old scalar loop
+            // produced via `as_f64() == None`.
+            _ => match (self.f64_lanes(), other.f64_lanes()) {
+                (Some(a), Some(b)) => {
+                    a.iter().zip(&b).map(|(&x, &y)| apply(x, y)).collect()
+                }
+                _ => vec![f64::NAN; len],
+            },
+        };
+        Ok(Column::Float64(out, None))
+    }
+
+    /// The column lowered to f64 values with NaN in every null slot; `None`
+    /// for non-numeric dtypes. This is the common carrier for mixed-dtype
+    /// arithmetic.
+    fn f64_lanes(&self) -> Option<Vec<f64>> {
+        let valid = |validity: &Option<Bitmap>, i: usize| -> bool {
+            validity.as_ref().is_none_or(|m| m.get(i))
+        };
+        match self {
+            Column::Int64(data, validity) | Column::Datetime(data, validity) => Some(
+                data.iter()
+                    .enumerate()
+                    .map(|(i, &v)| if valid(validity, i) { v as f64 } else { f64::NAN })
+                    .collect(),
+            ),
+            Column::Float64(data, validity) => Some(
+                data.iter()
+                    .enumerate()
+                    .map(|(i, &v)| if valid(validity, i) { v } else { f64::NAN })
+                    .collect(),
+            ),
+            Column::Bool(data, validity) => Some(
+                (0..data.len())
+                    .map(|i| {
+                        if valid(validity, i) {
+                            if data.get(i) {
+                                1.0
+                            } else {
+                                0.0
+                            }
+                        } else {
+                            f64::NAN
+                        }
+                    })
+                    .collect(),
+            ),
+            Column::Utf8(..) | Column::Categorical(..) => None,
+        }
     }
 
     /// Element-wise arithmetic against a scalar.
@@ -538,15 +834,92 @@ impl Column {
 
     /// Replace nulls with `fill` (pandas `fillna`).
     pub fn fillna(&self, fill: &Scalar) -> Result<Column> {
-        let mut b = ColumnBuilder::new(self.dtype());
-        for i in 0..self.len() {
-            if self.is_null_at(i) {
-                b.push_scalar(fill)?;
-            } else {
-                b.push_scalar(&self.get(i))?;
+        // No nulls: nothing to fill. Reproduce the builder's output shape
+        // (validity dropped) without touching any row.
+        if !matches!(self, Column::Categorical(..)) && self.count_null() == 0 {
+            return Ok(self.with_validity(None));
+        }
+        let coerced = match cast_scalar(fill, self.dtype()) {
+            Some(s) => s,
+            None if matches!(self, Column::Categorical(..)) => Scalar::Null, // builder reports below
+            None => {
+                return Err(ColumnarError::ParseError {
+                    value: fill.to_string(),
+                    dtype: self.dtype().to_string(),
+                    line: None,
+                })
+            }
+        };
+        match (self, &coerced) {
+            (Column::Int64(data, _), Scalar::Int(fv)) => Ok(Column::Int64(
+                data.iter()
+                    .enumerate()
+                    .map(|(i, &v)| if self.is_null_at(i) { *fv } else { v })
+                    .collect(),
+                None,
+            )),
+            (Column::Datetime(data, _), Scalar::Datetime(fv)) => Ok(Column::Datetime(
+                data.iter()
+                    .enumerate()
+                    .map(|(i, &v)| if self.is_null_at(i) { *fv } else { v })
+                    .collect(),
+                None,
+            )),
+            (Column::Float64(data, _), Scalar::Float(fv)) => Ok(Column::Float64(
+                data.iter()
+                    .enumerate()
+                    .map(|(i, &v)| if self.is_null_at(i) { *fv } else { v })
+                    .collect(),
+                None,
+            )),
+            (Column::Bool(data, _), Scalar::Bool(fv)) => Ok(Column::Bool(
+                Bitmap::from_iter(
+                    (0..data.len()).map(|i| if self.is_null_at(i) { *fv } else { data.get(i) }),
+                ),
+                None,
+            )),
+            (Column::Utf8(data, _), Scalar::Str(fv)) => {
+                let filler: Arc<str> = Arc::from(fv.as_str());
+                Ok(Column::Utf8(
+                    data.iter()
+                        .enumerate()
+                        .map(|(i, v)| {
+                            if self.is_null_at(i) {
+                                Arc::clone(&filler)
+                            } else {
+                                Arc::clone(v)
+                            }
+                        })
+                        .collect(),
+                    None,
+                ))
+            }
+            // Null fill, or categorical (re-encodes): builder fallback.
+            _ => {
+                let mut b = ColumnBuilder::new(self.dtype());
+                for i in 0..self.len() {
+                    if self.is_null_at(i) {
+                        b.push_scalar(fill)?;
+                    } else {
+                        b.push_scalar(&self.get(i))?;
+                    }
+                }
+                Ok(b.finish())
             }
         }
-        Ok(b.finish())
+    }
+
+    /// The same data with a different validity mask (internal helper for
+    /// null-normalizing fast paths).
+    fn with_validity(&self, validity: Option<Bitmap>) -> Column {
+        match self {
+            Column::Int64(d, _) => Column::Int64(d.clone(), validity),
+            Column::Float64(d, _) => Column::Float64(d.clone(), validity),
+            Column::Bool(d, _) => Column::Bool(d.clone(), validity),
+            Column::Utf8(d, _) => Column::Utf8(d.clone(), validity),
+            Column::Datetime(d, _) => Column::Datetime(d.clone(), validity),
+            Column::Categorical(c, _) => Column::Categorical(c.clone(), validity),
+        }
     }
 
     /// Cast to `target` dtype (pandas `astype`).
@@ -557,17 +930,114 @@ impl Column {
         if target == DType::Categorical {
             return self.to_categorical();
         }
-        let mut b = ColumnBuilder::new(target);
-        for i in 0..self.len() {
-            let s = self.get(i);
-            let converted = cast_scalar(&s, target).ok_or_else(|| ColumnarError::ParseError {
-                value: s.to_string(),
-                dtype: target.to_string(),
-                line: None,
-            })?;
-            b.push_scalar(&converted)?;
+        // Typed numeric↔numeric and string-parse paths; anything else
+        // (formatting to strings, bool parsing, datetime strings) keeps the
+        // scalar builder loop, whose per-row cost is inherent to the
+        // conversion.
+        let validity = || self.normalized_validity();
+        match (self, target) {
+            (Column::Int64(data, _), DType::Float64) => Ok(Column::Float64(
+                data.iter()
+                    .enumerate()
+                    .map(|(i, &v)| if self.is_null_at(i) { f64::NAN } else { v as f64 })
+                    .collect(),
+                validity(),
+            )),
+            (Column::Int64(data, _), DType::Datetime) => {
+                Ok(Column::Datetime(data.clone(), validity()))
+            }
+            (Column::Datetime(data, _), DType::Int64) => {
+                Ok(Column::Int64(data.clone(), validity()))
+            }
+            (Column::Datetime(data, _), DType::Float64) => Ok(Column::Float64(
+                data.iter()
+                    .enumerate()
+                    .map(|(i, &v)| if self.is_null_at(i) { f64::NAN } else { v as f64 })
+                    .collect(),
+                validity(),
+            )),
+            (Column::Float64(data, _), DType::Int64) => Ok(Column::Int64(
+                data.iter()
+                    .enumerate()
+                    .map(|(i, &v)| if self.is_null_at(i) { 0 } else { v as i64 })
+                    .collect(),
+                validity(),
+            )),
+            (Column::Bool(data, _), DType::Int64) => Ok(Column::Int64(
+                (0..data.len())
+                    .map(|i| if self.is_null_at(i) { 0 } else { i64::from(data.get(i)) })
+                    .collect(),
+                validity(),
+            )),
+            (Column::Bool(data, _), DType::Float64) => Ok(Column::Float64(
+                (0..data.len())
+                    .map(|i| {
+                        if self.is_null_at(i) {
+                            f64::NAN
+                        } else if data.get(i) {
+                            1.0
+                        } else {
+                            0.0
+                        }
+                    })
+                    .collect(),
+                validity(),
+            )),
+            (Column::Utf8(data, _), DType::Int64) => {
+                let mut out = Vec::with_capacity(data.len());
+                for (i, v) in data.iter().enumerate() {
+                    if self.is_null_at(i) {
+                        out.push(0);
+                    } else {
+                        out.push(v.trim().parse().map_err(|_| ColumnarError::ParseError {
+                            value: v.to_string(),
+                            dtype: target.to_string(),
+                            line: None,
+                        })?);
+                    }
+                }
+                Ok(Column::Int64(out, validity()))
+            }
+            (Column::Utf8(data, _), DType::Float64) => {
+                let mut out = Vec::with_capacity(data.len());
+                for (i, v) in data.iter().enumerate() {
+                    if self.is_null_at(i) {
+                        out.push(f64::NAN);
+                    } else {
+                        out.push(v.trim().parse().map_err(|_| ColumnarError::ParseError {
+                            value: v.to_string(),
+                            dtype: target.to_string(),
+                            line: None,
+                        })?);
+                    }
+                }
+                Ok(Column::Float64(out, validity()))
+            }
+            _ => {
+                let mut b = ColumnBuilder::new(target);
+                for i in 0..self.len() {
+                    let s = self.get(i);
+                    let converted =
+                        cast_scalar(&s, target).ok_or_else(|| ColumnarError::ParseError {
+                            value: s.to_string(),
+                            dtype: target.to_string(),
+                            line: None,
+                        })?;
+                    b.push_scalar(&converted)?;
+                }
+                Ok(b.finish())
+            }
         }
-        Ok(b.finish())
+    }
+
+    /// `Some(valid-bits)` when the column has nulls, `None` otherwise —
+    /// the shape the scalar builder produces, with float NaN folded in.
+    fn normalized_validity(&self) -> Option<Bitmap> {
+        if self.count_null() == 0 {
+            None
+        } else {
+            Some(Bitmap::from_iter((0..self.len()).map(|i| !self.is_null_at(i))))
+        }
     }
 
     /// Dictionary-encode a string column.
@@ -575,16 +1045,16 @@ impl Column {
         match self {
             Column::Utf8(values, validity) => {
                 let mut dict: Vec<String> = Vec::new();
-                let mut index: std::collections::HashMap<String, u32> =
+                let mut index: std::collections::HashMap<Arc<str>, u32> =
                     std::collections::HashMap::new();
                 let mut codes = Vec::with_capacity(values.len());
                 for v in values {
-                    let code = match index.get(v.as_str()) {
+                    let code = match index.get(v) {
                         Some(&c) => c,
                         None => {
                             let c = dict.len() as u32;
-                            dict.push(v.clone());
-                            index.insert(v.clone(), c);
+                            dict.push(v.to_string());
+                            index.insert(Arc::clone(v), c);
                             c
                         }
                     };
@@ -609,13 +1079,18 @@ impl Column {
     /// Decode a categorical back to plain strings (no-op for Utf8).
     pub fn to_utf8(&self) -> Result<Column> {
         match self {
-            Column::Categorical(c, validity) => Ok(Column::Utf8(
-                c.codes
-                    .iter()
-                    .map(|&code| c.dict[code as usize].clone())
-                    .collect(),
-                validity.clone(),
-            )),
+            Column::Categorical(c, validity) => {
+                // One shared Arc per dictionary entry; rows clone pointers.
+                let shared: Vec<Arc<str>> =
+                    c.dict.iter().map(|s| Arc::from(s.as_str())).collect();
+                Ok(Column::Utf8(
+                    c.codes
+                        .iter()
+                        .map(|&code| Arc::clone(&shared[code as usize]))
+                        .collect(),
+                    validity.clone(),
+                ))
+            }
             Column::Utf8(..) => Ok(self.clone()),
             _ => Err(ColumnarError::TypeMismatch {
                 op: "to_utf8".into(),
@@ -667,8 +1142,14 @@ impl Column {
             _ => unreachable!(),
         };
         Ok(match op {
-            StrOp::Lower => Column::Utf8(values.iter().map(|s| s.to_lowercase()).collect(), validity),
-            StrOp::Upper => Column::Utf8(values.iter().map(|s| s.to_uppercase()).collect(), validity),
+            StrOp::Lower => Column::Utf8(
+                values.iter().map(|s| Arc::from(s.to_lowercase())).collect(),
+                validity,
+            ),
+            StrOp::Upper => Column::Utf8(
+                values.iter().map(|s| Arc::from(s.to_uppercase())).collect(),
+                validity,
+            ),
             StrOp::Len => Column::Int64(
                 values.iter().map(|s| s.chars().count() as i64).collect(),
                 validity,
@@ -689,24 +1170,31 @@ impl Column {
     /// Sum of non-null values (int columns sum to int, others to float).
     pub fn sum(&self) -> Scalar {
         match self {
-            Column::Int64(v, _) => {
+            Column::Int64(v, validity) => {
                 let mut acc = 0i64;
-                for (i, val) in v.iter().enumerate() {
-                    if !self.is_null_at(i) {
-                        acc = acc.wrapping_add(*val);
+                match validity {
+                    None => {
+                        for val in v {
+                            acc = acc.wrapping_add(*val);
+                        }
+                    }
+                    Some(m) => {
+                        for (i, val) in v.iter().enumerate() {
+                            if m.get(i) {
+                                acc = acc.wrapping_add(*val);
+                            }
+                        }
                     }
                 }
                 Scalar::Int(acc)
             }
-            _ => {
+            Column::Float64(v, validity) => {
                 let mut acc = 0.0;
                 let mut any = false;
-                for i in 0..self.len() {
-                    if let Some(x) = self.get(i).as_f64() {
-                        if !x.is_nan() {
-                            acc += x;
-                            any = true;
-                        }
+                for (i, &x) in v.iter().enumerate() {
+                    if !x.is_nan() && validity.as_ref().is_none_or(|m| m.get(i)) {
+                        acc += x;
+                        any = true;
                     }
                 }
                 if any {
@@ -715,6 +1203,38 @@ impl Column {
                     Scalar::Null
                 }
             }
+            Column::Datetime(v, validity) => {
+                let mut acc = 0.0;
+                let mut any = false;
+                for (i, &x) in v.iter().enumerate() {
+                    if validity.as_ref().is_none_or(|m| m.get(i)) {
+                        acc += x as f64;
+                        any = true;
+                    }
+                }
+                if any {
+                    Scalar::Float(acc)
+                } else {
+                    Scalar::Null
+                }
+            }
+            Column::Bool(v, validity) => {
+                let mut acc = 0.0;
+                let mut any = false;
+                for i in 0..v.len() {
+                    if validity.as_ref().is_none_or(|m| m.get(i)) {
+                        acc += if v.get(i) { 1.0 } else { 0.0 };
+                        any = true;
+                    }
+                }
+                if any {
+                    Scalar::Float(acc)
+                } else {
+                    Scalar::Null
+                }
+            }
+            // Strings have no numeric view: the old loop skipped every row.
+            Column::Utf8(..) | Column::Categorical(..) => Scalar::Null,
         }
     }
 
@@ -733,18 +1253,100 @@ impl Column {
 
     /// Minimum non-null value.
     pub fn min(&self) -> Scalar {
-        self.iter()
-            .filter(|s| !s.is_null())
-            .min_by(|a, b| a.cmp_values(b))
-            .unwrap_or(Scalar::Null)
+        self.extreme(true)
     }
 
     /// Maximum non-null value.
     pub fn max(&self) -> Scalar {
-        self.iter()
-            .filter(|s| !s.is_null())
-            .max_by(|a, b| a.cmp_values(b))
-            .unwrap_or(Scalar::Null)
+        self.extreme(false)
+    }
+
+    /// Typed min/max: fold over the raw buffer, skipping nulls.
+    fn extreme(&self, want_min: bool) -> Scalar {
+        fn fold<T: Copy, S>(
+            items: impl Iterator<Item = T>,
+            better: impl Fn(T, T) -> bool,
+            wrap: impl Fn(T) -> S,
+        ) -> Option<S> {
+            let mut best: Option<T> = None;
+            for v in items {
+                best = Some(match best {
+                    Some(b) if !better(v, b) => b,
+                    _ => v,
+                });
+            }
+            best.map(wrap)
+        }
+        let valid = |validity: &Option<Bitmap>, i: usize| -> bool {
+            validity.as_ref().is_none_or(|m| m.get(i))
+        };
+        match self {
+            Column::Int64(v, m) => fold(
+                v.iter()
+                    .enumerate()
+                    .filter(|(i, _)| valid(m, *i))
+                    .map(|(_, &x)| x),
+                |a, b| if want_min { a < b } else { a > b },
+                Scalar::Int,
+            )
+            .unwrap_or(Scalar::Null),
+            Column::Datetime(v, m) => fold(
+                v.iter()
+                    .enumerate()
+                    .filter(|(i, _)| valid(m, *i))
+                    .map(|(_, &x)| x),
+                |a, b| if want_min { a < b } else { a > b },
+                Scalar::Datetime,
+            )
+            .unwrap_or(Scalar::Null),
+            Column::Float64(v, m) => fold(
+                v.iter()
+                    .enumerate()
+                    .filter(|(i, x)| valid(m, *i) && !x.is_nan())
+                    .map(|(_, &x)| x),
+                |a, b| if want_min { a < b } else { a > b },
+                Scalar::Float,
+            )
+            .unwrap_or(Scalar::Null),
+            Column::Bool(v, m) => fold(
+                (0..v.len()).filter(|&i| valid(m, i)).map(|i| v.get(i)),
+                |a, b| if want_min { !a & b } else { a & !b },
+                Scalar::Bool,
+            )
+            .unwrap_or(Scalar::Null),
+            Column::Utf8(v, m) => {
+                let mut best: Option<&Arc<str>> = None;
+                for (i, s) in v.iter().enumerate() {
+                    if !valid(m, i) {
+                        continue;
+                    }
+                    let replace = match best {
+                        None => true,
+                        Some(b) => {
+                            if want_min {
+                                s.as_ref() < b.as_ref()
+                            } else {
+                                s.as_ref() > b.as_ref()
+                            }
+                        }
+                    };
+                    if replace {
+                        best = Some(s);
+                    }
+                }
+                best.map(|s| Scalar::Str(s.to_string())).unwrap_or(Scalar::Null)
+            }
+            Column::Categorical(..) => {
+                // Dictionary decode is cold: scalar fallback.
+                let it = self.iter().filter(|s| !s.is_null());
+                let best = if want_min {
+                    it.min_by(|a, b| a.cmp_values(b))
+                } else {
+                    it.max_by(|a, b| a.cmp_values(b))
+                };
+                best.unwrap_or(Scalar::Null)
+            }
+        }
     }
 
     /// Count of non-null values.
@@ -783,20 +1385,51 @@ impl Column {
     pub fn hash_into(&self, hashes: &mut [u64]) {
         const PRIME: u64 = 0x100000001b3;
         debug_assert_eq!(hashes.len(), self.len());
-        for (i, h) in hashes.iter_mut().enumerate() {
-            let v = if self.is_null_at(i) {
-                u64::MAX
-            } else {
-                match self {
-                    Column::Int64(v, _) => v[i] as u64,
-                    Column::Datetime(v, _) => v[i] as u64,
-                    Column::Float64(v, _) => v[i].to_bits(),
-                    Column::Bool(v, _) => v.get(i) as u64,
-                    Column::Utf8(v, _) => fnv1a(v[i].as_bytes()),
-                    Column::Categorical(c, _) => fnv1a(c.dict[c.codes[i] as usize].as_bytes()),
-                }
-            };
+        let valid = |validity: &Option<Bitmap>, i: usize| -> bool {
+            validity.as_ref().is_none_or(|m| m.get(i))
+        };
+        // Dispatch on the buffer once; every arm is a tight loop.
+        let mut mix = |i: usize, v: u64| {
+            let h = &mut hashes[i];
             *h = (*h ^ v).wrapping_mul(PRIME);
+        };
+        match self {
+            Column::Int64(v, m) | Column::Datetime(v, m) => {
+                for (i, &x) in v.iter().enumerate() {
+                    mix(i, if valid(m, i) { x as u64 } else { u64::MAX });
+                }
+            }
+            Column::Float64(v, m) => {
+                for (i, &x) in v.iter().enumerate() {
+                    let null = x.is_nan() || !valid(m, i);
+                    mix(i, if null { u64::MAX } else { x.to_bits() });
+                }
+            }
+            Column::Bool(v, m) => {
+                for i in 0..v.len() {
+                    mix(i, if valid(m, i) { v.get(i) as u64 } else { u64::MAX });
+                }
+            }
+            Column::Utf8(v, m) => {
+                for (i, s) in v.iter().enumerate() {
+                    mix(i, if valid(m, i) { fnv1a(s.as_bytes()) } else { u64::MAX });
+                }
+            }
+            Column::Categorical(c, m) => {
+                // Hash each dictionary entry once, then look codes up.
+                let dict_hashes: Vec<u64> =
+                    c.dict.iter().map(|s| fnv1a(s.as_bytes())).collect();
+                for (i, &code) in c.codes.iter().enumerate() {
+                    mix(
+                        i,
+                        if valid(m, i) {
+                            dict_hashes[code as usize]
+                        } else {
+                            u64::MAX
+                        },
+                    );
+                }
+            }
         }
     }
 }
@@ -810,54 +1443,57 @@ pub fn fnv1a(bytes: &[u8]) -> u64 {
     h
 }
 
-fn arith_impl(
-    op: ArithOp,
+/// Comparison loop over a typed accessor for dtypes whose null state lives
+/// entirely in the validity mask (ints, strings, bools, datetimes).
+fn cmp_loop(
+    op: CmpOp,
     len: usize,
-    get: impl Fn(usize) -> (Scalar, Scalar),
-    left: &Column,
-    right: &Column,
-) -> Result<Column> {
-    let both_int = left.dtype() == DType::Int64 && right.dtype() == DType::Int64;
-    if both_int && op != ArithOp::Div {
-        let mut out = Vec::with_capacity(len);
-        let mut validity = Bitmap::new(len, true);
-        let mut has_null = false;
-        for i in 0..len {
-            let (a, b) = get(i);
-            match (a.as_i64(), b.as_i64()) {
-                (Some(x), Some(y)) if !(op == ArithOp::Mod && y == 0) => out.push(match op {
-                    ArithOp::Add => x.wrapping_add(y),
-                    ArithOp::Sub => x.wrapping_sub(y),
-                    ArithOp::Mul => x.wrapping_mul(y),
-                    ArithOp::Mod => x.rem_euclid(y),
-                    ArithOp::Div => unreachable!(),
-                }),
-                _ => {
-                    out.push(0);
-                    validity.set(i, false);
-                    has_null = true;
-                }
-            }
+    va: &Option<Bitmap>,
+    vb: &Option<Bitmap>,
+    ord: impl Fn(usize) -> std::cmp::Ordering,
+) -> Bitmap {
+    Bitmap::from_iter((0..len).map(|i| {
+        if va.as_ref().is_some_and(|m| !m.get(i)) || vb.as_ref().is_some_and(|m| !m.get(i)) {
+            op == CmpOp::Ne
+        } else {
+            op.eval(ord(i))
         }
-        return Ok(Column::Int64(out, has_null.then_some(validity)));
-    }
-    // Float path (also covers datetime-difference as float seconds).
+    }))
+}
+
+/// Int64 ⊙ Int64 arithmetic (`Div` excluded — that promotes to float).
+/// One tight loop over the raw `i64` buffers; nulls (and mod-by-zero rows)
+/// produce null output slots holding 0, exactly like the old scalar loop.
+fn int_arith(
+    op: ArithOp,
+    a: &[i64],
+    va: Option<&Bitmap>,
+    b: &[i64],
+    vb: Option<&Bitmap>,
+) -> Column {
+    let len = a.len();
     let mut out = Vec::with_capacity(len);
+    let mut validity = Bitmap::new(len, true);
+    let mut has_null = false;
     for i in 0..len {
-        let (a, b) = get(i);
-        let v = match (a.as_f64(), b.as_f64()) {
-            (Some(x), Some(y)) => match op {
-                ArithOp::Add => x + y,
-                ArithOp::Sub => x - y,
-                ArithOp::Mul => x * y,
-                ArithOp::Div => x / y,
-                ArithOp::Mod => x.rem_euclid(y),
-            },
-            _ => f64::NAN,
-        };
-        out.push(v);
+        let ok = va.is_none_or(|m| m.get(i))
+            && vb.is_none_or(|m| m.get(i))
+            && !(op == ArithOp::Mod && b[i] == 0);
+        if ok {
+            out.push(match op {
+                ArithOp::Add => a[i].wrapping_add(b[i]),
+                ArithOp::Sub => a[i].wrapping_sub(b[i]),
+                ArithOp::Mul => a[i].wrapping_mul(b[i]),
+                ArithOp::Mod => a[i].rem_euclid(b[i]),
+                ArithOp::Div => unreachable!("Div promotes to float"),
+            });
+        } else {
+            out.push(0);
+            validity.set(i, false);
+            has_null = true;
+        }
     }
-    Ok(Column::Float64(out, None))
+    Column::Int64(out, has_null.then_some(validity))
 }
 
 fn cast_scalar(s: &Scalar, target: DType) -> Option<Scalar> {
@@ -913,7 +1549,7 @@ pub struct ColumnBuilder {
     ints: Vec<i64>,
     floats: Vec<f64>,
     bools: Bitmap,
-    strings: Vec<String>,
+    strings: Vec<Arc<str>>,
     validity: Bitmap,
     has_null: bool,
 }
@@ -950,7 +1586,7 @@ impl ColumnBuilder {
             DType::Int64 | DType::Datetime => self.ints.push(0),
             DType::Float64 => self.floats.push(f64::NAN),
             DType::Bool => self.bools.push(false),
-            DType::Utf8 | DType::Categorical => self.strings.push(String::new()),
+            DType::Utf8 | DType::Categorical => self.strings.push(Arc::from("")),
         }
     }
 
@@ -973,7 +1609,7 @@ impl ColumnBuilder {
             (DType::Float64, Scalar::Float(v)) => self.floats.push(v),
             (DType::Bool, Scalar::Bool(v)) => self.bools.push(v),
             (DType::Utf8, Scalar::Str(v)) | (DType::Categorical, Scalar::Str(v)) => {
-                self.strings.push(v)
+                self.strings.push(Arc::from(v))
             }
             (dt, other) => {
                 return Err(ColumnarError::ParseError {

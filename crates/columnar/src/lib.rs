@@ -62,6 +62,15 @@ impl HeapSize for String {
     }
 }
 
+impl HeapSize for std::sync::Arc<str> {
+    fn heap_size(&self) -> usize {
+        // String bytes plus the strong/weak refcount header. Shared clones
+        // are counted once per holder, mirroring the budget's conservative
+        // per-column accounting.
+        self.len() + 16
+    }
+}
+
 impl<T: HeapSize> HeapSize for Vec<T> {
     fn heap_size(&self) -> usize {
         self.capacity() * std::mem::size_of::<T>()

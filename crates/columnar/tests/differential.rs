@@ -1,0 +1,490 @@
+//! Differential property tests: every vectorized kernel must produce
+//! results identical to a naive `Scalar`-per-row reference implementation
+//! (the seed-era algorithms), including null-handling edge cases. The
+//! vectorization overhaul is only allowed to change the *cost* of a
+//! kernel, never its result.
+
+use lafp_columnar::column::{ArithOp, CmpOp, ColumnBuilder};
+use lafp_columnar::groupby::{group_by, GroupBySpec};
+use lafp_columnar::{AggKind, Bitmap, Column, DType, DataFrame, Scalar, Series};
+use proptest::prelude::*;
+
+// ---------------------------------------------------------------------------
+// Input builders (values + null mask, zipped to the shorter length)
+// ---------------------------------------------------------------------------
+
+fn col_i64(vals: &[i64], nulls: &[bool]) -> Column {
+    let n = vals.len().min(nulls.len());
+    Column::from_opt_i64((0..n).map(|i| (!nulls[i]).then(|| vals[i])).collect())
+}
+
+fn col_f64(vals: &[f64], nulls: &[bool]) -> Column {
+    let n = vals.len().min(nulls.len());
+    Column::from_opt_f64((0..n).map(|i| (!nulls[i]).then(|| vals[i])).collect())
+}
+
+fn col_str(vals: &[String], nulls: &[bool]) -> Column {
+    let n = vals.len().min(nulls.len());
+    Column::from_opt_strings((0..n).map(|i| (!nulls[i]).then(|| vals[i].clone())).collect())
+}
+
+/// Representation-agnostic equivalence: same length, dtype, and per-row
+/// scalars (nulls equal nulls; NaN is null).
+fn assert_col_equiv(actual: &Column, expected: &Column) {
+    assert_eq!(actual.len(), expected.len(), "length");
+    assert_eq!(actual.dtype(), expected.dtype(), "dtype");
+    for i in 0..actual.len() {
+        let (a, e) = (actual.get(i), expected.get(i));
+        match (a.is_null(), e.is_null()) {
+            (true, true) => {}
+            (false, false) => assert_eq!(a, e, "row {i}"),
+            _ => panic!("row {i}: null mismatch: {a:?} vs {e:?}"),
+        }
+    }
+}
+
+fn assert_frame_equiv(actual: &DataFrame, expected: &DataFrame) {
+    assert_eq!(actual.num_columns(), expected.num_columns());
+    for (a, e) in actual.series().iter().zip(expected.series()) {
+        assert_eq!(a.name(), e.name());
+        assert_col_equiv(a.column(), e.column());
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Naive Scalar-per-row references (the seed-era algorithms)
+// ---------------------------------------------------------------------------
+
+fn arith_ref(left: &Column, op: ArithOp, right: &Column) -> Column {
+    let len = left.len();
+    let both_int = left.dtype() == DType::Int64 && right.dtype() == DType::Int64;
+    if both_int && op != ArithOp::Div {
+        let mut out = Vec::new();
+        let mut validity = Bitmap::new(len, true);
+        let mut has_null = false;
+        for i in 0..len {
+            let (a, b) = (left.get(i), right.get(i));
+            match (a.as_i64(), b.as_i64()) {
+                (Some(x), Some(y)) if !(op == ArithOp::Mod && y == 0) => out.push(match op {
+                    ArithOp::Add => x.wrapping_add(y),
+                    ArithOp::Sub => x.wrapping_sub(y),
+                    ArithOp::Mul => x.wrapping_mul(y),
+                    ArithOp::Mod => x.rem_euclid(y),
+                    ArithOp::Div => unreachable!(),
+                }),
+                _ => {
+                    out.push(0);
+                    validity.set(i, false);
+                    has_null = true;
+                }
+            }
+        }
+        return Column::Int64(out, has_null.then_some(validity));
+    }
+    let mut out = Vec::new();
+    for i in 0..len {
+        let (a, b) = (left.get(i), right.get(i));
+        out.push(match (a.as_f64(), b.as_f64()) {
+            (Some(x), Some(y)) => match op {
+                ArithOp::Add => x + y,
+                ArithOp::Sub => x - y,
+                ArithOp::Mul => x * y,
+                ArithOp::Div => x / y,
+                ArithOp::Mod => x.rem_euclid(y),
+            },
+            _ => f64::NAN,
+        });
+    }
+    Column::Float64(out, None)
+}
+
+fn compare_ref(left: &Column, op: CmpOp, right: &Column) -> Bitmap {
+    Bitmap::from_iter((0..left.len()).map(|i| {
+        let (a, b) = (left.get(i), right.get(i));
+        if a.is_null() || b.is_null() {
+            op == CmpOp::Ne
+        } else {
+            let ord = a.cmp_values(&b);
+            match op {
+                CmpOp::Eq => ord.is_eq(),
+                CmpOp::Ne => !ord.is_eq(),
+                CmpOp::Lt => ord.is_lt(),
+                CmpOp::Le => !ord.is_gt(),
+                CmpOp::Gt => ord.is_gt(),
+                CmpOp::Ge => !ord.is_lt(),
+            }
+        }
+    }))
+}
+
+fn fillna_ref(col: &Column, fill: &Scalar) -> Column {
+    let mut b = ColumnBuilder::new(col.dtype());
+    for i in 0..col.len() {
+        if col.is_null_at(i) {
+            b.push_scalar(fill).unwrap();
+        } else {
+            b.push_scalar(&col.get(i)).unwrap();
+        }
+    }
+    b.finish()
+}
+
+fn cast_ref(col: &Column, target: DType) -> Option<Column> {
+    let mut b = ColumnBuilder::new(target);
+    for i in 0..col.len() {
+        match col.get(i) {
+            Scalar::Null => b.push_null(),
+            s => b.push_scalar(&s).ok()?,
+        }
+    }
+    Some(b.finish())
+}
+
+fn slice_ref(col: &Column, offset: usize, len: usize) -> Column {
+    let end = (offset + len).min(col.len());
+    let idx: Vec<usize> = (offset.min(col.len())..end).collect();
+    col.take(&idx).unwrap()
+}
+
+fn group_by_ref(frame: &DataFrame, spec: &GroupBySpec) -> DataFrame {
+    use std::collections::HashMap;
+    #[derive(Clone, Default)]
+    struct State {
+        sum: f64,
+        int_sum: i64,
+        count: u64,
+        min: Option<Scalar>,
+        max: Option<Scalar>,
+        distinct: std::collections::HashSet<String>,
+    }
+    let canon = |key: &[Scalar]| {
+        key.iter()
+            .map(|s| s.to_string())
+            .collect::<Vec<_>>()
+            .join("\u{1}")
+    };
+    let key_cols: Vec<&Series> = spec.keys.iter().map(|k| frame.column(k).unwrap()).collect();
+    let value_col = frame.column(&spec.value).unwrap();
+    let value_is_int =
+        matches!(value_col.column().dtype(), DType::Int64 | DType::Bool);
+    let mut groups: HashMap<String, State> = HashMap::new();
+    let mut key_order: Vec<Vec<Scalar>> = Vec::new();
+    for i in 0..frame.num_rows() {
+        let key: Vec<Scalar> = key_cols.iter().map(|s| s.get(i)).collect();
+        let state = match groups.entry(canon(&key)) {
+            std::collections::hash_map::Entry::Occupied(e) => e.into_mut(),
+            std::collections::hash_map::Entry::Vacant(e) => {
+                key_order.push(key);
+                e.insert(State::default())
+            }
+        };
+        let v = value_col.get(i);
+        if v.is_null() {
+            continue;
+        }
+        state.count += 1;
+        if let Some(x) = v.as_f64() {
+            state.sum += x;
+        }
+        if let Some(x) = v.as_i64() {
+            state.int_sum = state.int_sum.wrapping_add(x);
+        }
+        if state.min.as_ref().is_none_or(|m| v.cmp_values(m).is_lt()) {
+            state.min = Some(v.clone());
+        }
+        if state.max.as_ref().is_none_or(|m| v.cmp_values(m).is_gt()) {
+            state.max = Some(v.clone());
+        }
+        state.distinct.insert(v.to_string());
+    }
+    key_order.sort_by_cached_key(|k| canon(k));
+    let mut key_builders: Vec<ColumnBuilder> = (0..spec.keys.len())
+        .map(|k| {
+            ColumnBuilder::new(
+                key_order
+                    .iter()
+                    .find_map(|key| key[k].dtype())
+                    .unwrap_or(DType::Utf8),
+            )
+        })
+        .collect();
+    let mut values = Vec::new();
+    for key in &key_order {
+        for (k, b) in key_builders.iter_mut().enumerate() {
+            b.push_scalar(&key[k]).unwrap();
+        }
+        let s = &groups[&canon(key)];
+        values.push(match spec.agg {
+            AggKind::Sum if s.count == 0 => Scalar::Null,
+            AggKind::Sum if value_is_int => Scalar::Int(s.int_sum),
+            AggKind::Sum => Scalar::Float(s.sum),
+            AggKind::Mean if s.count == 0 => Scalar::Null,
+            AggKind::Mean => Scalar::Float(s.sum / s.count as f64),
+            AggKind::Count => Scalar::Int(s.count as i64),
+            AggKind::Min => s.min.clone().unwrap_or(Scalar::Null),
+            AggKind::Max => s.max.clone().unwrap_or(Scalar::Null),
+            AggKind::NUnique => Scalar::Int(s.distinct.len() as i64),
+        });
+    }
+    let out_dtype = values
+        .iter()
+        .find_map(Scalar::dtype)
+        .unwrap_or(DType::Float64);
+    let mut vb = ColumnBuilder::new(out_dtype);
+    for v in &values {
+        vb.push_scalar(v).unwrap();
+    }
+    let mut series = Vec::new();
+    for (k, b) in key_builders.into_iter().enumerate() {
+        series.push(Series::new(spec.keys[k].clone(), b.finish()));
+    }
+    series.push(Series::new(spec.value.clone(), vb.finish()));
+    DataFrame::new(series).unwrap()
+}
+
+// ---------------------------------------------------------------------------
+// Properties
+// ---------------------------------------------------------------------------
+
+const OPS: [ArithOp; 5] = [
+    ArithOp::Add,
+    ArithOp::Sub,
+    ArithOp::Mul,
+    ArithOp::Div,
+    ArithOp::Mod,
+];
+
+const CMPS: [CmpOp; 6] = [
+    CmpOp::Eq,
+    CmpOp::Ne,
+    CmpOp::Lt,
+    CmpOp::Le,
+    CmpOp::Gt,
+    CmpOp::Ge,
+];
+
+proptest! {
+    #[test]
+    fn arith_i64_matches_reference(
+        a in prop::collection::vec(-40i64..40, 0..90),
+        b in prop::collection::vec(-40i64..40, 0..90),
+        na in prop::collection::vec(any::<bool>(), 0..90),
+        nb in prop::collection::vec(any::<bool>(), 0..90),
+    ) {
+        let n = a.len().min(b.len()).min(na.len()).min(nb.len());
+        let left = col_i64(&a[..n], &na[..n]);
+        let right = col_i64(&b[..n], &nb[..n]);
+        for op in OPS {
+            assert_col_equiv(&left.arith(op, &right).unwrap(), &arith_ref(&left, op, &right));
+        }
+    }
+
+    #[test]
+    fn arith_f64_matches_reference(
+        a in prop::collection::vec(-100.0f64..100.0, 0..90),
+        b in prop::collection::vec(-100.0f64..100.0, 0..90),
+        na in prop::collection::vec(any::<bool>(), 0..90),
+        nb in prop::collection::vec(any::<bool>(), 0..90),
+    ) {
+        let n = a.len().min(b.len()).min(na.len()).min(nb.len());
+        let left = col_f64(&a[..n], &na[..n]);
+        let right = col_f64(&b[..n], &nb[..n]);
+        for op in OPS {
+            assert_col_equiv(&left.arith(op, &right).unwrap(), &arith_ref(&left, op, &right));
+        }
+    }
+
+    #[test]
+    fn arith_mixed_matches_reference(
+        a in prop::collection::vec(-40i64..40, 1..90),
+        b in prop::collection::vec(-100.0f64..100.0, 1..90),
+        na in prop::collection::vec(any::<bool>(), 1..90),
+        nb in prop::collection::vec(any::<bool>(), 1..90),
+    ) {
+        let n = a.len().min(b.len()).min(na.len()).min(nb.len());
+        let left = col_i64(&a[..n], &na[..n]);
+        let right = col_f64(&b[..n], &nb[..n]);
+        for op in OPS {
+            assert_col_equiv(&left.arith(op, &right).unwrap(), &arith_ref(&left, op, &right));
+            assert_col_equiv(&right.arith(op, &left).unwrap(), &arith_ref(&right, op, &left));
+        }
+    }
+
+    #[test]
+    fn compare_matches_reference(
+        a in prop::collection::vec(-20i64..20, 0..90),
+        b in prop::collection::vec(-20i64..20, 0..90),
+        f in prop::collection::vec(-20.0f64..20.0, 0..90),
+        na in prop::collection::vec(any::<bool>(), 0..90),
+        nb in prop::collection::vec(any::<bool>(), 0..90),
+    ) {
+        let n = a.len().min(b.len()).min(f.len()).min(na.len()).min(nb.len());
+        let ints_a = col_i64(&a[..n], &na[..n]);
+        let ints_b = col_i64(&b[..n], &nb[..n]);
+        let floats = col_f64(&f[..n], &nb[..n]);
+        for op in CMPS {
+            assert_eq!(ints_a.compare(op, &ints_b).unwrap(), compare_ref(&ints_a, op, &ints_b));
+            assert_eq!(ints_a.compare(op, &floats).unwrap(), compare_ref(&ints_a, op, &floats));
+            assert_eq!(floats.compare(op, &ints_b).unwrap(), compare_ref(&floats, op, &ints_b));
+        }
+    }
+
+    #[test]
+    fn compare_strings_matches_reference(
+        a in prop::collection::vec("[abc]{0,3}", 0..60),
+        b in prop::collection::vec("[abc]{0,3}", 0..60),
+        na in prop::collection::vec(any::<bool>(), 0..60),
+        nb in prop::collection::vec(any::<bool>(), 0..60),
+    ) {
+        let n = a.len().min(b.len()).min(na.len()).min(nb.len());
+        let left = col_str(&a[..n], &na[..n]);
+        let right = col_str(&b[..n], &nb[..n]);
+        for op in CMPS {
+            assert_eq!(left.compare(op, &right).unwrap(), compare_ref(&left, op, &right));
+        }
+    }
+
+    #[test]
+    fn fillna_matches_reference(
+        a in prop::collection::vec(-40i64..40, 0..90),
+        f in prop::collection::vec(-40.0f64..40.0, 0..90),
+        na in prop::collection::vec(any::<bool>(), 0..90),
+        fill in -10i64..10,
+    ) {
+        let n = a.len().min(f.len()).min(na.len());
+        let ints = col_i64(&a[..n], &na[..n]);
+        let floats = col_f64(&f[..n], &na[..n]);
+        assert_col_equiv(
+            &ints.fillna(&Scalar::Int(fill)).unwrap(),
+            &fillna_ref(&ints, &Scalar::Int(fill)),
+        );
+        assert_col_equiv(
+            &floats.fillna(&Scalar::Float(fill as f64)).unwrap(),
+            &fillna_ref(&floats, &Scalar::Float(fill as f64)),
+        );
+        // Cross-dtype fill coerces like the builder did.
+        assert_col_equiv(
+            &floats.fillna(&Scalar::Int(fill)).unwrap(),
+            &fillna_ref(&floats, &Scalar::Int(fill)),
+        );
+        // Null fill keeps nulls.
+        assert_col_equiv(
+            &ints.fillna(&Scalar::Null).unwrap(),
+            &fillna_ref(&ints, &Scalar::Null),
+        );
+    }
+
+    #[test]
+    fn cast_matches_reference(
+        a in prop::collection::vec(-40i64..40, 0..90),
+        f in prop::collection::vec(-40.0f64..40.0, 0..90),
+        na in prop::collection::vec(any::<bool>(), 0..90),
+    ) {
+        let n = a.len().min(f.len()).min(na.len());
+        let ints = col_i64(&a[..n], &na[..n]);
+        let floats = col_f64(&f[..n], &na[..n]);
+        for (col, target) in [
+            (&ints, DType::Float64),
+            (&ints, DType::Utf8),
+            (&ints, DType::Datetime),
+            (&floats, DType::Int64),
+            (&floats, DType::Utf8),
+        ] {
+            let expected = cast_ref(col, target).unwrap();
+            assert_col_equiv(&col.cast(target).unwrap(), &expected);
+        }
+        // String round-trip: Utf8 -> Int64 parse.
+        let strs = ints.cast(DType::Utf8).unwrap();
+        assert_col_equiv(
+            &strs.cast(DType::Int64).unwrap(),
+            &cast_ref(&strs, DType::Int64).unwrap(),
+        );
+    }
+
+    #[test]
+    fn slice_matches_reference(
+        a in prop::collection::vec(-40i64..40, 0..90),
+        s in prop::collection::vec("[xy]{0,2}", 0..90),
+        na in prop::collection::vec(any::<bool>(), 0..90),
+        offset in 0usize..100,
+        len in 0usize..100,
+    ) {
+        let n = a.len().min(s.len()).min(na.len());
+        let ints = col_i64(&a[..n], &na[..n]);
+        let strs = col_str(&s[..n], &na[..n]);
+        assert_col_equiv(&ints.slice(offset, len), &slice_ref(&ints, offset, len));
+        assert_col_equiv(&strs.slice(offset, len), &slice_ref(&strs, offset, len));
+    }
+
+    #[test]
+    fn groupby_matches_reference(
+        keys in prop::collection::vec(0i64..6, 1..120),
+        skeys in prop::collection::vec("[ab]{1,2}", 1..120),
+        vals in prop::collection::vec(-30i64..30, 1..120),
+        nk in prop::collection::vec(any::<bool>(), 1..120),
+        nv in prop::collection::vec(any::<bool>(), 1..120),
+    ) {
+        let n = keys.len().min(skeys.len()).min(vals.len()).min(nk.len()).min(nv.len());
+        let frame = DataFrame::new(vec![
+            Series::new("k", col_i64(&keys[..n], &nk[..n])),
+            Series::new("s", col_str(&skeys[..n], &nk[..n])),
+            Series::new("v", col_i64(&vals[..n], &nv[..n])),
+        ])
+        .unwrap();
+        for agg in [
+            AggKind::Sum,
+            AggKind::Mean,
+            AggKind::Count,
+            AggKind::Min,
+            AggKind::Max,
+            AggKind::NUnique,
+        ] {
+            for keyset in [vec!["k".to_string()], vec!["s".into(), "k".into()]] {
+                let spec = GroupBySpec {
+                    keys: keyset,
+                    value: "v".into(),
+                    agg,
+                };
+                assert_frame_equiv(&group_by(&frame, &spec).unwrap(), &group_by_ref(&frame, &spec));
+            }
+        }
+    }
+
+    #[test]
+    fn groupby_streaming_and_merge_match_oneshot(
+        keys in prop::collection::vec(0i64..5, 1..100),
+        quarters in prop::collection::vec(-120i64..120, 1..100),
+        nv in prop::collection::vec(any::<bool>(), 1..100),
+        split in 0usize..100,
+    ) {
+        use lafp_columnar::groupby::GroupByAccumulator;
+        // Dyadic values (multiples of 0.25): float addition over them is
+        // exact at these magnitudes, so merge order cannot perturb sums
+        // (plain reals would make merge-vs-oneshot equality too strict —
+        // the seed accumulator was order-sensitive the same way).
+        let vals: Vec<f64> = quarters.iter().map(|&q| q as f64 / 4.0).collect();
+        let n = keys.len().min(vals.len()).min(nv.len());
+        let frame = DataFrame::new(vec![
+            Series::new("k", col_i64(&keys[..n], &[false].repeat(n))),
+            Series::new("v", col_f64(&vals[..n], &nv[..n])),
+        ])
+        .unwrap();
+        let split = split.min(n);
+        for agg in [AggKind::Sum, AggKind::Mean, AggKind::Min, AggKind::NUnique] {
+            let spec = GroupBySpec { keys: vec!["k".into()], value: "v".into(), agg };
+            let whole = group_by(&frame, &spec).unwrap();
+            // Streaming chunks.
+            let mut acc = GroupByAccumulator::new(spec.clone());
+            acc.update(&frame.slice(0, split)).unwrap();
+            acc.update(&frame.slice(split, n - split)).unwrap();
+            assert_frame_equiv(&acc.finish().unwrap(), &whole);
+            // Parallel merge.
+            let mut left = GroupByAccumulator::new(spec.clone());
+            left.update(&frame.slice(0, split)).unwrap();
+            let mut right = GroupByAccumulator::new(spec);
+            right.update(&frame.slice(split, n - split)).unwrap();
+            left.merge(&right);
+            assert_frame_equiv(&left.finish().unwrap(), &whole);
+        }
+    }
+}
