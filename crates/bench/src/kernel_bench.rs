@@ -16,7 +16,10 @@
 
 use crate::datagen::kernel_frame;
 use lafp_columnar::column::{ArithOp, CmpOp, ColumnBuilder};
+use lafp_columnar::csv::{read_csv, split_record, CsvOptions};
 use lafp_columnar::groupby::{group_by, AggKind, GroupBySpec};
+use lafp_columnar::join::{merge, JoinKind};
+use lafp_columnar::sort::{nlargest, sort_values, SortOptions};
 use lafp_columnar::{Bitmap, Column, DType, DataFrame, Scalar, Series};
 use std::collections::HashMap;
 use std::hint::black_box;
@@ -35,14 +38,23 @@ pub struct BenchResult {
     pub speedup: f64,
 }
 
-fn best_of_ms(iters: usize, mut f: impl FnMut()) -> f64 {
-    let mut best = f64::INFINITY;
+/// Best-of-N paired timing: each iteration times the seed reference and
+/// the vectorized kernel back to back, so both sides see the same
+/// allocator and cache state as the process evolves — a seed-first block
+/// followed by a fast-only block would systematically charge the fast
+/// side with the reference's heap churn.
+fn best_of_pair_ms(iters: usize, mut seed: impl FnMut(), mut fast: impl FnMut()) -> (f64, f64) {
+    let mut best_seed = f64::INFINITY;
+    let mut best_fast = f64::INFINITY;
     for _ in 0..iters.max(1) {
         let t = Instant::now();
-        f();
-        best = best.min(t.elapsed().as_secs_f64() * 1e3);
+        seed();
+        best_seed = best_seed.min(t.elapsed().as_secs_f64() * 1e3);
+        let t = Instant::now();
+        fast();
+        best_fast = best_fast.min(t.elapsed().as_secs_f64() * 1e3);
     }
-    best
+    (best_seed, best_fast)
 }
 
 // ---------------------------------------------------------------------------
@@ -351,6 +363,187 @@ fn sum_ref(col: &Column) -> Scalar {
     }
 }
 
+/// The seed hash join: one canonical key `String` per row on *both*
+/// sides, `Scalar`-boxed gather of the right columns.
+fn merge_ref(left: &DataFrame, right: &DataFrame, on: &[String], how: JoinKind) -> DataFrame {
+    let key_strings = |frame: &DataFrame| -> Vec<String> {
+        let cols: Vec<&Series> = on.iter().map(|k| frame.column(k).unwrap()).collect();
+        (0..frame.num_rows())
+            .map(|i| {
+                cols.iter()
+                    .map(|s| s.get(i).to_string())
+                    .collect::<Vec<_>>()
+                    .join("\u{1}")
+            })
+            .collect()
+    };
+    let right_keys = key_strings(right);
+    let mut build: HashMap<&str, Vec<usize>> = HashMap::new();
+    for (i, k) in right_keys.iter().enumerate() {
+        build.entry(k.as_str()).or_default().push(i);
+    }
+    let left_keys = key_strings(left);
+    let mut left_idx: Vec<usize> = Vec::new();
+    let mut right_idx: Vec<Option<usize>> = Vec::new();
+    for (i, k) in left_keys.iter().enumerate() {
+        match build.get(k.as_str()) {
+            Some(matches) => {
+                for &j in matches {
+                    left_idx.push(i);
+                    right_idx.push(Some(j));
+                }
+            }
+            None => {
+                if how == JoinKind::Left {
+                    left_idx.push(i);
+                    right_idx.push(None);
+                }
+            }
+        }
+    }
+    let gather_optional = |col: &Column| -> Column {
+        if right_idx.iter().all(Option::is_some) {
+            let idx: Vec<usize> = right_idx.iter().map(|i| i.unwrap()).collect();
+            return col.take(&idx).unwrap();
+        }
+        let mut b = ColumnBuilder::new(col.dtype());
+        for ix in &right_idx {
+            match ix {
+                Some(i) => b.push_scalar(&col.get(*i)).unwrap(),
+                None => b.push_null(),
+            }
+        }
+        b.finish()
+    };
+    let key_set: std::collections::HashSet<&str> = on.iter().map(String::as_str).collect();
+    let overlap: std::collections::HashSet<&str> = left
+        .column_names()
+        .into_iter()
+        .filter(|n| !key_set.contains(n) && right.has_column(n))
+        .collect();
+    let mut out: Vec<Series> = Vec::new();
+    for s in left.series() {
+        let name = if overlap.contains(s.name()) {
+            format!("{}_x", s.name())
+        } else {
+            s.name().to_string()
+        };
+        out.push(Series::new(name, s.column().take(&left_idx).unwrap()));
+    }
+    for s in right.series() {
+        if key_set.contains(s.name()) {
+            continue;
+        }
+        let name = if overlap.contains(s.name()) {
+            format!("{}_y", s.name())
+        } else {
+            s.name().to_string()
+        };
+        out.push(Series::new(name, gather_optional(s.column())));
+    }
+    DataFrame::new(out).unwrap()
+}
+
+/// The seed sort: `Vec<Scalar>` key columns, boxed `cmp_values` per row
+/// comparison, nulls last regardless of direction.
+fn sort_values_ref(frame: &DataFrame, options: &SortOptions) -> DataFrame {
+    use std::cmp::Ordering;
+    let dir = |k: usize| -> bool {
+        options.ascending.get(k).copied().unwrap_or(
+            options.ascending.first().copied().unwrap_or(true),
+        )
+    };
+    let key_cols: Vec<Vec<Scalar>> = options
+        .by
+        .iter()
+        .map(|name| {
+            let s = frame.column(name).unwrap();
+            (0..frame.num_rows()).map(|i| s.get(i)).collect()
+        })
+        .collect();
+    let mut order: Vec<usize> = (0..frame.num_rows()).collect();
+    order.sort_by(|&a, &b| {
+        for (k, col) in key_cols.iter().enumerate() {
+            let (x, y) = (&col[a], &col[b]);
+            let ord = match (x.is_null(), y.is_null()) {
+                (true, true) => Ordering::Equal,
+                (true, false) => Ordering::Greater,
+                (false, true) => Ordering::Less,
+                (false, false) => {
+                    let o = x.cmp_values(y);
+                    if dir(k) {
+                        o
+                    } else {
+                        o.reverse()
+                    }
+                }
+            };
+            if ord != Ordering::Equal {
+                return ord;
+            }
+        }
+        Ordering::Equal
+    });
+    frame.take(&order).unwrap()
+}
+
+/// The seed nlargest: full sort, then head.
+fn nlargest_ref(frame: &DataFrame, n: usize, column: &str) -> DataFrame {
+    sort_values_ref(frame, &SortOptions::single(column, false)).head(n)
+}
+
+/// The seed CSV reader: a fresh `Vec<String>` per record via
+/// `split_record`, one boxed `Scalar` per cell through `push_scalar`.
+fn read_csv_ref(path: &std::path::Path, schema: &[(String, DType)]) -> DataFrame {
+    use std::io::BufRead;
+    let file = std::fs::File::open(path).unwrap();
+    let mut reader = std::io::BufReader::new(file);
+    let mut line = String::new();
+    reader.read_line(&mut line).unwrap();
+    let header = split_record(line.trim_end_matches(['\n', '\r']));
+    assert_eq!(header.len(), schema.len());
+    let mut builders: Vec<ColumnBuilder> = schema
+        .iter()
+        .map(|(_, dt)| ColumnBuilder::new(*dt))
+        .collect();
+    loop {
+        line.clear();
+        if reader.read_line(&mut line).unwrap() == 0 {
+            break;
+        }
+        let trimmed = line.trim_end_matches(['\n', '\r']);
+        if trimmed.is_empty() {
+            continue;
+        }
+        let record = split_record(trimmed);
+        for (slot, raw) in record.iter().enumerate() {
+            let b = &mut builders[slot];
+            if raw.is_empty() {
+                b.push_null();
+                continue;
+            }
+            let scalar = match schema[slot].1 {
+                DType::Int64 => Scalar::Int(raw.trim().parse().unwrap()),
+                DType::Float64 => Scalar::Float(raw.trim().parse().unwrap()),
+                DType::Bool => Scalar::Bool(matches!(raw.trim(), "True" | "true" | "1")),
+                DType::Datetime => {
+                    Scalar::Datetime(lafp_columnar::value::parse_datetime(raw).unwrap())
+                }
+                DType::Utf8 | DType::Categorical => Scalar::Str(raw.clone()),
+            };
+            b.push_scalar(&scalar).unwrap();
+        }
+    }
+    DataFrame::new(
+        schema
+            .iter()
+            .zip(builders)
+            .map(|((name, _), b)| Series::new(name.clone(), b.finish()))
+            .collect(),
+    )
+    .unwrap()
+}
+
 // ---------------------------------------------------------------------------
 // The suite
 // ---------------------------------------------------------------------------
@@ -365,6 +558,15 @@ fn assert_col_equiv(a: &Column, b: &Column, what: &str) {
             (x.is_null() && y.is_null()) || x == y,
             "{what}: row {i}: {x:?} vs {y:?}"
         );
+    }
+}
+
+/// Scalar-wise frame equivalence.
+fn assert_frame_equiv(a: &DataFrame, b: &DataFrame, what: &str) {
+    assert_eq!(a.num_columns(), b.num_columns(), "{what}: columns");
+    for (x, y) in a.series().iter().zip(b.series()) {
+        assert_eq!(x.name(), y.name(), "{what}: column name");
+        assert_col_equiv(x.column(), y.column(), &format!("{what}.{}", x.name()));
     }
 }
 
@@ -393,12 +595,15 @@ pub fn run_suite(rows: usize, iters: usize) -> Vec<BenchResult> {
         agg: AggKind::Sum,
     };
     assert_eq!(group_by_ref(&frame, &spec), group_by(&frame, &spec).unwrap());
-    let seed = best_of_ms(iters, || {
+    let (seed, fast) = best_of_pair_ms(
+        iters,
+        || {
         black_box(group_by_ref(black_box(&frame), &spec));
-    });
-    let fast = best_of_ms(iters, || {
+    },
+        || {
         black_box(group_by(black_box(&frame), &spec).unwrap());
-    });
+    },
+    );
     push("groupby_i64key_sum_f64", seed, fast);
 
     let multi = GroupBySpec {
@@ -410,23 +615,29 @@ pub fn run_suite(rows: usize, iters: usize) -> Vec<BenchResult> {
         group_by_ref(&frame, &multi),
         group_by(&frame, &multi).unwrap()
     );
-    let seed = best_of_ms(iters, || {
+    let (seed, fast) = best_of_pair_ms(
+        iters,
+        || {
         black_box(group_by_ref(black_box(&frame), &multi));
-    });
-    let fast = best_of_ms(iters, || {
+    },
+        || {
         black_box(group_by(black_box(&frame), &multi).unwrap());
-    });
+    },
+    );
     push("groupby_multikey_mean_f64", seed, fast);
 
     // -- filter --------------------------------------------------------
     let mask = fare.compare_scalar(CmpOp::Gt, &Scalar::Float(40.0)).unwrap();
     assert_eq!(filter_ref(&frame, &mask), frame.filter(&mask).unwrap());
-    let seed = best_of_ms(iters, || {
+    let (seed, fast) = best_of_pair_ms(
+        iters,
+        || {
         black_box(filter_ref(black_box(&frame), &mask));
-    });
-    let fast = best_of_ms(iters, || {
+    },
+        || {
         black_box(frame.filter(black_box(&mask)).unwrap());
-    });
+    },
+    );
     push("filter_mixed_frame", seed, fast);
 
     // -- element-wise arithmetic ---------------------------------------
@@ -435,12 +646,15 @@ pub fn run_suite(rows: usize, iters: usize) -> Vec<BenchResult> {
         &fare.arith(ArithOp::Mul, tip).unwrap(),
         "arith f64",
     );
-    let seed = best_of_ms(iters, || {
+    let (seed, fast) = best_of_pair_ms(
+        iters,
+        || {
         black_box(arith_ref(black_box(fare), ArithOp::Mul, tip));
-    });
-    let fast = best_of_ms(iters, || {
+    },
+        || {
         black_box(black_box(fare).arith(ArithOp::Mul, tip).unwrap());
-    });
+    },
+    );
     push("arith_mul_f64", seed, fast);
 
     assert_col_equiv(
@@ -448,22 +662,28 @@ pub fn run_suite(rows: usize, iters: usize) -> Vec<BenchResult> {
         &key.arith(ArithOp::Add, passenger).unwrap(),
         "arith i64",
     );
-    let seed = best_of_ms(iters, || {
+    let (seed, fast) = best_of_pair_ms(
+        iters,
+        || {
         black_box(arith_ref(black_box(key), ArithOp::Add, passenger));
-    });
-    let fast = best_of_ms(iters, || {
+    },
+        || {
         black_box(black_box(key).arith(ArithOp::Add, passenger).unwrap());
-    });
+    },
+    );
     push("arith_add_i64", seed, fast);
 
     // -- comparison ----------------------------------------------------
     assert_eq!(compare_ref(fare, CmpOp::Gt, tip), fare.compare(CmpOp::Gt, tip).unwrap());
-    let seed = best_of_ms(iters, || {
+    let (seed, fast) = best_of_pair_ms(
+        iters,
+        || {
         black_box(compare_ref(black_box(fare), CmpOp::Gt, tip));
-    });
-    let fast = best_of_ms(iters, || {
+    },
+        || {
         black_box(black_box(fare).compare(CmpOp::Gt, tip).unwrap());
-    });
+    },
+    );
     push("compare_gt_f64", seed, fast);
 
     // -- slice (head) --------------------------------------------------
@@ -471,20 +691,25 @@ pub fn run_suite(rows: usize, iters: usize) -> Vec<BenchResult> {
     // to time on its own.
     let head_loops = 200usize;
     assert_col_equiv(&slice_ref(fare, 10, 1000), &fare.slice(10, 1000), "slice");
-    let seed = best_of_ms(iters, || {
+    let (seed, fast) = best_of_pair_ms(
+        iters,
+        || {
         for k in 0..head_loops {
             black_box(slice_ref(black_box(fare), k, 1000));
         }
-    });
-    let fast = best_of_ms(iters, || {
+    },
+        || {
         for k in 0..head_loops {
             black_box(black_box(fare).slice(k, 1000));
         }
-    });
+    },
+    );
     push("slice_head_1000_x200", seed, fast);
 
     // Frame-level slice across all six columns (strings included).
-    let seed = best_of_ms(iters, || {
+    let (seed, fast) = best_of_pair_ms(
+        iters,
+        || {
         for k in 0..head_loops {
             black_box(
                 DataFrame::new(
@@ -497,12 +722,13 @@ pub fn run_suite(rows: usize, iters: usize) -> Vec<BenchResult> {
                 .unwrap(),
             );
         }
-    });
-    let fast = best_of_ms(iters, || {
+    },
+        || {
         for k in 0..head_loops {
             black_box(black_box(&frame).slice(k, 1000));
         }
-    });
+    },
+    );
     push("slice_frame_1000_x200", seed, fast);
 
     // -- fillna / cast / sum -------------------------------------------
@@ -511,12 +737,15 @@ pub fn run_suite(rows: usize, iters: usize) -> Vec<BenchResult> {
         &fare.fillna(&Scalar::Float(0.0)).unwrap(),
         "fillna",
     );
-    let seed = best_of_ms(iters, || {
+    let (seed, fast) = best_of_pair_ms(
+        iters,
+        || {
         black_box(fillna_ref(black_box(fare), &Scalar::Float(0.0)));
-    });
-    let fast = best_of_ms(iters, || {
+    },
+        || {
         black_box(black_box(fare).fillna(&Scalar::Float(0.0)).unwrap());
-    });
+    },
+    );
     push("fillna_f64", seed, fast);
 
     assert_col_equiv(
@@ -524,22 +753,186 @@ pub fn run_suite(rows: usize, iters: usize) -> Vec<BenchResult> {
         &key.cast(DType::Float64).unwrap(),
         "cast",
     );
-    let seed = best_of_ms(iters, || {
+    let (seed, fast) = best_of_pair_ms(
+        iters,
+        || {
         black_box(cast_ref(black_box(key), DType::Float64));
-    });
-    let fast = best_of_ms(iters, || {
+    },
+        || {
         black_box(black_box(key).cast(DType::Float64).unwrap());
-    });
+    },
+    );
     push("cast_i64_to_f64", seed, fast);
 
     assert_eq!(sum_ref(fare), fare.sum());
-    let seed = best_of_ms(iters, || {
+    let (seed, fast) = best_of_pair_ms(
+        iters,
+        || {
         black_box(sum_ref(black_box(fare)));
-    });
-    let fast = best_of_ms(iters, || {
+    },
+        || {
         black_box(black_box(fare).sum());
-    });
+    },
+    );
     push("sum_f64", seed, fast);
+
+    // -- hash join -----------------------------------------------------
+    // Right (build) sides: one row per distinct key for the single-key
+    // joins, vendor x key combinations for the multi-key join. The
+    // left-join side covers only half the keys so misses exercise the
+    // null-aware typed gather.
+    let vendors = ["CMT", "VTS", "DDS", "NYC", "JUNO", "LYFT"];
+    let right_full = DataFrame::new(vec![
+        Series::new("key", Column::from_i64((0..100).collect())),
+        Series::new(
+            "title",
+            Column::from_strings((0..100).map(|k| format!("key-title-{k}"))),
+        ),
+        Series::new("val", Column::from_f64((0..100).map(|k| k as f64 * 0.5).collect())),
+    ])
+    .unwrap();
+    let right_half = DataFrame::new(vec![
+        Series::new("key", Column::from_i64((0..50).collect())),
+        Series::new(
+            "title",
+            Column::from_strings((0..50).map(|k| format!("key-title-{k}"))),
+        ),
+        Series::new("val", Column::from_f64((0..50).map(|k| k as f64 * 0.5).collect())),
+    ])
+    .unwrap();
+    let right_multi = DataFrame::new(vec![
+        Series::new(
+            "vendor",
+            Column::from_strings(vendors.iter().flat_map(|v| std::iter::repeat_n(*v, 100))),
+        ),
+        Series::new(
+            "key",
+            Column::from_i64((0..vendors.len() as i64).flat_map(|_| 0..100).collect()),
+        ),
+        Series::new(
+            "boost",
+            Column::from_f64((0..vendors.len() * 100).map(|i| i as f64 * 0.25).collect()),
+        ),
+    ])
+    .unwrap();
+
+    let on_key = vec!["key".to_string()];
+    let on_multi = vec!["vendor".to_string(), "key".to_string()];
+    for (name, right, on, how) in [
+        ("join_inner_i64key", &right_full, &on_key, JoinKind::Inner),
+        ("join_inner_multikey", &right_multi, &on_multi, JoinKind::Inner),
+        ("join_left_i64key", &right_half, &on_key, JoinKind::Left),
+    ] {
+        assert_frame_equiv(
+            &merge(&frame, right, on, how).unwrap(),
+            &merge_ref(&frame, right, on, how),
+            name,
+        );
+        let (seed, fast) = best_of_pair_ms(
+            iters,
+            || {
+            black_box(merge_ref(black_box(&frame), right, on, how));
+        },
+            || {
+            black_box(merge(black_box(&frame), right, on, how).unwrap());
+        },
+        );
+        push(name, seed, fast);
+    }
+
+    // -- sort ----------------------------------------------------------
+    let sort_single = SortOptions::single("fare", true);
+    let sort_multi = SortOptions {
+        by: vec!["vendor".into(), "fare".into()],
+        ascending: vec![true, false],
+    };
+    for (name, options) in [
+        ("sort_single_f64", &sort_single),
+        ("sort_multikey_str_f64", &sort_multi),
+    ] {
+        assert_frame_equiv(
+            &sort_values(&frame, options).unwrap(),
+            &sort_values_ref(&frame, options),
+            name,
+        );
+        let (seed, fast) = best_of_pair_ms(
+            iters,
+            || {
+            black_box(sort_values_ref(black_box(&frame), options));
+        },
+            || {
+            black_box(sort_values(black_box(&frame), options).unwrap());
+        },
+        );
+        push(name, seed, fast);
+    }
+
+    let top_n = 100.min(rows);
+    assert_frame_equiv(
+        &nlargest(&frame, top_n, "fare").unwrap(),
+        &nlargest_ref(&frame, top_n, "fare"),
+        "nlargest",
+    );
+    let (seed, fast) = best_of_pair_ms(
+        iters,
+        || {
+        black_box(nlargest_ref(black_box(&frame), top_n, "fare"));
+    },
+        || {
+        black_box(nlargest(black_box(&frame), top_n, "fare").unwrap());
+    },
+    );
+    push("nlargest_100_f64", seed, fast);
+
+    // -- CSV ingestion -------------------------------------------------
+    // A mixed-dtype file written once outside the timed region: int id,
+    // float fare with empty (null) cells, a string column with quoted
+    // commas, and a bool flag.
+    let csv_path = std::env::temp_dir().join(format!(
+        "lafp-kernel-bench-{rows}-{}.csv",
+        std::process::id()
+    ));
+    {
+        use std::io::Write as _;
+        let mut w = std::io::BufWriter::new(std::fs::File::create(&csv_path).unwrap());
+        writeln!(w, "id,fare,city,ok").unwrap();
+        for i in 0..rows {
+            let fare = if i % 50 == 0 {
+                String::new()
+            } else {
+                format!("{:.2}", (i % 977) as f64 * 0.13)
+            };
+            if i % 7 == 0 {
+                writeln!(w, "{i},{fare},\"City, {}\",true", i % 80).unwrap();
+            } else {
+                writeln!(w, "{i},{fare},City{},false", i % 80).unwrap();
+            }
+        }
+        w.flush().unwrap();
+    }
+    let csv_options = CsvOptions::new();
+    let csv_schema = vec![
+        ("id".to_string(), DType::Int64),
+        ("fare".to_string(), DType::Float64),
+        ("city".to_string(), DType::Utf8),
+        ("ok".to_string(), DType::Bool),
+    ];
+    assert_frame_equiv(
+        &read_csv(&csv_path, &csv_options).unwrap(),
+        &read_csv_ref(&csv_path, &csv_schema),
+        "read_csv",
+    );
+    let (seed, fast) = best_of_pair_ms(
+        iters,
+        || {
+        black_box(read_csv_ref(black_box(&csv_path), &csv_schema));
+    },
+        || {
+        black_box(read_csv(black_box(&csv_path), &csv_options).unwrap());
+    },
+    );
+    push("read_csv_mixed", seed, fast);
+    std::fs::remove_file(&csv_path).ok();
 
     results
 }
@@ -580,12 +973,15 @@ mod tests {
     #[test]
     fn suite_smoke() {
         let results = run_suite(2_000, 1);
-        assert!(results.len() >= 8);
+        assert!(results.len() >= 15);
         for r in &results {
             assert!(r.seed_ms >= 0.0 && r.vectorized_ms > 0.0, "{}", r.name);
         }
-        let json = render_json(2, 2_000, 1, &results);
+        let json = render_json(3, 2_000, 1, &results);
         assert!(json.contains("\"benches\""));
         assert!(json.contains("groupby_i64key_sum_f64"));
+        assert!(json.contains("join_inner_i64key"));
+        assert!(json.contains("sort_single_f64"));
+        assert!(json.contains("read_csv_mixed"));
     }
 }

@@ -78,6 +78,12 @@ impl Bitmap {
         }
     }
 
+    /// Reserve room for `additional` more bits.
+    pub fn reserve(&mut self, additional: usize) {
+        let needed = (self.len + additional).div_ceil(64);
+        self.words.reserve(needed.saturating_sub(self.words.len()));
+    }
+
     /// Number of set bits.
     pub fn count_set(&self) -> usize {
         self.words.iter().map(|w| w.count_ones() as usize).sum()
@@ -161,24 +167,59 @@ impl Bitmap {
         }
     }
 
-    /// Select the bits at `indices` into a new bitmap (gather).
+    /// Select the bits at `indices` into a new bitmap (gather). Output
+    /// words are assembled in a register and flushed one word at a time —
+    /// no per-bit `push` bookkeeping.
     pub fn take(&self, indices: &[usize]) -> Bitmap {
-        Bitmap::from_iter(indices.iter().map(|&i| self.get(i)))
+        self.take_idx(indices)
+    }
+
+    /// [`Bitmap::take`] generic over the index width (see
+    /// [`crate::column::IndexLike`]).
+    pub(crate) fn take_idx<I: crate::column::IndexLike>(&self, indices: &[I]) -> Bitmap {
+        let mut out = BitWriter::with_capacity(indices.len());
+        for &i in indices {
+            out.append_bit(self.get(i.idx()));
+        }
+        out.finish()
     }
 
     /// Keep only the bits where `mask` is set (compaction by filter mask).
+    /// Runs word-parallel: all-set and all-clear mask words are handled in
+    /// one step, and partial words compact via a software bit-extract
+    /// instead of one `push` per surviving bit.
     pub fn filter(&self, mask: &Bitmap) -> Bitmap {
         assert_eq!(self.len, mask.len, "bitmap length mismatch");
-        let mut out = Bitmap::empty();
-        mask.for_each_set(|i| out.push(self.get(i)));
-        out
+        let mut out = BitWriter::with_capacity(mask.count_set());
+        for (wi, &m) in mask.words.iter().enumerate() {
+            if m == 0 {
+                continue;
+            }
+            let data = self.words[wi];
+            // The tail word's mask bits past `len` are already zero
+            // (mask_tail invariant), so a full mask word is always a full
+            // 64-bit run of kept data.
+            if m == u64::MAX {
+                out.append_word(data, 64);
+            } else {
+                let (compacted, kept) = extract_bits(data, m);
+                out.append_word(compacted, kept);
+            }
+        }
+        out.finish()
     }
 
-    /// Concatenate `other` onto the end of `self`.
+    /// Concatenate `other` onto the end of `self` (word-at-a-time: each
+    /// appended word is spliced in with two shifts, not 64 pushes).
     pub fn extend_from(&mut self, other: &Bitmap) {
-        for b in other.iter() {
-            self.push(b);
+        let mut w = BitWriter::from_bitmap(std::mem::replace(self, Bitmap::empty()));
+        let mut remaining = other.len;
+        for &word in &other.words {
+            let n = remaining.min(64);
+            w.append_word(word, n);
+            remaining -= n;
         }
+        *self = w.finish();
     }
 
     /// Contiguous sub-range `[offset, offset + len)`. Word-at-a-time: each
@@ -212,6 +253,100 @@ impl Bitmap {
             if let Some(last) = self.words.last_mut() {
                 *last &= (1u64 << rem) - 1;
             }
+        }
+    }
+}
+
+/// Software bit-extract (`pext`): compact the bits of `value` selected by
+/// `mask` into the low bits of the result; returns `(compacted, count)`.
+#[inline]
+fn extract_bits(value: u64, mut mask: u64) -> (u64, usize) {
+    let mut out = 0u64;
+    let mut k = 0usize;
+    while mask != 0 {
+        let bit = mask.trailing_zeros() as u64;
+        out |= ((value >> bit) & 1) << k;
+        k += 1;
+        mask &= mask - 1;
+    }
+    (out, k)
+}
+
+/// Word-buffered bitmap writer: bits accumulate in a register word and
+/// flush 64 at a time, so bulk builders skip `push`'s per-bit branch and
+/// bounds checks.
+pub struct BitWriter {
+    /// Completed 64-bit words.
+    words: Vec<u64>,
+    /// The partial word being assembled.
+    acc: u64,
+    /// Bits currently in `acc` (always < 64 between calls).
+    nbits: usize,
+}
+
+impl BitWriter {
+    /// Writer with room for `bits` bits.
+    pub fn with_capacity(bits: usize) -> BitWriter {
+        BitWriter {
+            words: Vec::with_capacity(bits.div_ceil(64)),
+            acc: 0,
+            nbits: 0,
+        }
+    }
+
+    /// Resume writing at the end of an existing bitmap (its last partial
+    /// word, if any, becomes the accumulator).
+    fn from_bitmap(bm: Bitmap) -> BitWriter {
+        let nbits = bm.len % 64;
+        let mut words = bm.words;
+        let acc = if nbits > 0 {
+            words.pop().unwrap_or(0)
+        } else {
+            0
+        };
+        BitWriter { words, acc, nbits }
+    }
+
+    /// Append one bit.
+    #[inline]
+    pub fn append_bit(&mut self, value: bool) {
+        self.acc |= (value as u64) << self.nbits;
+        self.nbits += 1;
+        if self.nbits == 64 {
+            self.words.push(self.acc);
+            self.acc = 0;
+            self.nbits = 0;
+        }
+    }
+
+    /// Append the low `n` bits of `word`.
+    #[inline]
+    pub fn append_word(&mut self, word: u64, n: usize) {
+        debug_assert!(n <= 64);
+        if n == 0 {
+            return;
+        }
+        let word = if n == 64 { word } else { word & ((1u64 << n) - 1) };
+        self.acc |= word << self.nbits;
+        if self.nbits + n >= 64 {
+            self.words.push(self.acc);
+            let consumed = 64 - self.nbits;
+            self.acc = if consumed == 64 { 0 } else { word >> consumed };
+            self.nbits = self.nbits + n - 64;
+        } else {
+            self.nbits += n;
+        }
+    }
+
+    /// Finish into a [`Bitmap`].
+    pub fn finish(mut self) -> Bitmap {
+        let len = self.words.len() * 64 + self.nbits;
+        if self.nbits > 0 {
+            self.words.push(self.acc);
+        }
+        Bitmap {
+            words: self.words,
+            len,
         }
     }
 }
@@ -379,6 +514,64 @@ mod tests {
         assert_eq!(bm.count_set(), 3);
         bm.set(63, false);
         assert_eq!(bm.count_set(), 2);
+    }
+
+    /// The word-parallel filter/take/extend_from must agree with the naive
+    /// per-bit definitions at and around word boundaries.
+    #[test]
+    fn word_parallel_paths_match_naive() {
+        for len in [0usize, 1, 63, 64, 65, 127, 128, 130, 200] {
+            let data = Bitmap::from_iter((0..len).map(|i| i % 3 == 0));
+            let mask = Bitmap::from_iter((0..len).map(|i| i % 2 == 0 || i % 7 == 0));
+            // filter == per-bit compaction
+            let expect: Bitmap = (0..len)
+                .filter(|&i| mask.get(i))
+                .map(|i| data.get(i))
+                .collect();
+            assert_eq!(data.filter(&mask), expect, "filter len {len}");
+            // all-set and all-clear masks
+            assert_eq!(data.filter(&Bitmap::new(len, true)), data, "full mask {len}");
+            assert_eq!(
+                data.filter(&Bitmap::new(len, false)),
+                Bitmap::empty(),
+                "empty mask {len}"
+            );
+            // take == per-index gather
+            let idx: Vec<usize> = (0..len).rev().collect();
+            let taken = data.take(&idx);
+            let expect: Bitmap = idx.iter().map(|&i| data.get(i)).collect();
+            assert_eq!(taken, expect, "take len {len}");
+            // extend_from at every alignment
+            for prefix in [0usize, 1, 63, 64, 65] {
+                let mut a = Bitmap::from_iter((0..prefix).map(|i| i % 5 == 0));
+                let expect: Bitmap = a.iter().chain(data.iter()).collect();
+                a.extend_from(&data);
+                assert_eq!(a, expect, "extend prefix {prefix} len {len}");
+                assert_eq!(a.count_set(), expect.count_set());
+            }
+        }
+    }
+
+    #[test]
+    fn bitwriter_append_word_alignments() {
+        // Append runs of every length at every starting alignment.
+        for start in 0usize..66 {
+            for n in [0usize, 1, 7, 63, 64] {
+                let mut w = BitWriter::with_capacity(start + n);
+                for i in 0..start {
+                    w.append_bit(i % 2 == 0);
+                }
+                w.append_word(u64::MAX, n);
+                let bm = w.finish();
+                assert_eq!(bm.len(), start + n, "start {start} n {n}");
+                for i in 0..start {
+                    assert_eq!(bm.get(i), i % 2 == 0, "prefix bit {i}");
+                }
+                for i in start..start + n {
+                    assert!(bm.get(i), "appended bit {i} (start {start} n {n})");
+                }
+            }
+        }
     }
 
     #[test]

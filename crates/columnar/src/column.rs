@@ -7,6 +7,53 @@ use crate::value::{self, Scalar};
 use crate::HeapSize;
 use std::sync::Arc;
 
+/// Internal index abstraction so gather kernels can run over `u32` or
+/// `usize` index vectors — the join emits `u32` row ids when both sides
+/// fit, halving the index memory traffic through output assembly.
+pub(crate) trait IndexLike: Copy {
+    /// Widen to a `usize` index.
+    fn idx(self) -> usize;
+    /// Narrow from a `usize` index (caller guarantees it fits).
+    fn from_usize(i: usize) -> Self;
+    /// Sentinel marking "no source row" in null-aware gathers.
+    const SENTINEL: Self;
+    /// Is this the sentinel?
+    fn is_sentinel(self) -> bool;
+}
+
+impl IndexLike for usize {
+    #[inline]
+    fn idx(self) -> usize {
+        self
+    }
+    #[inline]
+    fn from_usize(i: usize) -> Self {
+        i
+    }
+    const SENTINEL: usize = usize::MAX;
+    #[inline]
+    fn is_sentinel(self) -> bool {
+        self == usize::MAX
+    }
+}
+
+impl IndexLike for u32 {
+    #[inline]
+    fn idx(self) -> usize {
+        self as usize
+    }
+    #[inline]
+    fn from_usize(i: usize) -> Self {
+        debug_assert!(i < u32::MAX as usize);
+        i as u32
+    }
+    const SENTINEL: u32 = u32::MAX;
+    #[inline]
+    fn is_sentinel(self) -> bool {
+        self == u32::MAX
+    }
+}
+
 /// Dictionary-encoded string column payload (pandas `category`).
 #[derive(Debug, Clone, PartialEq)]
 pub struct Categorical {
@@ -383,27 +430,30 @@ impl Column {
         Ok(self.take_unchecked(indices))
     }
 
-    fn take_unchecked(&self, indices: &[usize]) -> Column {
-        let validity = self.validity().map(|v| v.take(indices));
+    /// `take` without the bounds scan, for callers whose indices are in
+    /// bounds by construction (join assembly over computed row ids).
+    /// Generic over the index width — joins pass `u32` row ids.
+    pub(crate) fn take_unchecked<I: IndexLike>(&self, indices: &[I]) -> Column {
+        let validity = self.validity().map(|v| v.take_idx(indices));
         match self {
             Column::Int64(data, _) => {
-                Column::Int64(indices.iter().map(|&i| data[i]).collect(), validity)
+                Column::Int64(indices.iter().map(|&i| data[i.idx()]).collect(), validity)
             }
             Column::Float64(data, _) => {
-                Column::Float64(indices.iter().map(|&i| data[i]).collect(), validity)
+                Column::Float64(indices.iter().map(|&i| data[i.idx()]).collect(), validity)
             }
-            Column::Bool(data, _) => Column::Bool(data.take(indices), validity),
+            Column::Bool(data, _) => Column::Bool(data.take_idx(indices), validity),
             Column::Utf8(data, _) => Column::Utf8(
                 // Arc clone: a pointer copy, not a byte copy of the string.
-                indices.iter().map(|&i| Arc::clone(&data[i])).collect(),
+                indices.iter().map(|&i| Arc::clone(&data[i.idx()])).collect(),
                 validity,
             ),
             Column::Datetime(data, _) => {
-                Column::Datetime(indices.iter().map(|&i| data[i]).collect(), validity)
+                Column::Datetime(indices.iter().map(|&i| data[i.idx()]).collect(), validity)
             }
             Column::Categorical(c, _) => Column::Categorical(
                 Categorical {
-                    codes: indices.iter().map(|&i| c.codes[i]).collect(),
+                    codes: indices.iter().map(|&i| c.codes[i.idx()]).collect(),
                     dict: Arc::clone(&c.dict),
                 },
                 validity,
@@ -1383,7 +1433,6 @@ impl Column {
     /// Mix each row's value into the provided per-row hash accumulators
     /// (FNV-1a style). `hashes.len()` must equal `self.len()`.
     pub fn hash_into(&self, hashes: &mut [u64]) {
-        const PRIME: u64 = 0x100000001b3;
         debug_assert_eq!(hashes.len(), self.len());
         let valid = |validity: &Option<Bitmap>, i: usize| -> bool {
             validity.as_ref().is_none_or(|m| m.get(i))
@@ -1391,7 +1440,7 @@ impl Column {
         // Dispatch on the buffer once; every arm is a tight loop.
         let mut mix = |i: usize, v: u64| {
             let h = &mut hashes[i];
-            *h = (*h ^ v).wrapping_mul(PRIME);
+            *h = (*h ^ v).wrapping_mul(HASH_PRIME);
         };
         match self {
             Column::Int64(v, m) | Column::Datetime(v, m) => {
@@ -1434,14 +1483,41 @@ impl Column {
     }
 }
 
+/// The FNV-1a prime — the one mixing constant every row-hash consumer
+/// (`hash_into`, group-by keying, join keying) must agree on.
+pub(crate) const HASH_PRIME: u64 = 0x100000001b3;
+
 /// FNV-1a over a byte slice.
 pub fn fnv1a(bytes: &[u8]) -> u64 {
     let mut h: u64 = 0xcbf29ce484222325;
     for &b in bytes {
-        h = (h ^ b as u64).wrapping_mul(0x100000001b3);
+        h = (h ^ b as u64).wrapping_mul(HASH_PRIME);
     }
     h
 }
+
+/// Identity hasher for tables keyed by already-FNV-mixed `u64` row
+/// hashes; feeding them through SipHash again would waste most of each
+/// probe.
+#[derive(Default)]
+pub(crate) struct PreHashed(u64);
+
+impl std::hash::Hasher for PreHashed {
+    fn finish(&self) -> u64 {
+        self.0
+    }
+    fn write(&mut self, _: &[u8]) {
+        unreachable!("PreHashed only hashes u64 keys");
+    }
+    fn write_u64(&mut self, v: u64) {
+        self.0 = v;
+    }
+}
+
+/// Hash table from a mixed row hash to the group ids sharing it, used by
+/// both the group-by accumulator and the join build side.
+pub(crate) type HashTable =
+    std::collections::HashMap<u64, Vec<u32>, std::hash::BuildHasherDefault<PreHashed>>;
 
 /// Comparison loop over a typed accessor for dtypes whose null state lives
 /// entirely in the validity mask (ints, strings, bools, datetimes).
@@ -1578,6 +1654,17 @@ impl ColumnBuilder {
         self.len() == 0
     }
 
+    /// Reserve room for `additional` more rows (data and validity).
+    pub fn reserve(&mut self, additional: usize) {
+        self.validity.reserve(additional);
+        match self.dtype {
+            DType::Int64 | DType::Datetime => self.ints.reserve(additional),
+            DType::Float64 => self.floats.reserve(additional),
+            DType::Bool => self.bools.reserve(additional),
+            DType::Utf8 | DType::Categorical => self.strings.reserve(additional),
+        }
+    }
+
     /// Push a null row.
     pub fn push_null(&mut self) {
         self.has_null = true;
@@ -1588,6 +1675,63 @@ impl ColumnBuilder {
             DType::Bool => self.bools.push(false),
             DType::Utf8 | DType::Categorical => self.strings.push(Arc::from("")),
         }
+    }
+
+    // -- typed pushes ---------------------------------------------------
+    //
+    // The zero-alloc ingestion paths (CSV parsing, typed gathers) push
+    // already-parsed values straight into the typed buffers; no `Scalar`
+    // is boxed and no coercion runs. Each method debug-asserts the
+    // builder's dtype — callers dispatch on dtype once per column, not
+    // once per cell.
+
+    /// Push an `i64` into an Int64 builder.
+    #[inline]
+    pub fn push_i64(&mut self, v: i64) {
+        debug_assert_eq!(self.dtype, DType::Int64);
+        self.validity.push(true);
+        self.ints.push(v);
+    }
+
+    /// Push an epoch-second timestamp into a Datetime builder.
+    #[inline]
+    pub fn push_datetime(&mut self, v: i64) {
+        debug_assert_eq!(self.dtype, DType::Datetime);
+        self.validity.push(true);
+        self.ints.push(v);
+    }
+
+    /// Push an `f64` into a Float64 builder (NaN still reads as null).
+    #[inline]
+    pub fn push_f64(&mut self, v: f64) {
+        debug_assert_eq!(self.dtype, DType::Float64);
+        self.validity.push(true);
+        self.floats.push(v);
+    }
+
+    /// Push a `bool` into a Bool builder.
+    #[inline]
+    pub fn push_bool(&mut self, v: bool) {
+        debug_assert_eq!(self.dtype, DType::Bool);
+        self.validity.push(true);
+        self.bools.push(v);
+    }
+
+    /// Push a string slice into a Utf8/Categorical builder (one `Arc<str>`
+    /// allocation; the seed path built an intermediate `String` first).
+    #[inline]
+    pub fn push_str(&mut self, v: &str) {
+        debug_assert!(matches!(self.dtype, DType::Utf8 | DType::Categorical));
+        self.validity.push(true);
+        self.strings.push(Arc::from(v));
+    }
+
+    /// Push a shared string into a Utf8/Categorical builder (pointer copy).
+    #[inline]
+    pub fn push_arc_str(&mut self, v: &Arc<str>) {
+        debug_assert!(matches!(self.dtype, DType::Utf8 | DType::Categorical));
+        self.validity.push(true);
+        self.strings.push(Arc::clone(v));
     }
 
     /// Push a scalar, coercing where safe; errors on incompatible values.

@@ -11,7 +11,7 @@ use crate::dtype::DType;
 use crate::error::{ColumnarError, Result};
 use crate::frame::DataFrame;
 use crate::series::Series;
-use crate::value::{parse_datetime, Scalar};
+use crate::value::parse_datetime;
 use std::collections::HashMap;
 use std::fs::File;
 use std::io::{BufRead, BufReader, Write};
@@ -57,6 +57,100 @@ impl CsvOptions {
         self.parse_dates = cols;
         self
     }
+}
+
+/// One field's location after [`split_spans`]: a byte range into either
+/// the raw line (zero-copy fast path) or the normalized scratch buffer
+/// (quoted lines, after unescaping).
+#[derive(Debug, Clone, Copy)]
+struct FieldSpan {
+    start: usize,
+    end: usize,
+    /// True when the range indexes the scratch buffer instead of the line.
+    in_scratch: bool,
+}
+
+/// Split one record into borrowed field spans, quote-aware.
+///
+/// Lines without a double quote take the zero-copy fast path: every field
+/// is a direct slice of `line` and nothing is written to `scratch`.
+/// Quoted lines are normalized (quotes stripped, `""` unescaped) into
+/// `scratch` with one byte-run copy per unquoted stretch — still no
+/// per-field allocation. This is the inner loop that replaces the seed's
+/// `Vec<String>`-per-record `split_record`.
+fn split_spans(line: &str, spans: &mut Vec<FieldSpan>, scratch: &mut String) {
+    spans.clear();
+    scratch.clear();
+    let bytes = line.as_bytes();
+    if !bytes.contains(&b'"') {
+        let mut start = 0;
+        for (i, &b) in bytes.iter().enumerate() {
+            if b == b',' {
+                spans.push(FieldSpan { start, end: i, in_scratch: false });
+                start = i + 1;
+            }
+        }
+        spans.push(FieldSpan {
+            start,
+            end: bytes.len(),
+            in_scratch: false,
+        });
+        return;
+    }
+    // Quote-aware path. '"' and ',' are ASCII, so the runs between them
+    // are whole UTF-8 sequences and can be copied as &str slices.
+    let len = bytes.len();
+    let mut i = 0;
+    let mut field_start = 0;
+    let mut in_quotes = false;
+    while i < len {
+        if in_quotes {
+            let j = bytes[i..]
+                .iter()
+                .position(|&b| b == b'"')
+                .map_or(len, |p| i + p);
+            scratch.push_str(&line[i..j]);
+            i = j;
+            if i < len {
+                if bytes.get(i + 1) == Some(&b'"') {
+                    scratch.push('"');
+                    i += 2;
+                } else {
+                    in_quotes = false;
+                    i += 1;
+                }
+            }
+        } else {
+            match bytes[i] {
+                b'"' => {
+                    in_quotes = true;
+                    i += 1;
+                }
+                b',' => {
+                    spans.push(FieldSpan {
+                        start: field_start,
+                        end: scratch.len(),
+                        in_scratch: true,
+                    });
+                    field_start = scratch.len();
+                    i += 1;
+                }
+                _ => {
+                    let j = bytes[i..]
+                        .iter()
+                        .position(|&b| b == b'"' || b == b',')
+                        .map_or(len, |p| i + p);
+                    scratch.push_str(&line[i..j]);
+                    i = j;
+                }
+            }
+        }
+    }
+    spans.push(FieldSpan {
+        start: field_start,
+        end: scratch.len(),
+        in_scratch: true,
+    });
 }
 
 /// Split one CSV record honoring double-quote escaping (RFC-4180 style).
@@ -126,6 +220,12 @@ pub fn read_csv(path: &Path, options: &CsvOptions) -> Result<DataFrame> {
 /// fixed for all chunks so partitions agree on a schema (this is also how
 /// Dask behaves; a later value that fails the inferred dtype is a parse
 /// error, not a silent re-infer).
+///
+/// The inner loop is allocation-free per record: lines are read into a
+/// reused buffer, fields are borrowed `&str` spans ([`split_spans`]), and
+/// values parse straight into typed [`ColumnBuilder`]s — the seed path
+/// allocated a `Vec<String>` per record and boxed a [`Scalar`] per cell.
+/// Only the bounded inference sample is buffered as owned records.
 pub struct CsvChunkReader {
     reader: BufReader<File>,
     path: PathBuf,
@@ -136,9 +236,15 @@ pub struct CsvChunkReader {
     keep: Vec<usize>,
     /// dtype per kept column.
     dtypes: Vec<DType>,
-    /// Buffered records that were consumed during inference but not yet
-    /// emitted in a chunk.
+    /// Records consumed during dtype inference but not yet emitted in a
+    /// chunk (the only owned records the reader ever holds).
     pending: std::collections::VecDeque<Vec<String>>,
+    /// Reused line buffer for the current record.
+    line: String,
+    /// Reused normalization buffer for quoted fields.
+    scratch: String,
+    /// Field spans of the current record (into `line` or `scratch`).
+    spans: Vec<FieldSpan>,
     line_no: usize,
     done: bool,
 }
@@ -181,6 +287,9 @@ impl CsvChunkReader {
             keep,
             dtypes: Vec::new(),
             pending: std::collections::VecDeque::new(),
+            line: String::new(),
+            scratch: String::new(),
+            spans: Vec::new(),
             line_no: 1,
             done: false,
         };
@@ -212,37 +321,48 @@ impl CsvChunkReader {
         DataFrame::new(series)
     }
 
-    fn read_record(&mut self) -> Result<Option<Vec<String>>> {
-        if let Some(rec) = self.pending.pop_front() {
-            return Ok(Some(rec));
-        }
+    /// Advance to the next record, filling the borrowed field spans.
+    /// Returns false at end of file. Empty lines are skipped.
+    fn next_record(&mut self) -> Result<bool> {
         if self.done {
-            return Ok(None);
+            return Ok(false);
         }
-        let mut line = String::new();
         loop {
-            line.clear();
-            let n = self.reader.read_line(&mut line)?;
+            self.line.clear();
+            let n = self.reader.read_line(&mut self.line)?;
             if n == 0 {
                 self.done = true;
-                return Ok(None);
+                return Ok(false);
             }
             self.line_no += 1;
-            let trimmed = line.trim_end_matches(['\n', '\r']);
-            if trimmed.is_empty() {
+            while self.line.ends_with(['\n', '\r']) {
+                self.line.pop();
+            }
+            if self.line.is_empty() {
                 continue;
             }
-            let record = split_record(trimmed);
-            if record.len() != self.header.len() {
+            split_spans(&self.line, &mut self.spans, &mut self.scratch);
+            if self.spans.len() != self.header.len() {
                 return Err(ColumnarError::Csv(format!(
                     "{:?}: line {} has {} fields, expected {}",
                     self.path,
                     self.line_no,
-                    record.len(),
+                    self.spans.len(),
                     self.header.len()
                 )));
             }
-            return Ok(Some(record));
+            return Ok(true);
+        }
+    }
+
+    /// Field `idx` of the current record as a borrowed slice.
+    #[inline]
+    fn field(&self, idx: usize) -> &str {
+        let span = self.spans[idx];
+        if span.in_scratch {
+            &self.scratch[span.start..span.end]
+        } else {
+            &self.line[span.start..span.end]
         }
     }
 
@@ -252,13 +372,18 @@ impl CsvChunkReader {
         } else {
             options.infer_rows
         };
-        // Pull up to `sample_rows` records into the pending buffer.
+        // Pull up to `sample_rows` records into the pending buffer (the
+        // sample is the one place the reader materializes owned records).
         let mut sample: Vec<Vec<String>> = Vec::new();
         while sample.len() < sample_rows {
-            match self.read_record()? {
-                Some(rec) => sample.push(rec),
-                None => break,
+            if !self.next_record()? {
+                break;
             }
+            sample.push(
+                (0..self.spans.len())
+                    .map(|f| self.field(f).to_string())
+                    .collect(),
+            );
         }
         for (slot, &col_idx) in self.keep.iter().enumerate() {
             let name = &self.header[col_idx];
@@ -280,22 +405,38 @@ impl CsvChunkReader {
     pub fn next_chunk(&mut self) -> Result<Option<DataFrame>> {
         let mut builders: Vec<ColumnBuilder> =
             self.dtypes.iter().map(|&dt| ColumnBuilder::new(dt)).collect();
+        for b in &mut builders {
+            // Cap the up-front reservation: chunk_rows is usize::MAX for
+            // whole-file reads, and growth doubling takes over past 16k.
+            b.reserve(self.chunk_rows.min(16 * 1024));
+        }
         let mut rows = 0usize;
+        // Drain the inference sample first, then stream borrowed records.
         while rows < self.chunk_rows {
-            match self.read_record()? {
-                Some(record) => {
-                    for (slot, &col_idx) in self.keep.iter().enumerate() {
-                        push_field(
-                            &mut builders[slot],
-                            &record[col_idx],
-                            self.dtypes[slot],
-                            self.line_no,
-                        )?;
-                    }
-                    rows += 1;
-                }
-                None => break,
+            let Some(record) = self.pending.pop_front() else { break };
+            for (slot, &col_idx) in self.keep.iter().enumerate() {
+                parse_field(
+                    &mut builders[slot],
+                    &record[col_idx],
+                    self.dtypes[slot],
+                    self.line_no,
+                )?;
             }
+            rows += 1;
+        }
+        while rows < self.chunk_rows {
+            if !self.next_record()? {
+                break;
+            }
+            for (slot, &col_idx) in self.keep.iter().enumerate() {
+                parse_field(
+                    &mut builders[slot],
+                    self.field(col_idx),
+                    self.dtypes[slot],
+                    self.line_no,
+                )?;
+            }
+            rows += 1;
         }
         if rows == 0 {
             return Ok(None);
@@ -311,7 +452,9 @@ impl CsvChunkReader {
 }
 
 /// Parse one raw field into `builder` as `dtype` (empty string = null).
-fn push_field(
+/// Dispatches on dtype and pushes through the builder's typed methods —
+/// no `Scalar` is constructed and no coercion re-runs per cell.
+fn parse_field(
     builder: &mut ColumnBuilder,
     raw: &str,
     dtype: DType,
@@ -326,18 +469,18 @@ fn push_field(
         dtype: dtype.to_string(),
         line: Some(line),
     };
-    let scalar = match dtype {
-        DType::Int64 => Scalar::Int(raw.trim().parse().map_err(|_| parse_err())?),
-        DType::Float64 => Scalar::Float(raw.trim().parse().map_err(|_| parse_err())?),
+    match dtype {
+        DType::Int64 => builder.push_i64(raw.trim().parse().map_err(|_| parse_err())?),
+        DType::Float64 => builder.push_f64(raw.trim().parse().map_err(|_| parse_err())?),
         DType::Bool => match raw.trim() {
-            "True" | "true" | "1" => Scalar::Bool(true),
-            "False" | "false" | "0" => Scalar::Bool(false),
+            "True" | "true" | "1" => builder.push_bool(true),
+            "False" | "false" | "0" => builder.push_bool(false),
             _ => return Err(parse_err()),
         },
-        DType::Datetime => Scalar::Datetime(parse_datetime(raw).ok_or_else(parse_err)?),
-        DType::Utf8 | DType::Categorical => Scalar::Str(raw.to_string()),
-    };
-    builder.push_scalar(&scalar)
+        DType::Datetime => builder.push_datetime(parse_datetime(raw).ok_or_else(parse_err)?),
+        DType::Utf8 | DType::Categorical => builder.push_str(raw),
+    }
+    Ok(())
 }
 
 /// Infer a dtype from sample values: Int64 ⊂ Float64 ⊂ Utf8, with Bool and
@@ -421,6 +564,7 @@ pub fn write_csv(frame: &DataFrame, path: &Path) -> Result<()> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::value::Scalar;
 
     fn write_temp(content: &str) -> PathBuf {
         let dir = std::env::temp_dir().join("lafp-csv-tests");

@@ -10,13 +10,13 @@
 //! of the old accumulator.
 
 use crate::bitmap::Bitmap;
-use crate::column::{fnv1a, Column, ColumnBuilder};
+use crate::column::{fnv1a, Column, ColumnBuilder, HashTable, HASH_PRIME};
 use crate::dtype::DType;
 use crate::error::{ColumnarError, Result};
 use crate::frame::DataFrame;
 use crate::series::Series;
 use crate::value::Scalar;
-use std::collections::{HashMap, HashSet};
+use std::collections::HashSet;
 use std::sync::Arc;
 
 /// Aggregate functions supported by `groupby(...)[col].agg(...)`.
@@ -985,27 +985,6 @@ impl KeyCol {
 // ---------------------------------------------------------------------------
 // The accumulator
 // ---------------------------------------------------------------------------
-
-/// Table keys are already FNV-1a-mixed row hashes; feeding them through
-/// SipHash again would waste most of each probe. Identity pass-through.
-#[derive(Default)]
-struct PreHashed(u64);
-
-impl std::hash::Hasher for PreHashed {
-    fn finish(&self) -> u64 {
-        self.0
-    }
-    fn write(&mut self, _: &[u8]) {
-        unreachable!("PreHashed only hashes u64 keys");
-    }
-    fn write_u64(&mut self, v: u64) {
-        self.0 = v;
-    }
-}
-
-type HashTable = HashMap<u64, Vec<u32>, std::hash::BuildHasherDefault<PreHashed>>;
-
-const HASH_PRIME: u64 = 0x100000001b3;
 
 /// Mix one key column's per-row hash contribution into `hashes`, matching
 /// the canonical-rendering semantics: typed columns use

@@ -1,10 +1,29 @@
 //! Hash joins (pandas `merge`).
+//!
+//! The join is keyed by a `u64` row hash (the same FNV-1a mix
+//! [`Column::hash_into`] uses everywhere) over typed key views: the right
+//! (build) side's rows are bucketed by hash with column-wise typed
+//! equality on collision, and the left side probes with the same hashes.
+//! No key is ever rendered to a `String` on the typed path — the seed
+//! implementation built one canonical key `String` per row on *both*
+//! sides, which dominated the join's cost.
+//!
+//! Equality follows the seed's canonical-rendering semantics exactly:
+//! nulls match nulls, floats compare by bits (`0.0` and `-0.0` rendered
+//! differently and therefore never joined), and a null string key renders
+//! as `"NaN"` — equal to a literal `"NaN"` string value, as the old
+//! stringly keying had it. Key column pairs whose dtypes disagree across
+//! the two sides (degenerate inputs) fall back to the canonical-string
+//! path, which reproduces the old behaviour verbatim.
 
-use crate::column::{Column, ColumnBuilder};
+use crate::bitmap::{BitWriter, Bitmap};
+use crate::column::{fnv1a, Categorical, Column, ColumnBuilder, HashTable, IndexLike, HASH_PRIME};
 use crate::error::{ColumnarError, Result};
 use crate::frame::DataFrame;
 use crate::series::Series;
 use std::collections::HashMap;
+use std::sync::Arc;
+
 /// Join kinds supported by `merge(..., how=...)`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum JoinKind {
@@ -50,38 +69,46 @@ pub fn merge(
             "merge requires at least one key".into(),
         ));
     }
-    for k in on {
-        left.column(k)?;
-        right.column(k)?;
+    // Row ids are carried as u32 whenever both sides fit (always, in
+    // practice) — half the index memory traffic through output assembly.
+    if left.num_rows() < u32::MAX as usize && right.num_rows() < u32::MAX as usize {
+        merge_impl::<u32>(left, right, on, how)
+    } else {
+        merge_impl::<usize>(left, right, on, how)
     }
+}
 
-    // Build: key string -> right row indices.
-    let right_keys = key_strings(right, on)?;
-    let mut build: HashMap<&str, Vec<usize>> = HashMap::new();
-    for (i, k) in right_keys.iter().enumerate() {
-        build.entry(k.as_str()).or_default().push(i);
-    }
+fn merge_impl<I: IndexLike>(
+    left: &DataFrame,
+    right: &DataFrame,
+    on: &[String],
+    how: JoinKind,
+) -> Result<DataFrame> {
+    let left_keys: Vec<&Column> = on
+        .iter()
+        .map(|k| left.column(k).map(Series::column))
+        .collect::<Result<Vec<_>>>()?;
+    let right_keys: Vec<&Column> = on
+        .iter()
+        .map(|k| right.column(k).map(Series::column))
+        .collect::<Result<Vec<_>>>()?;
 
-    // Probe with the left side.
-    let left_keys = key_strings(left, on)?;
-    let mut left_idx: Vec<usize> = Vec::new();
-    let mut right_idx: Vec<Option<usize>> = Vec::new();
-    for (i, k) in left_keys.iter().enumerate() {
-        match build.get(k.as_str()) {
-            Some(matches) => {
-                for &j in matches {
-                    left_idx.push(i);
-                    right_idx.push(Some(j));
-                }
-            }
-            None => {
-                if how == JoinKind::Left {
-                    left_idx.push(i);
-                    right_idx.push(None);
-                }
-            }
-        }
-    }
+    let left_views: Vec<KeyView<'_>> = left_keys.iter().map(|c| KeyView::new(c)).collect();
+    let right_views: Vec<KeyView<'_>> = right_keys.iter().map(|c| KeyView::new(c)).collect();
+    // The typed build table stores row ids as u32, so it additionally
+    // requires both sides to fit u32 (they always do when merge picked
+    // I = u32; the I = usize instantiation exists for the >4-billion-row
+    // case, which routes through the canonical path below instead).
+    let fits_u32 =
+        left.num_rows() < u32::MAX as usize && right.num_rows() < u32::MAX as usize;
+    let (left_idx, right_idx, any_miss): (Vec<I>, Vec<I>, bool) =
+        if fits_u32 && same_classes(&left_views, &right_views) {
+            join_indices_typed(&left_views, left.num_rows(), &right_views, right.num_rows(), how)
+        } else {
+            // Degenerate cross-dtype keys (or an absurdly large build
+            // side): the seed canonical-string join.
+            join_indices_canonical(left, right, on, how)?
+        };
 
     // Assemble output columns.
     let mut out: Vec<Series> = Vec::new();
@@ -92,13 +119,26 @@ pub fn merge(
         .filter(|n| !key_set.contains(n) && right.has_column(n))
         .collect();
 
+    // FK-join shape: every left row matched exactly once, in order. The
+    // left gather is the identity permutation — clone the buffers
+    // (memcpy) instead of gathering element by element.
+    let identity = left_idx.len() == left.num_rows()
+        && left_idx.iter().enumerate().all(|(k, &i)| i.idx() == k);
+
+    // The computed row ids are in bounds by construction, so assembly
+    // skips `take`'s per-column bounds scan.
     for s in left.series() {
         let name = if overlap.contains(s.name()) {
             format!("{}_x", s.name())
         } else {
             s.name().to_string()
         };
-        out.push(Series::new(name, s.column().take(&left_idx)?));
+        let col = if identity {
+            s.column().clone()
+        } else {
+            s.column().take_unchecked(&left_idx)
+        };
+        out.push(Series::new(name, col));
     }
     for s in right.series() {
         if key_set.contains(s.name()) {
@@ -109,9 +149,400 @@ pub fn merge(
         } else {
             s.name().to_string()
         };
-        out.push(Series::new(name, gather_optional(s.column(), &right_idx)?));
+        let col = if any_miss {
+            gather_optional(s.column(), &right_idx)
+        } else {
+            s.column().take_unchecked(&right_idx)
+        };
+        out.push(Series::new(name, col));
     }
     DataFrame::new(out)
+}
+
+// ---------------------------------------------------------------------------
+// Typed key views
+// ---------------------------------------------------------------------------
+
+/// A borrowed typed view of one key column, matched once per join so the
+/// per-row hash and equality paths are branch-cheap and allocation-free.
+enum KeyView<'a> {
+    Int(&'a [i64], Option<&'a Bitmap>),
+    Dt(&'a [i64], Option<&'a Bitmap>),
+    Float(&'a [f64], Option<&'a Bitmap>),
+    Bool(&'a Bitmap, Option<&'a Bitmap>),
+    Utf8(&'a [Arc<str>], Option<&'a Bitmap>),
+    Cat(&'a Categorical, Option<&'a Bitmap>),
+}
+
+/// Key equality classes: pairs within one class compare typed; anything
+/// else falls back to canonical strings.
+#[derive(PartialEq, Eq, Clone, Copy)]
+enum KeyClass {
+    Int,
+    Dt,
+    Float,
+    Bool,
+    Str,
+}
+
+impl<'a> KeyView<'a> {
+    fn new(col: &'a Column) -> KeyView<'a> {
+        match col {
+            Column::Int64(d, v) => KeyView::Int(d, v.as_ref()),
+            Column::Datetime(d, v) => KeyView::Dt(d, v.as_ref()),
+            Column::Float64(d, v) => KeyView::Float(d, v.as_ref()),
+            Column::Bool(d, v) => KeyView::Bool(d, v.as_ref()),
+            Column::Utf8(d, v) => KeyView::Utf8(d, v.as_ref()),
+            Column::Categorical(c, v) => KeyView::Cat(c, v.as_ref()),
+        }
+    }
+
+    fn class(&self) -> KeyClass {
+        match self {
+            KeyView::Int(..) => KeyClass::Int,
+            KeyView::Dt(..) => KeyClass::Dt,
+            KeyView::Float(..) => KeyClass::Float,
+            KeyView::Bool(..) => KeyClass::Bool,
+            KeyView::Utf8(..) | KeyView::Cat(..) => KeyClass::Str,
+        }
+    }
+
+    #[inline]
+    fn is_null(&self, i: usize) -> bool {
+        let masked = |m: &Option<&Bitmap>| m.is_some_and(|m| !m.get(i));
+        match self {
+            KeyView::Float(d, m) => d[i].is_nan() || masked(m),
+            KeyView::Int(_, m)
+            | KeyView::Dt(_, m)
+            | KeyView::Bool(_, m)
+            | KeyView::Utf8(_, m)
+            | KeyView::Cat(_, m) => masked(m),
+        }
+    }
+
+    /// String-class cell rendering: nulls render `"NaN"` (the canonical
+    /// semantics the seed's key strings had).
+    #[inline]
+    fn str_at(&self, i: usize) -> &str {
+        if self.is_null(i) {
+            return "NaN";
+        }
+        match self {
+            KeyView::Utf8(d, _) => &d[i],
+            KeyView::Cat(c, _) => &c.dict[c.codes[i] as usize],
+            _ => unreachable!("str_at on non-string key view"),
+        }
+    }
+
+    /// Mix this column's per-row hash contribution into `hashes`, matching
+    /// [`Column::hash_into`]'s scheme — except string-class nulls, which
+    /// hash as the rendered `"NaN"` so they land in the same bucket as a
+    /// literal `"NaN"` value (which canonical equality equates them with).
+    fn hash_into(&self, hashes: &mut [u64]) {
+        let mut mix = |i: usize, v: u64| {
+            let h = &mut hashes[i];
+            *h = (*h ^ v).wrapping_mul(HASH_PRIME);
+        };
+        match self {
+            KeyView::Int(d, _) | KeyView::Dt(d, _) => {
+                for (i, &x) in d.iter().enumerate() {
+                    mix(i, if self.is_null(i) { u64::MAX } else { x as u64 });
+                }
+            }
+            KeyView::Float(d, _) => {
+                for (i, &x) in d.iter().enumerate() {
+                    mix(i, if self.is_null(i) { u64::MAX } else { x.to_bits() });
+                }
+            }
+            KeyView::Bool(d, _) => {
+                for i in 0..d.len() {
+                    mix(i, if self.is_null(i) { u64::MAX } else { d.get(i) as u64 });
+                }
+            }
+            KeyView::Utf8(d, _) => {
+                let nan = fnv1a(b"NaN");
+                for (i, s) in d.iter().enumerate() {
+                    mix(i, if self.is_null(i) { nan } else { fnv1a(s.as_bytes()) });
+                }
+            }
+            KeyView::Cat(c, _) => {
+                // Hash each dictionary entry once, then look codes up.
+                let nan = fnv1a(b"NaN");
+                let dict_hashes: Vec<u64> = c.dict.iter().map(|s| fnv1a(s.as_bytes())).collect();
+                for (i, &code) in c.codes.iter().enumerate() {
+                    mix(i, if self.is_null(i) { nan } else { dict_hashes[code as usize] });
+                }
+            }
+        }
+    }
+}
+
+/// Canonical-rendering equality of row `i` of `a` and row `j` of `b`.
+/// Caller guarantees `a.class() == b.class()`.
+#[inline]
+fn rows_equal(a: &KeyView<'_>, i: usize, b: &KeyView<'_>, j: usize) -> bool {
+    match (a, b) {
+        (KeyView::Int(ad, _), KeyView::Int(bd, _)) | (KeyView::Dt(ad, _), KeyView::Dt(bd, _)) => {
+            match (a.is_null(i), b.is_null(j)) {
+                (true, true) => true,
+                (false, false) => ad[i] == bd[j],
+                _ => false,
+            }
+        }
+        (KeyView::Float(ad, _), KeyView::Float(bd, _)) => match (a.is_null(i), b.is_null(j)) {
+            (true, true) => true,
+            // Bit equality matches rendered equality (-0.0 and 0.0 render
+            // differently, so the seed never joined them).
+            (false, false) => ad[i].to_bits() == bd[j].to_bits(),
+            _ => false,
+        },
+        (KeyView::Bool(ad, _), KeyView::Bool(bd, _)) => match (a.is_null(i), b.is_null(j)) {
+            (true, true) => true,
+            (false, false) => ad.get(i) == bd.get(j),
+            _ => false,
+        },
+        // String class (Utf8 / Categorical in any mix): rendered equality,
+        // nulls rendering "NaN".
+        _ => a.str_at(i) == b.str_at(j),
+    }
+}
+
+/// Do the two sides' key columns pair up class-wise?
+fn same_classes(a: &[KeyView<'_>], b: &[KeyView<'_>]) -> bool {
+    a.len() == b.len() && a.iter().zip(b).all(|(x, y)| x.class() == y.class())
+}
+
+// ---------------------------------------------------------------------------
+// The hash table
+// ---------------------------------------------------------------------------
+
+/// Typed hash join: build on the right side, probe with the left.
+///
+/// Build groups rows by *distinct key* (hash bucket + typed equality
+/// against one representative row per key), so probing a duplicate-heavy
+/// build side checks equality once per distinct key, not once per row.
+fn join_indices_typed<I: IndexLike>(
+    left_views: &[KeyView<'_>],
+    left_rows: usize,
+    right_views: &[KeyView<'_>],
+    right_rows: usize,
+    how: JoinKind,
+) -> (Vec<I>, Vec<I>, bool) {
+    let eq = |av: &[KeyView<'_>], i: usize, bv: &[KeyView<'_>], j: usize| {
+        av.iter().zip(bv).all(|(a, b)| rows_equal(a, i, b, j))
+    };
+
+    // Build: hash -> group ids; each group is one distinct key with its
+    // right-row list in scan order, so probing a duplicate-heavy build
+    // side checks equality once per distinct key, not once per row.
+    let mut right_hashes = vec![0u64; right_rows];
+    for v in right_views {
+        v.hash_into(&mut right_hashes);
+    }
+    let mut table = HashTable::default();
+    let mut group_repr: Vec<u32> = Vec::new();
+    let mut group_hash: Vec<u64> = Vec::new();
+    let mut group_rows: Vec<Vec<u32>> = Vec::new();
+    for (i, &h) in right_hashes.iter().enumerate() {
+        let bucket: &mut Vec<u32> = table.entry(h).or_default();
+        match bucket
+            .iter()
+            .find(|&&g| eq(right_views, group_repr[g as usize] as usize, right_views, i))
+        {
+            Some(&g) => group_rows[g as usize].push(i as u32),
+            None => {
+                let g = group_repr.len() as u32;
+                bucket.push(g);
+                group_repr.push(i as u32);
+                group_hash.push(h);
+                group_rows.push(vec![i as u32]);
+            }
+        }
+    }
+
+    // Flatten the per-group row lists into CSR form (offsets + one flat
+    // row array) so each probe hit walks a contiguous slice. A build side
+    // with unique keys — the common dimension-table shape — takes a
+    // one-row fast path with no inner loop at all.
+    let all_unique = group_rows.iter().all(|rows| rows.len() == 1);
+    let mut offsets: Vec<u32> = Vec::with_capacity(group_rows.len() + 1);
+    let mut flat_rows: Vec<u32> = Vec::with_capacity(right_rows);
+    offsets.push(0);
+    for rows in &group_rows {
+        flat_rows.extend_from_slice(rows);
+        offsets.push(flat_rows.len() as u32);
+    }
+
+    // Re-bucket the distinct keys into a flat power-of-two linear-probe
+    // table (hash, group) so each probe is an array walk instead of a
+    // `HashMap` lookup with a bucket-`Vec` pointer chase. Hash-equal but
+    // key-unequal groups sit in one probe cluster; the stored hash gives
+    // a cheap reject before the column-wise equality runs.
+    drop(table);
+    let cap = (group_repr.len() * 2).next_power_of_two().max(16);
+    let mask = cap - 1;
+    let mut slots: Vec<(u64, u32)> = vec![(0, u32::MAX); cap];
+    for (g, &h) in group_hash.iter().enumerate() {
+        let mut s = (h as usize) & mask;
+        while slots[s].1 != u32::MAX {
+            s = (s + 1) & mask;
+        }
+        slots[s] = (h, g as u32);
+    }
+
+    // Probe with the left side, preserving left row order. The probe
+    // skeleton is generic over a per-row hash and a representative-row
+    // equality, so the single-key arms below monomorphize into tight
+    // loops that hash inline off the raw slice — no left-side hash array
+    // is ever materialized for them.
+    let build = BuildSide {
+        slots: &slots,
+        mask,
+        group_repr: &group_repr,
+        offsets: &offsets,
+        flat_rows: &flat_rows,
+        all_unique,
+        how,
+    };
+    let mix1 = |v: u64| v.wrapping_mul(HASH_PRIME);
+    match (left_views, right_views) {
+        ([KeyView::Int(ld, None)], [KeyView::Int(rd, None)])
+        | ([KeyView::Dt(ld, None)], [KeyView::Dt(rd, None)]) => build.probe(
+            left_rows,
+            |i| mix1(ld[i] as u64),
+            |i, r| ld[i] == rd[r],
+        ),
+        ([KeyView::Float(ld, None)], [KeyView::Float(rd, None)]) => build.probe(
+            left_rows,
+            |i| {
+                let x = ld[i];
+                mix1(if x.is_nan() { u64::MAX } else { x.to_bits() })
+            },
+            |i, r| {
+                let (a, b) = (ld[i], rd[r]);
+                // NaN cells are nulls, and null keys match each other.
+                (a.is_nan() && b.is_nan()) || a.to_bits() == b.to_bits()
+            },
+        ),
+        ([KeyView::Utf8(ld, None)], [KeyView::Utf8(rd, None)]) => build.probe(
+            left_rows,
+            |i| mix1(fnv1a(ld[i].as_bytes())),
+            |i, r| *ld[i] == *rd[r],
+        ),
+        _ => {
+            let mut left_hashes = vec![0u64; left_rows];
+            for v in left_views {
+                v.hash_into(&mut left_hashes);
+            }
+            build.probe(
+                left_rows,
+                |i| left_hashes[i],
+                |i, r| eq(left_views, i, right_views, r),
+            )
+        }
+    }
+}
+
+/// The built (right) side of a typed join, ready to probe: a flat
+/// linear-probe table over the distinct keys plus CSR row lists.
+struct BuildSide<'t> {
+    slots: &'t [(u64, u32)],
+    mask: usize,
+    group_repr: &'t [u32],
+    offsets: &'t [u32],
+    flat_rows: &'t [u32],
+    all_unique: bool,
+    how: JoinKind,
+}
+
+impl BuildSide<'_> {
+    /// Probe every left row in order; `hash_of` yields the row's key hash
+    /// and `eq_repr(i, r)` compares left row `i` against representative
+    /// right row `r`. Monomorphizes per caller.
+    fn probe<I: IndexLike>(
+        &self,
+        left_rows: usize,
+        hash_of: impl Fn(usize) -> u64,
+        eq_repr: impl Fn(usize, usize) -> bool,
+    ) -> (Vec<I>, Vec<I>, bool) {
+        let mut left_idx: Vec<I> = Vec::with_capacity(left_rows);
+        let mut right_idx: Vec<I> = Vec::with_capacity(left_rows);
+        let mut any_miss = false;
+        for i in 0..left_rows {
+            let h = hash_of(i);
+            let mut s = (h as usize) & self.mask;
+            let hit = loop {
+                let (sh, g) = self.slots[s];
+                if g == u32::MAX {
+                    break None;
+                }
+                if sh == h && eq_repr(i, self.group_repr[g as usize] as usize) {
+                    break Some(g);
+                }
+                s = (s + 1) & self.mask;
+            };
+            match hit {
+                Some(g) => {
+                    if self.all_unique {
+                        left_idx.push(I::from_usize(i));
+                        right_idx.push(I::from_usize(self.group_repr[g as usize] as usize));
+                    } else {
+                        let (lo, hi) =
+                            (self.offsets[g as usize] as usize, self.offsets[g as usize + 1] as usize);
+                        for &j in &self.flat_rows[lo..hi] {
+                            left_idx.push(I::from_usize(i));
+                            right_idx.push(I::from_usize(j as usize));
+                        }
+                    }
+                }
+                None => {
+                    if self.how == JoinKind::Left {
+                        left_idx.push(I::from_usize(i));
+                        right_idx.push(I::SENTINEL);
+                        any_miss = true;
+                    }
+                }
+            }
+        }
+        (left_idx, right_idx, any_miss)
+    }
+}
+
+/// The seed join for degenerate cross-dtype keys: canonical per-row key
+/// strings on both sides (`Int(1)` joins `Str("1")`, exactly as before).
+fn join_indices_canonical<I: IndexLike>(
+    left: &DataFrame,
+    right: &DataFrame,
+    on: &[String],
+    how: JoinKind,
+) -> Result<(Vec<I>, Vec<I>, bool)> {
+    let right_keys = key_strings(right, on)?;
+    let mut build: HashMap<&str, Vec<usize>> = HashMap::new();
+    for (i, k) in right_keys.iter().enumerate() {
+        build.entry(k.as_str()).or_default().push(i);
+    }
+    let left_keys = key_strings(left, on)?;
+    let mut left_idx: Vec<I> = Vec::new();
+    let mut right_idx: Vec<I> = Vec::new();
+    let mut any_miss = false;
+    for (i, k) in left_keys.iter().enumerate() {
+        match build.get(k.as_str()) {
+            Some(matches) => {
+                for &j in matches {
+                    left_idx.push(I::from_usize(i));
+                    right_idx.push(I::from_usize(j));
+                }
+            }
+            None => {
+                if how == JoinKind::Left {
+                    left_idx.push(I::from_usize(i));
+                    right_idx.push(I::SENTINEL);
+                    any_miss = true;
+                }
+            }
+        }
+    }
+    Ok((left_idx, right_idx, any_miss))
 }
 
 /// Canonical per-row key strings for the join columns.
@@ -130,20 +561,101 @@ fn key_strings(frame: &DataFrame, on: &[String]) -> Result<Vec<String>> {
         .collect())
 }
 
-/// Gather with `None` producing a null row (for left-join misses).
-fn gather_optional(col: &Column, indices: &[Option<usize>]) -> Result<Column> {
-    if indices.iter().all(Option::is_some) {
-        let idx: Vec<usize> = indices.iter().map(|i| i.unwrap()).collect();
-        return col.take(&idx);
-    }
-    let mut b = ColumnBuilder::new(col.dtype());
-    for ix in indices {
-        match ix {
-            Some(i) => b.push_scalar(&col.get(*i))?,
-            None => b.push_null(),
+/// Gather with the index sentinel producing a null row (left-join
+/// misses).
+///
+/// Typed: each dtype gathers straight off its raw buffer with null slots
+/// normalized to the builder sentinels (0 / NaN / "" / false), so the
+/// output is bit-identical to the old per-row `push_scalar` loop without
+/// boxing a `Scalar` per cell. Callers with no misses use `Column::take`
+/// instead.
+fn gather_optional<I: IndexLike>(col: &Column, indices: &[I]) -> Column {
+    let n = indices.len();
+    // The caller saw at least one miss, so the output always carries a
+    // validity mask (matching the builder's `has_null` behaviour).
+    let mut validity = BitWriter::with_capacity(n);
+    let valid_src = |i: usize| !col.is_null_at(i);
+    match col {
+        Column::Int64(data, _) => {
+            let mut out = Vec::with_capacity(n);
+            for &ix in indices {
+                if !ix.is_sentinel() && valid_src(ix.idx()) {
+                    out.push(data[ix.idx()]);
+                    validity.append_bit(true);
+                } else {
+                    out.push(0);
+                    validity.append_bit(false);
+                }
+            }
+            Column::Int64(out, Some(validity.finish()))
+        }
+        Column::Datetime(data, _) => {
+            let mut out = Vec::with_capacity(n);
+            for &ix in indices {
+                if !ix.is_sentinel() && valid_src(ix.idx()) {
+                    out.push(data[ix.idx()]);
+                    validity.append_bit(true);
+                } else {
+                    out.push(0);
+                    validity.append_bit(false);
+                }
+            }
+            Column::Datetime(out, Some(validity.finish()))
+        }
+        Column::Float64(data, _) => {
+            let mut out = Vec::with_capacity(n);
+            for &ix in indices {
+                if !ix.is_sentinel() && valid_src(ix.idx()) {
+                    out.push(data[ix.idx()]);
+                    validity.append_bit(true);
+                } else {
+                    out.push(f64::NAN);
+                    validity.append_bit(false);
+                }
+            }
+            Column::Float64(out, Some(validity.finish()))
+        }
+        Column::Bool(data, _) => {
+            let mut out = BitWriter::with_capacity(n);
+            for &ix in indices {
+                if !ix.is_sentinel() && valid_src(ix.idx()) {
+                    out.append_bit(data.get(ix.idx()));
+                    validity.append_bit(true);
+                } else {
+                    out.append_bit(false);
+                    validity.append_bit(false);
+                }
+            }
+            Column::Bool(out.finish(), Some(validity.finish()))
+        }
+        Column::Utf8(data, _) => {
+            let empty: Arc<str> = Arc::from("");
+            let mut out = Vec::with_capacity(n);
+            for &ix in indices {
+                if !ix.is_sentinel() && valid_src(ix.idx()) {
+                    out.push(Arc::clone(&data[ix.idx()]));
+                    validity.append_bit(true);
+                } else {
+                    out.push(Arc::clone(&empty));
+                    validity.append_bit(false);
+                }
+            }
+            Column::Utf8(out, Some(validity.finish()))
+        }
+        // Categorical re-encodes its dictionary in gather order, exactly
+        // like the builder did (cold path).
+        Column::Categorical(..) => {
+            let mut b = ColumnBuilder::new(col.dtype());
+            for &ix in indices {
+                if ix.is_sentinel() {
+                    b.push_null();
+                } else {
+                    b.push_scalar(&col.get(ix.idx())).expect("same-dtype gather");
+                }
+            }
+            b.finish()
         }
     }
-    Ok(b.finish())
 }
 
 #[cfg(test)]
@@ -239,5 +751,97 @@ mod tests {
         assert_eq!(JoinKind::parse("left"), Some(JoinKind::Left));
         assert_eq!(JoinKind::parse("outer"), None);
         assert_eq!(JoinKind::Inner.name(), "inner");
+    }
+
+    #[test]
+    fn null_keys_join_each_other() {
+        // Canonical semantics: null keys render "NaN" and therefore match
+        // other null keys (and a literal "NaN" string key).
+        let left = df![
+            ("k", Column::from_opt_i64(vec![Some(1), None, Some(2)])),
+            ("v", Column::from_i64(vec![10, 20, 30])),
+        ];
+        let right = df![
+            ("k", Column::from_opt_i64(vec![None, Some(2)])),
+            ("w", Column::from_i64(vec![100, 200])),
+        ];
+        let out = merge(&left, &right, &["k".into()], JoinKind::Inner).unwrap();
+        assert_eq!(out.num_rows(), 2);
+        assert_eq!(out.column("v").unwrap().get(0), Scalar::Int(20));
+        assert_eq!(out.column("w").unwrap().get(0), Scalar::Int(100));
+        assert_eq!(out.column("w").unwrap().get(1), Scalar::Int(200));
+    }
+
+    #[test]
+    fn null_string_key_equals_literal_nan() {
+        let left = df![
+            ("k", Column::from_opt_strings(vec![None, Some("x".into())])),
+            ("v", Column::from_i64(vec![1, 2])),
+        ];
+        let right = df![
+            ("k", Column::from_strings(vec!["NaN"])),
+            ("w", Column::from_i64(vec![9])),
+        ];
+        let out = merge(&left, &right, &["k".into()], JoinKind::Inner).unwrap();
+        assert_eq!(out.num_rows(), 1);
+        assert_eq!(out.column("v").unwrap().get(0), Scalar::Int(1));
+    }
+
+    #[test]
+    fn cross_dtype_keys_fall_back_to_canonical() {
+        // Int 1 joins Str "1" under the seed's rendered-key semantics.
+        let left = df![
+            ("k", Column::from_i64(vec![1, 2])),
+            ("v", Column::from_i64(vec![10, 20])),
+        ];
+        let right = df![
+            ("k", Column::from_strings(vec!["1", "3"])),
+            ("w", Column::from_i64(vec![100, 300])),
+        ];
+        let out = merge(&left, &right, &["k".into()], JoinKind::Left).unwrap();
+        assert_eq!(out.num_rows(), 2);
+        assert_eq!(out.column("w").unwrap().get(0), Scalar::Int(100));
+        assert!(out.column("w").unwrap().column().is_null_at(1));
+    }
+
+    #[test]
+    fn left_join_gathers_typed_nulls_for_every_dtype() {
+        let left = df![("k", Column::from_i64(vec![1, 5, 2]))];
+        let right = df![
+            ("k", Column::from_i64(vec![1, 2])),
+            ("i", Column::from_i64(vec![7, 8])),
+            ("f", Column::from_f64(vec![0.5, 1.5])),
+            ("s", Column::from_strings(vec!["a", "b"])),
+            ("b", Column::from_bool(vec![true, false])),
+            ("d", Column::from_datetimes(vec![111, 222])),
+        ];
+        let out = merge(&left, &right, &["k".into()], JoinKind::Left).unwrap();
+        assert_eq!(out.num_rows(), 3);
+        for c in ["i", "f", "s", "b", "d"] {
+            let col = out.column(c).unwrap().column();
+            assert!(col.is_null_at(1), "{c} miss row is null");
+            assert!(!col.is_null_at(0), "{c} hit row is valid");
+            assert!(!col.is_null_at(2), "{c} hit row is valid");
+        }
+        assert_eq!(out.column("s").unwrap().get(2), Scalar::Str("b".into()));
+        assert_eq!(out.column("d").unwrap().get(2), Scalar::Datetime(222));
+        assert_eq!(out.column("b").unwrap().get(0), Scalar::Bool(true));
+    }
+
+    #[test]
+    fn float_keys_join_by_bits() {
+        let left = df![
+            ("k", Column::from_f64(vec![0.0, -0.0, 1.5])),
+            ("v", Column::from_i64(vec![1, 2, 3])),
+        ];
+        let right = df![
+            ("k", Column::from_f64(vec![0.0, 1.5])),
+            ("w", Column::from_i64(vec![10, 30])),
+        ];
+        let out = merge(&left, &right, &["k".into()], JoinKind::Left).unwrap();
+        // -0.0 renders "-0.0": no match under canonical-string semantics.
+        assert_eq!(out.column("w").unwrap().get(0), Scalar::Int(10));
+        assert!(out.column("w").unwrap().column().is_null_at(1));
+        assert_eq!(out.column("w").unwrap().get(2), Scalar::Int(30));
     }
 }

@@ -1,9 +1,21 @@
 //! Multi-key sorting (pandas `sort_values`).
+//!
+//! The argsort is typed end to end: each key column is matched to a
+//! borrowed view once, nulls are handled via the validity mask (floats
+//! additionally treat NaN as null), and the comparators run over raw
+//! `i64`/`f64`/`Arc<str>` slices. No [`Scalar`] is boxed per row — the
+//! seed implementation materialized a `Vec<Scalar>` per key column and
+//! dispatched `cmp_values` per comparison, which dominated the sort's
+//! cost. A single-key sort takes a fast path that sorts indices directly
+//! against one slice; `nlargest`/`nsmallest` use a partial
+//! `select_nth_unstable`-based top-n instead of sorting the whole frame.
 
+use crate::bitmap::Bitmap;
+use crate::column::{Categorical, Column};
 use crate::error::Result;
 use crate::frame::DataFrame;
-use crate::value::Scalar;
 use std::cmp::Ordering;
+use std::sync::Arc;
 
 /// Options for a `sort_values` call.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -39,55 +51,212 @@ impl SortOptions {
     }
 }
 
-/// Stable multi-key sort; nulls sort last regardless of direction
-/// (pandas `na_position='last'` default).
-pub fn sort_values(frame: &DataFrame, options: &SortOptions) -> Result<DataFrame> {
-    let key_cols: Vec<Vec<Scalar>> = options
-        .by
-        .iter()
-        .map(|name| {
-            frame
-                .column(name)
-                .map(|s| (0..frame.num_rows()).map(|i| s.get(i)).collect())
-        })
-        .collect::<Result<Vec<_>>>()?;
-    let mut order: Vec<usize> = (0..frame.num_rows()).collect();
+/// A borrowed typed view of one sort key column plus its direction.
+/// Matched once per sort so every comparison runs over raw buffers.
+struct SortKey<'a> {
+    view: KeyData<'a>,
+    validity: Option<&'a Bitmap>,
+    ascending: bool,
+}
+
+enum KeyData<'a> {
+    /// Int64 and Datetime both order by the raw `i64`.
+    I64(&'a [i64]),
+    F64(&'a [f64]),
+    Bool(&'a Bitmap),
+    Str(&'a [Arc<str>]),
+    Cat(&'a Categorical),
+}
+
+impl<'a> SortKey<'a> {
+    fn new(col: &'a Column, ascending: bool) -> SortKey<'a> {
+        let (view, validity) = match col {
+            Column::Int64(d, v) | Column::Datetime(d, v) => (KeyData::I64(d), v.as_ref()),
+            Column::Float64(d, v) => (KeyData::F64(d), v.as_ref()),
+            Column::Bool(d, v) => (KeyData::Bool(d), v.as_ref()),
+            Column::Utf8(d, v) => (KeyData::Str(d), v.as_ref()),
+            Column::Categorical(c, v) => (KeyData::Cat(c), v.as_ref()),
+        };
+        SortKey {
+            view,
+            validity,
+            ascending,
+        }
+    }
+
+    #[inline]
+    fn is_null(&self, i: usize) -> bool {
+        if self.validity.is_some_and(|m| !m.get(i)) {
+            return true;
+        }
+        matches!(&self.view, KeyData::F64(d) if d[i].is_nan())
+    }
+
+    /// Compare two non-null rows in this key's direction.
+    #[inline]
+    fn cmp_valid(&self, a: usize, b: usize) -> Ordering {
+        let ord = match &self.view {
+            KeyData::I64(d) => d[a].cmp(&d[b]),
+            KeyData::F64(d) => d[a].partial_cmp(&d[b]).unwrap_or(Ordering::Equal),
+            KeyData::Bool(d) => d.get(a).cmp(&d.get(b)),
+            KeyData::Str(d) => d[a].as_ref().cmp(d[b].as_ref()),
+            KeyData::Cat(c) => {
+                c.dict[c.codes[a] as usize].cmp(&c.dict[c.codes[b] as usize])
+            }
+        };
+        if self.ascending {
+            ord
+        } else {
+            ord.reverse()
+        }
+    }
+
+    /// Full row comparison: nulls sort last regardless of direction
+    /// (pandas `na_position='last'` default).
+    #[inline]
+    fn cmp_rows(&self, a: usize, b: usize) -> Ordering {
+        match (self.is_null(a), self.is_null(b)) {
+            (true, true) => Ordering::Equal,
+            (true, false) => Ordering::Greater,
+            (false, true) => Ordering::Less,
+            (false, false) => self.cmp_valid(a, b),
+        }
+    }
+}
+
+/// Stable argsort of `0..n` under the composed key comparators.
+fn argsort(keys: &[SortKey<'_>], n: usize) -> Vec<usize> {
+    if let [key] = keys {
+        return argsort_single(key, n);
+    }
+    let mut order: Vec<usize> = (0..n).collect();
     order.sort_by(|&a, &b| {
-        for (k, col) in key_cols.iter().enumerate() {
-            let (x, y) = (&col[a], &col[b]);
-            // Nulls always last:
-            let ord = match (x.is_null(), y.is_null()) {
-                (true, true) => Ordering::Equal,
-                (true, false) => Ordering::Greater,
-                (false, true) => Ordering::Less,
-                (false, false) => {
-                    let o = x.cmp_values(y);
-                    if options.dir(k) {
-                        o
-                    } else {
-                        o.reverse()
-                    }
-                }
-            };
+        for key in keys {
+            let ord = key.cmp_rows(a, b);
             if ord != Ordering::Equal {
                 return ord;
             }
         }
         Ordering::Equal
     });
+    order
+}
+
+/// Single-key fast path: partition null rows off (stable, nulls last),
+/// then sort the valid indices directly against the one raw slice.
+fn argsort_single(key: &SortKey<'_>, n: usize) -> Vec<usize> {
+    let mut valid: Vec<usize> = Vec::with_capacity(n);
+    let mut nulls: Vec<usize> = Vec::new();
+    if key.validity.is_none() && !matches!(key.view, KeyData::F64(_)) {
+        valid.extend(0..n);
+    } else {
+        for i in 0..n {
+            if key.is_null(i) {
+                nulls.push(i);
+            } else {
+                valid.push(i);
+            }
+        }
+    }
+    // Stable sorts keep ties in row order in both directions, exactly as
+    // the seed's `sort_by` with a reversed comparator did.
+    match &key.view {
+        KeyData::I64(d) => {
+            if key.ascending {
+                valid.sort_by_key(|&i| d[i]);
+            } else {
+                valid.sort_by_key(|&i| std::cmp::Reverse(d[i]));
+            }
+        }
+        KeyData::F64(d) => {
+            // Valid rows exclude NaN, so partial_cmp is total here.
+            if key.ascending {
+                valid.sort_by(|&a, &b| d[a].partial_cmp(&d[b]).unwrap_or(Ordering::Equal));
+            } else {
+                valid.sort_by(|&a, &b| d[b].partial_cmp(&d[a]).unwrap_or(Ordering::Equal));
+            }
+        }
+        KeyData::Bool(d) => {
+            if key.ascending {
+                valid.sort_by_key(|&i| d.get(i));
+            } else {
+                valid.sort_by_key(|&i| std::cmp::Reverse(d.get(i)));
+            }
+        }
+        KeyData::Str(d) => {
+            if key.ascending {
+                valid.sort_by(|&a, &b| d[a].as_ref().cmp(d[b].as_ref()));
+            } else {
+                valid.sort_by(|&a, &b| d[b].as_ref().cmp(d[a].as_ref()));
+            }
+        }
+        KeyData::Cat(c) => {
+            let at = |i: usize| -> &str { &c.dict[c.codes[i] as usize] };
+            if key.ascending {
+                valid.sort_by(|&a, &b| at(a).cmp(at(b)));
+            } else {
+                valid.sort_by(|&a, &b| at(b).cmp(at(a)));
+            }
+        }
+    }
+    valid.extend(nulls);
+    valid
+}
+
+/// Resolve the key columns and directions of `options` against `frame`.
+fn sort_keys<'a>(frame: &'a DataFrame, options: &SortOptions) -> Result<Vec<SortKey<'a>>> {
+    options
+        .by
+        .iter()
+        .enumerate()
+        .map(|(k, name)| {
+            frame
+                .column(name)
+                .map(|s| SortKey::new(s.column(), options.dir(k)))
+        })
+        .collect()
+}
+
+/// Stable multi-key sort; nulls sort last regardless of direction
+/// (pandas `na_position='last'` default).
+pub fn sort_values(frame: &DataFrame, options: &SortOptions) -> Result<DataFrame> {
+    let keys = sort_keys(frame, options)?;
+    let order = argsort(&keys, frame.num_rows());
     frame.take(&order)
+}
+
+/// Partial top-n: the `n` rows that would head the full stable sort in
+/// `options`' (single-key) direction, in sorted order. Uses
+/// `select_nth_unstable` with an index tie-break — the tie-break makes
+/// the comparator total, so the unstable selection reproduces the stable
+/// sort's prefix exactly.
+fn top_n(frame: &DataFrame, n: usize, column: &str, ascending: bool) -> Result<DataFrame> {
+    let options = SortOptions::single(column, ascending);
+    let rows = frame.num_rows();
+    if n >= rows {
+        return sort_values(frame, &options);
+    }
+    let keys = sort_keys(frame, &options)?;
+    let key = &keys[0];
+    if n == 0 {
+        return frame.take(&[]);
+    }
+    let cmp = |a: &usize, b: &usize| key.cmp_rows(*a, *b).then(a.cmp(b));
+    let mut idx: Vec<usize> = (0..rows).collect();
+    idx.select_nth_unstable_by(n - 1, cmp);
+    let mut top = idx[..n].to_vec();
+    top.sort_unstable_by(cmp);
+    frame.take(&top)
 }
 
 /// `df.nlargest(n, col)` — top-n by one column, descending.
 pub fn nlargest(frame: &DataFrame, n: usize, column: &str) -> Result<DataFrame> {
-    let sorted = sort_values(frame, &SortOptions::single(column, false))?;
-    Ok(sorted.head(n))
+    top_n(frame, n, column, false)
 }
 
 /// `df.nsmallest(n, col)` — bottom-n by one column, ascending.
 pub fn nsmallest(frame: &DataFrame, n: usize, column: &str) -> Result<DataFrame> {
-    let sorted = sort_values(frame, &SortOptions::single(column, true))?;
-    Ok(sorted.head(n))
+    top_n(frame, n, column, true)
 }
 
 #[cfg(test)]
@@ -95,6 +264,7 @@ mod tests {
     use super::*;
     use crate::column::Column;
     use crate::df;
+    use crate::value::Scalar;
 
     fn sample() -> DataFrame {
         df![
@@ -146,12 +316,81 @@ mod tests {
     }
 
     #[test]
+    fn descending_ties_keep_row_order() {
+        let df = df![
+            ("k", Column::from_i64(vec![2, 1, 2, 1])),
+            ("tag", Column::from_strings(vec!["a", "b", "c", "d"])),
+        ];
+        let out = sort_values(&df, &SortOptions::single("k", false)).unwrap();
+        // ties within k=2 and k=1 keep original row order
+        assert_eq!(out.column("tag").unwrap().get(0), Scalar::Str("a".into()));
+        assert_eq!(out.column("tag").unwrap().get(1), Scalar::Str("c".into()));
+        assert_eq!(out.column("tag").unwrap().get(2), Scalar::Str("b".into()));
+        assert_eq!(out.column("tag").unwrap().get(3), Scalar::Str("d".into()));
+    }
+
+    #[test]
     fn nlargest_nsmallest() {
         let top = nlargest(&sample(), 2, "score").unwrap();
         assert_eq!(top.num_rows(), 2);
         assert_eq!(top.column("score").unwrap().get(0), Scalar::Float(3.0));
         let bottom = nsmallest(&sample(), 1, "score").unwrap();
         assert_eq!(bottom.column("score").unwrap().get(0), Scalar::Float(1.0));
+    }
+
+    #[test]
+    fn top_n_matches_full_sort_with_duplicates() {
+        let df = df![
+            ("k", Column::from_i64(vec![3, 1, 3, 2, 3, 1, 2])),
+            ("tag", Column::from_strings(vec!["a", "b", "c", "d", "e", "f", "g"])),
+        ];
+        for n in 0..=7 {
+            let top = nlargest(&df, n, "k").unwrap();
+            let full = sort_values(&df, &SortOptions::single("k", false)).unwrap().head(n);
+            assert_eq!(top, full, "nlargest({n})");
+            let bottom = nsmallest(&df, n, "k").unwrap();
+            let full = sort_values(&df, &SortOptions::single("k", true)).unwrap().head(n);
+            assert_eq!(bottom, full, "nsmallest({n})");
+        }
+    }
+
+    #[test]
+    fn top_n_with_nulls_matches_full_sort() {
+        let df = df![
+            ("k", Column::from_opt_f64(vec![Some(2.0), None, Some(5.0), None, Some(1.0)])),
+        ];
+        for n in 0..=5 {
+            let top = nlargest(&df, n, "k").unwrap();
+            let full = sort_values(&df, &SortOptions::single("k", false)).unwrap().head(n);
+            // NaN payloads defeat derived equality; compare row scalars.
+            assert_eq!(top.shape(), full.shape(), "nlargest({n}) with nulls");
+            for i in 0..top.num_rows() {
+                let (a, b) = (top.column("k").unwrap().get(i), full.column("k").unwrap().get(i));
+                assert!(
+                    (a.is_null() && b.is_null()) || a == b,
+                    "nlargest({n}) row {i}: {a:?} vs {b:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn sort_all_dtypes() {
+        let cat = Column::from_strings(vec!["b", "a", "c"]).to_categorical().unwrap();
+        let df = df![
+            ("i", Column::from_i64(vec![3, 1, 2])),
+            ("d", Column::from_datetimes(vec![30, 10, 20])),
+            ("b", Column::from_bool(vec![true, false, true])),
+            ("s", Column::from_strings(vec!["z", "x", "y"])),
+            ("c", cat),
+        ];
+        for key in ["i", "d", "b", "s", "c"] {
+            let out = sort_values(&df, &SortOptions::single(key, true)).unwrap();
+            assert_eq!(out.num_rows(), 3, "{key}");
+            let first = out.column(key).unwrap().get(0);
+            let last = out.column(key).unwrap().get(2);
+            assert!(first.cmp_values(&last).is_le(), "{key}: {first:?} <= {last:?}");
+        }
     }
 
     #[test]

@@ -5,9 +5,13 @@
 //! kernel, never its result.
 
 use lafp_columnar::column::{ArithOp, CmpOp, ColumnBuilder};
+use lafp_columnar::csv::{quote_field, read_csv, split_record, CsvOptions};
 use lafp_columnar::groupby::{group_by, GroupBySpec};
+use lafp_columnar::join::{merge, JoinKind};
+use lafp_columnar::sort::{nlargest, nsmallest, sort_values, SortOptions};
 use lafp_columnar::{AggKind, Bitmap, Column, DType, DataFrame, Scalar, Series};
 use proptest::prelude::*;
+use std::collections::HashMap;
 
 // ---------------------------------------------------------------------------
 // Input builders (values + null mask, zipped to the shorter length)
@@ -242,6 +246,213 @@ fn group_by_ref(frame: &DataFrame, spec: &GroupBySpec) -> DataFrame {
     DataFrame::new(series).unwrap()
 }
 
+/// The seed hash join: canonical key `String`s per row on both sides,
+/// `Scalar`-per-row gather of the right columns (the PR-2-era `merge`).
+fn merge_ref(
+    left: &DataFrame,
+    right: &DataFrame,
+    on: &[String],
+    how: JoinKind,
+) -> DataFrame {
+    let key_strings = |frame: &DataFrame| -> Vec<String> {
+        let cols: Vec<&Series> = on.iter().map(|k| frame.column(k).unwrap()).collect();
+        (0..frame.num_rows())
+            .map(|i| {
+                cols.iter()
+                    .map(|s| s.get(i).to_string())
+                    .collect::<Vec<_>>()
+                    .join("\u{1}")
+            })
+            .collect()
+    };
+    let right_keys = key_strings(right);
+    let mut build: HashMap<&str, Vec<usize>> = HashMap::new();
+    for (i, k) in right_keys.iter().enumerate() {
+        build.entry(k.as_str()).or_default().push(i);
+    }
+    let left_keys = key_strings(left);
+    let mut left_idx: Vec<usize> = Vec::new();
+    let mut right_idx: Vec<Option<usize>> = Vec::new();
+    for (i, k) in left_keys.iter().enumerate() {
+        match build.get(k.as_str()) {
+            Some(matches) => {
+                for &j in matches {
+                    left_idx.push(i);
+                    right_idx.push(Some(j));
+                }
+            }
+            None => {
+                if how == JoinKind::Left {
+                    left_idx.push(i);
+                    right_idx.push(None);
+                }
+            }
+        }
+    }
+    let gather_optional = |col: &Column| -> Column {
+        let mut b = ColumnBuilder::new(col.dtype());
+        for ix in &right_idx {
+            match ix {
+                Some(i) => b.push_scalar(&col.get(*i)).unwrap(),
+                None => b.push_null(),
+            }
+        }
+        b.finish()
+    };
+    let key_set: std::collections::HashSet<&str> = on.iter().map(String::as_str).collect();
+    let overlap: std::collections::HashSet<&str> = left
+        .column_names()
+        .into_iter()
+        .filter(|n| !key_set.contains(n) && right.has_column(n))
+        .collect();
+    let mut out: Vec<Series> = Vec::new();
+    for s in left.series() {
+        let name = if overlap.contains(s.name()) {
+            format!("{}_x", s.name())
+        } else {
+            s.name().to_string()
+        };
+        out.push(Series::new(name, s.column().take(&left_idx).unwrap()));
+    }
+    for s in right.series() {
+        if key_set.contains(s.name()) {
+            continue;
+        }
+        let name = if overlap.contains(s.name()) {
+            format!("{}_y", s.name())
+        } else {
+            s.name().to_string()
+        };
+        out.push(Series::new(name, gather_optional(s.column())));
+    }
+    DataFrame::new(out).unwrap()
+}
+
+/// The seed sort: `Vec<Scalar>` key columns and boxed `cmp_values` per
+/// comparison, nulls last regardless of direction.
+fn sort_values_ref(frame: &DataFrame, options: &SortOptions) -> DataFrame {
+    use std::cmp::Ordering;
+    let dir = |k: usize| -> bool {
+        options.ascending.get(k).copied().unwrap_or(
+            options.ascending.first().copied().unwrap_or(true),
+        )
+    };
+    let key_cols: Vec<Vec<Scalar>> = options
+        .by
+        .iter()
+        .map(|name| {
+            let s = frame.column(name).unwrap();
+            (0..frame.num_rows()).map(|i| s.get(i)).collect()
+        })
+        .collect();
+    let mut order: Vec<usize> = (0..frame.num_rows()).collect();
+    order.sort_by(|&a, &b| {
+        for (k, col) in key_cols.iter().enumerate() {
+            let (x, y) = (&col[a], &col[b]);
+            let ord = match (x.is_null(), y.is_null()) {
+                (true, true) => Ordering::Equal,
+                (true, false) => Ordering::Greater,
+                (false, true) => Ordering::Less,
+                (false, false) => {
+                    let o = x.cmp_values(y);
+                    if dir(k) {
+                        o
+                    } else {
+                        o.reverse()
+                    }
+                }
+            };
+            if ord != Ordering::Equal {
+                return ord;
+            }
+        }
+        Ordering::Equal
+    });
+    frame.take(&order).unwrap()
+}
+
+/// The seed CSV reader: one `Vec<String>` per record via `split_record`,
+/// one boxed `Scalar` per cell through `push_scalar`.
+fn read_csv_ref(path: &std::path::Path, options: &CsvOptions) -> DataFrame {
+    use std::io::BufRead;
+    let file = std::fs::File::open(path).unwrap();
+    let reader = std::io::BufReader::new(file);
+    let mut lines = reader.lines();
+    let header = split_record(&lines.next().unwrap().unwrap());
+    let keep: Vec<usize> = match &options.usecols {
+        Some(cols) => (0..header.len())
+            .filter(|&i| cols.iter().any(|c| *c == header[i]))
+            .collect(),
+        None => (0..header.len()).collect(),
+    };
+    let records: Vec<Vec<String>> = lines
+        .map(|l| l.unwrap())
+        .filter(|l| !l.trim_end_matches(['\n', '\r']).is_empty())
+        .map(|l| split_record(l.trim_end_matches(['\n', '\r'])))
+        .collect();
+    let infer = |col_idx: usize| -> DType {
+        let sample = records.iter().take(1000).map(|r| r[col_idx].as_str());
+        let mut any = false;
+        let (mut all_int, mut all_float, mut all_bool) = (true, true, true);
+        let mut all_dt = true;
+        for v in sample {
+            if v.is_empty() {
+                continue;
+            }
+            any = true;
+            let t = v.trim();
+            all_int &= t.parse::<i64>().is_ok();
+            all_float &= t.parse::<f64>().is_ok();
+            all_bool &= matches!(t, "True" | "true" | "False" | "false");
+            all_dt &= lafp_columnar::value::parse_datetime(t).is_some();
+        }
+        if !any {
+            DType::Utf8
+        } else if all_bool {
+            DType::Bool
+        } else if all_int {
+            DType::Int64
+        } else if all_float {
+            DType::Float64
+        } else if all_dt {
+            DType::Datetime
+        } else {
+            DType::Utf8
+        }
+    };
+    let mut series = Vec::new();
+    for &col_idx in &keep {
+        let name = &header[col_idx];
+        let dtype = if let Some(&dt) = options.dtypes.get(name) {
+            dt
+        } else if options.parse_dates.iter().any(|c| c == name) {
+            DType::Datetime
+        } else {
+            infer(col_idx)
+        };
+        let mut b = ColumnBuilder::new(dtype);
+        for r in &records {
+            let raw = &r[col_idx];
+            if raw.is_empty() {
+                b.push_null();
+                continue;
+            }
+            let scalar = match dtype {
+                DType::Int64 => Scalar::Int(raw.trim().parse().unwrap()),
+                DType::Float64 => Scalar::Float(raw.trim().parse().unwrap()),
+                DType::Bool => Scalar::Bool(matches!(raw.trim(), "True" | "true" | "1")),
+                DType::Datetime => {
+                    Scalar::Datetime(lafp_columnar::value::parse_datetime(raw).unwrap())
+                }
+                DType::Utf8 | DType::Categorical => Scalar::Str(raw.clone()),
+            };
+            b.push_scalar(&scalar).unwrap();
+        }
+        series.push(Series::new(name.clone(), b.finish()));
+    }
+    DataFrame::new(series).unwrap()
+}
+
 // ---------------------------------------------------------------------------
 // Properties
 // ---------------------------------------------------------------------------
@@ -448,6 +659,165 @@ proptest! {
                 assert_frame_equiv(&group_by(&frame, &spec).unwrap(), &group_by_ref(&frame, &spec));
             }
         }
+    }
+
+    #[test]
+    fn join_matches_reference(
+        lk in prop::collection::vec(0i64..8, 1..60),
+        rk in prop::collection::vec(0i64..8, 1..40),
+        // The [abN] alphabet occasionally yields a literal "NaN" string,
+        // which canonical key semantics equate with a null key.
+        ls in prop::collection::vec("[abN]{0,3}", 1..60),
+        rs in prop::collection::vec("[abN]{0,3}", 1..40),
+        nl in prop::collection::vec(any::<bool>(), 1..60),
+        nr in prop::collection::vec(any::<bool>(), 1..40),
+        fv in prop::collection::vec(-50.0f64..50.0, 1..40),
+        left_join in any::<bool>(),
+    ) {
+        let n = lk.len().min(ls.len()).min(nl.len());
+        let m = rk.len().min(rs.len()).min(nr.len()).min(fv.len());
+        // Overlapping non-key column "v" on both sides exercises the
+        // _x/_y suffix path; "w" exercises the null-aware typed gather.
+        let left = DataFrame::new(vec![
+            Series::new("k", col_i64(&lk[..n], &nl[..n])),
+            Series::new("s", col_str(&ls[..n], &nl[..n])),
+            Series::new("v", col_i64(&lk[..n], &[false].repeat(n))),
+        ])
+        .unwrap();
+        let right = DataFrame::new(vec![
+            Series::new("k", col_i64(&rk[..m], &nr[..m])),
+            Series::new("s", col_str(&rs[..m], &nr[..m])),
+            Series::new("v", col_i64(&rk[..m], &[false].repeat(m))),
+            Series::new("w", col_f64(&fv[..m], &nr[..m])),
+        ])
+        .unwrap();
+        let how = if left_join { JoinKind::Left } else { JoinKind::Inner };
+        for keys in [
+            vec!["k".to_string()],
+            vec!["s".to_string()],
+            vec!["k".to_string(), "s".to_string()],
+        ] {
+            assert_frame_equiv(
+                &merge(&left, &right, &keys, how).unwrap(),
+                &merge_ref(&left, &right, &keys, how),
+            );
+        }
+    }
+
+    #[test]
+    fn sort_matches_reference(
+        iv in prop::collection::vec(-20i64..20, 1..80),
+        fv in prop::collection::vec(-20.0f64..20.0, 1..80),
+        sv in prop::collection::vec("[abc]{0,2}", 1..80),
+        ni in prop::collection::vec(any::<bool>(), 1..80),
+        nf in prop::collection::vec(any::<bool>(), 1..80),
+        a1 in any::<bool>(),
+        a2 in any::<bool>(),
+        a3 in any::<bool>(),
+    ) {
+        let n = iv.len().min(fv.len()).min(sv.len()).min(ni.len()).min(nf.len());
+        // "tag" is a unique row id: frame equivalence after sorting by it
+        // proves the permutations (including tie order) are identical.
+        let tags: Vec<i64> = (0..n as i64).collect();
+        let frame = DataFrame::new(vec![
+            Series::new("i", col_i64(&iv[..n], &ni[..n])),
+            Series::new("f", col_f64(&fv[..n], &nf[..n])),
+            Series::new("s", col_str(&sv[..n], &ni[..n])),
+            Series::new("tag", col_i64(&tags, &[false].repeat(n))),
+        ])
+        .unwrap();
+        for options in [
+            SortOptions::single("i", a1),
+            SortOptions::single("f", a2),
+            SortOptions::single("s", a3),
+            SortOptions {
+                by: vec!["s".into(), "i".into()],
+                ascending: vec![a1, a2],
+            },
+            SortOptions {
+                by: vec!["i".into(), "f".into(), "s".into()],
+                ascending: vec![a1, a2, a3],
+            },
+        ] {
+            assert_frame_equiv(
+                &sort_values(&frame, &options).unwrap(),
+                &sort_values_ref(&frame, &options),
+            );
+        }
+    }
+
+    #[test]
+    fn top_n_matches_reference(
+        fv in prop::collection::vec(-50.0f64..50.0, 1..60),
+        nf in prop::collection::vec(any::<bool>(), 1..60),
+        n_top in 0usize..70,
+    ) {
+        let n = fv.len().min(nf.len());
+        let tags: Vec<i64> = (0..n as i64).collect();
+        let frame = DataFrame::new(vec![
+            Series::new("f", col_f64(&fv[..n], &nf[..n])),
+            Series::new("tag", col_i64(&tags, &[false].repeat(n))),
+        ])
+        .unwrap();
+        assert_frame_equiv(
+            &nlargest(&frame, n_top, "f").unwrap(),
+            &sort_values_ref(&frame, &SortOptions::single("f", false)).head(n_top),
+        );
+        assert_frame_equiv(
+            &nsmallest(&frame, n_top, "f").unwrap(),
+            &sort_values_ref(&frame, &SortOptions::single("f", true)).head(n_top),
+        );
+    }
+
+    #[test]
+    fn csv_read_matches_reference(
+        strs in prop::collection::vec("[ab,\" x]{0,6}", 1..40),
+        ints in prop::collection::vec(-999i64..999, 1..40),
+        int_nulls in prop::collection::vec(any::<bool>(), 1..40),
+        floats in prop::collection::vec(-99.0f64..99.0, 1..40),
+        project in any::<bool>(),
+        force_utf8 in any::<bool>(),
+    ) {
+        let n = strs
+            .len()
+            .min(ints.len())
+            .min(int_nulls.len())
+            .min(floats.len());
+        let mut content = String::from("a,b,c\n");
+        for i in 0..n {
+            let b = if int_nulls[i] {
+                String::new() // empty field reads back as null
+            } else {
+                ints[i].to_string()
+            };
+            content.push_str(&format!(
+                "{},{},{}\n",
+                quote_field(&strs[i]),
+                b,
+                floats[i],
+            ));
+        }
+        let dir = std::env::temp_dir().join("lafp-differential-csv");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join(format!(
+            "d{}.csv",
+            std::time::SystemTime::now()
+                .duration_since(std::time::UNIX_EPOCH)
+                .unwrap()
+                .as_nanos()
+        ));
+        std::fs::write(&path, &content).unwrap();
+        let mut options = CsvOptions::new();
+        if project {
+            options = options.with_usecols(vec!["a".into(), "c".into()]);
+        }
+        if force_utf8 {
+            options = options.with_dtype("a", DType::Utf8).with_dtype("c", DType::Utf8);
+        }
+        let actual = read_csv(&path, &options).unwrap();
+        let expected = read_csv_ref(&path, &options);
+        std::fs::remove_file(&path).ok();
+        assert_frame_equiv(&actual, &expected);
     }
 
     #[test]
