@@ -33,7 +33,8 @@ use crate::memory::{MemoryReservation, MemoryTracker};
 use lafp_columnar::csv::{CsvChunkReader, CsvOptions};
 use lafp_columnar::groupby::{GroupByAccumulator, GroupBySpec};
 use lafp_columnar::join::{merge as join_merge, JoinKind};
-use lafp_columnar::sort::{sort_values, SortOptions};
+use lafp_columnar::pool::WorkerPool;
+use lafp_columnar::sort::{sort_values_par, SortOptions};
 use lafp_columnar::{
     AggKind, Column, ColumnarError, DataFrame, HeapSize, Result, Scalar, Series,
 };
@@ -166,6 +167,12 @@ pub struct DaskEngine {
     tracker: Arc<MemoryTracker>,
     /// Target partition size in rows for CSV scans.
     chunk_rows: usize,
+    /// Worker pool for blocking operators (sort flush, buffered probe
+    /// drain). Streaming operators stay partition-at-a-time — that is
+    /// the engine's out-of-core contract — but partition *work* that has
+    /// already been buffered is submitted to the pool instead of drained
+    /// on one core.
+    pool: Arc<WorkerPool>,
     /// Enable the engine's own column-projection pushdown into scans.
     /// Off by default: the paper-era Dask lacked it (see module docs).
     pub projection_pushdown: bool,
@@ -173,12 +180,15 @@ pub struct DaskEngine {
 
 impl DaskEngine {
     /// New engine charging `tracker`, scanning CSVs in `chunk_rows`-row
-    /// partitions (0 picks the 8192-row default).
+    /// partitions (0 picks the 8192-row default). Worker count comes
+    /// from the shared resolver (`LAFP_THREADS` / available
+    /// parallelism — see [`lafp_columnar::pool::resolve_threads`]).
     pub fn new(tracker: Arc<MemoryTracker>, chunk_rows: usize) -> DaskEngine {
         DaskEngine {
             nodes: Vec::new(),
             tracker,
             chunk_rows: if chunk_rows == 0 { 8192 } else { chunk_rows },
+            pool: Arc::new(WorkerPool::new(0)),
             projection_pushdown: false,
         }
     }
@@ -855,9 +865,22 @@ impl BatchRun {
                             PartitionBuffer::new(&engine.tracker),
                         );
                         let right = built.clone().expect("just built");
-                        for probe in probes.parts {
-                            let out = join_merge(&probe, &right, &on, how)?;
-                            let _t = engine.tracker.charge(out.heap_size())?;
+                        // The backlog of buffered probe partitions is
+                        // embarrassingly parallel: join each against the
+                        // shared build side on the pool, then emit the
+                        // results in partition order. Unlike the old
+                        // one-at-a-time drain, every output coexists
+                        // until the emit loop runs, so the tracker is
+                        // charged for the whole batch at once — the
+                        // honest simulated footprint of this path.
+                        let pool = Arc::clone(&engine.pool);
+                        let outs: Vec<DataFrame> = pool
+                            .map(probes.parts, |_, probe| join_merge(&probe, &right, &on, how))
+                            .into_iter()
+                            .collect::<Result<Vec<_>>>()?;
+                        let batch_bytes: usize = outs.iter().map(HeapSize::heap_size).sum();
+                        let _t = engine.tracker.charge(batch_bytes)?;
+                        for out in outs {
                             self.emit(engine, id, &out)?;
                         }
                     }
@@ -899,8 +922,11 @@ impl BatchRun {
                     Ok(())
                 }
                 (DaskOp::Sort(options), NodeState::Sort { buffer }) => {
+                    // The sort is blocking anyway — every partition is
+                    // already buffered — so flush through the
+                    // morsel-parallel kernel.
                     let frame = buffer.concat_all()?;
-                    let sorted = sort_values(&frame, options)?;
+                    let sorted = sort_values_par(&frame, options, &engine.pool)?;
                     let _t = engine.tracker.charge(sorted.heap_size())?;
                     self.emit(engine, id, &sorted)
                 }

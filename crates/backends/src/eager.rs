@@ -11,11 +11,12 @@
 
 use crate::kind::BackendKind;
 use crate::memory::MemoryTracker;
-use lafp_columnar::csv::{read_csv, CsvOptions};
+use lafp_columnar::csv::{read_csv_par, CsvOptions};
 use lafp_columnar::describe::describe;
-use lafp_columnar::groupby::{group_by, GroupByAccumulator, GroupBySpec};
-use lafp_columnar::join::{merge, JoinKind};
-use lafp_columnar::sort::{sort_values, SortOptions};
+use lafp_columnar::groupby::{group_by_par, GroupBySpec};
+use lafp_columnar::join::{merge_par, JoinKind};
+use lafp_columnar::pool::WorkerPool;
+use lafp_columnar::sort::{sort_values_par, SortOptions};
 use lafp_columnar::{AggKind, DataFrame, HeapSize, Result, Scalar, Series};
 use lafp_expr::Expr;
 use std::path::Path;
@@ -26,29 +27,33 @@ use std::sync::Arc;
 pub struct EagerEngine {
     kind: BackendKind,
     tracker: Arc<MemoryTracker>,
-    threads: usize,
+    pool: Arc<WorkerPool>,
 }
 
 impl EagerEngine {
     /// Create an engine of `kind` charging `tracker`.
     ///
-    /// `threads` only matters for [`BackendKind::Modin`]; the Pandas engine
-    /// is always single-threaded. `threads = 0` picks the machine's
-    /// available parallelism.
+    /// `threads` only matters for [`BackendKind::Modin`]: the Pandas
+    /// engine is single-threaded *by definition* (that is the backend it
+    /// models), so it always gets one worker no matter what is
+    /// requested. For Modin, `threads = 0` means "default" and resolves
+    /// through the one shared resolver
+    /// ([`lafp_columnar::pool::resolve_threads`]): the `LAFP_THREADS`
+    /// environment variable if set, else the machine's available
+    /// parallelism — the same rule every other layer (the Dask engine,
+    /// the global pool, the bench harness) uses, so a default-threaded
+    /// Modin engine can never silently disagree with the rest of the
+    /// system about what "default" means.
     pub fn new(kind: BackendKind, tracker: Arc<MemoryTracker>, threads: usize) -> EagerEngine {
-        let threads = if kind == BackendKind::Modin {
-            if threads == 0 {
-                std::thread::available_parallelism().map_or(4, |n| n.get())
-            } else {
-                threads
-            }
+        let pool = if kind == BackendKind::Modin {
+            WorkerPool::new(threads)
         } else {
-            1
+            WorkerPool::sequential()
         };
         EagerEngine {
             kind,
             tracker,
-            threads,
+            pool: Arc::new(pool),
         }
     }
 
@@ -64,7 +69,7 @@ impl EagerEngine {
 
     /// Worker threads used for partition-parallel ops (1 for Pandas).
     pub fn threads(&self) -> usize {
-        self.threads
+        self.pool.threads()
     }
 
     /// Charge the transient working set for an op over `input`, returning
@@ -83,10 +88,10 @@ impl EagerEngine {
         Ok(out)
     }
 
-    /// Split a frame into up to `self.threads` contiguous partitions.
+    /// Split a frame into up to `self.threads()` contiguous partitions.
     fn partition(&self, df: &DataFrame) -> Vec<DataFrame> {
         let rows = df.num_rows();
-        let n = self.threads.min(rows.max(1));
+        let n = self.threads().min(rows.max(1));
         let base = rows / n;
         let extra = rows % n;
         let mut out = Vec::with_capacity(n);
@@ -99,26 +104,17 @@ impl EagerEngine {
         out
     }
 
-    /// Apply `f` to each partition in parallel and re-concatenate in
-    /// partition order (Modin preserves row order).
+    /// Apply `f` to each partition on the shared worker pool and
+    /// re-concatenate in partition order (Modin preserves row order).
     fn map_partitions<F>(&self, df: &DataFrame, f: F) -> Result<DataFrame>
     where
         F: Fn(&DataFrame) -> Result<DataFrame> + Sync,
     {
-        if self.threads <= 1 || df.num_rows() < 2 {
+        if !self.pool.is_parallel() || df.num_rows() < 2 {
             return f(df);
         }
         let parts = self.partition(df);
-        let results: Vec<Result<DataFrame>> = std::thread::scope(|scope| {
-            let handles: Vec<_> = parts
-                .iter()
-                .map(|p| scope.spawn(|| f(p)))
-                .collect();
-            handles
-                .into_iter()
-                .map(|h| h.join().expect("partition worker panicked"))
-                .collect()
-        });
+        let results: Vec<Result<DataFrame>> = self.pool.map(parts, |_, p| f(&p));
         let mut it = results.into_iter();
         let mut acc = it.next().expect("at least one partition")?;
         for r in it {
@@ -138,7 +134,7 @@ impl EagerEngine {
         let file_bytes = std::fs::metadata(path).map(|m| m.len() as usize).unwrap_or(0);
         let scale = if self.kind == BackendKind::Modin { 0.25 } else { 1.0 };
         let _scratch = self.tracker.charge((file_bytes as f64 * scale) as usize)?;
-        let df = read_csv(path, options)?;
+        let df = read_csv_par(path, options, &self.pool)?;
         let _built = self.tracker.charge(df.heap_size())?;
         Ok(df)
     }
@@ -182,36 +178,12 @@ impl EagerEngine {
         Ok(df.tail(n))
     }
 
-    /// `df.groupby(keys)[value].agg()`.
+    /// `df.groupby(keys)[value].agg()`. Modin runs the morsel-parallel
+    /// kernel: worker-local accumulators over dynamically claimed row
+    /// ranges, merged through the typed merge path.
     pub fn group_by(&self, df: &DataFrame, spec: &GroupBySpec) -> Result<DataFrame> {
         let _t = self.transient(df)?;
-        if self.threads <= 1 || df.num_rows() < 2 {
-            return self.finish(group_by(df, spec)?);
-        }
-        // Modin path: per-partition partial aggregates merged pairwise.
-        let parts = self.partition(df);
-        let accs: Vec<Result<GroupByAccumulator>> = std::thread::scope(|scope| {
-            let handles: Vec<_> = parts
-                .iter()
-                .map(|p| {
-                    scope.spawn(|| {
-                        let mut acc = GroupByAccumulator::new(spec.clone());
-                        acc.update(p)?;
-                        Ok(acc)
-                    })
-                })
-                .collect();
-            handles
-                .into_iter()
-                .map(|h| h.join().expect("groupby worker panicked"))
-                .collect()
-        });
-        let mut it = accs.into_iter();
-        let mut merged = it.next().expect("at least one partition")?;
-        for acc in it {
-            merged.merge(&acc?);
-        }
-        self.finish(merged.finish()?)
+        self.finish(group_by_par(df, spec, &self.pool)?)
     }
 
     /// `left.merge(right, on=..., how=...)`.
@@ -226,20 +198,19 @@ impl EagerEngine {
         let bytes = ((left.heap_size() + right.heap_size()) as f64
             * self.kind.transient_factor()) as usize;
         let _t = self.tracker.charge(bytes)?;
-        if self.threads <= 1 || left.num_rows() < 2 {
-            return self.finish(merge(left, right, on, how)?);
-        }
-        // Modin path: partition the probe side; the build side is shared.
-        let out = self.map_partitions(left, |p| merge(p, right, on, how))?;
-        self.finish(out)
+        // Modin path: the pool-driven join partitions the build side by
+        // hash and probes the left side in morsels (the build table is
+        // shared, not rebuilt per partition as the old
+        // partition-and-rejoin path did).
+        self.finish(merge_par(left, right, on, how, &self.pool)?)
     }
 
     /// `df.sort_values(by=..., ascending=...)`.
     pub fn sort_values(&self, df: &DataFrame, options: &SortOptions) -> Result<DataFrame> {
         let _t = self.transient(df)?;
-        // A distributed engine would sample-partition; at our scale a global
-        // sort after a parallel pre-sort has the same observable behaviour.
-        self.finish(sort_values(df, options)?)
+        // Morsel-parallel argsort + pairwise run merge on the pool; the
+        // result is the sequential stable sort bit for bit.
+        self.finish(sort_values_par(df, options, &self.pool)?)
     }
 
     /// `df.drop_duplicates(subset=...)`.

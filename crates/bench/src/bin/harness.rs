@@ -31,6 +31,7 @@ fn run_kernel_bench(args: &[String]) {
     let mut iters = 3usize;
     let mut json: Option<PathBuf> = None;
     let mut pr: Option<u32> = None;
+    let mut threads = 0usize; // 0 = default (LAFP_THREADS / host parallelism)
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
@@ -56,9 +57,18 @@ fn run_kernel_bench(args: &[String]) {
                         .expect("--pr needs a number"),
                 );
             }
-            other => panic!("unknown bench flag {other:?} (use --rows, --iters, --json, --pr)"),
+            "--threads" => {
+                threads = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--threads needs a number");
+            }
+            other => panic!(
+                "unknown bench flag {other:?} (use --rows, --iters, --json, --pr, --threads)"
+            ),
         }
     }
+    let threads = lafp_columnar::pool::resolve_threads(threads);
     // PR number for the artifact metadata: --pr wins, else it is parsed
     // from a BENCH_PR<N>.json file name, else 0 (unlabeled run).
     let pr = pr.unwrap_or_else(|| {
@@ -75,8 +85,24 @@ fn run_kernel_bench(args: &[String]) {
             r.name, r.seed_ms, r.vectorized_ms, r.speedup
         );
     }
+    eprintln!("parallel kernels: 1 worker vs {threads} ...");
+    let parallel = kernel_bench::run_parallel_suite(rows, iters, threads);
+    println!();
+    println!(
+        "{:<28} {:>12} {:>14} {:>9}",
+        "parallel kernel",
+        "t1_ms",
+        format!("t{threads}_ms"),
+        "speedup"
+    );
+    for r in &parallel {
+        println!(
+            "{:<28} {:>12.3} {:>14.3} {:>8.2}x",
+            r.name, r.t1_ms, r.tn_ms, r.speedup
+        );
+    }
     if let Some(path) = json {
-        let body = kernel_bench::render_json(pr, rows, iters, &results);
+        let body = kernel_bench::render_json(pr, rows, iters, &results, &parallel);
         std::fs::write(&path, body).expect("write bench json");
         eprintln!("wrote {}", path.display());
     }

@@ -16,10 +16,11 @@
 
 use crate::datagen::kernel_frame;
 use lafp_columnar::column::{ArithOp, CmpOp, ColumnBuilder};
-use lafp_columnar::csv::{read_csv, split_record, CsvOptions};
-use lafp_columnar::groupby::{group_by, AggKind, GroupBySpec};
-use lafp_columnar::join::{merge, JoinKind};
-use lafp_columnar::sort::{nlargest, sort_values, SortOptions};
+use lafp_columnar::csv::{read_csv, read_csv_par, split_record, CsvOptions};
+use lafp_columnar::groupby::{group_by, group_by_par, AggKind, GroupBySpec};
+use lafp_columnar::join::{merge, merge_par, JoinKind};
+use lafp_columnar::pool::WorkerPool;
+use lafp_columnar::sort::{nlargest, sort_values, sort_values_par, SortOptions};
 use lafp_columnar::{Bitmap, Column, DType, DataFrame, Scalar, Series};
 use std::collections::HashMap;
 use std::hint::black_box;
@@ -35,6 +36,22 @@ pub struct BenchResult {
     /// Best-of-N wall time of the vectorized kernel, in milliseconds.
     pub vectorized_ms: f64,
     /// `seed_ms / vectorized_ms`.
+    pub speedup: f64,
+}
+
+/// One parallel bench row: the same pool-driven kernel at one worker vs
+/// `threads` workers.
+#[derive(Debug, Clone)]
+pub struct ParallelBenchResult {
+    /// Kernel name.
+    pub name: String,
+    /// Best-of-N wall time on a 1-worker pool (the sequential path).
+    pub t1_ms: f64,
+    /// Best-of-N wall time on a `threads`-worker pool.
+    pub tn_ms: f64,
+    /// Worker count of the parallel column.
+    pub threads: usize,
+    /// `t1_ms / tn_ms`.
     pub speedup: f64,
 }
 
@@ -937,13 +954,202 @@ pub fn run_suite(rows: usize, iters: usize) -> Vec<BenchResult> {
     results
 }
 
+/// Scalar-wise frame equivalence with a relative float tolerance
+/// (parallel group-by re-associates float additions across morsels).
+fn assert_frame_close(a: &DataFrame, b: &DataFrame, tol: f64, what: &str) {
+    assert_eq!(a.num_columns(), b.num_columns(), "{what}: columns");
+    for (x, y) in a.series().iter().zip(b.series()) {
+        assert_eq!(x.name(), y.name(), "{what}: column name");
+        assert_eq!(x.len(), y.len(), "{what}.{}: length", x.name());
+        for i in 0..x.len() {
+            let (u, v) = (x.get(i), y.get(i));
+            let ok = match (&u, &v) {
+                (Scalar::Float(fu), Scalar::Float(fv)) => {
+                    fu == fv || (fu - fv).abs() <= tol * fu.abs().max(fv.abs())
+                }
+                _ => (u.is_null() && v.is_null()) || u == v,
+            };
+            assert!(ok, "{what}.{} row {i}: {u:?} vs {v:?}", x.name());
+        }
+    }
+}
+
+/// Run the morsel-parallel kernels at one worker vs `threads` workers —
+/// the per-PR parallel-scaling trajectory. Each pair is checked for
+/// result equivalence before timing (float aggregates within 1e-12
+/// relative, everything else exact).
+pub fn run_parallel_suite(rows: usize, iters: usize, threads: usize) -> Vec<ParallelBenchResult> {
+    let frame = kernel_frame(rows);
+    let pool1 = WorkerPool::new(1);
+    let pooln = WorkerPool::new(threads);
+    let mut results = Vec::new();
+    let mut push = |name: &str, t1: f64, tn: f64| {
+        results.push(ParallelBenchResult {
+            name: name.to_string(),
+            t1_ms: t1,
+            tn_ms: tn,
+            threads,
+            speedup: t1 / tn,
+        });
+    };
+
+    // -- group-by ------------------------------------------------------
+    let spec = GroupBySpec {
+        keys: vec!["key".into()],
+        value: "fare".into(),
+        agg: AggKind::Sum,
+    };
+    assert_frame_close(
+        &group_by_par(&frame, &spec, &pooln).unwrap(),
+        &group_by(&frame, &spec).unwrap(),
+        1e-12,
+        "par groupby",
+    );
+    let (t1, tn) = best_of_pair_ms(
+        iters,
+        || {
+            black_box(group_by_par(black_box(&frame), &spec, &pool1).unwrap());
+        },
+        || {
+            black_box(group_by_par(black_box(&frame), &spec, &pooln).unwrap());
+        },
+    );
+    push("par_groupby_i64key_sum_f64", t1, tn);
+
+    let multi = GroupBySpec {
+        keys: vec!["vendor".into(), "key".into()],
+        value: "tip".into(),
+        agg: AggKind::Mean,
+    };
+    let (t1, tn) = best_of_pair_ms(
+        iters,
+        || {
+            black_box(group_by_par(black_box(&frame), &multi, &pool1).unwrap());
+        },
+        || {
+            black_box(group_by_par(black_box(&frame), &multi, &pooln).unwrap());
+        },
+    );
+    push("par_groupby_multikey_mean_f64", t1, tn);
+
+    // -- join ----------------------------------------------------------
+    let right = DataFrame::new(vec![
+        Series::new("key", Column::from_i64((0..100).collect())),
+        Series::new(
+            "title",
+            Column::from_strings((0..100).map(|k| format!("key-title-{k}"))),
+        ),
+        Series::new("val", Column::from_f64((0..100).map(|k| k as f64 * 0.5).collect())),
+    ])
+    .unwrap();
+    let on_key = vec!["key".to_string()];
+    assert_frame_close(
+        &merge_par(&frame, &right, &on_key, JoinKind::Inner, &pooln).unwrap(),
+        &merge(&frame, &right, &on_key, JoinKind::Inner).unwrap(),
+        0.0,
+        "par join",
+    );
+    let (t1, tn) = best_of_pair_ms(
+        iters,
+        || {
+            black_box(merge_par(black_box(&frame), &right, &on_key, JoinKind::Inner, &pool1).unwrap());
+        },
+        || {
+            black_box(merge_par(black_box(&frame), &right, &on_key, JoinKind::Inner, &pooln).unwrap());
+        },
+    );
+    push("par_join_inner_i64key", t1, tn);
+
+    // -- sort ----------------------------------------------------------
+    let sort_single = SortOptions::single("fare", true);
+    let sort_multi = SortOptions {
+        by: vec!["vendor".into(), "fare".into()],
+        ascending: vec![true, false],
+    };
+    for (name, options) in [
+        ("par_sort_single_f64", &sort_single),
+        ("par_sort_multikey_str_f64", &sort_multi),
+    ] {
+        assert_frame_close(
+            &sort_values_par(&frame, options, &pooln).unwrap(),
+            &sort_values(&frame, options).unwrap(),
+            0.0,
+            name,
+        );
+        let (t1, tn) = best_of_pair_ms(
+            iters,
+            || {
+                black_box(sort_values_par(black_box(&frame), options, &pool1).unwrap());
+            },
+            || {
+                black_box(sort_values_par(black_box(&frame), options, &pooln).unwrap());
+            },
+        );
+        push(name, t1, tn);
+    }
+
+    // -- CSV ingestion -------------------------------------------------
+    let csv_path = std::env::temp_dir().join(format!(
+        "lafp-parallel-bench-{rows}-{}.csv",
+        std::process::id()
+    ));
+    {
+        use std::io::Write as _;
+        let mut w = std::io::BufWriter::new(std::fs::File::create(&csv_path).unwrap());
+        writeln!(w, "id,fare,city,ok").unwrap();
+        for i in 0..rows {
+            let fare = if i % 50 == 0 {
+                String::new()
+            } else {
+                format!("{:.2}", (i % 977) as f64 * 0.13)
+            };
+            if i % 7 == 0 {
+                writeln!(w, "{i},{fare},\"City, {}\",true", i % 80).unwrap();
+            } else {
+                writeln!(w, "{i},{fare},City{},false", i % 80).unwrap();
+            }
+        }
+        w.flush().unwrap();
+    }
+    let csv_options = CsvOptions::new();
+    assert_frame_close(
+        &read_csv_par(&csv_path, &csv_options, &pooln).unwrap(),
+        &read_csv(&csv_path, &csv_options).unwrap(),
+        0.0,
+        "par csv",
+    );
+    let (t1, tn) = best_of_pair_ms(
+        iters,
+        || {
+            black_box(read_csv_par(black_box(&csv_path), &csv_options, &pool1).unwrap());
+        },
+        || {
+            black_box(read_csv_par(black_box(&csv_path), &csv_options, &pooln).unwrap());
+        },
+    );
+    push("par_read_csv_mixed", t1, tn);
+    std::fs::remove_file(&csv_path).ok();
+
+    results
+}
+
 /// Render the results as the `BENCH_PR<N>.json` trajectory artifact.
-pub fn render_json(pr: u32, rows: usize, iters: usize, results: &[BenchResult]) -> String {
+pub fn render_json(
+    pr: u32,
+    rows: usize,
+    iters: usize,
+    results: &[BenchResult],
+    parallel: &[ParallelBenchResult],
+) -> String {
     let mut out = String::new();
     out.push_str("{\n");
     out.push_str(&format!("  \"pr\": {pr},\n"));
     out.push_str(&format!("  \"rows\": {rows},\n"));
     out.push_str(&format!("  \"iters\": {iters},\n"));
+    out.push_str(&format!(
+        "  \"host_threads\": {},\n",
+        std::thread::available_parallelism().map_or(1, |n| n.get())
+    ));
     out.push_str(
         "  \"reference\": \"seed-era (PR 1) scalar-boxed kernels, re-implemented in \
          lafp-bench::kernel_bench and raced in the same process\",\n",
@@ -958,6 +1164,25 @@ pub fn render_json(pr: u32, rows: usize, iters: usize, results: &[BenchResult]) 
             r.vectorized_ms,
             r.speedup,
             if i + 1 == results.len() { "" } else { "," }
+        ));
+    }
+    if parallel.is_empty() {
+        out.push_str("  ]\n}\n");
+        return out;
+    }
+    out.push_str("  ],\n");
+    out.push_str("  \"parallel\": [\n");
+    for (i, r) in parallel.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"name\": \"{}\", \"t1_ms\": {:.3}, \"t{}_ms\": {:.3}, \
+             \"threads\": {}, \"speedup\": {:.2}}}{}\n",
+            r.name,
+            r.t1_ms,
+            r.threads,
+            r.tn_ms,
+            r.threads,
+            r.speedup,
+            if i + 1 == parallel.len() { "" } else { "," }
         ));
     }
     out.push_str("  ]\n}\n");
@@ -977,11 +1202,19 @@ mod tests {
         for r in &results {
             assert!(r.seed_ms >= 0.0 && r.vectorized_ms > 0.0, "{}", r.name);
         }
-        let json = render_json(3, 2_000, 1, &results);
+        let parallel = run_parallel_suite(2_000, 1, 2);
+        assert_eq!(parallel.len(), 6);
+        for r in &parallel {
+            assert!(r.t1_ms > 0.0 && r.tn_ms > 0.0, "{}", r.name);
+        }
+        let json = render_json(4, 2_000, 1, &results, &parallel);
         assert!(json.contains("\"benches\""));
         assert!(json.contains("groupby_i64key_sum_f64"));
         assert!(json.contains("join_inner_i64key"));
         assert!(json.contains("sort_single_f64"));
         assert!(json.contains("read_csv_mixed"));
+        assert!(json.contains("\"parallel\""));
+        assert!(json.contains("par_read_csv_mixed"));
+        assert!(json.contains("\"host_threads\""));
     }
 }

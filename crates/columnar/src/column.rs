@@ -443,11 +443,7 @@ impl Column {
                 Column::Float64(indices.iter().map(|&i| data[i.idx()]).collect(), validity)
             }
             Column::Bool(data, _) => Column::Bool(data.take_idx(indices), validity),
-            Column::Utf8(data, _) => Column::Utf8(
-                // Arc clone: a pointer copy, not a byte copy of the string.
-                indices.iter().map(|&i| Arc::clone(&data[i.idx()])).collect(),
-                validity,
-            ),
+            Column::Utf8(data, _) => Column::Utf8(gather_arcs(data, indices), validity),
             Column::Datetime(data, _) => {
                 Column::Datetime(indices.iter().map(|&i| data[i.idx()]).collect(), validity)
             }
@@ -1434,43 +1430,56 @@ impl Column {
     /// (FNV-1a style). `hashes.len()` must equal `self.len()`.
     pub fn hash_into(&self, hashes: &mut [u64]) {
         debug_assert_eq!(hashes.len(), self.len());
+        self.hash_range_into(0, hashes);
+    }
+
+    /// Mix rows `offset .. offset + hashes.len()` into `hashes` (slot `j`
+    /// accumulates row `offset + j`). The range form lets parallel
+    /// kernels hash disjoint morsels into disjoint sub-slices of one
+    /// hash array.
+    pub fn hash_range_into(&self, offset: usize, hashes: &mut [u64]) {
+        let len = hashes.len();
+        debug_assert!(offset + len <= self.len());
         let valid = |validity: &Option<Bitmap>, i: usize| -> bool {
             validity.as_ref().is_none_or(|m| m.get(i))
         };
         // Dispatch on the buffer once; every arm is a tight loop.
-        let mut mix = |i: usize, v: u64| {
-            let h = &mut hashes[i];
+        let mut mix = |j: usize, v: u64| {
+            let h = &mut hashes[j];
             *h = (*h ^ v).wrapping_mul(HASH_PRIME);
         };
         match self {
             Column::Int64(v, m) | Column::Datetime(v, m) => {
-                for (i, &x) in v.iter().enumerate() {
-                    mix(i, if valid(m, i) { x as u64 } else { u64::MAX });
+                for (j, &x) in v[offset..offset + len].iter().enumerate() {
+                    mix(j, if valid(m, offset + j) { x as u64 } else { u64::MAX });
                 }
             }
             Column::Float64(v, m) => {
-                for (i, &x) in v.iter().enumerate() {
-                    let null = x.is_nan() || !valid(m, i);
-                    mix(i, if null { u64::MAX } else { x.to_bits() });
+                for (j, &x) in v[offset..offset + len].iter().enumerate() {
+                    let null = x.is_nan() || !valid(m, offset + j);
+                    mix(j, if null { u64::MAX } else { x.to_bits() });
                 }
             }
             Column::Bool(v, m) => {
-                for i in 0..v.len() {
-                    mix(i, if valid(m, i) { v.get(i) as u64 } else { u64::MAX });
+                for j in 0..len {
+                    let i = offset + j;
+                    mix(j, if valid(m, i) { v.get(i) as u64 } else { u64::MAX });
                 }
             }
             Column::Utf8(v, m) => {
-                for (i, s) in v.iter().enumerate() {
-                    mix(i, if valid(m, i) { fnv1a(s.as_bytes()) } else { u64::MAX });
+                for (j, s) in v[offset..offset + len].iter().enumerate() {
+                    let i = offset + j;
+                    mix(j, if valid(m, i) { fnv1a(s.as_bytes()) } else { u64::MAX });
                 }
             }
             Column::Categorical(c, m) => {
                 // Hash each dictionary entry once, then look codes up.
                 let dict_hashes: Vec<u64> =
                     c.dict.iter().map(|s| fnv1a(s.as_bytes())).collect();
-                for (i, &code) in c.codes.iter().enumerate() {
+                for (j, &code) in c.codes[offset..offset + len].iter().enumerate() {
+                    let i = offset + j;
                     mix(
-                        i,
+                        j,
                         if valid(m, i) {
                             dict_hashes[code as usize]
                         } else {
@@ -1608,6 +1617,40 @@ fn cast_scalar(s: &Scalar, target: DType) -> Option<Scalar> {
             _ => return None,
         },
     })
+}
+
+/// Gather `Arc<str>` rows at `indices`, with a bulk-extend fast path for
+/// contiguous ascending runs.
+///
+/// Join output assembly is dominated by this gather (ROADMAP: Arc
+/// refcount traffic on string gathers), and join index vectors are full
+/// of ascending runs — FK-shaped probes emit `i, i+1, i+2, …` for every
+/// stretch of matched left rows. Detecting a run and issuing one
+/// `extend_from_slice` replaces the per-row indexed push (bounds
+/// arithmetic, separate reserve/len bookkeeping) with the slice-clone
+/// loop, which the compiler unrolls; the `Arc` refcount increment itself
+/// is inherent to shared-string storage and remains one per output row.
+fn gather_arcs<I: IndexLike>(data: &[Arc<str>], indices: &[I]) -> Vec<Arc<str>> {
+    let n = indices.len();
+    let mut out: Vec<Arc<str>> = Vec::with_capacity(n);
+    let mut k = 0;
+    while k < n {
+        let start = indices[k].idx();
+        let mut run = 1;
+        while k + run < n && indices[k + run].idx() == start + run {
+            run += 1;
+        }
+        if run >= 4 {
+            // Bulk-extend the whole contiguous source range.
+            out.extend_from_slice(&data[start..start + run]);
+        } else {
+            for r in 0..run {
+                out.push(Arc::clone(&data[start + r]));
+            }
+        }
+        k += run;
+    }
+    out
 }
 
 fn some_if_has_nulls(validity: Bitmap) -> Option<Bitmap> {
@@ -1764,6 +1807,20 @@ impl ColumnBuilder {
             }
         }
         Ok(())
+    }
+
+    /// Append every row of `other` (same dtype) after this builder's
+    /// rows. Typed buffers are moved/extended wholesale — this is how
+    /// the parallel CSV reader concatenates per-chunk builders in file
+    /// order without a per-row pass.
+    pub fn append(&mut self, mut other: ColumnBuilder) {
+        debug_assert_eq!(self.dtype, other.dtype, "append requires one dtype");
+        self.ints.append(&mut other.ints);
+        self.floats.append(&mut other.floats);
+        self.bools.extend_from(&other.bools);
+        self.strings.append(&mut other.strings);
+        self.validity.extend_from(&other.validity);
+        self.has_null |= other.has_null;
     }
 
     /// Finish into a column.

@@ -214,6 +214,217 @@ pub fn read_csv(path: &Path, options: &CsvOptions) -> Result<DataFrame> {
     }
 }
 
+/// Resolve `usecols` against the header: kept record indices in file
+/// order (pandas semantics), error on unknown names.
+fn resolve_usecols(header: &[String], options: &CsvOptions, path: &Path) -> Result<Vec<usize>> {
+    match &options.usecols {
+        Some(cols) => {
+            for c in cols {
+                if !header.iter().any(|h| h == c) {
+                    return Err(ColumnarError::ColumnNotFound(format!(
+                        "{c} (usecols, file {path:?})"
+                    )));
+                }
+            }
+            Ok((0..header.len())
+                .filter(|&i| cols.iter().any(|c| *c == header[i]))
+                .collect())
+        }
+        None => Ok((0..header.len()).collect()),
+    }
+}
+
+/// Bodies below this size parse sequentially — chunking and worker
+/// spawn don't amortize.
+const PAR_MIN_BYTES: usize = 256 * 1024;
+
+/// [`read_csv`] driven through a worker pool.
+///
+/// The file is read into one buffer; a newline pre-scan splits the body
+/// into worker chunks at record boundaries (records never span physical
+/// lines — the streaming reader has the same property), a first parallel
+/// pass counts lines per chunk so error messages carry the exact
+/// sequential line numbers, and a second parallel pass parses each chunk
+/// into its own typed [`ColumnBuilder`]s. The per-chunk builders are
+/// concatenated in file order ([`ColumnBuilder::append`]), so the result
+/// is bit-identical to the streaming reader at any thread count: same
+/// dtype inference (shared [`DtypeGuess`] over the same leading sample),
+/// same values, same validity, and the same first error.
+pub fn read_csv_par(
+    path: &Path,
+    options: &CsvOptions,
+    pool: &crate::pool::WorkerPool,
+) -> Result<DataFrame> {
+    if !pool.is_parallel() {
+        return read_csv(path, options);
+    }
+    // Size-gate on metadata before buffering the file, so small files
+    // are read once (by the streaming reader), not twice.
+    let file_bytes = std::fs::metadata(path)
+        .map(|m| m.len() as usize)
+        .map_err(|e| ColumnarError::Io(format!("{path:?}: {e}")))?;
+    if file_bytes < PAR_MIN_BYTES {
+        return read_csv(path, options);
+    }
+    let text =
+        std::fs::read_to_string(path).map_err(|e| ColumnarError::Io(format!("{path:?}: {e}")))?;
+    let (header_line, body_start) = match text.find('\n') {
+        Some(p) => (&text[..p], p + 1),
+        None => (text.as_str(), text.len()),
+    };
+    let header_line = header_line.trim_end_matches('\r');
+    if header_line.is_empty() {
+        return Err(ColumnarError::Csv(format!("{path:?}: empty header")));
+    }
+    let header = split_record(header_line);
+    let keep = resolve_usecols(&header, options, path)?;
+    let body = &text[body_start..];
+    if body.is_empty() {
+        // Header-only file: same empty frame as the streaming reader.
+        return read_csv(path, options);
+    }
+
+    // Dtype inference over the same leading sample the streaming reader
+    // uses (record order is file order; ragged sample rows error with
+    // their line number exactly as the streaming reader would).
+    let sample_rows = if options.infer_rows == 0 {
+        1000
+    } else {
+        options.infer_rows
+    };
+    let mut guesses: Vec<DtypeGuess> = keep.iter().map(|_| DtypeGuess::new()).collect();
+    {
+        let mut spans: Vec<FieldSpan> = Vec::new();
+        let mut scratch = String::new();
+        let mut line_no = 1usize; // the header was line 1
+        let mut sampled = 0usize;
+        for raw in body.split('\n') {
+            if sampled >= sample_rows {
+                break;
+            }
+            line_no += 1;
+            let line = raw.trim_end_matches('\r');
+            if line.is_empty() {
+                continue;
+            }
+            split_spans(line, &mut spans, &mut scratch);
+            if spans.len() != header.len() {
+                return Err(ColumnarError::Csv(format!(
+                    "{path:?}: line {line_no} has {} fields, expected {}",
+                    spans.len(),
+                    header.len()
+                )));
+            }
+            for (slot, &col_idx) in keep.iter().enumerate() {
+                let span = spans[col_idx];
+                let field = if span.in_scratch {
+                    &scratch[span.start..span.end]
+                } else {
+                    &line[span.start..span.end]
+                };
+                guesses[slot].update(field);
+            }
+            sampled += 1;
+        }
+    }
+    let dtypes: Vec<DType> = keep
+        .iter()
+        .zip(&guesses)
+        .map(|(&col_idx, guess)| {
+            let name = &header[col_idx];
+            if let Some(&dt) = options.dtypes.get(name) {
+                dt
+            } else if options.parse_dates.iter().any(|c| c == name) {
+                DType::Datetime
+            } else {
+                guess.finish()
+            }
+        })
+        .collect();
+
+    // Newline pre-scan: carve the body into ~4 chunks per worker at
+    // record boundaries.
+    let target_chunks = (pool.threads() * 4).max(1);
+    let approx = body.len().div_ceil(target_chunks).max(1);
+    let bytes = body.as_bytes();
+    let mut chunks: Vec<(usize, usize)> = Vec::with_capacity(target_chunks);
+    let mut start = 0usize;
+    while start < bytes.len() {
+        let mut end = (start + approx).min(bytes.len());
+        // Advance to just past the next newline so chunks stay
+        // record-aligned.
+        while end < bytes.len() && bytes[end - 1] != b'\n' {
+            end += 1;
+        }
+        chunks.push((start, end));
+        start = end;
+    }
+
+    // Pass 1: raw line counts per chunk -> each chunk's starting line
+    // number (error messages must match the streaming reader exactly).
+    let line_counts: Vec<usize> = pool.map(chunks.clone(), |_, (s, e)| {
+        bytes[s..e].iter().filter(|&&b| b == b'\n').count()
+    });
+    let mut first_line: Vec<usize> = Vec::with_capacity(chunks.len());
+    let mut lines_before = 0usize;
+    for count in &line_counts {
+        // Data line r (0-based raw index) is file line r + 2.
+        first_line.push(lines_before + 2);
+        lines_before += count;
+    }
+
+    // Pass 2: parse each chunk into its own typed builders.
+    let header_len = header.len();
+    let results: Vec<Result<Vec<ColumnBuilder>>> = pool.map(chunks, |ci, (s, e)| {
+        let mut builders: Vec<ColumnBuilder> =
+            dtypes.iter().map(|&dt| ColumnBuilder::new(dt)).collect();
+        let mut spans: Vec<FieldSpan> = Vec::new();
+        let mut scratch = String::new();
+        let mut line_no = first_line[ci] - 1;
+        for raw in body[s..e].split('\n') {
+            line_no += 1;
+            let line = raw.trim_end_matches('\r');
+            if line.is_empty() {
+                continue;
+            }
+            split_spans(line, &mut spans, &mut scratch);
+            if spans.len() != header_len {
+                return Err(ColumnarError::Csv(format!(
+                    "{path:?}: line {line_no} has {} fields, expected {}",
+                    spans.len(),
+                    header_len
+                )));
+            }
+            for (slot, &col_idx) in keep.iter().enumerate() {
+                let span = spans[col_idx];
+                let field = if span.in_scratch {
+                    &scratch[span.start..span.end]
+                } else {
+                    &line[span.start..span.end]
+                };
+                parse_field(&mut builders[slot], field, dtypes[slot], line_no)?;
+            }
+        }
+        Ok(builders)
+    });
+
+    // Concatenate per-chunk builders in file order; the first error (in
+    // file order) wins, matching the streaming reader's stop-at-error.
+    let mut it = results.into_iter();
+    let mut acc = it.next().expect("at least one chunk")?;
+    for r in it {
+        for (a, b) in acc.iter_mut().zip(r?) {
+            a.append(b);
+        }
+    }
+    let series = keep
+        .iter()
+        .zip(acc)
+        .map(|(&i, b)| Series::new(header[i].clone(), b.finish()))
+        .collect();
+    DataFrame::new(series)
+}
+
 /// Streaming CSV reader yielding row-chunks of at most `chunk_rows` rows.
 ///
 /// Dtypes are inferred once from the first `infer_rows` records and then held
@@ -237,8 +448,10 @@ pub struct CsvChunkReader {
     /// dtype per kept column.
     dtypes: Vec<DType>,
     /// Records consumed during dtype inference but not yet emitted in a
-    /// chunk (the only owned records the reader ever holds).
-    pending: std::collections::VecDeque<Vec<String>>,
+    /// chunk (the only owned records the reader ever holds), with the
+    /// file line each was read from so late parse errors report the
+    /// right line.
+    pending: std::collections::VecDeque<(usize, Vec<String>)>,
     /// Reused line buffer for the current record.
     line: String,
     /// Reused normalization buffer for quoted fields.
@@ -263,21 +476,7 @@ impl CsvChunkReader {
         let header = split_record(header_line);
 
         // Resolve usecols -> kept indices (file order, like pandas).
-        let keep: Vec<usize> = match &options.usecols {
-            Some(cols) => {
-                for c in cols {
-                    if !header.iter().any(|h| h == c) {
-                        return Err(ColumnarError::ColumnNotFound(format!(
-                            "{c} (usecols, file {path:?})"
-                        )));
-                    }
-                }
-                (0..header.len())
-                    .filter(|&i| cols.iter().any(|c| *c == header[i]))
-                    .collect()
-            }
-            None => (0..header.len()).collect(),
-        };
+        let keep = resolve_usecols(&header, options, path)?;
 
         let mut rdr = CsvChunkReader {
             reader,
@@ -374,16 +573,17 @@ impl CsvChunkReader {
         };
         // Pull up to `sample_rows` records into the pending buffer (the
         // sample is the one place the reader materializes owned records).
-        let mut sample: Vec<Vec<String>> = Vec::new();
+        let mut sample: Vec<(usize, Vec<String>)> = Vec::new();
         while sample.len() < sample_rows {
             if !self.next_record()? {
                 break;
             }
-            sample.push(
+            sample.push((
+                self.line_no,
                 (0..self.spans.len())
                     .map(|f| self.field(f).to_string())
                     .collect(),
-            );
+            ));
         }
         for (slot, &col_idx) in self.keep.iter().enumerate() {
             let name = &self.header[col_idx];
@@ -392,7 +592,7 @@ impl CsvChunkReader {
             } else if options.parse_dates.iter().any(|c| c == name) {
                 DType::Datetime
             } else {
-                infer_dtype(sample.iter().map(|r| r[col_idx].as_str()))
+                infer_dtype(sample.iter().map(|(_, r)| r[col_idx].as_str()))
             };
             debug_assert_eq!(slot, self.dtypes.len());
             self.dtypes.push(dt);
@@ -411,15 +611,17 @@ impl CsvChunkReader {
             b.reserve(self.chunk_rows.min(16 * 1024));
         }
         let mut rows = 0usize;
-        // Drain the inference sample first, then stream borrowed records.
+        // Drain the inference sample first (each record remembers its
+        // own file line for error reporting), then stream borrowed
+        // records.
         while rows < self.chunk_rows {
-            let Some(record) = self.pending.pop_front() else { break };
+            let Some((line_no, record)) = self.pending.pop_front() else { break };
             for (slot, &col_idx) in self.keep.iter().enumerate() {
                 parse_field(
                     &mut builders[slot],
                     &record[col_idx],
                     self.dtypes[slot],
-                    self.line_no,
+                    line_no,
                 )?;
             }
             rows += 1;
@@ -483,49 +685,78 @@ fn parse_field(
     Ok(())
 }
 
-/// Infer a dtype from sample values: Int64 ⊂ Float64 ⊂ Utf8, with Bool and
-/// Datetime recognized exactly. Empty samples infer Utf8 (pandas: object).
-fn infer_dtype<'a>(values: impl Iterator<Item = &'a str>) -> DType {
-    let mut any = false;
-    let mut all_int = true;
-    let mut all_float = true;
-    let mut all_bool = true;
-    let mut all_datetime = true;
-    for v in values {
+/// Incremental dtype inference state: Int64 ⊂ Float64 ⊂ Utf8, with Bool
+/// and Datetime recognized exactly. One instance per column, fed sample
+/// values in file order — shared by the streaming reader (column-wise
+/// over the buffered sample) and the parallel reader (row-wise over the
+/// in-memory buffer) so their inference cannot drift.
+#[derive(Debug, Clone)]
+struct DtypeGuess {
+    any: bool,
+    all_int: bool,
+    all_float: bool,
+    all_bool: bool,
+    all_datetime: bool,
+}
+
+impl DtypeGuess {
+    fn new() -> DtypeGuess {
+        DtypeGuess {
+            any: false,
+            all_int: true,
+            all_float: true,
+            all_bool: true,
+            all_datetime: true,
+        }
+    }
+
+    fn update(&mut self, v: &str) {
         if v.is_empty() {
-            continue;
+            return;
         }
-        any = true;
+        self.any = true;
+        if !self.all_int && !self.all_float && !self.all_bool && !self.all_datetime {
+            return; // already resolved to Utf8
+        }
         let t = v.trim();
-        if all_int && t.parse::<i64>().is_err() {
-            all_int = false;
+        if self.all_int && t.parse::<i64>().is_err() {
+            self.all_int = false;
         }
-        if all_float && t.parse::<f64>().is_err() {
-            all_float = false;
+        if self.all_float && t.parse::<f64>().is_err() {
+            self.all_float = false;
         }
-        if all_bool && !matches!(t, "True" | "true" | "False" | "false") {
-            all_bool = false;
+        if self.all_bool && !matches!(t, "True" | "true" | "False" | "false") {
+            self.all_bool = false;
         }
-        if all_datetime && parse_datetime(t).is_none() {
-            all_datetime = false;
-        }
-        if !all_int && !all_float && !all_bool && !all_datetime {
-            return DType::Utf8;
+        if self.all_datetime && parse_datetime(t).is_none() {
+            self.all_datetime = false;
         }
     }
-    if !any {
-        DType::Utf8
-    } else if all_bool {
-        DType::Bool
-    } else if all_int {
-        DType::Int64
-    } else if all_float {
-        DType::Float64
-    } else if all_datetime {
-        DType::Datetime
-    } else {
-        DType::Utf8
+
+    fn finish(&self) -> DType {
+        if !self.any {
+            DType::Utf8 // empty sample infers Utf8 (pandas: object)
+        } else if self.all_bool {
+            DType::Bool
+        } else if self.all_int {
+            DType::Int64
+        } else if self.all_float {
+            DType::Float64
+        } else if self.all_datetime {
+            DType::Datetime
+        } else {
+            DType::Utf8
+        }
     }
+}
+
+/// Infer a dtype from sample values (see [`DtypeGuess`]).
+fn infer_dtype<'a>(values: impl Iterator<Item = &'a str>) -> DType {
+    let mut guess = DtypeGuess::new();
+    for v in values {
+        guess.update(v);
+    }
+    guess.finish()
 }
 
 /// Write a frame to CSV (header + rows; datetimes in `YYYY-MM-DD HH:MM:SS`).

@@ -986,49 +986,54 @@ impl KeyCol {
 // The accumulator
 // ---------------------------------------------------------------------------
 
-/// Mix one key column's per-row hash contribution into `hashes`, matching
-/// the canonical-rendering semantics: typed columns use
-/// [`Column::hash_into`]'s scheme, string-class columns hash nulls as the
-/// rendered "NaN" (so a null key and a literal `"NaN"` string key land in
-/// the same bucket, as the old canonical-string keying did), and
-/// canonical stores hash the rendered scalar.
-fn mix_key_hashes(store: &KeyCol, col: &Column, hashes: &mut [u64]) {
-    let mut mix = |i: usize, v: u64| {
-        let h = &mut hashes[i];
+/// Mix one key column's per-row hash contribution for rows
+/// `offset .. offset + hashes.len()` into `hashes` (slot `j` accumulates
+/// row `offset + j`), matching the canonical-rendering semantics: typed
+/// columns use [`Column::hash_into`]'s scheme, string-class columns hash
+/// nulls as the rendered "NaN" (so a null key and a literal `"NaN"`
+/// string key land in the same bucket, as the old canonical-string keying
+/// did), and canonical stores hash the rendered scalar. The range form is
+/// what lets parallel workers hash only their own morsel.
+fn mix_key_hashes(store: &KeyCol, col: &Column, offset: usize, hashes: &mut [u64]) {
+    let len = hashes.len();
+    let mut mix = |j: usize, v: u64| {
+        let h = &mut hashes[j];
         *h = (*h ^ v).wrapping_mul(HASH_PRIME);
     };
     match store {
         KeyCol::Canon { .. } => {
-            for i in 0..col.len() {
-                mix(i, fnv1a(col.get(i).to_string().as_bytes()));
+            for j in 0..len {
+                mix(j, fnv1a(col.get(offset + j).to_string().as_bytes()));
             }
         }
         KeyCol::Str { .. } => {
             let nan = fnv1a(b"NaN");
             match col {
                 Column::Utf8(d, _) => {
-                    for (i, s) in d.iter().enumerate() {
+                    for (j, s) in d[offset..offset + len].iter().enumerate() {
+                        let i = offset + j;
                         let v = if col.is_null_at(i) { nan } else { fnv1a(s.as_bytes()) };
-                        mix(i, v);
+                        mix(j, v);
                     }
                 }
                 Column::Categorical(c, _) => {
                     let dict_hashes: Vec<u64> =
                         c.dict.iter().map(|s| fnv1a(s.as_bytes())).collect();
-                    for (i, &code) in c.codes.iter().enumerate() {
+                    for (j, &code) in c.codes[offset..offset + len].iter().enumerate() {
+                        let i = offset + j;
                         let v = if col.is_null_at(i) {
                             nan
                         } else {
                             dict_hashes[code as usize]
                         };
-                        mix(i, v);
+                        mix(j, v);
                     }
                 }
                 // `accepts` guarantees Str stores only see string columns.
-                other => other.hash_into(hashes),
+                other => other.hash_range_into(offset, hashes),
             }
         }
-        _ => col.hash_into(hashes),
+        _ => col.hash_range_into(offset, hashes),
     }
 }
 
@@ -1096,6 +1101,15 @@ impl GroupByAccumulator {
 
     /// Consume one chunk of input rows.
     pub fn update(&mut self, chunk: &DataFrame) -> Result<()> {
+        self.update_range(chunk, 0, chunk.num_rows())
+    }
+
+    /// Consume rows `offset .. offset + len` of `chunk` without slicing
+    /// (no column copies). This is the morsel entry point: parallel
+    /// workers feed disjoint row ranges of one shared frame into
+    /// worker-local accumulators.
+    pub fn update_range(&mut self, chunk: &DataFrame, offset: usize, len: usize) -> Result<()> {
+        debug_assert!(offset + len <= chunk.num_rows());
         let key_cols: Vec<&Column> = self
             .spec
             .keys
@@ -1123,15 +1137,15 @@ impl GroupByAccumulator {
         if canonized {
             self.rebuild_table();
         }
-        let n = chunk.num_rows();
-        let mut row_hashes = vec![0u64; n];
+        let mut row_hashes = vec![0u64; len];
         for (store, col) in self.key_cols.iter().zip(&key_cols) {
-            mix_key_hashes(store, col, &mut row_hashes);
+            mix_key_hashes(store, col, offset, &mut row_hashes);
         }
         let agg = self.spec.agg;
         let value_is_int = self.value_is_int;
         let view = ColView::new(value_col);
-        for (i, &h) in row_hashes.iter().enumerate() {
+        for (j, &h) in row_hashes.iter().enumerate() {
+            let i = offset + j;
             let gid = {
                 let candidates = self.table.entry(h).or_default();
                 let found = candidates.iter().copied().find(|&g| {
@@ -1312,6 +1326,47 @@ pub fn group_by(frame: &DataFrame, spec: &GroupBySpec) -> Result<DataFrame> {
     let mut acc = GroupByAccumulator::new(spec.clone());
     acc.update(frame)?;
     acc.finish()
+}
+
+/// Morsel-parallel group-by: workers claim row-range morsels off the
+/// pool's shared queue, fold them into worker-local
+/// [`GroupByAccumulator`]s (no input copies — [`update_range`] reads the
+/// shared frame in place), and the partials merge through the existing
+/// typed merge path. Falls back to the sequential [`group_by`] below
+/// [`PAR_MIN_ROWS`](crate::pool::PAR_MIN_ROWS) or on a single-thread
+/// pool; the result is identical either way (the finish step orders
+/// groups by rendered key, not by discovery order).
+///
+/// [`update_range`]: GroupByAccumulator::update_range
+pub fn group_by_par(
+    frame: &DataFrame,
+    spec: &GroupBySpec,
+    pool: &crate::pool::WorkerPool,
+) -> Result<DataFrame> {
+    let rows = frame.num_rows();
+    if !pool.is_parallel() || rows < crate::pool::PAR_MIN_ROWS {
+        return group_by(frame, spec);
+    }
+    if spec.keys.is_empty() {
+        return Err(ColumnarError::InvalidArgument(
+            "groupby requires at least one key".into(),
+        ));
+    }
+    let morsels = crate::pool::kernel_morsels(rows, pool.threads());
+    let partials: Vec<Result<GroupByAccumulator>> = pool.run_workers(morsels.len(), |queue| {
+        let mut acc = GroupByAccumulator::new(spec.clone());
+        while let Some(t) = queue.claim() {
+            let (start, len) = morsels[t];
+            acc.update_range(frame, start, len)?;
+        }
+        Ok(acc)
+    });
+    let mut it = partials.into_iter();
+    let mut merged = it.next().expect("at least one worker")?;
+    for partial in it {
+        merged.merge(&partial?);
+    }
+    merged.finish()
 }
 
 #[cfg(test)]

@@ -20,6 +20,7 @@ use crate::bitmap::{BitWriter, Bitmap};
 use crate::column::{fnv1a, Categorical, Column, ColumnBuilder, HashTable, IndexLike, HASH_PRIME};
 use crate::error::{ColumnarError, Result};
 use crate::frame::DataFrame;
+use crate::pool::{kernel_morsels, WorkerPool, PAR_MIN_ROWS};
 use crate::series::Series;
 use std::collections::HashMap;
 use std::sync::Arc;
@@ -64,6 +65,23 @@ pub fn merge(
     on: &[String],
     how: JoinKind,
 ) -> Result<DataFrame> {
+    merge_par(left, right, on, how, &WorkerPool::sequential())
+}
+
+/// [`merge`] driven through a worker pool: the build side is hashed and
+/// hash-partitioned across workers, the left side is probed in
+/// row-range morsels whose output runs are stitched back in morsel
+/// order, and the output columns are gathered in parallel. The result
+/// is bit-identical to the sequential join at any thread count (probe
+/// order is preserved per morsel; per-key build row lists stay in scan
+/// order because one key's rows all hash into one partition).
+pub fn merge_par(
+    left: &DataFrame,
+    right: &DataFrame,
+    on: &[String],
+    how: JoinKind,
+    pool: &WorkerPool,
+) -> Result<DataFrame> {
     if on.is_empty() {
         return Err(ColumnarError::InvalidArgument(
             "merge requires at least one key".into(),
@@ -72,17 +90,18 @@ pub fn merge(
     // Row ids are carried as u32 whenever both sides fit (always, in
     // practice) — half the index memory traffic through output assembly.
     if left.num_rows() < u32::MAX as usize && right.num_rows() < u32::MAX as usize {
-        merge_impl::<u32>(left, right, on, how)
+        merge_impl::<u32>(left, right, on, how, pool)
     } else {
-        merge_impl::<usize>(left, right, on, how)
+        merge_impl::<usize>(left, right, on, how, pool)
     }
 }
 
-fn merge_impl<I: IndexLike>(
+fn merge_impl<I: IndexLike + Send + Sync>(
     left: &DataFrame,
     right: &DataFrame,
     on: &[String],
     how: JoinKind,
+    pool: &WorkerPool,
 ) -> Result<DataFrame> {
     let left_keys: Vec<&Column> = on
         .iter()
@@ -103,15 +122,22 @@ fn merge_impl<I: IndexLike>(
         left.num_rows() < u32::MAX as usize && right.num_rows() < u32::MAX as usize;
     let (left_idx, right_idx, any_miss): (Vec<I>, Vec<I>, bool) =
         if fits_u32 && same_classes(&left_views, &right_views) {
-            join_indices_typed(&left_views, left.num_rows(), &right_views, right.num_rows(), how)
+            join_indices_typed(
+                &left_views,
+                left.num_rows(),
+                &right_views,
+                right.num_rows(),
+                how,
+                pool,
+            )
         } else {
             // Degenerate cross-dtype keys (or an absurdly large build
             // side): the seed canonical-string join.
             join_indices_canonical(left, right, on, how)?
         };
 
-    // Assemble output columns.
-    let mut out: Vec<Series> = Vec::new();
+    // Assemble output columns (the dominant join cost — see ROADMAP):
+    // plan every gather, then run the per-column gathers on the pool.
     let key_set: std::collections::HashSet<&str> = on.iter().map(String::as_str).collect();
     let overlap: std::collections::HashSet<&str> = left
         .column_names()
@@ -125,20 +151,15 @@ fn merge_impl<I: IndexLike>(
     let identity = left_idx.len() == left.num_rows()
         && left_idx.iter().enumerate().all(|(k, &i)| i.idx() == k);
 
-    // The computed row ids are in bounds by construction, so assembly
-    // skips `take`'s per-column bounds scan.
+    // (name, source column, is_right_side) for every output column.
+    let mut plan: Vec<(String, &Column, bool)> = Vec::new();
     for s in left.series() {
         let name = if overlap.contains(s.name()) {
             format!("{}_x", s.name())
         } else {
             s.name().to_string()
         };
-        let col = if identity {
-            s.column().clone()
-        } else {
-            s.column().take_unchecked(&left_idx)
-        };
-        out.push(Series::new(name, col));
+        plan.push((name, s.column(), false));
     }
     for s in right.series() {
         if key_set.contains(s.name()) {
@@ -149,13 +170,27 @@ fn merge_impl<I: IndexLike>(
         } else {
             s.name().to_string()
         };
-        let col = if any_miss {
-            gather_optional(s.column(), &right_idx)
-        } else {
-            s.column().take_unchecked(&right_idx)
-        };
-        out.push(Series::new(name, col));
+        plan.push((name, s.column(), true));
     }
+    // The computed row ids are in bounds by construction, so assembly
+    // skips `take`'s per-column bounds scan. Small outputs gather
+    // sequentially — scoped workers don't amortize below PAR_MIN_ROWS.
+    let seq = WorkerPool::sequential();
+    let gather_pool = if left_idx.len() >= PAR_MIN_ROWS { pool } else { &seq };
+    let out: Vec<Series> = gather_pool.map(plan, |_, (name, col, is_right)| {
+        let gathered = if is_right {
+            if any_miss {
+                gather_optional(col, &right_idx)
+            } else {
+                col.take_unchecked(&right_idx)
+            }
+        } else if identity {
+            col.clone()
+        } else {
+            col.take_unchecked(&left_idx)
+        };
+        Series::new(name, gathered)
+    });
     DataFrame::new(out)
 }
 
@@ -234,47 +269,74 @@ impl<'a> KeyView<'a> {
         }
     }
 
-    /// Mix this column's per-row hash contribution into `hashes`, matching
-    /// [`Column::hash_into`]'s scheme — except string-class nulls, which
-    /// hash as the rendered `"NaN"` so they land in the same bucket as a
-    /// literal `"NaN"` value (which canonical equality equates them with).
-    fn hash_into(&self, hashes: &mut [u64]) {
-        let mut mix = |i: usize, v: u64| {
-            let h = &mut hashes[i];
+    /// Mix the per-row hash contribution of rows
+    /// `offset .. offset + hashes.len()` into `hashes` (slot `j`
+    /// accumulates row `offset + j`), matching [`Column::hash_into`]'s
+    /// scheme — except string-class nulls, which hash as the rendered
+    /// `"NaN"` so they land in the same bucket as a literal `"NaN"` value
+    /// (which canonical equality equates them with). The range form lets
+    /// parallel workers fill disjoint sub-slices of one hash array.
+    fn hash_range_into(&self, offset: usize, hashes: &mut [u64]) {
+        let len = hashes.len();
+        let mut mix = |j: usize, v: u64| {
+            let h = &mut hashes[j];
             *h = (*h ^ v).wrapping_mul(HASH_PRIME);
         };
         match self {
             KeyView::Int(d, _) | KeyView::Dt(d, _) => {
-                for (i, &x) in d.iter().enumerate() {
-                    mix(i, if self.is_null(i) { u64::MAX } else { x as u64 });
+                for (j, &x) in d[offset..offset + len].iter().enumerate() {
+                    mix(j, if self.is_null(offset + j) { u64::MAX } else { x as u64 });
                 }
             }
             KeyView::Float(d, _) => {
-                for (i, &x) in d.iter().enumerate() {
-                    mix(i, if self.is_null(i) { u64::MAX } else { x.to_bits() });
+                for (j, &x) in d[offset..offset + len].iter().enumerate() {
+                    mix(j, if self.is_null(offset + j) { u64::MAX } else { x.to_bits() });
                 }
             }
             KeyView::Bool(d, _) => {
-                for i in 0..d.len() {
-                    mix(i, if self.is_null(i) { u64::MAX } else { d.get(i) as u64 });
+                for j in 0..len {
+                    let i = offset + j;
+                    mix(j, if self.is_null(i) { u64::MAX } else { d.get(i) as u64 });
                 }
             }
             KeyView::Utf8(d, _) => {
                 let nan = fnv1a(b"NaN");
-                for (i, s) in d.iter().enumerate() {
-                    mix(i, if self.is_null(i) { nan } else { fnv1a(s.as_bytes()) });
+                for (j, s) in d[offset..offset + len].iter().enumerate() {
+                    let i = offset + j;
+                    mix(j, if self.is_null(i) { nan } else { fnv1a(s.as_bytes()) });
                 }
             }
             KeyView::Cat(c, _) => {
                 // Hash each dictionary entry once, then look codes up.
                 let nan = fnv1a(b"NaN");
                 let dict_hashes: Vec<u64> = c.dict.iter().map(|s| fnv1a(s.as_bytes())).collect();
-                for (i, &code) in c.codes.iter().enumerate() {
-                    mix(i, if self.is_null(i) { nan } else { dict_hashes[code as usize] });
+                for (j, &code) in c.codes[offset..offset + len].iter().enumerate() {
+                    let i = offset + j;
+                    mix(j, if self.is_null(i) { nan } else { dict_hashes[code as usize] });
                 }
             }
         }
     }
+}
+
+/// All key columns' row hashes, filled morsel-parallel when the side is
+/// big enough to amortize the workers.
+fn hash_rows(views: &[KeyView<'_>], rows: usize, pool: &WorkerPool) -> Vec<u64> {
+    let mut hashes = vec![0u64; rows];
+    if !pool.is_parallel() || rows < PAR_MIN_ROWS {
+        for v in views {
+            v.hash_range_into(0, &mut hashes);
+        }
+        return hashes;
+    }
+    let morsels = kernel_morsels(rows, pool.threads());
+    let chunks = crate::pool::split_mut_chunks(&mut hashes, &morsels);
+    pool.map(chunks, |_, (start, chunk)| {
+        for v in views {
+            v.hash_range_into(start, chunk);
+        }
+    });
+    hashes
 }
 
 /// Canonical-rendering equality of row `i` of `a` and row `j` of `b`.
@@ -316,38 +378,50 @@ fn same_classes(a: &[KeyView<'_>], b: &[KeyView<'_>]) -> bool {
 // The hash table
 // ---------------------------------------------------------------------------
 
-/// Typed hash join: build on the right side, probe with the left.
-///
-/// Build groups rows by *distinct key* (hash bucket + typed equality
-/// against one representative row per key), so probing a duplicate-heavy
-/// build side checks equality once per distinct key, not once per row.
-fn join_indices_typed<I: IndexLike>(
-    left_views: &[KeyView<'_>],
-    left_rows: usize,
-    right_views: &[KeyView<'_>],
-    right_rows: usize,
-    how: JoinKind,
-) -> (Vec<I>, Vec<I>, bool) {
-    let eq = |av: &[KeyView<'_>], i: usize, bv: &[KeyView<'_>], j: usize| {
-        av.iter().zip(bv).all(|(a, b)| rows_equal(a, i, b, j))
-    };
+/// One hash partition's build output: distinct keys (representative row
+/// + hash) with their right-row lists in scan order.
+struct BuildPartition {
+    group_repr: Vec<u32>,
+    group_hash: Vec<u64>,
+    group_rows: Vec<Vec<u32>>,
+}
 
-    // Build: hash -> group ids; each group is one distinct key with its
-    // right-row list in scan order, so probing a duplicate-heavy build
-    // side checks equality once per distinct key, not once per row.
-    let mut right_hashes = vec![0u64; right_rows];
-    for v in right_views {
-        v.hash_into(&mut right_hashes);
-    }
+/// Which build partition a row hash belongs to. Uses high hash bits so
+/// it stays independent of the probe table's low-bit slot mask.
+#[inline]
+fn partition_of(h: u64, nparts: usize) -> usize {
+    ((h >> 32) as usize) % nparts
+}
+
+/// Build the distinct-key groups of one hash partition: scan every right
+/// row, keep the ones whose hash lands in partition `part`. Because all
+/// rows of one key share a hash, a key's rows live wholly in one
+/// partition and its row list stays in global scan order — which is what
+/// keeps parallel build output identical to the sequential build.
+fn build_partition(
+    right_views: &[KeyView<'_>],
+    right_hashes: &[u64],
+    part: usize,
+    nparts: usize,
+) -> BuildPartition {
+    let eq = |i: usize, j: usize| {
+        right_views
+            .iter()
+            .zip(right_views)
+            .all(|(a, b)| rows_equal(a, i, b, j))
+    };
     let mut table = HashTable::default();
     let mut group_repr: Vec<u32> = Vec::new();
     let mut group_hash: Vec<u64> = Vec::new();
     let mut group_rows: Vec<Vec<u32>> = Vec::new();
     for (i, &h) in right_hashes.iter().enumerate() {
+        if nparts > 1 && partition_of(h, nparts) != part {
+            continue;
+        }
         let bucket: &mut Vec<u32> = table.entry(h).or_default();
         match bucket
             .iter()
-            .find(|&&g| eq(right_views, group_repr[g as usize] as usize, right_views, i))
+            .find(|&&g| eq(group_repr[g as usize] as usize, i))
         {
             Some(&g) => group_rows[g as usize].push(i as u32),
             None => {
@@ -359,18 +433,64 @@ fn join_indices_typed<I: IndexLike>(
             }
         }
     }
+    BuildPartition {
+        group_repr,
+        group_hash,
+        group_rows,
+    }
+}
 
-    // Flatten the per-group row lists into CSR form (offsets + one flat
-    // row array) so each probe hit walks a contiguous slice. A build side
-    // with unique keys — the common dimension-table shape — takes a
-    // one-row fast path with no inner loop at all.
-    let all_unique = group_rows.iter().all(|rows| rows.len() == 1);
-    let mut offsets: Vec<u32> = Vec::with_capacity(group_rows.len() + 1);
+/// Typed hash join: build on the right side, probe with the left.
+///
+/// Build groups rows by *distinct key* (hash bucket + typed equality
+/// against one representative row per key), so probing a duplicate-heavy
+/// build side checks equality once per distinct key, not once per row.
+/// With a parallel pool, the build is hash-partitioned across workers
+/// and the probe runs over left-side morsels (see [`BuildSide::probe`]).
+fn join_indices_typed<I: IndexLike + Send + Sync>(
+    left_views: &[KeyView<'_>],
+    left_rows: usize,
+    right_views: &[KeyView<'_>],
+    right_rows: usize,
+    how: JoinKind,
+    pool: &WorkerPool,
+) -> (Vec<I>, Vec<I>, bool) {
+    let eq = |av: &[KeyView<'_>], i: usize, bv: &[KeyView<'_>], j: usize| {
+        av.iter().zip(bv).all(|(a, b)| rows_equal(a, i, b, j))
+    };
+
+    // Hash the build side (morsel-parallel when it is big enough), then
+    // build its distinct-key groups — one hash partition per worker.
+    let right_hashes = hash_rows(right_views, right_rows, pool);
+    let nparts = if pool.is_parallel() && right_rows >= PAR_MIN_ROWS {
+        pool.threads()
+    } else {
+        1
+    };
+    let parts: Vec<BuildPartition> = pool.map((0..nparts).collect(), |_, p| {
+        build_partition(right_views, &right_hashes, p, nparts)
+    });
+
+    // Merge the partitions and flatten the per-group row lists into CSR
+    // form (offsets + one flat row array) so each probe hit walks a
+    // contiguous slice. A build side with unique keys — the common
+    // dimension-table shape — takes a one-row fast path with no inner
+    // loop at all.
+    let n_groups: usize = parts.iter().map(|p| p.group_repr.len()).sum();
+    let mut group_repr: Vec<u32> = Vec::with_capacity(n_groups);
+    let mut group_hash: Vec<u64> = Vec::with_capacity(n_groups);
+    let mut offsets: Vec<u32> = Vec::with_capacity(n_groups + 1);
     let mut flat_rows: Vec<u32> = Vec::with_capacity(right_rows);
     offsets.push(0);
-    for rows in &group_rows {
-        flat_rows.extend_from_slice(rows);
-        offsets.push(flat_rows.len() as u32);
+    let mut all_unique = true;
+    for p in &parts {
+        group_repr.extend_from_slice(&p.group_repr);
+        group_hash.extend_from_slice(&p.group_hash);
+        for rows in &p.group_rows {
+            all_unique &= rows.len() == 1;
+            flat_rows.extend_from_slice(rows);
+            offsets.push(flat_rows.len() as u32);
+        }
     }
 
     // Re-bucket the distinct keys into a flat power-of-two linear-probe
@@ -378,7 +498,6 @@ fn join_indices_typed<I: IndexLike>(
     // `HashMap` lookup with a bucket-`Vec` pointer chase. Hash-equal but
     // key-unequal groups sit in one probe cluster; the stored hash gives
     // a cheap reject before the column-wise equality runs.
-    drop(table);
     let cap = (group_repr.len() * 2).next_power_of_two().max(16);
     let mask = cap - 1;
     let mut slots: Vec<(u64, u32)> = vec![(0, u32::MAX); cap];
@@ -408,11 +527,13 @@ fn join_indices_typed<I: IndexLike>(
     match (left_views, right_views) {
         ([KeyView::Int(ld, None)], [KeyView::Int(rd, None)])
         | ([KeyView::Dt(ld, None)], [KeyView::Dt(rd, None)]) => build.probe(
+            pool,
             left_rows,
             |i| mix1(ld[i] as u64),
             |i, r| ld[i] == rd[r],
         ),
         ([KeyView::Float(ld, None)], [KeyView::Float(rd, None)]) => build.probe(
+            pool,
             left_rows,
             |i| {
                 let x = ld[i];
@@ -425,16 +546,15 @@ fn join_indices_typed<I: IndexLike>(
             },
         ),
         ([KeyView::Utf8(ld, None)], [KeyView::Utf8(rd, None)]) => build.probe(
+            pool,
             left_rows,
             |i| mix1(fnv1a(ld[i].as_bytes())),
             |i, r| *ld[i] == *rd[r],
         ),
         _ => {
-            let mut left_hashes = vec![0u64; left_rows];
-            for v in left_views {
-                v.hash_into(&mut left_hashes);
-            }
+            let left_hashes = hash_rows(left_views, left_rows, pool);
             build.probe(
+                pool,
                 left_rows,
                 |i| left_hashes[i],
                 |i, r| eq(left_views, i, right_views, r),
@@ -458,17 +578,48 @@ struct BuildSide<'t> {
 impl BuildSide<'_> {
     /// Probe every left row in order; `hash_of` yields the row's key hash
     /// and `eq_repr(i, r)` compares left row `i` against representative
-    /// right row `r`. Monomorphizes per caller.
-    fn probe<I: IndexLike>(
+    /// right row `r`. Monomorphizes per caller. With a parallel pool and
+    /// a big enough probe side, left-row morsels probe concurrently and
+    /// their output runs are stitched back in morsel order — the
+    /// concatenation is exactly the sequential probe's output.
+    fn probe<I: IndexLike + Send + Sync>(
         &self,
+        pool: &WorkerPool,
         left_rows: usize,
-        hash_of: impl Fn(usize) -> u64,
-        eq_repr: impl Fn(usize, usize) -> bool,
+        hash_of: impl Fn(usize) -> u64 + Sync,
+        eq_repr: impl Fn(usize, usize) -> bool + Sync,
     ) -> (Vec<I>, Vec<I>, bool) {
-        let mut left_idx: Vec<I> = Vec::with_capacity(left_rows);
-        let mut right_idx: Vec<I> = Vec::with_capacity(left_rows);
+        if !pool.is_parallel() || left_rows < PAR_MIN_ROWS {
+            return self.probe_range(0, left_rows, &hash_of, &eq_repr);
+        }
+        let morsels = kernel_morsels(left_rows, pool.threads());
+        let runs: Vec<(Vec<I>, Vec<I>, bool)> = pool.map(morsels, |_, (start, len)| {
+            self.probe_range(start, start + len, &hash_of, &eq_repr)
+        });
+        let total: usize = runs.iter().map(|(l, _, _)| l.len()).sum();
+        let mut left_idx: Vec<I> = Vec::with_capacity(total);
+        let mut right_idx: Vec<I> = Vec::with_capacity(total);
         let mut any_miss = false;
-        for i in 0..left_rows {
+        for (l, r, miss) in runs {
+            left_idx.extend_from_slice(&l);
+            right_idx.extend_from_slice(&r);
+            any_miss |= miss;
+        }
+        (left_idx, right_idx, any_miss)
+    }
+
+    /// Probe rows `start..end` of the left side in order.
+    fn probe_range<I: IndexLike>(
+        &self,
+        start: usize,
+        end: usize,
+        hash_of: &impl Fn(usize) -> u64,
+        eq_repr: &impl Fn(usize, usize) -> bool,
+    ) -> (Vec<I>, Vec<I>, bool) {
+        let mut left_idx: Vec<I> = Vec::with_capacity(end - start);
+        let mut right_idx: Vec<I> = Vec::with_capacity(end - start);
+        let mut any_miss = false;
+        for i in start..end {
             let h = hash_of(i);
             let mut s = (h as usize) & self.mask;
             let hit = loop {

@@ -35,6 +35,7 @@ pub mod error;
 pub mod frame;
 pub mod groupby;
 pub mod join;
+pub mod pool;
 pub mod series;
 pub mod sort;
 pub mod value;
@@ -46,6 +47,7 @@ pub use error::{ColumnarError, Result};
 pub use frame::DataFrame;
 pub use groupby::{AggKind, GroupBySpec};
 pub use join::JoinKind;
+pub use pool::WorkerPool;
 pub use series::Series;
 pub use sort::SortOptions;
 pub use value::Scalar;

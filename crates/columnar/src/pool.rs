@@ -1,0 +1,327 @@
+//! A shared, scoped worker pool for morsel-driven parallel kernels.
+//!
+//! The heavy kernels (group-by, join, sort, CSV ingestion) split their
+//! input into *morsels* — contiguous row ranges of a few tens of
+//! thousands of rows — and let a small set of workers claim morsels off a
+//! shared atomic counter (morsel-driven scheduling, after Leis et al.).
+//! Workers are spawned inside [`std::thread::scope`] per parallel call:
+//! crates.io is unreachable from this build environment, so there is no
+//! rayon; scoped threads keep the pool dependency-free and let kernels
+//! borrow their inputs without `'static` bounds. Spawning a handful of
+//! OS threads costs tens of microseconds, which is noise against the
+//! multi-millisecond kernels the pool is reserved for — every entry
+//! point falls back to the sequential path below [`PAR_MIN_ROWS`].
+//!
+//! Thread-count resolution is shared by every consumer (the engines, the
+//! bench harness, the global pool): an explicit request wins, then the
+//! `LAFP_THREADS` environment variable, then
+//! [`std::thread::available_parallelism`]. See [`resolve_threads`].
+//!
+//! Determinism: every parallel kernel stitches its per-morsel outputs
+//! back together in morsel order (or merges with a total, index-broken
+//! comparator), so results are identical to the sequential path at any
+//! thread count.
+
+use std::cell::UnsafeCell;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::OnceLock;
+
+/// Default morsel size in rows for the parallel kernels. Large enough
+/// that per-morsel overheads (an accumulator merge, a run header)
+/// amortize, small enough that a handful of morsels per worker keeps the
+/// claim queue busy when morsel costs are skewed.
+pub const MORSEL_ROWS: usize = 64 * 1024;
+
+/// Inputs below this row count take the sequential path: the work is
+/// too small to amortize spawning scoped workers.
+pub const PAR_MIN_ROWS: usize = 16 * 1024;
+
+/// Resolve a requested worker count to an effective one.
+///
+/// `0` means "default": the `LAFP_THREADS` environment variable if set
+/// to a positive integer, else the machine's available parallelism.
+/// Non-zero requests are honored as-is. The result is always ≥ 1.
+///
+/// Every thread-count decision in the workspace routes through this one
+/// function — the Modin-like eager engine, the Dask-like engine, the
+/// global pool and the bench harness — so "default" cannot silently mean
+/// different things in different layers.
+pub fn resolve_threads(requested: usize) -> usize {
+    if requested > 0 {
+        return requested;
+    }
+    if let Ok(v) = std::env::var("LAFP_THREADS") {
+        if let Ok(n) = v.trim().parse::<usize>() {
+            if n > 0 {
+                return n;
+            }
+        }
+    }
+    std::thread::available_parallelism().map_or(1, |n| n.get())
+}
+
+/// A scoped worker pool: a resolved thread count plus the morsel-claiming
+/// machinery. Cheap to construct (no threads live between calls).
+#[derive(Debug)]
+pub struct WorkerPool {
+    threads: usize,
+}
+
+/// A shared queue of task indexes `0..tasks`, claimed atomically by the
+/// pool's workers (the morsel dispenser).
+pub struct TaskQueue {
+    next: AtomicUsize,
+    tasks: usize,
+}
+
+impl TaskQueue {
+    /// Claim the next unclaimed task index, or `None` when exhausted.
+    #[inline]
+    pub fn claim(&self) -> Option<usize> {
+        let i = self.next.fetch_add(1, Ordering::Relaxed);
+        (i < self.tasks).then_some(i)
+    }
+}
+
+/// One output slot, written exactly once by the worker that claimed its
+/// index (disjoint writes — see the safety comments in [`WorkerPool::map`]).
+struct Slot<T>(UnsafeCell<Option<T>>);
+
+// SAFETY: slots are only written through disjoint, uniquely-claimed
+// indexes while the scope is live, and only read after every worker has
+// joined.
+unsafe impl<T: Send> Sync for Slot<T> {}
+
+impl WorkerPool {
+    /// A pool with `threads` workers (`0` = default; see
+    /// [`resolve_threads`]).
+    pub fn new(threads: usize) -> WorkerPool {
+        WorkerPool {
+            threads: resolve_threads(threads),
+        }
+    }
+
+    /// A single-threaded pool: every parallel entry point degenerates to
+    /// its sequential path.
+    pub const fn sequential() -> WorkerPool {
+        WorkerPool { threads: 1 }
+    }
+
+    /// The process-wide default pool, sized once from `LAFP_THREADS` /
+    /// available parallelism.
+    pub fn global() -> &'static WorkerPool {
+        static POOL: OnceLock<WorkerPool> = OnceLock::new();
+        POOL.get_or_init(|| WorkerPool::new(0))
+    }
+
+    /// Worker count this pool runs with.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Does this pool actually run work concurrently?
+    pub fn is_parallel(&self) -> bool {
+        self.threads > 1
+    }
+
+    /// Apply `f` to every item, in parallel, returning outputs in item
+    /// order. Items are claimed dynamically (morsel-driven): a worker
+    /// that finishes a cheap item immediately claims the next, so skewed
+    /// per-item costs balance without static partitioning.
+    pub fn map<T: Send, R: Send>(
+        &self,
+        items: Vec<T>,
+        f: impl Fn(usize, T) -> R + Sync,
+    ) -> Vec<R> {
+        let n = items.len();
+        if self.threads <= 1 || n <= 1 {
+            return items.into_iter().enumerate().map(|(i, t)| f(i, t)).collect();
+        }
+        let slots: Vec<Slot<T>> = items
+            .into_iter()
+            .map(|t| Slot(UnsafeCell::new(Some(t))))
+            .collect();
+        let out: Vec<Slot<R>> = (0..n).map(|_| Slot(UnsafeCell::new(None))).collect();
+        let queue = TaskQueue {
+            next: AtomicUsize::new(0),
+            tasks: n,
+        };
+        let workers = self.threads.min(n);
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|| {
+                    while let Some(i) = queue.claim() {
+                        // SAFETY: `claim` hands out each index exactly
+                        // once, so this worker is the only one touching
+                        // slot `i`; the vectors are never resized.
+                        let item = unsafe { (*slots[i].0.get()).take() }
+                            .expect("task claimed exactly once");
+                        let r = f(i, item);
+                        unsafe { *out[i].0.get() = Some(r) };
+                    }
+                });
+            }
+        });
+        out.into_iter()
+            .map(|s| s.0.into_inner().expect("worker filled its slot"))
+            .collect()
+    }
+
+    /// Spawn up to `threads` workers, each running `worker` with the
+    /// shared task queue over `0..tasks`, and return one result per
+    /// worker (in worker order). This is the shape the group-by kernel
+    /// needs: worker-local accumulators fed by dynamically claimed
+    /// morsels, merged by the caller afterwards.
+    pub fn run_workers<R: Send>(
+        &self,
+        tasks: usize,
+        worker: impl Fn(&TaskQueue) -> R + Sync,
+    ) -> Vec<R> {
+        let queue = TaskQueue {
+            next: AtomicUsize::new(0),
+            tasks,
+        };
+        let workers = self.threads.min(tasks.max(1));
+        if workers <= 1 {
+            return vec![worker(&queue)];
+        }
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..workers).map(|_| scope.spawn(|| worker(&queue))).collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("pool worker panicked"))
+                .collect()
+        })
+    }
+}
+
+/// Split `rows` into contiguous `(start, len)` morsels of at most
+/// `morsel` rows, evenly sized (lengths differ by at most one). Empty
+/// input yields no morsels.
+pub fn morsel_ranges(rows: usize, morsel: usize) -> Vec<(usize, usize)> {
+    if rows == 0 {
+        return Vec::new();
+    }
+    let morsel = morsel.max(1);
+    let count = rows.div_ceil(morsel);
+    let base = rows / count;
+    let extra = rows % count;
+    let mut out = Vec::with_capacity(count);
+    let mut start = 0;
+    for i in 0..count {
+        let len = base + usize::from(i < extra);
+        out.push((start, len));
+        start += len;
+    }
+    out
+}
+
+/// Morsels for a kernel run: at most [`MORSEL_ROWS`] rows each, but at
+/// least two per worker when the input is big enough to split at all, so
+/// the claim queue can balance skew.
+pub fn kernel_morsels(rows: usize, threads: usize) -> Vec<(usize, usize)> {
+    let target = MORSEL_ROWS.min(rows.div_ceil(2 * threads.max(1)).max(1));
+    morsel_ranges(rows, target)
+}
+
+/// Split `data` into disjoint mutable chunks aligned to `morsels` (as
+/// produced by [`morsel_ranges`] / [`kernel_morsels`]), each paired with
+/// its starting row — the item shape parallel fill-in-place kernels
+/// [`WorkerPool::map`] over. `morsels` must cover `data` exactly.
+pub fn split_mut_chunks<'a, T>(
+    data: &'a mut [T],
+    morsels: &[(usize, usize)],
+) -> Vec<(usize, &'a mut [T])> {
+    let mut chunks = Vec::with_capacity(morsels.len());
+    let mut rest = data;
+    for &(start, len) in morsels {
+        let (head, tail) = rest.split_at_mut(len);
+        chunks.push((start, head));
+        rest = tail;
+    }
+    debug_assert!(rest.is_empty(), "morsels must cover the slice exactly");
+    chunks
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn resolve_honors_explicit_request() {
+        assert_eq!(resolve_threads(3), 3);
+        assert!(resolve_threads(0) >= 1);
+    }
+
+    #[test]
+    fn map_preserves_order_and_runs_everything() {
+        let pool = WorkerPool::new(4);
+        let items: Vec<usize> = (0..1000).collect();
+        let out = pool.map(items, |i, v| {
+            assert_eq!(i, v);
+            v * 2
+        });
+        assert_eq!(out.len(), 1000);
+        for (i, v) in out.iter().enumerate() {
+            assert_eq!(*v, i * 2);
+        }
+    }
+
+    #[test]
+    fn map_sequential_fallback() {
+        let pool = WorkerPool::sequential();
+        assert!(!pool.is_parallel());
+        let out = pool.map(vec![10, 20], |_, v| v + 1);
+        assert_eq!(out, vec![11, 21]);
+    }
+
+    #[test]
+    fn run_workers_claims_each_task_once() {
+        use std::sync::Mutex;
+        let pool = WorkerPool::new(4);
+        let seen = Mutex::new(vec![0u32; 100]);
+        let counts = pool.run_workers(100, |q| {
+            let mut local = 0usize;
+            while let Some(t) = q.claim() {
+                seen.lock().unwrap()[t] += 1;
+                local += 1;
+            }
+            local
+        });
+        assert_eq!(counts.iter().sum::<usize>(), 100);
+        assert!(seen.lock().unwrap().iter().all(|&c| c == 1));
+    }
+
+    #[test]
+    fn run_workers_zero_tasks_still_returns_one_result() {
+        let pool = WorkerPool::new(4);
+        let out = pool.run_workers(0, |q| {
+            assert!(q.claim().is_none());
+            7
+        });
+        assert_eq!(out, vec![7]);
+    }
+
+    #[test]
+    fn morsel_ranges_cover_exactly() {
+        for rows in [0usize, 1, 7, 100, 64 * 1024 + 3] {
+            for morsel in [1usize, 10, 64 * 1024] {
+                let ranges = morsel_ranges(rows, morsel);
+                let mut next = 0;
+                for (start, len) in &ranges {
+                    assert_eq!(*start, next);
+                    assert!(*len >= 1 && *len <= morsel);
+                    next += len;
+                }
+                assert_eq!(next, rows);
+            }
+        }
+    }
+
+    #[test]
+    fn kernel_morsels_split_for_workers() {
+        let m = kernel_morsels(100_000, 4);
+        assert!(m.len() >= 8, "at least two morsels per worker: {}", m.len());
+        assert_eq!(m.iter().map(|(_, l)| l).sum::<usize>(), 100_000);
+    }
+}

@@ -9,11 +9,29 @@
 //! cost. A single-key sort takes a fast path that sorts indices directly
 //! against one slice; `nlargest`/`nsmallest` use a partial
 //! `select_nth_unstable`-based top-n instead of sorting the whole frame.
+//!
+//! Multi-key sorts additionally pack the leading keys into a single
+//! `u64` *normalized key* per row ([`NormKeys`]): each key gets a lane
+//! (order-preserving encoding + a null slot that sorts last in either
+//! direction), stats-compressed so as many keys as possible fit
+//! losslessly; one final lossy prefix lane may follow. Most comparisons
+//! then resolve with one integer compare instead of one virtual-ish
+//! dispatch per key — the multi-key comparator was the last ~1.4× soft
+//! spot. A comparison only falls back to the typed comparators for the
+//! keys the normalized key does not cover losslessly.
+//!
+//! [`sort_values_par`] runs the same argsort morsel-parallel: workers
+//! sort per-morsel index runs under the (total, index-tie-broken)
+//! normalized comparator, runs merge pairwise on the pool, and output
+//! columns gather in parallel — the result is bit-identical to the
+//! sequential stable sort at any thread count.
 
 use crate::bitmap::Bitmap;
 use crate::column::{Categorical, Column};
 use crate::error::Result;
 use crate::frame::DataFrame;
+use crate::pool::{kernel_morsels, WorkerPool, PAR_MIN_ROWS};
+use crate::series::Series;
 use std::cmp::Ordering;
 use std::sync::Arc;
 
@@ -124,22 +142,405 @@ impl<'a> SortKey<'a> {
     }
 }
 
+// ---------------------------------------------------------------------------
+// Normalized keys
+// ---------------------------------------------------------------------------
+
+/// Layout of one key's lane inside the packed `u64` normalized key.
+#[derive(Debug, Clone, Copy)]
+struct LanePlan {
+    /// Lane width in bits (≥ 1; the null slot is part of the domain).
+    bits: u32,
+    /// How row values map into the lane.
+    kind: LaneKind,
+}
+
+#[derive(Debug, Clone, Copy)]
+enum LaneKind {
+    /// Range-compressed order-preserving integer image:
+    /// `enc = monotone(v) - min`, null = `range + 1` (sorts last). The
+    /// lane is lossless — lane equality implies key equality.
+    Monotone {
+        /// Minimum monotone image over the non-null rows.
+        min: u64,
+        /// `max - min` over the non-null rows.
+        range: u64,
+    },
+    /// Zero-padded big-endian string bytes (lossless: every value fits
+    /// in `bytes` and contains no NUL, and 0xFF never appears in UTF-8,
+    /// so null = `1 << (8 * bytes)` sorts after every value).
+    StrBytes {
+        /// Payload bytes per value.
+        bytes: u32,
+    },
+    /// Final lossy lane: the top `bits - 1` bits of the full 64-bit
+    /// monotone image (numeric) or 8-byte prefix (strings); the lane's
+    /// top bit flags null. Lane inequality still orders correctly; lane
+    /// equality defers to the typed fallback comparator.
+    Lossy,
+}
+
+/// The packed normalized keys of a sort: one `u64` per row, plus the
+/// index of the first key the packing does *not* cover losslessly
+/// (comparisons that tie on the normalized key re-compare keys from
+/// `fallback_start` on with the typed comparators).
+struct NormKeys {
+    values: Vec<u64>,
+    fallback_start: usize,
+}
+
+const SIGN_FLIP: u64 = 1 << 63;
+
+/// Is this key string-class (compared by string bytes)?
+fn is_string_key(key: &SortKey<'_>) -> bool {
+    matches!(key.view, KeyData::Str(_) | KeyData::Cat(_))
+}
+
+/// Order-preserving `u64` image of a non-null numeric-class row:
+/// `a < b  ⟺  monotone(a) < monotone(b)` under the key's value order.
+#[inline]
+fn monotone_at(key: &SortKey<'_>, i: usize) -> u64 {
+    match &key.view {
+        KeyData::I64(d) => (d[i] as u64) ^ SIGN_FLIP,
+        KeyData::F64(d) => {
+            // Normalize -0.0: the comparator treats it equal to 0.0, so
+            // the encoding must too.
+            let v = if d[i] == 0.0 { 0.0 } else { d[i] };
+            let b = v.to_bits();
+            if b >> 63 == 1 {
+                !b
+            } else {
+                b | SIGN_FLIP
+            }
+        }
+        KeyData::Bool(d) => d.get(i) as u64,
+        KeyData::Str(_) | KeyData::Cat(_) => unreachable!("monotone_at on string key"),
+    }
+}
+
+/// The string value of a non-null string-class row.
+#[inline]
+fn str_at<'a>(key: &'a SortKey<'_>, i: usize) -> &'a str {
+    match &key.view {
+        KeyData::Str(d) => &d[i],
+        KeyData::Cat(c) => &c.dict[c.codes[i] as usize],
+        _ => unreachable!("str_at on non-string key"),
+    }
+}
+
+/// First 8 bytes of `s`, big-endian, zero-padded (an order-consistent
+/// prefix: prefix(a) < prefix(b) implies a < b).
+#[inline]
+fn str_prefix64(s: &str) -> u64 {
+    let b = s.as_bytes();
+    let mut v = 0u64;
+    for k in 0..8 {
+        v = (v << 8) | b.get(k).copied().unwrap_or(0) as u64;
+    }
+    v
+}
+
+/// `s` packed into `bytes` big-endian bytes (caller guarantees it fits).
+#[inline]
+fn str_bytes_enc(s: &str, bytes: u32) -> u64 {
+    let b = s.as_bytes();
+    let mut v = 0u64;
+    for k in 0..bytes as usize {
+        v = (v << 8) | b.get(k).copied().unwrap_or(0) as u64;
+    }
+    v
+}
+
+/// All-ones value of `bits` bits (`bits ≤ 64`).
+#[inline]
+fn ones(bits: u32) -> u64 {
+    if bits >= 64 {
+        u64::MAX
+    } else {
+        (1u64 << bits) - 1
+    }
+}
+
+/// Min/max of the monotone image over non-null rows (morsel-parallel);
+/// `None` when every row is null.
+fn numeric_stats(key: &SortKey<'_>, n: usize, pool: &WorkerPool) -> Option<(u64, u64)> {
+    let morsels = kernel_morsels(n, pool.threads());
+    let partials: Vec<Option<(u64, u64)>> = pool.map(morsels, |_, (start, len)| {
+        let mut mn = u64::MAX;
+        let mut mx = 0u64;
+        let mut any = false;
+        for i in start..start + len {
+            if !key.is_null(i) {
+                let m = monotone_at(key, i);
+                mn = mn.min(m);
+                mx = mx.max(m);
+                any = true;
+            }
+        }
+        any.then_some((mn, mx))
+    });
+    partials
+        .into_iter()
+        .flatten()
+        .reduce(|(amn, amx), (bmn, bmx)| (amn.min(bmn), amx.max(bmx)))
+}
+
+/// Max byte length and NUL-byte presence over a string key's values.
+/// Categoricals scan their (small) dictionary; Utf8 scans row values
+/// morsel-parallel (null slots hold `""` and contribute nothing).
+fn string_stats(key: &SortKey<'_>, n: usize, pool: &WorkerPool) -> (usize, bool) {
+    match &key.view {
+        KeyData::Cat(c) => c
+            .dict
+            .iter()
+            .fold((0usize, false), |(len, nul), s| {
+                (len.max(s.len()), nul || s.as_bytes().contains(&0))
+            }),
+        KeyData::Str(d) => {
+            let morsels = kernel_morsels(n, pool.threads());
+            let partials: Vec<(usize, bool)> = pool.map(morsels, |_, (start, len)| {
+                d[start..start + len]
+                    .iter()
+                    .fold((0usize, false), |(l, nul), s| {
+                        (l.max(s.len()), nul || s.as_bytes().contains(&0))
+                    })
+            });
+            partials
+                .into_iter()
+                .fold((0, false), |(l, nul), (pl, pn)| (l.max(pl), nul || pn))
+        }
+        _ => unreachable!("string_stats on non-string key"),
+    }
+}
+
+/// Plan the lanes: pack keys in order while they fit losslessly in the
+/// remaining bits; at most one final lossy lane follows. Returns the
+/// plans plus the count of losslessly covered leading keys.
+fn plan_lanes(
+    keys: &[SortKey<'_>],
+    n: usize,
+    pool: &WorkerPool,
+) -> (Vec<LanePlan>, usize) {
+    let mut lanes: Vec<LanePlan> = Vec::with_capacity(keys.len());
+    let mut remaining = 64u32;
+    let mut covered = 0usize;
+    for key in keys {
+        if remaining < 2 {
+            break;
+        }
+        if is_string_key(key) {
+            let (max_len, has_nul) = string_stats(key, n, pool);
+            let bits = 8 * max_len as u32 + 1;
+            if !has_nul && max_len <= 7 && bits <= remaining {
+                lanes.push(LanePlan {
+                    bits,
+                    kind: LaneKind::StrBytes {
+                        bytes: max_len as u32,
+                    },
+                });
+                remaining -= bits;
+                covered += 1;
+                continue;
+            }
+        } else {
+            match numeric_stats(key, n, pool) {
+                None => {
+                    // Every row null: one bit holds the null flag.
+                    lanes.push(LanePlan {
+                        bits: 1,
+                        kind: LaneKind::Monotone { min: 0, range: 0 },
+                    });
+                    remaining -= 1;
+                    covered += 1;
+                    continue;
+                }
+                Some((min, max)) => {
+                    let range = max - min;
+                    if range < u64::MAX {
+                        // Max lane value is `range + 1` (the null slot).
+                        let bits = 64 - (range + 1).leading_zeros();
+                        if bits <= remaining {
+                            lanes.push(LanePlan {
+                                bits,
+                                kind: LaneKind::Monotone { min, range },
+                            });
+                            remaining -= bits;
+                            covered += 1;
+                            continue;
+                        }
+                    }
+                }
+            }
+        }
+        // Lossless packing didn't fit: spend what's left on a lossy
+        // prefix of this key, then stop — later lanes would be unsound
+        // (a lossy tie must defer to the fallback comparator).
+        lanes.push(LanePlan {
+            bits: remaining,
+            kind: LaneKind::Lossy,
+        });
+        break;
+    }
+    (lanes, covered)
+}
+
+/// Pack row `i`'s lanes into one `u64`.
+#[inline]
+fn norm_at(keys: &[SortKey<'_>], lanes: &[LanePlan], i: usize) -> u64 {
+    let mut out = 0u64;
+    for (key, lane) in keys.iter().zip(lanes) {
+        let v = if key.is_null(i) {
+            // Nulls sort last regardless of direction.
+            match lane.kind {
+                LaneKind::Monotone { range, .. } => range.wrapping_add(1),
+                LaneKind::StrBytes { bytes } => 1u64 << (8 * bytes),
+                LaneKind::Lossy => 1u64 << (lane.bits - 1),
+            }
+        } else {
+            match lane.kind {
+                LaneKind::Monotone { min, range } => {
+                    let e = monotone_at(key, i) - min;
+                    if key.ascending {
+                        e
+                    } else {
+                        range - e
+                    }
+                }
+                LaneKind::StrBytes { bytes } => {
+                    let e = str_bytes_enc(str_at(key, i), bytes);
+                    if key.ascending {
+                        e
+                    } else {
+                        ones(8 * bytes) - e
+                    }
+                }
+                LaneKind::Lossy => {
+                    let full = if is_string_key(key) {
+                        str_prefix64(str_at(key, i))
+                    } else {
+                        monotone_at(key, i)
+                    };
+                    let adjusted = if key.ascending { full } else { !full };
+                    adjusted >> (64 - (lane.bits - 1))
+                }
+            }
+        };
+        out = if lane.bits >= 64 { v } else { (out << lane.bits) | v };
+    }
+    out
+}
+
+impl NormKeys {
+    /// Build the normalized keys for `n` rows (lane stats and the fill
+    /// pass both run morsel-parallel on `pool`).
+    fn build(keys: &[SortKey<'_>], n: usize, pool: &WorkerPool) -> NormKeys {
+        let (lanes, covered) = plan_lanes(keys, n, pool);
+        let mut values = vec![0u64; n];
+        if !lanes.is_empty() {
+            let morsels = kernel_morsels(n, pool.threads());
+            let chunks = crate::pool::split_mut_chunks(&mut values, &morsels);
+            pool.map(chunks, |_, (start, chunk)| {
+                for (j, slot) in chunk.iter_mut().enumerate() {
+                    *slot = norm_at(keys, &lanes, start + j);
+                }
+            });
+        }
+        NormKeys {
+            values,
+            fallback_start: covered,
+        }
+    }
+}
+
+/// Typed lexicographic comparison over `keys` (the fallback tail).
+#[inline]
+fn cmp_keys(keys: &[SortKey<'_>], a: usize, b: usize) -> Ordering {
+    for key in keys {
+        let ord = key.cmp_rows(a, b);
+        if ord != Ordering::Equal {
+            return ord;
+        }
+    }
+    Ordering::Equal
+}
+
 /// Stable argsort of `0..n` under the composed key comparators.
 fn argsort(keys: &[SortKey<'_>], n: usize) -> Vec<usize> {
     if let [key] = keys {
         return argsort_single(key, n);
     }
     let mut order: Vec<usize> = (0..n).collect();
-    order.sort_by(|&a, &b| {
-        for key in keys {
-            let ord = key.cmp_rows(a, b);
-            if ord != Ordering::Equal {
-                return ord;
-            }
-        }
-        Ordering::Equal
-    });
+    if keys.is_empty() {
+        return order;
+    }
+    // Normalized-key comparator: one u64 compare resolves the covered
+    // keys; only normalized ties re-compare the uncovered tail.
+    let norm = NormKeys::build(keys, n, &WorkerPool::sequential());
+    let tail = &keys[norm.fallback_start..];
+    let values = &norm.values;
+    if tail.is_empty() {
+        order.sort_by(|&a, &b| values[a].cmp(&values[b]));
+    } else {
+        order.sort_by(|&a, &b| values[a].cmp(&values[b]).then_with(|| cmp_keys(tail, a, b)));
+    }
     order
+}
+
+/// Parallel argsort: per-morsel index runs sorted under the total
+/// (index-tie-broken) normalized comparator, merged pairwise on the
+/// pool. The total order makes the merged result exactly the stable
+/// sequential argsort.
+fn argsort_par(keys: &[SortKey<'_>], n: usize, pool: &WorkerPool) -> Vec<usize> {
+    let norm = NormKeys::build(keys, n, pool);
+    let tail = &keys[norm.fallback_start..];
+    let values = &norm.values;
+    let cmp_total = |a: usize, b: usize| {
+        values[a]
+            .cmp(&values[b])
+            .then_with(|| cmp_keys(tail, a, b))
+            .then_with(|| a.cmp(&b))
+    };
+    let morsels = kernel_morsels(n, pool.threads());
+    let mut runs: Vec<Vec<usize>> = pool.map(morsels, |_, (start, len)| {
+        let mut idx: Vec<usize> = (start..start + len).collect();
+        idx.sort_unstable_by(|&a, &b| cmp_total(a, b));
+        idx
+    });
+    while runs.len() > 1 {
+        let mut pairs: Vec<(Vec<usize>, Option<Vec<usize>>)> =
+            Vec::with_capacity(runs.len().div_ceil(2));
+        let mut it = runs.into_iter();
+        while let Some(a) = it.next() {
+            pairs.push((a, it.next()));
+        }
+        runs = pool.map(pairs, |_, (a, b)| match b {
+            Some(b) => merge_runs(&a, &b, &cmp_total),
+            None => a,
+        });
+    }
+    runs.pop().unwrap_or_default()
+}
+
+/// Merge two runs sorted under the total comparator.
+fn merge_runs(
+    a: &[usize],
+    b: &[usize],
+    cmp: &impl Fn(usize, usize) -> Ordering,
+) -> Vec<usize> {
+    let mut out = Vec::with_capacity(a.len() + b.len());
+    let (mut i, mut j) = (0, 0);
+    while i < a.len() && j < b.len() {
+        if cmp(a[i], b[j]) != Ordering::Greater {
+            out.push(a[i]);
+            i += 1;
+        } else {
+            out.push(b[j]);
+            j += 1;
+        }
+    }
+    out.extend_from_slice(&a[i..]);
+    out.extend_from_slice(&b[j..]);
+    out
 }
 
 /// Single-key fast path: partition null rows off (stable, nulls last),
@@ -223,6 +624,32 @@ pub fn sort_values(frame: &DataFrame, options: &SortOptions) -> Result<DataFrame
     let keys = sort_keys(frame, options)?;
     let order = argsort(&keys, frame.num_rows());
     frame.take(&order)
+}
+
+/// [`sort_values`] driven through a worker pool: normalized keys fill
+/// morsel-parallel, per-morsel index runs sort concurrently and merge
+/// pairwise, and the output permutation gathers each column on the
+/// pool. Bit-identical to the sequential stable sort at any thread
+/// count (the merge comparator is total, tie-broken by row index).
+pub fn sort_values_par(
+    frame: &DataFrame,
+    options: &SortOptions,
+    pool: &WorkerPool,
+) -> Result<DataFrame> {
+    let rows = frame.num_rows();
+    if !pool.is_parallel() || rows < PAR_MIN_ROWS || options.by.is_empty() {
+        return sort_values(frame, options);
+    }
+    let keys = sort_keys(frame, options)?;
+    let order = argsort_par(&keys, rows, pool);
+    drop(keys);
+    // Gather the sorted frame column-parallel; the permutation indexes
+    // are in bounds by construction.
+    let series: Vec<&Series> = frame.series().iter().collect();
+    let cols = pool.map(series, |_, s| {
+        Series::new(s.name(), s.column().take_unchecked(&order))
+    });
+    DataFrame::new(cols)
 }
 
 /// Partial top-n: the `n` rows that would head the full stable sort in
