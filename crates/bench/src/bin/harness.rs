@@ -85,6 +85,16 @@ fn run_kernel_bench(args: &[String]) {
             r.name, r.seed_ms, r.vectorized_ms, r.speedup
         );
     }
+    eprintln!("string kernels: arena vs Arc<str> baseline ...");
+    let strings = kernel_bench::run_string_suite(rows, iters);
+    println!();
+    println!("{:<28} {:>12} {:>14} {:>9}", "string kernel", "arc_ms", "arena_ms", "speedup");
+    for r in &strings {
+        println!(
+            "{:<28} {:>12.3} {:>14.3} {:>8.2}x",
+            r.name, r.arc_ms, r.arena_ms, r.speedup
+        );
+    }
     eprintln!("parallel kernels: 1 worker vs {threads} ...");
     let parallel = kernel_bench::run_parallel_suite(rows, iters, threads);
     println!();
@@ -102,7 +112,7 @@ fn run_kernel_bench(args: &[String]) {
         );
     }
     if let Some(path) = json {
-        let body = kernel_bench::render_json(pr, rows, iters, &results, &parallel);
+        let body = kernel_bench::render_json(pr, rows, iters, &results, &strings, &parallel);
         std::fs::write(&path, body).expect("write bench json");
         eprintln!("wrote {}", path.display());
     }

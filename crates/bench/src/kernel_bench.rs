@@ -24,6 +24,7 @@ use lafp_columnar::sort::{nlargest, sort_values, sort_values_par, SortOptions};
 use lafp_columnar::{Bitmap, Column, DType, DataFrame, Scalar, Series};
 use std::collections::HashMap;
 use std::hint::black_box;
+use std::sync::Arc;
 use std::time::Instant;
 
 /// One bench row: seed vs vectorized timing for a kernel.
@@ -36,6 +37,20 @@ pub struct BenchResult {
     /// Best-of-N wall time of the vectorized kernel, in milliseconds.
     pub vectorized_ms: f64,
     /// `seed_ms / vectorized_ms`.
+    pub speedup: f64,
+}
+
+/// One string-representation bench row: the arena-backed Utf8 kernel vs
+/// an in-tree `Arc<str>` (PR 2–4 era) baseline on the same data.
+#[derive(Debug, Clone)]
+pub struct StringBenchResult {
+    /// Kernel name.
+    pub name: String,
+    /// Best-of-N wall time of the `Arc<str>` baseline, in milliseconds.
+    pub arc_ms: f64,
+    /// Best-of-N wall time of the arena-backed kernel, in milliseconds.
+    pub arena_ms: f64,
+    /// `arc_ms / arena_ms`.
     pub speedup: f64,
 }
 
@@ -954,6 +969,145 @@ pub fn run_suite(rows: usize, iters: usize) -> Vec<BenchResult> {
     results
 }
 
+// ---------------------------------------------------------------------------
+// String representation benches (arena vs Arc<str>)
+// ---------------------------------------------------------------------------
+
+/// The PR 2–4 `Arc<str>` string gather, reproduced verbatim as the PR 5
+/// baseline: contiguous ascending runs bulk-extend the `Arc` slice, but
+/// every output row still pays one atomic refcount increment.
+fn gather_arcs_ref(data: &[Arc<str>], indices: &[usize]) -> Vec<Arc<str>> {
+    let n = indices.len();
+    let mut out: Vec<Arc<str>> = Vec::with_capacity(n);
+    let mut k = 0;
+    while k < n {
+        let start = indices[k];
+        let mut run = 1;
+        while k + run < n && indices[k + run] == start + run {
+            run += 1;
+        }
+        if run >= 4 {
+            out.extend_from_slice(&data[start..start + run]);
+        } else {
+            for r in 0..run {
+                out.push(Arc::clone(&data[start + r]));
+            }
+        }
+        k += run;
+    }
+    out
+}
+
+/// Run the string-representation suite: arena-backed Utf8 kernels raced
+/// against the `Arc<str>` storage they replaced, on identical values.
+/// Each pair is checked for value equivalence before timing. The gather
+/// benches are the join-assembly cost model: `utf8_take_join_runs` uses
+/// the ascending-run index shape an FK-join probe emits, and
+/// `utf8_take_random` is the worst case with no runs to collapse.
+pub fn run_string_suite(rows: usize, iters: usize) -> Vec<StringBenchResult> {
+    // Realistic mixed-width values: mostly short city-style strings with
+    // a longer tail every 13th row.
+    let values: Vec<String> = (0..rows)
+        .map(|i| {
+            if i % 13 == 0 {
+                format!("metropolitan-area-{}-{}", i % 997, i % 7)
+            } else {
+                format!("city-{:04}", i % 997)
+            }
+        })
+        .collect();
+    let arena_col = Column::from_strings(&values);
+    let arc_col: Vec<Arc<str>> = values.iter().map(|s| Arc::from(s.as_str())).collect();
+
+    // Index vectors: an FK-join-shaped one (ascending runs of ~8 rows
+    // per matched key) and a pseudo-random one (no runs to collapse).
+    let mut join_runs: Vec<usize> = Vec::with_capacity(rows);
+    let mut start = 0usize;
+    while join_runs.len() < rows {
+        let run = 4 + (start % 9);
+        for r in 0..run.min(rows - join_runs.len()) {
+            join_runs.push((start + r) % rows);
+        }
+        start = (start + run * 7) % rows;
+    }
+    let random: Vec<usize> = (0..rows)
+        .map(|i| (i.wrapping_mul(2654435761)) % rows)
+        .collect();
+
+    let mut results = Vec::new();
+    let mut push = |name: &str, arc_ms: f64, arena_ms: f64| {
+        results.push(StringBenchResult {
+            name: name.to_string(),
+            arc_ms,
+            arena_ms,
+            speedup: arc_ms / arena_ms,
+        });
+    };
+
+    for (name, indices) in [
+        ("utf8_take_join_runs", &join_runs),
+        ("utf8_take_random", &random),
+    ] {
+        let gathered = arena_col.take(indices).unwrap();
+        let reference = gather_arcs_ref(&arc_col, indices);
+        assert_eq!(gathered.len(), reference.len(), "{name}: length");
+        for (i, r) in reference.iter().enumerate() {
+            assert_eq!(gathered.get(i), Scalar::Str(r.to_string()), "{name}: row {i}");
+        }
+        let (arc_ms, arena_ms) = best_of_pair_ms(
+            iters,
+            || {
+                // Same bounds scan Column::take performs.
+                assert!(indices.iter().all(|&i| i < arc_col.len()));
+                black_box(gather_arcs_ref(black_box(&arc_col), indices));
+            },
+            || {
+                black_box(black_box(&arena_col).take(indices).unwrap());
+            },
+        );
+        push(name, arc_ms, arena_ms);
+    }
+
+    // Filter: alternating keep mask (runs of one — per-row memcpy vs
+    // per-row refcount bump).
+    let mask = Bitmap::from_iter((0..rows).map(|i| i % 2 == 0));
+    let (arc_ms, arena_ms) = best_of_pair_ms(
+        iters,
+        || {
+            let mut out: Vec<Arc<str>> = Vec::with_capacity(rows / 2);
+            mask.for_each_set(|i| out.push(Arc::clone(&arc_col[i])));
+            black_box(out);
+        },
+        || {
+            black_box(black_box(&arena_col).filter(&mask).unwrap());
+        },
+    );
+    push("utf8_filter_alternate", arc_ms, arena_ms);
+
+    // Slice (head-style): arena slices share the byte buffer zero-copy,
+    // the Arc representation clones a pointer per row.
+    let head_loops = 200usize;
+    let slice_len = (rows / 2).max(1);
+    let (arc_ms, arena_ms) = best_of_pair_ms(
+        iters,
+        || {
+            for k in 0..head_loops {
+                let s = k.min(rows - slice_len.min(rows));
+                black_box(arc_col[s..s + slice_len].to_vec());
+            }
+        },
+        || {
+            for k in 0..head_loops {
+                let s = k.min(rows - slice_len.min(rows));
+                black_box(black_box(&arena_col).slice(s, slice_len));
+            }
+        },
+    );
+    push("utf8_slice_half_x200", arc_ms, arena_ms);
+
+    results
+}
+
 /// Scalar-wise frame equivalence with a relative float tolerance
 /// (parallel group-by re-associates float additions across morsels).
 fn assert_frame_close(a: &DataFrame, b: &DataFrame, tol: f64, what: &str) {
@@ -1139,6 +1293,7 @@ pub fn render_json(
     rows: usize,
     iters: usize,
     results: &[BenchResult],
+    strings: &[StringBenchResult],
     parallel: &[ParallelBenchResult],
 ) -> String {
     let mut out = String::new();
@@ -1154,38 +1309,57 @@ pub fn render_json(
         "  \"reference\": \"seed-era (PR 1) scalar-boxed kernels, re-implemented in \
          lafp-bench::kernel_bench and raced in the same process\",\n",
     );
-    out.push_str("  \"benches\": [\n");
-    for (i, r) in results.iter().enumerate() {
-        out.push_str(&format!(
-            "    {{\"name\": \"{}\", \"seed_ms\": {:.3}, \"vectorized_ms\": {:.3}, \
-             \"speedup\": {:.2}}}{}\n",
-            r.name,
-            r.seed_ms,
-            r.vectorized_ms,
-            r.speedup,
-            if i + 1 == results.len() { "" } else { "," }
+    // Render each present section as `"key": [rows]`, then join — one
+    // code path no matter which optional sections exist.
+    let section = |key: &str, rows: &[String]| -> String {
+        format!("  \"{key}\": [\n{}\n  ]", rows.join(",\n"))
+    };
+    let mut sections: Vec<String> = Vec::new();
+    sections.push(section(
+        "benches",
+        &results
+            .iter()
+            .map(|r| {
+                format!(
+                    "    {{\"name\": \"{}\", \"seed_ms\": {:.3}, \"vectorized_ms\": {:.3}, \
+                     \"speedup\": {:.2}}}",
+                    r.name, r.seed_ms, r.vectorized_ms, r.speedup
+                )
+            })
+            .collect::<Vec<_>>(),
+    ));
+    if !strings.is_empty() {
+        sections.push(section(
+            "strings",
+            &strings
+                .iter()
+                .map(|r| {
+                    format!(
+                        "    {{\"name\": \"{}\", \"arc_ms\": {:.3}, \"arena_ms\": {:.3}, \
+                         \"speedup\": {:.2}}}",
+                        r.name, r.arc_ms, r.arena_ms, r.speedup
+                    )
+                })
+                .collect::<Vec<_>>(),
         ));
     }
-    if parallel.is_empty() {
-        out.push_str("  ]\n}\n");
-        return out;
-    }
-    out.push_str("  ],\n");
-    out.push_str("  \"parallel\": [\n");
-    for (i, r) in parallel.iter().enumerate() {
-        out.push_str(&format!(
-            "    {{\"name\": \"{}\", \"t1_ms\": {:.3}, \"t{}_ms\": {:.3}, \
-             \"threads\": {}, \"speedup\": {:.2}}}{}\n",
-            r.name,
-            r.t1_ms,
-            r.threads,
-            r.tn_ms,
-            r.threads,
-            r.speedup,
-            if i + 1 == parallel.len() { "" } else { "," }
+    if !parallel.is_empty() {
+        sections.push(section(
+            "parallel",
+            &parallel
+                .iter()
+                .map(|r| {
+                    format!(
+                        "    {{\"name\": \"{}\", \"t1_ms\": {:.3}, \"t{}_ms\": {:.3}, \
+                         \"threads\": {}, \"speedup\": {:.2}}}",
+                        r.name, r.t1_ms, r.threads, r.tn_ms, r.threads, r.speedup
+                    )
+                })
+                .collect::<Vec<_>>(),
         ));
     }
-    out.push_str("  ]\n}\n");
+    out.push_str(&sections.join(",\n"));
+    out.push_str("\n}\n");
     out
 }
 
@@ -1202,19 +1376,33 @@ mod tests {
         for r in &results {
             assert!(r.seed_ms >= 0.0 && r.vectorized_ms > 0.0, "{}", r.name);
         }
+        let strings = run_string_suite(2_000, 1);
+        assert_eq!(strings.len(), 4);
+        for r in &strings {
+            assert!(r.arc_ms >= 0.0 && r.arena_ms > 0.0, "{}", r.name);
+        }
         let parallel = run_parallel_suite(2_000, 1, 2);
         assert_eq!(parallel.len(), 6);
         for r in &parallel {
             assert!(r.t1_ms > 0.0 && r.tn_ms > 0.0, "{}", r.name);
         }
-        let json = render_json(4, 2_000, 1, &results, &parallel);
+        let json = render_json(4, 2_000, 1, &results, &strings, &parallel);
         assert!(json.contains("\"benches\""));
         assert!(json.contains("groupby_i64key_sum_f64"));
         assert!(json.contains("join_inner_i64key"));
         assert!(json.contains("sort_single_f64"));
         assert!(json.contains("read_csv_mixed"));
+        assert!(json.contains("\"strings\""));
+        assert!(json.contains("utf8_take_join_runs"));
         assert!(json.contains("\"parallel\""));
         assert!(json.contains("par_read_csv_mixed"));
         assert!(json.contains("\"host_threads\""));
+        // Every section shape renders valid JSON-ish structure.
+        let no_strings = render_json(4, 2_000, 1, &results, &[], &parallel);
+        assert!(!no_strings.contains("\"strings\""));
+        assert!(no_strings.contains("\"parallel\""));
+        let no_parallel = render_json(4, 2_000, 1, &results, &strings, &[]);
+        assert!(no_parallel.contains("\"strings\""));
+        assert!(!no_parallel.contains("\"parallel\""));
     }
 }

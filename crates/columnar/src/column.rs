@@ -3,6 +3,7 @@
 use crate::bitmap::Bitmap;
 use crate::dtype::DType;
 use crate::error::{ColumnarError, Result};
+use crate::strings::{Utf8Builder, Utf8Col};
 use crate::value::{self, Scalar};
 use crate::HeapSize;
 use std::sync::Arc;
@@ -59,14 +60,24 @@ impl IndexLike for u32 {
 pub struct Categorical {
     /// Per-row indexes into `dict`.
     pub codes: Vec<u32>,
-    /// The (deduplicated) category values, shared across derived columns.
-    pub dict: Arc<Vec<String>>,
+    /// The (deduplicated) category values — stored in the same
+    /// arena-backed layout as plain `Utf8` columns and shared across
+    /// derived columns.
+    pub dict: Arc<Utf8Col>,
 }
 
 /// A typed column of values with an optional validity mask.
 ///
 /// `validity == None` means "no nulls". For `Float64`, `NaN` additionally
 /// counts as null, matching pandas.
+///
+/// ```
+/// use lafp_columnar::{Column, Scalar};
+/// let c = Column::from_opt_i64(vec![Some(3), None, Some(5)]);
+/// assert_eq!(c.len(), 3);
+/// assert!(c.is_null_at(1));
+/// assert_eq!(c.sum(), Scalar::Int(8));
+/// ```
 #[derive(Debug, Clone, PartialEq)]
 pub enum Column {
     /// 64-bit integers.
@@ -75,12 +86,14 @@ pub enum Column {
     Float64(Vec<f64>, Option<Bitmap>),
     /// Booleans.
     Bool(Bitmap, Option<Bitmap>),
-    /// UTF-8 strings, shared: gathers (`filter`/`take`/`sort`) copy
-    /// pointers, not bytes.
-    Utf8(Vec<Arc<str>>, Option<Bitmap>),
+    /// UTF-8 strings in an arena ([`Utf8Col`]): one contiguous byte
+    /// buffer plus row offsets. Gathers (`filter`/`take`/`sort`) are
+    /// byte memcpys into a fresh compact arena; `slice` shares the
+    /// arena zero-copy.
+    Utf8(Utf8Col, Option<Bitmap>),
     /// Epoch-second timestamps.
     Datetime(Vec<i64>, Option<Bitmap>),
-    /// Dictionary-encoded strings.
+    /// Dictionary-encoded strings (codes into an arena-backed dict).
     Categorical(Categorical, Option<Bitmap>),
 }
 
@@ -194,11 +207,8 @@ impl Column {
     }
 
     /// String column without nulls.
-    pub fn from_strings<S: Into<String>, I: IntoIterator<Item = S>>(values: I) -> Column {
-        Column::Utf8(
-            values.into_iter().map(|s| Arc::from(s.into())).collect(),
-            None,
-        )
+    pub fn from_strings<S: AsRef<str>, I: IntoIterator<Item = S>>(values: I) -> Column {
+        Column::Utf8(Utf8Col::from_values(values), None)
     }
 
     /// Datetime column (epoch seconds) without nulls.
@@ -223,13 +233,11 @@ impl Column {
         Column::Float64(data, some_if_has_nulls(validity))
     }
 
-    /// String column with nulls.
+    /// String column with nulls (null slots hold the empty string).
     pub fn from_opt_strings(values: Vec<Option<String>>) -> Column {
         let validity = Bitmap::from_iter(values.iter().map(Option::is_some));
-        let data = values
-            .into_iter()
-            .map(|v| Arc::from(v.unwrap_or_default()))
-            .collect();
+        let data =
+            Utf8Col::from_values(values.iter().map(|v| v.as_deref().unwrap_or_default()));
         Column::Utf8(data, some_if_has_nulls(validity))
     }
 
@@ -248,8 +256,7 @@ impl Column {
             Scalar::Float(v) => Column::from_f64(vec![*v; len]),
             Scalar::Bool(v) => Column::from_bool(vec![*v; len]),
             Scalar::Str(v) => {
-                let s: Arc<str> = Arc::from(v.as_str());
-                Column::Utf8(vec![s; len], None)
+                Column::Utf8(Utf8Col::from_values(std::iter::repeat_n(v.as_str(), len)), None)
             }
             Scalar::Datetime(v) => Column::from_datetimes(vec![*v; len]),
         }
@@ -354,9 +361,9 @@ impl Column {
             Column::Int64(v, _) => Scalar::Int(v[i]),
             Column::Float64(v, _) => Scalar::Float(v[i]),
             Column::Bool(v, _) => Scalar::Bool(v.get(i)),
-            Column::Utf8(v, _) => Scalar::Str(v[i].to_string()),
+            Column::Utf8(v, _) => Scalar::Str(v.get(i).to_string()),
             Column::Datetime(v, _) => Scalar::Datetime(v[i]),
-            Column::Categorical(c, _) => Scalar::Str(c.dict[c.codes[i] as usize].clone()),
+            Column::Categorical(c, _) => Scalar::Str(c.dict.get(c.codes[i] as usize).to_string()),
         }
     }
 
@@ -395,11 +402,9 @@ impl Column {
                 Column::Float64(out, validity)
             }
             Column::Bool(data, _) => Column::Bool(data.filter(mask), validity),
-            Column::Utf8(data, _) => {
-                let mut out = Vec::with_capacity(n);
-                mask.for_each_set(|i| out.push(Arc::clone(&data[i])));
-                Column::Utf8(out, validity)
-            }
+            // Arena compaction: contiguous kept runs copy their bytes in
+            // one extend_from_slice, no per-row refcount traffic.
+            Column::Utf8(data, _) => Column::Utf8(data.filter(mask), validity),
             Column::Datetime(data, _) => {
                 let mut out = Vec::with_capacity(n);
                 mask.for_each_set(|i| out.push(data[i]));
@@ -443,7 +448,9 @@ impl Column {
                 Column::Float64(indices.iter().map(|&i| data[i.idx()]).collect(), validity)
             }
             Column::Bool(data, _) => Column::Bool(data.take_idx(indices), validity),
-            Column::Utf8(data, _) => Column::Utf8(gather_arcs(data, indices), validity),
+            // Offset-range memcpys; ascending runs (join assembly)
+            // collapse to single byte-range copies — see Utf8Col::gather.
+            Column::Utf8(data, _) => Column::Utf8(data.gather(indices), validity),
             Column::Datetime(data, _) => {
                 Column::Datetime(indices.iter().map(|&i| data[i.idx()]).collect(), validity)
             }
@@ -470,7 +477,8 @@ impl Column {
             Column::Int64(data, _) => Column::Int64(data[start..end].to_vec(), validity),
             Column::Float64(data, _) => Column::Float64(data[start..end].to_vec(), validity),
             Column::Bool(data, _) => Column::Bool(data.slice(start, n), validity),
-            Column::Utf8(data, _) => Column::Utf8(data[start..end].to_vec(), validity),
+            // Zero-copy: the arena is shared, only the offset window moves.
+            Column::Utf8(data, _) => Column::Utf8(data.slice(start, n), validity),
             Column::Datetime(data, _) => Column::Datetime(data[start..end].to_vec(), validity),
             Column::Categorical(c, _) => Column::Categorical(
                 Categorical {
@@ -532,15 +540,19 @@ impl Column {
                 Column::Bool(bits, validity)
             }
             (Column::Utf8(a, _), Column::Utf8(b, _)) => {
-                let empty: Arc<str> = Arc::from("");
-                let mut out = Vec::with_capacity(total);
-                out.extend(a.iter().enumerate().map(|(i, v)| {
-                    if self.is_null_at(i) { Arc::clone(&empty) } else { Arc::clone(v) }
-                }));
-                out.extend(b.iter().enumerate().map(|(i, v)| {
-                    if other.is_null_at(i) { Arc::clone(&empty) } else { Arc::clone(v) }
-                }));
-                Column::Utf8(out, validity)
+                let mut out =
+                    Utf8Builder::with_capacity(total, a.value_bytes() + b.value_bytes());
+                for (side, col) in [(self, a), (other, b)] {
+                    if side.count_null() == 0 {
+                        // Dense side: one bulk copy of its used byte range.
+                        out.append_col(col);
+                    } else {
+                        for (i, v) in col.iter().enumerate() {
+                            out.push(if side.is_null_at(i) { "" } else { v });
+                        }
+                    }
+                }
+                Column::Utf8(out.finish(), validity)
             }
             // Categoricals re-encode their dictionary; keep the builder path.
             _ => {
@@ -621,7 +633,7 @@ impl Column {
                 }))
             }
             (Column::Utf8(a, va), Column::Utf8(b, vb)) => {
-                cmp_loop(op, len, va, vb, |i| a[i].as_ref().cmp(b[i].as_ref()))
+                cmp_loop(op, len, va, vb, |i| a.bytes_at(i).cmp(b.bytes_at(i)))
             }
             (Column::Bool(a, va), Column::Bool(b, vb)) => {
                 cmp_loop(op, len, va, vb, |i| a.get(i).cmp(&b.get(i)))
@@ -673,7 +685,7 @@ impl Column {
                 if validity.as_ref().is_some_and(|m| !m.get(i)) {
                     op == CmpOp::Ne
                 } else {
-                    op.eval(v.as_ref().cmp(s.as_str()))
+                    op.eval(v.cmp(s.as_str()))
                 }
             })));
         }
@@ -925,20 +937,11 @@ impl Column {
                 None,
             )),
             (Column::Utf8(data, _), Scalar::Str(fv)) => {
-                let filler: Arc<str> = Arc::from(fv.as_str());
-                Ok(Column::Utf8(
-                    data.iter()
-                        .enumerate()
-                        .map(|(i, v)| {
-                            if self.is_null_at(i) {
-                                Arc::clone(&filler)
-                            } else {
-                                Arc::clone(v)
-                            }
-                        })
-                        .collect(),
-                    None,
-                ))
+                let mut out = Utf8Builder::with_capacity(data.len(), data.value_bytes());
+                for (i, v) in data.iter().enumerate() {
+                    out.push(if self.is_null_at(i) { fv.as_str() } else { v });
+                }
+                Ok(Column::Utf8(out.finish(), None))
             }
             // Null fill, or categorical (re-encodes): builder fallback.
             _ => {
@@ -1086,21 +1089,22 @@ impl Column {
         }
     }
 
-    /// Dictionary-encode a string column.
+    /// Dictionary-encode a string column: distinct values land in a
+    /// (small) arena-backed dictionary, rows become `u32` codes.
     pub fn to_categorical(&self) -> Result<Column> {
         match self {
             Column::Utf8(values, validity) => {
-                let mut dict: Vec<String> = Vec::new();
-                let mut index: std::collections::HashMap<Arc<str>, u32> =
+                let mut dict = Utf8Builder::new();
+                let mut index: std::collections::HashMap<String, u32> =
                     std::collections::HashMap::new();
                 let mut codes = Vec::with_capacity(values.len());
-                for v in values {
+                for v in values.iter() {
                     let code = match index.get(v) {
                         Some(&c) => c,
                         None => {
-                            let c = dict.len() as u32;
-                            dict.push(v.to_string());
-                            index.insert(Arc::clone(v), c);
+                            let c = index.len() as u32;
+                            dict.push(v);
+                            index.insert(v.to_string(), c);
                             c
                         }
                     };
@@ -1109,7 +1113,7 @@ impl Column {
                 Ok(Column::Categorical(
                     Categorical {
                         codes,
-                        dict: Arc::new(dict),
+                        dict: Arc::new(dict.finish()),
                     },
                     validity.clone(),
                 ))
@@ -1126,16 +1130,16 @@ impl Column {
     pub fn to_utf8(&self) -> Result<Column> {
         match self {
             Column::Categorical(c, validity) => {
-                // One shared Arc per dictionary entry; rows clone pointers.
-                let shared: Vec<Arc<str>> =
-                    c.dict.iter().map(|s| Arc::from(s.as_str())).collect();
-                Ok(Column::Utf8(
-                    c.codes
-                        .iter()
-                        .map(|&code| Arc::clone(&shared[code as usize]))
-                        .collect(),
-                    validity.clone(),
-                ))
+                // Each row copies its dictionary entry's bytes into the
+                // new arena (the dict is the only byte source).
+                let mut out = Utf8Builder::with_capacity(
+                    c.codes.len(),
+                    c.codes.len() * c.dict.avg_row_bytes(),
+                );
+                for &code in &c.codes {
+                    out.push(c.dict.get(code as usize));
+                }
+                Ok(Column::Utf8(out.finish(), validity.clone()))
             }
             Column::Utf8(..) => Ok(self.clone()),
             _ => Err(ColumnarError::TypeMismatch {
@@ -1188,14 +1192,20 @@ impl Column {
             _ => unreachable!(),
         };
         Ok(match op {
-            StrOp::Lower => Column::Utf8(
-                values.iter().map(|s| Arc::from(s.to_lowercase())).collect(),
-                validity,
-            ),
-            StrOp::Upper => Column::Utf8(
-                values.iter().map(|s| Arc::from(s.to_uppercase())).collect(),
-                validity,
-            ),
+            StrOp::Lower => {
+                let mut out = Utf8Builder::with_capacity(values.len(), values.value_bytes());
+                for s in values.iter() {
+                    out.push(&s.to_lowercase());
+                }
+                Column::Utf8(out.finish(), validity)
+            }
+            StrOp::Upper => {
+                let mut out = Utf8Builder::with_capacity(values.len(), values.value_bytes());
+                for s in values.iter() {
+                    out.push(&s.to_uppercase());
+                }
+                Column::Utf8(out.finish(), validity)
+            }
             StrOp::Len => Column::Int64(
                 values.iter().map(|s| s.chars().count() as i64).collect(),
                 validity,
@@ -1361,7 +1371,7 @@ impl Column {
             )
             .unwrap_or(Scalar::Null),
             Column::Utf8(v, m) => {
-                let mut best: Option<&Arc<str>> = None;
+                let mut best: Option<&str> = None;
                 for (i, s) in v.iter().enumerate() {
                     if !valid(m, i) {
                         continue;
@@ -1370,9 +1380,9 @@ impl Column {
                         None => true,
                         Some(b) => {
                             if want_min {
-                                s.as_ref() < b.as_ref()
+                                s < b
                             } else {
-                                s.as_ref() > b.as_ref()
+                                s > b
                             }
                         }
                     };
@@ -1467,15 +1477,16 @@ impl Column {
                 }
             }
             Column::Utf8(v, m) => {
-                for (j, s) in v[offset..offset + len].iter().enumerate() {
+                // Hash straight off the arena bytes — no str conversion.
+                for j in 0..len {
                     let i = offset + j;
-                    mix(j, if valid(m, i) { fnv1a(s.as_bytes()) } else { u64::MAX });
+                    mix(j, if valid(m, i) { fnv1a(v.bytes_at(i)) } else { u64::MAX });
                 }
             }
             Column::Categorical(c, m) => {
                 // Hash each dictionary entry once, then look codes up.
                 let dict_hashes: Vec<u64> =
-                    c.dict.iter().map(|s| fnv1a(s.as_bytes())).collect();
+                    (0..c.dict.len()).map(|d| fnv1a(c.dict.bytes_at(d))).collect();
                 for (j, &code) in c.codes[offset..offset + len].iter().enumerate() {
                     let i = offset + j;
                     mix(
@@ -1619,40 +1630,6 @@ fn cast_scalar(s: &Scalar, target: DType) -> Option<Scalar> {
     })
 }
 
-/// Gather `Arc<str>` rows at `indices`, with a bulk-extend fast path for
-/// contiguous ascending runs.
-///
-/// Join output assembly is dominated by this gather (ROADMAP: Arc
-/// refcount traffic on string gathers), and join index vectors are full
-/// of ascending runs — FK-shaped probes emit `i, i+1, i+2, …` for every
-/// stretch of matched left rows. Detecting a run and issuing one
-/// `extend_from_slice` replaces the per-row indexed push (bounds
-/// arithmetic, separate reserve/len bookkeeping) with the slice-clone
-/// loop, which the compiler unrolls; the `Arc` refcount increment itself
-/// is inherent to shared-string storage and remains one per output row.
-fn gather_arcs<I: IndexLike>(data: &[Arc<str>], indices: &[I]) -> Vec<Arc<str>> {
-    let n = indices.len();
-    let mut out: Vec<Arc<str>> = Vec::with_capacity(n);
-    let mut k = 0;
-    while k < n {
-        let start = indices[k].idx();
-        let mut run = 1;
-        while k + run < n && indices[k + run].idx() == start + run {
-            run += 1;
-        }
-        if run >= 4 {
-            // Bulk-extend the whole contiguous source range.
-            out.extend_from_slice(&data[start..start + run]);
-        } else {
-            for r in 0..run {
-                out.push(Arc::clone(&data[start + r]));
-            }
-        }
-        k += run;
-    }
-    out
-}
-
 fn some_if_has_nulls(validity: Bitmap) -> Option<Bitmap> {
     if validity.all_set() {
         None
@@ -1662,13 +1639,29 @@ fn some_if_has_nulls(validity: Bitmap) -> Option<Bitmap> {
 }
 
 /// Incremental column builder used by casts, CSV parsing and row gathers.
+///
+/// String pushes append bytes to a private [`Utf8Builder`] arena — no
+/// per-value allocation — and [`append`](ColumnBuilder::append)
+/// concatenates builders wholesale, which is how the parallel CSV
+/// reader stitches per-chunk builders back together in file order.
+///
+/// ```
+/// use lafp_columnar::column::ColumnBuilder;
+/// use lafp_columnar::{DType, Scalar};
+/// let mut b = ColumnBuilder::new(DType::Utf8);
+/// b.push_str("hot");
+/// b.push_null();
+/// let col = b.finish();
+/// assert_eq!(col.get(0), Scalar::Str("hot".into()));
+/// assert!(col.is_null_at(1));
+/// ```
 #[derive(Debug)]
 pub struct ColumnBuilder {
     dtype: DType,
     ints: Vec<i64>,
     floats: Vec<f64>,
     bools: Bitmap,
-    strings: Vec<Arc<str>>,
+    strings: Utf8Builder,
     validity: Bitmap,
     has_null: bool,
 }
@@ -1681,7 +1674,7 @@ impl ColumnBuilder {
             ints: Vec::new(),
             floats: Vec::new(),
             bools: Bitmap::empty(),
-            strings: Vec::new(),
+            strings: Utf8Builder::new(),
             validity: Bitmap::empty(),
             has_null: false,
         }
@@ -1716,7 +1709,7 @@ impl ColumnBuilder {
             DType::Int64 | DType::Datetime => self.ints.push(0),
             DType::Float64 => self.floats.push(f64::NAN),
             DType::Bool => self.bools.push(false),
-            DType::Utf8 | DType::Categorical => self.strings.push(Arc::from("")),
+            DType::Utf8 | DType::Categorical => self.strings.push(""),
         }
     }
 
@@ -1760,21 +1753,15 @@ impl ColumnBuilder {
         self.bools.push(v);
     }
 
-    /// Push a string slice into a Utf8/Categorical builder (one `Arc<str>`
-    /// allocation; the seed path built an intermediate `String` first).
+    /// Push a string slice into a Utf8/Categorical builder: one byte
+    /// append into the arena, no per-value allocation at all (the
+    /// `Arc<str>` representation allocated a refcounted string here; the
+    /// seed path built an intermediate `String` on top of that).
     #[inline]
     pub fn push_str(&mut self, v: &str) {
         debug_assert!(matches!(self.dtype, DType::Utf8 | DType::Categorical));
         self.validity.push(true);
-        self.strings.push(Arc::from(v));
-    }
-
-    /// Push a shared string into a Utf8/Categorical builder (pointer copy).
-    #[inline]
-    pub fn push_arc_str(&mut self, v: &Arc<str>) {
-        debug_assert!(matches!(self.dtype, DType::Utf8 | DType::Categorical));
-        self.validity.push(true);
-        self.strings.push(Arc::clone(v));
+        self.strings.push(v);
     }
 
     /// Push a scalar, coercing where safe; errors on incompatible values.
@@ -1796,7 +1783,7 @@ impl ColumnBuilder {
             (DType::Float64, Scalar::Float(v)) => self.floats.push(v),
             (DType::Bool, Scalar::Bool(v)) => self.bools.push(v),
             (DType::Utf8, Scalar::Str(v)) | (DType::Categorical, Scalar::Str(v)) => {
-                self.strings.push(Arc::from(v))
+                self.strings.push(&v)
             }
             (dt, other) => {
                 return Err(ColumnarError::ParseError {
@@ -1810,15 +1797,16 @@ impl ColumnBuilder {
     }
 
     /// Append every row of `other` (same dtype) after this builder's
-    /// rows. Typed buffers are moved/extended wholesale — this is how
-    /// the parallel CSV reader concatenates per-chunk builders in file
-    /// order without a per-row pass.
+    /// rows. Typed buffers are moved/extended wholesale — string arenas
+    /// concatenate in one byte copy — which is how the parallel CSV
+    /// reader concatenates per-chunk builders in file order without a
+    /// per-row pass.
     pub fn append(&mut self, mut other: ColumnBuilder) {
         debug_assert_eq!(self.dtype, other.dtype, "append requires one dtype");
         self.ints.append(&mut other.ints);
         self.floats.append(&mut other.floats);
         self.bools.extend_from(&other.bools);
-        self.strings.append(&mut other.strings);
+        self.strings.append(other.strings);
         self.validity.extend_from(&other.validity);
         self.has_null |= other.has_null;
     }
@@ -1835,9 +1823,9 @@ impl ColumnBuilder {
             DType::Datetime => Column::Datetime(self.ints, validity),
             DType::Float64 => Column::Float64(self.floats, validity),
             DType::Bool => Column::Bool(self.bools, validity),
-            DType::Utf8 => Column::Utf8(self.strings, validity),
+            DType::Utf8 => Column::Utf8(self.strings.finish(), validity),
             DType::Categorical => {
-                let utf8 = Column::Utf8(self.strings, validity);
+                let utf8 = Column::Utf8(self.strings.finish(), validity);
                 utf8.to_categorical().expect("utf8 to categorical")
             }
         }
@@ -1853,10 +1841,7 @@ impl HeapSize for Column {
                 Column::Float64(v, _) => v.capacity() * 8,
                 Column::Bool(v, _) => v.heap_size(),
                 Column::Utf8(v, _) => v.heap_size(),
-                Column::Categorical(c, _) => {
-                    c.codes.capacity() * 4
-                        + c.dict.iter().map(|s| s.capacity() + 24).sum::<usize>()
-                }
+                Column::Categorical(c, _) => c.codes.capacity() * 4 + c.dict.heap_size(),
             }
     }
 }

@@ -248,7 +248,7 @@ const PAR_MIN_BYTES: usize = 256 * 1024;
 /// into its own typed [`ColumnBuilder`]s. The per-chunk builders are
 /// concatenated in file order ([`ColumnBuilder::append`]), so the result
 /// is bit-identical to the streaming reader at any thread count: same
-/// dtype inference (shared [`DtypeGuess`] over the same leading sample),
+/// dtype inference (shared `DtypeGuess` over the same leading sample),
 /// same values, same validity, and the same first error.
 pub fn read_csv_par(
     path: &Path,
@@ -433,9 +433,9 @@ pub fn read_csv_par(
 /// error, not a silent re-infer).
 ///
 /// The inner loop is allocation-free per record: lines are read into a
-/// reused buffer, fields are borrowed `&str` spans ([`split_spans`]), and
+/// reused buffer, fields are borrowed `&str` spans (`split_spans`), and
 /// values parse straight into typed [`ColumnBuilder`]s — the seed path
-/// allocated a `Vec<String>` per record and boxed a [`Scalar`] per cell.
+/// allocated a `Vec<String>` per record and boxed a [`Scalar`](crate::Scalar) per cell.
 /// Only the bounded inference sample is buffered as owned records.
 pub struct CsvChunkReader {
     reader: BufReader<File>,

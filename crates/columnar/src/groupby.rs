@@ -15,9 +15,9 @@ use crate::dtype::DType;
 use crate::error::{ColumnarError, Result};
 use crate::frame::DataFrame;
 use crate::series::Series;
+use crate::strings::Utf8Col;
 use crate::value::Scalar;
 use std::collections::HashSet;
-use std::sync::Arc;
 
 /// Aggregate functions supported by `groupby(...)[col].agg(...)`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -85,7 +85,7 @@ enum ColView<'a> {
     F64(&'a [f64], Option<&'a Bitmap>),
     Bool(&'a Bitmap, Option<&'a Bitmap>),
     Dt(&'a [i64], Option<&'a Bitmap>),
-    Str(&'a [Arc<str>], Option<&'a Bitmap>),
+    Str(&'a Utf8Col, Option<&'a Bitmap>),
     Cat(&'a crate::column::Categorical, Option<&'a Bitmap>),
 }
 
@@ -121,7 +121,10 @@ impl<'a> ColView<'a> {
 // ---------------------------------------------------------------------------
 
 /// A typed min/max cell: the old `Option<Scalar>` forced a clone (and for
-/// strings a heap allocation) on every new extreme.
+/// strings a heap allocation) on every new extreme. String extremes own
+/// their bytes (`Box<str>`) — the arena a candidate came from may be a
+/// transient morsel view, and an extreme only replaces when it improves,
+/// so the copy is rare.
 #[derive(Debug, Clone, PartialEq)]
 enum Extreme {
     None,
@@ -129,7 +132,7 @@ enum Extreme {
     F(f64),
     B(bool),
     D(i64),
-    S(Arc<str>),
+    S(Box<str>),
 }
 
 impl Extreme {
@@ -184,7 +187,7 @@ enum Distinct {
         t: bool,
         f: bool,
     },
-    S(HashSet<Arc<str>>),
+    S(HashSet<Box<str>>),
     Canon(HashSet<String>),
 }
 
@@ -283,12 +286,13 @@ impl Distinct {
         }
     }
 
-    fn insert_str(&mut self, v: &Arc<str>) {
+    fn insert_str(&mut self, v: &str) {
         match self {
-            Distinct::Empty => *self = Distinct::S(HashSet::from([Arc::clone(v)])),
+            Distinct::Empty => *self = Distinct::S(HashSet::from([Box::from(v)])),
             Distinct::S(s) => {
+                // Probe by &str; the byte copy only happens on first sight.
                 if !s.contains(v) {
-                    s.insert(Arc::clone(v));
+                    s.insert(Box::from(v));
                 }
             }
             _ => {
@@ -321,7 +325,7 @@ impl Distinct {
             (Distinct::S(a), Distinct::S(b)) => {
                 for v in b {
                     if !a.contains(v) {
-                        a.insert(Arc::clone(v));
+                        a.insert(v.clone());
                     }
                 }
             }
@@ -341,7 +345,7 @@ impl Distinct {
             Distinct::Empty | Distinct::B { .. } => 0,
             Distinct::I(s) | Distinct::D(s) => s.capacity() * 16,
             Distinct::F(s) => s.capacity() * 16,
-            Distinct::S(s) => s.capacity() * 24 + s.iter().map(|v| v.len() + 16).sum::<usize>(),
+            Distinct::S(s) => s.capacity() * 16 + s.iter().map(|v| v.len()).sum::<usize>(),
             Distinct::Canon(s) => {
                 s.capacity() * 32 + s.iter().map(String::capacity).sum::<usize>()
             }
@@ -407,21 +411,22 @@ impl AggState {
                     ColView::Bool(d, _) => Extreme::B(d.get(i)),
                     ColView::Dt(d, _) => Extreme::D(d[i]),
                     ColView::Str(d, _) => {
-                        // Compare before cloning: the Arc clone only happens
+                        // Compare before copying: the byte copy only happens
                         // when the extreme actually improves.
-                        if self.str_extreme_better(agg, &d[i]) {
+                        let s = d.get(i);
+                        if self.str_extreme_better(agg, s) {
                             let slot =
                                 if agg == AggKind::Min { &mut self.min } else { &mut self.max };
-                            *slot = Extreme::S(Arc::clone(&d[i]));
+                            *slot = Extreme::S(Box::from(s));
                         }
                         return;
                     }
                     ColView::Cat(cat, _) => {
-                        let s = &cat.dict[cat.codes[i] as usize];
+                        let s = cat.dict.get(cat.codes[i] as usize);
                         if self.str_extreme_better(agg, s) {
                             let slot =
                                 if agg == AggKind::Min { &mut self.min } else { &mut self.max };
-                            *slot = Extreme::S(Arc::from(s.as_str()));
+                            *slot = Extreme::S(Box::from(s));
                         }
                         return;
                     }
@@ -439,9 +444,9 @@ impl AggState {
                 ColView::F64(d, _) => self.distinct.insert_f64(d[i]),
                 ColView::Bool(d, _) => self.distinct.insert_bool(d.get(i)),
                 ColView::Dt(d, _) => self.distinct.insert_dt(d[i]),
-                ColView::Str(d, _) => self.distinct.insert_str(&d[i]),
+                ColView::Str(d, _) => self.distinct.insert_str(d.get(i)),
                 ColView::Cat(c, _) => {
-                    self.distinct.insert_canon(c.dict[c.codes[i] as usize].clone())
+                    self.distinct.insert_canon(c.dict.get(c.codes[i] as usize).to_string())
                 }
             },
             AggKind::Count => {}
@@ -462,7 +467,7 @@ impl AggState {
             }
             other => {
                 // Mixed-dtype stream (degenerate): fall back to scalar order.
-                let cand = Extreme::S(Arc::from(s));
+                let cand = Extreme::S(Box::from(s));
                 if agg == AggKind::Min {
                     cand.cmp(other).is_lt()
                 } else {
@@ -550,7 +555,7 @@ enum KeyCol {
         nulls: Vec<bool>,
     },
     Str {
-        data: Vec<Arc<str>>,
+        data: Vec<Box<str>>,
         nulls: Vec<bool>,
     },
     /// Fallback after a mid-stream dtype change: canonical display strings.
@@ -714,8 +719,8 @@ impl KeyCol {
                     "NaN"
                 } else {
                     match col {
-                        Column::Utf8(d, _) => &d[i],
-                        Column::Categorical(c, _) => &c.dict[c.codes[i] as usize],
+                        Column::Utf8(d, _) => d.get(i),
+                        Column::Categorical(c, _) => c.dict.get(c.codes[i] as usize),
                         _ => return false,
                     }
                 };
@@ -757,18 +762,16 @@ impl KeyCol {
                 nulls.push(row_null);
             }
             KeyCol::Str { data, nulls } => {
-                let v: Arc<str> = if row_null {
-                    Arc::from("")
+                let v: &str = if row_null {
+                    ""
                 } else {
                     match col {
-                        Column::Utf8(d, _) => Arc::clone(&d[i]),
-                        Column::Categorical(c, _) => {
-                            Arc::from(c.dict[c.codes[i] as usize].as_str())
-                        }
-                        _ => Arc::from(""),
+                        Column::Utf8(d, _) => d.get(i),
+                        Column::Categorical(c, _) => c.dict.get(c.codes[i] as usize),
+                        _ => "",
                     }
                 };
-                data.push(v);
+                data.push(Box::from(v));
                 nulls.push(row_null);
             }
             KeyCol::Canon { data, nulls } => {
@@ -860,7 +863,7 @@ impl KeyCol {
                 nulls.push(n2[h]);
             }
             (KeyCol::Str { data, nulls }, KeyCol::Str { data: d2, nulls: n2 }) => {
-                data.push(Arc::clone(&d2[h]));
+                data.push(d2[h].clone());
                 nulls.push(n2[h]);
             }
             _ => {
@@ -970,7 +973,7 @@ impl KeyCol {
             KeyCol::Bool { data, nulls } => data.capacity() + nulls.capacity(),
             KeyCol::Str { data, nulls } => {
                 data.capacity() * 16
-                    + data.iter().map(|s| s.len() + 16).sum::<usize>()
+                    + data.iter().map(|s| s.len()).sum::<usize>()
                     + nulls.capacity()
             }
             KeyCol::Canon { data, nulls } => {
@@ -1010,15 +1013,15 @@ fn mix_key_hashes(store: &KeyCol, col: &Column, offset: usize, hashes: &mut [u64
             let nan = fnv1a(b"NaN");
             match col {
                 Column::Utf8(d, _) => {
-                    for (j, s) in d[offset..offset + len].iter().enumerate() {
+                    for j in 0..len {
                         let i = offset + j;
-                        let v = if col.is_null_at(i) { nan } else { fnv1a(s.as_bytes()) };
+                        let v = if col.is_null_at(i) { nan } else { fnv1a(d.bytes_at(i)) };
                         mix(j, v);
                     }
                 }
                 Column::Categorical(c, _) => {
                     let dict_hashes: Vec<u64> =
-                        c.dict.iter().map(|s| fnv1a(s.as_bytes())).collect();
+                        (0..c.dict.len()).map(|d| fnv1a(c.dict.bytes_at(d))).collect();
                     for (j, &code) in c.codes[offset..offset + len].iter().enumerate() {
                         let i = offset + j;
                         let v = if col.is_null_at(i) {

@@ -22,8 +22,8 @@ use crate::error::{ColumnarError, Result};
 use crate::frame::DataFrame;
 use crate::pool::{kernel_morsels, WorkerPool, PAR_MIN_ROWS};
 use crate::series::Series;
+use crate::strings::{Utf8Builder, Utf8Col};
 use std::collections::HashMap;
-use std::sync::Arc;
 
 /// Join kinds supported by `merge(..., how=...)`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -205,7 +205,7 @@ enum KeyView<'a> {
     Dt(&'a [i64], Option<&'a Bitmap>),
     Float(&'a [f64], Option<&'a Bitmap>),
     Bool(&'a Bitmap, Option<&'a Bitmap>),
-    Utf8(&'a [Arc<str>], Option<&'a Bitmap>),
+    Utf8(&'a Utf8Col, Option<&'a Bitmap>),
     Cat(&'a Categorical, Option<&'a Bitmap>),
 }
 
@@ -263,8 +263,8 @@ impl<'a> KeyView<'a> {
             return "NaN";
         }
         match self {
-            KeyView::Utf8(d, _) => &d[i],
-            KeyView::Cat(c, _) => &c.dict[c.codes[i] as usize],
+            KeyView::Utf8(d, _) => d.get(i),
+            KeyView::Cat(c, _) => c.dict.get(c.codes[i] as usize),
             _ => unreachable!("str_at on non-string key view"),
         }
     }
@@ -300,16 +300,18 @@ impl<'a> KeyView<'a> {
                 }
             }
             KeyView::Utf8(d, _) => {
+                // Hash straight off the arena bytes.
                 let nan = fnv1a(b"NaN");
-                for (j, s) in d[offset..offset + len].iter().enumerate() {
+                for j in 0..len {
                     let i = offset + j;
-                    mix(j, if self.is_null(i) { nan } else { fnv1a(s.as_bytes()) });
+                    mix(j, if self.is_null(i) { nan } else { fnv1a(d.bytes_at(i)) });
                 }
             }
             KeyView::Cat(c, _) => {
                 // Hash each dictionary entry once, then look codes up.
                 let nan = fnv1a(b"NaN");
-                let dict_hashes: Vec<u64> = c.dict.iter().map(|s| fnv1a(s.as_bytes())).collect();
+                let dict_hashes: Vec<u64> =
+                    (0..c.dict.len()).map(|d| fnv1a(c.dict.bytes_at(d))).collect();
                 for (j, &code) in c.codes[offset..offset + len].iter().enumerate() {
                     let i = offset + j;
                     mix(j, if self.is_null(i) { nan } else { dict_hashes[code as usize] });
@@ -548,8 +550,8 @@ fn join_indices_typed<I: IndexLike + Send + Sync>(
         ([KeyView::Utf8(ld, None)], [KeyView::Utf8(rd, None)]) => build.probe(
             pool,
             left_rows,
-            |i| mix1(fnv1a(ld[i].as_bytes())),
-            |i, r| *ld[i] == *rd[r],
+            |i| mix1(fnv1a(ld.bytes_at(i))),
+            |i, r| ld.bytes_at(i) == rd.bytes_at(r),
         ),
         _ => {
             let left_hashes = hash_rows(left_views, left_rows, pool);
@@ -780,18 +782,19 @@ fn gather_optional<I: IndexLike>(col: &Column, indices: &[I]) -> Column {
             Column::Bool(out.finish(), Some(validity.finish()))
         }
         Column::Utf8(data, _) => {
-            let empty: Arc<str> = Arc::from("");
-            let mut out = Vec::with_capacity(n);
+            // Byte memcpy per hit row, empty range per miss — no shared
+            // pointers, the output arena is compact.
+            let mut out = Utf8Builder::with_capacity(n, n * data.avg_row_bytes());
             for &ix in indices {
                 if !ix.is_sentinel() && valid_src(ix.idx()) {
-                    out.push(Arc::clone(&data[ix.idx()]));
+                    out.push(data.get(ix.idx()));
                     validity.append_bit(true);
                 } else {
-                    out.push(Arc::clone(&empty));
+                    out.push("");
                     validity.append_bit(false);
                 }
             }
-            Column::Utf8(out, Some(validity.finish()))
+            Column::Utf8(out.finish(), Some(validity.finish()))
         }
         // Categorical re-encodes its dictionary in gather order, exactly
         // like the builder did (cold path).

@@ -12,6 +12,9 @@
 //! * [`Column`] — a typed column vector plus vectorized kernels
 //!   (comparisons, arithmetic, casts, date accessors, string ops, take /
 //!   filter / concat, reductions).
+//! * [`strings`] — arena-backed UTF-8 storage ([`Utf8Col`]): one
+//!   contiguous byte buffer plus row offsets, so string gathers are
+//!   memcpys and slices are zero-copy.
 //! * [`Series`] — a named column.
 //! * [`DataFrame`] — an ordered collection of equal-length series with
 //!   relational kernels: filter, projection, group-by aggregation, hash
@@ -38,6 +41,7 @@ pub mod join;
 pub mod pool;
 pub mod series;
 pub mod sort;
+pub mod strings;
 pub mod value;
 
 pub use bitmap::Bitmap;
@@ -50,6 +54,7 @@ pub use join::JoinKind;
 pub use pool::WorkerPool;
 pub use series::Series;
 pub use sort::SortOptions;
+pub use strings::{StrArena, Utf8Builder, Utf8Col};
 pub use value::Scalar;
 
 /// Heap footprint reporting used by the simulated memory budget.
@@ -61,15 +66,6 @@ pub trait HeapSize {
 impl HeapSize for String {
     fn heap_size(&self) -> usize {
         self.capacity()
-    }
-}
-
-impl HeapSize for std::sync::Arc<str> {
-    fn heap_size(&self) -> usize {
-        // String bytes plus the strong/weak refcount header. Shared clones
-        // are counted once per holder, mirroring the budget's conservative
-        // per-column accounting.
-        self.len() + 16
     }
 }
 

@@ -62,6 +62,14 @@ pub fn resolve_threads(requested: usize) -> usize {
 
 /// A scoped worker pool: a resolved thread count plus the morsel-claiming
 /// machinery. Cheap to construct (no threads live between calls).
+///
+/// ```
+/// use lafp_columnar::WorkerPool;
+/// let pool = WorkerPool::new(2);
+/// // Items are claimed dynamically; outputs come back in item order.
+/// let doubled = pool.map(vec![1, 2, 3], |_, v| v * 2);
+/// assert_eq!(doubled, vec![2, 4, 6]);
+/// ```
 #[derive(Debug)]
 pub struct WorkerPool {
     threads: usize,

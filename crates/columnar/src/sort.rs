@@ -3,7 +3,8 @@
 //! The argsort is typed end to end: each key column is matched to a
 //! borrowed view once, nulls are handled via the validity mask (floats
 //! additionally treat NaN as null), and the comparators run over raw
-//! `i64`/`f64`/`Arc<str>` slices. No [`Scalar`] is boxed per row — the
+//! `i64`/`f64` slices and arena byte ranges. No [`Scalar`](crate::Scalar) is boxed per
+//! row — the
 //! seed implementation materialized a `Vec<Scalar>` per key column and
 //! dispatched `cmp_values` per comparison, which dominated the sort's
 //! cost. A single-key sort takes a fast path that sorts indices directly
@@ -11,7 +12,7 @@
 //! `select_nth_unstable`-based top-n instead of sorting the whole frame.
 //!
 //! Multi-key sorts additionally pack the leading keys into a single
-//! `u64` *normalized key* per row ([`NormKeys`]): each key gets a lane
+//! `u64` *normalized key* per row (`NormKeys`): each key gets a lane
 //! (order-preserving encoding + a null slot that sorts last in either
 //! direction), stats-compressed so as many keys as possible fit
 //! losslessly; one final lossy prefix lane may follow. Most comparisons
@@ -32,8 +33,8 @@ use crate::error::Result;
 use crate::frame::DataFrame;
 use crate::pool::{kernel_morsels, WorkerPool, PAR_MIN_ROWS};
 use crate::series::Series;
+use crate::strings::Utf8Col;
 use std::cmp::Ordering;
-use std::sync::Arc;
 
 /// Options for a `sort_values` call.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -82,7 +83,7 @@ enum KeyData<'a> {
     I64(&'a [i64]),
     F64(&'a [f64]),
     Bool(&'a Bitmap),
-    Str(&'a [Arc<str>]),
+    Str(&'a Utf8Col),
     Cat(&'a Categorical),
 }
 
@@ -117,10 +118,11 @@ impl<'a> SortKey<'a> {
             KeyData::I64(d) => d[a].cmp(&d[b]),
             KeyData::F64(d) => d[a].partial_cmp(&d[b]).unwrap_or(Ordering::Equal),
             KeyData::Bool(d) => d.get(a).cmp(&d.get(b)),
-            KeyData::Str(d) => d[a].as_ref().cmp(d[b].as_ref()),
-            KeyData::Cat(c) => {
-                c.dict[c.codes[a] as usize].cmp(&c.dict[c.codes[b] as usize])
-            }
+            KeyData::Str(d) => d.bytes_at(a).cmp(d.bytes_at(b)),
+            KeyData::Cat(c) => c
+                .dict
+                .bytes_at(c.codes[a] as usize)
+                .cmp(c.dict.bytes_at(c.codes[b] as usize)),
         };
         if self.ascending {
             ord
@@ -222,8 +224,8 @@ fn monotone_at(key: &SortKey<'_>, i: usize) -> u64 {
 #[inline]
 fn str_at<'a>(key: &'a SortKey<'_>, i: usize) -> &'a str {
     match &key.view {
-        KeyData::Str(d) => &d[i],
-        KeyData::Cat(c) => &c.dict[c.codes[i] as usize],
+        KeyData::Str(d) => d.get(i),
+        KeyData::Cat(c) => c.dict.get(c.codes[i] as usize),
         _ => unreachable!("str_at on non-string key"),
     }
 }
@@ -290,19 +292,18 @@ fn numeric_stats(key: &SortKey<'_>, n: usize, pool: &WorkerPool) -> Option<(u64,
 /// morsel-parallel (null slots hold `""` and contribute nothing).
 fn string_stats(key: &SortKey<'_>, n: usize, pool: &WorkerPool) -> (usize, bool) {
     match &key.view {
-        KeyData::Cat(c) => c
-            .dict
-            .iter()
+        KeyData::Cat(c) => (0..c.dict.len())
+            .map(|d| c.dict.bytes_at(d))
             .fold((0usize, false), |(len, nul), s| {
-                (len.max(s.len()), nul || s.as_bytes().contains(&0))
+                (len.max(s.len()), nul || s.contains(&0))
             }),
         KeyData::Str(d) => {
             let morsels = kernel_morsels(n, pool.threads());
             let partials: Vec<(usize, bool)> = pool.map(morsels, |_, (start, len)| {
-                d[start..start + len]
-                    .iter()
+                (start..start + len)
+                    .map(|i| d.bytes_at(i))
                     .fold((0usize, false), |(l, nul), s| {
-                        (l.max(s.len()), nul || s.as_bytes().contains(&0))
+                        (l.max(s.len()), nul || s.contains(&0))
                     })
             });
             partials
@@ -586,13 +587,13 @@ fn argsort_single(key: &SortKey<'_>, n: usize) -> Vec<usize> {
         }
         KeyData::Str(d) => {
             if key.ascending {
-                valid.sort_by(|&a, &b| d[a].as_ref().cmp(d[b].as_ref()));
+                valid.sort_by(|&a, &b| d.bytes_at(a).cmp(d.bytes_at(b)));
             } else {
-                valid.sort_by(|&a, &b| d[b].as_ref().cmp(d[a].as_ref()));
+                valid.sort_by(|&a, &b| d.bytes_at(b).cmp(d.bytes_at(a)));
             }
         }
         KeyData::Cat(c) => {
-            let at = |i: usize| -> &str { &c.dict[c.codes[i] as usize] };
+            let at = |i: usize| -> &[u8] { c.dict.bytes_at(c.codes[i] as usize) };
             if key.ascending {
                 valid.sort_by(|&a, &b| at(a).cmp(at(b)));
             } else {

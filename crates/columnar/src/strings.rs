@@ -1,0 +1,542 @@
+//! Arena-backed UTF-8 string storage: one contiguous byte buffer
+//! ([`StrArena`]) plus per-row offsets ([`Utf8Col`]).
+//!
+//! This is the Arrow-style string layout: all row values live
+//! concatenated in a single byte arena, and row `i` is the half-open
+//! byte range `offsets[i] .. offsets[i + 1]`. Compared to the previous
+//! `Vec<Arc<str>>` representation it changes the cost model of every
+//! string kernel:
+//!
+//! * **Gathers are memcpys.** `take`/`filter` copy each selected row's
+//!   byte range into a fresh compact arena — no atomic refcount
+//!   increment per output row, and contiguous ascending index runs
+//!   (the dominant shape of join-assembly index vectors) collapse into
+//!   a single `extend_from_slice` of the whole run's bytes.
+//! * **Slicing is zero-copy.** [`Utf8Col::slice`] shares the arena
+//!   (one `Arc` clone for the entire column) and copies only the small
+//!   offset window, so `head(n)` on a string column never touches the
+//!   string bytes.
+//! * **Comparisons, hashing and sorting read raw bytes.** A row access
+//!   is two offset loads and a slice — no pointer chase to a separately
+//!   allocated string, and values that are scanned in row order walk
+//!   the arena sequentially.
+//!
+//! Offsets are `u32` ([`Offsets::Small`]) until the arena crosses
+//! `u32::MAX` bytes, then upgrade to `u64` ([`Offsets::Large`]) — the
+//! 4 GiB-per-column fallback Arrow handles with its `LargeString`
+//! type.
+//!
+//! Invariant (relied on by the `unsafe` in [`Utf8Col::get`]): the
+//! arena is a concatenation of whole `&str` values and every stored
+//! offset is a boundary between two of them, so any
+//! `offsets[i] .. offsets[i + 1]` range is valid UTF-8. All
+//! construction paths ([`Utf8Builder::push`], gathers, slices) only
+//! ever append whole strings and record their end positions, which
+//! preserves the invariant by construction.
+
+use crate::bitmap::Bitmap;
+use crate::column::IndexLike;
+use crate::HeapSize;
+use std::sync::Arc;
+
+/// A contiguous UTF-8 byte buffer shared (via `Arc`) by the string
+/// columns sliced from it.
+#[derive(Debug, Default, PartialEq, Eq)]
+pub struct StrArena {
+    bytes: Vec<u8>,
+}
+
+impl StrArena {
+    /// Wrap an already-validated byte buffer (crate construction paths
+    /// only append whole `&str` values, keeping it valid UTF-8).
+    fn from_bytes(bytes: Vec<u8>) -> StrArena {
+        debug_assert!(std::str::from_utf8(&bytes).is_ok());
+        StrArena { bytes }
+    }
+
+    /// The raw arena bytes.
+    pub fn as_bytes(&self) -> &[u8] {
+        &self.bytes
+    }
+
+    /// Total arena size in bytes.
+    pub fn len(&self) -> usize {
+        self.bytes.len()
+    }
+
+    /// True when the arena holds no bytes.
+    pub fn is_empty(&self) -> bool {
+        self.bytes.is_empty()
+    }
+}
+
+/// Row offsets into a [`StrArena`]: `rows + 1` monotone byte positions,
+/// `u32` until the arena outgrows 4 GiB.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Offsets {
+    /// 32-bit offsets — arenas up to `u32::MAX` bytes (the common case;
+    /// half the offset memory traffic of `u64`).
+    Small(Vec<u32>),
+    /// 64-bit fallback for arenas past `u32::MAX` bytes.
+    Large(Vec<u64>),
+}
+
+impl Offsets {
+    /// Offsets for an empty column (position 0 only), with room for
+    /// `rows` more entries.
+    fn with_capacity(rows: usize) -> Offsets {
+        let mut v = Vec::with_capacity(rows + 1);
+        v.push(0u32);
+        Offsets::Small(v)
+    }
+
+    /// Number of rows described (`entries - 1`).
+    #[inline]
+    fn rows(&self) -> usize {
+        match self {
+            Offsets::Small(v) => v.len() - 1,
+            Offsets::Large(v) => v.len() - 1,
+        }
+    }
+
+    /// Byte position `i` (`0 ..= rows`).
+    #[inline]
+    fn get(&self, i: usize) -> usize {
+        match self {
+            Offsets::Small(v) => v[i] as usize,
+            Offsets::Large(v) => v[i] as usize,
+        }
+    }
+
+    /// Append the end position of a newly written row, upgrading to
+    /// `u64` offsets when the arena crosses the `u32` range.
+    #[inline]
+    fn push(&mut self, end: usize) {
+        match self {
+            Offsets::Small(v) => {
+                if end <= u32::MAX as usize {
+                    v.push(end as u32);
+                } else {
+                    let mut wide: Vec<u64> = v.iter().map(|&o| o as u64).collect();
+                    wide.push(end as u64);
+                    *self = Offsets::Large(wide);
+                }
+            }
+            Offsets::Large(v) => v.push(end as u64),
+        }
+    }
+
+    /// Reserve room for `additional` more rows.
+    fn reserve(&mut self, additional: usize) {
+        match self {
+            Offsets::Small(v) => v.reserve(additional),
+            Offsets::Large(v) => v.reserve(additional),
+        }
+    }
+
+    /// The offset window of rows `start .. start + rows` (entries
+    /// `start ..= start + rows`), preserving absolute positions.
+    fn slice(&self, start: usize, rows: usize) -> Offsets {
+        match self {
+            Offsets::Small(v) => Offsets::Small(v[start..=start + rows].to_vec()),
+            Offsets::Large(v) => Offsets::Large(v[start..=start + rows].to_vec()),
+        }
+    }
+
+    /// Heap bytes held by the offset vector.
+    fn heap_bytes(&self) -> usize {
+        match self {
+            Offsets::Small(v) => v.capacity() * 4,
+            Offsets::Large(v) => v.capacity() * 8,
+        }
+    }
+}
+
+/// The payload of a `Column::Utf8`: a shared byte arena plus per-row
+/// offsets.
+///
+/// Cloning is cheap (one `Arc` bump plus the offset vector);
+/// [`slice`](Utf8Col::slice) shares the arena outright. Equality is
+/// *logical* — two columns are equal when their row strings are equal,
+/// regardless of how the bytes are laid out or how much surrounding
+/// arena they share.
+///
+/// ```
+/// use lafp_columnar::strings::Utf8Col;
+/// let col = Utf8Col::from_values(["tokyo", "osaka", "kyoto"]);
+/// assert_eq!(col.len(), 3);
+/// assert_eq!(col.get(1), "osaka");
+/// let tail = col.slice(1, 2); // zero-copy: shares the arena
+/// assert_eq!(tail.get(0), "osaka");
+/// ```
+#[derive(Debug, Clone)]
+pub struct Utf8Col {
+    arena: Arc<StrArena>,
+    offsets: Offsets,
+}
+
+impl Default for Utf8Col {
+    fn default() -> Utf8Col {
+        Utf8Builder::new().finish()
+    }
+}
+
+impl Utf8Col {
+    /// An empty string column.
+    pub fn new() -> Utf8Col {
+        Utf8Col::default()
+    }
+
+    /// Build from any iterator of string-likes (one arena write per
+    /// value, no intermediate allocations).
+    pub fn from_values<S: AsRef<str>, I: IntoIterator<Item = S>>(values: I) -> Utf8Col {
+        let mut b = Utf8Builder::new();
+        for v in values {
+            b.push(v.as_ref());
+        }
+        b.finish()
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.offsets.rows()
+    }
+
+    /// True when the column has no rows.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Row `i`'s byte range within the arena.
+    #[inline]
+    fn range(&self, i: usize) -> (usize, usize) {
+        (self.offsets.get(i), self.offsets.get(i + 1))
+    }
+
+    /// Row `i` as raw bytes (hashing and equality read these directly).
+    #[inline]
+    pub fn bytes_at(&self, i: usize) -> &[u8] {
+        let (start, end) = self.range(i);
+        &self.arena.bytes[start..end]
+    }
+
+    /// Row `i` as a string slice.
+    #[inline]
+    pub fn get(&self, i: usize) -> &str {
+        let bytes = self.bytes_at(i);
+        debug_assert!(std::str::from_utf8(bytes).is_ok());
+        // SAFETY: the arena is a concatenation of whole `&str` values
+        // and offsets only ever mark boundaries between them (module
+        // invariant), so every row range is valid UTF-8.
+        unsafe { std::str::from_utf8_unchecked(bytes) }
+    }
+
+    /// Iterate rows as string slices.
+    pub fn iter(&self) -> impl Iterator<Item = &str> + '_ {
+        (0..self.len()).map(move |i| self.get(i))
+    }
+
+    /// Gather rows at `indices` into a fresh compact arena. Contiguous
+    /// ascending runs — FK-shaped join output emits `i, i+1, i+2, …`
+    /// for every stretch of matched probe rows — collapse into a single
+    /// byte-range `extend_from_slice`; every other row is one memcpy of
+    /// its bytes. No per-row refcount traffic (the cost the ROADMAP
+    /// flagged on the `Arc<str>` representation).
+    pub(crate) fn gather<I: IndexLike>(&self, indices: &[I]) -> Utf8Col {
+        let n = indices.len();
+        let mut out = Utf8Builder::with_capacity(n, n * self.avg_row_bytes());
+        let mut k = 0;
+        while k < n {
+            let start = indices[k].idx();
+            let mut run = 1;
+            while k + run < n && indices[k + run].idx() == start + run {
+                run += 1;
+            }
+            let (lo, _) = self.range(start);
+            let (_, hi) = self.range(start + run - 1);
+            out.bytes.extend_from_slice(&self.arena.bytes[lo..hi]);
+            // Offsets still advance per row (rebased into the new arena).
+            let base = out.bytes.len() - (hi - lo);
+            for r in 0..run {
+                let end = base + (self.offsets.get(start + r + 1) - lo);
+                out.offsets.push(end);
+            }
+            k += run;
+        }
+        out.finish()
+    }
+
+    /// Rows where `mask` is set, compacted into a fresh arena
+    /// (contiguous kept runs copy their bytes in one go).
+    pub fn filter(&self, mask: &Bitmap) -> Utf8Col {
+        let n = mask.count_set();
+        let mut out = Utf8Builder::with_capacity(n, n * self.avg_row_bytes());
+        // Coalesce consecutive kept rows into one byte-range copy.
+        let mut run_start = usize::MAX;
+        let mut run_len = 0usize;
+        let flush = |start: usize, len: usize, out: &mut Utf8Builder| {
+            if len == 0 {
+                return;
+            }
+            let lo = self.offsets.get(start);
+            let hi = self.offsets.get(start + len);
+            out.bytes.extend_from_slice(&self.arena.bytes[lo..hi]);
+            let base = out.bytes.len() - (hi - lo);
+            for r in 0..len {
+                out.offsets.push(base + (self.offsets.get(start + r + 1) - lo));
+            }
+        };
+        mask.for_each_set(|i| {
+            if run_start != usize::MAX && i == run_start + run_len {
+                run_len += 1;
+            } else {
+                flush(run_start.min(self.len()), run_len, &mut out);
+                run_start = i;
+                run_len = 1;
+            }
+        });
+        flush(run_start.min(self.len()), run_len, &mut out);
+        out.finish()
+    }
+
+    /// Mean bytes per row (capacity hint for gather-shaped outputs,
+    /// which roughly preserve the source's row-width distribution).
+    pub fn avg_row_bytes(&self) -> usize {
+        if self.is_empty() {
+            0
+        } else {
+            self.value_bytes() / self.len()
+        }
+    }
+
+    /// Rows `offset .. offset + len` (caller clamps), **zero-copy**:
+    /// the arena is shared (`Arc` clone) and only the offset window is
+    /// copied.
+    pub fn slice(&self, offset: usize, len: usize) -> Utf8Col {
+        Utf8Col {
+            arena: Arc::clone(&self.arena),
+            offsets: self.offsets.slice(offset, len),
+        }
+    }
+
+    /// Bytes occupied by this column's rows (the used arena range).
+    pub fn value_bytes(&self) -> usize {
+        let n = self.len();
+        self.offsets.get(n) - self.offsets.get(0)
+    }
+
+    /// Heap bytes charged to this column: its own rows' bytes (the used
+    /// arena range) plus its offsets. Shared-arena slices charge only
+    /// their window — per-holder accounting, matching what the
+    /// `Arc<str>` representation charged and keeping the simulated
+    /// memory budget independent of how a frame is partitioned.
+    pub fn heap_bytes(&self) -> usize {
+        self.value_bytes() + self.offsets.heap_bytes()
+    }
+}
+
+/// Logical row-wise equality (layout- and sharing-agnostic).
+impl PartialEq for Utf8Col {
+    fn eq(&self, other: &Utf8Col) -> bool {
+        self.len() == other.len()
+            && (0..self.len()).all(|i| self.bytes_at(i) == other.bytes_at(i))
+    }
+}
+
+impl HeapSize for Utf8Col {
+    fn heap_size(&self) -> usize {
+        self.heap_bytes()
+    }
+}
+
+/// Incremental builder for a [`Utf8Col`]: appends value bytes to a
+/// private arena and records each row's end offset. The CSV readers,
+/// casts and null-aware gathers all push through this.
+#[derive(Debug)]
+pub struct Utf8Builder {
+    bytes: Vec<u8>,
+    offsets: Offsets,
+}
+
+impl Default for Utf8Builder {
+    fn default() -> Utf8Builder {
+        Utf8Builder::new()
+    }
+}
+
+impl Utf8Builder {
+    /// An empty builder.
+    pub fn new() -> Utf8Builder {
+        Utf8Builder {
+            bytes: Vec::new(),
+            offsets: Offsets::with_capacity(0),
+        }
+    }
+
+    /// A builder with room for `rows` rows totalling ~`bytes` bytes.
+    pub fn with_capacity(rows: usize, bytes: usize) -> Utf8Builder {
+        Utf8Builder {
+            bytes: Vec::with_capacity(bytes),
+            offsets: Offsets::with_capacity(rows),
+        }
+    }
+
+    /// Rows pushed so far.
+    pub fn len(&self) -> usize {
+        self.offsets.rows()
+    }
+
+    /// True if no rows were pushed.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Reserve room for `additional` more rows.
+    pub fn reserve(&mut self, additional: usize) {
+        self.offsets.reserve(additional);
+    }
+
+    /// Append one row (one byte-copy of `v`, no other allocation).
+    #[inline]
+    pub fn push(&mut self, v: &str) {
+        self.bytes.extend_from_slice(v.as_bytes());
+        self.offsets.push(self.bytes.len());
+    }
+
+    /// Append every row of `other` after this builder's rows — a bulk
+    /// arena concatenation (this is how the parallel CSV reader stitches
+    /// per-chunk builders in file order without a per-row pass).
+    pub fn append(&mut self, other: Utf8Builder) {
+        let base = self.bytes.len();
+        self.bytes.extend_from_slice(&other.bytes);
+        self.offsets.reserve(other.len());
+        for i in 1..=other.len() {
+            self.offsets.push(base + other.offsets.get(i));
+        }
+    }
+
+    /// Append every row of a finished column — one copy of its used
+    /// byte range plus rebased offsets (the concat fast path).
+    pub fn append_col(&mut self, col: &Utf8Col) {
+        let n = col.len();
+        let lo = col.offsets.get(0);
+        let hi = col.offsets.get(n);
+        let base = self.bytes.len();
+        self.bytes.extend_from_slice(&col.arena.bytes[lo..hi]);
+        self.offsets.reserve(n);
+        for i in 1..=n {
+            self.offsets.push(base + (col.offsets.get(i) - lo));
+        }
+    }
+
+    /// Finish into a column (the arena is frozen behind an `Arc`).
+    pub fn finish(self) -> Utf8Col {
+        Utf8Col {
+            arena: Arc::new(StrArena::from_bytes(self.bytes)),
+            offsets: self.offsets,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn build_get_iter() {
+        let c = Utf8Col::from_values(["a", "", "längere", "x\0y"]);
+        assert_eq!(c.len(), 4);
+        assert_eq!(c.get(0), "a");
+        assert_eq!(c.get(1), "");
+        assert_eq!(c.get(2), "längere");
+        assert_eq!(c.get(3), "x\0y"); // embedded NUL is just a byte
+        assert_eq!(c.iter().collect::<Vec<_>>(), vec!["a", "", "längere", "x\0y"]);
+        assert_eq!(c.value_bytes(), 1 + "längere".len() + 3);
+    }
+
+    #[test]
+    fn logical_equality_ignores_layout() {
+        let a = Utf8Col::from_values(["x", "yy"]);
+        let whole = Utf8Col::from_values(["pad", "x", "yy"]);
+        let b = whole.slice(1, 2);
+        assert_eq!(a, b);
+        assert_ne!(a, Utf8Col::from_values(["x", "zz"]));
+        assert_ne!(a, Utf8Col::from_values(["x"]));
+    }
+
+    #[test]
+    fn gather_runs_and_random() {
+        let c = Utf8Col::from_values(["r0", "r1", "r2", "r3", "r4", "r5"]);
+        // A contiguous ascending run (join-assembly shape)...
+        let run = c.gather(&[1usize, 2, 3, 4]);
+        assert_eq!(run, Utf8Col::from_values(["r1", "r2", "r3", "r4"]));
+        // ...and scattered indices with repeats.
+        let scattered = c.gather(&[5usize, 0, 0, 3]);
+        assert_eq!(scattered, Utf8Col::from_values(["r5", "r0", "r0", "r3"]));
+        assert_eq!(c.gather(&[] as &[usize]).len(), 0);
+    }
+
+    #[test]
+    fn gather_output_is_compact() {
+        let c = Utf8Col::from_values(["aaaa", "bb", "cccccc"]);
+        let g = c.gather(&[1usize]);
+        // The fresh arena holds only the selected row's bytes.
+        assert_eq!(g.value_bytes(), 2);
+        assert_eq!(g.arena.len(), 2);
+    }
+
+    #[test]
+    fn filter_coalesces_runs() {
+        let c = Utf8Col::from_values(["a", "b", "c", "d", "e"]);
+        let mask = Bitmap::from_bools(&[true, true, false, true, true]);
+        assert_eq!(c.filter(&mask), Utf8Col::from_values(["a", "b", "d", "e"]));
+        let none = Bitmap::from_bools(&[false; 5]);
+        assert_eq!(c.filter(&none).len(), 0);
+    }
+
+    #[test]
+    fn slice_shares_arena() {
+        let c = Utf8Col::from_values(["aa", "bb", "cc", "dd"]);
+        let s = c.slice(1, 2);
+        assert_eq!(s, Utf8Col::from_values(["bb", "cc"]));
+        assert!(Arc::ptr_eq(&c.arena, &s.arena), "slice must not copy the arena");
+        // Slicing a slice still works and still shares.
+        let s2 = s.slice(1, 1);
+        assert_eq!(s2.get(0), "cc");
+        assert!(Arc::ptr_eq(&c.arena, &s2.arena));
+        assert_eq!(c.slice(4, 0).len(), 0);
+    }
+
+    #[test]
+    fn builder_append_rebases_offsets() {
+        let mut a = Utf8Builder::new();
+        a.push("one");
+        let mut b = Utf8Builder::new();
+        b.push("two");
+        b.push("three");
+        a.append(b);
+        assert_eq!(a.finish(), Utf8Col::from_values(["one", "two", "three"]));
+    }
+
+    #[test]
+    fn append_col_handles_slices() {
+        let whole = Utf8Col::from_values(["skip", "keep1", "keep2"]);
+        let part = whole.slice(1, 2);
+        let mut b = Utf8Builder::new();
+        b.push("head");
+        b.append_col(&part);
+        assert_eq!(b.finish(), Utf8Col::from_values(["head", "keep1", "keep2"]));
+    }
+
+    #[test]
+    fn offsets_upgrade_to_large() {
+        let mut o = Offsets::with_capacity(2);
+        o.push(10);
+        o.push(u32::MAX as usize + 5);
+        assert!(matches!(o, Offsets::Large(_)));
+        assert_eq!(o.get(1), 10);
+        assert_eq!(o.get(2), u32::MAX as usize + 5);
+        assert_eq!(o.rows(), 2);
+    }
+}

@@ -24,6 +24,8 @@
 //! AST or the region tree (the latter closes the paper's IR->source loop
 //! and doubles as a CFG-construction test).
 
+#![warn(missing_docs)]
+
 pub mod ast;
 pub mod cfg;
 pub mod codegen;

@@ -22,50 +22,92 @@ pub enum TokenKind {
     Str(String),
     /// f-string literal: raw inner text, to be split by the parser.
     FStr(String),
-    /// Keywords.
+    // -- keywords ----------------------------------------------------
+    /// `import`
     Import,
+    /// `from`
     From,
+    /// `as`
     As,
+    /// `if`
     If,
+    /// `elif`
     Elif,
+    /// `else`
     Else,
+    /// `for`
     For,
+    /// `in`
     In,
+    /// `not`
     Not,
+    /// `True`
     True,
+    /// `False`
     False,
+    /// `None`
     NoneKw,
+    /// `def`
     Def,
+    /// `return`
     Return,
-    /// Punctuation / operators.
-    Assign,      // =
-    Eq,          // ==
-    Ne,          // !=
-    Lt,          // <
-    Le,          // <=
-    Gt,          // >
-    Ge,          // >=
-    Plus,        // +
-    Minus,       // -
-    Star,        // *
-    Slash,       // /
-    Percent,     // %
-    Amp,         // &
-    Pipe,        // |
-    Tilde,       // ~
-    LParen,      // (
-    RParen,      // )
-    LBracket,    // [
-    RBracket,    // ]
-    LBrace,      // {
-    RBrace,      // }
-    Comma,       // ,
-    Colon,       // :
-    Dot,         // .
-    /// Structure.
+    // -- punctuation / operators -------------------------------------
+    /// `=`
+    Assign,
+    /// `==`
+    Eq,
+    /// `!=`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `+`
+    Plus,
+    /// `-`
+    Minus,
+    /// `*`
+    Star,
+    /// `/`
+    Slash,
+    /// `%`
+    Percent,
+    /// `&`
+    Amp,
+    /// `|`
+    Pipe,
+    /// `~`
+    Tilde,
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `[`
+    LBracket,
+    /// `]`
+    RBracket,
+    /// `{`
+    LBrace,
+    /// `}`
+    RBrace,
+    /// `,`
+    Comma,
+    /// `:`
+    Colon,
+    /// `.`
+    Dot,
+    // -- structure ----------------------------------------------------
+    /// End of a logical line.
     Newline,
+    /// Indentation increase opening a block.
     Indent,
+    /// Indentation decrease closing a block.
     Dedent,
+    /// End of input.
     Eof,
 }
 

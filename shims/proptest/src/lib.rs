@@ -14,6 +14,35 @@
 pub mod strategy;
 pub mod test_runner;
 
+/// `prop::option` analog: strategies for `Option<T>`.
+pub mod option {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// Strategy producing `Some(inner)` three times out of four and
+    /// `None` otherwise (matching real proptest's `Some`-biased default).
+    pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+        OptionStrategy { inner }
+    }
+
+    /// See [`of`].
+    #[derive(Clone, Debug)]
+    pub struct OptionStrategy<S> {
+        inner: S,
+    }
+
+    impl<S: Strategy> Strategy for OptionStrategy<S> {
+        type Value = Option<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            if rng.usize_in(0, 4) == 0 {
+                None
+            } else {
+                Some(self.inner.generate(rng))
+            }
+        }
+    }
+}
+
 /// `prop::collection` analog: strategies for containers.
 pub mod collection {
     use crate::strategy::{SizeRange, Strategy};
@@ -27,7 +56,7 @@ pub mod collection {
         }
     }
 
-    /// See [`vec`].
+    /// See [`vec()`].
     #[derive(Clone, Debug)]
     pub struct VecStrategy<S> {
         element: S,
@@ -47,14 +76,31 @@ pub mod collection {
 /// workspace properties do file I/O per case.
 pub const NUM_CASES: u32 = 64;
 
+/// Per-run configuration (`#![proptest_config(...)]`). The shim honors
+/// only the case count.
+#[derive(Clone, Copy, Debug)]
+pub struct ProptestConfig {
+    /// Number of random cases each property runs.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` cases per property.
+    pub fn with_cases(cases: u32) -> ProptestConfig {
+        ProptestConfig { cases }
+    }
+}
+
 /// The glob import real proptest tests start with.
 pub mod prelude {
-    pub use crate::strategy::{any, Strategy};
-    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+    pub use crate::strategy::{any, Just, Strategy};
+    pub use crate::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
 
     /// The `prop::` namespace (`prop::collection::vec(...)`).
     pub mod prop {
         pub use crate::collection;
+        pub use crate::option;
     }
 }
 
@@ -93,18 +139,37 @@ macro_rules! prop_assert_ne {
     };
 }
 
+/// Uniform choice between strategies producing one value type
+/// (`prop_oneof![a, b, c]`). Weights are not supported.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $({
+                let __s = $strat;
+                Box::new(move |__rng: &mut $crate::test_runner::TestRng| {
+                    $crate::strategy::Strategy::generate(&__s, __rng)
+                }) as Box<dyn Fn(&mut $crate::test_runner::TestRng) -> _>
+            }),+
+        ])
+    };
+}
+
 /// `proptest! { ... }` analog: each `fn name(arg in strategy, ...) { body }`
-/// becomes a `#[test]` that draws `NUM_CASES` inputs from the strategies
-/// and runs the body on each.
+/// becomes a `#[test]` that draws inputs from the strategies and runs the
+/// body on each. An optional leading `#![proptest_config(...)]` sets the
+/// case count; the default is [`NUM_CASES`].
 #[macro_export]
 macro_rules! proptest {
-    ($($(#[$meta:meta])* fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block)*) => {
+    (#![proptest_config($cfg:expr)]
+     $($(#[$meta:meta])* fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block)*) => {
         $(
             $(#[$meta])*
             fn $name() {
+                let __cases: u32 = ($cfg).cases;
                 let mut __rng =
                     $crate::test_runner::TestRng::from_name(stringify!($name));
-                for __case in 0..$crate::NUM_CASES {
+                for __case in 0..__cases {
                     $(
                         let $arg =
                             $crate::strategy::Strategy::generate(&($strat), &mut __rng);
@@ -113,5 +178,11 @@ macro_rules! proptest {
                 }
             }
         )*
+    };
+    ($($(#[$meta:meta])* fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block)*) => {
+        $crate::proptest! {
+            #![proptest_config($crate::ProptestConfig::with_cases($crate::NUM_CASES))]
+            $($(#[$meta])* fn $name($($arg in $strat),+) $body)*
+        }
     };
 }

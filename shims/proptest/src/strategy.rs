@@ -36,13 +36,51 @@ macro_rules! int_strategy {
         }
     )*};
 }
-int_strategy!(i8, i16, i32, i64, isize, u8, u16, u32, usize);
+int_strategy!(i8, i16, i32, i64, isize, u8, u16, u32, u64, usize);
 
 impl Strategy for std::ops::Range<f64> {
     type Value = f64;
     fn generate(&self, rng: &mut TestRng) -> f64 {
         assert!(self.start < self.end, "empty range strategy");
         self.start + (self.end - self.start) * rng.unit_f64()
+    }
+}
+
+/// Strategy producing one fixed value (`Just(v)` in real proptest).
+#[derive(Clone, Copy, Debug)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// One boxed branch generator of a [`Union`] (heterogeneous strategy
+/// types erase to this).
+pub type UnionBranch<T> = Box<dyn Fn(&mut TestRng) -> T>;
+
+/// A uniform choice between same-valued strategies — what the
+/// [`prop_oneof!`](crate::prop_oneof) macro builds. Branches are boxed
+/// generator closures so heterogeneous strategy types can mix.
+pub struct Union<T> {
+    options: Vec<UnionBranch<T>>,
+}
+
+impl<T> Union<T> {
+    /// Build from the branch generators (used by `prop_oneof!`).
+    pub fn new(options: Vec<UnionBranch<T>>) -> Union<T> {
+        assert!(!options.is_empty(), "prop_oneof! needs at least one branch");
+        Union { options }
+    }
+}
+
+impl<T> Strategy for Union<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        let k = rng.usize_in(0, self.options.len());
+        (self.options[k])(rng)
     }
 }
 
