@@ -122,6 +122,15 @@ impl MemoryReservation {
         std::mem::forget(more);
         Ok(())
     }
+
+    /// Give back part of the reservation (used when a buffered partition
+    /// is spilled to disk: its bytes leave the simulated working set but
+    /// the rest of the buffer stays charged). Clamped to the held amount.
+    pub fn shrink(&mut self, bytes: usize) {
+        let freed = bytes.min(self.bytes);
+        self.tracker.release(freed);
+        self.bytes -= freed;
+    }
 }
 
 impl Drop for MemoryReservation {
@@ -172,6 +181,21 @@ mod tests {
         assert_eq!(t.current(), 60);
         assert_eq!(r.bytes(), 60);
         assert!(r.grow(100).is_err());
+        drop(r);
+        assert_eq!(t.current(), 0);
+    }
+
+    #[test]
+    fn shrink_releases_partially_and_clamps() {
+        let t = MemoryTracker::with_budget(100);
+        let mut r = t.charge(80).unwrap();
+        r.shrink(30);
+        assert_eq!(t.current(), 50);
+        assert_eq!(r.bytes(), 50);
+        // Shrinking past the held amount clamps instead of underflowing.
+        r.shrink(1000);
+        assert_eq!(t.current(), 0);
+        assert_eq!(r.bytes(), 0);
         drop(r);
         assert_eq!(t.current(), 0);
     }

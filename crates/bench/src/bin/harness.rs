@@ -111,8 +111,22 @@ fn run_kernel_bench(args: &[String]) {
             r.name, r.t1_ms, r.tn_ms, r.speedup
         );
     }
+    eprintln!("pipelined executor: scan overlap vs blocking drain, {threads} workers ...");
+    let pipeline = kernel_bench::run_pipeline_suite(rows, iters, threads);
+    println!();
+    println!(
+        "{:<28} {:>12} {:>14} {:>9}",
+        "pipeline query", "blocking_ms", "pipelined_ms", "speedup"
+    );
+    for r in &pipeline {
+        println!(
+            "{:<28} {:>12.3} {:>14.3} {:>8.2}x",
+            r.name, r.blocking_ms, r.pipelined_ms, r.speedup
+        );
+    }
     if let Some(path) = json {
-        let body = kernel_bench::render_json(pr, rows, iters, &results, &strings, &parallel);
+        let body =
+            kernel_bench::render_json(pr, rows, iters, &results, &strings, &parallel, &pipeline);
         std::fs::write(&path, body).expect("write bench json");
         eprintln!("wrote {}", path.display());
     }

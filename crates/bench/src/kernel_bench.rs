@@ -15,6 +15,7 @@
 //! ```
 
 use crate::datagen::kernel_frame;
+use lafp_backends::{DaskEngine, DaskOp, MemoryTracker};
 use lafp_columnar::column::{ArithOp, CmpOp, ColumnBuilder};
 use lafp_columnar::csv::{read_csv, read_csv_par, split_record, CsvOptions};
 use lafp_columnar::groupby::{group_by, group_by_par, AggKind, GroupBySpec};
@@ -22,6 +23,7 @@ use lafp_columnar::join::{merge, merge_par, JoinKind};
 use lafp_columnar::pool::WorkerPool;
 use lafp_columnar::sort::{nlargest, sort_values, sort_values_par, SortOptions};
 use lafp_columnar::{Bitmap, Column, DType, DataFrame, Scalar, Series};
+use lafp_expr::Expr;
 use std::collections::HashMap;
 use std::hint::black_box;
 use std::sync::Arc;
@@ -67,6 +69,23 @@ pub struct ParallelBenchResult {
     /// Worker count of the parallel column.
     pub threads: usize,
     /// `t1_ms / tn_ms`.
+    pub speedup: f64,
+}
+
+/// One pipelined-executor bench row: the same streaming Dask query with
+/// the CSV scan pipelined against downstream operator morsels vs fully
+/// drained before them.
+#[derive(Debug, Clone)]
+pub struct PipelineBenchResult {
+    /// Query name.
+    pub name: String,
+    /// Best-of-N wall time with `pipeline_scan` off (blocking drain).
+    pub blocking_ms: f64,
+    /// Best-of-N wall time with the scan overlapped on the worker pool.
+    pub pipelined_ms: f64,
+    /// Worker count of the engine pool (both sides).
+    pub threads: usize,
+    /// `blocking_ms / pipelined_ms`.
     pub speedup: f64,
 }
 
@@ -1287,6 +1306,119 @@ pub fn run_parallel_suite(rows: usize, iters: usize, threads: usize) -> Vec<Para
     results
 }
 
+// ---------------------------------------------------------------------------
+// Pipelined-executor benches (scan overlap vs blocking drain)
+// ---------------------------------------------------------------------------
+
+/// Run streaming Dask queries with the CSV scan overlapped against
+/// downstream operator morsels (`pipeline_scan = true`, the default)
+/// vs the blocking parse-everything-then-drain schedule, on the same
+/// engine pool. Both sides are checked for row-hash equality before
+/// timing. On a single-core host the overlap cannot beat the blocking
+/// drain; the artifact still records the trajectory point.
+pub fn run_pipeline_suite(rows: usize, iters: usize, threads: usize) -> Vec<PipelineBenchResult> {
+    // The scan source: mixed dtypes with a low-cardinality group key, a
+    // float measure, and a quoted-comma string column so the parse side
+    // does realistic work.
+    let csv_path = std::env::temp_dir().join(format!(
+        "lafp-pipeline-bench-{rows}-{}.csv",
+        std::process::id()
+    ));
+    {
+        use std::io::Write as _;
+        let mut w = std::io::BufWriter::new(std::fs::File::create(&csv_path).unwrap());
+        writeln!(w, "id,day,fare,city,ok").unwrap();
+        for i in 0..rows {
+            let fare = if i % 50 == 0 {
+                String::new()
+            } else {
+                format!("{:.2}", (i % 977) as f64 * 0.13)
+            };
+            if i % 7 == 0 {
+                writeln!(w, "{i},{},{fare},\"City, {}\",true", i % 31, i % 80).unwrap();
+            } else {
+                writeln!(w, "{i},{},{fare},City{},false", i % 31, i % 80).unwrap();
+            }
+        }
+        w.flush().unwrap();
+    }
+
+    // Build the query graph on a fresh engine; morsels small enough that
+    // the scan emits many chunks for the pipeline to overlap.
+    let chunk_rows = (rows / 64).clamp(1024, 65_536);
+    let build = |e: &mut DaskEngine, query: &str| {
+        let s = e.add(
+            DaskOp::ReadCsv {
+                path: csv_path.clone(),
+                options: CsvOptions::new(),
+                limit: None,
+            },
+            vec![],
+        );
+        match query {
+            "filter_groupby" => {
+                let f = e.add(
+                    DaskOp::Filter(Expr::col("fare").gt(Expr::lit_float(10.0))),
+                    vec![s],
+                );
+                e.add(
+                    DaskOp::GroupByAgg(GroupBySpec {
+                        keys: vec!["day".into()],
+                        value: "fare".into(),
+                        agg: AggKind::Sum,
+                    }),
+                    vec![f],
+                )
+            }
+            "groupby_multikey" => e.add(
+                DaskOp::GroupByAgg(GroupBySpec {
+                    keys: vec!["city".into(), "day".into()],
+                    value: "fare".into(),
+                    agg: AggKind::Mean,
+                }),
+                vec![s],
+            ),
+            _ => unreachable!(),
+        }
+    };
+    let run = |query: &str, pipelined: bool| -> DataFrame {
+        let mut e = DaskEngine::with_threads(MemoryTracker::unlimited(), chunk_rows, threads);
+        e.pipeline_scan = pipelined;
+        let root = build(&mut e, query);
+        let (v, _r) = e.compute(root).unwrap();
+        v.into_frame().unwrap()
+    };
+
+    let mut results = Vec::new();
+    for query in ["filter_groupby", "groupby_multikey"] {
+        let piped = run(query, true);
+        let blocking = run(query, false);
+        assert_eq!(
+            piped.row_hashes(&[]).unwrap(),
+            blocking.row_hashes(&[]).unwrap(),
+            "pipe_scan_{query}: pipelined vs blocking result"
+        );
+        let (blocking_ms, pipelined_ms) = best_of_pair_ms(
+            iters,
+            || {
+                black_box(run(black_box(query), false));
+            },
+            || {
+                black_box(run(black_box(query), true));
+            },
+        );
+        results.push(PipelineBenchResult {
+            name: format!("pipe_scan_{query}"),
+            blocking_ms,
+            pipelined_ms,
+            threads,
+            speedup: blocking_ms / pipelined_ms,
+        });
+    }
+    std::fs::remove_file(&csv_path).ok();
+    results
+}
+
 /// Render the results as the `BENCH_PR<N>.json` trajectory artifact.
 pub fn render_json(
     pr: u32,
@@ -1295,6 +1427,7 @@ pub fn render_json(
     results: &[BenchResult],
     strings: &[StringBenchResult],
     parallel: &[ParallelBenchResult],
+    pipeline: &[PipelineBenchResult],
 ) -> String {
     let mut out = String::new();
     out.push_str("{\n");
@@ -1358,6 +1491,21 @@ pub fn render_json(
                 .collect::<Vec<_>>(),
         ));
     }
+    if !pipeline.is_empty() {
+        sections.push(section(
+            "pipeline",
+            &pipeline
+                .iter()
+                .map(|r| {
+                    format!(
+                        "    {{\"name\": \"{}\", \"blocking_ms\": {:.3}, \"pipelined_ms\": {:.3}, \
+                         \"threads\": {}, \"speedup\": {:.2}}}",
+                        r.name, r.blocking_ms, r.pipelined_ms, r.threads, r.speedup
+                    )
+                })
+                .collect::<Vec<_>>(),
+        ));
+    }
     out.push_str(&sections.join(",\n"));
     out.push_str("\n}\n");
     out
@@ -1386,7 +1534,12 @@ mod tests {
         for r in &parallel {
             assert!(r.t1_ms > 0.0 && r.tn_ms > 0.0, "{}", r.name);
         }
-        let json = render_json(4, 2_000, 1, &results, &strings, &parallel);
+        let pipeline = run_pipeline_suite(2_000, 1, 2);
+        assert_eq!(pipeline.len(), 2);
+        for r in &pipeline {
+            assert!(r.blocking_ms > 0.0 && r.pipelined_ms > 0.0, "{}", r.name);
+        }
+        let json = render_json(4, 2_000, 1, &results, &strings, &parallel, &pipeline);
         assert!(json.contains("\"benches\""));
         assert!(json.contains("groupby_i64key_sum_f64"));
         assert!(json.contains("join_inner_i64key"));
@@ -1397,12 +1550,15 @@ mod tests {
         assert!(json.contains("\"parallel\""));
         assert!(json.contains("par_read_csv_mixed"));
         assert!(json.contains("\"host_threads\""));
+        assert!(json.contains("\"pipeline\""));
+        assert!(json.contains("pipe_scan_filter_groupby"));
         // Every section shape renders valid JSON-ish structure.
-        let no_strings = render_json(4, 2_000, 1, &results, &[], &parallel);
+        let no_strings = render_json(4, 2_000, 1, &results, &[], &parallel, &pipeline);
         assert!(!no_strings.contains("\"strings\""));
         assert!(no_strings.contains("\"parallel\""));
-        let no_parallel = render_json(4, 2_000, 1, &results, &strings, &[]);
+        let no_parallel = render_json(4, 2_000, 1, &results, &strings, &[], &[]);
         assert!(no_parallel.contains("\"strings\""));
         assert!(!no_parallel.contains("\"parallel\""));
+        assert!(!no_parallel.contains("\"pipeline\""));
     }
 }

@@ -245,6 +245,26 @@ impl Bitmap {
         bm
     }
 
+    /// The backing 64-bit words (bit `i` lives at `words[i / 64]`, low bit
+    /// first). Exposed for serialization; tail bits past `len` are zero.
+    pub fn as_words(&self) -> &[u64] {
+        &self.words
+    }
+
+    /// Rebuild a bitmap from raw words and a logical length, re-masking any
+    /// tail bits. Panics if `words` is not exactly `len.div_ceil(64)` words
+    /// long (callers deserializing untrusted input must validate first).
+    pub fn from_words(words: Vec<u64>, len: usize) -> Bitmap {
+        assert_eq!(
+            words.len(),
+            len.div_ceil(64),
+            "word count does not match bitmap length"
+        );
+        let mut bm = Bitmap { words, len };
+        bm.mask_tail();
+        bm
+    }
+
     /// Zero any bits beyond the logical length in the final word so that
     /// popcount-based operations stay correct.
     fn mask_tail(&mut self) {
@@ -446,6 +466,18 @@ mod tests {
     #[should_panic(expected = "out of bounds")]
     fn get_out_of_bounds_panics() {
         Bitmap::new(4, true).get(4);
+    }
+
+    #[test]
+    fn words_round_trip() {
+        for len in [0usize, 1, 63, 64, 65, 130] {
+            let bm = Bitmap::from_iter((0..len).map(|i| i % 3 == 0));
+            let back = Bitmap::from_words(bm.as_words().to_vec(), len);
+            assert_eq!(back, bm, "len {len}");
+        }
+        // Dirty tail bits are re-masked on the way in.
+        let back = Bitmap::from_words(vec![u64::MAX], 3);
+        assert_eq!(back.count_set(), 3);
     }
 
     #[test]

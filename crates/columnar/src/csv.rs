@@ -180,12 +180,75 @@ pub fn split_record(line: &str) -> Vec<String> {
     fields
 }
 
-/// Quote a field if it contains separators, quotes or newlines.
+/// Quote a field if it contains separators, quotes or line terminators.
 pub fn quote_field(field: &str) -> String {
-    if field.contains(',') || field.contains('"') || field.contains('\n') {
+    if field.contains(',') || field.contains('"') || field.contains('\n') || field.contains('\r')
+    {
         format!("\"{}\"", field.replace('"', "\"\""))
     } else {
         field.to_string()
+    }
+}
+
+/// Number of double-quote bytes in `s` — the quote-parity counter the
+/// multiline-record rule rests on: a record continues onto the next
+/// physical line exactly while its accumulated quote count is odd
+/// (an open quoted field), and `""` escapes add two, preserving parity.
+#[inline]
+fn count_quotes(s: &str) -> usize {
+    s.as_bytes().iter().filter(|&&b| b == b'"').count()
+}
+
+/// Iterator over the records of an in-memory CSV body, quote-aware: a
+/// newline inside an open quoted field is content, not a terminator.
+///
+/// Yields `(raw_record, physical_lines)` where `raw_record` excludes
+/// the terminating newline (interior newlines stay verbatim) and
+/// `physical_lines` is how many physical lines the record advances the
+/// file position by: its interior newlines plus its terminator (or plus
+/// one when the final record is unterminated). Shared by the parallel
+/// reader's dtype-inference sample and per-chunk parse loops so both
+/// agree with the streaming reader's record segmentation exactly.
+struct Records<'a> {
+    body: &'a str,
+    pos: usize,
+}
+
+impl<'a> Records<'a> {
+    fn over(body: &'a str) -> Records<'a> {
+        Records { body, pos: 0 }
+    }
+}
+
+impl<'a> Iterator for Records<'a> {
+    type Item = (&'a str, usize);
+
+    fn next(&mut self) -> Option<(&'a str, usize)> {
+        if self.pos >= self.body.len() {
+            return None;
+        }
+        let bytes = self.body.as_bytes();
+        let start = self.pos;
+        let mut lines = 0usize;
+        let mut in_quotes = false;
+        for (i, &b) in bytes.iter().enumerate().skip(start) {
+            match b {
+                b'"' => in_quotes = !in_quotes,
+                b'\n' => {
+                    lines += 1;
+                    if !in_quotes {
+                        self.pos = i + 1;
+                        return Some((&self.body[start..i], lines));
+                    }
+                }
+                _ => {}
+            }
+        }
+        // Unterminated final record (possibly with an unbalanced quote):
+        // it still occupies one more physical line than its interior
+        // newlines.
+        self.pos = self.body.len();
+        Some((&self.body[start..], lines + 1))
     }
 }
 
@@ -240,16 +303,20 @@ const PAR_MIN_BYTES: usize = 256 * 1024;
 
 /// [`read_csv`] driven through a worker pool.
 ///
-/// The file is read into one buffer; a newline pre-scan splits the body
-/// into worker chunks at record boundaries (records never span physical
-/// lines — the streaming reader has the same property), a first parallel
-/// pass counts lines per chunk so error messages carry the exact
-/// sequential line numbers, and a second parallel pass parses each chunk
-/// into its own typed [`ColumnBuilder`]s. The per-chunk builders are
-/// concatenated in file order ([`ColumnBuilder::append`]), so the result
-/// is bit-identical to the streaming reader at any thread count: same
-/// dtype inference (shared `DtypeGuess` over the same leading sample),
-/// same values, same validity, and the same first error.
+/// The file is read into one buffer; a **quote-aware** newline pre-scan
+/// splits the body into worker chunks at record boundaries — a newline
+/// inside an open quoted field (tracked by quote parity, exactly the
+/// rule the streaming reader's record iterator uses) is field content and
+/// never a chunk boundary, so records with embedded `\n`/`\r\n` stay
+/// whole. A first parallel pass counts physical lines per chunk so error
+/// messages carry the exact sequential line numbers (a multiline record
+/// reports its *first* physical line, like the streaming reader), and a
+/// second parallel pass parses each chunk into its own typed
+/// [`ColumnBuilder`]s. The per-chunk builders are concatenated in file
+/// order ([`ColumnBuilder::append`]), so the result is bit-identical to
+/// the streaming reader at any thread count: same dtype inference
+/// (shared `DtypeGuess` over the same leading sample), same values, same
+/// validity, and the same first error.
 pub fn read_csv_par(
     path: &Path,
     options: &CsvOptions,
@@ -296,14 +363,15 @@ pub fn read_csv_par(
     {
         let mut spans: Vec<FieldSpan> = Vec::new();
         let mut scratch = String::new();
-        let mut line_no = 1usize; // the header was line 1
+        let mut cursor = 1usize; // physical lines consumed; header was line 1
         let mut sampled = 0usize;
-        for raw in body.split('\n') {
+        for (raw, nlines) in Records::over(body) {
             if sampled >= sample_rows {
                 break;
             }
-            line_no += 1;
-            let line = raw.trim_end_matches('\r');
+            let line_no = cursor + 1;
+            cursor += nlines;
+            let line = raw.trim_end_matches(['\n', '\r']);
             if line.is_empty() {
                 continue;
             }
@@ -342,22 +410,32 @@ pub fn read_csv_par(
         })
         .collect();
 
-    // Newline pre-scan: carve the body into ~4 chunks per worker at
-    // record boundaries.
+    // Quote-aware newline pre-scan: carve the body into ~4 chunks per
+    // worker at *record* boundaries. Quote parity is tracked across the
+    // whole body, so a newline inside an open quoted field never splits
+    // a record across chunks (the bug this pass replaces: the old
+    // pre-scan cut at physical newlines and parsed an embedded-newline
+    // record as two corrupt records). On quote-free bodies the
+    // boundaries are identical to the old pre-scan's: each chunk ends
+    // just past the first newline at or after `approx` bytes.
     let target_chunks = (pool.threads() * 4).max(1);
     let approx = body.len().div_ceil(target_chunks).max(1);
     let bytes = body.as_bytes();
     let mut chunks: Vec<(usize, usize)> = Vec::with_capacity(target_chunks);
-    let mut start = 0usize;
-    while start < bytes.len() {
-        let mut end = (start + approx).min(bytes.len());
-        // Advance to just past the next newline so chunks stay
-        // record-aligned.
-        while end < bytes.len() && bytes[end - 1] != b'\n' {
-            end += 1;
+    let mut chunk_start = 0usize;
+    let mut in_quotes = false;
+    for (i, &b) in bytes.iter().enumerate() {
+        match b {
+            b'"' => in_quotes = !in_quotes,
+            b'\n' if !in_quotes && i + 1 - chunk_start >= approx => {
+                chunks.push((chunk_start, i + 1));
+                chunk_start = i + 1;
+            }
+            _ => {}
         }
-        chunks.push((start, end));
-        start = end;
+    }
+    if chunk_start < bytes.len() {
+        chunks.push((chunk_start, bytes.len()));
     }
 
     // Pass 1: raw line counts per chunk -> each chunk's starting line
@@ -380,10 +458,13 @@ pub fn read_csv_par(
             dtypes.iter().map(|&dt| ColumnBuilder::new(dt)).collect();
         let mut spans: Vec<FieldSpan> = Vec::new();
         let mut scratch = String::new();
-        let mut line_no = first_line[ci] - 1;
-        for raw in body[s..e].split('\n') {
-            line_no += 1;
-            let line = raw.trim_end_matches('\r');
+        // Physical lines consumed before the current record; a record
+        // reports its first physical line, like the streaming reader.
+        let mut cursor = first_line[ci] - 1;
+        for (raw, nlines) in Records::over(&body[s..e]) {
+            let line_no = cursor + 1;
+            cursor += nlines;
+            let line = raw.trim_end_matches(['\n', '\r']);
             if line.is_empty() {
                 continue;
             }
@@ -458,7 +539,12 @@ pub struct CsvChunkReader {
     scratch: String,
     /// Field spans of the current record (into `line` or `scratch`).
     spans: Vec<FieldSpan>,
+    /// Physical lines consumed so far (the header is line 1).
     line_no: usize,
+    /// First physical line of the current record — what errors report.
+    /// Differs from `line_no` when a quoted field embeds newlines and
+    /// the record spans several physical lines.
+    record_line: usize,
     done: bool,
 }
 
@@ -490,6 +576,7 @@ impl CsvChunkReader {
             scratch: String::new(),
             spans: Vec::new(),
             line_no: 1,
+            record_line: 1,
             done: false,
         };
         rdr.infer_dtypes(options)?;
@@ -522,6 +609,12 @@ impl CsvChunkReader {
 
     /// Advance to the next record, filling the borrowed field spans.
     /// Returns false at end of file. Empty lines are skipped.
+    ///
+    /// A record whose quoted field embeds a newline spans physical
+    /// lines: while the accumulated double-quote count is odd, the
+    /// terminator just read is field content, so the next physical line
+    /// is appended verbatim and parsing continues — the quote-parity
+    /// rule (`""` escapes contribute two quotes and preserve parity).
     fn next_record(&mut self) -> Result<bool> {
         if self.done {
             return Ok(false);
@@ -534,6 +627,17 @@ impl CsvChunkReader {
                 return Ok(false);
             }
             self.line_no += 1;
+            self.record_line = self.line_no;
+            let mut quotes = count_quotes(&self.line);
+            while quotes % 2 == 1 {
+                let before = self.line.len();
+                if self.reader.read_line(&mut self.line)? == 0 {
+                    // EOF inside an open quote: parse what accumulated.
+                    break;
+                }
+                self.line_no += 1;
+                quotes += count_quotes(&self.line[before..]);
+            }
             while self.line.ends_with(['\n', '\r']) {
                 self.line.pop();
             }
@@ -545,7 +649,7 @@ impl CsvChunkReader {
                 return Err(ColumnarError::Csv(format!(
                     "{:?}: line {} has {} fields, expected {}",
                     self.path,
-                    self.line_no,
+                    self.record_line,
                     self.spans.len(),
                     self.header.len()
                 )));
@@ -579,7 +683,7 @@ impl CsvChunkReader {
                 break;
             }
             sample.push((
-                self.line_no,
+                self.record_line,
                 (0..self.spans.len())
                     .map(|f| self.field(f).to_string())
                     .collect(),
@@ -635,7 +739,7 @@ impl CsvChunkReader {
                     &mut builders[slot],
                     self.field(col_idx),
                     self.dtypes[slot],
-                    self.line_no,
+                    self.record_line,
                 )?;
             }
             rows += 1;
@@ -1016,6 +1120,135 @@ id,fare,city,when,ok
             assert_eq!(state.get(i), Scalar::Str((*want).into()), "row {i}");
         }
         assert_eq!(state.column().nunique(), Scalar::Int(2));
+    }
+
+    #[test]
+    fn quoted_newline_records_parse_sequentially() {
+        // quote_field output with embedded \n and \r\n round-trips
+        // through write_csv + read_csv.
+        use crate::column::Column;
+        let df = DataFrame::new(vec![
+            Series::new("id", Column::from_i64(vec![1, 2, 3, 4])),
+            Series::new(
+                "note",
+                Column::from_strings(vec![
+                    "one\nline two",
+                    "crlf\r\nend",
+                    "both,\"\nquoted\"",
+                    "plain",
+                ]),
+            ),
+        ])
+        .unwrap();
+        let path = write_temp("");
+        write_csv(&df, &path).unwrap();
+        let back = read_csv(&path, &CsvOptions::new()).unwrap();
+        assert_eq!(back, df);
+        // Chunked reads cut at record — not physical-line — boundaries.
+        let mut rdr = CsvChunkReader::open(&path, &CsvOptions::new(), 1).unwrap();
+        let mut rows = 0;
+        while let Some(chunk) = rdr.next_chunk().unwrap() {
+            assert_eq!(chunk.num_rows(), 1);
+            rows += 1;
+        }
+        assert_eq!(rows, 4);
+    }
+
+    /// The headline differential test: quote_field output with embedded
+    /// `\n`/`\r\n` parses identically through the sequential and
+    /// parallel readers at 1, 2 and 8 threads.
+    #[test]
+    fn quoted_newline_differential_sequential_vs_parallel() {
+        use crate::pool::WorkerPool;
+        let mut content = String::from("id,note,fare\n");
+        for i in 0..20_000u32 {
+            let note = match i % 5 {
+                0 => format!("line one\nline two of {i}"),
+                1 => format!("crlf\r\nterminated {i}"),
+                2 => format!("with,comma {i}"),
+                3 => format!("say \"hi\" {i}"),
+                _ => format!("plain-{i}"),
+            };
+            content.push_str(&format!("{i},{},{}.5\n", quote_field(&note), i % 97));
+        }
+        assert!(
+            content.len() >= PAR_MIN_BYTES,
+            "body must exceed the parallel gate ({} bytes)",
+            content.len()
+        );
+        let path = write_temp(&content);
+        let seq = read_csv(&path, &CsvOptions::new()).unwrap();
+        assert_eq!(seq.num_rows(), 20_000);
+        assert_eq!(
+            seq.column("note").unwrap().get(0),
+            Scalar::Str("line one\nline two of 0".into())
+        );
+        assert_eq!(
+            seq.column("note").unwrap().get(1),
+            Scalar::Str("crlf\r\nterminated 1".into())
+        );
+        for threads in [1usize, 2, 8] {
+            let pool = WorkerPool::new(threads);
+            let par = read_csv_par(&path, &CsvOptions::new(), &pool).unwrap();
+            assert_eq!(par, seq, "parallel read diverged at {threads} threads");
+        }
+    }
+
+    /// CRLF-terminated bodies whose final record has no terminator parse
+    /// identically in both readers (chunk boundaries and values).
+    #[test]
+    fn crlf_and_unterminated_tail_parity() {
+        use crate::pool::WorkerPool;
+        let mut content = String::from("id,s\r\n");
+        for i in 0..25_000u32 {
+            content.push_str(&format!("{i},\"v\r\n{i}\"\r\n"));
+        }
+        content.push_str("25000,tail"); // no trailing newline
+        assert!(content.len() >= PAR_MIN_BYTES);
+        let path = write_temp(&content);
+        let seq = read_csv(&path, &CsvOptions::new()).unwrap();
+        assert_eq!(seq.num_rows(), 25_001);
+        assert_eq!(seq.column("s").unwrap().get(0), Scalar::Str("v\r\n0".into()));
+        assert_eq!(
+            seq.column("s").unwrap().get(25_000),
+            Scalar::Str("tail".into())
+        );
+        for threads in [2usize, 8] {
+            let pool = WorkerPool::new(threads);
+            let par = read_csv_par(&path, &CsvOptions::new(), &pool).unwrap();
+            assert_eq!(par, seq, "CRLF parity diverged at {threads} threads");
+        }
+    }
+
+    /// Error line numbers count *physical* lines and report a multiline
+    /// record's first line — identically in both readers.
+    #[test]
+    fn error_line_numbers_match_across_readers_with_multiline_records() {
+        use crate::pool::WorkerPool;
+        let mut content = String::from("n,s\n");
+        let records = 25_000usize;
+        for i in 0..records {
+            // Every record spans two physical lines.
+            content.push_str(&format!("{i},\"x\ny{i}\"\n"));
+        }
+        content.push_str("oops,\"z\nw\"\n");
+        assert!(content.len() >= PAR_MIN_BYTES);
+        let path = write_temp(&content);
+        let opts = CsvOptions::new()
+            .with_dtype("n", DType::Int64)
+            .with_dtype("s", DType::Utf8);
+        let expect_line = 1 + 2 * records + 1; // header + records + bad row start
+        let seq_err = read_csv(&path, &opts).unwrap_err();
+        match &seq_err {
+            ColumnarError::ParseError { line, .. } => assert_eq!(*line, Some(expect_line)),
+            other => panic!("expected parse error, got {other:?}"),
+        }
+        let pool = WorkerPool::new(4);
+        let par_err = read_csv_par(&path, &opts, &pool).unwrap_err();
+        match &par_err {
+            ColumnarError::ParseError { line, .. } => assert_eq!(*line, Some(expect_line)),
+            other => panic!("expected parse error, got {other:?}"),
+        }
     }
 
     #[test]

@@ -41,6 +41,7 @@ pub mod join;
 pub mod pool;
 pub mod series;
 pub mod sort;
+pub mod spill;
 pub mod strings;
 pub mod value;
 

@@ -23,8 +23,9 @@
 //! thread count.
 
 use std::cell::UnsafeCell;
+use std::collections::VecDeque;
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::OnceLock;
+use std::sync::{Condvar, Mutex, OnceLock};
 
 /// Default morsel size in rows for the parallel kernels. Large enough
 /// that per-morsel overheads (an accumulator merge, a run header)
@@ -203,6 +204,162 @@ impl WorkerPool {
     }
 }
 
+// ---------------------------------------------------------------------------
+// Pipeline stages
+// ---------------------------------------------------------------------------
+
+/// A bounded single-producer/single-consumer channel between two
+/// pipeline stages. The bound is the pipeline's *backpressure rule*: a
+/// producer that gets more than `cap` items ahead of its consumer blocks
+/// in [`send`](StageChannel::send), so at most `cap` in-flight items
+/// (plus the two being worked on) are ever materialized — the property
+/// that keeps a streaming scan's footprint independent of file size.
+///
+/// Built on `Mutex` + `Condvar` (no crossbeam in the sanctioned
+/// dependency set); the morsels flowing through are thousands of rows
+/// each, so lock traffic is noise.
+pub struct StageChannel<T> {
+    inner: Mutex<StageState<T>>,
+    /// Signaled when an item is pushed or the producer closes.
+    ready: Condvar,
+    /// Signaled when an item is popped or the consumer hangs up.
+    space: Condvar,
+    cap: usize,
+}
+
+struct StageState<T> {
+    queue: VecDeque<T>,
+    /// Producer finished: drain the queue, then `recv` returns `None`.
+    closed: bool,
+    /// Consumer gone: `send` returns `false` so the producer can stop
+    /// early (e.g. a `LIMIT` was satisfied downstream).
+    hung_up: bool,
+}
+
+impl<T> StageChannel<T> {
+    /// A channel admitting at most `cap` queued items (min 1).
+    pub fn new(cap: usize) -> StageChannel<T> {
+        StageChannel {
+            inner: Mutex::new(StageState {
+                queue: VecDeque::new(),
+                closed: false,
+                hung_up: false,
+            }),
+            ready: Condvar::new(),
+            space: Condvar::new(),
+            cap: cap.max(1),
+        }
+    }
+
+    /// Push an item, blocking while the queue is full. Returns `false`
+    /// (dropping the item) if the consumer has hung up — the producer
+    /// should stop generating.
+    pub fn send(&self, item: T) -> bool {
+        let mut st = self.inner.lock().unwrap();
+        while st.queue.len() >= self.cap && !st.hung_up {
+            st = self.space.wait(st).unwrap();
+        }
+        if st.hung_up {
+            return false;
+        }
+        st.queue.push_back(item);
+        drop(st);
+        self.ready.notify_one();
+        true
+    }
+
+    /// Pop the next item, blocking while the queue is empty and the
+    /// producer is still running. Returns `None` once the producer has
+    /// [`close`](StageChannel::close)d and the queue is drained.
+    pub fn recv(&self) -> Option<T> {
+        let mut st = self.inner.lock().unwrap();
+        loop {
+            if let Some(item) = st.queue.pop_front() {
+                drop(st);
+                self.space.notify_one();
+                return Some(item);
+            }
+            if st.closed {
+                return None;
+            }
+            st = self.ready.wait(st).unwrap();
+        }
+    }
+
+    /// Producer side: no more items will be sent.
+    pub fn close(&self) {
+        self.inner.lock().unwrap().closed = true;
+        self.ready.notify_all();
+    }
+
+    /// Consumer side: stop accepting items (subsequent and blocked
+    /// `send`s return `false`). Queued items are dropped.
+    pub fn hang_up(&self) {
+        let mut st = self.inner.lock().unwrap();
+        st.hung_up = true;
+        st.queue.clear();
+        drop(st);
+        self.space.notify_all();
+    }
+}
+
+/// Run a two-stage pipeline: `producer` on a scoped worker thread,
+/// `consumer` on the calling thread, connected by a bounded
+/// [`StageChannel`] of `cap` items. Returns both stages' results once
+/// both finish.
+///
+/// The consumer runs on the caller's thread so it can hold `&mut`
+/// state (an engine driving operators downstream of a scan) without
+/// `Send` gymnastics. The producer must close the channel when done —
+/// typical producers wrap their loop and call
+/// [`close`](StageChannel::close) at the end; a consumer that stops
+/// early (limit reached, error) should call
+/// [`hang_up`](StageChannel::hang_up) so the producer's next `send`
+/// returns `false` and it can exit instead of blocking forever.
+///
+/// ```
+/// use lafp_columnar::pool::{pipeline, StageChannel};
+/// let ((), sum) = pipeline(
+///     2,
+///     |tx: &StageChannel<i64>| {
+///         for v in 1..=100 {
+///             if !tx.send(v) {
+///                 break;
+///             }
+///         }
+///         tx.close();
+///     },
+///     |rx| {
+///         let mut total = 0;
+///         while let Some(v) = rx.recv() {
+///             total += v;
+///         }
+///         total
+///     },
+/// );
+/// assert_eq!(sum, 5050);
+/// ```
+pub fn pipeline<T, A, B>(
+    cap: usize,
+    producer: impl FnOnce(&StageChannel<T>) -> A + Send,
+    consumer: impl FnOnce(&StageChannel<T>) -> B,
+) -> (A, B)
+where
+    T: Send,
+    A: Send,
+{
+    let channel = StageChannel::new(cap);
+    std::thread::scope(|scope| {
+        let handle = scope.spawn(|| producer(&channel));
+        let b = consumer(&channel);
+        // A consumer that returned early without draining must not
+        // strand the producer on a full queue.
+        channel.hang_up();
+        let a = handle.join().expect("pipeline producer panicked");
+        (a, b)
+    })
+}
+
 /// Split `rows` into contiguous `(start, len)` morsels of at most
 /// `morsel` rows, evenly sized (lengths differ by at most one). Empty
 /// input yields no morsels.
@@ -331,5 +488,108 @@ mod tests {
         let m = kernel_morsels(100_000, 4);
         assert!(m.len() >= 8, "at least two morsels per worker: {}", m.len());
         assert_eq!(m.iter().map(|(_, l)| l).sum::<usize>(), 100_000);
+    }
+
+    #[test]
+    fn pipeline_streams_in_order() {
+        let ((), got) = pipeline(
+            4,
+            |tx: &StageChannel<usize>| {
+                for v in 0..1000 {
+                    assert!(tx.send(v), "consumer drains everything");
+                }
+                tx.close();
+            },
+            |rx| {
+                let mut out = Vec::new();
+                while let Some(v) = rx.recv() {
+                    out.push(v);
+                }
+                out
+            },
+        );
+        assert_eq!(got, (0..1000).collect::<Vec<_>>());
+    }
+
+    /// The bound is the backpressure rule: the producer can never get
+    /// more than `cap` items ahead of the consumer.
+    #[test]
+    fn pipeline_bounds_in_flight_items() {
+        let in_flight = AtomicUsize::new(0);
+        let max_seen = AtomicUsize::new(0);
+        let cap = 3;
+        pipeline(
+            cap,
+            |tx: &StageChannel<()>| {
+                for _ in 0..200 {
+                    let now = in_flight.fetch_add(1, Ordering::SeqCst) + 1;
+                    max_seen.fetch_max(now, Ordering::SeqCst);
+                    assert!(tx.send(()));
+                }
+                tx.close();
+            },
+            |rx| {
+                while rx.recv().is_some() {
+                    in_flight.fetch_sub(1, Ordering::SeqCst);
+                }
+            },
+        );
+        // `cap` queued, plus one item in the producer's pre-send window
+        // and one in the consumer's popped-but-not-yet-counted window.
+        assert!(
+            max_seen.load(Ordering::SeqCst) <= cap + 2,
+            "producer ran {} items ahead of a cap-{} channel",
+            max_seen.load(Ordering::SeqCst),
+            cap
+        );
+    }
+
+    /// A consumer that stops early (a satisfied LIMIT) must unblock the
+    /// producer instead of deadlocking it on a full queue.
+    #[test]
+    fn pipeline_consumer_hangup_stops_producer() {
+        let (sent, got) = pipeline(
+            1,
+            |tx: &StageChannel<usize>| {
+                let mut sent = 0usize;
+                for v in 0..1_000_000 {
+                    if !tx.send(v) {
+                        break;
+                    }
+                    sent += 1;
+                }
+                tx.close();
+                sent
+            },
+            |rx| {
+                let mut out = Vec::new();
+                for _ in 0..5 {
+                    match rx.recv() {
+                        Some(v) => out.push(v),
+                        None => break,
+                    }
+                }
+                rx.hang_up();
+                out
+            },
+        );
+        assert_eq!(got, vec![0, 1, 2, 3, 4]);
+        assert!(sent < 1_000_000, "producer stopped early (sent {sent})");
+    }
+
+    #[test]
+    fn pipeline_empty_producer() {
+        let ((), n) = pipeline(
+            2,
+            |tx: &StageChannel<u8>| tx.close(),
+            |rx| {
+                let mut n = 0;
+                while rx.recv().is_some() {
+                    n += 1;
+                }
+                n
+            },
+        );
+        assert_eq!(n, 0);
     }
 }

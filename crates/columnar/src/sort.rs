@@ -144,6 +144,80 @@ impl<'a> SortKey<'a> {
     }
 }
 
+/// The resolved sort keys of one frame under a [`SortOptions`],
+/// reusable across many comparisons. Built once per run cursor by an
+/// external (spilled) sort's k-way merge, so the per-comparison cost is
+/// the same typed dispatch [`sort_values`] pays — no per-row name
+/// lookups and no boxed scalars.
+pub struct FrameSortKeys<'a> {
+    keys: Vec<SortKey<'a>>,
+}
+
+impl<'a> FrameSortKeys<'a> {
+    /// Resolve `options`' key columns against `frame`.
+    pub fn resolve(frame: &'a DataFrame, options: &SortOptions) -> Result<FrameSortKeys<'a>> {
+        Ok(FrameSortKeys {
+            keys: sort_keys(frame, options)?,
+        })
+    }
+}
+
+/// Compare row `ai` under keys `a` with row `bi` under keys `b` —
+/// the cross-frame comparator an external sort-merge needs. Semantics
+/// match [`sort_values`] exactly: keys compare lexicographically, nulls
+/// (and float `NaN`) sort last regardless of direction, strings and
+/// categoricals compare raw bytes, descending keys reverse. The two
+/// sides are chunks of one logical frame; panics if a key's dtypes
+/// disagree across them.
+pub fn cmp_rows_across(
+    a: &FrameSortKeys<'_>,
+    ai: usize,
+    b: &FrameSortKeys<'_>,
+    bi: usize,
+) -> Ordering {
+    for (ka, kb) in a.keys.iter().zip(&b.keys) {
+        let ord = match (ka.is_null(ai), kb.is_null(bi)) {
+            (true, true) => Ordering::Equal,
+            (true, false) => Ordering::Greater,
+            (false, true) => Ordering::Less,
+            (false, false) => {
+                let ord = match (&ka.view, &kb.view) {
+                    (KeyData::I64(x), KeyData::I64(y)) => x[ai].cmp(&y[bi]),
+                    (KeyData::F64(x), KeyData::F64(y)) => {
+                        x[ai].partial_cmp(&y[bi]).unwrap_or(Ordering::Equal)
+                    }
+                    (KeyData::Bool(x), KeyData::Bool(y)) => x.get(ai).cmp(&y.get(bi)),
+                    // String-class keys all compare raw bytes, so Utf8
+                    // and Categorical chunks interoperate.
+                    (KeyData::Str(_) | KeyData::Cat(_), KeyData::Str(_) | KeyData::Cat(_)) => {
+                        key_bytes(ka, ai).cmp(key_bytes(kb, bi))
+                    }
+                    _ => panic!("cmp_rows_across: key dtype mismatch between chunks"),
+                };
+                if ka.ascending {
+                    ord
+                } else {
+                    ord.reverse()
+                }
+            }
+        };
+        if ord != Ordering::Equal {
+            return ord;
+        }
+    }
+    Ordering::Equal
+}
+
+/// Raw bytes of a non-null string-class key row.
+#[inline]
+fn key_bytes<'a>(key: &'a SortKey<'_>, i: usize) -> &'a [u8] {
+    match &key.view {
+        KeyData::Str(d) => d.bytes_at(i),
+        KeyData::Cat(c) => c.dict.bytes_at(c.codes[i] as usize),
+        _ => unreachable!("key_bytes on non-string key"),
+    }
+}
+
 // ---------------------------------------------------------------------------
 // Normalized keys
 // ---------------------------------------------------------------------------
@@ -824,5 +898,48 @@ mod tests {
     #[test]
     fn unknown_key_errors() {
         assert!(sort_values(&sample(), &SortOptions::single("ghost", true)).is_err());
+    }
+
+    /// The cross-frame comparator must order any pair of rows exactly as
+    /// the in-frame comparator orders them after concatenation.
+    #[test]
+    fn cmp_rows_across_matches_in_frame_sort() {
+        let a = df![
+            ("k", Column::from_opt_f64(vec![Some(2.0), None, Some(1.0)])),
+            ("s", Column::from_strings(vec!["x", "y", "x"])),
+        ];
+        let b = df![
+            ("k", Column::from_opt_f64(vec![Some(2.0), Some(f64::NAN), Some(0.5)])),
+            ("s", Column::from_strings(vec!["w", "z", "x"])),
+        ];
+        for ascending in [true, false] {
+            let options = SortOptions {
+                by: vec!["k".into(), "s".into()],
+                ascending: vec![ascending, true],
+            };
+            let ka = FrameSortKeys::resolve(&a, &options).unwrap();
+            let kb = FrameSortKeys::resolve(&b, &options).unwrap();
+            let keys_a = sort_keys(&a, &options).unwrap();
+            let keys_b = sort_keys(&b, &options).unwrap();
+            for i in 0..3 {
+                for j in 0..3 {
+                    // Reference: compare via each frame's own typed keys
+                    // against itself (rows i of a vs j of b must order the
+                    // same as the concatenated frame would order rows i
+                    // and 3 + j).
+                    let concat = a.concat(&b).unwrap();
+                    let kc = sort_keys(&concat, &options).unwrap();
+                    let expect = cmp_keys(&kc, i, 3 + j);
+                    assert_eq!(
+                        cmp_rows_across(&ka, i, &kb, j),
+                        expect,
+                        "asc={ascending} i={i} j={j}"
+                    );
+                    // Same-frame comparisons agree with cmp_keys too.
+                    assert_eq!(cmp_rows_across(&ka, i, &ka, j), cmp_keys(&keys_a, i, j));
+                    assert_eq!(cmp_rows_across(&kb, i, &kb, j), cmp_keys(&keys_b, i, j));
+                }
+            }
+        }
     }
 }

@@ -326,6 +326,24 @@ impl Utf8Col {
         self.offsets.get(n) - self.offsets.get(0)
     }
 
+    /// The contiguous arena range actually used by this column's rows
+    /// (a slice sees only its own window). Row `i` spans
+    /// `used_bytes()[a..b]` where `a`/`b` are its rebased offsets —
+    /// serializers write this range once instead of copying per row.
+    pub fn used_bytes(&self) -> &[u8] {
+        let lo = self.offsets.get(0);
+        let hi = self.offsets.get(self.len());
+        &self.arena.bytes[lo..hi]
+    }
+
+    /// Byte length of row `i` (serialization writes per-row lengths and
+    /// reconstructs offsets on read).
+    #[inline]
+    pub fn len_at(&self, i: usize) -> usize {
+        let (start, end) = self.range(i);
+        end - start
+    }
+
     /// Heap bytes charged to this column: its own rows' bytes (the used
     /// arena range) plus its offsets. Shared-arena slices charge only
     /// their window — per-holder accounting, matching what the

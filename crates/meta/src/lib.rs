@@ -19,7 +19,9 @@
 #![warn(missing_docs)]
 
 pub mod scan;
+pub mod spill;
 pub mod store;
 
 pub use scan::compute_metadata;
+pub use spill::{SpillSnapshot, SpillStats};
 pub use store::{ColumnMeta, DatasetMeta, MetaStore};

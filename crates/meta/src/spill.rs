@@ -1,0 +1,115 @@
+//! Process-wide spill telemetry.
+//!
+//! The streaming backend evicts buffered partitions to disk when the
+//! simulated memory budget would overflow (see `lafp-columnar`'s
+//! `spill` module). These counters record how often and how much, so
+//! benchmarks and tests can assert *that* a query spilled (or didn't)
+//! without threading instrumentation through every operator. Counters
+//! are cumulative atomics; [`SpillStats::reset`] zeroes them between
+//! measured runs.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Cumulative spill counters. One global instance lives behind
+/// [`global`]; engines record into it as they evict and restore.
+#[derive(Debug, Default)]
+pub struct SpillStats {
+    events: AtomicU64,
+    spilled_bytes: AtomicU64,
+    restored_bytes: AtomicU64,
+    files: AtomicU64,
+}
+
+/// A point-in-time copy of the counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SpillSnapshot {
+    /// Partition evictions (one per frame written to disk).
+    pub events: u64,
+    /// Simulated heap bytes written out across all evictions.
+    pub spilled_bytes: u64,
+    /// Simulated heap bytes re-admitted from disk on drain.
+    pub restored_bytes: u64,
+    /// Spill files created.
+    pub files: u64,
+}
+
+impl SpillStats {
+    /// Record one evicted frame of `bytes` simulated heap.
+    pub fn record_spill(&self, bytes: usize) {
+        self.events.fetch_add(1, Ordering::Relaxed);
+        self.spilled_bytes.fetch_add(bytes as u64, Ordering::Relaxed);
+    }
+
+    /// Record `bytes` re-admitted from disk.
+    pub fn record_restore(&self, bytes: usize) {
+        self.restored_bytes.fetch_add(bytes as u64, Ordering::Relaxed);
+    }
+
+    /// Record one spill file created.
+    pub fn record_file(&self) {
+        self.files.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Copy the current counter values.
+    pub fn snapshot(&self) -> SpillSnapshot {
+        SpillSnapshot {
+            events: self.events.load(Ordering::Relaxed),
+            spilled_bytes: self.spilled_bytes.load(Ordering::Relaxed),
+            restored_bytes: self.restored_bytes.load(Ordering::Relaxed),
+            files: self.files.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Zero every counter (between measured runs).
+    pub fn reset(&self) {
+        self.events.store(0, Ordering::Relaxed);
+        self.spilled_bytes.store(0, Ordering::Relaxed);
+        self.restored_bytes.store(0, Ordering::Relaxed);
+        self.files.store(0, Ordering::Relaxed);
+    }
+}
+
+/// The process-wide counters.
+pub fn global() -> &'static SpillStats {
+    static GLOBAL: SpillStats = SpillStats {
+        events: AtomicU64::new(0),
+        spilled_bytes: AtomicU64::new(0),
+        restored_bytes: AtomicU64::new(0),
+        files: AtomicU64::new(0),
+    };
+    &GLOBAL
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate_and_reset() {
+        let stats = SpillStats::default();
+        stats.record_file();
+        stats.record_spill(100);
+        stats.record_spill(50);
+        stats.record_restore(150);
+        assert_eq!(
+            stats.snapshot(),
+            SpillSnapshot {
+                events: 2,
+                spilled_bytes: 150,
+                restored_bytes: 150,
+                files: 1,
+            }
+        );
+        stats.reset();
+        assert_eq!(stats.snapshot(), SpillSnapshot::default());
+    }
+
+    #[test]
+    fn global_is_shared() {
+        let before = global().snapshot();
+        global().record_spill(7);
+        let after = global().snapshot();
+        assert_eq!(after.events, before.events + 1);
+        assert_eq!(after.spilled_bytes, before.spilled_bytes + 7);
+    }
+}
