@@ -42,14 +42,16 @@ use crate::memory::{MemoryReservation, MemoryTracker};
 use lafp_columnar::csv::{CsvChunkReader, CsvOptions};
 use lafp_columnar::groupby::{GroupByAccumulator, GroupBySpec};
 use lafp_columnar::join::{merge as join_merge, JoinKind};
-use lafp_columnar::pool::{pipeline, StageChannel, WorkerPool};
+use lafp_columnar::pool::{pipeline, pipeline3, StageChannel, WorkerPool};
 use lafp_columnar::sort::{cmp_rows_across, sort_values_par, FrameSortKeys, SortOptions};
 use lafp_columnar::spill::{spill_frame, SpillDir, SpillFile, SpillReader, SpillWriter};
 use lafp_columnar::{
-    AggKind, Column, ColumnarError, DataFrame, HeapSize, Result, Scalar, Series,
+    AggKind, Bitmap, Column, ColumnarError, DataFrame, HeapSize, Result, Scalar, Series,
 };
 use lafp_expr::Expr;
+use lafp_meta::FusionStats;
 use std::cmp::Ordering;
+use std::collections::BTreeSet;
 use std::path::PathBuf;
 use std::sync::Arc;
 
@@ -195,6 +197,14 @@ pub struct DaskEngine {
     /// operator work) when the pool is parallel. On by default; exists
     /// so benches can measure the blocking drain for comparison.
     pub pipeline_scan: bool,
+    /// Fuse maximal runs of row-wise operators (plus a terminal
+    /// aggregation) into single-pass per-morsel chains. On by default;
+    /// `LAFP_NO_FUSE=1` or this flag disables it so CI and benches can
+    /// exercise the unfused path.
+    pub fuse_chains: bool,
+    /// Engine-local chain-fusion counters (mirrored into
+    /// [`lafp_meta::fusion::global`]).
+    fusion_stats: Arc<FusionStats>,
 }
 
 impl DaskEngine {
@@ -211,6 +221,8 @@ impl DaskEngine {
             spill_dir: Arc::new(SpillDir::in_temp()),
             projection_pushdown: false,
             pipeline_scan: true,
+            fuse_chains: fuse_default(),
+            fusion_stats: Arc::new(FusionStats::default()),
         }
     }
 
@@ -230,6 +242,21 @@ impl DaskEngine {
     /// The shared memory tracker.
     pub fn tracker(&self) -> &Arc<MemoryTracker> {
         &self.tracker
+    }
+
+    /// Snapshot of this engine's chain-fusion counters: how many chains
+    /// were planned, how many morsels flowed through them, and how many
+    /// intermediate frames the *unfused* row-wise path materialized.
+    /// A fully fused pipeline reports `intermediate_frames == 0`.
+    pub fn fusion_stats(&self) -> lafp_meta::FusionSnapshot {
+        self.fusion_stats.snapshot()
+    }
+
+    /// Count one intermediate frame materialized by the unfused row-wise
+    /// path (the cost fusion exists to remove).
+    fn record_intermediate(&self) {
+        self.fusion_stats.record_intermediate();
+        lafp_meta::fusion::global().record_intermediate();
     }
 
     /// Number of graph nodes created so far.
@@ -646,6 +673,347 @@ impl PartitionBuffer {
     }
 }
 
+// ---------------------------------------------------------------------------
+// Fused operator chains
+// ---------------------------------------------------------------------------
+//
+// The batch planner groups maximal runs of row-wise operators (plus an
+// optional terminal aggregation) into a `FusedChain` executed as ONE pass
+// per morsel. Instead of each operator materializing a fresh frame
+// (filter gathers every column; with_column clones every column), the
+// chain accumulates filter predicates into a selection bitmap, computes
+// derived columns only for surviving rows, applies projections and
+// renames as schema bookkeeping, and feeds a terminal group-by / reduce /
+// len accumulator straight from the selected view. The only per-morsel
+// materialization is the chain's *output* — and a chain that ends in an
+// aggregation materializes nothing at all.
+
+/// `LAFP_NO_FUSE=1` disables chain fusion engine-wide (CI escape hatch).
+fn fuse_default() -> bool {
+    match std::env::var("LAFP_NO_FUSE") {
+        Ok(v) => {
+            let v = v.trim();
+            v.is_empty() || v == "0"
+        }
+        Err(_) => true,
+    }
+}
+
+/// One row-local step of a fused chain (the op of an absorbed node).
+enum FusedStep {
+    /// AND the predicate into the selection bitmap (no rows gathered).
+    Filter(Expr),
+    /// Compute a column over the *compacted* domain (survivors only).
+    WithColumn(String, Expr),
+    /// Projection: schema bookkeeping only.
+    Select(Vec<String>),
+    /// Column drop: schema bookkeeping only.
+    Drop(Vec<String>),
+    /// Rename: schema bookkeeping only.
+    Rename(Vec<(String, String)>),
+    /// Fill nulls in every live column over the current domain (fill is
+    /// row-local, so it commutes with a pending selection).
+    FillNa(Scalar),
+}
+
+/// A planned chain: row-local steps executed as one pass per morsel.
+struct FusedChain {
+    /// Steps in execution order; `steps[0]` is the chain head's op.
+    steps: Vec<FusedStep>,
+    /// Node id of the last row-wise step — chain output emits from it
+    /// (it may be persisted, a root, or have several consumers).
+    last: DaskNodeId,
+    /// Terminal aggregation absorbed into the chain (`GroupByAgg`,
+    /// `Reduce` or `Len`), fed from the selected view without ever
+    /// materializing the chain output.
+    terminal: Option<DaskNodeId>,
+    /// `live[k]`: column names whose *values* steps `k..` (and the chain
+    /// output) still need; `None` = all visible. Compaction consults this
+    /// to gather only live columns — dead ones keep their name (schema
+    /// steps still validate against it) but drop their data.
+    live: Vec<Option<BTreeSet<String>>>,
+}
+
+/// Where a visible column's values currently live while a chain runs.
+enum FusedSrc {
+    /// Column `i` of the input morsel, untouched (zero copies so far).
+    Base(usize),
+    /// Computed / filled / compacted column owned by this morsel.
+    Owned(Column),
+    /// Liveness-pruned at a compaction: the name is still visible (so
+    /// select / drop / rename semantics match the unfused path) but the
+    /// values were provably never needed again.
+    Dead,
+}
+
+/// The result of running a chain's steps over one input morsel: a
+/// visible schema over base/owned columns plus a pending selection.
+/// Nothing here is materialized into a frame.
+struct FusedMorsel {
+    cols: Vec<(String, FusedSrc)>,
+    /// Pending selection over the current row domain (`None` = all rows).
+    sel: Option<Bitmap>,
+    /// Current row-domain length (post-compaction, pre-`sel`).
+    rows: usize,
+}
+
+/// Resolve a visible column to a borrowed `Column` (base or owned).
+fn fused_resolve<'a>(
+    cols: &'a [(String, FusedSrc)],
+    part: &'a DataFrame,
+    name: &str,
+) -> Result<&'a Column> {
+    for (n, src) in cols {
+        if n == name {
+            return match src {
+                FusedSrc::Base(i) => Ok(part.series()[*i].column()),
+                FusedSrc::Owned(c) => Ok(c),
+                FusedSrc::Dead => Err(ColumnarError::ColumnNotFound(name.to_string())),
+            };
+        }
+    }
+    Err(ColumnarError::ColumnNotFound(name.to_string()))
+}
+
+/// Apply a pending selection: gather the live columns once, mark dead
+/// ones, and shrink the row domain. This is the *only* place a fused
+/// chain gathers rows, and it gathers each live column exactly once no
+/// matter how many filters preceded it.
+fn fused_compact(
+    part: &DataFrame,
+    cols: &mut [(String, FusedSrc)],
+    sel: &mut Option<Bitmap>,
+    rows: &mut usize,
+    live: &Option<BTreeSet<String>>,
+) -> Result<()> {
+    let Some(mask) = sel.take() else {
+        return Ok(());
+    };
+    *rows = mask.count_set();
+    for (name, src) in cols.iter_mut() {
+        if let Some(live) = live {
+            if !live.contains(name) {
+                *src = FusedSrc::Dead;
+                continue;
+            }
+        }
+        let gathered = match src {
+            FusedSrc::Base(i) => part.series()[*i].column().filter(&mask)?,
+            FusedSrc::Owned(c) => c.filter(&mask)?,
+            FusedSrc::Dead => continue,
+        };
+        *src = FusedSrc::Owned(gathered);
+    }
+    Ok(())
+}
+
+/// Add-or-replace preserving position (mirrors `DataFrame::with_column`).
+fn fused_upsert(cols: &mut Vec<(String, FusedSrc)>, name: &str, col: Column) {
+    match cols.iter_mut().find(|(n, _)| n == name) {
+        Some((_, src)) => *src = FusedSrc::Owned(col),
+        None => cols.push((name.to_string(), FusedSrc::Owned(col))),
+    }
+}
+
+impl FusedChain {
+    /// Compile a planned run of row-wise node ids (+ optional terminal)
+    /// into executable steps with per-step column liveness.
+    fn compile(
+        engine: &DaskEngine,
+        run: &[DaskNodeId],
+        terminal: Option<DaskNodeId>,
+    ) -> FusedChain {
+        let steps: Vec<FusedStep> = run
+            .iter()
+            .map(|&id| match engine.nodes[id].op.clone() {
+                DaskOp::Filter(e) => FusedStep::Filter(e),
+                DaskOp::WithColumn(name, e) => FusedStep::WithColumn(name, e),
+                DaskOp::Select(cols) => FusedStep::Select(cols),
+                DaskOp::DropColumns(cols) => FusedStep::Drop(cols),
+                DaskOp::Rename(mapping) => FusedStep::Rename(mapping),
+                DaskOp::FillNa(value) => FusedStep::FillNa(value),
+                other => unreachable!("non-fusable op {other:?} in chain"),
+            })
+            .collect();
+        // Backward liveness: what each suffix of the chain still reads.
+        let n = steps.len();
+        let mut live: Vec<Option<BTreeSet<String>>> = vec![None; n + 1];
+        live[n] = terminal.map(|t| match &engine.nodes[t].op {
+            DaskOp::GroupByAgg(spec) => {
+                let mut s: BTreeSet<String> = spec.keys.iter().cloned().collect();
+                s.insert(spec.value.clone());
+                s
+            }
+            DaskOp::Reduce { column, .. } => std::iter::once(column.clone()).collect(),
+            DaskOp::Len => BTreeSet::new(),
+            other => unreachable!("op {other:?} fused as terminal"),
+        });
+        for k in (0..n).rev() {
+            let down = live[k + 1].clone();
+            live[k] = match &steps[k] {
+                FusedStep::Filter(e) => down.map(|mut s| {
+                    s.extend(e.used_columns());
+                    s
+                }),
+                FusedStep::WithColumn(name, e) => down.map(|mut s| {
+                    s.remove(name);
+                    s.extend(e.used_columns());
+                    s
+                }),
+                FusedStep::Select(names) => Some(match down {
+                    Some(s) => s,
+                    None => names.iter().cloned().collect(),
+                }),
+                FusedStep::Drop(_) | FusedStep::FillNa(_) => down,
+                FusedStep::Rename(mapping) => down.map(|s| {
+                    s.into_iter()
+                        .map(|c| match mapping.iter().find(|(_, new)| *new == c) {
+                            Some((old, _)) => old.clone(),
+                            None => c,
+                        })
+                        .collect()
+                }),
+            };
+        }
+        FusedChain {
+            steps,
+            last: *run.last().expect("non-empty chain"),
+            terminal,
+            live,
+        }
+    }
+
+    /// Run every step over one input morsel in a single pass. Error
+    /// semantics deliberately mirror the unfused operators: unknown
+    /// columns report [`ColumnNotFound`], duplicate projections report
+    /// [`DuplicateColumn`], and `fillna` skips columns it cannot fill.
+    ///
+    /// [`ColumnNotFound`]: ColumnarError::ColumnNotFound
+    /// [`DuplicateColumn`]: ColumnarError::DuplicateColumn
+    fn apply(&self, part: &DataFrame) -> Result<FusedMorsel> {
+        let mut cols: Vec<(String, FusedSrc)> = part
+            .series()
+            .iter()
+            .enumerate()
+            .map(|(i, s)| (s.name().to_string(), FusedSrc::Base(i)))
+            .collect();
+        let mut sel: Option<Bitmap> = None;
+        let mut rows = part.num_rows();
+        for (k, step) in self.steps.iter().enumerate() {
+            match step {
+                FusedStep::Filter(expr) => {
+                    // Evaluate over the current (possibly unselected)
+                    // domain and AND into the pending selection: adjacent
+                    // filters collapse into one bitmap before any row is
+                    // gathered. Sound because every expression kernel is
+                    // total (e.g. `% 0` nulls, never panics), so rows an
+                    // earlier predicate already rejected are harmless.
+                    let mask =
+                        expr.evaluate_mask_resolved(rows, &|n| fused_resolve(&cols, part, n))?;
+                    match &mut sel {
+                        None => sel = Some(mask),
+                        Some(s) => s.and_assign(&mask),
+                    }
+                }
+                FusedStep::WithColumn(name, expr) => {
+                    // Compact first so the derived column is computed
+                    // only for surviving rows.
+                    fused_compact(part, &mut cols, &mut sel, &mut rows, &self.live[k])?;
+                    let col =
+                        expr.evaluate_resolved(rows, &|n| fused_resolve(&cols, part, n))?;
+                    fused_upsert(&mut cols, name, col);
+                }
+                FusedStep::Select(names) => {
+                    let mut picked: Vec<(String, FusedSrc)> = Vec::with_capacity(names.len());
+                    for name in names {
+                        let idx = cols
+                            .iter()
+                            .position(|(n, _)| n == name)
+                            .ok_or_else(|| ColumnarError::ColumnNotFound(name.clone()))?;
+                        if picked.iter().any(|(n, _)| n == name) {
+                            return Err(ColumnarError::DuplicateColumn(name.clone()));
+                        }
+                        let src = std::mem::replace(&mut cols[idx].1, FusedSrc::Dead);
+                        picked.push((name.clone(), src));
+                    }
+                    cols = picked;
+                }
+                FusedStep::Drop(names) => {
+                    for name in names {
+                        if !cols.iter().any(|(n, _)| n == name) {
+                            return Err(ColumnarError::ColumnNotFound(name.clone()));
+                        }
+                    }
+                    cols.retain(|(n, _)| !names.iter().any(|d| d == n));
+                }
+                FusedStep::Rename(mapping) => {
+                    for (old, _) in mapping {
+                        if !cols.iter().any(|(n, _)| n == old) {
+                            return Err(ColumnarError::ColumnNotFound(old.clone()));
+                        }
+                    }
+                    for (name, _) in cols.iter_mut() {
+                        if let Some((_, new)) = mapping.iter().find(|(old, _)| old == name) {
+                            *name = new.clone();
+                        }
+                    }
+                    let mut seen = BTreeSet::new();
+                    for (name, _) in &cols {
+                        if !seen.insert(name.clone()) {
+                            return Err(ColumnarError::DuplicateColumn(name.clone()));
+                        }
+                    }
+                }
+                FusedStep::FillNa(value) => {
+                    // Fill is row-local, so it commutes with the pending
+                    // selection — no compaction needed. Only live columns
+                    // are filled; unfillable ones pass through unchanged
+                    // (unfused parity).
+                    for (name, src) in cols.iter_mut() {
+                        if let Some(live) = &self.live[k] {
+                            if !live.contains(name) {
+                                continue;
+                            }
+                        }
+                        let base = match src {
+                            FusedSrc::Base(i) => part.series()[*i].column(),
+                            FusedSrc::Owned(c) => c,
+                            FusedSrc::Dead => continue,
+                        };
+                        if let Ok(filled) = base.fillna(value) {
+                            *src = FusedSrc::Owned(filled);
+                        }
+                    }
+                }
+            }
+        }
+        Ok(FusedMorsel { cols, sel, rows })
+    }
+}
+
+/// Materialize a chain's output morsel into a frame — the chain
+/// boundary, and the only per-morsel materialization a fused chain
+/// performs. Each output column is gathered (or cloned) exactly once.
+fn fused_materialize(part: &DataFrame, morsel: FusedMorsel) -> Result<DataFrame> {
+    let FusedMorsel { cols, sel, .. } = morsel;
+    let mut series = Vec::with_capacity(cols.len());
+    for (name, src) in cols {
+        let col = match (src, &sel) {
+            (FusedSrc::Base(i), Some(mask)) => part.series()[i].column().filter(mask)?,
+            (FusedSrc::Base(i), None) => part.series()[i].column().clone(),
+            (FusedSrc::Owned(c), Some(mask)) => c.filter(mask)?,
+            (FusedSrc::Owned(c), None) => c,
+            // Liveness only kills columns the suffix provably never
+            // reads, and the output reads every visible column.
+            (FusedSrc::Dead, _) => {
+                return Err(ColumnarError::ColumnNotFound(name));
+            }
+        };
+        series.push(Series::new(name, col));
+    }
+    DataFrame::new(series)
+}
+
 /// One batch execution over the engine graph.
 struct BatchRun {
     /// Node ids included in this run.
@@ -668,6 +1036,12 @@ struct BatchRun {
     gather_buffers: std::collections::HashMap<usize, PartitionBuffer>,
     /// Per-batch scan row limits from head pushdown.
     scan_limits: std::collections::HashMap<DaskNodeId, usize>,
+    /// Fused operator chains planned for this batch (`Arc` so a pipeline
+    /// transform stage can run a chain while the driver owns the run).
+    chains: Vec<Arc<FusedChain>>,
+    /// Chain index by head node id: partitions delivered to a head are
+    /// routed through the whole chain in one pass.
+    chain_by_head: std::collections::HashMap<DaskNodeId, usize>,
 }
 
 impl BatchRun {
@@ -742,6 +1116,8 @@ impl BatchRun {
             scalar_results: std::collections::HashMap::new(),
             gather_buffers: std::collections::HashMap::new(),
             scan_limits: std::collections::HashMap::new(),
+            chains: Vec::new(),
+            chain_by_head: std::collections::HashMap::new(),
         };
         // Frame-valued roots additionally buffer their output.
         for &root in roots {
@@ -755,7 +1131,66 @@ impl BatchRun {
                 run.install_gather(p, tracker, &engine.spill_dir);
             }
         }
+        if engine.fuse_chains {
+            run.plan_chains(engine);
+        }
         Ok(run)
+    }
+
+    /// Plan fused operator chains (see the "Fused operator chains"
+    /// section above). A node heads a chain when it is row-wise,
+    /// uncached, and its producer does not itself extend into it; the
+    /// chain then absorbs every downstream link whose output is
+    /// invisible to the rest of the batch (single consumer, no persist
+    /// tee, not a root), and optionally a terminal aggregation.
+    fn plan_chains(&mut self, engine: &DaskEngine) {
+        let fusable =
+            |id: DaskNodeId| engine.nodes[id].cache.is_none() && engine.nodes[id].op.is_row_wise();
+        // Interior links must be invisible to everything but the next
+        // link: exactly one consumer, no persist tee, not a batch root.
+        let interior_ok = |run: &BatchRun, n: DaskNodeId| {
+            let p = run.pos[n].expect("chain node included");
+            run.consumers[p].len() == 1
+                && !engine.nodes[n].persisted
+                && !run.root_set.contains(&n)
+        };
+        for idx in 0..self.nodes.len() {
+            let id = self.nodes[idx];
+            if !fusable(id) {
+                continue;
+            }
+            let producer = engine.nodes[id].inputs.first().copied();
+            if producer.is_some_and(|p| fusable(p) && interior_ok(self, p)) {
+                continue; // not a head: the upstream chain absorbs this node
+            }
+            let mut run_nodes = vec![id];
+            let mut terminal = None;
+            let mut cur = id;
+            while interior_ok(self, cur) {
+                let (next, _slot) = self.consumers[self.pos[cur].unwrap()][0];
+                if fusable(next) {
+                    run_nodes.push(next);
+                    cur = next;
+                    continue;
+                }
+                if matches!(
+                    engine.nodes[next].op,
+                    DaskOp::GroupByAgg(_) | DaskOp::Reduce { .. } | DaskOp::Len
+                ) {
+                    terminal = Some(next);
+                }
+                break;
+            }
+            if run_nodes.len() < 2 && terminal.is_none() {
+                continue; // a lone row-wise op has nothing to fuse with
+            }
+            let ops = run_nodes.len() + usize::from(terminal.is_some());
+            engine.fusion_stats.record_chain(ops);
+            lafp_meta::fusion::global().record_chain(ops);
+            let chain = FusedChain::compile(engine, &run_nodes, terminal);
+            self.chain_by_head.insert(id, self.chains.len());
+            self.chains.push(Arc::new(chain));
+        }
     }
 
     fn install_gather(
@@ -832,7 +1267,73 @@ impl BatchRun {
                     (a, b) => a.or(b),
                 };
                 let mut reader = CsvChunkReader::open(&path, &options, engine.chunk_rows)?;
-                if engine.pipeline_scan && engine.pool.is_parallel() {
+                // When the scan's sole observer is a fused chain head and
+                // no row limit applies, run a THREE-stage pipeline: the
+                // parse thread overlaps a dedicated chain-transform
+                // thread, and this (driver) thread only lands finished
+                // morsels (accumulator updates / output emits).
+                let chain_ci = if limit.is_none()
+                    && !engine.nodes[id].persisted
+                    && !self.root_set.contains(&id)
+                    && self.consumers[self.pos[id].expect("source included")].len() == 1
+                {
+                    let (consumer, _slot) =
+                        self.consumers[self.pos[id].expect("source included")][0];
+                    self.chain_by_head.get(&consumer).copied()
+                } else {
+                    None
+                };
+                if let (true, Some(ci)) = (
+                    engine.pipeline_scan && engine.pool.is_parallel(),
+                    chain_ci,
+                ) {
+                    let cap = engine.pool.threads();
+                    let chain = Arc::clone(&self.chains[ci]);
+                    let landed_chain = Arc::clone(&self.chains[ci]);
+                    let (parse, transform, drive) = pipeline3(
+                        cap,
+                        move |tx: &StageChannel<Result<DataFrame>>| {
+                            loop {
+                                match reader.next_chunk() {
+                                    Ok(Some(chunk)) => {
+                                        if !tx.send(Ok(chunk)) {
+                                            break; // downstream hung up
+                                        }
+                                    }
+                                    Ok(None) => break,
+                                    Err(e) => {
+                                        let _ = tx.send(Err(e));
+                                        break;
+                                    }
+                                }
+                            }
+                            tx.close();
+                        },
+                        move |rx: &StageChannel<Result<DataFrame>>,
+                              tx: &StageChannel<Result<(DataFrame, FusedMorsel)>>| {
+                            while let Some(item) = rx.recv() {
+                                let out = item
+                                    .and_then(|chunk| chain.apply(&chunk).map(|m| (chunk, m)));
+                                let stop = out.is_err();
+                                if !tx.send(out) || stop {
+                                    break;
+                                }
+                            }
+                            tx.close();
+                        },
+                        |rx: &StageChannel<Result<(DataFrame, FusedMorsel)>>| -> Result<()> {
+                            while let Some(item) = rx.recv() {
+                                let (chunk, morsel) = item?;
+                                let _t = engine.tracker.charge(chunk.heap_size())?;
+                                self.absorb_fused(engine, &landed_chain, &chunk, morsel)?;
+                            }
+                            Ok(())
+                        },
+                    );
+                    let () = parse;
+                    let () = transform;
+                    drive?;
+                } else if engine.pipeline_scan && engine.pool.is_parallel() {
                     // Pipelined scan: the CSV parse runs on a producer
                     // thread while this (driver) thread pushes finished
                     // chunks through the downstream operators. The
@@ -951,6 +1452,13 @@ impl BatchRun {
         slot: usize,
         part: &DataFrame,
     ) -> Result<()> {
+        // A chain head routes the partition through the whole fused
+        // chain in one pass instead of its own (unfused) arm below.
+        if let Some(ci) = self.chain_by_head.get(&id).copied() {
+            let chain = Arc::clone(&self.chains[ci]);
+            let morsel = chain.apply(part)?;
+            return self.absorb_fused(engine, &chain, part, morsel);
+        }
         let p = self.pos[id].expect("consumer included");
         let op = engine.nodes[id].op.clone();
         // Take the state out to satisfy the borrow checker across recursion.
@@ -958,25 +1466,31 @@ impl BatchRun {
         let result = (|| -> Result<()> {
             match (&op, &mut state) {
                 (DaskOp::Filter(expr), NodeState::RowWise) => {
+                    engine.record_intermediate();
                     let out = part.filter(&expr.evaluate_mask(part)?)?;
                     let _t = engine.tracker.charge(out.heap_size())?;
                     self.emit(engine, id, &out)
                 }
                 (DaskOp::WithColumn(name, expr), NodeState::RowWise) => {
+                    engine.record_intermediate();
                     let out = part.with_column(name, expr.evaluate(part)?)?;
                     let _t = engine.tracker.charge(out.heap_size())?;
                     self.emit(engine, id, &out)
                 }
                 (DaskOp::Select(cols), NodeState::RowWise) => {
+                    engine.record_intermediate();
                     self.emit_owned(engine, id, part.select(cols)?)
                 }
                 (DaskOp::DropColumns(cols), NodeState::RowWise) => {
+                    engine.record_intermediate();
                     self.emit_owned(engine, id, part.drop(cols)?)
                 }
                 (DaskOp::Rename(mapping), NodeState::RowWise) => {
+                    engine.record_intermediate();
                     self.emit_owned(engine, id, part.rename(mapping)?)
                 }
                 (DaskOp::FillNa(value), NodeState::RowWise) => {
+                    engine.record_intermediate();
                     let mut cols = Vec::with_capacity(part.num_columns());
                     for s in part.series() {
                         match s.column().fillna(value) {
@@ -1049,6 +1563,67 @@ impl BatchRun {
                 (DaskOp::Concat, NodeState::ConcatState) => self.emit(engine, id, part),
                 (op, _) => Err(ColumnarError::InvalidArgument(format!(
                     "unexpected state for op {op:?}"
+                ))),
+            }
+        })();
+        self.states[p] = state;
+        result
+    }
+
+    /// Land one chain-transformed morsel: feed the terminal accumulator
+    /// straight from the selected view (zero materializations), or
+    /// materialize the chain's output frame once and emit it from the
+    /// last fused node (which handles persist tees / gather buffers /
+    /// fan-out exactly like an unfused emit).
+    fn absorb_fused(
+        &mut self,
+        engine: &mut DaskEngine,
+        chain: &FusedChain,
+        part: &DataFrame,
+        morsel: FusedMorsel,
+    ) -> Result<()> {
+        engine.fusion_stats.record_fused_morsel(part.num_rows());
+        lafp_meta::fusion::global().record_fused_morsel(part.num_rows());
+        let Some(t) = chain.terminal else {
+            let out = fused_materialize(part, morsel)?;
+            let _t = engine.tracker.charge(out.heap_size())?;
+            return self.emit(engine, chain.last, &out);
+        };
+        let p = self.pos[t].expect("terminal included");
+        let op = engine.nodes[t].op.clone();
+        let mut state = std::mem::replace(&mut self.states[p], NodeState::RowWise);
+        let result = (|| -> Result<()> {
+            match (&op, &mut state) {
+                (DaskOp::GroupByAgg(spec), NodeState::GroupBy { acc, state }) => {
+                    let key_cols: Vec<&Column> = spec
+                        .keys
+                        .iter()
+                        .map(|k| fused_resolve(&morsel.cols, part, k))
+                        .collect::<Result<_>>()?;
+                    let value_col = fused_resolve(&morsel.cols, part, &spec.value)?;
+                    acc.update_cols(&key_cols, value_col, morsel.sel.as_ref())?;
+                    let held = acc.heap_size();
+                    if held > state.bytes() {
+                        state.grow(held - state.bytes())?;
+                    }
+                    Ok(())
+                }
+                (DaskOp::Reduce { column, .. }, NodeState::Reduce { acc }) => {
+                    let col = fused_resolve(&morsel.cols, part, column)?;
+                    match &morsel.sel {
+                        Some(mask) => acc.update_col(&col.filter(mask)?),
+                        None => acc.update_col(col),
+                    }
+                }
+                (DaskOp::Len, NodeState::Len { rows }) => {
+                    *rows += morsel
+                        .sel
+                        .as_ref()
+                        .map_or(morsel.rows, Bitmap::count_set);
+                    Ok(())
+                }
+                (op, _) => Err(ColumnarError::InvalidArgument(format!(
+                    "unexpected state for fused terminal {op:?}"
                 ))),
             }
         })();
@@ -1539,6 +2114,12 @@ fn input_requirements(
             let both = add_used(out, on.clone());
             vec![both.clone(), both]
         }
+        // FillNa fills whatever flows through it and Head passes rows
+        // through — neither widens what the input must provide.
+        DaskOp::FillNa(_) | DaskOp::Head(_) => vec![out.clone()],
+        // Drop errors on missing names (pandas default), so the dropped
+        // columns must still be *read* even though they are discarded.
+        DaskOp::DropColumns(cols) => vec![add_used(out, cols.clone())],
         _ => vec![ColumnRequirement::All; n_inputs],
     }
 }
@@ -1562,12 +2143,14 @@ impl ReduceState {
     }
 
     fn update(&mut self, part: &DataFrame, column: &str) -> Result<()> {
-        let col = part.column(column)?.column().clone();
-        let chunk = DataFrame::new(vec![
-            Series::new("__all", Column::from_i64(vec![0; col.len()])),
-            Series::new("__v", col),
-        ])?;
-        self.acc.update(&chunk)
+        self.update_col(part.column(column)?.column())
+    }
+
+    /// Feed a bare value column (fused chains resolve the column out of
+    /// the morsel, so no two-column scratch frame is assembled).
+    fn update_col(&mut self, col: &Column) -> Result<()> {
+        let all = Column::from_i64(vec![0; col.len()]);
+        self.acc.update_cols(&[&all], col, None)
     }
 
     fn finish(self) -> Scalar {
@@ -2045,5 +2628,219 @@ mod tests {
         let frame = v.into_frame().unwrap();
         assert_eq!(frame.num_rows(), 50);
         assert!(frame.has_column("tag"));
+    }
+
+    // ------------------------------------------------------------------
+    // Chain fusion
+    // ------------------------------------------------------------------
+
+    use lafp_columnar::column::ArithOp;
+
+    /// `scan → filter → with_column → select → groupby` — the canonical
+    /// fully-fusable chain from the PR's acceptance criteria.
+    fn fused_query(e: &mut DaskEngine, path: &Path) -> DaskNodeId {
+        let s = scan(e, path);
+        let f = e.add(
+            DaskOp::Filter(Expr::col("fare").gt(Expr::lit_float(0.0))),
+            vec![s],
+        );
+        let w = e.add(
+            DaskOp::WithColumn(
+                "fare2".into(),
+                Expr::col("fare").arith(ArithOp::Mul, Expr::lit_float(2.0)),
+            ),
+            vec![f],
+        );
+        let sel = e.add(
+            DaskOp::Select(vec!["day".into(), "fare2".into()]),
+            vec![w],
+        );
+        e.add(
+            DaskOp::GroupByAgg(GroupBySpec {
+                keys: vec!["day".into()],
+                value: "fare2".into(),
+                agg: AggKind::Sum,
+            }),
+            vec![sel],
+        )
+    }
+
+    #[test]
+    fn fused_chain_zero_intermediate_frames() {
+        let path = temp_csv(300);
+        let mut fused = DaskEngine::new(MemoryTracker::unlimited(), 16);
+        fused.fuse_chains = true;
+        let g = fused_query(&mut fused, &path);
+        let (v, _r) = fused.compute(g).unwrap();
+        let got = v.into_frame().unwrap();
+        let stats = fused.fusion_stats();
+        assert_eq!(stats.chains, 1);
+        assert_eq!(stats.fused_ops, 4, "filter + with_column + select + groupby");
+        assert!(stats.fused_morsels > 0);
+        assert_eq!(
+            stats.intermediate_frames, 0,
+            "no frame may be materialized between fused ops"
+        );
+
+        let mut unfused = DaskEngine::new(MemoryTracker::unlimited(), 16);
+        unfused.fuse_chains = false;
+        let g = fused_query(&mut unfused, &path);
+        let (v, _r) = unfused.compute(g).unwrap();
+        let expect = v.into_frame().unwrap();
+        let stats = unfused.fusion_stats();
+        assert_eq!(stats.chains, 0);
+        assert!(stats.intermediate_frames > 0);
+        assert_eq!(
+            got.row_hashes(&[]).unwrap(),
+            expect.row_hashes(&[]).unwrap()
+        );
+    }
+
+    #[test]
+    fn adjacent_filters_collapse_into_one_selection() {
+        let path = temp_csv(200);
+        let run = |fuse: bool| {
+            let mut e = DaskEngine::new(MemoryTracker::unlimited(), 16);
+            e.fuse_chains = fuse;
+            let s = scan(&mut e, &path);
+            let f1 = e.add(
+                DaskOp::Filter(Expr::col("fare").gt(Expr::lit_float(0.0))),
+                vec![s],
+            );
+            let f2 = e.add(
+                DaskOp::Filter(Expr::col("day").lt(Expr::lit_int(5))),
+                vec![f1],
+            );
+            let l = e.add(DaskOp::Len, vec![f2]);
+            let (v, _r) = e.compute(l).unwrap();
+            (v.into_scalar().unwrap(), e.fusion_stats())
+        };
+        let (fused, fs) = run(true);
+        let (plain, _) = run(false);
+        assert_eq!(fused, plain);
+        assert_eq!(fs.chains, 1);
+        assert_eq!(fs.fused_ops, 3, "two filters + the len terminal");
+        assert_eq!(
+            fs.intermediate_frames, 0,
+            "both selections AND into one bitmap; no row is ever gathered"
+        );
+    }
+
+    #[test]
+    fn fused_schema_steps_match_unfused() {
+        // rename + drop + with_column exercise the schema-bookkeeping
+        // steps; the chain ends at a frame root, so its output is
+        // materialized exactly once per morsel.
+        let path = temp_csv(150);
+        let run = |fuse: bool| {
+            let mut e = DaskEngine::new(MemoryTracker::unlimited(), 16);
+            e.fuse_chains = fuse;
+            let s = scan(&mut e, &path);
+            let f = e.add(
+                DaskOp::Filter(Expr::col("fare").ge(Expr::lit_float(-1.0))),
+                vec![s],
+            );
+            let r = e.add(
+                DaskOp::Rename(vec![("fare".into(), "amount".into())]),
+                vec![f],
+            );
+            let d = e.add(DaskOp::DropColumns(vec!["extra".into()]), vec![r]);
+            let w = e.add(
+                DaskOp::WithColumn(
+                    "half".into(),
+                    Expr::col("amount").arith(ArithOp::Div, Expr::lit_float(2.0)),
+                ),
+                vec![d],
+            );
+            let (v, _r) = e.compute(w).unwrap();
+            v.into_frame().unwrap()
+        };
+        let fused = run(true);
+        let plain = run(false);
+        assert_eq!(fused.column_names(), plain.column_names());
+        assert_eq!(
+            fused.row_hashes(&[]).unwrap(),
+            plain.row_hashes(&[]).unwrap()
+        );
+    }
+
+    #[test]
+    fn three_stage_scan_matches_blocking_unfused() {
+        // parse | chain-transform | land, versus a blocking unfused run.
+        let path = temp_csv(4000);
+        let run = |threads: usize, pipe: bool, fuse: bool| {
+            let mut e = DaskEngine::with_threads(MemoryTracker::unlimited(), 37, threads);
+            e.pipeline_scan = pipe;
+            e.fuse_chains = fuse;
+            let g = fused_query(&mut e, &path);
+            let (v, _r) = e.compute(g).unwrap();
+            v.into_frame().unwrap().row_hashes(&[]).unwrap()
+        };
+        let three_stage = run(4, true, true);
+        let blocking_fused = run(1, false, true);
+        let blocking_plain = run(1, false, false);
+        assert_eq!(three_stage, blocking_plain);
+        assert_eq!(blocking_fused, blocking_plain);
+    }
+
+    #[test]
+    fn fused_chain_respects_persist_tee() {
+        // A persisted mid-chain node must keep emitting real partitions
+        // for its cache, so the chain may not swallow it.
+        let path = temp_csv(90);
+        let mut e = DaskEngine::new(MemoryTracker::unlimited(), 16);
+        e.fuse_chains = true;
+        let s = scan(&mut e, &path);
+        let f = e.add(
+            DaskOp::Filter(Expr::col("fare").gt(Expr::lit_float(0.0))),
+            vec![s],
+        );
+        e.persist(f);
+        let w = e.add(
+            DaskOp::WithColumn(
+                "fare2".into(),
+                Expr::col("fare").arith(ArithOp::Mul, Expr::lit_float(2.0)),
+            ),
+            vec![f],
+        );
+        let l = e.add(DaskOp::Len, vec![w]);
+        let (v, _r) = e.compute(l).unwrap();
+        assert_eq!(v.into_scalar().unwrap(), Scalar::Int(86));
+        assert!(e.is_cached(f), "persist tee still fills behind fusion");
+        // Replays from the cache flow through the remaining chain.
+        let l2 = e.add(DaskOp::Len, vec![w]);
+        let (v2, _r2) = e.compute(l2).unwrap();
+        assert_eq!(v2.into_scalar().unwrap(), Scalar::Int(86));
+    }
+
+    #[test]
+    fn projection_pushdown_through_fillna_and_drop() {
+        let path = temp_csv(60);
+        let mut e = DaskEngine::new(MemoryTracker::unlimited(), 16);
+        e.projection_pushdown = true;
+        let s = scan(&mut e, &path);
+        let fill = e.add(DaskOp::FillNa(Scalar::Float(0.0)), vec![s]);
+        let d = e.add(DaskOp::DropColumns(vec!["extra".into()]), vec![fill]);
+        let g = e.add(
+            DaskOp::Reduce {
+                column: "fare".into(),
+                agg: AggKind::Sum,
+            },
+            vec![d],
+        );
+        let (v, _r) = e.compute(g).unwrap();
+        assert!(matches!(v.into_scalar().unwrap(), Scalar::Float(_)));
+        // FillNa propagates its downstream requirement; DropColumns adds
+        // only the dropped names (they must exist to be dropped). The
+        // scan must NOT fall back to reading every column.
+        match e.op(s) {
+            DaskOp::ReadCsv { options, .. } => {
+                assert_eq!(
+                    options.usecols,
+                    Some(vec!["extra".to_string(), "fare".to_string()])
+                );
+            }
+            _ => unreachable!(),
+        }
     }
 }

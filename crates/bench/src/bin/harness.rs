@@ -124,9 +124,32 @@ fn run_kernel_bench(args: &[String]) {
             r.name, r.blocking_ms, r.pipelined_ms, r.speedup
         );
     }
+    eprintln!("chain fusion: fused per-morsel runs vs one frame per op, {threads} workers ...");
+    let fusion = kernel_bench::run_fusion_suite(rows, iters, threads);
+    println!();
+    println!(
+        "{:<36} {:>12} {:>12} {:>9}",
+        "fused query", "unfused_ms", "fused_ms", "speedup"
+    );
+    for r in &fusion {
+        println!(
+            "{:<36} {:>12.3} {:>12.3} {:>8.2}x",
+            r.name, r.unfused_ms, r.fused_ms, r.speedup
+        );
+    }
     if let Some(path) = json {
-        let body =
-            kernel_bench::render_json(pr, rows, iters, &results, &strings, &parallel, &pipeline);
+        let body = kernel_bench::render_json(
+            pr,
+            rows,
+            iters,
+            &kernel_bench::BenchSections {
+                benches: &results,
+                strings: &strings,
+                parallel: &parallel,
+                pipeline: &pipeline,
+                fusion: &fusion,
+            },
+        );
         std::fs::write(&path, body).expect("write bench json");
         eprintln!("wrote {}", path.display());
     }

@@ -15,7 +15,7 @@
 //! ```
 
 use crate::datagen::kernel_frame;
-use lafp_backends::{DaskEngine, DaskOp, MemoryTracker};
+use lafp_backends::{DaskEngine, DaskOp, DaskValue, MemoryTracker};
 use lafp_columnar::column::{ArithOp, CmpOp, ColumnBuilder};
 use lafp_columnar::csv::{read_csv, read_csv_par, split_record, CsvOptions};
 use lafp_columnar::groupby::{group_by, group_by_par, AggKind, GroupBySpec};
@@ -86,6 +86,23 @@ pub struct PipelineBenchResult {
     /// Worker count of the engine pool (both sides).
     pub threads: usize,
     /// `blocking_ms / pipelined_ms`.
+    pub speedup: f64,
+}
+
+/// One chain-fusion bench row: the same streaming Dask query with
+/// row-local operator runs fused into one pass per morsel vs executed
+/// as separate per-operator morsel passes.
+#[derive(Debug, Clone)]
+pub struct FusionBenchResult {
+    /// Query name.
+    pub name: String,
+    /// Best-of-N wall time with `fuse_chains` off (one frame per op).
+    pub unfused_ms: f64,
+    /// Best-of-N wall time with the chain fused (`fuse_chains` on).
+    pub fused_ms: f64,
+    /// Worker count of the engine pool (both sides).
+    pub threads: usize,
+    /// `unfused_ms / fused_ms`.
     pub speedup: f64,
 }
 
@@ -1419,16 +1436,209 @@ pub fn run_pipeline_suite(rows: usize, iters: usize, threads: usize) -> Vec<Pipe
     results
 }
 
+// ---------------------------------------------------------------------------
+// Chain-fusion benches (fused per-morsel operator runs vs one frame per op)
+// ---------------------------------------------------------------------------
+
+/// Run streaming Dask queries with maximal row-local operator runs fused
+/// into a single pass per morsel (`fuse_chains = true`, the default) vs
+/// the one-intermediate-frame-per-operator schedule, on the same engine
+/// pool. The source is a pre-materialized frame scattered into morsels
+/// (`FromFrame`), so the race times the chains themselves rather than
+/// the CSV parse that dominates a scan-fed query on both sides alike.
+/// Both sides are checked for result equality before timing, and the
+/// fused side is checked to materialize zero intermediate frames.
+pub fn run_fusion_suite(rows: usize, iters: usize, threads: usize) -> Vec<FusionBenchResult> {
+    // A fat source frame in the paper's taxi-scan shape — a
+    // low-cardinality group key, a float measure with nulls, and seven
+    // passenger columns the canonical chains never read, so the backward
+    // liveness pass has real dead weight to prune (the unfused path must
+    // gather every column at every hop) — parsed once up front and
+    // shared across runs.
+    let csv_path = std::env::temp_dir().join(format!(
+        "lafp-fusion-bench-{rows}-{}.csv",
+        std::process::id()
+    ));
+    {
+        use std::io::Write as _;
+        let mut w = std::io::BufWriter::new(std::fs::File::create(&csv_path).unwrap());
+        writeln!(w, "id,day,fare,city,ok,lon,lat,tip,vendor,flag").unwrap();
+        for i in 0..rows {
+            let fare = if i % 50 == 0 {
+                String::new()
+            } else {
+                format!("{:.2}", (i % 977) as f64 * 0.13)
+            };
+            let city = if i % 7 == 0 {
+                format!("\"City, {}\"", i % 80)
+            } else {
+                format!("City{}", i % 80)
+            };
+            writeln!(
+                w,
+                "{i},{},{fare},{city},{},{:.4},{:.4},{:.2},V{},{}",
+                i % 31,
+                i % 2 == 0,
+                -74.0 + (i % 500) as f64 * 0.001,
+                40.7 + (i % 300) as f64 * 0.001,
+                (i % 53) as f64 * 0.25,
+                i % 5,
+                i % 97,
+            )
+            .unwrap();
+        }
+        w.flush().unwrap();
+    }
+    let source = Arc::new(read_csv(&csv_path, &CsvOptions::new()).unwrap());
+    std::fs::remove_file(&csv_path).ok();
+
+    let chunk_rows = (rows / 64).clamp(1024, 65_536);
+    let build = |e: &mut DaskEngine, query: &str| {
+        let s = e.add(DaskOp::FromFrame(Arc::clone(&source)), vec![]);
+        match query {
+            // The canonical acceptance chain: filter -> with_column ->
+            // select -> group-by, all absorbed into one fused pass.
+            "filter_withcol_select_groupby" => {
+                let f = e.add(
+                    DaskOp::Filter(Expr::col("fare").gt(Expr::lit_float(10.0))),
+                    vec![s],
+                );
+                let w = e.add(
+                    DaskOp::WithColumn(
+                        "fare2".into(),
+                        Expr::col("fare").arith(ArithOp::Mul, Expr::lit_float(1.1)),
+                    ),
+                    vec![f],
+                );
+                let p = e.add(DaskOp::Select(vec!["day".into(), "fare2".into()]), vec![w]);
+                e.add(
+                    DaskOp::GroupByAgg(GroupBySpec {
+                        keys: vec!["day".into()],
+                        value: "fare2".into(),
+                        agg: AggKind::Sum,
+                    }),
+                    vec![p],
+                )
+            }
+            // Adjacent filters collapse into one selection bitmap, fed
+            // straight into a scalar reduction — no gather at all.
+            "two_filters_reduce" => {
+                let f1 = e.add(
+                    DaskOp::Filter(Expr::col("fare").gt(Expr::lit_float(10.0))),
+                    vec![s],
+                );
+                let f2 = e.add(
+                    DaskOp::Filter(Expr::col("day").lt(Expr::lit_int(20))),
+                    vec![f1],
+                );
+                e.add(
+                    DaskOp::Reduce {
+                        column: "fare".into(),
+                        agg: AggKind::Sum,
+                    },
+                    vec![f2],
+                )
+            }
+            // A fused chain whose output is a materialized frame: the
+            // single gather at the chain tail replaces three per-op ones.
+            "filter_withcol_drop_frame" => {
+                let f = e.add(
+                    DaskOp::Filter(Expr::col("fare").gt(Expr::lit_float(100.0))),
+                    vec![s],
+                );
+                let w = e.add(
+                    DaskOp::WithColumn(
+                        "half".into(),
+                        Expr::col("fare").arith(ArithOp::Mul, Expr::lit_float(0.5)),
+                    ),
+                    vec![f],
+                );
+                e.add(
+                    DaskOp::DropColumns(vec!["city".into(), "ok".into()]),
+                    vec![w],
+                )
+            }
+            _ => unreachable!(),
+        }
+    };
+    let fingerprint = |v: DaskValue| -> String {
+        match v {
+            DaskValue::Frame(f) => {
+                format!("{:?}:{:?}", f.column_names(), f.row_hashes(&[]).unwrap())
+            }
+            DaskValue::Scalar(s) => format!("{s:?}"),
+        }
+    };
+    let run = |query: &str, fused: bool| -> String {
+        let mut e = DaskEngine::with_threads(MemoryTracker::unlimited(), chunk_rows, threads);
+        e.fuse_chains = fused;
+        let root = build(&mut e, query);
+        let (v, _r) = e.compute(root).unwrap();
+        if fused {
+            let stats = e.fusion_stats();
+            assert!(stats.chains >= 1, "fuse_{query}: chain not planned");
+            assert_eq!(
+                stats.intermediate_frames, 0,
+                "fuse_{query}: fused run materialized intermediate frames"
+            );
+        }
+        fingerprint(v)
+    };
+
+    let mut results = Vec::new();
+    for query in [
+        "filter_withcol_select_groupby",
+        "two_filters_reduce",
+        "filter_withcol_drop_frame",
+    ] {
+        let fused = run(query, true);
+        let unfused = run(query, false);
+        assert_eq!(fused, unfused, "fuse_{query}: fused vs unfused result");
+        let (unfused_ms, fused_ms) = best_of_pair_ms(
+            iters,
+            || {
+                black_box(run(black_box(query), false));
+            },
+            || {
+                black_box(run(black_box(query), true));
+            },
+        );
+        results.push(FusionBenchResult {
+            name: format!("fuse_{query}"),
+            unfused_ms,
+            fused_ms,
+            threads,
+            speedup: unfused_ms / fused_ms,
+        });
+    }
+    results
+}
+
+/// The per-suite result slices of one bench run, bundled for rendering.
+/// Optional suites left empty are omitted from the artifact.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct BenchSections<'a> {
+    /// The seed-vs-vectorized kernel races (the mandatory section).
+    pub benches: &'a [BenchResult],
+    /// The arena-vs-`Arc<str>` string kernel races.
+    pub strings: &'a [StringBenchResult],
+    /// The 1-worker-vs-N pool kernel races.
+    pub parallel: &'a [ParallelBenchResult],
+    /// The pipelined-scan-vs-blocking-drain query races.
+    pub pipeline: &'a [PipelineBenchResult],
+    /// The fused-chain-vs-per-operator query races.
+    pub fusion: &'a [FusionBenchResult],
+}
+
 /// Render the results as the `BENCH_PR<N>.json` trajectory artifact.
-pub fn render_json(
-    pr: u32,
-    rows: usize,
-    iters: usize,
-    results: &[BenchResult],
-    strings: &[StringBenchResult],
-    parallel: &[ParallelBenchResult],
-    pipeline: &[PipelineBenchResult],
-) -> String {
+pub fn render_json(pr: u32, rows: usize, iters: usize, sections: &BenchSections<'_>) -> String {
+    let BenchSections {
+        benches: results,
+        strings,
+        parallel,
+        pipeline,
+        fusion,
+    } = *sections;
     let mut out = String::new();
     out.push_str("{\n");
     out.push_str(&format!("  \"pr\": {pr},\n"));
@@ -1506,6 +1716,21 @@ pub fn render_json(
                 .collect::<Vec<_>>(),
         ));
     }
+    if !fusion.is_empty() {
+        sections.push(section(
+            "fusion",
+            &fusion
+                .iter()
+                .map(|r| {
+                    format!(
+                        "    {{\"name\": \"{}\", \"unfused_ms\": {:.3}, \"fused_ms\": {:.3}, \
+                         \"threads\": {}, \"speedup\": {:.2}}}",
+                        r.name, r.unfused_ms, r.fused_ms, r.threads, r.speedup
+                    )
+                })
+                .collect::<Vec<_>>(),
+        ));
+    }
     out.push_str(&sections.join(",\n"));
     out.push_str("\n}\n");
     out
@@ -1539,7 +1764,19 @@ mod tests {
         for r in &pipeline {
             assert!(r.blocking_ms > 0.0 && r.pipelined_ms > 0.0, "{}", r.name);
         }
-        let json = render_json(4, 2_000, 1, &results, &strings, &parallel, &pipeline);
+        let fusion = run_fusion_suite(2_000, 1, 2);
+        assert_eq!(fusion.len(), 3);
+        for r in &fusion {
+            assert!(r.unfused_ms > 0.0 && r.fused_ms > 0.0, "{}", r.name);
+        }
+        let all = BenchSections {
+            benches: &results,
+            strings: &strings,
+            parallel: &parallel,
+            pipeline: &pipeline,
+            fusion: &fusion,
+        };
+        let json = render_json(4, 2_000, 1, &all);
         assert!(json.contains("\"benches\""));
         assert!(json.contains("groupby_i64key_sum_f64"));
         assert!(json.contains("join_inner_i64key"));
@@ -1552,13 +1789,25 @@ mod tests {
         assert!(json.contains("\"host_threads\""));
         assert!(json.contains("\"pipeline\""));
         assert!(json.contains("pipe_scan_filter_groupby"));
+        assert!(json.contains("\"fusion\""));
+        assert!(json.contains("fuse_filter_withcol_select_groupby"));
         // Every section shape renders valid JSON-ish structure.
-        let no_strings = render_json(4, 2_000, 1, &results, &[], &parallel, &pipeline);
+        let no_strings = render_json(4, 2_000, 1, &BenchSections { strings: &[], ..all });
         assert!(!no_strings.contains("\"strings\""));
         assert!(no_strings.contains("\"parallel\""));
-        let no_parallel = render_json(4, 2_000, 1, &results, &strings, &[], &[]);
+        let no_parallel = render_json(
+            4,
+            2_000,
+            1,
+            &BenchSections {
+                benches: &results,
+                strings: &strings,
+                ..Default::default()
+            },
+        );
         assert!(no_parallel.contains("\"strings\""));
         assert!(!no_parallel.contains("\"parallel\""));
         assert!(!no_parallel.contains("\"pipeline\""));
+        assert!(!no_parallel.contains("\"fusion\""));
     }
 }

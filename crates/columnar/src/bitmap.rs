@@ -114,6 +114,16 @@ impl Bitmap {
         }
     }
 
+    /// In-place bitwise AND with an equal-length bitmap. The fused
+    /// operator chains accumulate successive filter predicates into one
+    /// selection bitmap this way, without allocating per predicate.
+    pub fn and_assign(&mut self, other: &Bitmap) {
+        assert_eq!(self.len, other.len, "bitmap length mismatch");
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            *a &= b;
+        }
+    }
+
     /// Bitwise OR of two equal-length bitmaps.
     pub fn or(&self, other: &Bitmap) -> Bitmap {
         assert_eq!(self.len, other.len, "bitmap length mismatch");

@@ -1078,6 +1078,10 @@ pub struct GroupByAccumulator {
     key_cols: Vec<KeyCol>,
     states: Vec<AggState>,
     value_is_int: bool,
+    /// Reused per-chunk row-hash buffer: the fused-chain path feeds one
+    /// accumulator morsel after morsel, so the scratch is allocated once
+    /// and grown to the largest morsel instead of once per update.
+    hash_scratch: Vec<u64>,
 }
 
 impl GroupByAccumulator {
@@ -1089,6 +1093,7 @@ impl GroupByAccumulator {
             key_cols: Vec::new(),
             states: Vec::new(),
             value_is_int: true,
+            hash_scratch: Vec::new(),
         }
     }
 
@@ -1120,6 +1125,37 @@ impl GroupByAccumulator {
             .map(|k| chunk.column(k).map(Series::column))
             .collect::<Result<Vec<_>>>()?;
         let value_col = chunk.column(&self.spec.value)?.column();
+        self.update_inner(&key_cols, value_col, offset, len, None)
+    }
+
+    /// Consume rows of already-resolved key/value columns, optionally
+    /// restricted to the set bits of a selection bitmap over the columns'
+    /// row domain. This is the fused-chain entry point: a chain that ends
+    /// in a group-by feeds the accumulator straight from its selection
+    /// view, so the surviving rows are never gathered into an
+    /// intermediate frame. `key_cols` must line up with the spec's key
+    /// names (caller resolves); all columns share one length.
+    pub fn update_cols(
+        &mut self,
+        key_cols: &[&Column],
+        value_col: &Column,
+        sel: Option<&Bitmap>,
+    ) -> Result<()> {
+        self.update_inner(key_cols, value_col, 0, value_col.len(), sel)
+    }
+
+    /// Shared update loop: hash keys for the full range, then upsert
+    /// every row (or only the selected rows) into the group table.
+    fn update_inner(
+        &mut self,
+        key_cols: &[&Column],
+        value_col: &Column,
+        offset: usize,
+        len: usize,
+        sel: Option<&Bitmap>,
+    ) -> Result<()> {
+        debug_assert_eq!(key_cols.len(), self.spec.keys.len());
+        debug_assert!(sel.is_none_or(|s| s.len() == len));
         if value_col.dtype() != DType::Int64 && value_col.dtype() != DType::Bool {
             self.value_is_int = false;
         }
@@ -1131,7 +1167,7 @@ impl GroupByAccumulator {
         // re-hashed and canonically-equal ones merged, preserving the old
         // rendered-string grouping semantics.
         let mut canonized = false;
-        for (store, col) in self.key_cols.iter_mut().zip(&key_cols) {
+        for (store, col) in self.key_cols.iter_mut().zip(key_cols) {
             if !store.accepts(col) {
                 store.canonize();
                 canonized = true;
@@ -1140,41 +1176,68 @@ impl GroupByAccumulator {
         if canonized {
             self.rebuild_table();
         }
-        let mut row_hashes = vec![0u64; len];
-        for (store, col) in self.key_cols.iter().zip(&key_cols) {
+        let mut row_hashes = std::mem::take(&mut self.hash_scratch);
+        row_hashes.clear();
+        row_hashes.resize(len, 0);
+        for (store, col) in self.key_cols.iter().zip(key_cols) {
             mix_key_hashes(store, col, offset, &mut row_hashes);
         }
         let agg = self.spec.agg;
         let value_is_int = self.value_is_int;
         let view = ColView::new(value_col);
-        for (j, &h) in row_hashes.iter().enumerate() {
-            let i = offset + j;
-            let gid = {
-                let candidates = self.table.entry(h).or_default();
-                let found = candidates.iter().copied().find(|&g| {
-                    self.key_cols
-                        .iter()
-                        .zip(&key_cols)
-                        .all(|(store, col)| store.matches(g as usize, col, i))
-                });
-                match found {
-                    Some(g) => g as usize,
-                    None => {
-                        let g = self.states.len() as u32;
-                        candidates.push(g);
-                        for (store, col) in self.key_cols.iter_mut().zip(&key_cols) {
-                            store.push_row(col, i);
-                        }
-                        self.states.push(AggState::new(value_is_int));
-                        g as usize
-                    }
+        match sel {
+            None => {
+                for (j, &h) in row_hashes.iter().enumerate() {
+                    self.upsert_row(key_cols, &view, offset + j, h, agg, value_is_int);
                 }
-            };
-            if !view.is_null(i) {
-                self.states[gid].update_at(&view, i, agg);
+            }
+            Some(sel) => {
+                // Hashes were mixed for the whole range (word-at-a-time,
+                // cheap); only the selected rows touch the table.
+                sel.for_each_set(|j| {
+                    self.upsert_row(key_cols, &view, offset + j, row_hashes[j], agg, value_is_int);
+                });
             }
         }
+        self.hash_scratch = row_hashes;
         Ok(())
+    }
+
+    /// Find-or-create row `i`'s group and fold its value in.
+    #[inline]
+    fn upsert_row(
+        &mut self,
+        key_cols: &[&Column],
+        view: &ColView,
+        i: usize,
+        h: u64,
+        agg: AggKind,
+        value_is_int: bool,
+    ) {
+        let gid = {
+            let candidates = self.table.entry(h).or_default();
+            let found = candidates.iter().copied().find(|&g| {
+                self.key_cols
+                    .iter()
+                    .zip(key_cols)
+                    .all(|(store, col)| store.matches(g as usize, col, i))
+            });
+            match found {
+                Some(g) => g as usize,
+                None => {
+                    let g = self.states.len() as u32;
+                    candidates.push(g);
+                    for (store, col) in self.key_cols.iter_mut().zip(key_cols) {
+                        store.push_row(col, i);
+                    }
+                    self.states.push(AggState::new(value_is_int));
+                    g as usize
+                }
+            }
+        };
+        if !view.is_null(i) {
+            self.states[gid].update_at(view, i, agg);
+        }
     }
 
     /// Merge a sibling accumulator (same spec) — used by the parallel
@@ -1265,7 +1328,7 @@ impl GroupByAccumulator {
         // Hash table: each occupied slot holds a key, a Vec header and
         // (usually) one u32 entry.
         let table = self.table.len() * (8 + 24) + self.num_groups() * 4;
-        states + keys + table
+        states + keys + table + self.hash_scratch.capacity() * 8
     }
 
     /// Produce the result frame: one row per group, sorted by key (pandas

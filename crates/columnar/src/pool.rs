@@ -360,6 +360,82 @@ where
     })
 }
 
+/// Run a three-stage pipeline: `producer` and `middle` each on their own
+/// scoped worker thread, `consumer` on the calling thread, connected by
+/// two bounded [`StageChannel`]s of `cap` items each. This is the
+/// multi-stage shape the streaming executor uses for
+/// scan → fused-chain transform → accumulate: the parse thread, the
+/// operator-chain thread, and the driver all run concurrently, and the
+/// two bounds keep the total in-flight footprint at `2 · cap` morsels
+/// regardless of file size.
+///
+/// Shutdown protocol (the part that must not deadlock): after the
+/// consumer returns, the caller hangs up the downstream channel, joins
+/// the middle stage (whose next `send` returns `false`), then hangs up
+/// the upstream channel and joins the producer. A middle stage should
+/// mirror a well-behaved producer: forward until `recv` returns `None`
+/// or `send` returns `false`, then [`close`](StageChannel::close) its
+/// output.
+///
+/// ```
+/// use lafp_columnar::pool::{pipeline3, StageChannel};
+/// let ((), (), sum) = pipeline3(
+///     2,
+///     |tx: &StageChannel<i64>| {
+///         for v in 1..=100 {
+///             if !tx.send(v) {
+///                 break;
+///             }
+///         }
+///         tx.close();
+///     },
+///     |rx, tx: &StageChannel<i64>| {
+///         while let Some(v) = rx.recv() {
+///             if !tx.send(v * 2) {
+///                 break;
+///             }
+///         }
+///         tx.close();
+///     },
+///     |rx| {
+///         let mut total = 0;
+///         while let Some(v) = rx.recv() {
+///             total += v;
+///         }
+///         total
+///     },
+/// );
+/// assert_eq!(sum, 10100);
+/// ```
+pub fn pipeline3<T, U, A, B, C>(
+    cap: usize,
+    producer: impl FnOnce(&StageChannel<T>) -> A + Send,
+    middle: impl FnOnce(&StageChannel<T>, &StageChannel<U>) -> B + Send,
+    consumer: impl FnOnce(&StageChannel<U>) -> C,
+) -> (A, B, C)
+where
+    T: Send,
+    U: Send,
+    A: Send,
+    B: Send,
+{
+    let upstream = StageChannel::new(cap);
+    let downstream = StageChannel::new(cap);
+    std::thread::scope(|scope| {
+        let h1 = scope.spawn(|| producer(&upstream));
+        let h2 = scope.spawn(|| middle(&upstream, &downstream));
+        let c = consumer(&downstream);
+        // Unwind in dependency order: a consumer that returned early must
+        // not strand the middle stage on a full downstream queue, and a
+        // stopped middle stage must not strand the producer upstream.
+        downstream.hang_up();
+        let b = h2.join().expect("pipeline middle stage panicked");
+        upstream.hang_up();
+        let a = h1.join().expect("pipeline producer panicked");
+        (a, b, c)
+    })
+}
+
 /// Split `rows` into contiguous `(start, len)` morsels of at most
 /// `morsel` rows, evenly sized (lengths differ by at most one). Empty
 /// input yields no morsels.
@@ -575,6 +651,158 @@ mod tests {
         );
         assert_eq!(got, vec![0, 1, 2, 3, 4]);
         assert!(sent < 1_000_000, "producer stopped early (sent {sent})");
+    }
+
+    #[test]
+    fn pipeline3_streams_in_order_through_both_channels() {
+        let ((), (), got) = pipeline3(
+            4,
+            |tx: &StageChannel<usize>| {
+                for v in 0..1000 {
+                    assert!(tx.send(v));
+                }
+                tx.close();
+            },
+            |rx, tx: &StageChannel<usize>| {
+                while let Some(v) = rx.recv() {
+                    if !tx.send(v + 1) {
+                        break;
+                    }
+                }
+                tx.close();
+            },
+            |rx| {
+                let mut out = Vec::new();
+                while let Some(v) = rx.recv() {
+                    out.push(v);
+                }
+                out
+            },
+        );
+        assert_eq!(got, (1..=1000).collect::<Vec<_>>());
+    }
+
+    /// A middle stage may drop items (a fused filter chain): the stages
+    /// around it must still terminate cleanly.
+    #[test]
+    fn pipeline3_middle_stage_filters() {
+        let ((), kept, sum) = pipeline3(
+            2,
+            |tx: &StageChannel<usize>| {
+                for v in 0..100 {
+                    assert!(tx.send(v));
+                }
+                tx.close();
+            },
+            |rx, tx: &StageChannel<usize>| {
+                let mut kept = 0usize;
+                while let Some(v) = rx.recv() {
+                    if v % 2 == 0 {
+                        kept += 1;
+                        if !tx.send(v) {
+                            break;
+                        }
+                    }
+                }
+                tx.close();
+                kept
+            },
+            |rx| {
+                let mut total = 0usize;
+                while let Some(v) = rx.recv() {
+                    total += v;
+                }
+                total
+            },
+        );
+        assert_eq!(kept, 50);
+        assert_eq!(sum, (0..100).filter(|v| v % 2 == 0).sum::<usize>());
+    }
+
+    /// A consumer that stops early must unwind both upstream stages
+    /// (downstream hang-up stops the middle, upstream hang-up stops the
+    /// producer) instead of deadlocking on full queues.
+    #[test]
+    fn pipeline3_consumer_hangup_unwinds_both_stages() {
+        let (sent, forwarded, got) = pipeline3(
+            1,
+            |tx: &StageChannel<usize>| {
+                let mut sent = 0usize;
+                for v in 0..1_000_000 {
+                    if !tx.send(v) {
+                        break;
+                    }
+                    sent += 1;
+                }
+                tx.close();
+                sent
+            },
+            |rx, tx: &StageChannel<usize>| {
+                let mut forwarded = 0usize;
+                while let Some(v) = rx.recv() {
+                    if !tx.send(v) {
+                        break;
+                    }
+                    forwarded += 1;
+                }
+                tx.close();
+                forwarded
+            },
+            |rx| {
+                let mut out = Vec::new();
+                for _ in 0..5 {
+                    match rx.recv() {
+                        Some(v) => out.push(v),
+                        None => break,
+                    }
+                }
+                rx.hang_up();
+                out
+            },
+        );
+        assert_eq!(got, vec![0, 1, 2, 3, 4]);
+        assert!(sent < 1_000_000, "producer stopped early (sent {sent})");
+        assert!(forwarded < 1_000_000, "middle stopped early ({forwarded})");
+    }
+
+    /// Both channel bounds hold at once: neither stage outruns its
+    /// consumer by more than the cap (+ the two in-hand windows).
+    #[test]
+    fn pipeline3_bounds_in_flight_items() {
+        let in_flight = AtomicUsize::new(0);
+        let max_seen = AtomicUsize::new(0);
+        let cap = 3;
+        pipeline3(
+            cap,
+            |tx: &StageChannel<()>| {
+                for _ in 0..200 {
+                    let now = in_flight.fetch_add(1, Ordering::SeqCst) + 1;
+                    max_seen.fetch_max(now, Ordering::SeqCst);
+                    assert!(tx.send(()));
+                }
+                tx.close();
+            },
+            |rx, tx: &StageChannel<()>| {
+                while let Some(v) = rx.recv() {
+                    if !tx.send(v) {
+                        break;
+                    }
+                }
+                tx.close();
+            },
+            |rx| {
+                while rx.recv().is_some() {
+                    in_flight.fetch_sub(1, Ordering::SeqCst);
+                }
+            },
+        );
+        // Two cap-bounded queues plus one in-hand item per stage.
+        assert!(
+            max_seen.load(Ordering::SeqCst) <= 2 * cap + 3,
+            "stages ran {} items ahead of two cap-{} channels",
+            max_seen.load(Ordering::SeqCst),
+            cap
+        );
     }
 
     #[test]

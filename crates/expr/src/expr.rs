@@ -287,45 +287,101 @@ impl Expr {
     /// Evaluate to a column against `frame`; scalars broadcast to the
     /// frame's row count.
     pub fn evaluate(&self, frame: &DataFrame) -> Result<Column> {
+        self.evaluate_resolved(frame.num_rows(), &|name| {
+            frame.column(name).map(lafp_columnar::Series::column)
+        })
+    }
+
+    /// Evaluate against an arbitrary column namespace instead of a frame:
+    /// `resolve` maps a column name to a borrowed column of length `rows`.
+    /// This is how fused operator chains evaluate expressions over a
+    /// mixed domain of input-frame columns and freshly computed scratch
+    /// columns without assembling an intermediate frame. Leaf column
+    /// references inside comparisons and arithmetic borrow straight from
+    /// the resolver (no clone); only a bare top-level `Col` clones, since
+    /// the result must be owned.
+    pub fn evaluate_resolved<'a>(
+        &self,
+        rows: usize,
+        resolve: &dyn Fn(&str) -> Result<&'a Column>,
+    ) -> Result<Column> {
         match self {
-            Expr::Col(name) => Ok(frame.column(name)?.column().clone()),
-            Expr::Lit(v) => Ok(Column::full(frame.num_rows(), v)),
+            Expr::Col(name) => Ok(resolve(name)?.clone()),
+            Expr::Lit(v) => Ok(Column::full(rows, v)),
             Expr::Cmp(a, op, b) => {
                 let mask = match (a.as_ref(), b.as_ref()) {
-                    // Fast path: column vs literal avoids materializing the literal.
-                    (_, Expr::Lit(v)) => a.evaluate(frame)?.compare_scalar(*op, v)?,
-                    (Expr::Lit(v), _) => b.evaluate(frame)?.compare_scalar(flip(*op), v)?,
-                    _ => a.evaluate(frame)?.compare(*op, &b.evaluate(frame)?)?,
+                    // Fast paths: column/literal operands avoid both the
+                    // broadcast literal column and the operand clone.
+                    (Expr::Col(n), Expr::Lit(v)) => resolve(n)?.compare_scalar(*op, v)?,
+                    (Expr::Lit(v), Expr::Col(n)) => resolve(n)?.compare_scalar(flip(*op), v)?,
+                    (_, Expr::Lit(v)) => a
+                        .evaluate_resolved(rows, resolve)?
+                        .compare_scalar(*op, v)?,
+                    (Expr::Lit(v), _) => b
+                        .evaluate_resolved(rows, resolve)?
+                        .compare_scalar(flip(*op), v)?,
+                    _ => a
+                        .evaluate_resolved(rows, resolve)?
+                        .compare(*op, &b.evaluate_resolved(rows, resolve)?)?,
                 };
                 Ok(Column::Bool(mask, None))
             }
             Expr::Arith(a, op, b) => match (a.as_ref(), b.as_ref()) {
-                (_, Expr::Lit(v)) => a.evaluate(frame)?.arith_scalar(*op, v),
-                _ => a.evaluate(frame)?.arith(*op, &b.evaluate(frame)?),
+                (Expr::Col(n), Expr::Lit(v)) => resolve(n)?.arith_scalar(*op, v),
+                (_, Expr::Lit(v)) => a.evaluate_resolved(rows, resolve)?.arith_scalar(*op, v),
+                (Expr::Col(na), Expr::Col(nb)) => resolve(na)?.arith(*op, resolve(nb)?),
+                _ => a
+                    .evaluate_resolved(rows, resolve)?
+                    .arith(*op, &b.evaluate_resolved(rows, resolve)?),
             },
             Expr::And(a, b) => {
-                let mask = a.evaluate(frame)?.and(&b.evaluate(frame)?)?;
+                let mask = a
+                    .evaluate_resolved(rows, resolve)?
+                    .and(&b.evaluate_resolved(rows, resolve)?)?;
                 Ok(Column::Bool(mask, None))
             }
             Expr::Or(a, b) => {
-                let mask = a.evaluate(frame)?.or(&b.evaluate(frame)?)?;
+                let mask = a
+                    .evaluate_resolved(rows, resolve)?
+                    .or(&b.evaluate_resolved(rows, resolve)?)?;
                 Ok(Column::Bool(mask, None))
             }
-            Expr::Not(e) => Ok(Column::Bool(e.evaluate(frame)?.invert()?, None)),
-            Expr::Dt(e, f) => e.evaluate(frame)?.dt_field(*f),
-            Expr::Str(e, o) => e.evaluate(frame)?.str_op(o),
-            Expr::IsNull(e) => Ok(Column::Bool(e.evaluate(frame)?.is_null_mask(), None)),
-            Expr::NotNull(e) => Ok(Column::Bool(e.evaluate(frame)?.is_null_mask().not(), None)),
-            Expr::Abs(e) => e.evaluate(frame)?.abs(),
-            Expr::Round(e, d) => e.evaluate(frame)?.round(*d),
-            Expr::FillNa(e, v) => e.evaluate(frame)?.fillna(v),
-            Expr::Cast(e, t) => e.evaluate(frame)?.cast(*t),
+            Expr::Not(e) => Ok(Column::Bool(
+                e.evaluate_resolved(rows, resolve)?.invert()?,
+                None,
+            )),
+            Expr::Dt(e, f) => e.evaluate_resolved(rows, resolve)?.dt_field(*f),
+            Expr::Str(e, o) => e.evaluate_resolved(rows, resolve)?.str_op(o),
+            Expr::IsNull(e) => Ok(Column::Bool(
+                e.evaluate_resolved(rows, resolve)?.is_null_mask(),
+                None,
+            )),
+            Expr::NotNull(e) => Ok(Column::Bool(
+                e.evaluate_resolved(rows, resolve)?.is_null_mask().not(),
+                None,
+            )),
+            Expr::Abs(e) => e.evaluate_resolved(rows, resolve)?.abs(),
+            Expr::Round(e, d) => e.evaluate_resolved(rows, resolve)?.round(*d),
+            Expr::FillNa(e, v) => e.evaluate_resolved(rows, resolve)?.fillna(v),
+            Expr::Cast(e, t) => e.evaluate_resolved(rows, resolve)?.cast(*t),
         }
     }
 
     /// Evaluate as a filter mask; errors if the expression isn't boolean.
     pub fn evaluate_mask(&self, frame: &DataFrame) -> Result<Bitmap> {
-        let col = self.evaluate(frame)?;
+        self.evaluate_mask_resolved(frame.num_rows(), &|name| {
+            frame.column(name).map(lafp_columnar::Series::column)
+        })
+    }
+
+    /// [`Expr::evaluate_mask`] over a column resolver (see
+    /// [`Expr::evaluate_resolved`]).
+    pub fn evaluate_mask_resolved<'a>(
+        &self,
+        rows: usize,
+        resolve: &dyn Fn(&str) -> Result<&'a Column>,
+    ) -> Result<Bitmap> {
+        let col = self.evaluate_resolved(rows, resolve)?;
         col.as_mask().map_err(|_| ColumnarError::TypeMismatch {
             op: format!("filter predicate {self}"),
             dtype: col.dtype().to_string(),

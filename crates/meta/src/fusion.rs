@@ -1,0 +1,132 @@
+//! Process-wide operator-fusion telemetry.
+//!
+//! The streaming backend fuses maximal runs of row-local operators
+//! (filter / with-column / select / drop / rename / fillna, plus a
+//! terminal group-by, reduce, or len) into a single pass per morsel
+//! (see `lafp-backends`' `dask` module). These counters record how much
+//! of a query ran fused and — crucially for the acceptance tests — how
+//! many intermediate frames the op-by-op path materialized, so a test
+//! can assert that a fused chain produced **zero** intermediates
+//! without threading instrumentation through every operator.
+//!
+//! Counters are cumulative atomics; [`FusionStats::reset`] zeroes them
+//! between measured runs. Engines hold their own instance (so parallel
+//! tests don't observe each other) and mirror into [`global`] for
+//! process-level telemetry, the same split the spill counters use.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Cumulative fusion counters. Each engine records into its own
+/// instance and mirrors into [`global`].
+#[derive(Debug, Default)]
+pub struct FusionStats {
+    chains: AtomicU64,
+    fused_ops: AtomicU64,
+    fused_morsels: AtomicU64,
+    fused_rows_in: AtomicU64,
+    intermediate_frames: AtomicU64,
+}
+
+/// A point-in-time copy of the counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct FusionSnapshot {
+    /// Fused chains planned (one per chain per batch execution).
+    pub chains: u64,
+    /// Operators absorbed into those chains, terminals included.
+    pub fused_ops: u64,
+    /// Morsels that went through a fused chain end to end.
+    pub fused_morsels: u64,
+    /// Input rows entering fused chains.
+    pub fused_rows_in: u64,
+    /// Intermediate frames materialized by the *unfused* op-by-op
+    /// path (one per row-local operator hop). Zero for a query that
+    /// ran entirely through fused chains.
+    pub intermediate_frames: u64,
+}
+
+impl FusionStats {
+    /// Record one planned chain that absorbed `ops` operators.
+    pub fn record_chain(&self, ops: usize) {
+        self.chains.fetch_add(1, Ordering::Relaxed);
+        self.fused_ops.fetch_add(ops as u64, Ordering::Relaxed);
+    }
+
+    /// Record one morsel of `rows_in` input rows run through a chain.
+    pub fn record_fused_morsel(&self, rows_in: usize) {
+        self.fused_morsels.fetch_add(1, Ordering::Relaxed);
+        self.fused_rows_in
+            .fetch_add(rows_in as u64, Ordering::Relaxed);
+    }
+
+    /// Record one intermediate frame built by an unfused row-local hop.
+    pub fn record_intermediate(&self) {
+        self.intermediate_frames.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Copy the current counter values.
+    pub fn snapshot(&self) -> FusionSnapshot {
+        FusionSnapshot {
+            chains: self.chains.load(Ordering::Relaxed),
+            fused_ops: self.fused_ops.load(Ordering::Relaxed),
+            fused_morsels: self.fused_morsels.load(Ordering::Relaxed),
+            fused_rows_in: self.fused_rows_in.load(Ordering::Relaxed),
+            intermediate_frames: self.intermediate_frames.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Zero every counter (between measured runs).
+    pub fn reset(&self) {
+        self.chains.store(0, Ordering::Relaxed);
+        self.fused_ops.store(0, Ordering::Relaxed);
+        self.fused_morsels.store(0, Ordering::Relaxed);
+        self.fused_rows_in.store(0, Ordering::Relaxed);
+        self.intermediate_frames.store(0, Ordering::Relaxed);
+    }
+}
+
+/// The process-wide counters.
+pub fn global() -> &'static FusionStats {
+    static GLOBAL: FusionStats = FusionStats {
+        chains: AtomicU64::new(0),
+        fused_ops: AtomicU64::new(0),
+        fused_morsels: AtomicU64::new(0),
+        fused_rows_in: AtomicU64::new(0),
+        intermediate_frames: AtomicU64::new(0),
+    };
+    &GLOBAL
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate_and_reset() {
+        let stats = FusionStats::default();
+        stats.record_chain(4);
+        stats.record_fused_morsel(1000);
+        stats.record_fused_morsel(24);
+        stats.record_intermediate();
+        assert_eq!(
+            stats.snapshot(),
+            FusionSnapshot {
+                chains: 1,
+                fused_ops: 4,
+                fused_morsels: 2,
+                fused_rows_in: 1024,
+                intermediate_frames: 1,
+            }
+        );
+        stats.reset();
+        assert_eq!(stats.snapshot(), FusionSnapshot::default());
+    }
+
+    #[test]
+    fn global_is_shared() {
+        let before = global().snapshot();
+        global().record_chain(2);
+        let after = global().snapshot();
+        assert_eq!(after.chains, before.chains + 1);
+        assert_eq!(after.fused_ops, before.fused_ops + 2);
+    }
+}

@@ -18,10 +18,12 @@
 
 #![warn(missing_docs)]
 
+pub mod fusion;
 pub mod scan;
 pub mod spill;
 pub mod store;
 
+pub use fusion::{FusionSnapshot, FusionStats};
 pub use scan::compute_metadata;
 pub use spill::{SpillSnapshot, SpillStats};
 pub use store::{ColumnMeta, DatasetMeta, MetaStore};
