@@ -40,13 +40,15 @@
 
 use crate::memory::{MemoryReservation, MemoryTracker};
 use lafp_columnar::csv::{CsvChunkReader, CsvOptions};
+use lafp_columnar::faults::{self, FaultSite};
 use lafp_columnar::groupby::{GroupByAccumulator, GroupBySpec};
 use lafp_columnar::join::{merge as join_merge, JoinKind};
-use lafp_columnar::pool::{pipeline, pipeline3, StageChannel, WorkerPool};
+use lafp_columnar::pool::{panic_message, pipeline, pipeline3, StageChannel, WorkerPool};
 use lafp_columnar::sort::{cmp_rows_across, sort_values_par, FrameSortKeys, SortOptions};
-use lafp_columnar::spill::{spill_frame, SpillDir, SpillFile, SpillReader, SpillWriter};
+use lafp_columnar::spill::{spill_frame, SpillDir, SpillFile, SpillReader};
 use lafp_columnar::{
-    AggKind, Bitmap, Column, ColumnarError, DataFrame, HeapSize, Result, Scalar, Series,
+    AggKind, Bitmap, CancelToken, Column, ColumnarError, DataFrame, HeapSize, Result, Scalar,
+    Series,
 };
 use lafp_expr::Expr;
 use lafp_meta::FusionStats;
@@ -205,6 +207,11 @@ pub struct DaskEngine {
     /// Engine-local chain-fusion counters (mirrored into
     /// [`lafp_meta::fusion::global`]).
     fusion_stats: Arc<FusionStats>,
+    /// Engine-level cancellation token. Each `compute_batch` derives a
+    /// per-query handle from it (`for_query`), which also arms the
+    /// `LAFP_QUERY_TIMEOUT_MS` deadline; cancelling this token aborts
+    /// the running query and every later one.
+    cancel: CancelToken,
 }
 
 impl DaskEngine {
@@ -223,6 +230,7 @@ impl DaskEngine {
             pipeline_scan: true,
             fuse_chains: fuse_default(),
             fusion_stats: Arc::new(FusionStats::default()),
+            cancel: CancelToken::new(),
         }
     }
 
@@ -242,6 +250,20 @@ impl DaskEngine {
     /// The shared memory tracker.
     pub fn tracker(&self) -> &Arc<MemoryTracker> {
         &self.tracker
+    }
+
+    /// Replace the engine-level cancellation token. Queries started
+    /// after this call observe the new token.
+    pub fn set_cancel_token(&mut self, token: CancelToken) {
+        self.cancel = token;
+    }
+
+    /// The engine-level cancellation token. Cancelling it stops the
+    /// in-flight query (if any) at its next morsel/spill boundary and
+    /// makes every later query fail fast with
+    /// [`ColumnarError::Cancelled`].
+    pub fn cancel_token(&self) -> CancelToken {
+        self.cancel.clone()
     }
 
     /// Snapshot of this engine's chain-fusion counters: how many chains
@@ -457,11 +479,42 @@ impl DaskEngine {
         &mut self,
         roots: &[DaskNodeId],
     ) -> Result<Vec<(DaskValue, MemoryReservation)>> {
+        // Per-query cancellation handle: engine token plus the
+        // `LAFP_QUERY_TIMEOUT_MS` deadline (if configured).
+        let query = self.cancel.for_query();
+        // Blocking helpers (sort flush, buffered drains) submitted to the
+        // pool during this query observe the same handle.
+        let saved_pool = Arc::clone(&self.pool);
+        self.pool = Arc::new(saved_pool.with_cancel(query.clone()));
+        // Panic boundary: a poisoned morsel (or any bug on the driver
+        // path) fails THIS query with a structured error instead of
+        // aborting the process. All working state is RAII — dropping the
+        // half-built `BatchRun` releases its reservations and deletes its
+        // spill files — so the engine stays usable for the next query.
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            self.compute_batch_inner(roots, &query)
+        }));
+        self.pool = saved_pool;
+        match result {
+            Ok(r) => r,
+            Err(payload) => {
+                lafp_columnar::faults::record_panic_isolated();
+                Err(ColumnarError::WorkerPanic(panic_message(payload)))
+            }
+        }
+    }
+
+    fn compute_batch_inner(
+        &mut self,
+        roots: &[DaskNodeId],
+        query: &CancelToken,
+    ) -> Result<Vec<(DaskValue, MemoryReservation)>> {
+        query.check()?;
         let scan_limits = self.plan_head_limits(roots);
         if self.projection_pushdown {
             self.pushdown_projection(roots);
         }
-        let mut run = BatchRun::plan(self, roots)?;
+        let mut run = BatchRun::plan(self, roots, query.clone())?;
         run.scan_limits = scan_limits;
         run.execute(self)?;
         run.finish(self, roots)
@@ -532,15 +585,22 @@ struct PartitionBuffer {
     reservation: MemoryReservation,
     spill_dir: Arc<SpillDir>,
     spilled: bool,
+    /// Per-query handle: spill-boundary cancellation checkpoint.
+    cancel: CancelToken,
 }
 
 impl PartitionBuffer {
-    fn new(tracker: &Arc<MemoryTracker>, spill_dir: &Arc<SpillDir>) -> PartitionBuffer {
+    fn new(
+        tracker: &Arc<MemoryTracker>,
+        spill_dir: &Arc<SpillDir>,
+        cancel: &CancelToken,
+    ) -> PartitionBuffer {
         PartitionBuffer {
             parts: std::collections::VecDeque::new(),
             reservation: MemoryReservation::empty(tracker),
             spill_dir: Arc::clone(spill_dir),
             spilled: false,
+            cancel: cancel.clone(),
         }
     }
 
@@ -560,6 +620,7 @@ impl PartitionBuffer {
     }
 
     fn push(&mut self, frame: DataFrame) -> Result<()> {
+        self.cancel.check()?;
         let bytes = frame.heap_size();
         if self.reservation.grow(bytes).is_ok() {
             self.parts.push_back(BufPart::Mem(frame));
@@ -597,7 +658,7 @@ impl PartitionBuffer {
         let frame = file
             .read_all()?
             .pop()
-            .ok_or_else(|| ColumnarError::Io("empty spill file".into()))?;
+            .ok_or_else(|| ColumnarError::io("empty spill file"))?;
         self.reservation.grow(frame.heap_size())?;
         lafp_meta::spill::global().record_restore(frame.heap_size());
         Ok(frame)
@@ -608,6 +669,7 @@ impl PartitionBuffer {
     /// frame's bytes stay covered by this buffer's reservation until
     /// [`release`](Self::release) or drop.
     fn pop_front(&mut self) -> Result<Option<DataFrame>> {
+        self.cancel.check()?;
         match self.parts.pop_front() {
             None => Ok(None),
             Some(BufPart::Mem(f)) => Ok(Some(f)),
@@ -1042,10 +1104,13 @@ struct BatchRun {
     /// Chain index by head node id: partitions delivered to a head are
     /// routed through the whole chain in one pass.
     chain_by_head: std::collections::HashMap<DaskNodeId, usize>,
+    /// Per-query cancellation handle, checked at morsel boundaries
+    /// (consume / fused absorb / external-sort merge rounds).
+    cancel: CancelToken,
 }
 
 impl BatchRun {
-    fn plan(engine: &DaskEngine, roots: &[DaskNodeId]) -> Result<BatchRun> {
+    fn plan(engine: &DaskEngine, roots: &[DaskNodeId], cancel: CancelToken) -> Result<BatchRun> {
         let included = engine.reachable(roots);
         let mut pos = vec![None; engine.nodes.len()];
         for (i, &id) in included.iter().enumerate() {
@@ -1084,16 +1149,16 @@ impl BatchRun {
                     DaskOp::Len => NodeState::Len { rows: 0 },
                     DaskOp::Head(n) => NodeState::Head { remaining: *n },
                     DaskOp::Sort(_) => NodeState::Sort {
-                        buffer: PartitionBuffer::new(tracker, &engine.spill_dir),
+                        buffer: PartitionBuffer::new(tracker, &engine.spill_dir, &cancel),
                     },
                     DaskOp::DropDuplicates(_) => NodeState::Dedup {
                         seen: std::collections::HashSet::new(),
                         state: MemoryReservation::empty(tracker),
                     },
                     DaskOp::Merge { .. } => NodeState::MergeState {
-                        build: PartitionBuffer::new(tracker, &engine.spill_dir),
+                        build: PartitionBuffer::new(tracker, &engine.spill_dir, &cancel),
                         build_done: false,
-                        pending_probes: PartitionBuffer::new(tracker, &engine.spill_dir),
+                        pending_probes: PartitionBuffer::new(tracker, &engine.spill_dir, &cancel),
                         built: None,
                     },
                     DaskOp::Concat => NodeState::ConcatState,
@@ -1118,6 +1183,7 @@ impl BatchRun {
             scan_limits: std::collections::HashMap::new(),
             chains: Vec::new(),
             chain_by_head: std::collections::HashMap::new(),
+            cancel,
         };
         // Frame-valued roots additionally buffer their output.
         for &root in roots {
@@ -1203,7 +1269,7 @@ impl BatchRun {
         // state and add a side buffer keyed by dense position.
         self.gather_buffers
             .entry(p)
-            .or_insert_with(|| PartitionBuffer::new(tracker, spill_dir));
+            .or_insert_with(|| PartitionBuffer::new(tracker, spill_dir, &self.cancel));
     }
 
     fn execute(&mut self, engine: &mut DaskEngine) -> Result<()> {
@@ -1247,6 +1313,7 @@ impl BatchRun {
     }
 
     fn drive_source(&mut self, engine: &mut DaskEngine, id: DaskNodeId) -> Result<()> {
+        self.cancel.check()?;
         // Cached partitions replay.
         if let Some(cache) = &engine.nodes[id].cache {
             let parts = cache.parts.clone();
@@ -1290,7 +1357,7 @@ impl BatchRun {
                     let cap = engine.pool.threads();
                     let chain = Arc::clone(&self.chains[ci]);
                     let landed_chain = Arc::clone(&self.chains[ci]);
-                    let (parse, transform, drive) = pipeline3(
+                    let ((), (), drive) = pipeline3(
                         cap,
                         move |tx: &StageChannel<Result<DataFrame>>| {
                             loop {
@@ -1329,9 +1396,7 @@ impl BatchRun {
                             }
                             Ok(())
                         },
-                    );
-                    let () = parse;
-                    let () = transform;
+                    )?;
                     drive?;
                 } else if engine.pipeline_scan && engine.pool.is_parallel() {
                     // Pipelined scan: the CSV parse runs on a producer
@@ -1342,7 +1407,7 @@ impl BatchRun {
                     // so a slow consumer throttles the parser instead of
                     // buffering the file.
                     let cap = engine.pool.threads();
-                    let (parse, drive) = pipeline(
+                    let ((), drive) = pipeline(
                         cap,
                         move |tx: &StageChannel<Result<DataFrame>>| {
                             loop {
@@ -1380,12 +1445,12 @@ impl BatchRun {
                             }
                             Ok(())
                         },
-                    );
-                    let () = parse;
+                    )?;
                     drive?;
                 } else {
                     let mut emitted = 0usize;
                     while let Some(chunk) = reader.next_chunk()? {
+                        self.cancel.check()?;
                         let chunk = match limit {
                             Some(l) if emitted + chunk.num_rows() > l => chunk.head(l - emitted),
                             _ => chunk,
@@ -1406,6 +1471,7 @@ impl BatchRun {
                     self.emit(engine, id, frame.as_ref())?;
                 }
                 while start < rows {
+                    self.cancel.check()?;
                     let len = engine.chunk_rows.min(rows - start);
                     let part = frame.slice(start, len);
                     let _t = engine.tracker.charge(part.heap_size())?;
@@ -1452,6 +1518,11 @@ impl BatchRun {
         slot: usize,
         part: &DataFrame,
     ) -> Result<()> {
+        self.cancel.check()?;
+        // Driver-side morsel-execution injection point (the pool's
+        // equivalent sits in `TaskQueue::claim`); a fired panic unwinds
+        // to the `compute_batch` isolation boundary.
+        faults::inject(FaultSite::MorselExecute)?;
         // A chain head routes the partition through the whole fused
         // chain in one pass instead of its own (unfused) arm below.
         if let Some(ci) = self.chain_by_head.get(&id).copied() {
@@ -1582,6 +1653,8 @@ impl BatchRun {
         part: &DataFrame,
         morsel: FusedMorsel,
     ) -> Result<()> {
+        self.cancel.check()?;
+        faults::inject(FaultSite::MorselExecute)?;
         engine.fusion_stats.record_fused_morsel(part.num_rows());
         lafp_meta::fusion::global().record_fused_morsel(part.num_rows());
         let Some(t) = chain.terminal else {
@@ -1661,7 +1734,7 @@ impl BatchRun {
                         *built = Some(build.concat_all()?);
                         let mut probes = std::mem::replace(
                             pending_probes,
-                            PartitionBuffer::new(&engine.tracker, &engine.spill_dir),
+                            PartitionBuffer::new(&engine.tracker, &engine.spill_dir, &self.cancel),
                         );
                         let right = built.clone().expect("just built");
                         // The backlog of buffered probe partitions is
@@ -1857,6 +1930,7 @@ impl BatchRun {
             frames.push(f);
         }
         loop {
+            self.cancel.check()?;
             // Cross-frame comparators for the resident chunks. Rebuilt
             // each round (a round ends when some chunk exhausts) — cheap
             // relative to the per-row merge work.
@@ -2008,20 +2082,25 @@ fn write_sorted_run(
     let frame = frame.unwrap_or_else(DataFrame::empty);
     let sorted = sort_values_par(&frame, options, &engine.pool)?;
     drop(frame);
-    let mut w = SpillWriter::create(engine.spill_dir.new_file_path()?)?;
     let rows = sorted.num_rows();
     let row_bytes = (sorted.heap_size() / rows.max(1)).max(1);
     let frame_rows = engine.chunk_rows.min((frame_cap / row_bytes).max(1));
-    let mut start = 0usize;
-    while start < rows {
-        let len = frame_rows.min(rows - start);
-        w.write_frame(&sorted.slice(start, len))?;
-        start += len;
-    }
+    // write_with_retry owns the transient-failure ladder: retry, fall
+    // back to a secondary spill root on ENOSPC, or degrade to a clean
+    // OutOfMemory ("spill unavailable") error with no partial file left.
+    let file = engine.spill_dir.write_with_retry(|w| {
+        let mut start = 0usize;
+        while start < rows {
+            let len = frame_rows.min(rows - start);
+            w.write_frame(&sorted.slice(start, len))?;
+            start += len;
+        }
+        Ok(())
+    })?;
     let stats = lafp_meta::spill::global();
     stats.record_file();
     stats.record_spill(sorted.heap_size());
-    w.finish()
+    Ok(file)
 }
 
 /// Next frame with at least one row (zero-row frames carry no merge

@@ -114,11 +114,14 @@ impl EagerEngine {
             return f(df);
         }
         let parts = self.partition(df);
-        let results: Vec<Result<DataFrame>> = self.pool.map(parts, |_, p| f(&p));
+        // try_map isolates a panicking partition worker (surfacing
+        // `WorkerPanic` instead of aborting) and honours the pool's
+        // cancellation token between claims.
+        let results = self.pool.try_map(parts, |_, p| f(&p))?;
         let mut it = results.into_iter();
-        let mut acc = it.next().expect("at least one partition")?;
+        let mut acc = it.next().expect("at least one partition");
         for r in it {
-            acc = acc.concat(&r?)?;
+            acc = acc.concat(&r)?;
         }
         Ok(acc)
     }

@@ -61,6 +61,15 @@ impl MemoryTracker {
     /// Charge `bytes`, failing with `OutOfMemory` if the budget would be
     /// exceeded. Returns an RAII reservation that releases on drop.
     pub fn charge(self: &Arc<Self>, bytes: usize) -> Result<MemoryReservation> {
+        // Fault injection: the `alloc` site denies an otherwise-fitting
+        // charge, exercising the same degraded path as a genuine budget
+        // overflow (spill, or a clean OutOfMemory error).
+        if lafp_columnar::faults::fire(lafp_columnar::faults::FaultSite::Alloc).is_some() {
+            return Err(ColumnarError::OutOfMemory {
+                requested: bytes,
+                available: self.budget.saturating_sub(self.current()),
+            });
+        }
         let mut cur = self.current.load(Ordering::Relaxed);
         loop {
             let next = cur.saturating_add(bytes);

@@ -252,9 +252,20 @@ impl<'a> Iterator for Records<'a> {
     }
 }
 
+/// Fire the `csv_read` injection point, attaching the file path to the
+/// synthetic error (see [`faults`](crate::faults)).
+fn inject_csv(path: &Path) -> Result<()> {
+    crate::faults::inject_io(crate::faults::FaultSite::CsvRead).map_err(|e| {
+        ColumnarError::Io {
+            kind: e.kind(),
+            message: format!("{path:?}: {e}"),
+        }
+    })
+}
+
 /// Read just the header row of a CSV file.
 pub fn read_header(path: &Path) -> Result<Vec<String>> {
-    let file = File::open(path).map_err(|e| ColumnarError::Io(format!("{path:?}: {e}")))?;
+    let file = File::open(path).map_err(|e| ColumnarError::Io { kind: e.kind(), message: format!("{path:?}: {e}") })?;
     let mut reader = BufReader::new(file);
     let mut line = String::new();
     reader.read_line(&mut line)?;
@@ -325,16 +336,17 @@ pub fn read_csv_par(
     if !pool.is_parallel() {
         return read_csv(path, options);
     }
+    inject_csv(path)?;
     // Size-gate on metadata before buffering the file, so small files
     // are read once (by the streaming reader), not twice.
     let file_bytes = std::fs::metadata(path)
         .map(|m| m.len() as usize)
-        .map_err(|e| ColumnarError::Io(format!("{path:?}: {e}")))?;
+        .map_err(|e| ColumnarError::Io { kind: e.kind(), message: format!("{path:?}: {e}") })?;
     if file_bytes < PAR_MIN_BYTES {
         return read_csv(path, options);
     }
     let text =
-        std::fs::read_to_string(path).map_err(|e| ColumnarError::Io(format!("{path:?}: {e}")))?;
+        std::fs::read_to_string(path).map_err(|e| ColumnarError::Io { kind: e.kind(), message: format!("{path:?}: {e}") })?;
     let (header_line, body_start) = match text.find('\n') {
         Some(p) => (&text[..p], p + 1),
         None => (text.as_str(), text.len()),
@@ -551,7 +563,8 @@ pub struct CsvChunkReader {
 impl CsvChunkReader {
     /// Open `path` and prepare to stream chunks of `chunk_rows` rows.
     pub fn open(path: &Path, options: &CsvOptions, chunk_rows: usize) -> Result<CsvChunkReader> {
-        let file = File::open(path).map_err(|e| ColumnarError::Io(format!("{path:?}: {e}")))?;
+        inject_csv(path)?;
+        let file = File::open(path).map_err(|e| ColumnarError::Io { kind: e.kind(), message: format!("{path:?}: {e}") })?;
         let mut reader = BufReader::new(file);
         let mut line = String::new();
         reader.read_line(&mut line)?;
@@ -707,6 +720,7 @@ impl CsvChunkReader {
 
     /// Read the next chunk; `None` when the file is exhausted.
     pub fn next_chunk(&mut self) -> Result<Option<DataFrame>> {
+        inject_csv(&self.path)?;
         let mut builders: Vec<ColumnBuilder> =
             self.dtypes.iter().map(|&dt| ColumnBuilder::new(dt)).collect();
         for b in &mut builders {
@@ -865,7 +879,7 @@ fn infer_dtype<'a>(values: impl Iterator<Item = &'a str>) -> DType {
 
 /// Write a frame to CSV (header + rows; datetimes in `YYYY-MM-DD HH:MM:SS`).
 pub fn write_csv(frame: &DataFrame, path: &Path) -> Result<()> {
-    let file = File::create(path).map_err(|e| ColumnarError::Io(format!("{path:?}: {e}")))?;
+    let file = File::create(path).map_err(|e| ColumnarError::Io { kind: e.kind(), message: format!("{path:?}: {e}") })?;
     let mut w = std::io::BufWriter::new(file);
     writeln!(
         w,

@@ -37,8 +37,15 @@ pub enum ColumnarError {
     },
     /// CSV structural problem (ragged row, missing header column, ...).
     Csv(String),
-    /// Underlying I/O failure (message-only so the error stays `Clone`).
-    Io(String),
+    /// Underlying I/O failure. Keeps the [`std::io::ErrorKind`] (it is
+    /// `Copy`, so the error stays `Clone`) so recovery code can tell
+    /// ENOSPC from a short read without string matching.
+    Io {
+        /// The kind of the underlying `std::io::Error`.
+        kind: std::io::ErrorKind,
+        /// Human-readable description.
+        message: String,
+    },
     /// The simulated memory budget was exhausted.
     OutOfMemory {
         /// Bytes the operation attempted to reserve.
@@ -46,8 +53,27 @@ pub enum ColumnarError {
         /// Bytes available under the budget at that moment.
         available: usize,
     },
+    /// A worker or pipeline-stage thread panicked. The panic was caught
+    /// at the pool / query boundary; the payload message is preserved.
+    /// Only the owning query fails — the engine stays usable.
+    WorkerPanic(String),
+    /// The query was cancelled (caller-side [`cancel`] or deadline).
+    ///
+    /// [`cancel`]: crate::cancel::CancelToken::cancel
+    Cancelled(String),
     /// Catch-all for invalid arguments.
     InvalidArgument(String),
+}
+
+impl ColumnarError {
+    /// An [`Io`](ColumnarError::Io) error with no specific kind —
+    /// the drop-in replacement for the old message-only `Io(String)`.
+    pub fn io(message: impl Into<String>) -> ColumnarError {
+        ColumnarError::Io {
+            kind: std::io::ErrorKind::Other,
+            message: message.into(),
+        }
+    }
 }
 
 impl fmt::Display for ColumnarError {
@@ -66,7 +92,7 @@ impl fmt::Display for ColumnarError {
                 None => write!(f, "cannot parse {value:?} as {dtype}"),
             },
             ColumnarError::Csv(msg) => write!(f, "csv error: {msg}"),
-            ColumnarError::Io(msg) => write!(f, "io error: {msg}"),
+            ColumnarError::Io { kind, message } => write!(f, "io error ({kind:?}): {message}"),
             ColumnarError::OutOfMemory {
                 requested,
                 available,
@@ -74,6 +100,8 @@ impl fmt::Display for ColumnarError {
                 f,
                 "simulated out of memory: requested {requested} bytes, {available} available"
             ),
+            ColumnarError::WorkerPanic(msg) => write!(f, "worker panicked: {msg}"),
+            ColumnarError::Cancelled(msg) => write!(f, "cancelled: {msg}"),
             ColumnarError::InvalidArgument(msg) => write!(f, "invalid argument: {msg}"),
         }
     }
@@ -83,7 +111,10 @@ impl std::error::Error for ColumnarError {}
 
 impl From<std::io::Error> for ColumnarError {
     fn from(err: std::io::Error) -> Self {
-        ColumnarError::Io(err.to_string())
+        ColumnarError::Io {
+            kind: err.kind(),
+            message: err.to_string(),
+        }
     }
 }
 
@@ -104,9 +135,28 @@ mod tests {
     }
 
     #[test]
-    fn io_error_converts() {
+    fn io_error_converts_preserving_kind() {
         let io = std::io::Error::new(std::io::ErrorKind::NotFound, "nope");
         let err: ColumnarError = io.into();
-        assert!(matches!(err, ColumnarError::Io(_)));
+        assert!(matches!(
+            err,
+            ColumnarError::Io {
+                kind: std::io::ErrorKind::NotFound,
+                ..
+            }
+        ));
+        // The whole enum (including Io) must stay Clone + Eq for
+        // differential tests that compare captured errors.
+        assert_eq!(err.clone(), err);
+    }
+
+    #[test]
+    fn new_variants_display() {
+        let err = ColumnarError::WorkerPanic("boom".into());
+        assert!(err.to_string().contains("boom"));
+        let err = ColumnarError::Cancelled("deadline".into());
+        assert!(err.to_string().contains("deadline"));
+        let err = ColumnarError::io("disk gone");
+        assert!(err.to_string().contains("disk gone"));
     }
 }

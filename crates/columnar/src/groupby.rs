@@ -1426,7 +1426,7 @@ pub fn group_by_par(
             acc.update_range(frame, start, len)?;
         }
         Ok(acc)
-    });
+    })?;
     let mut it = partials.into_iter();
     let mut merged = it.next().expect("at least one worker")?;
     for partial in it {

@@ -22,6 +22,11 @@
 //! * [`csv`] — a quoted-CSV reader (with projection, dtype overrides, date
 //!   parsing and chunked/streaming access used by the out-of-core backend)
 //!   and writer.
+//! * [`faults`] / [`cancel`] — the robustness layer: a deterministic,
+//!   seeded fault-injection registry (`LAFP_FAULTS`) firing synthetic
+//!   I/O errors, ENOSPC, corruption, allocation denials and worker
+//!   panics at the executor's recovery boundaries, and a cooperative
+//!   [`CancelToken`] checked at morsel claims and spill operations.
 //!
 //! Every structure reports its heap footprint via [`HeapSize`], which the
 //! backend layer uses to charge the simulated memory budget that reproduces
@@ -30,11 +35,13 @@
 #![warn(missing_docs)]
 
 pub mod bitmap;
+pub mod cancel;
 pub mod column;
 pub mod csv;
 pub mod describe;
 pub mod dtype;
 pub mod error;
+pub mod faults;
 pub mod frame;
 pub mod groupby;
 pub mod join;
@@ -46,6 +53,7 @@ pub mod strings;
 pub mod value;
 
 pub use bitmap::Bitmap;
+pub use cancel::CancelToken;
 pub use column::Column;
 pub use dtype::DType;
 pub use error::{ColumnarError, Result};

@@ -22,10 +22,48 @@
 //! comparator), so results are identical to the sequential path at any
 //! thread count.
 
+// New `unwrap`/`expect` escapes in the pool are panics that tear through
+// the isolation layer — make them visible in review (CI elevates to deny;
+// the survivors below carry justified `#[allow]`s).
+#![warn(clippy::unwrap_used, clippy::expect_used)]
+
+use crate::cancel::CancelToken;
+use crate::error::{ColumnarError, Result};
+use crate::faults::{self, FaultKind, FaultSite};
 use std::cell::UnsafeCell;
 use std::collections::VecDeque;
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::{Condvar, Mutex, OnceLock};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Condvar, Mutex, OnceLock, PoisonError};
+
+/// Extract a human-readable message from a caught panic payload
+/// (`panic!` with a string literal or a formatted `String`; anything
+/// else gets a placeholder). Used everywhere a panic is converted into
+/// [`ColumnarError::WorkerPanic`].
+pub fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// Record `err` as the run's first error (later errors are dropped —
+/// the first failure is the one that poisoned the queue).
+fn set_first_error(slot: &Mutex<Option<ColumnarError>>, err: ColumnarError) {
+    let mut guard = slot.lock().unwrap_or_else(PoisonError::into_inner);
+    guard.get_or_insert(err);
+}
+
+/// Fire the pipeline-stage injection point (panics when the registry
+/// says so; the surrounding `catch_unwind` is what is under test).
+fn stage_inject() {
+    if let Some(FaultKind::Panic(msg)) = faults::fire(FaultSite::PipelineStage) {
+        panic!("{msg}");
+    }
+}
 
 /// Default morsel size in rows for the parallel kernels. Large enough
 /// that per-morsel overheads (an accumulator merge, a run header)
@@ -74,6 +112,11 @@ pub fn resolve_threads(requested: usize) -> usize {
 #[derive(Debug)]
 pub struct WorkerPool {
     threads: usize,
+    /// Cooperative cancellation consulted at every morsel claim by the
+    /// fallible entry points ([`try_map`](WorkerPool::try_map),
+    /// [`run_workers`](WorkerPool::run_workers)). `None` = never
+    /// cancelled.
+    cancel: Option<CancelToken>,
 }
 
 /// A shared queue of task indexes `0..tasks`, claimed atomically by the
@@ -81,14 +124,47 @@ pub struct WorkerPool {
 pub struct TaskQueue {
     next: AtomicUsize,
     tasks: usize,
+    /// Set when a worker fails: remaining claims return `None` so the
+    /// other workers drain instead of burning through a doomed run.
+    poisoned: AtomicBool,
+    cancel: Option<CancelToken>,
 }
 
 impl TaskQueue {
-    /// Claim the next unclaimed task index, or `None` when exhausted.
+    fn new(tasks: usize, cancel: Option<CancelToken>) -> TaskQueue {
+        TaskQueue {
+            next: AtomicUsize::new(0),
+            tasks,
+            poisoned: AtomicBool::new(false),
+            cancel,
+        }
+    }
+
+    /// Claim the next unclaimed task index, or `None` when exhausted,
+    /// poisoned, or cancelled. This is the single choke point every
+    /// morsel passes through, so it doubles as the `worker_panic`
+    /// injection site (the fault fires here as a real panic; the pool's
+    /// `catch_unwind` boundary converts it).
     #[inline]
     pub fn claim(&self) -> Option<usize> {
+        if self.poisoned.load(Ordering::Relaxed) {
+            return None;
+        }
+        if self.cancel.as_ref().is_some_and(CancelToken::is_cancelled) {
+            return None;
+        }
+        if let Some(FaultKind::Panic(msg)) = faults::fire(FaultSite::MorselExecute) {
+            panic!("{msg}");
+        }
         let i = self.next.fetch_add(1, Ordering::Relaxed);
         (i < self.tasks).then_some(i)
+    }
+
+    /// Stop handing out tasks: remaining and future claims return
+    /// `None`. Called by a worker that hit an error or panic so its
+    /// peers finish their in-hand morsel and exit.
+    pub fn poison(&self) {
+        self.poisoned.store(true, Ordering::Relaxed);
     }
 }
 
@@ -107,13 +183,30 @@ impl WorkerPool {
     pub fn new(threads: usize) -> WorkerPool {
         WorkerPool {
             threads: resolve_threads(threads),
+            cancel: None,
         }
     }
 
     /// A single-threaded pool: every parallel entry point degenerates to
     /// its sequential path.
     pub const fn sequential() -> WorkerPool {
-        WorkerPool { threads: 1 }
+        WorkerPool {
+            threads: 1,
+            cancel: None,
+        }
+    }
+
+    /// A pool sharing this one's thread count whose fallible entry
+    /// points ([`try_map`](WorkerPool::try_map),
+    /// [`run_workers`](WorkerPool::run_workers)) check `token` at every
+    /// morsel claim and return [`ColumnarError::Cancelled`] once it
+    /// trips. Cheap (no threads are held by a pool between calls); the
+    /// engines derive one per query.
+    pub fn with_cancel(&self, token: CancelToken) -> WorkerPool {
+        WorkerPool {
+            threads: self.threads,
+            cancel: Some(token),
+        }
     }
 
     /// The process-wide default pool, sized once from `LAFP_THREADS` /
@@ -137,6 +230,12 @@ impl WorkerPool {
     /// order. Items are claimed dynamically (morsel-driven): a worker
     /// that finishes a cheap item immediately claims the next, so skewed
     /// per-item costs balance without static partitioning.
+    ///
+    /// `map` is infallible and ignores the pool's cancel token: a panic
+    /// in `f` propagates out of the scope join and is only converted to
+    /// a structured error at the query boundary. Fallible or
+    /// cancellation-aware paths use [`try_map`](WorkerPool::try_map).
+    #[allow(clippy::expect_used)] // slot invariants: each index claimed and filled exactly once
     pub fn map<T: Send, R: Send>(
         &self,
         items: Vec<T>,
@@ -151,10 +250,7 @@ impl WorkerPool {
             .map(|t| Slot(UnsafeCell::new(Some(t))))
             .collect();
         let out: Vec<Slot<R>> = (0..n).map(|_| Slot(UnsafeCell::new(None))).collect();
-        let queue = TaskQueue {
-            next: AtomicUsize::new(0),
-            tasks: n,
-        };
+        let queue = TaskQueue::new(n, None);
         let workers = self.threads.min(n);
         std::thread::scope(|scope| {
             for _ in 0..workers {
@@ -176,31 +272,165 @@ impl WorkerPool {
             .collect()
     }
 
+    /// Fallible, panic-isolating [`map`](WorkerPool::map): apply `f` to
+    /// every item in parallel, returning outputs in item order, where
+    /// any worker's `Err` or panic fails the whole call with the *first*
+    /// failure. On failure the task queue is poisoned so the remaining
+    /// workers finish their in-hand item and exit — one bad morsel costs
+    /// one query, not the process. Checks the pool's cancel token at
+    /// every claim.
+    ///
+    /// ```
+    /// use lafp_columnar::WorkerPool;
+    /// let pool = WorkerPool::new(2);
+    /// let out = pool.try_map(vec![1, 2, 3], |_, v| Ok(v * 2)).unwrap();
+    /// assert_eq!(out, vec![2, 4, 6]);
+    /// ```
+    pub fn try_map<T: Send, R: Send>(
+        &self,
+        items: Vec<T>,
+        f: impl Fn(usize, T) -> Result<R> + Sync,
+    ) -> Result<Vec<R>> {
+        let n = items.len();
+        if let Some(token) = &self.cancel {
+            token.check()?;
+        }
+        if self.threads <= 1 || n <= 1 {
+            let mut out = Vec::with_capacity(n);
+            for (i, item) in items.into_iter().enumerate() {
+                if let Some(token) = &self.cancel {
+                    token.check()?;
+                }
+                // Same morsel-execution injection point the parallel
+                // path hits in `TaskQueue::claim`.
+                match catch_unwind(AssertUnwindSafe(|| {
+                    faults::inject(FaultSite::MorselExecute).and_then(|()| f(i, item))
+                })) {
+                    Ok(r) => out.push(r?),
+                    Err(payload) => {
+                        faults::record_panic_isolated();
+                        return Err(ColumnarError::WorkerPanic(panic_message(payload)));
+                    }
+                }
+            }
+            return Ok(out);
+        }
+        let slots: Vec<Slot<T>> = items
+            .into_iter()
+            .map(|t| Slot(UnsafeCell::new(Some(t))))
+            .collect();
+        let out: Vec<Slot<R>> = (0..n).map(|_| Slot(UnsafeCell::new(None))).collect();
+        let queue = TaskQueue::new(n, self.cancel.clone());
+        let error: Mutex<Option<ColumnarError>> = Mutex::new(None);
+        let workers = self.threads.min(n);
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|| {
+                    let run = catch_unwind(AssertUnwindSafe(|| {
+                        while let Some(i) = queue.claim() {
+                            // SAFETY: as in `map` — disjoint uniquely
+                            // claimed indexes, vectors never resized.
+                            let Some(item) = (unsafe { (*slots[i].0.get()).take() }) else {
+                                break;
+                            };
+                            match f(i, item) {
+                                Ok(r) => unsafe { *out[i].0.get() = Some(r) },
+                                Err(e) => {
+                                    queue.poison();
+                                    set_first_error(&error, e);
+                                    break;
+                                }
+                            }
+                        }
+                    }));
+                    if let Err(payload) = run {
+                        queue.poison();
+                        faults::record_panic_isolated();
+                        set_first_error(
+                            &error,
+                            ColumnarError::WorkerPanic(panic_message(payload)),
+                        );
+                    }
+                });
+            }
+        });
+        if let Some(e) = error.into_inner().unwrap_or_else(PoisonError::into_inner) {
+            return Err(e);
+        }
+        if let Some(token) = &self.cancel {
+            token.check()?;
+        }
+        #[allow(clippy::expect_used)] // no error recorded ⇒ every slot was filled
+        Ok(out
+            .into_iter()
+            .map(|s| s.0.into_inner().expect("worker filled its slot"))
+            .collect())
+    }
+
     /// Spawn up to `threads` workers, each running `worker` with the
     /// shared task queue over `0..tasks`, and return one result per
     /// worker (in worker order). This is the shape the group-by kernel
     /// needs: worker-local accumulators fed by dynamically claimed
     /// morsels, merged by the caller afterwards.
+    ///
+    /// A panicking worker poisons the queue (its peers drain and exit)
+    /// and fails the call with [`ColumnarError::WorkerPanic`]; a tripped
+    /// cancel token fails it with [`ColumnarError::Cancelled`].
     pub fn run_workers<R: Send>(
         &self,
         tasks: usize,
         worker: impl Fn(&TaskQueue) -> R + Sync,
-    ) -> Vec<R> {
-        let queue = TaskQueue {
-            next: AtomicUsize::new(0),
-            tasks,
-        };
+    ) -> Result<Vec<R>> {
+        let queue = TaskQueue::new(tasks, self.cancel.clone());
         let workers = self.threads.min(tasks.max(1));
-        if workers <= 1 {
-            return vec![worker(&queue)];
+        let error: Mutex<Option<ColumnarError>> = Mutex::new(None);
+        let run_one = |queue: &TaskQueue| -> Option<R> {
+            match catch_unwind(AssertUnwindSafe(|| worker(queue))) {
+                Ok(r) => Some(r),
+                Err(payload) => {
+                    queue.poison();
+                    faults::record_panic_isolated();
+                    set_first_error(
+                        &error,
+                        ColumnarError::WorkerPanic(panic_message(payload)),
+                    );
+                    None
+                }
+            }
+        };
+        let results: Vec<Option<R>> = if workers <= 1 {
+            vec![run_one(&queue)]
+        } else {
+            std::thread::scope(|scope| {
+                let handles: Vec<_> =
+                    (0..workers).map(|_| scope.spawn(|| run_one(&queue))).collect();
+                handles
+                    .into_iter()
+                    .map(|h| match h.join() {
+                        Ok(r) => r,
+                        // Unreachable (run_one catches), but stay structured.
+                        Err(payload) => {
+                            set_first_error(
+                                &error,
+                                ColumnarError::WorkerPanic(panic_message(payload)),
+                            );
+                            None
+                        }
+                    })
+                    .collect()
+            })
+        };
+        if let Some(e) = error.into_inner().unwrap_or_else(PoisonError::into_inner) {
+            return Err(e);
         }
-        std::thread::scope(|scope| {
-            let handles: Vec<_> = (0..workers).map(|_| scope.spawn(|| worker(&queue))).collect();
-            handles
-                .into_iter()
-                .map(|h| h.join().expect("pool worker panicked"))
-                .collect()
-        })
+        if let Some(token) = &self.cancel {
+            token.check()?;
+        }
+        #[allow(clippy::expect_used)] // no error recorded ⇒ every worker returned
+        Ok(results
+            .into_iter()
+            .map(|r| r.expect("worker result present"))
+            .collect())
     }
 }
 
@@ -251,13 +481,21 @@ impl<T> StageChannel<T> {
         }
     }
 
+    /// Lock the state, recovering from poison: the mutex is only held
+    /// inside this module's short critical sections, so a poisoned lock
+    /// means a *peer stage* panicked mid-protocol — the state itself is
+    /// still consistent and shutdown must proceed, not double-panic.
+    fn lock(&self) -> std::sync::MutexGuard<'_, StageState<T>> {
+        self.inner.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
     /// Push an item, blocking while the queue is full. Returns `false`
     /// (dropping the item) if the consumer has hung up — the producer
     /// should stop generating.
     pub fn send(&self, item: T) -> bool {
-        let mut st = self.inner.lock().unwrap();
+        let mut st = self.lock();
         while st.queue.len() >= self.cap && !st.hung_up {
-            st = self.space.wait(st).unwrap();
+            st = self.space.wait(st).unwrap_or_else(PoisonError::into_inner);
         }
         if st.hung_up {
             return false;
@@ -272,7 +510,7 @@ impl<T> StageChannel<T> {
     /// producer is still running. Returns `None` once the producer has
     /// [`close`](StageChannel::close)d and the queue is drained.
     pub fn recv(&self) -> Option<T> {
-        let mut st = self.inner.lock().unwrap();
+        let mut st = self.lock();
         loop {
             if let Some(item) = st.queue.pop_front() {
                 drop(st);
@@ -282,20 +520,20 @@ impl<T> StageChannel<T> {
             if st.closed {
                 return None;
             }
-            st = self.ready.wait(st).unwrap();
+            st = self.ready.wait(st).unwrap_or_else(PoisonError::into_inner);
         }
     }
 
-    /// Producer side: no more items will be sent.
+    /// Producer side: no more items will be sent. Idempotent.
     pub fn close(&self) {
-        self.inner.lock().unwrap().closed = true;
+        self.lock().closed = true;
         self.ready.notify_all();
     }
 
     /// Consumer side: stop accepting items (subsequent and blocked
-    /// `send`s return `false`). Queued items are dropped.
+    /// `send`s return `false`). Queued items are dropped. Idempotent.
     pub fn hang_up(&self) {
-        let mut st = self.inner.lock().unwrap();
+        let mut st = self.lock();
         st.hung_up = true;
         st.queue.clear();
         drop(st);
@@ -317,6 +555,13 @@ impl<T> StageChannel<T> {
 /// [`hang_up`](StageChannel::hang_up) so the producer's next `send`
 /// returns `false` and it can exit instead of blocking forever.
 ///
+/// Both stages run under `catch_unwind`, and the shutdown protocol runs
+/// *unconditionally*: whatever a stage does — return, error out early,
+/// or panic — its channel side is released (producer exit closes,
+/// consumer exit hangs up), so the peer can never block forever on a
+/// bounded queue. A panic in either stage surfaces as
+/// [`ColumnarError::WorkerPanic`] after both stages have unwound.
+///
 /// ```
 /// use lafp_columnar::pool::{pipeline, StageChannel};
 /// let ((), sum) = pipeline(
@@ -336,28 +581,56 @@ impl<T> StageChannel<T> {
 ///         }
 ///         total
 ///     },
-/// );
+/// )
+/// .unwrap();
 /// assert_eq!(sum, 5050);
 /// ```
 pub fn pipeline<T, A, B>(
     cap: usize,
     producer: impl FnOnce(&StageChannel<T>) -> A + Send,
     consumer: impl FnOnce(&StageChannel<T>) -> B,
-) -> (A, B)
+) -> Result<(A, B)>
 where
     T: Send,
     A: Send,
 {
     let channel = StageChannel::new(cap);
-    std::thread::scope(|scope| {
-        let handle = scope.spawn(|| producer(&channel));
-        let b = consumer(&channel);
-        // A consumer that returned early without draining must not
-        // strand the producer on a full queue.
+    let (a, b) = std::thread::scope(|scope| {
+        let handle = scope.spawn(|| {
+            let r = catch_unwind(AssertUnwindSafe(|| {
+                stage_inject();
+                producer(&channel)
+            }));
+            // Whether the producer returned or panicked, the consumer
+            // must not block on a channel nobody will feed again.
+            channel.close();
+            r
+        });
+        let b = catch_unwind(AssertUnwindSafe(|| consumer(&channel)));
+        // A consumer that returned early (or panicked) must not strand
+        // the producer on a full queue.
         channel.hang_up();
-        let a = handle.join().expect("pipeline producer panicked");
+        let a = handle.join().unwrap_or_else(Err);
         (a, b)
-    })
+    });
+    match (a, b) {
+        (Ok(a), Ok(b)) => Ok((a, b)),
+        (ra, rb) => {
+            let mut msgs: Vec<String> = [ra.err(), rb.err()]
+                .into_iter()
+                .flatten()
+                .map(panic_message)
+                .collect();
+            for _ in &msgs {
+                faults::record_panic_isolated();
+            }
+            Err(ColumnarError::WorkerPanic(if msgs.is_empty() {
+                "pipeline stage panicked".to_string()
+            } else {
+                msgs.swap_remove(0)
+            }))
+        }
+    }
 }
 
 /// Run a three-stage pipeline: `producer` and `middle` each on their own
@@ -369,13 +642,18 @@ where
 /// two bounds keep the total in-flight footprint at `2 · cap` morsels
 /// regardless of file size.
 ///
-/// Shutdown protocol (the part that must not deadlock): after the
-/// consumer returns, the caller hangs up the downstream channel, joins
-/// the middle stage (whose next `send` returns `false`), then hangs up
-/// the upstream channel and joins the producer. A middle stage should
-/// mirror a well-behaved producer: forward until `recv` returns `None`
-/// or `send` returns `false`, then [`close`](StageChannel::close) its
-/// output.
+/// Shutdown protocol (the part that must not deadlock): every stage
+/// runs under `catch_unwind` and releases its channel sides
+/// *unconditionally* when it exits — normally, on error, or by panic.
+/// The producer's exit closes the upstream channel; the middle stage's
+/// exit hangs up upstream (so a blocked producer `send` returns
+/// `false`) and closes downstream (so the consumer's `recv` drains and
+/// returns `None`); the consumer's exit hangs up downstream. Any stage
+/// panic surfaces as [`ColumnarError::WorkerPanic`] after all three
+/// stages have unwound — bounded-channel peers never block forever. A
+/// middle stage should still mirror a well-behaved producer: forward
+/// until `recv` returns `None` or `send` returns `false`, then
+/// [`close`](StageChannel::close) its output.
 ///
 /// ```
 /// use lafp_columnar::pool::{pipeline3, StageChannel};
@@ -404,7 +682,8 @@ where
 ///         }
 ///         total
 ///     },
-/// );
+/// )
+/// .unwrap();
 /// assert_eq!(sum, 10100);
 /// ```
 pub fn pipeline3<T, U, A, B, C>(
@@ -412,7 +691,7 @@ pub fn pipeline3<T, U, A, B, C>(
     producer: impl FnOnce(&StageChannel<T>) -> A + Send,
     middle: impl FnOnce(&StageChannel<T>, &StageChannel<U>) -> B + Send,
     consumer: impl FnOnce(&StageChannel<U>) -> C,
-) -> (A, B, C)
+) -> Result<(A, B, C)>
 where
     T: Send,
     U: Send,
@@ -421,19 +700,54 @@ where
 {
     let upstream = StageChannel::new(cap);
     let downstream = StageChannel::new(cap);
-    std::thread::scope(|scope| {
-        let h1 = scope.spawn(|| producer(&upstream));
-        let h2 = scope.spawn(|| middle(&upstream, &downstream));
-        let c = consumer(&downstream);
-        // Unwind in dependency order: a consumer that returned early must
-        // not strand the middle stage on a full downstream queue, and a
-        // stopped middle stage must not strand the producer upstream.
+    let (a, b, c) = std::thread::scope(|scope| {
+        let h1 = scope.spawn(|| {
+            let r = catch_unwind(AssertUnwindSafe(|| {
+                stage_inject();
+                producer(&upstream)
+            }));
+            upstream.close();
+            r
+        });
+        let h2 = scope.spawn(|| {
+            let r = catch_unwind(AssertUnwindSafe(|| {
+                stage_inject();
+                middle(&upstream, &downstream)
+            }));
+            // A middle stage that stopped — normally or not — must
+            // release both neighbors: the producer may be blocked
+            // sending upstream, the consumer waiting downstream.
+            upstream.hang_up();
+            downstream.close();
+            r
+        });
+        let c = catch_unwind(AssertUnwindSafe(|| consumer(&downstream)));
+        // Unwind in dependency order (each call is idempotent): free the
+        // middle stage first, then the producer.
         downstream.hang_up();
-        let b = h2.join().expect("pipeline middle stage panicked");
+        let b = h2.join().unwrap_or_else(Err);
         upstream.hang_up();
-        let a = h1.join().expect("pipeline producer panicked");
+        let a = h1.join().unwrap_or_else(Err);
         (a, b, c)
-    })
+    });
+    match (a, b, c) {
+        (Ok(a), Ok(b), Ok(c)) => Ok((a, b, c)),
+        (ra, rb, rc) => {
+            let mut msgs: Vec<String> = [ra.err(), rb.err(), rc.err()]
+                .into_iter()
+                .flatten()
+                .map(panic_message)
+                .collect();
+            for _ in &msgs {
+                faults::record_panic_isolated();
+            }
+            Err(ColumnarError::WorkerPanic(if msgs.is_empty() {
+                "pipeline stage panicked".to_string()
+            } else {
+                msgs.swap_remove(0)
+            }))
+        }
+    }
 }
 
 /// Split `rows` into contiguous `(start, len)` morsels of at most
@@ -486,6 +800,8 @@ pub fn split_mut_chunks<'a, T>(
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used, clippy::expect_used)] // tests may panic freely
+
     use super::*;
 
     #[test]
@@ -521,14 +837,16 @@ mod tests {
         use std::sync::Mutex;
         let pool = WorkerPool::new(4);
         let seen = Mutex::new(vec![0u32; 100]);
-        let counts = pool.run_workers(100, |q| {
-            let mut local = 0usize;
-            while let Some(t) = q.claim() {
-                seen.lock().unwrap()[t] += 1;
-                local += 1;
-            }
-            local
-        });
+        let counts = pool
+            .run_workers(100, |q| {
+                let mut local = 0usize;
+                while let Some(t) = q.claim() {
+                    seen.lock().unwrap()[t] += 1;
+                    local += 1;
+                }
+                local
+            })
+            .unwrap();
         assert_eq!(counts.iter().sum::<usize>(), 100);
         assert!(seen.lock().unwrap().iter().all(|&c| c == 1));
     }
@@ -536,11 +854,126 @@ mod tests {
     #[test]
     fn run_workers_zero_tasks_still_returns_one_result() {
         let pool = WorkerPool::new(4);
-        let out = pool.run_workers(0, |q| {
-            assert!(q.claim().is_none());
-            7
-        });
+        let out = pool
+            .run_workers(0, |q| {
+                assert!(q.claim().is_none());
+                7
+            })
+            .unwrap();
         assert_eq!(out, vec![7]);
+    }
+
+    #[test]
+    fn try_map_preserves_order() {
+        let pool = WorkerPool::new(4);
+        let out = pool
+            .try_map((0..1000).collect::<Vec<usize>>(), |i, v| {
+                assert_eq!(i, v);
+                Ok(v * 2)
+            })
+            .unwrap();
+        assert_eq!(out.len(), 1000);
+        for (i, v) in out.iter().enumerate() {
+            assert_eq!(*v, i * 2);
+        }
+    }
+
+    #[test]
+    fn try_map_surfaces_first_error() {
+        for threads in [1, 4] {
+            let pool = WorkerPool::new(threads);
+            let err = pool
+                .try_map((0..100).collect::<Vec<usize>>(), |_, v| {
+                    if v == 57 {
+                        Err(ColumnarError::InvalidArgument("morsel 57".into()))
+                    } else {
+                        Ok(v)
+                    }
+                })
+                .unwrap_err();
+            assert!(matches!(err, ColumnarError::InvalidArgument(_)));
+        }
+    }
+
+    /// One panicking morsel fails the call with a structured error and
+    /// the pool is immediately reusable — the core isolation property.
+    #[test]
+    fn try_map_isolates_worker_panic() {
+        for threads in [1, 4] {
+            let pool = WorkerPool::new(threads);
+            let err = pool
+                .try_map((0..100).collect::<Vec<usize>>(), |_, v| {
+                    if v == 31 {
+                        panic!("poisoned morsel 31");
+                    }
+                    Ok(v)
+                })
+                .unwrap_err();
+            assert!(
+                matches!(err, ColumnarError::WorkerPanic(ref m) if m.contains("poisoned morsel")),
+                "got {err:?}"
+            );
+            // Same pool, next call: fine.
+            let ok = pool.try_map(vec![1, 2, 3], |_, v| Ok(v + 1)).unwrap();
+            assert_eq!(ok, vec![2, 3, 4]);
+        }
+    }
+
+    #[test]
+    fn run_workers_isolates_worker_panic() {
+        let pool = WorkerPool::new(4);
+        let err = pool
+            .run_workers(100, |q| {
+                while let Some(t) = q.claim() {
+                    if t == 13 {
+                        panic!("worker died on task 13");
+                    }
+                }
+                0usize
+            })
+            .unwrap_err();
+        assert!(matches!(err, ColumnarError::WorkerPanic(_)));
+    }
+
+    #[test]
+    fn cancelled_pool_fails_fallible_entry_points() {
+        let token = CancelToken::new();
+        token.cancel();
+        let pool = WorkerPool::new(4).with_cancel(token);
+        assert!(matches!(
+            pool.try_map(vec![1, 2, 3], |_, v| Ok(v)),
+            Err(ColumnarError::Cancelled(_))
+        ));
+        assert!(matches!(
+            pool.run_workers(10, |q| {
+                while q.claim().is_some() {}
+                0usize
+            }),
+            Err(ColumnarError::Cancelled(_))
+        ));
+    }
+
+    /// Cancelling mid-run stops the claim queue: workers drain and the
+    /// call reports `Cancelled` without executing every task.
+    #[test]
+    fn cancel_mid_run_stops_claims() {
+        let token = CancelToken::new();
+        let pool = WorkerPool::new(2).with_cancel(token.clone());
+        let executed = AtomicUsize::new(0);
+        let err = pool
+            .run_workers(1_000_000, |q| {
+                while q.claim().is_some() {
+                    if executed.fetch_add(1, Ordering::Relaxed) == 10 {
+                        token.cancel();
+                    }
+                }
+            })
+            .unwrap_err();
+        assert!(matches!(err, ColumnarError::Cancelled(_)));
+        assert!(
+            executed.load(Ordering::Relaxed) < 1_000_000,
+            "claims stopped early"
+        );
     }
 
     #[test]
@@ -583,7 +1016,8 @@ mod tests {
                 }
                 out
             },
-        );
+        )
+        .unwrap();
         assert_eq!(got, (0..1000).collect::<Vec<_>>());
     }
 
@@ -609,7 +1043,8 @@ mod tests {
                     in_flight.fetch_sub(1, Ordering::SeqCst);
                 }
             },
-        );
+        )
+        .unwrap();
         // `cap` queued, plus one item in the producer's pre-send window
         // and one in the consumer's popped-but-not-yet-counted window.
         assert!(
@@ -648,7 +1083,8 @@ mod tests {
                 rx.hang_up();
                 out
             },
-        );
+        )
+        .unwrap();
         assert_eq!(got, vec![0, 1, 2, 3, 4]);
         assert!(sent < 1_000_000, "producer stopped early (sent {sent})");
     }
@@ -678,7 +1114,8 @@ mod tests {
                 }
                 out
             },
-        );
+        )
+        .unwrap();
         assert_eq!(got, (1..=1000).collect::<Vec<_>>());
     }
 
@@ -714,7 +1151,8 @@ mod tests {
                 }
                 total
             },
-        );
+        )
+        .unwrap();
         assert_eq!(kept, 50);
         assert_eq!(sum, (0..100).filter(|v| v % 2 == 0).sum::<usize>());
     }
@@ -759,7 +1197,8 @@ mod tests {
                 rx.hang_up();
                 out
             },
-        );
+        )
+        .unwrap();
         assert_eq!(got, vec![0, 1, 2, 3, 4]);
         assert!(sent < 1_000_000, "producer stopped early (sent {sent})");
         assert!(forwarded < 1_000_000, "middle stopped early ({forwarded})");
@@ -795,7 +1234,8 @@ mod tests {
                     in_flight.fetch_sub(1, Ordering::SeqCst);
                 }
             },
-        );
+        )
+        .unwrap();
         // Two cap-bounded queues plus one in-hand item per stage.
         assert!(
             max_seen.load(Ordering::SeqCst) <= 2 * cap + 3,
@@ -817,7 +1257,155 @@ mod tests {
                 }
                 n
             },
-        );
+        )
+        .unwrap();
         assert_eq!(n, 0);
+    }
+
+    /// Satellite regression: a producer that panics mid-stream (without
+    /// closing) must not leave the consumer blocked on `recv` — the
+    /// unconditional close in the stage wrapper ends the stream, and the
+    /// panic surfaces as a structured error. Exercised at cap 1 (full
+    /// backpressure) and a wide cap.
+    #[test]
+    fn pipeline_producer_panic_mid_stream_no_deadlock() {
+        for cap in [1usize, 8] {
+            let err = pipeline(
+                cap,
+                |tx: &StageChannel<usize>| {
+                    for v in 0..10 {
+                        let _ = tx.send(v);
+                    }
+                    panic!("producer exploded mid-stream");
+                },
+                |rx| {
+                    let mut n = 0usize;
+                    while rx.recv().is_some() {
+                        n += 1;
+                    }
+                    n
+                },
+            )
+            .unwrap_err();
+            assert!(
+                matches!(err, ColumnarError::WorkerPanic(ref m) if m.contains("exploded")),
+                "cap {cap}: got {err:?}"
+            );
+        }
+    }
+
+    /// Satellite regression: a consumer that panics mid-stream must not
+    /// leave the producer blocked on a full queue — the unconditional
+    /// hang-up makes the producer's `send` return `false`.
+    #[test]
+    fn pipeline_consumer_panic_mid_stream_no_deadlock() {
+        for cap in [1usize, 8] {
+            let sent = AtomicUsize::new(0);
+            let err = pipeline(
+                cap,
+                |tx: &StageChannel<usize>| {
+                    for v in 0..1_000_000 {
+                        if !tx.send(v) {
+                            break;
+                        }
+                        sent.fetch_add(1, Ordering::Relaxed);
+                    }
+                    tx.close();
+                },
+                |rx| {
+                    if rx.recv().is_some() {
+                        panic!("consumer bailed");
+                    }
+                },
+            )
+            .unwrap_err();
+            assert!(
+                matches!(err, ColumnarError::WorkerPanic(ref m) if m.contains("bailed")),
+                "cap {cap}: got {err:?}"
+            );
+            assert!(
+                sent.load(Ordering::Relaxed) < 1_000_000,
+                "cap {cap}: producer stopped early"
+            );
+        }
+    }
+
+    /// Satellite regression: a mid-stream *middle* stage failure must
+    /// unwind both directions — the producer unblocks via upstream
+    /// hang-up, the consumer drains via downstream close — at cap 1 and
+    /// a wide cap.
+    #[test]
+    fn pipeline3_middle_panic_mid_stream_unwinds_both_directions() {
+        for cap in [1usize, 8] {
+            let sent = AtomicUsize::new(0);
+            let err = pipeline3(
+                cap,
+                |tx: &StageChannel<usize>| {
+                    for v in 0..1_000_000 {
+                        if !tx.send(v) {
+                            break;
+                        }
+                        sent.fetch_add(1, Ordering::Relaxed);
+                    }
+                    tx.close();
+                },
+                |rx, _tx: &StageChannel<usize>| {
+                    if rx.recv().is_some() {
+                        panic!("middle stage died");
+                    }
+                },
+                |rx| {
+                    let mut n = 0usize;
+                    while rx.recv().is_some() {
+                        n += 1;
+                    }
+                    n
+                },
+            )
+            .unwrap_err();
+            assert!(
+                matches!(err, ColumnarError::WorkerPanic(ref m) if m.contains("middle stage died")),
+                "cap {cap}: got {err:?}"
+            );
+            assert!(
+                sent.load(Ordering::Relaxed) < 1_000_000,
+                "cap {cap}: producer stopped early"
+            );
+        }
+    }
+
+    /// And the first stage of a 3-stage pipeline: its panic ends the
+    /// stream for both downstream stages.
+    #[test]
+    fn pipeline3_producer_panic_mid_stream_no_deadlock() {
+        for cap in [1usize, 8] {
+            let err = pipeline3(
+                cap,
+                |tx: &StageChannel<usize>| {
+                    let _ = tx.send(1);
+                    panic!("scan failed");
+                },
+                |rx, tx: &StageChannel<usize>| {
+                    while let Some(v) = rx.recv() {
+                        if !tx.send(v) {
+                            break;
+                        }
+                    }
+                    tx.close();
+                },
+                |rx| {
+                    let mut n = 0usize;
+                    while rx.recv().is_some() {
+                        n += 1;
+                    }
+                    n
+                },
+            )
+            .unwrap_err();
+            assert!(
+                matches!(err, ColumnarError::WorkerPanic(ref m) if m.contains("scan failed")),
+                "cap {cap}: got {err:?}"
+            );
+        }
     }
 }

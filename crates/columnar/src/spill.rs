@@ -39,31 +39,95 @@
 //! bit-identical for every numeric payload including float NaNs.
 //!
 //! Files are transient: [`SpillFile`] deletes its file on drop, and
-//! [`SpillDir`] removes its directory when the owning engine goes away.
+//! [`SpillDir`] removes its directories when the owning engine goes away.
+//!
+//! ## Failure & recovery
+//!
+//! Spill I/O is the executor's contact surface with a fallible disk, so
+//! this module owns the recovery ladder (see `ARCHITECTURE.md`, "Fault
+//! model & recovery"):
+//!
+//! 1. **Retry with bounded backoff** — [`SpillDir::write_with_retry`]
+//!    re-runs a failed write on a fresh file (the partial file is always
+//!    removed first), [`SpillReader::next_frame`] seeks back to the
+//!    frame start and re-reads. Transient faults (including everything
+//!    the [`faults`] registry injects) recover here.
+//! 2. **Fallback directory** — an ENOSPC-shaped write failure advances
+//!    the dir to its next root (`LAFP_SPILL_DIRS`, colon-separated) and
+//!    retries there: a full primary disk degrades to a slower spill
+//!    volume, not a failed query.
+//! 3. **Clean error** — when every root is exhausted the write returns a
+//!    structured out-of-memory error (`requested: 0` marks
+//!    "spill-to-disk unavailable"): the query fails cleanly with no
+//!    temp file leaked and the engine stays usable.
+
+// New `unwrap`/`expect` escapes in the spill path are panics where the
+// recovery ladder should run instead — make them visible in review (CI
+// elevates to deny).
+#![warn(clippy::unwrap_used, clippy::expect_used)]
 
 use crate::bitmap::Bitmap;
 use crate::column::{Categorical, Column};
 use crate::error::{ColumnarError, Result};
+use crate::faults::{self, FaultSite};
 use crate::frame::DataFrame;
 use crate::series::Series;
 use crate::strings::{Utf8Builder, Utf8Col};
 use std::fs::File;
-use std::io::{BufReader, BufWriter, Read, Write};
+use std::io::{BufReader, BufWriter, Read, Seek, SeekFrom, Write};
 use std::path::{Path, PathBuf};
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 
 const MAGIC: &[u8; 8] = b"LAFPSPL1";
 
-/// A lazily created directory for an engine's spill files. Construction
-/// is free (no filesystem touch); the directory appears on the first
-/// [`new_file_path`](SpillDir::new_file_path) and is removed (best
-/// effort) on drop — an engine that never spills never creates it.
+/// Total write attempts across all roots before degrading to a clean
+/// error. Injected transient faults at 5% per operation survive this
+/// many redraws with probability ~1e-8 — the chaos CI seeds rely on it.
+const WRITE_ATTEMPTS: usize = 6;
+
+/// Re-reads of one frame (after seeking back) before the error is real.
+const READ_ATTEMPTS: usize = 4;
+
+/// Backoff between same-root retries, in milliseconds (indexed by
+/// attempt, clamped to the last entry). Kept tiny: real transient disk
+/// errors clear in microseconds and tests pay this on every injected
+/// fault.
+const RETRY_BACKOFF_MS: [u64; 3] = [0, 1, 2];
+
+/// Lazily created spill directories for one engine: a primary root plus
+/// optional fallbacks. Construction is free (no filesystem touch); each
+/// root's directory appears the first time a file path is reserved in it
+/// and every created root is removed (best effort) on drop — an engine
+/// that never spills never creates anything.
+///
+/// Writes normally land in the *active* root (initially the primary).
+/// When a write fails with an ENOSPC-shaped error,
+/// [`write_with_retry`](SpillDir::write_with_retry) advances the active
+/// root to the next fallback — configured via the `LAFP_SPILL_DIRS`
+/// environment variable (colon-separated directories, each given a
+/// process-unique subdirectory) or [`with_fallbacks`](SpillDir::with_fallbacks).
 #[derive(Debug)]
 pub struct SpillDir {
+    roots: Vec<SpillRoot>,
+    /// Index of the root new files go to.
+    active: AtomicUsize,
+    next_file: AtomicU64,
+}
+
+#[derive(Debug)]
+struct SpillRoot {
     path: PathBuf,
     created: AtomicBool,
-    next_file: AtomicU64,
+}
+
+impl SpillRoot {
+    fn at(path: PathBuf) -> SpillRoot {
+        SpillRoot {
+            path,
+            created: AtomicBool::new(false),
+        }
+    }
 }
 
 /// Process-wide uniquifier so two engines in one process never collide.
@@ -71,40 +135,149 @@ static NEXT_DIR: AtomicU64 = AtomicU64::new(0);
 
 impl SpillDir {
     /// A spill directory under the system temp dir, unique to this
-    /// process and call.
+    /// process and call, with fallback roots from `LAFP_SPILL_DIRS` (a
+    /// colon-separated directory list; each entry gets a process-unique
+    /// subdirectory).
     pub fn in_temp() -> SpillDir {
         let n = NEXT_DIR.fetch_add(1, Ordering::Relaxed);
-        SpillDir::at(std::env::temp_dir().join(format!(
-            "lafp-spill-{}-{n}",
-            std::process::id()
-        )))
-    }
-
-    /// A spill directory at an explicit location (created lazily).
-    pub fn at(path: PathBuf) -> SpillDir {
+        let unique = |base: &Path| base.join(format!("lafp-spill-{}-{n}", std::process::id()));
+        let mut roots = vec![SpillRoot::at(unique(&std::env::temp_dir()))];
+        if let Ok(spec) = std::env::var("LAFP_SPILL_DIRS") {
+            for dir in spec.split(':').filter(|d| !d.trim().is_empty()) {
+                roots.push(SpillRoot::at(unique(Path::new(dir.trim()))));
+            }
+        }
         SpillDir {
-            path,
-            created: AtomicBool::new(false),
+            roots,
+            active: AtomicUsize::new(0),
             next_file: AtomicU64::new(0),
         }
     }
 
-    /// Reserve a fresh file path inside the directory, creating the
+    /// A spill directory at an explicit location (created lazily), with
+    /// no fallback roots.
+    pub fn at(path: PathBuf) -> SpillDir {
+        SpillDir {
+            roots: vec![SpillRoot::at(path)],
+            active: AtomicUsize::new(0),
+            next_file: AtomicU64::new(0),
+        }
+    }
+
+    /// Append explicit fallback roots (tried in order after the primary).
+    pub fn with_fallbacks(mut self, fallbacks: impl IntoIterator<Item = PathBuf>) -> SpillDir {
+        self.roots.extend(fallbacks.into_iter().map(SpillRoot::at));
+        self
+    }
+
+    /// Every root's path, primary first — test hooks scan these for
+    /// leaked files.
+    pub fn root_paths(&self) -> Vec<PathBuf> {
+        self.roots.iter().map(|r| r.path.clone()).collect()
+    }
+
+    /// Reserve a fresh file path inside the active root, creating its
     /// directory on first use.
     pub fn new_file_path(&self) -> Result<PathBuf> {
-        if !self.created.swap(true, Ordering::Relaxed) {
-            std::fs::create_dir_all(&self.path)
-                .map_err(|e| ColumnarError::Io(format!("{:?}: {e}", self.path)))?;
+        let root = &self.roots[self.active.load(Ordering::Relaxed).min(self.roots.len() - 1)];
+        if !root.created.swap(true, Ordering::Relaxed) {
+            std::fs::create_dir_all(&root.path).map_err(|e| ColumnarError::Io {
+                kind: e.kind(),
+                message: format!("{:?}: {e}", root.path),
+            })?;
         }
         let n = self.next_file.fetch_add(1, Ordering::Relaxed);
-        Ok(self.path.join(format!("part-{n}.spill")))
+        Ok(root.path.join(format!("part-{n}.spill")))
+    }
+
+    /// Advance the active root to the next fallback. Returns `false`
+    /// when there is none left (the caller degrades to a clean error).
+    fn advance_root(&self) -> bool {
+        let cur = self.active.load(Ordering::Relaxed);
+        if cur + 1 >= self.roots.len() {
+            return false;
+        }
+        // Racing advancers both move forward at most one root; losing
+        // the race just means someone else already advanced.
+        let _ = self
+            .active
+            .compare_exchange(cur, cur + 1, Ordering::Relaxed, Ordering::Relaxed);
+        true
+    }
+
+    /// Run `body` against a fresh [`SpillWriter`], retrying failures
+    /// with bounded backoff and advancing to a fallback root on
+    /// ENOSPC-shaped errors — the write path of the recovery ladder
+    /// (see the module docs). Every failed attempt removes its partial
+    /// file before the next one starts; when all attempts are spent the
+    /// call degrades to a clean [`ColumnarError::OutOfMemory`] with
+    /// `requested: 0` ("spill-to-disk unavailable") carrying no wrong
+    /// result and leaking no temp file.
+    ///
+    /// `body` must be re-runnable: it is called once per attempt against
+    /// an empty writer.
+    pub fn write_with_retry(
+        &self,
+        body: impl Fn(&mut SpillWriter) -> Result<()>,
+    ) -> Result<SpillFile> {
+        let mut fell_back = false;
+        for attempt in 0..WRITE_ATTEMPTS {
+            let result = self.new_file_path().and_then(|path| {
+                let attempt_path = path.clone();
+                let run = || -> Result<SpillFile> {
+                    let mut w = SpillWriter::create(path)?;
+                    body(&mut w)?;
+                    w.finish()
+                };
+                run().inspect_err(|_| {
+                    // Never leak a partial file, whatever stage died.
+                    let _ = std::fs::remove_file(&attempt_path);
+                })
+            });
+            match result {
+                Ok(file) => {
+                    if fell_back {
+                        faults::record_dir_fallback();
+                    } else if attempt > 0 {
+                        faults::record_retry_recovered();
+                    }
+                    return Ok(file);
+                }
+                Err(e) => {
+                    let enospc = matches!(
+                        &e,
+                        ColumnarError::Io { kind, .. } if *kind == std::io::ErrorKind::StorageFull
+                    );
+                    if enospc && self.advance_root() {
+                        fell_back = true;
+                        continue; // fresh root: no backoff needed
+                    }
+                    if attempt + 1 == WRITE_ATTEMPTS {
+                        break;
+                    }
+                    let ms = RETRY_BACKOFF_MS[attempt.min(RETRY_BACKOFF_MS.len() - 1)];
+                    if ms > 0 {
+                        std::thread::sleep(std::time::Duration::from_millis(ms));
+                    }
+                }
+            }
+        }
+        // All roots and retries exhausted: the buffer that wanted to
+        // evict cannot free memory, so surface it as the budget running
+        // out — `requested: 0` is the "spill-to-disk unavailable" marker.
+        Err(ColumnarError::OutOfMemory {
+            requested: 0,
+            available: 0,
+        })
     }
 }
 
 impl Drop for SpillDir {
     fn drop(&mut self) {
-        if self.created.load(Ordering::Relaxed) {
-            let _ = std::fs::remove_dir_all(&self.path);
+        for root in &self.roots {
+            if root.created.load(Ordering::Relaxed) {
+                let _ = std::fs::remove_dir_all(&root.path);
+            }
         }
     }
 }
@@ -121,8 +294,9 @@ pub struct SpillWriter {
 impl SpillWriter {
     /// Create (truncate) the spill file at `path` and write the magic.
     pub fn create(path: PathBuf) -> Result<SpillWriter> {
+        inject_spill(FaultSite::SpillWrite, &path)?;
         let file =
-            File::create(&path).map_err(|e| ColumnarError::Io(format!("{path:?}: {e}")))?;
+            File::create(&path).map_err(|e| ColumnarError::Io { kind: e.kind(), message: format!("{path:?}: {e}") })?;
         let mut w = BufWriter::new(file);
         w.write_all(MAGIC)?;
         Ok(SpillWriter {
@@ -135,6 +309,7 @@ impl SpillWriter {
 
     /// Append one frame.
     pub fn write_frame(&mut self, frame: &DataFrame) -> Result<()> {
+        inject_spill(FaultSite::SpillWrite, &self.path)?;
         let nrows = frame.num_rows();
         write_u64(&mut self.w, frame.num_columns() as u64)?;
         write_u64(&mut self.w, nrows as u64)?;
@@ -151,6 +326,7 @@ impl SpillWriter {
 
     /// Flush and seal the file.
     pub fn finish(mut self) -> Result<SpillFile> {
+        inject_spill(FaultSite::SpillWrite, &self.path)?;
         self.w.flush()?;
         Ok(SpillFile {
             path: self.path.clone(),
@@ -158,6 +334,23 @@ impl SpillWriter {
             payload_bytes: self.payload_bytes,
         })
     }
+
+    /// Abandon the write: drop the buffered writer and remove the
+    /// partial file from disk.
+    pub fn discard(self) {
+        let path = self.path.clone();
+        drop(self);
+        let _ = std::fs::remove_file(path);
+    }
+}
+
+/// Fire the registry at a spill site, attaching the file path to the
+/// synthetic error.
+fn inject_spill(site: FaultSite, path: &Path) -> Result<()> {
+    faults::inject_io(site).map_err(|e| ColumnarError::Io {
+        kind: e.kind(),
+        message: format!("{path:?}: {e}"),
+    })
 }
 
 /// An owned, sealed spill file; deleted from disk on drop.
@@ -207,14 +400,19 @@ impl Drop for SpillFile {
     }
 }
 
-/// Convenience: write a single frame into a fresh file in `dir`.
+/// Convenience: write a single frame into a fresh file in `dir`,
+/// through the full retry/fallback ladder.
 pub fn spill_frame(dir: &SpillDir, frame: &DataFrame) -> Result<SpillFile> {
-    let mut w = SpillWriter::create(dir.new_file_path()?)?;
-    w.write_frame(frame)?;
-    w.finish()
+    dir.write_with_retry(|w| w.write_frame(frame))
 }
 
 /// Streams frames back out of a spill file in write order.
+///
+/// Reads are retried: a frame that fails mid-read seeks back to the
+/// frame boundary and re-reads (up to a small bound), so transient read
+/// faults — including everything the registry injects — recover
+/// transparently, while real corruption fails every attempt and surfaces
+/// as the structured error.
 #[derive(Debug)]
 pub struct SpillReader {
     r: BufReader<File>,
@@ -223,20 +421,62 @@ pub struct SpillReader {
 
 impl SpillReader {
     fn open(path: PathBuf) -> Result<SpillReader> {
-        let file =
-            File::open(&path).map_err(|e| ColumnarError::Io(format!("{path:?}: {e}")))?;
+        let mut last = None;
+        for attempt in 0..READ_ATTEMPTS {
+            match Self::open_once(&path) {
+                Ok(r) => {
+                    if attempt > 0 {
+                        faults::record_retry_recovered();
+                    }
+                    return Ok(r);
+                }
+                Err(e) => last = Some(e),
+            }
+        }
+        Err(last.unwrap_or_else(|| corrupt(&path, "unreachable: no open attempt ran")))
+    }
+
+    fn open_once(path: &Path) -> Result<SpillReader> {
+        inject_spill(FaultSite::SpillRead, path)?;
+        let file = File::open(path)
+            .map_err(|e| ColumnarError::Io { kind: e.kind(), message: format!("{path:?}: {e}") })?;
         let mut r = BufReader::new(file);
         let mut magic = [0u8; 8];
         r.read_exact(&mut magic)
-            .map_err(|e| ColumnarError::Io(format!("{path:?}: {e}")))?;
+            .map_err(|e| ColumnarError::Io { kind: e.kind(), message: format!("{path:?}: {e}") })?;
         if &magic != MAGIC {
-            return Err(corrupt(&path, "bad magic"));
+            return Err(corrupt(path, "bad magic"));
         }
-        Ok(SpillReader { r, path })
+        Ok(SpillReader {
+            r,
+            path: path.to_path_buf(),
+        })
     }
 
-    /// The next frame, or `None` at end of file.
+    /// The next frame, or `None` at end of file. Retries a failed read
+    /// from the frame boundary (see the type docs).
     pub fn next_frame(&mut self) -> Result<Option<DataFrame>> {
+        let start = self.r.stream_position()?;
+        let mut last = None;
+        for attempt in 0..READ_ATTEMPTS {
+            match self.read_frame_once() {
+                Ok(frame) => {
+                    if attempt > 0 {
+                        faults::record_retry_recovered();
+                    }
+                    return Ok(frame);
+                }
+                Err(e) => {
+                    last = Some(e);
+                    self.r.seek(SeekFrom::Start(start))?;
+                }
+            }
+        }
+        Err(last.unwrap_or_else(|| corrupt(&self.path, "unreachable: no read attempt ran")))
+    }
+
+    fn read_frame_once(&mut self) -> Result<Option<DataFrame>> {
+        inject_spill(FaultSite::SpillRead, &self.path)?;
         let ncols = match try_read_u64(&mut self.r)? {
             Some(n) => n as usize,
             None => return Ok(None),
@@ -257,7 +497,10 @@ impl SpillReader {
 }
 
 fn corrupt(path: &Path, what: &str) -> ColumnarError {
-    ColumnarError::Io(format!("{path:?}: corrupt spill file ({what})"))
+    ColumnarError::Io {
+        kind: std::io::ErrorKind::InvalidData,
+        message: format!("{path:?}: corrupt spill file ({what})"),
+    }
 }
 
 // --- primitive I/O helpers (all little-endian) -----------------------------
@@ -479,6 +722,8 @@ fn read_utf8(r: &mut impl Read, nrows: usize, path: &Path) -> Result<Utf8Col> {
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used, clippy::expect_used)] // tests may panic freely
+
     use super::*;
     use crate::column::Column;
     use crate::df;

@@ -18,11 +18,13 @@
 
 #![warn(missing_docs)]
 
+pub mod faults;
 pub mod fusion;
 pub mod scan;
 pub mod spill;
 pub mod store;
 
+pub use faults::{FaultPlan, FaultSite, FaultSnapshot};
 pub use fusion::{FusionSnapshot, FusionStats};
 pub use scan::compute_metadata;
 pub use spill::{SpillSnapshot, SpillStats};

@@ -150,10 +150,10 @@ impl MetaStore {
     /// File mtime in unix seconds.
     pub fn file_mtime(path: &Path) -> Result<u64> {
         let meta = std::fs::metadata(path)
-            .map_err(|e| ColumnarError::Io(format!("{path:?}: {e}")))?;
+            .map_err(|e| ColumnarError::Io { kind: e.kind(), message: format!("{path:?}: {e}") })?;
         let mtime = meta
             .modified()
-            .map_err(|e| ColumnarError::Io(e.to_string()))?;
+            .map_err(|e| ColumnarError::Io { kind: e.kind(), message: e.to_string() })?;
         Ok(mtime
             .duration_since(std::time::UNIX_EPOCH)
             .map(|d| d.as_secs())
@@ -168,7 +168,7 @@ impl MetaStore {
             return Ok(None);
         }
         let text = std::fs::read_to_string(&sidecar)
-            .map_err(|e| ColumnarError::Io(format!("{sidecar:?}: {e}")))?;
+            .map_err(|e| ColumnarError::Io { kind: e.kind(), message: format!("{sidecar:?}: {e}") })?;
         let meta = parse_sidecar(dataset, &text)?;
         let current = Self::file_mtime(dataset)?;
         if meta.modified_unix != current {
@@ -181,7 +181,7 @@ impl MetaStore {
     pub fn save(&self, meta: &DatasetMeta) -> Result<()> {
         let sidecar = Self::sidecar_path(&meta.path);
         std::fs::write(&sidecar, render_sidecar(meta))
-            .map_err(|e| ColumnarError::Io(format!("{sidecar:?}: {e}")))?;
+            .map_err(|e| ColumnarError::Io { kind: e.kind(), message: format!("{sidecar:?}: {e}") })?;
         Ok(())
     }
 }
