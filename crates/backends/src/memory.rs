@@ -221,6 +221,48 @@ mod tests {
     }
 
     #[test]
+    fn shared_dictionary_charged_once_across_chunks() {
+        use lafp_columnar::{encoding, Column, HeapSize};
+
+        // 4096 rows over 8 long distinct entries: with per-chunk double
+        // counting the dictionary bytes would dominate the charge.
+        let vals: Vec<String> = (0..4096)
+            .map(|i| format!("category-with-a-deliberately-long-name-{}", i % 8))
+            .collect();
+        let encoded = encoding::dict_encode(&Column::from_strings(&vals)).expect("encodes");
+        let dict_bytes = match &encoded {
+            Column::Dict(c, _) => c.dict.heap_size(),
+            other => panic!("expected Dict, got {other:?}"),
+        };
+        let whole = encoded.heap_size();
+
+        // Chunk the column the way the Dask engine partitions frames:
+        // eight slices, all holding the same `Arc`'d dictionary.
+        let chunks: Vec<Column> = (0..8).map(|k| encoded.slice(k * 512, 512)).collect();
+        let summed: usize = chunks.iter().map(HeapSize::heap_size).sum();
+
+        // The dictionary must be amortized across its holders, not
+        // charged per chunk: the chunked total stays within one extra
+        // dictionary of the unchunked column instead of ballooning by
+        // eight dictionaries.
+        assert!(
+            summed <= whole + dict_bytes,
+            "shared dict double-counted: chunks={summed} whole={whole} dict={dict_bytes}"
+        );
+
+        // And a budget sized for single-counting admits every chunk at
+        // once — the regression (full dict charged per chunk) overflows.
+        let tracker = MemoryTracker::with_budget(whole + dict_bytes);
+        let reservations: Vec<MemoryReservation> = chunks
+            .iter()
+            .map(|c| tracker.charge(c.heap_size()).expect("chunk fits budget"))
+            .collect();
+        assert!(tracker.current() <= tracker.budget());
+        drop(reservations);
+        assert_eq!(tracker.current(), 0);
+    }
+
+    #[test]
     fn concurrent_charges_stay_within_budget() {
         let t = MemoryTracker::with_budget(1000);
         std::thread::scope(|s| {

@@ -137,6 +137,19 @@ fn run_kernel_bench(args: &[String]) {
             r.name, r.unfused_ms, r.fused_ms, r.speedup
         );
     }
+    eprintln!("encoded execution: Dict/Rle kernels vs decode-then-compute ...");
+    let encoding = kernel_bench::run_encoding_suite(rows, iters);
+    println!();
+    println!(
+        "{:<28} {:>12} {:>14} {:>9}",
+        "encoded kernel", "decoded_ms", "encoded_ms", "speedup"
+    );
+    for r in &encoding {
+        println!(
+            "{:<28} {:>12.3} {:>14.3} {:>8.2}x",
+            r.name, r.decoded_ms, r.encoded_ms, r.speedup
+        );
+    }
     if let Some(path) = json {
         let body = kernel_bench::render_json(
             pr,
@@ -148,6 +161,7 @@ fn run_kernel_bench(args: &[String]) {
                 parallel: &parallel,
                 pipeline: &pipeline,
                 fusion: &fusion,
+                encoding: &encoding,
             },
         );
         std::fs::write(&path, body).expect("write bench json");

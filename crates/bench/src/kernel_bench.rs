@@ -106,6 +106,20 @@ pub struct FusionBenchResult {
     pub speedup: f64,
 }
 
+/// One encoded-execution bench row: the same kernel on an encoded
+/// column (`Dict`/`Rle`) vs decode-then-compute on its plain twin.
+#[derive(Debug, Clone)]
+pub struct EncodingBenchResult {
+    /// Kernel name.
+    pub name: String,
+    /// Best-of-N wall time of decode-then-compute, in milliseconds.
+    pub decoded_ms: f64,
+    /// Best-of-N wall time operating on the encoded column directly.
+    pub encoded_ms: f64,
+    /// `decoded_ms / encoded_ms`.
+    pub speedup: f64,
+}
+
 /// Best-of-N paired timing: each iteration times the seed reference and
 /// the vectorized kernel back to back, so both sides see the same
 /// allocator and cache state as the process evolves — a seed-first block
@@ -1614,6 +1628,218 @@ pub fn run_fusion_suite(rows: usize, iters: usize, threads: usize) -> Vec<Fusion
     results
 }
 
+// ---------------------------------------------------------------------------
+// Encoded-execution benches (Dict/Rle kernels vs decode-then-compute)
+// ---------------------------------------------------------------------------
+
+/// Race kernels operating directly on encoded columns against the
+/// decode-then-compute strategy on the same logical data: a
+/// low-cardinality dictionary key through the code-keyed dense group-by
+/// and the rank-table sort, a long-run RLE column through the
+/// once-per-run filter, and an encoded frame through the LAFPSPL1 spill
+/// round-trip. Each pair is checked for result equality before timing,
+/// and the decode cost is *inside* the decoded side's timed region —
+/// that is the strategy an encoding-oblivious engine actually pays.
+pub fn run_encoding_suite(rows: usize, iters: usize) -> Vec<EncodingBenchResult> {
+    use lafp_columnar::spill::{spill_frame, SpillDir};
+
+    // Low-cardinality string key (32 merchants, padded so the decoded
+    // arena is fat) with an i64 measure — the paper's groupby shape.
+    let keys: Vec<String> = (0..rows)
+        .map(|i| format!("merchant-{:04}-of-the-fleet", i % 32))
+        .collect();
+    let plain_key = Column::from_strings(&keys);
+    drop(keys);
+    let dict_key =
+        lafp_columnar::encoding::dict_encode(&plain_key).expect("32 entries fit the cap");
+    let values = Column::from_opt_i64((0..rows).map(|i| Some((i % 1009) as i64)).collect());
+    let enc_frame = DataFrame::new(vec![
+        Series::new("k", dict_key.clone()),
+        Series::new("v", values.clone()),
+    ])
+    .unwrap();
+    let spec = GroupBySpec {
+        keys: vec!["k".into()],
+        value: "v".into(),
+        agg: AggKind::Sum,
+    };
+    let decode_then_group = |frame: &DataFrame| -> DataFrame {
+        let plain = DataFrame::new(vec![
+            Series::new("k", frame.column("k").unwrap().column().decode()),
+            Series::new("v", frame.column("v").unwrap().column().clone()),
+        ])
+        .unwrap();
+        group_by(&plain, &spec).unwrap()
+    };
+
+    let mut results = Vec::new();
+    let mut race = |name: &str, mut decoded: Box<dyn FnMut()>, mut encoded: Box<dyn FnMut()>| {
+        let (decoded_ms, encoded_ms) = best_of_pair_ms(iters, &mut *decoded, &mut *encoded);
+        results.push(EncodingBenchResult {
+            name: name.into(),
+            decoded_ms,
+            encoded_ms,
+            speedup: decoded_ms / encoded_ms,
+        });
+    };
+
+    // Group-by: dense code-indexed states vs decode + hash-table probe.
+    assert_eq!(
+        group_by(&enc_frame, &spec).unwrap().row_hashes(&[]).unwrap(),
+        decode_then_group(&enc_frame).row_hashes(&[]).unwrap(),
+        "enc_groupby_dict_codes: encoded result diverges"
+    );
+    {
+        let f = enc_frame.clone();
+        let g = enc_frame.clone();
+        let gspec = spec.clone();
+        race(
+            "enc_groupby_dict_codes",
+            Box::new(move || {
+                black_box(decode_then_group(black_box(&f)));
+            }),
+            Box::new(move || {
+                black_box(group_by(black_box(&g), &gspec).unwrap());
+            }),
+        );
+    }
+
+    // Sort: dictionary rank table vs decode + byte-wise comparator.
+    let sort_opts = SortOptions {
+        by: vec!["k".into()],
+        ascending: vec![true],
+    };
+    let plain_frame = DataFrame::new(vec![
+        Series::new("k", plain_key.clone()),
+        Series::new("v", values.clone()),
+    ])
+    .unwrap();
+    assert_eq!(
+        sort_values(&enc_frame, &sort_opts)
+            .unwrap()
+            .column("v")
+            .unwrap()
+            .column(),
+        sort_values(&plain_frame, &sort_opts)
+            .unwrap()
+            .column("v")
+            .unwrap()
+            .column(),
+        "enc_sort_dict_ranks: encoded sort diverges"
+    );
+    {
+        let f = enc_frame.clone();
+        let g = enc_frame.clone();
+        let (a, b) = (sort_opts.clone(), sort_opts);
+        race(
+            "enc_sort_dict_ranks",
+            Box::new(move || {
+                let plain = DataFrame::new(vec![
+                    Series::new("k", f.column("k").unwrap().column().decode()),
+                    Series::new("v", f.column("v").unwrap().column().clone()),
+                ])
+                .unwrap();
+                black_box(sort_values(black_box(&plain), &a).unwrap());
+            }),
+            Box::new(move || {
+                black_box(sort_values(black_box(&g), &b).unwrap());
+            }),
+        );
+    }
+
+    // Filter: one predicate evaluation per run, run-aligned bitmap
+    // append vs decode + per-row comparison. Runs of ~1000 rows.
+    let run_len = (rows / 1024).max(2);
+    let rle = {
+        let col = Column::from_opt_i64(
+            (0..rows).map(|i| Some(((i / run_len) % 16) as i64)).collect(),
+        );
+        lafp_columnar::encoding::rle_encode(&col).expect("long runs encode")
+    };
+    let pivot = Scalar::Int(8);
+    {
+        let enc_mask = rle.compare_scalar(CmpOp::Lt, &pivot).unwrap();
+        let plain_mask = rle.decode().compare_scalar(CmpOp::Lt, &pivot).unwrap();
+        assert_eq!(
+            enc_mask.count_set(),
+            plain_mask.count_set(),
+            "enc_filter_rle_runs: encoded mask diverges"
+        );
+        assert_eq!(
+            rle.filter(&enc_mask).unwrap().decode(),
+            rle.decode().filter(&plain_mask).unwrap(),
+            "enc_filter_rle_runs: encoded filter diverges"
+        );
+    }
+    {
+        let (a, b) = (rle.clone(), rle.clone());
+        let (pa, pb) = (pivot.clone(), pivot);
+        race(
+            "enc_filter_rle_runs",
+            Box::new(move || {
+                let plain = a.decode();
+                let mask = plain.compare_scalar(CmpOp::Lt, &pa).unwrap();
+                black_box(plain.filter(black_box(&mask)).unwrap());
+            }),
+            Box::new(move || {
+                let mask = b.compare_scalar(CmpOp::Lt, &pb).unwrap();
+                black_box(b.filter(black_box(&mask)).unwrap());
+            }),
+        );
+    }
+
+    // Spill: LAFPSPL1 serializes codes + dictionary / run list natively,
+    // so the encoded round-trip moves far fewer bytes than the decoded
+    // frame's arena. Round-trip equality doubles as the format check.
+    let spill_src = DataFrame::new(vec![
+        Series::new("k", dict_key),
+        Series::new("r", rle),
+    ])
+    .unwrap();
+    let spill_plain = DataFrame::new(vec![
+        Series::new("k", spill_src.column("k").unwrap().column().decode()),
+        Series::new("r", spill_src.column("r").unwrap().column().decode()),
+    ])
+    .unwrap();
+    {
+        let dir = SpillDir::in_temp();
+        let file = spill_frame(&dir, &spill_src).unwrap();
+        let back = file.read_all().unwrap();
+        assert_eq!(
+            back[0].column("k").unwrap().column(),
+            spill_src.column("k").unwrap().column(),
+            "encoded spill must round-trip bit-identically"
+        );
+        let plain_file = spill_frame(&dir, &spill_plain).unwrap();
+        assert!(
+            file.payload_bytes() < plain_file.payload_bytes(),
+            "encoded spill should move fewer bytes ({} vs {})",
+            file.payload_bytes(),
+            plain_file.payload_bytes()
+        );
+    }
+    {
+        let dir = Arc::new(SpillDir::in_temp());
+        let (a, b) = (spill_plain, spill_src);
+        race(
+            "enc_spill_roundtrip",
+            Box::new({
+                let dir = Arc::clone(&dir);
+                move || {
+                    let file = spill_frame(&dir, &a).unwrap();
+                    black_box(file.read_all().unwrap());
+                }
+            }),
+            Box::new(move || {
+                let file = spill_frame(&dir, &b).unwrap();
+                black_box(file.read_all().unwrap());
+            }),
+        );
+    }
+
+    results
+}
+
 /// The per-suite result slices of one bench run, bundled for rendering.
 /// Optional suites left empty are omitted from the artifact.
 #[derive(Debug, Clone, Copy, Default)]
@@ -1628,6 +1854,8 @@ pub struct BenchSections<'a> {
     pub pipeline: &'a [PipelineBenchResult],
     /// The fused-chain-vs-per-operator query races.
     pub fusion: &'a [FusionBenchResult],
+    /// The encoded-kernel-vs-decode-then-compute races.
+    pub encoding: &'a [EncodingBenchResult],
 }
 
 /// Render the results as the `BENCH_PR<N>.json` trajectory artifact.
@@ -1638,6 +1866,7 @@ pub fn render_json(pr: u32, rows: usize, iters: usize, sections: &BenchSections<
         parallel,
         pipeline,
         fusion,
+        encoding,
     } = *sections;
     let mut out = String::new();
     out.push_str("{\n");
@@ -1731,6 +1960,21 @@ pub fn render_json(pr: u32, rows: usize, iters: usize, sections: &BenchSections<
                 .collect::<Vec<_>>(),
         ));
     }
+    if !encoding.is_empty() {
+        sections.push(section(
+            "encoding",
+            &encoding
+                .iter()
+                .map(|r| {
+                    format!(
+                        "    {{\"name\": \"{}\", \"decoded_ms\": {:.3}, \"encoded_ms\": {:.3}, \
+                         \"speedup\": {:.2}}}",
+                        r.name, r.decoded_ms, r.encoded_ms, r.speedup
+                    )
+                })
+                .collect::<Vec<_>>(),
+        ));
+    }
     out.push_str(&sections.join(",\n"));
     out.push_str("\n}\n");
     out
@@ -1769,12 +2013,18 @@ mod tests {
         for r in &fusion {
             assert!(r.unfused_ms > 0.0 && r.fused_ms > 0.0, "{}", r.name);
         }
+        let encoding = run_encoding_suite(4_096, 1);
+        assert_eq!(encoding.len(), 4);
+        for r in &encoding {
+            assert!(r.decoded_ms > 0.0 && r.encoded_ms > 0.0, "{}", r.name);
+        }
         let all = BenchSections {
             benches: &results,
             strings: &strings,
             parallel: &parallel,
             pipeline: &pipeline,
             fusion: &fusion,
+            encoding: &encoding,
         };
         let json = render_json(4, 2_000, 1, &all);
         assert!(json.contains("\"benches\""));
@@ -1791,6 +2041,9 @@ mod tests {
         assert!(json.contains("pipe_scan_filter_groupby"));
         assert!(json.contains("\"fusion\""));
         assert!(json.contains("fuse_filter_withcol_select_groupby"));
+        assert!(json.contains("\"encoding\""));
+        assert!(json.contains("enc_groupby_dict_codes"));
+        assert!(json.contains("enc_filter_rle_runs"));
         // Every section shape renders valid JSON-ish structure.
         let no_strings = render_json(4, 2_000, 1, &BenchSections { strings: &[], ..all });
         assert!(!no_strings.contains("\"strings\""));
@@ -1809,5 +2062,6 @@ mod tests {
         assert!(!no_parallel.contains("\"parallel\""));
         assert!(!no_parallel.contains("\"pipeline\""));
         assert!(!no_parallel.contains("\"fusion\""));
+        assert!(!no_parallel.contains("\"encoding\""));
     }
 }

@@ -177,6 +177,93 @@ impl Bitmap {
         }
     }
 
+    /// Call `f` with each maximal run of consecutive set bits as
+    /// `(start, len)`, ascending. This is the run-aligned analogue of
+    /// [`Bitmap::for_each_set`]: RLE-aware kernels use it to touch each
+    /// surviving run once instead of every bit, and all-set / all-clear
+    /// words are consumed in one step.
+    #[inline]
+    pub fn for_each_set_run(&self, mut f: impl FnMut(usize, usize)) {
+        let mut run_start = 0usize;
+        let mut run_len = 0usize;
+        for (wi, &word) in self.words.iter().enumerate() {
+            if word == 0 {
+                if run_len > 0 {
+                    f(run_start, run_len);
+                    run_len = 0;
+                }
+                continue;
+            }
+            if word == u64::MAX {
+                if run_len > 0 && run_start + run_len == wi * 64 {
+                    run_len += 64;
+                } else {
+                    if run_len > 0 {
+                        f(run_start, run_len);
+                    }
+                    run_start = wi * 64;
+                    run_len = 64;
+                }
+                continue;
+            }
+            let mut w = word;
+            while w != 0 {
+                let bit = w.trailing_zeros() as usize;
+                let ones = (w >> bit).trailing_ones() as usize;
+                let abs = wi * 64 + bit;
+                if run_len > 0 && run_start + run_len == abs {
+                    run_len += ones;
+                } else {
+                    if run_len > 0 {
+                        f(run_start, run_len);
+                    }
+                    run_start = abs;
+                    run_len = ones;
+                }
+                if bit + ones >= 64 {
+                    w = 0;
+                } else {
+                    w &= !0u64 << (bit + ones);
+                }
+            }
+        }
+        if run_len > 0 {
+            f(run_start, run_len);
+        }
+    }
+
+    /// Number of set bits in `[start, end)`. Word-parallel (one popcount
+    /// per touched word); the RLE filter kernel uses this to size each
+    /// surviving run without visiting individual bits.
+    pub fn count_range(&self, start: usize, end: usize) -> usize {
+        assert!(
+            start <= end && end <= self.len,
+            "count_range [{start}, {end}) out of bounds (len {})",
+            self.len
+        );
+        if start == end {
+            return 0;
+        }
+        let ws = start / 64;
+        let we = (end - 1) / 64;
+        let lo_mask = !0u64 << (start % 64);
+        let hi_rem = end % 64;
+        let hi_mask = if hi_rem == 0 {
+            !0u64
+        } else {
+            (1u64 << hi_rem) - 1
+        };
+        if ws == we {
+            (self.words[ws] & lo_mask & hi_mask).count_ones() as usize
+        } else {
+            let mut n = (self.words[ws] & lo_mask).count_ones() as usize;
+            for w in &self.words[ws + 1..we] {
+                n += w.count_ones() as usize;
+            }
+            n + (self.words[we] & hi_mask).count_ones() as usize
+        }
+    }
+
     /// Select the bits at `indices` into a new bitmap (gather). Output
     /// words are assembled in a register and flushed one word at a time —
     /// no per-bit `push` bookkeeping.
@@ -365,6 +452,19 @@ impl BitWriter {
             self.nbits = self.nbits + n - 64;
         } else {
             self.nbits += n;
+        }
+    }
+
+    /// Append `len` copies of `value` (a run), 64 bits at a time.
+    #[inline]
+    pub fn append_run(&mut self, value: bool, mut len: usize) {
+        let word = if value { u64::MAX } else { 0 };
+        while len > 64 {
+            self.append_word(word, 64);
+            len -= 64;
+        }
+        if len > 0 {
+            self.append_word(word, len);
         }
     }
 
@@ -612,6 +712,87 @@ mod tests {
                 for i in start..start + n {
                     assert!(bm.get(i), "appended bit {i} (start {start} n {n})");
                 }
+            }
+        }
+    }
+
+    /// The run iterator must agree with a naive per-bit run scan at every
+    /// word alignment, including runs that span word boundaries and
+    /// all-set / all-clear whole words.
+    #[test]
+    fn set_run_iterator_matches_naive() {
+        let patterns: Vec<Vec<bool>> = vec![
+            vec![],
+            vec![true],
+            vec![false],
+            (0..63).map(|_| true).collect(),
+            (0..64).map(|_| true).collect(),
+            (0..65).map(|_| true).collect(),
+            (0..130).map(|i| i % 2 == 0).collect(),
+            (0..200).map(|i| (i / 7) % 2 == 0).collect(),
+            (0..192).map(|i| !(60..=130).contains(&i)).collect(),
+            (0..300).map(|i| i % 97 < 50).collect(),
+        ];
+        for bools in patterns {
+            let bm = Bitmap::from_bools(&bools);
+            let mut got = Vec::new();
+            bm.for_each_set_run(|s, l| got.push((s, l)));
+            // Naive: scan for maximal runs.
+            let mut expect = Vec::new();
+            let mut i = 0;
+            while i < bools.len() {
+                if bools[i] {
+                    let s = i;
+                    while i < bools.len() && bools[i] {
+                        i += 1;
+                    }
+                    expect.push((s, i - s));
+                } else {
+                    i += 1;
+                }
+            }
+            assert_eq!(got, expect, "len {}", bools.len());
+        }
+    }
+
+    #[test]
+    fn count_range_matches_naive() {
+        let bools: Vec<bool> = (0..300).map(|i| i % 3 == 0 || i % 11 == 0).collect();
+        let bm = Bitmap::from_bools(&bools);
+        for &(s, e) in &[
+            (0usize, 0usize),
+            (0, 1),
+            (0, 300),
+            (63, 64),
+            (63, 65),
+            (64, 128),
+            (1, 299),
+            (130, 130),
+            (200, 257),
+        ] {
+            let expect = (s..e).filter(|&i| bools[i]).count();
+            assert_eq!(bm.count_range(s, e), expect, "[{s}, {e})");
+        }
+    }
+
+    #[test]
+    fn bitwriter_append_run_alignments() {
+        for start in [0usize, 1, 63, 64, 65] {
+            for len in [0usize, 1, 64, 65, 130] {
+                let mut w = BitWriter::with_capacity(start + len);
+                for i in 0..start {
+                    w.append_bit(i % 2 == 0);
+                }
+                w.append_run(true, len);
+                w.append_run(false, 3);
+                let bm = w.finish();
+                assert_eq!(bm.len(), start + len + 3);
+                assert_eq!(
+                    bm.count_range(start, start + len),
+                    len,
+                    "start {start} len {len}"
+                );
+                assert_eq!(bm.count_range(start + len, start + len + 3), 0);
             }
         }
     }

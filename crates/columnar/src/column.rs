@@ -66,10 +66,70 @@ pub struct Categorical {
     pub dict: Arc<Utf8Col>,
 }
 
+/// Run-length-encoded column payload: `values` holds one row per
+/// maximal run of equal values (null runs included — run-level nulls
+/// live in `values`' own validity/NaN state), `ends[k]` is the
+/// exclusive row index where run `k` stops. `ends` is strictly
+/// increasing and its last entry is the logical row count.
+#[derive(Debug, Clone)]
+pub struct RleCol {
+    /// One row per run: the run's value (or null).
+    pub values: Box<Column>,
+    /// Exclusive end row of each run; `ends.last()` is the column length.
+    pub ends: Vec<u32>,
+}
+
+impl RleCol {
+    /// Logical row count.
+    pub fn len(&self) -> usize {
+        self.ends.last().map_or(0, |&e| e as usize)
+    }
+
+    /// True when the column has no rows.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Number of runs.
+    pub fn num_runs(&self) -> usize {
+        self.ends.len()
+    }
+
+    /// The run containing row `i` (binary search over run ends).
+    #[inline]
+    pub fn run_of(&self, i: usize) -> usize {
+        debug_assert!(i < self.len());
+        self.ends.partition_point(|&e| e as usize <= i)
+    }
+
+    /// Start row of run `k`.
+    #[inline]
+    pub fn run_start(&self, k: usize) -> usize {
+        if k == 0 {
+            0
+        } else {
+            self.ends[k - 1] as usize
+        }
+    }
+
+    /// `(start, end)` row range of run `k`.
+    #[inline]
+    pub fn run_bounds(&self, k: usize) -> (usize, usize) {
+        (self.run_start(k), self.ends[k] as usize)
+    }
+}
+
 /// A typed column of values with an optional validity mask.
 ///
 /// `validity == None` means "no nulls". For `Float64`, `NaN` additionally
 /// counts as null, matching pandas.
+///
+/// Two variants are *encodings*, not dtypes: [`Column::Dict`] reports
+/// [`DType::Utf8`] and [`Column::Rle`] reports its run values' dtype, so
+/// the planner and schema layers never see them. Kernels either run on
+/// the encoded form directly (the fast paths) or fall back through
+/// [`Column::decode`]. Equality is *logical* across encodings: a `Dict`
+/// column equals the `Utf8` column it decodes to.
 ///
 /// ```
 /// use lafp_columnar::{Column, Scalar};
@@ -78,7 +138,7 @@ pub struct Categorical {
 /// assert!(c.is_null_at(1));
 /// assert_eq!(c.sum(), Scalar::Int(8));
 /// ```
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone)]
 pub enum Column {
     /// 64-bit integers.
     Int64(Vec<i64>, Option<Bitmap>),
@@ -95,6 +155,49 @@ pub enum Column {
     Datetime(Vec<i64>, Option<Bitmap>),
     /// Dictionary-encoded strings (codes into an arena-backed dict).
     Categorical(Categorical, Option<Bitmap>),
+    /// Dictionary-*encoded* strings: same payload as `Categorical`, but
+    /// transparent — `dtype()` reports `Utf8`, so every consumer treats
+    /// it as a string column that happens to be compressed. Null rows'
+    /// codes point at an interned `""` entry so `decode()` reproduces
+    /// the normalized null-slot sentinel.
+    Dict(Categorical, Option<Bitmap>),
+    /// Run-length-encoded scalar lanes (see [`RleCol`]); `dtype()`
+    /// reports the run values' dtype.
+    Rle(RleCol),
+}
+
+impl PartialEq for Column {
+    /// Same-variant pairs compare structurally (buffer-for-buffer, the
+    /// semantics the previous `derive(PartialEq)` had); any pair that
+    /// involves an encoding compares *logically*, row by row, so an
+    /// encoded column equals its decoded form.
+    fn eq(&self, other: &Column) -> bool {
+        match (self, other) {
+            (Column::Int64(a, va), Column::Int64(b, vb)) => a == b && va == vb,
+            (Column::Float64(a, va), Column::Float64(b, vb)) => a == b && va == vb,
+            (Column::Bool(a, va), Column::Bool(b, vb)) => a == b && va == vb,
+            (Column::Utf8(a, va), Column::Utf8(b, vb)) => a == b && va == vb,
+            (Column::Datetime(a, va), Column::Datetime(b, vb)) => a == b && va == vb,
+            (Column::Categorical(a, va), Column::Categorical(b, vb)) => a == b && va == vb,
+            (Column::Dict(a, va), Column::Dict(b, vb)) => a == b && va == vb,
+            (Column::Dict(..) | Column::Rle(..), _) | (_, Column::Dict(..) | Column::Rle(..)) => {
+                logical_eq(self, other)
+            }
+            _ => false,
+        }
+    }
+}
+
+/// Row-by-row logical equality across representations: same dtype, same
+/// length, same null positions, equal scalars at every valid row.
+fn logical_eq(a: &Column, b: &Column) -> bool {
+    a.dtype() == b.dtype()
+        && a.len() == b.len()
+        && (0..a.len()).all(|i| match (a.is_null_at(i), b.is_null_at(i)) {
+            (true, true) => true,
+            (false, false) => a.get(i) == b.get(i),
+            _ => false,
+        })
 }
 
 /// Binary comparison operators for [`Column::compare`].
@@ -282,7 +385,8 @@ impl Column {
             Column::Bool(v, _) => v.len(),
             Column::Utf8(v, _) => v.len(),
             Column::Datetime(v, _) => v.len(),
-            Column::Categorical(c, _) => c.codes.len(),
+            Column::Categorical(c, _) | Column::Dict(c, _) => c.codes.len(),
+            Column::Rle(r) => r.len(),
         }
     }
 
@@ -291,19 +395,30 @@ impl Column {
         self.len() == 0
     }
 
-    /// The column's dtype.
+    /// The column's dtype. Encodings are transparent: `Dict` is a
+    /// string column, `Rle` has its run values' dtype.
     pub fn dtype(&self) -> DType {
         match self {
             Column::Int64(..) => DType::Int64,
             Column::Float64(..) => DType::Float64,
             Column::Bool(..) => DType::Bool,
-            Column::Utf8(..) => DType::Utf8,
+            Column::Utf8(..) | Column::Dict(..) => DType::Utf8,
             Column::Datetime(..) => DType::Datetime,
             Column::Categorical(..) => DType::Categorical,
+            Column::Rle(r) => r.values.dtype(),
         }
     }
 
-    /// Validity mask, if any.
+    /// True when the column is stored in an encoded representation
+    /// ([`Column::Dict`] or [`Column::Rle`]).
+    pub fn is_encoded(&self) -> bool {
+        matches!(self, Column::Dict(..) | Column::Rle(..))
+    }
+
+    /// Validity mask, if any. `Rle` columns keep nulls at run
+    /// granularity inside their values column and report `None` here;
+    /// use [`Column::is_null_at`] / [`Column::count_null`] for
+    /// row-level null state that covers every representation.
     pub fn validity(&self) -> Option<&Bitmap> {
         match self {
             Column::Int64(_, v)
@@ -311,7 +426,9 @@ impl Column {
             | Column::Bool(_, v)
             | Column::Utf8(_, v)
             | Column::Datetime(_, v)
-            | Column::Categorical(_, v) => v.as_ref(),
+            | Column::Categorical(_, v)
+            | Column::Dict(_, v) => v.as_ref(),
+            Column::Rle(_) => None,
         }
     }
 
@@ -322,10 +439,11 @@ impl Column {
                 return true;
             }
         }
-        if let Column::Float64(data, _) = self {
-            return data[i].is_nan();
+        match self {
+            Column::Float64(data, _) => data[i].is_nan(),
+            Column::Rle(r) => r.values.is_null_at(r.run_of(i)),
+            _ => false,
         }
-        false
     }
 
     /// Number of non-null rows.
@@ -340,6 +458,15 @@ impl Column {
                     .count(),
                 None => data.iter().filter(|v| !v.is_nan()).count(),
             },
+            // Per-run: a run contributes its whole width when its value
+            // row is valid.
+            Column::Rle(r) => (0..r.num_runs())
+                .filter(|&k| !r.values.is_null_at(k))
+                .map(|k| {
+                    let (s, e) = r.run_bounds(k);
+                    e - s
+                })
+                .sum(),
             _ => match self.validity() {
                 Some(m) => m.count_set(),
                 None => self.len(),
@@ -363,7 +490,70 @@ impl Column {
             Column::Bool(v, _) => Scalar::Bool(v.get(i)),
             Column::Utf8(v, _) => Scalar::Str(v.get(i).to_string()),
             Column::Datetime(v, _) => Scalar::Datetime(v[i]),
-            Column::Categorical(c, _) => Scalar::Str(c.dict.get(c.codes[i] as usize).to_string()),
+            Column::Categorical(c, _) | Column::Dict(c, _) => {
+                Scalar::Str(c.dict.get(c.codes[i] as usize).to_string())
+            }
+            Column::Rle(r) => r.values.get(r.run_of(i)),
+        }
+    }
+
+    // -- encodings -------------------------------------------------------
+
+    /// Materialize an encoded column into its plain representation:
+    /// `Dict` gathers dictionary bytes into a fresh arena, `Rle` expands
+    /// runs into full lanes. Plain columns clone. This is the explicit,
+    /// caller-requested decode — kernels that bail out of an encoded
+    /// fast path go through the crate-internal `Column::decoded` instead,
+    /// which also bumps the decode-fallback counter.
+    pub fn decode(&self) -> Column {
+        match self {
+            Column::Dict(c, validity) => {
+                Column::Utf8(c.dict.gather(&c.codes), validity.clone())
+            }
+            Column::Rle(r) => {
+                let plain = r.values.decode();
+                let runs = r.num_runs();
+                let mut idx: Vec<u32> = Vec::with_capacity(r.len());
+                for k in 0..runs {
+                    let (s, e) = r.run_bounds(k);
+                    idx.extend(std::iter::repeat_n(k as u32, e - s));
+                }
+                let expanded = plain.take_unchecked(&idx);
+                // Normalize the validity shape: run-level nulls expand
+                // to a row-level mask only when nulls exist.
+                match expanded.count_null() {
+                    0 => expanded.with_validity(None),
+                    _ => expanded,
+                }
+            }
+            other => other.clone(),
+        }
+    }
+
+    /// The column viewed in plain representation: borrows `self` when it
+    /// is already plain, decodes otherwise. Kernels use this as the
+    /// universal fallback when no encoded fast path applies; each real
+    /// decode is recorded in [`crate::encoding`]'s fallback counter (the
+    /// zero-decode acceptance tests key off it).
+    pub(crate) fn decoded(&self) -> std::borrow::Cow<'_, Column> {
+        if self.is_encoded() {
+            crate::encoding::global().record_decode_fallback();
+            std::borrow::Cow::Owned(self.decode())
+        } else {
+            std::borrow::Cow::Borrowed(self)
+        }
+    }
+
+    /// Like [`decoded`](Self::decoded), but only expands run-length
+    /// columns: kernels with dictionary fast paths (group-by, join, sort
+    /// keying) call this so `Dict` flows through untouched while `Rle`
+    /// falls back to plain rows.
+    pub(crate) fn rle_decoded(&self) -> std::borrow::Cow<'_, Column> {
+        if matches!(self, Column::Rle(_)) {
+            crate::encoding::global().record_decode_fallback();
+            std::borrow::Cow::Owned(self.decode())
+        } else {
+            std::borrow::Cow::Borrowed(self)
         }
     }
 
@@ -391,14 +581,17 @@ impl Column {
         let n = mask.count_set();
         let validity = self.validity().map(|v| v.filter(mask));
         Ok(match self {
+            // Fixed-width lanes compact run-at-a-time: each maximal run
+            // of surviving rows is one slice memcpy, and all-set mask
+            // words are consumed 64 rows per step.
             Column::Int64(data, _) => {
                 let mut out = Vec::with_capacity(n);
-                mask.for_each_set(|i| out.push(data[i]));
+                mask.for_each_set_run(|s, l| out.extend_from_slice(&data[s..s + l]));
                 Column::Int64(out, validity)
             }
             Column::Float64(data, _) => {
                 let mut out = Vec::with_capacity(n);
-                mask.for_each_set(|i| out.push(data[i]));
+                mask.for_each_set_run(|s, l| out.extend_from_slice(&data[s..s + l]));
                 Column::Float64(out, validity)
             }
             Column::Bool(data, _) => Column::Bool(data.filter(mask), validity),
@@ -407,19 +600,41 @@ impl Column {
             Column::Utf8(data, _) => Column::Utf8(data.filter(mask), validity),
             Column::Datetime(data, _) => {
                 let mut out = Vec::with_capacity(n);
-                mask.for_each_set(|i| out.push(data[i]));
+                mask.for_each_set_run(|s, l| out.extend_from_slice(&data[s..s + l]));
                 Column::Datetime(out, validity)
             }
-            Column::Categorical(c, _) => {
+            Column::Categorical(c, _) | Column::Dict(c, _) => {
                 let mut codes = Vec::with_capacity(n);
-                mask.for_each_set(|i| codes.push(c.codes[i]));
-                Column::Categorical(
-                    Categorical {
-                        codes,
-                        dict: Arc::clone(&c.dict),
-                    },
-                    validity,
-                )
+                mask.for_each_set_run(|s, l| codes.extend_from_slice(&c.codes[s..s + l]));
+                let payload = Categorical {
+                    codes,
+                    dict: Arc::clone(&c.dict),
+                };
+                match self {
+                    Column::Dict(..) => Column::Dict(payload, validity),
+                    _ => Column::Categorical(payload, validity),
+                }
+            }
+            // Run-aligned compaction: size each surviving run with one
+            // popcount per touched mask word, never visiting rows.
+            Column::Rle(r) => {
+                let mut kept_runs = Bitmap::new(r.num_runs(), false);
+                let mut ends: Vec<u32> = Vec::new();
+                let mut total = 0u32;
+                for k in 0..r.num_runs() {
+                    let (s, e) = r.run_bounds(k);
+                    let cnt = mask.count_range(s, e) as u32;
+                    if cnt > 0 {
+                        kept_runs.set(k, true);
+                        total += cnt;
+                        ends.push(total);
+                    }
+                }
+                let values = r.values.filter(&kept_runs)?;
+                Column::Rle(RleCol {
+                    values: Box::new(values),
+                    ends,
+                })
             }
         })
     }
@@ -454,13 +669,27 @@ impl Column {
             Column::Datetime(data, _) => {
                 Column::Datetime(indices.iter().map(|&i| data[i.idx()]).collect(), validity)
             }
-            Column::Categorical(c, _) => Column::Categorical(
-                Categorical {
+            Column::Categorical(c, _) | Column::Dict(c, _) => {
+                let payload = Categorical {
                     codes: indices.iter().map(|&i| c.codes[i.idx()]).collect(),
                     dict: Arc::clone(&c.dict),
-                },
-                validity,
-            ),
+                };
+                match self {
+                    Column::Dict(..) => Column::Dict(payload, validity),
+                    _ => Column::Categorical(payload, validity),
+                }
+            }
+            // Random gathers destroy run structure: map each index to
+            // its run and gather from the (small) run values column.
+            // Output is plain, proportional to the index count.
+            Column::Rle(r) => {
+                let run_idx: Vec<usize> = indices.iter().map(|&i| r.run_of(i.idx())).collect();
+                let gathered = r.values.decode().take_unchecked(&run_idx);
+                match gathered.count_null() {
+                    0 => gathered.with_validity(None),
+                    _ => gathered,
+                }
+            }
         }
     }
 
@@ -480,13 +709,35 @@ impl Column {
             // Zero-copy: the arena is shared, only the offset window moves.
             Column::Utf8(data, _) => Column::Utf8(data.slice(start, n), validity),
             Column::Datetime(data, _) => Column::Datetime(data[start..end].to_vec(), validity),
-            Column::Categorical(c, _) => Column::Categorical(
-                Categorical {
+            Column::Categorical(c, _) | Column::Dict(c, _) => {
+                let payload = Categorical {
                     codes: c.codes[start..end].to_vec(),
                     dict: Arc::clone(&c.dict),
-                },
-                validity,
-            ),
+                };
+                match self {
+                    Column::Dict(..) => Column::Dict(payload, validity),
+                    _ => Column::Categorical(payload, validity),
+                }
+            }
+            // Clip the run list to the window: O(runs-in-window), with
+            // the (small) values column sliced to the same run range.
+            Column::Rle(r) => {
+                if n == 0 {
+                    return Column::Rle(RleCol {
+                        values: Box::new(r.values.slice(0, 0)),
+                        ends: Vec::new(),
+                    });
+                }
+                let lo = r.run_of(start);
+                let hi = r.run_of(end - 1);
+                let ends = (lo..=hi)
+                    .map(|k| ((r.ends[k] as usize).min(end) - start) as u32)
+                    .collect();
+                Column::Rle(RleCol {
+                    values: Box::new(r.values.slice(lo, hi - lo + 1)),
+                    ends,
+                })
+            }
         }
     }
 
@@ -554,7 +805,61 @@ impl Column {
                 }
                 Column::Utf8(out.finish(), validity)
             }
-            // Categoricals re-encode their dictionary; keep the builder path.
+            // Dict + Dict: unify dictionaries without touching row data.
+            // The left dictionary is kept verbatim; right-side entries
+            // not already present append in right-dict order, and right
+            // codes remap through a translation table — so per-chunk
+            // dictionaries built by the parallel CSV reader unify into
+            // exactly the dictionary a sequential first-appearance scan
+            // would have produced.
+            (Column::Dict(a, _), Column::Dict(b, _)) => {
+                let mut union = Utf8Builder::with_capacity(
+                    a.dict.len() + b.dict.len(),
+                    a.dict.value_bytes() + b.dict.value_bytes(),
+                );
+                let mut index: std::collections::HashMap<&[u8], u32> =
+                    std::collections::HashMap::with_capacity(a.dict.len() + b.dict.len());
+                for e in 0..a.dict.len() {
+                    union.push(a.dict.get(e));
+                    index.insert(a.dict.bytes_at(e), e as u32);
+                }
+                let mut next = a.dict.len() as u32;
+                let remap: Vec<u32> = (0..b.dict.len())
+                    .map(|e| match index.entry(b.dict.bytes_at(e)) {
+                        std::collections::hash_map::Entry::Occupied(o) => *o.get(),
+                        std::collections::hash_map::Entry::Vacant(v) => {
+                            union.push(b.dict.get(e));
+                            let c = next;
+                            next += 1;
+                            v.insert(c);
+                            c
+                        }
+                    })
+                    .collect();
+                let mut codes = Vec::with_capacity(total);
+                codes.extend_from_slice(&a.codes);
+                codes.extend(b.codes.iter().map(|&c| remap[c as usize]));
+                Column::Dict(
+                    Categorical {
+                        codes,
+                        dict: Arc::new(union.finish()),
+                    },
+                    validity,
+                )
+            }
+            // Rle + Rle of one dtype: append run lists, rebasing ends.
+            (Column::Rle(a), Column::Rle(b)) => {
+                let values = a.values.concat(&b.values)?;
+                let base = a.len() as u32;
+                let mut ends = a.ends.clone();
+                ends.extend(b.ends.iter().map(|&e| base + e));
+                Column::Rle(RleCol {
+                    values: Box::new(values),
+                    ends,
+                })
+            }
+            // Categoricals re-encode their dictionary, and mixed
+            // plain/encoded pairs materialize; keep the builder path.
             _ => {
                 let mut b = ColumnBuilder::new(self.dtype());
                 for s in self.iter().chain(other.iter()) {
@@ -689,6 +994,45 @@ impl Column {
                 }
             })));
         }
+        // Dictionary fast path: evaluate the predicate once per distinct
+        // entry into a verdict table, then answer each row with one code
+        // lookup — O(dict + rows) instead of O(rows) comparisons.
+        if let Column::Dict(c, validity) = self {
+            let verdicts: Vec<bool> = (0..c.dict.len())
+                .map(|e| {
+                    if rhs.is_null() {
+                        op == CmpOp::Ne
+                    } else {
+                        match rhs {
+                            Scalar::Str(s) => op.eval(c.dict.get(e).cmp(s.as_str())),
+                            other => op.eval(Scalar::Str(c.dict.get(e).to_string()).cmp_values(other)),
+                        }
+                    }
+                })
+                .collect();
+            return Ok(Bitmap::from_iter(c.codes.iter().enumerate().map(
+                |(i, &code)| {
+                    if validity.as_ref().is_some_and(|m| !m.get(i)) {
+                        op == CmpOp::Ne
+                    } else {
+                        verdicts[code as usize]
+                    }
+                },
+            )));
+        }
+        // Run fast path: one predicate evaluation per run (through the
+        // values column's own scalar-compare kernel, so null and NaN
+        // semantics match the decoded execution bit for bit), expanded
+        // to a row mask 64 bits at a time.
+        if let Column::Rle(r) = self {
+            let per_run = r.values.compare_scalar(op, rhs)?;
+            let mut w = crate::bitmap::BitWriter::with_capacity(r.len());
+            for k in 0..r.num_runs() {
+                let (s, e) = r.run_bounds(k);
+                w.append_run(per_run.get(k), e - s);
+            }
+            return Ok(w.finish());
+        }
         Ok(Bitmap::from_iter((0..self.len()).map(|i| {
             let a = self.get(i);
             if a.is_null() || rhs.is_null() {
@@ -707,6 +1051,15 @@ impl Column {
                 left: self.len(),
                 right: other.len(),
             });
+        }
+        // A run-length operand paired with a varying column cannot keep
+        // its run structure; expand it so the typed arms below see the
+        // same lanes (and produce the same output dtype) as decoded
+        // execution.
+        if matches!(self, Column::Rle(_)) || matches!(other, Column::Rle(_)) {
+            let a = self.rle_decoded();
+            let b = other.rle_decoded();
+            return a.arith(op, b.as_ref());
         }
         let len = self.len();
         if let (Column::Int64(a, va), Column::Int64(b, vb)) = (self, other) {
@@ -796,12 +1149,33 @@ impl Column {
                     })
                     .collect(),
             ),
-            Column::Utf8(..) | Column::Categorical(..) => None,
+            Column::Utf8(..) | Column::Categorical(..) | Column::Dict(..) => None,
+            // Expand the (small) run lanes — same f64 per row as the
+            // decoded column, no decode fallback.
+            Column::Rle(r) => {
+                let inner = r.values.f64_lanes()?;
+                let mut out = Vec::with_capacity(r.len());
+                for (k, &v) in inner.iter().enumerate() {
+                    let (s, e) = r.run_bounds(k);
+                    out.extend(std::iter::repeat_n(v, e - s));
+                }
+                Some(out)
+            }
         }
     }
 
     /// Element-wise arithmetic against a scalar.
     pub fn arith_scalar(&self, op: ArithOp, rhs: &Scalar) -> Result<Column> {
+        // Run fast path: apply the operator once per run and keep the
+        // run structure. Element-wise ops on equal inputs give equal
+        // outputs, so this is bit-identical to decoded execution.
+        if let Column::Rle(r) = self {
+            let values = r.values.arith_scalar(op, rhs)?;
+            return Ok(Column::Rle(RleCol {
+                values: Box::new(values),
+                ends: r.ends.clone(),
+            }));
+        }
         // Fast integer path.
         if let (Column::Int64(data, validity), Some(x), false) =
             (self, rhs.as_i64(), matches!(rhs, Scalar::Datetime(_)))
@@ -846,6 +1220,17 @@ impl Column {
                 Some(v) => bits.and(v),
                 None => bits.clone(),
             }),
+            // Run-expand the values column's mask (errors with the run
+            // dtype's name for non-bool lanes, same as decoded).
+            Column::Rle(r) => {
+                let run_mask = r.values.as_mask()?;
+                let mut w = crate::bitmap::BitWriter::with_capacity(r.len());
+                for k in 0..r.num_runs() {
+                    let (s, e) = r.run_bounds(k);
+                    w.append_run(run_mask.get(k), e - s);
+                }
+                Ok(w.finish())
+            }
             _ => Err(ColumnarError::TypeMismatch {
                 op: "as_mask".into(),
                 dtype: self.dtype().to_string(),
@@ -865,6 +1250,10 @@ impl Column {
             Column::Float64(v, m) => {
                 Ok(Column::Float64(v.iter().map(|x| x.abs()).collect(), m.clone()))
             }
+            Column::Rle(r) => Ok(Column::Rle(RleCol {
+                values: Box::new(r.values.abs()?),
+                ends: r.ends.clone(),
+            })),
             _ => Err(ColumnarError::TypeMismatch {
                 op: "abs".into(),
                 dtype: self.dtype().to_string(),
@@ -883,6 +1272,10 @@ impl Column {
                 ))
             }
             Column::Int64(..) => Ok(self.clone()),
+            Column::Rle(r) => Ok(Column::Rle(RleCol {
+                values: Box::new(r.values.round(digits)?),
+                ends: r.ends.clone(),
+            })),
             _ => Err(ColumnarError::TypeMismatch {
                 op: "round".into(),
                 dtype: self.dtype().to_string(),
@@ -968,6 +1361,13 @@ impl Column {
             Column::Utf8(d, _) => Column::Utf8(d.clone(), validity),
             Column::Datetime(d, _) => Column::Datetime(d.clone(), validity),
             Column::Categorical(c, _) => Column::Categorical(c.clone(), validity),
+            Column::Dict(c, _) => Column::Dict(c.clone(), validity),
+            // Rle keeps nulls at run granularity; attaching a row-level
+            // mask forces materialization.
+            Column::Rle(r) => match validity {
+                None => Column::Rle(r.clone()),
+                some => self.decode().with_validity(some),
+            },
         }
     }
 
@@ -1119,6 +1519,11 @@ impl Column {
                 ))
             }
             Column::Categorical(..) => Ok(self.clone()),
+            // Already dictionary-encoded: rebadge the same payload.
+            Column::Dict(c, validity) => {
+                Ok(Column::Categorical(c.clone(), validity.clone()))
+            }
+            Column::Rle(_) if self.dtype() == DType::Utf8 => self.decoded().to_categorical(),
             _ => Err(ColumnarError::TypeMismatch {
                 op: "astype(category)".into(),
                 dtype: self.dtype().to_string(),
@@ -1142,6 +1547,9 @@ impl Column {
                 Ok(Column::Utf8(out.finish(), validity.clone()))
             }
             Column::Utf8(..) => Ok(self.clone()),
+            // Dict decode is one run-collapsing gather off the dictionary.
+            Column::Dict(..) => Ok(self.decode()),
+            Column::Rle(_) if self.dtype() == DType::Utf8 => Ok(self.decode()),
             _ => Err(ColumnarError::TypeMismatch {
                 op: "to_utf8".into(),
                 dtype: self.dtype().to_string(),
@@ -1169,6 +1577,11 @@ impl Column {
                     .collect();
                 Ok(Column::Int64(out, validity.clone()))
             }
+            // Compute the accessor once per run; the output stays RLE.
+            Column::Rle(r) => Ok(Column::Rle(RleCol {
+                values: Box::new(r.values.dt_field(field)?),
+                ends: r.ends.clone(),
+            })),
             _ => Err(ColumnarError::TypeMismatch {
                 op: format!("dt.{field:?}"),
                 dtype: self.dtype().to_string(),
@@ -1178,8 +1591,74 @@ impl Column {
 
     /// String accessor (`.str.<op>`).
     pub fn str_op(&self, op: &StrOp) -> Result<Column> {
+        // Dictionary fast path: evaluate the op once per distinct entry
+        // instead of once per row. Case transforms keep the dictionary
+        // encoding (re-deduplicated, since e.g. "A" and "a" collide
+        // after lowering); predicates and lengths expand a per-entry
+        // table through the codes.
+        if let Column::Dict(c, validity) = self {
+            return Ok(match op {
+                StrOp::Lower | StrOp::Upper => {
+                    let transform = |s: &str| -> String {
+                        if matches!(op, StrOp::Lower) {
+                            s.to_lowercase()
+                        } else {
+                            s.to_uppercase()
+                        }
+                    };
+                    let mut dict = Utf8Builder::with_capacity(c.dict.len(), c.dict.value_bytes());
+                    let mut index: std::collections::HashMap<String, u32> =
+                        std::collections::HashMap::with_capacity(c.dict.len());
+                    let mut remap = Vec::with_capacity(c.dict.len());
+                    for e in 0..c.dict.len() {
+                        let t = transform(c.dict.get(e));
+                        let next = index.len() as u32;
+                        let code = *index.entry(t.clone()).or_insert_with(|| {
+                            dict.push(&t);
+                            next
+                        });
+                        remap.push(code);
+                    }
+                    Column::Dict(
+                        Categorical {
+                            codes: c.codes.iter().map(|&code| remap[code as usize]).collect(),
+                            dict: Arc::new(dict.finish()),
+                        },
+                        validity.clone(),
+                    )
+                }
+                StrOp::Len => {
+                    let table: Vec<i64> = (0..c.dict.len())
+                        .map(|e| c.dict.get(e).chars().count() as i64)
+                        .collect();
+                    Column::Int64(
+                        c.codes.iter().map(|&code| table[code as usize]).collect(),
+                        validity.clone(),
+                    )
+                }
+                StrOp::Contains(pat) => {
+                    let table: Vec<bool> = (0..c.dict.len())
+                        .map(|e| c.dict.get(e).contains(pat.as_str()))
+                        .collect();
+                    Column::Bool(
+                        Bitmap::from_iter(c.codes.iter().map(|&code| table[code as usize])),
+                        validity.clone(),
+                    )
+                }
+                StrOp::StartsWith(pat) => {
+                    let table: Vec<bool> = (0..c.dict.len())
+                        .map(|e| c.dict.get(e).starts_with(pat.as_str()))
+                        .collect();
+                    Column::Bool(
+                        Bitmap::from_iter(c.codes.iter().map(|&code| table[code as usize])),
+                        validity.clone(),
+                    )
+                }
+            });
+        }
         let utf8 = match self {
             Column::Utf8(..) | Column::Categorical(..) => self.to_utf8()?,
+            Column::Rle(_) if self.dtype() == DType::Utf8 => self.decoded().to_utf8()?,
             _ => {
                 return Err(ColumnarError::TypeMismatch {
                     op: format!("str.{op:?}"),
@@ -1290,7 +1769,25 @@ impl Column {
                 }
             }
             // Strings have no numeric view: the old loop skipped every row.
-            Column::Utf8(..) | Column::Categorical(..) => Scalar::Null,
+            Column::Utf8(..) | Column::Categorical(..) | Column::Dict(..) => Scalar::Null,
+            // Integer runs sum exactly as value × width (wrapping
+            // multiplication ≡ repeated wrapping addition mod 2⁶⁴).
+            // Float/bool/datetime sums accumulate in f64, where addition
+            // order matters — decode so the result stays bit-identical
+            // to plain execution.
+            Column::Rle(r) => match &*r.values {
+                Column::Int64(vals, _) => {
+                    let mut acc = 0i64;
+                    for (k, &v) in vals.iter().enumerate() {
+                        if !r.values.is_null_at(k) {
+                            let (s, e) = r.run_bounds(k);
+                            acc = acc.wrapping_add(v.wrapping_mul((e - s) as i64));
+                        }
+                    }
+                    Scalar::Int(acc)
+                }
+                _ => self.decoded().sum(),
+            },
         }
     }
 
@@ -1402,6 +1899,49 @@ impl Column {
                 };
                 best.unwrap_or(Scalar::Null)
             }
+            // The extreme over rows is the extreme over *used* dictionary
+            // entries: one pass marking used codes, one pass over the
+            // (small) dictionary.
+            Column::Dict(c, m) => {
+                let mut used = vec![false; c.dict.len()];
+                match m {
+                    None => {
+                        for &code in &c.codes {
+                            used[code as usize] = true;
+                        }
+                    }
+                    Some(mask) => {
+                        for (i, &code) in c.codes.iter().enumerate() {
+                            if mask.get(i) {
+                                used[code as usize] = true;
+                            }
+                        }
+                    }
+                }
+                let mut best: Option<&str> = None;
+                for (e, &is_used) in used.iter().enumerate() {
+                    if !is_used {
+                        continue;
+                    }
+                    let s = c.dict.get(e);
+                    let replace = match best {
+                        None => true,
+                        Some(b) => {
+                            if want_min {
+                                s < b
+                            } else {
+                                s > b
+                            }
+                        }
+                    };
+                    if replace {
+                        best = Some(s);
+                    }
+                }
+                best.map(|s| Scalar::Str(s.to_string())).unwrap_or(Scalar::Null)
+            }
+            // The extreme over runs equals the extreme over rows.
+            Column::Rle(r) => r.values.extreme(want_min),
         }
     }
 
@@ -1412,11 +1952,28 @@ impl Column {
 
     /// Number of distinct non-null values.
     pub fn nunique(&self) -> Scalar {
-        let mut seen = std::collections::HashSet::new();
-        for s in self.iter().filter(|s| !s.is_null()) {
-            seen.insert(s.to_string());
+        match self {
+            // Distinct rows = distinct *used* codes (filters and slices
+            // can leave dictionary entries with no referencing row).
+            Column::Dict(c, m) => {
+                let mut used = vec![false; c.dict.len()];
+                for (i, &code) in c.codes.iter().enumerate() {
+                    if m.as_ref().is_none_or(|mask| mask.get(i)) {
+                        used[code as usize] = true;
+                    }
+                }
+                Scalar::Int(used.iter().filter(|&&u| u).count() as i64)
+            }
+            // Distinct run values = distinct row values.
+            Column::Rle(r) => r.values.nunique(),
+            _ => {
+                let mut seen = std::collections::HashSet::new();
+                for s in self.iter().filter(|s| !s.is_null()) {
+                    seen.insert(s.to_string());
+                }
+                Scalar::Int(seen.len() as i64)
+            }
         }
-        Scalar::Int(seen.len() as i64)
     }
 
     /// Sample standard deviation (ddof = 1), pandas default.
@@ -1483,7 +2040,7 @@ impl Column {
                     mix(j, if valid(m, i) { fnv1a(v.bytes_at(i)) } else { u64::MAX });
                 }
             }
-            Column::Categorical(c, m) => {
+            Column::Categorical(c, m) | Column::Dict(c, m) => {
                 // Hash each dictionary entry once, then look codes up.
                 let dict_hashes: Vec<u64> =
                     (0..c.dict.len()).map(|d| fnv1a(c.dict.bytes_at(d))).collect();
@@ -1499,6 +2056,40 @@ impl Column {
                     );
                 }
             }
+            Column::Rle(r) => {
+                // Hash each run value once, then spread it over the run's
+                // rows intersecting the requested range.
+                let lo = r.run_of(offset);
+                let hi = r.run_of(offset + len - 1);
+                for k in lo..=hi {
+                    let v = r.values.hash_lane_at(k);
+                    let (s, e) = r.run_bounds(k);
+                    let s = s.max(offset);
+                    let e = e.min(offset + len);
+                    for i in s..e {
+                        mix(i - offset, v);
+                    }
+                }
+            }
+        }
+    }
+
+    /// The per-row hash lane `hash_range_into` would mix for row `i` —
+    /// one value, no accumulator. Used by the RLE arm to hash each run
+    /// value once.
+    fn hash_lane_at(&self, i: usize) -> u64 {
+        if self.is_null_at(i) {
+            return u64::MAX;
+        }
+        match self {
+            Column::Int64(v, _) | Column::Datetime(v, _) => v[i] as u64,
+            Column::Float64(v, _) => v[i].to_bits(),
+            Column::Bool(v, _) => v.get(i) as u64,
+            Column::Utf8(v, _) => fnv1a(v.bytes_at(i)),
+            Column::Categorical(c, _) | Column::Dict(c, _) => {
+                fnv1a(c.dict.bytes_at(c.codes[i] as usize))
+            }
+            Column::Rle(r) => r.values.hash_lane_at(r.run_of(i)),
         }
     }
 }
@@ -1841,7 +2432,14 @@ impl HeapSize for Column {
                 Column::Float64(v, _) => v.capacity() * 8,
                 Column::Bool(v, _) => v.heap_size(),
                 Column::Utf8(v, _) => v.heap_size(),
-                Column::Categorical(c, _) => c.codes.capacity() * 4 + c.dict.heap_size(),
+                // The dictionary is shared: slices / partitions holding
+                // the same `Arc` must not each charge its full bytes
+                // against a memory budget, so split it across holders.
+                Column::Categorical(c, _) | Column::Dict(c, _) => {
+                    let holders = std::sync::Arc::strong_count(&c.dict).max(1);
+                    c.codes.capacity() * 4 + c.dict.heap_size() / holders
+                }
+                Column::Rle(r) => r.values.heap_size() + r.ends.capacity() * 4,
             }
     }
 }

@@ -513,7 +513,7 @@ pub fn read_csv_par(
     let series = keep
         .iter()
         .zip(acc)
-        .map(|(&i, b)| Series::new(header[i].clone(), b.finish()))
+        .map(|(&i, b)| Series::new(header[i].clone(), finish_encoded(b)))
         .collect();
     DataFrame::new(series)
 }
@@ -765,10 +765,19 @@ impl CsvChunkReader {
             .keep
             .iter()
             .zip(builders)
-            .map(|(&i, b)| Series::new(self.header[i].clone(), b.finish()))
+            .map(|(&i, b)| Series::new(self.header[i].clone(), finish_encoded(b)))
             .collect();
         Ok(Some(DataFrame::new(series)?))
     }
+}
+
+/// Finish a builder, dictionary-encoding low-cardinality string columns
+/// at ingest (the decision layer in [`crate::encoding`] gates on row
+/// count, cardinality, and actual byte shrink; `LAFP_NO_ENCODE=1`
+/// disables it).
+fn finish_encoded(b: ColumnBuilder) -> crate::Column {
+    let col = b.finish();
+    crate::encoding::dict_encode_auto(&col).unwrap_or(col)
 }
 
 /// Parse one raw field into `builder` as `dtype` (empty string = null).

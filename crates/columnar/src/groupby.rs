@@ -97,7 +97,10 @@ impl<'a> ColView<'a> {
             Column::Bool(d, v) => ColView::Bool(d, v.as_ref()),
             Column::Datetime(d, v) => ColView::Dt(d, v.as_ref()),
             Column::Utf8(d, v) => ColView::Str(d, v.as_ref()),
-            Column::Categorical(c, v) => ColView::Cat(c, v.as_ref()),
+            Column::Categorical(c, v) | Column::Dict(c, v) => ColView::Cat(c, v.as_ref()),
+            // `update_inner` expands run-length values before building a
+            // view; a borrowed view cannot own the expansion.
+            Column::Rle(_) => unreachable!("RLE values are decoded before view construction"),
         }
     }
 
@@ -720,7 +723,9 @@ impl KeyCol {
                 } else {
                     match col {
                         Column::Utf8(d, _) => d.get(i),
-                        Column::Categorical(c, _) => c.dict.get(c.codes[i] as usize),
+                        Column::Categorical(c, _) | Column::Dict(c, _) => {
+                            c.dict.get(c.codes[i] as usize)
+                        }
                         _ => return false,
                     }
                 };
@@ -767,7 +772,9 @@ impl KeyCol {
                 } else {
                     match col {
                         Column::Utf8(d, _) => d.get(i),
-                        Column::Categorical(c, _) => c.dict.get(c.codes[i] as usize),
+                        Column::Categorical(c, _) | Column::Dict(c, _) => {
+                            c.dict.get(c.codes[i] as usize)
+                        }
                         _ => "",
                     }
                 };
@@ -1019,7 +1026,7 @@ fn mix_key_hashes(store: &KeyCol, col: &Column, offset: usize, hashes: &mut [u64
                         mix(j, v);
                     }
                 }
-                Column::Categorical(c, _) => {
+                Column::Categorical(c, _) | Column::Dict(c, _) => {
                     let dict_hashes: Vec<u64> =
                         (0..c.dict.len()).map(|d| fnv1a(c.dict.bytes_at(d))).collect();
                     for (j, &code) in c.codes[offset..offset + len].iter().enumerate() {
@@ -1156,6 +1163,14 @@ impl GroupByAccumulator {
     ) -> Result<()> {
         debug_assert_eq!(key_cols.len(), self.spec.keys.len());
         debug_assert!(sel.is_none_or(|s| s.len() == len));
+        // Run-length columns fall back to plain rows here (dictionary
+        // columns flow through the Cat arms natively).
+        let key_storage: Vec<std::borrow::Cow<'_, Column>> =
+            key_cols.iter().map(|c| c.rle_decoded()).collect();
+        let key_cols_vec: Vec<&Column> = key_storage.iter().map(|c| c.as_ref()).collect();
+        let key_cols: &[&Column] = &key_cols_vec;
+        let value_storage = value_col.rle_decoded();
+        let value_col: &Column = value_storage.as_ref();
         if value_col.dtype() != DType::Int64 && value_col.dtype() != DType::Bool {
             self.value_is_int = false;
         }
@@ -1382,12 +1397,177 @@ impl GroupByAccumulator {
     }
 }
 
+// ---------------------------------------------------------------------------
+// Dense code-keyed fast path
+// ---------------------------------------------------------------------------
+
+/// Largest dictionary the dense path will allocate per-code slots for.
+const DENSE_MAX_DICT: usize = 65_536;
+
+/// The key column's dictionary view when the dense code-keyed fast path
+/// applies: a single dictionary-backed key with no nulls, a small
+/// dictionary, and unique entries. Uniqueness holds for every in-tree
+/// construction path but is verified here (one cheap pass over the
+/// dictionary, not the rows) because `Categorical`'s fields are public.
+fn dense_key(col: &Column) -> Option<&crate::column::Categorical> {
+    let c = match col {
+        Column::Categorical(c, None) | Column::Dict(c, None) => c,
+        _ => return None,
+    };
+    if c.dict.len() > DENSE_MAX_DICT {
+        return None;
+    }
+    let mut seen = HashSet::with_capacity(c.dict.len());
+    for e in 0..c.dict.len() {
+        if !seen.insert(c.dict.bytes_at(e)) {
+            return None;
+        }
+    }
+    Some(c)
+}
+
+/// Per-code aggregate slots: group identity is the u32 dictionary code, so
+/// the per-row step is an array index — no hashing, no key comparison, no
+/// key-byte copies. Reuses [`AggState`] so every aggregate's arithmetic
+/// (and therefore its output) is identical to the hash path's.
+struct DenseGroups {
+    seen: Vec<bool>,
+    states: Vec<AggState>,
+}
+
+impl DenseGroups {
+    fn new(dict_len: usize, value_is_int: bool) -> DenseGroups {
+        DenseGroups {
+            seen: vec![false; dict_len],
+            states: vec![AggState::new(value_is_int); dict_len],
+        }
+    }
+
+    /// Fold rows `offset .. offset + len` into the per-code slots. Like
+    /// the hash path, a row claims its group even when its value is null.
+    fn update_range(
+        &mut self,
+        key: &crate::column::Categorical,
+        view: &ColView<'_>,
+        offset: usize,
+        len: usize,
+        agg: AggKind,
+    ) {
+        for (j, &code) in key.codes[offset..offset + len].iter().enumerate() {
+            let g = code as usize;
+            self.seen[g] = true;
+            let i = offset + j;
+            if !view.is_null(i) {
+                self.states[g].update_at(view, i, agg);
+            }
+        }
+    }
+
+    /// Merge a sibling's slots (parallel partials; code spaces coincide
+    /// because both sides index one shared dictionary).
+    fn merge(&mut self, other: &DenseGroups) {
+        for (g, ot) in other.states.iter().enumerate() {
+            if !other.seen[g] {
+                continue;
+            }
+            if self.seen[g] {
+                self.states[g].merge(ot);
+            } else {
+                self.seen[g] = true;
+                self.states[g] = ot.clone();
+            }
+        }
+    }
+}
+
+/// Render dense slots into the result frame through the hash path's own
+/// `finish` (same key-sort, same builders, same output dtypes).
+fn finish_dense(
+    spec: GroupBySpec,
+    key: &crate::column::Categorical,
+    dense: DenseGroups,
+    value_is_int: bool,
+) -> Result<DataFrame> {
+    let mut data: Vec<Box<str>> = Vec::new();
+    let mut states: Vec<AggState> = Vec::new();
+    for (code, st) in dense.states.iter().enumerate() {
+        if dense.seen[code] {
+            data.push(Box::from(key.dict.get(code)));
+            states.push(st.clone());
+        }
+    }
+    let nulls = vec![false; data.len()];
+    let acc = GroupByAccumulator {
+        spec,
+        table: HashTable::default(),
+        key_cols: vec![KeyCol::Str { data, nulls }],
+        states,
+        value_is_int,
+        hash_scratch: Vec::new(),
+    };
+    acc.finish()
+}
+
+/// Run the dense code-keyed group-by when the gate admits
+/// `frame`/`spec`; `Ok(None)` routes the caller to the hash path.
+fn try_dense_group_by(
+    frame: &DataFrame,
+    spec: &GroupBySpec,
+    pool: Option<&crate::pool::WorkerPool>,
+) -> Result<Option<DataFrame>> {
+    if !crate::encoding::enabled() || spec.keys.len() != 1 {
+        return Ok(None);
+    }
+    let key_col = frame.column(&spec.keys[0])?.column();
+    let Some(key) = dense_key(key_col) else {
+        return Ok(None);
+    };
+    let value_col = frame.column(&spec.value)?.column();
+    if matches!(value_col, Column::Rle(_)) {
+        return Ok(None);
+    }
+    let value_is_int =
+        value_col.dtype() == DType::Int64 || value_col.dtype() == DType::Bool;
+    let rows = frame.num_rows();
+    let dense = match pool {
+        Some(pool) if pool.is_parallel() && rows >= crate::pool::PAR_MIN_ROWS => {
+            let morsels = crate::pool::kernel_morsels(rows, pool.threads());
+            let partials: Vec<Result<DenseGroups>> =
+                pool.run_workers(morsels.len(), |queue| {
+                    let mut dense = DenseGroups::new(key.dict.len(), value_is_int);
+                    let view = ColView::new(value_col);
+                    while let Some(t) = queue.claim() {
+                        let (start, len) = morsels[t];
+                        dense.update_range(key, &view, start, len, spec.agg);
+                    }
+                    Ok(dense)
+                })?;
+            let mut it = partials.into_iter();
+            let mut merged = it.next().expect("at least one worker")?;
+            for partial in it {
+                merged.merge(&partial?);
+            }
+            merged
+        }
+        _ => {
+            let mut dense = DenseGroups::new(key.dict.len(), value_is_int);
+            let view = ColView::new(value_col);
+            dense.update_range(key, &view, 0, rows, spec.agg);
+            dense
+        }
+    };
+    finish_dense(spec.clone(), key, dense, value_is_int).map(Some)
+}
+
 /// One-shot group-by over a whole frame.
 pub fn group_by(frame: &DataFrame, spec: &GroupBySpec) -> Result<DataFrame> {
     if spec.keys.is_empty() {
         return Err(ColumnarError::InvalidArgument(
             "groupby requires at least one key".into(),
         ));
+    }
+    if let Some(out) = try_dense_group_by(frame, spec, None)? {
+        return Ok(out);
     }
     let mut acc = GroupByAccumulator::new(spec.clone());
     acc.update(frame)?;
@@ -1417,6 +1597,9 @@ pub fn group_by_par(
         return Err(ColumnarError::InvalidArgument(
             "groupby requires at least one key".into(),
         ));
+    }
+    if let Some(out) = try_dense_group_by(frame, spec, Some(pool))? {
+        return Ok(out);
     }
     let morsels = crate::pool::kernel_morsels(rows, pool.threads());
     let partials: Vec<Result<GroupByAccumulator>> = pool.run_workers(morsels.len(), |queue| {

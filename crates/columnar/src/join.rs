@@ -103,17 +103,20 @@ fn merge_impl<I: IndexLike + Send + Sync>(
     how: JoinKind,
     pool: &WorkerPool,
 ) -> Result<DataFrame> {
-    let left_keys: Vec<&Column> = on
+    // Run-length keys fall back to plain rows; dictionary keys flow
+    // through the Cat views natively (and, single-key, probe on codes).
+    let left_keys: Vec<std::borrow::Cow<'_, Column>> = on
         .iter()
-        .map(|k| left.column(k).map(Series::column))
+        .map(|k| left.column(k).map(|s| s.column().rle_decoded()))
         .collect::<Result<Vec<_>>>()?;
-    let right_keys: Vec<&Column> = on
+    let right_keys: Vec<std::borrow::Cow<'_, Column>> = on
         .iter()
-        .map(|k| right.column(k).map(Series::column))
+        .map(|k| right.column(k).map(|s| s.column().rle_decoded()))
         .collect::<Result<Vec<_>>>()?;
 
-    let left_views: Vec<KeyView<'_>> = left_keys.iter().map(|c| KeyView::new(c)).collect();
-    let right_views: Vec<KeyView<'_>> = right_keys.iter().map(|c| KeyView::new(c)).collect();
+    let left_views: Vec<KeyView<'_>> = left_keys.iter().map(|c| KeyView::new(c.as_ref())).collect();
+    let right_views: Vec<KeyView<'_>> =
+        right_keys.iter().map(|c| KeyView::new(c.as_ref())).collect();
     // The typed build table stores row ids as u32, so it additionally
     // requires both sides to fit u32 (they always do when merge picked
     // I = u32; the I = usize instantiation exists for the >4-billion-row
@@ -228,7 +231,10 @@ impl<'a> KeyView<'a> {
             Column::Float64(d, v) => KeyView::Float(d, v.as_ref()),
             Column::Bool(d, v) => KeyView::Bool(d, v.as_ref()),
             Column::Utf8(d, v) => KeyView::Utf8(d, v.as_ref()),
-            Column::Categorical(c, v) => KeyView::Cat(c, v.as_ref()),
+            Column::Categorical(c, v) | Column::Dict(c, v) => KeyView::Cat(c, v.as_ref()),
+            // `merge_impl` expands run-length keys before building views;
+            // a borrowed view cannot own the expansion.
+            Column::Rle(_) => unreachable!("RLE keys are decoded before view construction"),
         }
     }
 
@@ -526,6 +532,23 @@ fn join_indices_typed<I: IndexLike + Send + Sync>(
         how,
     };
     let mix1 = |v: u64| v.wrapping_mul(HASH_PRIME);
+    // Dictionary keys on both sides: probe on u32 codes. Each left
+    // dictionary entry is hashed once and remapped to its build-side
+    // code once (the identity when the sides share one `Arc`), so the
+    // per-row probe compares two u32s instead of arena bytes.
+    if let ([KeyView::Cat(lc, None)], [KeyView::Cat(rc, None)]) = (left_views, right_views) {
+        if let Some(remap) = dict_probe_remap(lc, rc) {
+            let lhash: Vec<u64> = (0..lc.dict.len())
+                .map(|e| mix1(fnv1a(lc.dict.bytes_at(e))))
+                .collect();
+            return build.probe(
+                pool,
+                left_rows,
+                |i| lhash[lc.codes[i] as usize],
+                |i, r| remap[lc.codes[i] as usize] == rc.codes[r],
+            );
+        }
+    }
     match (left_views, right_views) {
         ([KeyView::Int(ld, None)], [KeyView::Int(rd, None)])
         | ([KeyView::Dt(ld, None)], [KeyView::Dt(rd, None)]) => build.probe(
@@ -563,6 +586,30 @@ fn join_indices_typed<I: IndexLike + Send + Sync>(
             )
         }
     }
+}
+
+/// The probe-side (left) code → build-side (right) code remap for the
+/// dictionary join fast path, or `None` when the gate fails. Codes stand
+/// in for string equality only when the build dictionary has no duplicate
+/// entries (build groups key on *bytes*, so a duplicated entry's group
+/// representative could carry either code); unmatched probe entries map
+/// to `u32::MAX`, which no real build code equals. Shared-`Arc` sides
+/// skip the byte lookups entirely.
+fn dict_probe_remap(lc: &Categorical, rc: &Categorical) -> Option<Vec<u32>> {
+    if std::sync::Arc::ptr_eq(&lc.dict, &rc.dict) {
+        return Some((0..lc.dict.len() as u32).collect());
+    }
+    let mut index: HashMap<&[u8], u32> = HashMap::with_capacity(rc.dict.len());
+    for e in 0..rc.dict.len() {
+        if index.insert(rc.dict.bytes_at(e), e as u32).is_some() {
+            return None;
+        }
+    }
+    Some(
+        (0..lc.dict.len())
+            .map(|e| index.get(lc.dict.bytes_at(e)).copied().unwrap_or(u32::MAX))
+            .collect(),
+    )
 }
 
 /// The built (right) side of a typed join, ready to probe: a flat
@@ -797,8 +844,10 @@ fn gather_optional<I: IndexLike>(col: &Column, indices: &[I]) -> Column {
             Column::Utf8(out.finish(), Some(validity.finish()))
         }
         // Categorical re-encodes its dictionary in gather order, exactly
-        // like the builder did (cold path).
-        Column::Categorical(..) => {
+        // like the builder did (cold path). Encoded columns take the same
+        // builder fallback: `dtype()` routes Dict to a plain Utf8 output
+        // and Rle to its value dtype.
+        Column::Categorical(..) | Column::Dict(..) | Column::Rle(_) => {
             let mut b = ColumnBuilder::new(col.dtype());
             for &ix in indices {
                 if ix.is_sentinel() {

@@ -40,6 +40,7 @@ pub mod column;
 pub mod csv;
 pub mod describe;
 pub mod dtype;
+pub mod encoding;
 pub mod error;
 pub mod faults;
 pub mod frame;

@@ -94,7 +94,10 @@ impl<'a> SortKey<'a> {
             Column::Float64(d, v) => (KeyData::F64(d), v.as_ref()),
             Column::Bool(d, v) => (KeyData::Bool(d), v.as_ref()),
             Column::Utf8(d, v) => (KeyData::Str(d), v.as_ref()),
-            Column::Categorical(c, v) => (KeyData::Cat(c), v.as_ref()),
+            Column::Categorical(c, v) | Column::Dict(c, v) => (KeyData::Cat(c), v.as_ref()),
+            // Sort entry points expand run-length keys before building
+            // views; a borrowed view cannot own the expansion.
+            Column::Rle(_) => unreachable!("RLE keys are decoded before view construction"),
         };
         SortKey {
             view,
@@ -667,11 +670,30 @@ fn argsort_single(key: &SortKey<'_>, n: usize) -> Vec<usize> {
             }
         }
         KeyData::Cat(c) => {
-            let at = |i: usize| -> &[u8] { c.dict.bytes_at(c.codes[i] as usize) };
+            // Order codes through a per-entry rank table: one (small)
+            // dictionary sort, then each row compares by u32 rank instead
+            // of byte-comparing arena strings at every sort step.
+            // Byte-equal entries share a rank, so ties keep row order
+            // exactly as the direct byte comparison did.
+            let mut entry_order: Vec<u32> = (0..c.dict.len() as u32).collect();
+            entry_order.sort_by(|&a, &b| {
+                c.dict.bytes_at(a as usize).cmp(c.dict.bytes_at(b as usize))
+            });
+            let mut rank = vec![0u32; c.dict.len()];
+            let mut r = 0u32;
+            for (k, &e) in entry_order.iter().enumerate() {
+                if k > 0
+                    && c.dict.bytes_at(e as usize)
+                        != c.dict.bytes_at(entry_order[k - 1] as usize)
+                {
+                    r += 1;
+                }
+                rank[e as usize] = r;
+            }
             if key.ascending {
-                valid.sort_by(|&a, &b| at(a).cmp(at(b)));
+                valid.sort_by_key(|&i| rank[c.codes[i] as usize]);
             } else {
-                valid.sort_by(|&a, &b| at(b).cmp(at(a)));
+                valid.sort_by_key(|&i| std::cmp::Reverse(rank[c.codes[i] as usize]));
             }
         }
     }
@@ -693,10 +715,37 @@ fn sort_keys<'a>(frame: &'a DataFrame, options: &SortOptions) -> Result<Vec<Sort
         .collect()
 }
 
+/// Run-length key columns expanded to plain rows (dictionary keys pass
+/// through; the sort machinery orders their codes natively). The
+/// returned storage outlives the borrowed [`SortKey`] views built on it.
+fn plain_key_storage<'a>(
+    frame: &'a DataFrame,
+    options: &SortOptions,
+) -> Result<Vec<std::borrow::Cow<'a, Column>>> {
+    options
+        .by
+        .iter()
+        .map(|name| frame.column(name).map(|s| s.column().rle_decoded()))
+        .collect()
+}
+
+/// Build the per-key views over pre-resolved key storage.
+fn keys_from_storage<'a>(
+    storage: &'a [std::borrow::Cow<'a, Column>],
+    options: &SortOptions,
+) -> Vec<SortKey<'a>> {
+    storage
+        .iter()
+        .enumerate()
+        .map(|(k, c)| SortKey::new(c.as_ref(), options.dir(k)))
+        .collect()
+}
+
 /// Stable multi-key sort; nulls sort last regardless of direction
 /// (pandas `na_position='last'` default).
 pub fn sort_values(frame: &DataFrame, options: &SortOptions) -> Result<DataFrame> {
-    let keys = sort_keys(frame, options)?;
+    let storage = plain_key_storage(frame, options)?;
+    let keys = keys_from_storage(&storage, options);
     let order = argsort(&keys, frame.num_rows());
     frame.take(&order)
 }
@@ -715,9 +764,11 @@ pub fn sort_values_par(
     if !pool.is_parallel() || rows < PAR_MIN_ROWS || options.by.is_empty() {
         return sort_values(frame, options);
     }
-    let keys = sort_keys(frame, options)?;
+    let storage = plain_key_storage(frame, options)?;
+    let keys = keys_from_storage(&storage, options);
     let order = argsort_par(&keys, rows, pool);
     drop(keys);
+    drop(storage);
     // Gather the sorted frame column-parallel; the permutation indexes
     // are in bounds by construction.
     let series: Vec<&Series> = frame.series().iter().collect();
@@ -738,7 +789,8 @@ fn top_n(frame: &DataFrame, n: usize, column: &str, ascending: bool) -> Result<D
     if n >= rows {
         return sort_values(frame, &options);
     }
-    let keys = sort_keys(frame, &options)?;
+    let storage = plain_key_storage(frame, &options)?;
+    let keys = keys_from_storage(&storage, &options);
     let key = &keys[0];
     if n == 0 {
         return frame.take(&[]);

@@ -591,6 +591,8 @@ fn dtype_tag(col: &Column) -> u8 {
         Column::Utf8(..) => 3,
         Column::Datetime(..) => 4,
         Column::Categorical(..) => 5,
+        Column::Dict(..) => 6,
+        Column::Rle(..) => 7,
     }
 }
 
@@ -610,12 +612,24 @@ fn write_column(w: &mut impl Write, col: &Column, nrows: usize) -> Result<()> {
         }
         Column::Bool(d, _) => write_bitmap(w, d)?,
         Column::Utf8(d, _) => write_utf8(w, d)?,
-        Column::Categorical(c, _) => {
+        // Dict shares the Categorical payload shape (codes + dict once)
+        // under its own tag, so encoded columns spill their compressed
+        // form — the dictionary is written once, not a string per row.
+        Column::Categorical(c, _) | Column::Dict(c, _) => {
             for &code in &c.codes {
                 write_u32(w, code)?;
             }
             write_u64(w, c.dict.len() as u64)?;
             write_utf8(w, &c.dict)?;
+        }
+        // Runs spill as-is: the run-value column (recursively, with one
+        // row per run) followed by the u32 run ends.
+        Column::Rle(r) => {
+            write_u64(w, r.num_runs() as u64)?;
+            write_column(w, &r.values, r.num_runs())?;
+            for &end in &r.ends {
+                write_u32(w, end)?;
+            }
         }
     }
     debug_assert_eq!(col.len(), nrows);
@@ -660,7 +674,7 @@ fn read_column(r: &mut impl Read, nrows: usize, path: &Path) -> Result<Column> {
         2 => Column::Bool(read_bitmap(r, nrows)?, validity),
         3 => Column::Utf8(read_utf8(r, nrows, path)?, validity),
         4 => Column::Datetime(read_i64_vec(r, nrows)?, validity),
-        5 => {
+        5 | 6 => {
             let mut codes = Vec::with_capacity(nrows);
             for _ in 0..nrows {
                 codes.push(read_u32(r)?);
@@ -670,13 +684,42 @@ fn read_column(r: &mut impl Read, nrows: usize, path: &Path) -> Result<Column> {
             if codes.iter().any(|&c| c as usize >= dict_rows.max(1)) {
                 return Err(corrupt(path, "categorical code out of range"));
             }
-            Column::Categorical(
-                Categorical {
-                    codes,
-                    dict: Arc::new(dict),
-                },
-                validity,
-            )
+            let payload = Categorical {
+                codes,
+                dict: Arc::new(dict),
+            };
+            if dtype == 5 {
+                Column::Categorical(payload, validity)
+            } else {
+                Column::Dict(payload, validity)
+            }
+        }
+        7 => {
+            if validity.is_some() {
+                return Err(corrupt(path, "run-length column with row validity"));
+            }
+            let nruns = read_u64(r)? as usize;
+            if nruns > nrows {
+                return Err(corrupt(path, "more runs than rows"));
+            }
+            let values = read_column(r, nruns, path)?;
+            let mut ends = Vec::with_capacity(nruns);
+            let mut prev = 0u32;
+            for _ in 0..nruns {
+                let end = read_u32(r)?;
+                if end <= prev {
+                    return Err(corrupt(path, "run ends not increasing"));
+                }
+                prev = end;
+                ends.push(end);
+            }
+            if ends.last().copied().unwrap_or(0) as usize != nrows {
+                return Err(corrupt(path, "run ends disagree with row count"));
+            }
+            Column::Rle(crate::column::RleCol {
+                values: Box::new(values),
+                ends,
+            })
         }
         _ => return Err(corrupt(path, "unknown dtype tag")),
     };

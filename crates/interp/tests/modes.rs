@@ -228,12 +228,14 @@ fn column_selection_reduces_lafp_memory() {
     .unwrap();
     let baseline_peak = run(&no_opt.ast);
     // Margin note: arena-backed Utf8 storage charges strings at their
-    // actual bytes (no per-row Arc/Vec-slot overhead), so the dropped
-    // string columns cost less than they used to and the relative win
-    // is smaller than under the Arc<str> representation — but pruning
-    // unused columns must still cut peak memory by a solid quarter.
+    // actual bytes (no per-row Arc/Vec-slot overhead), and ingest-side
+    // dictionary encoding now shrinks the low-cardinality vendor column
+    // in the *unoptimized* read too — each representation win makes the
+    // baseline cheaper and the relative pruning win smaller (29% under
+    // plain arenas, ~21% with encoded ingest). Pruning unused columns
+    // must still cut peak memory by a solid sixth.
     assert!(
-        (optimized_peak as f64) < 0.75 * baseline_peak as f64,
+        (optimized_peak as f64) < 0.84 * baseline_peak as f64,
         "column selection should cut peak memory: {optimized_peak} vs {baseline_peak}"
     );
 }

@@ -18,12 +18,14 @@
 
 #![warn(missing_docs)]
 
+pub mod encoding;
 pub mod faults;
 pub mod fusion;
 pub mod scan;
 pub mod spill;
 pub mod store;
 
+pub use encoding::{EncodingSnapshot, EncodingStats};
 pub use faults::{FaultPlan, FaultSite, FaultSnapshot};
 pub use fusion::{FusionSnapshot, FusionStats};
 pub use scan::compute_metadata;
