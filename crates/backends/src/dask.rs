@@ -542,7 +542,7 @@ enum NodeState {
     /// Streaming row count.
     Len { rows: usize },
     /// First-n rows pass-through.
-    Head { remaining: usize },
+    Head { remaining: usize, emitted: bool },
     /// Blocking sort buffer.
     Sort { buffer: PartitionBuffer },
     /// Streaming dedup with global seen-set.
@@ -1147,7 +1147,10 @@ impl BatchRun {
                         acc: ReduceState::new(*agg),
                     },
                     DaskOp::Len => NodeState::Len { rows: 0 },
-                    DaskOp::Head(n) => NodeState::Head { remaining: *n },
+                    DaskOp::Head(n) => NodeState::Head {
+                        remaining: *n,
+                        emitted: false,
+                    },
                     DaskOp::Sort(_) => NodeState::Sort {
                         buffer: PartitionBuffer::new(tracker, &engine.spill_dir, &cancel),
                     },
@@ -1334,6 +1337,12 @@ impl BatchRun {
                     (a, b) => a.or(b),
                 };
                 let mut reader = CsvChunkReader::open(&path, &options, engine.chunk_rows)?;
+                // A header-only file yields no chunks; remember the
+                // schema so the scan still emits one empty partition — a
+                // zero-part stream would otherwise materialize as a
+                // 0-column frame downstream.
+                let scan_empty = reader.empty_frame()?;
+                let mut scanned_any = false;
                 // When the scan's sole observer is a fused chain head and
                 // no row limit applies, run a THREE-stage pipeline: the
                 // parse thread overlaps a dedicated chain-transform
@@ -1391,6 +1400,7 @@ impl BatchRun {
                         |rx: &StageChannel<Result<(DataFrame, FusedMorsel)>>| -> Result<()> {
                             while let Some(item) = rx.recv() {
                                 let (chunk, morsel) = item?;
+                                scanned_any = true;
                                 let _t = engine.tracker.charge(chunk.heap_size())?;
                                 self.absorb_fused(engine, &landed_chain, &chunk, morsel)?;
                             }
@@ -1437,6 +1447,7 @@ impl BatchRun {
                                     _ => chunk,
                                 };
                                 emitted += chunk.num_rows();
+                                scanned_any = true;
                                 let _t = engine.tracker.charge(chunk.heap_size())?;
                                 self.emit(engine, id, &chunk)?;
                                 if limit.is_some_and(|l| emitted >= l) {
@@ -1456,12 +1467,16 @@ impl BatchRun {
                             _ => chunk,
                         };
                         emitted += chunk.num_rows();
+                        scanned_any = true;
                         let _t = engine.tracker.charge(chunk.heap_size())?;
                         self.emit(engine, id, &chunk)?;
                         if limit.is_some_and(|l| emitted >= l) {
                             break;
                         }
                     }
+                }
+                if !scanned_any {
+                    self.emit(engine, id, &scan_empty)?;
                 }
             }
             DaskOp::FromFrame(frame) => {
@@ -1586,12 +1601,15 @@ impl BatchRun {
                     *rows += part.num_rows();
                     Ok(())
                 }
-                (DaskOp::Head(_), NodeState::Head { remaining }) => {
-                    if *remaining == 0 {
+                (DaskOp::Head(_), NodeState::Head { remaining, emitted }) => {
+                    // Emit at least one (possibly empty) part so a
+                    // zero-row head still reports its schema.
+                    if *remaining == 0 && *emitted {
                         return Ok(());
                     }
                     let take = (*remaining).min(part.num_rows());
                     *remaining -= take;
+                    *emitted = true;
                     let out = part.head(take);
                     self.emit(engine, id, &out)
                 }
@@ -1605,7 +1623,9 @@ impl BatchRun {
                         .map(|(i, _)| i)
                         .collect();
                     state.grow(keep.len() * 8)?;
-                    if keep.is_empty() {
+                    // Pass empty parts through (schema preservation);
+                    // skip only when a non-empty part deduped to nothing.
+                    if keep.is_empty() && part.num_rows() > 0 {
                         return Ok(());
                     }
                     let out = part.take(&keep)?;
@@ -2292,6 +2312,53 @@ mod tests {
             },
             vec![],
         )
+    }
+
+    /// Zero-part streams must still report their schema (found by the
+    /// differential fuzzer): a header-only CSV scan, a `head(0)`, and a
+    /// drop-duplicates over an empty stream each materialize as a
+    /// 0-row frame with the right columns — never a 0-column frame.
+    #[test]
+    fn empty_streams_preserve_schema() {
+        // Header-only file: the chunk reader yields no chunks.
+        let dir = std::env::temp_dir().join("lafp-dask-tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join(format!(
+            "empty{}.csv",
+            std::time::SystemTime::now()
+                .duration_since(std::time::UNIX_EPOCH)
+                .unwrap()
+                .as_nanos()
+        ));
+        std::fs::write(&path, "fare,day\n").unwrap();
+        let mut e = DaskEngine::new(MemoryTracker::unlimited(), 16);
+        let s = scan(&mut e, &path);
+        let (f, _r) = e.gather(s).unwrap();
+        assert_eq!(f.column_names(), vec!["fare", "day"]);
+        assert_eq!(f.num_rows(), 0);
+
+        // head(0) over a non-empty scan: the head node emits nothing
+        // row-wise but must still forward the schema.
+        let data = temp_csv(50);
+        let mut e = DaskEngine::new(MemoryTracker::unlimited(), 16);
+        let s = scan(&mut e, &data);
+        let h = e.add(DaskOp::Head(0), vec![s]);
+        let (f, _r) = e.gather(h).unwrap();
+        assert_eq!(f.column_names(), vec!["fare", "day", "extra"]);
+        assert_eq!(f.num_rows(), 0);
+
+        // Operators downstream of an empty stream see the empty part.
+        let mut e = DaskEngine::new(MemoryTracker::unlimited(), 16);
+        let s = scan(&mut e, &data);
+        let h = e.add(DaskOp::Head(0), vec![s]);
+        let d = e.add(DaskOp::DropDuplicates(vec![]), vec![h]);
+        let g = e.add(
+            DaskOp::Sort(SortOptions::single("fare", true)),
+            vec![d],
+        );
+        let (f, _r) = e.gather(g).unwrap();
+        assert_eq!(f.column_names(), vec!["fare", "day", "extra"]);
+        assert_eq!(f.num_rows(), 0);
     }
 
     #[test]

@@ -13,6 +13,7 @@ use lafp_backends::dask::{DaskEngine, DaskNodeId, DaskOp, DaskValue};
 use lafp_backends::MemoryTracker;
 use lafp_columnar::column::ArithOp;
 use lafp_columnar::csv::CsvOptions;
+use lafp_columnar::encoding;
 use lafp_columnar::faults::{self, FaultPlan, FaultSite};
 use lafp_columnar::groupby::GroupBySpec;
 use lafp_columnar::sort::SortOptions;
@@ -328,4 +329,124 @@ fn meta_facade_reaches_the_same_registry() {
     let t = MemoryTracker::with_budget(1 << 20);
     let err = t.charge(16).unwrap_err();
     assert!(matches!(err, ColumnarError::OutOfMemory { .. }), "{err:?}");
+}
+
+/// A workload CSV with a low-cardinality `tag` column (five distinct
+/// values), sized past [`encoding::DICT_MIN_ROWS`] so large scan chunks
+/// dictionary-encode it at ingest.
+fn temp_tag_csv(rows: usize) -> PathBuf {
+    let dir = std::env::temp_dir().join("lafp-chaos");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join(format!(
+        "tags-{}.csv",
+        std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .unwrap()
+            .as_nanos()
+    ));
+    let mut text = String::from("fare,day,tag\n");
+    for i in 0..rows {
+        text.push_str(&format!("{}.5,{},tag-{}\n", i as f64 - 40.0, i % 7, i % 5));
+    }
+    std::fs::write(&path, text).unwrap();
+    path
+}
+
+/// Chaos over encoded execution: with scan chunks past the ingest
+/// threshold the `tag` column arrives dictionary-encoded, the group-by
+/// keys on it through the encoded fast path (decode-fallback counter
+/// stays zero), and under seeded faults the query still yields the
+/// baseline answer or a structured error. Finally, a *forced* spill
+/// failure under a squeezed budget must drain the tracker to zero.
+#[test]
+fn dict_encoded_column_under_chaos() {
+    let _l = lock();
+    let path = temp_tag_csv(2 * encoding::DICT_MIN_ROWS + 300);
+    let chunk = encoding::DICT_MIN_ROWS + 24; // chunks big enough to encode
+    let build = |e: &mut DaskEngine| {
+        let s = scan(e, &path);
+        e.add(
+            DaskOp::GroupByAgg(GroupBySpec {
+                keys: vec!["tag".into()],
+                value: "fare".into(),
+                agg: AggKind::Sum,
+            }),
+            vec![s],
+        )
+    };
+
+    // Fault-free baseline; counters are snapshotted before the
+    // fingerprint so only ingest + group-by are measured.
+    encoding::global().reset();
+    let tracker = MemoryTracker::unlimited();
+    let mut e = DaskEngine::with_threads(Arc::clone(&tracker), chunk, 4);
+    let root = build(&mut e);
+    let (v, _r) = e.compute(root).unwrap();
+    let snap = encoding::global().snapshot();
+    let baseline = fingerprint(&v);
+    drop((v, _r, e));
+    assert_eq!(tracker.current(), 0);
+    assert!(
+        snap.dict_columns > 0,
+        "ingest must dictionary-encode the low-cardinality tag column"
+    );
+    assert_eq!(
+        snap.decode_fallbacks, 0,
+        "group-by on the dict key must stay on the encoded fast path"
+    );
+
+    // The same query under seeded fault injection: baseline answer or
+    // structured error, tracker zeroed either way (run per query below).
+    for seed in [42u64, 1337, 7] {
+        let _g = faults::install(
+            FaultPlan::new(seed)
+                .with(FaultSite::SpillWrite, 0.05)
+                .with(FaultSite::SpillRead, 0.05)
+                .with(FaultSite::CsvRead, 0.01)
+                .with(FaultSite::MorselExecute, 0.005),
+        );
+        let tracker = MemoryTracker::unlimited();
+        let mut e = DaskEngine::with_threads(Arc::clone(&tracker), chunk, 4);
+        let root = build(&mut e);
+        // A structured error is an accepted outcome; success must match.
+        if let Ok((v, _r)) = e.compute(root) {
+            assert_eq!(
+                fingerprint(&v),
+                baseline,
+                "seed {seed}: survived faults but answered wrong"
+            );
+        }
+        drop(e);
+        assert_eq!(tracker.current(), 0, "seed {seed}: tracker must drain");
+    }
+
+    // Forced spill failure: a squeezed budget makes the blocking sort
+    // spill, every spill write faults, and the query must fail with a
+    // structured error while the tracker still drains to zero.
+    let mut probe = DaskEngine::new(MemoryTracker::unlimited(), chunk);
+    let s = scan(&mut probe, &path);
+    let (full, _r) = probe.gather(s).unwrap();
+    let squeezed = full.heap_size() / 2;
+    drop((full, _r, probe));
+    let tracker = MemoryTracker::with_budget(squeezed);
+    let mut e = DaskEngine::with_threads(Arc::clone(&tracker), 64, 4);
+    let s = scan(&mut e, &path);
+    let so = e.add(DaskOp::Sort(SortOptions::single("fare", false)), vec![s]);
+    let root = e.add(DaskOp::Head(64), vec![so]);
+    faults::stats().reset();
+    let err = {
+        let _g = faults::install(FaultPlan::new(5).with(FaultSite::SpillWrite, 1.0));
+        e.compute(root).unwrap_err()
+    };
+    drop(e);
+    assert!(
+        faults::stats().snapshot().total_injected() > 0,
+        "the forced spill fault never fired"
+    );
+    assert_eq!(
+        tracker.current(),
+        0,
+        "tracker must return to zero after an injected spill failure ({err})"
+    );
+    assert!(leaked_spill_dirs().is_empty(), "spill failure leaked dirs");
 }

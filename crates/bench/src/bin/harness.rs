@@ -20,6 +20,18 @@
 //! `--iters` to 3 (best-of), `--json` writes the machine-readable artifact
 //! (a human-readable table always goes to stdout). The artifact's PR label
 //! comes from `--pr N`, or is parsed from a `BENCH_PR<N>.json` file name.
+//!
+//! Differential fuzzing against the frozen oracle:
+//!
+//! ```text
+//! cargo run -p lafp-bench --release --bin harness -- fuzz \
+//!     --cases 500 --seed 42 [--config dask] [--replay <hex>]
+//! ```
+//!
+//! Divergences are shrunk to a minimal trace and printed as a
+//! `LAFP_FUZZ_REPLAY=<hex>` one-liner; setting that variable (or
+//! passing `--replay <hex>`) re-executes the trace across the config
+//! matrix instead of fuzzing.
 
 use lafp_bench::datagen::Size;
 use lafp_bench::{experiments, kernel_bench};
@@ -169,10 +181,96 @@ fn run_kernel_bench(args: &[String]) {
     }
 }
 
+/// Run the differential fuzzer (the `fuzz` artifact): seeded batches
+/// against the frozen oracle across the execution-config matrix, with
+/// automatic shrinking and hex replay.
+fn run_fuzz(args: &[String]) {
+    use lafp_oracle::fuzz;
+
+    let mut cases = 500u64;
+    let mut seed = 42u64;
+    let mut config: Option<String> = None;
+    let mut replay: Option<String> = std::env::var(fuzz::REPLAY_ENV).ok();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--cases" => {
+                cases = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--cases needs a number");
+            }
+            "--seed" => {
+                seed = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--seed needs a number");
+            }
+            "--config" => {
+                config = Some(it.next().expect("--config needs a name").clone());
+            }
+            "--replay" => {
+                replay = Some(it.next().expect("--replay needs a hex trace").clone());
+            }
+            other => panic!(
+                "unknown fuzz flag {other:?} (use --cases, --seed, --config, --replay)"
+            ),
+        }
+    }
+    let configs = match &config {
+        Some(name) => vec![fuzz::config_by_name(name).unwrap_or_else(|| {
+            let names: Vec<&str> =
+                fuzz::default_configs().iter().map(|c| c.name).collect();
+            panic!("unknown config {name:?} (one of {names:?})")
+        })],
+        None => fuzz::default_configs(),
+    };
+
+    if let Some(hex) = replay {
+        eprintln!("replaying trace across {} config(s) ...", configs.len());
+        let divergences = fuzz::replay_hex(&hex, &configs, fuzz::Mutation::None)
+            .expect("replay trace must be a hex string");
+        if divergences.is_empty() {
+            println!("replay ok: trace matches the oracle under every config");
+            return;
+        }
+        for (name, message) in &divergences {
+            println!("[{name}] DIVERGENCE: {message}");
+        }
+        std::process::exit(1);
+    }
+
+    eprintln!(
+        "fuzz: {cases} cases, seed {seed}, {} config(s) rotating ...",
+        configs.len()
+    );
+    let report = fuzz::run_batch(seed, cases, &configs, fuzz::Mutation::None);
+    println!(
+        "fuzz: {} cases, {} accepted structured engine error(s), {} divergence(s)",
+        report.cases,
+        report.engine_errors,
+        report.failures.len()
+    );
+    for f in &report.failures {
+        println!();
+        println!("case {} [{}]: {}", f.case, f.config, f.message);
+        println!("  minimized to {} op(s); replay with:", f.shrunk_ops);
+        println!("  {}={}", fuzz::REPLAY_ENV, f.hex_shrunk);
+        println!("  (original trace: {})", f.hex_original);
+    }
+    if !report.failures.is_empty() {
+        std::process::exit(1);
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.first().is_some_and(|a| a == "bench") {
         run_kernel_bench(&args[1..]);
+        return;
+    }
+    if args.first().is_some_and(|a| a == "fuzz") {
+        run_fuzz(&args[1..]);
         return;
     }
     let wanted: Vec<&str> = if args.is_empty() || args.iter().any(|a| a == "all") {

@@ -4,14 +4,18 @@
 //! vectorization overhaul is only allowed to change the *cost* of a
 //! kernel, never its result.
 
-use lafp_columnar::column::{ArithOp, CmpOp, ColumnBuilder};
-use lafp_columnar::csv::{quote_field, read_csv, split_record, CsvOptions};
+use lafp_columnar::column::{ArithOp, CmpOp};
+use lafp_columnar::csv::{quote_field, read_csv, CsvOptions};
 use lafp_columnar::groupby::{group_by, GroupBySpec};
 use lafp_columnar::join::{merge, JoinKind};
 use lafp_columnar::sort::{nlargest, nsmallest, sort_values, SortOptions};
-use lafp_columnar::{AggKind, Bitmap, Column, DType, DataFrame, Scalar, Series};
+use lafp_columnar::{AggKind, Column, DType, DataFrame, Scalar, Series};
+use lafp_oracle::equiv;
+use lafp_oracle::reference::{
+    arith_ref, cast_ref, compare_ref, fillna_ref, group_by_ref, merge_ref,
+    read_csv_infer_ref as read_csv_ref, slice_ref, sort_values_ref,
+};
 use proptest::prelude::*;
-use std::collections::HashMap;
 
 // ---------------------------------------------------------------------------
 // Input builders (values + null mask, zipped to the shorter length)
@@ -32,425 +36,15 @@ fn col_str(vals: &[String], nulls: &[bool]) -> Column {
     Column::from_opt_strings((0..n).map(|i| (!nulls[i]).then(|| vals[i].clone())).collect())
 }
 
-/// Representation-agnostic equivalence: same length, dtype, and per-row
-/// scalars (nulls equal nulls; NaN is null).
+/// Representation-agnostic equivalence (see `lafp_oracle::equiv`):
+/// same length, dtype, and per-row scalars (nulls equal nulls; NaN is
+/// null). Thin 2-arg adapters over the shared 3-arg asserts.
 fn assert_col_equiv(actual: &Column, expected: &Column) {
-    assert_eq!(actual.len(), expected.len(), "length");
-    assert_eq!(actual.dtype(), expected.dtype(), "dtype");
-    for i in 0..actual.len() {
-        let (a, e) = (actual.get(i), expected.get(i));
-        match (a.is_null(), e.is_null()) {
-            (true, true) => {}
-            (false, false) => assert_eq!(a, e, "row {i}"),
-            _ => panic!("row {i}: null mismatch: {a:?} vs {e:?}"),
-        }
-    }
+    equiv::assert_col_equiv(actual, expected, "column");
 }
 
 fn assert_frame_equiv(actual: &DataFrame, expected: &DataFrame) {
-    assert_eq!(actual.num_columns(), expected.num_columns());
-    for (a, e) in actual.series().iter().zip(expected.series()) {
-        assert_eq!(a.name(), e.name());
-        assert_col_equiv(a.column(), e.column());
-    }
-}
-
-// ---------------------------------------------------------------------------
-// Naive Scalar-per-row references (the seed-era algorithms)
-// ---------------------------------------------------------------------------
-
-fn arith_ref(left: &Column, op: ArithOp, right: &Column) -> Column {
-    let len = left.len();
-    let both_int = left.dtype() == DType::Int64 && right.dtype() == DType::Int64;
-    if both_int && op != ArithOp::Div {
-        let mut out = Vec::new();
-        let mut validity = Bitmap::new(len, true);
-        let mut has_null = false;
-        for i in 0..len {
-            let (a, b) = (left.get(i), right.get(i));
-            match (a.as_i64(), b.as_i64()) {
-                (Some(x), Some(y)) if !(op == ArithOp::Mod && y == 0) => out.push(match op {
-                    ArithOp::Add => x.wrapping_add(y),
-                    ArithOp::Sub => x.wrapping_sub(y),
-                    ArithOp::Mul => x.wrapping_mul(y),
-                    ArithOp::Mod => x.rem_euclid(y),
-                    ArithOp::Div => unreachable!(),
-                }),
-                _ => {
-                    out.push(0);
-                    validity.set(i, false);
-                    has_null = true;
-                }
-            }
-        }
-        return Column::Int64(out, has_null.then_some(validity));
-    }
-    let mut out = Vec::new();
-    for i in 0..len {
-        let (a, b) = (left.get(i), right.get(i));
-        out.push(match (a.as_f64(), b.as_f64()) {
-            (Some(x), Some(y)) => match op {
-                ArithOp::Add => x + y,
-                ArithOp::Sub => x - y,
-                ArithOp::Mul => x * y,
-                ArithOp::Div => x / y,
-                ArithOp::Mod => x.rem_euclid(y),
-            },
-            _ => f64::NAN,
-        });
-    }
-    Column::Float64(out, None)
-}
-
-fn compare_ref(left: &Column, op: CmpOp, right: &Column) -> Bitmap {
-    Bitmap::from_iter((0..left.len()).map(|i| {
-        let (a, b) = (left.get(i), right.get(i));
-        if a.is_null() || b.is_null() {
-            op == CmpOp::Ne
-        } else {
-            let ord = a.cmp_values(&b);
-            match op {
-                CmpOp::Eq => ord.is_eq(),
-                CmpOp::Ne => !ord.is_eq(),
-                CmpOp::Lt => ord.is_lt(),
-                CmpOp::Le => !ord.is_gt(),
-                CmpOp::Gt => ord.is_gt(),
-                CmpOp::Ge => !ord.is_lt(),
-            }
-        }
-    }))
-}
-
-fn fillna_ref(col: &Column, fill: &Scalar) -> Column {
-    let mut b = ColumnBuilder::new(col.dtype());
-    for i in 0..col.len() {
-        if col.is_null_at(i) {
-            b.push_scalar(fill).unwrap();
-        } else {
-            b.push_scalar(&col.get(i)).unwrap();
-        }
-    }
-    b.finish()
-}
-
-fn cast_ref(col: &Column, target: DType) -> Option<Column> {
-    let mut b = ColumnBuilder::new(target);
-    for i in 0..col.len() {
-        match col.get(i) {
-            Scalar::Null => b.push_null(),
-            s => b.push_scalar(&s).ok()?,
-        }
-    }
-    Some(b.finish())
-}
-
-fn slice_ref(col: &Column, offset: usize, len: usize) -> Column {
-    let end = (offset + len).min(col.len());
-    let idx: Vec<usize> = (offset.min(col.len())..end).collect();
-    col.take(&idx).unwrap()
-}
-
-fn group_by_ref(frame: &DataFrame, spec: &GroupBySpec) -> DataFrame {
-    use std::collections::HashMap;
-    #[derive(Clone, Default)]
-    struct State {
-        sum: f64,
-        int_sum: i64,
-        count: u64,
-        min: Option<Scalar>,
-        max: Option<Scalar>,
-        distinct: std::collections::HashSet<String>,
-    }
-    let canon = |key: &[Scalar]| {
-        key.iter()
-            .map(|s| s.to_string())
-            .collect::<Vec<_>>()
-            .join("\u{1}")
-    };
-    let key_cols: Vec<&Series> = spec.keys.iter().map(|k| frame.column(k).unwrap()).collect();
-    let value_col = frame.column(&spec.value).unwrap();
-    let value_is_int =
-        matches!(value_col.column().dtype(), DType::Int64 | DType::Bool);
-    let mut groups: HashMap<String, State> = HashMap::new();
-    let mut key_order: Vec<Vec<Scalar>> = Vec::new();
-    for i in 0..frame.num_rows() {
-        let key: Vec<Scalar> = key_cols.iter().map(|s| s.get(i)).collect();
-        let state = match groups.entry(canon(&key)) {
-            std::collections::hash_map::Entry::Occupied(e) => e.into_mut(),
-            std::collections::hash_map::Entry::Vacant(e) => {
-                key_order.push(key);
-                e.insert(State::default())
-            }
-        };
-        let v = value_col.get(i);
-        if v.is_null() {
-            continue;
-        }
-        state.count += 1;
-        if let Some(x) = v.as_f64() {
-            state.sum += x;
-        }
-        if let Some(x) = v.as_i64() {
-            state.int_sum = state.int_sum.wrapping_add(x);
-        }
-        if state.min.as_ref().is_none_or(|m| v.cmp_values(m).is_lt()) {
-            state.min = Some(v.clone());
-        }
-        if state.max.as_ref().is_none_or(|m| v.cmp_values(m).is_gt()) {
-            state.max = Some(v.clone());
-        }
-        state.distinct.insert(v.to_string());
-    }
-    key_order.sort_by_cached_key(|k| canon(k));
-    let mut key_builders: Vec<ColumnBuilder> = (0..spec.keys.len())
-        .map(|k| {
-            ColumnBuilder::new(
-                key_order
-                    .iter()
-                    .find_map(|key| key[k].dtype())
-                    .unwrap_or(DType::Utf8),
-            )
-        })
-        .collect();
-    let mut values = Vec::new();
-    for key in &key_order {
-        for (k, b) in key_builders.iter_mut().enumerate() {
-            b.push_scalar(&key[k]).unwrap();
-        }
-        let s = &groups[&canon(key)];
-        values.push(match spec.agg {
-            AggKind::Sum if s.count == 0 => Scalar::Null,
-            AggKind::Sum if value_is_int => Scalar::Int(s.int_sum),
-            AggKind::Sum => Scalar::Float(s.sum),
-            AggKind::Mean if s.count == 0 => Scalar::Null,
-            AggKind::Mean => Scalar::Float(s.sum / s.count as f64),
-            AggKind::Count => Scalar::Int(s.count as i64),
-            AggKind::Min => s.min.clone().unwrap_or(Scalar::Null),
-            AggKind::Max => s.max.clone().unwrap_or(Scalar::Null),
-            AggKind::NUnique => Scalar::Int(s.distinct.len() as i64),
-        });
-    }
-    let out_dtype = values
-        .iter()
-        .find_map(Scalar::dtype)
-        .unwrap_or(DType::Float64);
-    let mut vb = ColumnBuilder::new(out_dtype);
-    for v in &values {
-        vb.push_scalar(v).unwrap();
-    }
-    let mut series = Vec::new();
-    for (k, b) in key_builders.into_iter().enumerate() {
-        series.push(Series::new(spec.keys[k].clone(), b.finish()));
-    }
-    series.push(Series::new(spec.value.clone(), vb.finish()));
-    DataFrame::new(series).unwrap()
-}
-
-/// The seed hash join: canonical key `String`s per row on both sides,
-/// `Scalar`-per-row gather of the right columns (the PR-2-era `merge`).
-fn merge_ref(
-    left: &DataFrame,
-    right: &DataFrame,
-    on: &[String],
-    how: JoinKind,
-) -> DataFrame {
-    let key_strings = |frame: &DataFrame| -> Vec<String> {
-        let cols: Vec<&Series> = on.iter().map(|k| frame.column(k).unwrap()).collect();
-        (0..frame.num_rows())
-            .map(|i| {
-                cols.iter()
-                    .map(|s| s.get(i).to_string())
-                    .collect::<Vec<_>>()
-                    .join("\u{1}")
-            })
-            .collect()
-    };
-    let right_keys = key_strings(right);
-    let mut build: HashMap<&str, Vec<usize>> = HashMap::new();
-    for (i, k) in right_keys.iter().enumerate() {
-        build.entry(k.as_str()).or_default().push(i);
-    }
-    let left_keys = key_strings(left);
-    let mut left_idx: Vec<usize> = Vec::new();
-    let mut right_idx: Vec<Option<usize>> = Vec::new();
-    for (i, k) in left_keys.iter().enumerate() {
-        match build.get(k.as_str()) {
-            Some(matches) => {
-                for &j in matches {
-                    left_idx.push(i);
-                    right_idx.push(Some(j));
-                }
-            }
-            None => {
-                if how == JoinKind::Left {
-                    left_idx.push(i);
-                    right_idx.push(None);
-                }
-            }
-        }
-    }
-    let gather_optional = |col: &Column| -> Column {
-        let mut b = ColumnBuilder::new(col.dtype());
-        for ix in &right_idx {
-            match ix {
-                Some(i) => b.push_scalar(&col.get(*i)).unwrap(),
-                None => b.push_null(),
-            }
-        }
-        b.finish()
-    };
-    let key_set: std::collections::HashSet<&str> = on.iter().map(String::as_str).collect();
-    let overlap: std::collections::HashSet<&str> = left
-        .column_names()
-        .into_iter()
-        .filter(|n| !key_set.contains(n) && right.has_column(n))
-        .collect();
-    let mut out: Vec<Series> = Vec::new();
-    for s in left.series() {
-        let name = if overlap.contains(s.name()) {
-            format!("{}_x", s.name())
-        } else {
-            s.name().to_string()
-        };
-        out.push(Series::new(name, s.column().take(&left_idx).unwrap()));
-    }
-    for s in right.series() {
-        if key_set.contains(s.name()) {
-            continue;
-        }
-        let name = if overlap.contains(s.name()) {
-            format!("{}_y", s.name())
-        } else {
-            s.name().to_string()
-        };
-        out.push(Series::new(name, gather_optional(s.column())));
-    }
-    DataFrame::new(out).unwrap()
-}
-
-/// The seed sort: `Vec<Scalar>` key columns and boxed `cmp_values` per
-/// comparison, nulls last regardless of direction.
-fn sort_values_ref(frame: &DataFrame, options: &SortOptions) -> DataFrame {
-    use std::cmp::Ordering;
-    let dir = |k: usize| -> bool {
-        options.ascending.get(k).copied().unwrap_or(
-            options.ascending.first().copied().unwrap_or(true),
-        )
-    };
-    let key_cols: Vec<Vec<Scalar>> = options
-        .by
-        .iter()
-        .map(|name| {
-            let s = frame.column(name).unwrap();
-            (0..frame.num_rows()).map(|i| s.get(i)).collect()
-        })
-        .collect();
-    let mut order: Vec<usize> = (0..frame.num_rows()).collect();
-    order.sort_by(|&a, &b| {
-        for (k, col) in key_cols.iter().enumerate() {
-            let (x, y) = (&col[a], &col[b]);
-            let ord = match (x.is_null(), y.is_null()) {
-                (true, true) => Ordering::Equal,
-                (true, false) => Ordering::Greater,
-                (false, true) => Ordering::Less,
-                (false, false) => {
-                    let o = x.cmp_values(y);
-                    if dir(k) {
-                        o
-                    } else {
-                        o.reverse()
-                    }
-                }
-            };
-            if ord != Ordering::Equal {
-                return ord;
-            }
-        }
-        Ordering::Equal
-    });
-    frame.take(&order).unwrap()
-}
-
-/// The seed CSV reader: one `Vec<String>` per record via `split_record`,
-/// one boxed `Scalar` per cell through `push_scalar`.
-fn read_csv_ref(path: &std::path::Path, options: &CsvOptions) -> DataFrame {
-    use std::io::BufRead;
-    let file = std::fs::File::open(path).unwrap();
-    let reader = std::io::BufReader::new(file);
-    let mut lines = reader.lines();
-    let header = split_record(&lines.next().unwrap().unwrap());
-    let keep: Vec<usize> = match &options.usecols {
-        Some(cols) => (0..header.len())
-            .filter(|&i| cols.iter().any(|c| *c == header[i]))
-            .collect(),
-        None => (0..header.len()).collect(),
-    };
-    let records: Vec<Vec<String>> = lines
-        .map(|l| l.unwrap())
-        .filter(|l| !l.trim_end_matches(['\n', '\r']).is_empty())
-        .map(|l| split_record(l.trim_end_matches(['\n', '\r'])))
-        .collect();
-    let infer = |col_idx: usize| -> DType {
-        let sample = records.iter().take(1000).map(|r| r[col_idx].as_str());
-        let mut any = false;
-        let (mut all_int, mut all_float, mut all_bool) = (true, true, true);
-        let mut all_dt = true;
-        for v in sample {
-            if v.is_empty() {
-                continue;
-            }
-            any = true;
-            let t = v.trim();
-            all_int &= t.parse::<i64>().is_ok();
-            all_float &= t.parse::<f64>().is_ok();
-            all_bool &= matches!(t, "True" | "true" | "False" | "false");
-            all_dt &= lafp_columnar::value::parse_datetime(t).is_some();
-        }
-        if !any {
-            DType::Utf8
-        } else if all_bool {
-            DType::Bool
-        } else if all_int {
-            DType::Int64
-        } else if all_float {
-            DType::Float64
-        } else if all_dt {
-            DType::Datetime
-        } else {
-            DType::Utf8
-        }
-    };
-    let mut series = Vec::new();
-    for &col_idx in &keep {
-        let name = &header[col_idx];
-        let dtype = if let Some(&dt) = options.dtypes.get(name) {
-            dt
-        } else if options.parse_dates.iter().any(|c| c == name) {
-            DType::Datetime
-        } else {
-            infer(col_idx)
-        };
-        let mut b = ColumnBuilder::new(dtype);
-        for r in &records {
-            let raw = &r[col_idx];
-            if raw.is_empty() {
-                b.push_null();
-                continue;
-            }
-            let scalar = match dtype {
-                DType::Int64 => Scalar::Int(raw.trim().parse().unwrap()),
-                DType::Float64 => Scalar::Float(raw.trim().parse().unwrap()),
-                DType::Bool => Scalar::Bool(matches!(raw.trim(), "True" | "true" | "1")),
-                DType::Datetime => {
-                    Scalar::Datetime(lafp_columnar::value::parse_datetime(raw).unwrap())
-                }
-                DType::Utf8 | DType::Categorical => Scalar::Str(raw.clone()),
-            };
-            b.push_scalar(&scalar).unwrap();
-        }
-        series.push(Series::new(name.clone(), b.finish()));
-    }
-    DataFrame::new(series).unwrap()
+    equiv::assert_frame_equiv(actual, expected, "frame");
 }
 
 // ---------------------------------------------------------------------------

@@ -18,8 +18,11 @@ use lafp_columnar::join::{merge, merge_par};
 use lafp_columnar::sort::{nlargest, sort_values, sort_values_par};
 use lafp_columnar::spill::{spill_frame, SpillDir};
 use lafp_columnar::{
-    AggKind, Column, DataFrame, GroupBySpec, JoinKind, Scalar, Series, SortOptions, WorkerPool,
+    AggKind, Bitmap, Column, DataFrame, GroupBySpec, JoinKind, Scalar, Series, SortOptions,
+    WorkerPool,
 };
+use lafp_oracle::equiv::{assert_col_equiv, assert_frame_equiv};
+use lafp_oracle::reference::force_rle;
 use proptest::prelude::*;
 
 // ---------------------------------------------------------------------------
@@ -50,62 +53,6 @@ fn rle_pair(runs: &[(Option<i64>, usize)]) -> (Column, Column) {
     let plain = Column::from_opt_i64(opt);
     let enc = force_rle(&plain);
     (plain, enc)
-}
-
-/// Hand-rolled run-length encode without `rle_encode`'s shrink gate, so
-/// tests can cover inputs the ingest heuristic would refuse (alternating
-/// values, empty columns).
-fn force_rle(col: &Column) -> Column {
-    let rows = col.len();
-    let mut ends: Vec<u32> = Vec::new();
-    let mut starts: Vec<usize> = Vec::new();
-    for i in 0..rows {
-        let new_run = i == 0 || {
-            let (an, bn) = (col.is_null_at(i - 1), col.is_null_at(i));
-            match (an, bn) {
-                (true, true) => false,
-                (false, false) => col.get(i - 1) != col.get(i),
-                _ => true,
-            }
-        };
-        if new_run {
-            if i > 0 {
-                ends.push(i as u32);
-            }
-            starts.push(i);
-        }
-    }
-    if rows > 0 {
-        ends.push(rows as u32);
-    }
-    let values = col.take(&starts).expect("run starts in bounds");
-    Column::Rle(lafp_columnar::column::RleCol {
-        values: Box::new(values),
-        ends,
-    })
-}
-
-/// Representation-agnostic equivalence: same length, dtype, and per-row
-/// scalars (nulls equal nulls; NaN is null).
-fn assert_col_equiv(actual: &Column, expected: &Column, what: &str) {
-    assert_eq!(actual.len(), expected.len(), "{what}: length");
-    assert_eq!(actual.dtype(), expected.dtype(), "{what}: dtype");
-    for i in 0..actual.len() {
-        let (a, e) = (actual.get(i), expected.get(i));
-        match (a.is_null(), e.is_null()) {
-            (true, true) => {}
-            (false, false) => assert_eq!(a, e, "{what}: row {i}"),
-            _ => panic!("{what}: row {i} null mismatch: {a:?} vs {e:?}"),
-        }
-    }
-}
-
-fn assert_frame_equiv(actual: &DataFrame, expected: &DataFrame, what: &str) {
-    assert_eq!(actual.num_columns(), expected.num_columns(), "{what}");
-    for (a, e) in actual.series().iter().zip(expected.series()) {
-        assert_eq!(a.name(), e.name(), "{what}");
-        assert_col_equiv(a.column(), e.column(), &format!("{what}:{}", a.name()));
-    }
 }
 
 fn frame(cols: Vec<(&str, Column)>) -> DataFrame {
@@ -425,4 +372,94 @@ proptest! {
         }
         spill_round_trip(&frame(vec![("r", rle)]), "prop rle");
     }
+}
+
+/// `Column::filter` on a Dict column keeps the full dictionary, so the
+/// survivors reference entries that no longer occur in any row —
+/// including the would-be min (`"aa"`) and max (`"zz"`). Every
+/// encoding-aware kernel must answer from per-row codes, never from the
+/// raw dictionary; each is checked against the plain twin filtered with
+/// the same mask.
+#[test]
+fn dict_unused_entries_after_filter_match_plain() {
+    let raw = [
+        "aa", "mm", "zz", "bb", "qq", "mm", "cc", "zz", "aa", "bb", "cc", "qq",
+    ];
+    let vals: Vec<String> = raw.iter().map(|s| s.to_string()).collect();
+    let nulls: Vec<bool> = (0..raw.len()).map(|i| i == 5).collect();
+    let (plain, dict) = dict_pair(&vals, &nulls);
+    // Drop every aa/zz/qq row; bb/cc/mm rows and the null survive.
+    let keep: Vec<bool> = raw
+        .iter()
+        .map(|s| !matches!(*s, "aa" | "zz" | "qq"))
+        .collect();
+    let mask = Bitmap::from_bools(&keep);
+    let dict_f = dict.filter(&mask).unwrap();
+    let plain_f = plain.filter(&mask).unwrap();
+    // Precondition, or this test guards nothing: the filtered column is
+    // still Dict and its dictionary still holds all six categories even
+    // though only three remain reachable.
+    match &dict_f {
+        Column::Dict(cat, _) => assert!(cat.dict.len() >= 6, "full dictionary kept"),
+        other => panic!("filter must preserve Dict encoding, got {:?}", other.dtype()),
+    }
+    assert_col_equiv(&dict_f.decode(), &plain_f, "filtered dict decode");
+
+    // Scalar reductions: min/max must not report the unused extremes,
+    // nunique must not count unused entries.
+    assert_eq!(dict_f.min(), plain_f.min(), "min ignores unused entries");
+    assert_eq!(dict_f.max(), plain_f.max(), "max ignores unused entries");
+    assert_eq!(dict_f.nunique(), plain_f.nunique(), "nunique ignores unused entries");
+
+    // Verdict-table compares against vanished, surviving, and novel
+    // literals.
+    for lit in ["aa", "qq", "zz", "bb", "mm", "nope"] {
+        for op in [CmpOp::Eq, CmpOp::Ne, CmpOp::Lt, CmpOp::Ge] {
+            let got = dict_f.compare_scalar(op, &Scalar::Str(lit.into())).unwrap();
+            let want = plain_f.compare_scalar(op, &Scalar::Str(lit.into())).unwrap();
+            assert_eq!(got, want, "compare_scalar {op:?} {lit:?}");
+        }
+    }
+
+    // fillna with an unused-but-present category and with a novel one.
+    for fill in ["qq", "brand-new"] {
+        assert_col_equiv(
+            &dict_f.fillna(&Scalar::Str(fill.into())).unwrap(),
+            &plain_f.fillna(&Scalar::Str(fill.into())).unwrap(),
+            &format!("fillna {fill:?} with unused entries"),
+        );
+    }
+
+    // Sort and groupby-as-key walk per-row codes.
+    sort_both(&dict_f, &plain_f, &THREADS, "filtered dict");
+    let values = Column::from_opt_i64((0..dict_f.len()).map(|i| Some(i as i64 - 3)).collect());
+    for agg in [AggKind::Sum, AggKind::Count, AggKind::NUnique] {
+        groupby_both(&dict_f, &plain_f, &values, agg, &THREADS, "filtered dict key");
+    }
+
+    // Dict as the *value* column: per-group Min/Max/NUnique/Count over
+    // a column whose dictionary has unused entries.
+    let key = Column::from_opt_i64((0..dict_f.len()).map(|i| Some(i as i64 % 2)).collect());
+    let fe = frame(vec![("k", key.clone()), ("v", dict_f.clone())]);
+    let fp = frame(vec![("k", key), ("v", plain_f.clone())]);
+    for agg in [AggKind::Min, AggKind::Max, AggKind::NUnique, AggKind::Count] {
+        let spec = GroupBySpec {
+            keys: vec!["k".into()],
+            value: "v".into(),
+            agg,
+        };
+        let reference = group_by(&fp, &spec).unwrap();
+        for &t in &THREADS {
+            let got = if t <= 1 {
+                group_by(&fe, &spec).unwrap()
+            } else {
+                group_by_par(&fe, &spec, &WorkerPool::new(t)).unwrap()
+            };
+            assert_frame_equiv(&got, &reference, &format!("dict value {agg:?} t={t}"));
+        }
+    }
+
+    // And the filtered column round-trips through the spill format with
+    // its full dictionary intact.
+    spill_round_trip(&frame(vec![("s", dict_f)]), "filtered dict");
 }

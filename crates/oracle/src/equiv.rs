@@ -1,0 +1,107 @@
+//! Representation-agnostic result equivalence.
+//!
+//! The engine is free to return any `Column` variant (plain, `Dict`,
+//! `Rle`, arena-backed strings) as long as the *logical* values match
+//! the oracle: same length, same reported dtype, and per-row scalar
+//! equality where nulls equal nulls and Float64 NaN counts as null.
+//!
+//! The `check_*` functions return `Err(String)` describing the first
+//! divergence (the fuzzer's comparison primitive); the `assert_*`
+//! wrappers panic with the same message (the test-suite ergonomics).
+
+use lafp_columnar::{Column, DataFrame, Scalar};
+
+/// First per-row divergence between two columns, or `Ok`.
+pub fn check_col_equiv(actual: &Column, expected: &Column, what: &str) -> Result<(), String> {
+    check_col_close(actual, expected, 0.0, what)
+}
+
+/// [`check_col_equiv`] with a relative tolerance for Float64 values
+/// (both exactly equal and within `tol * max(|a|, |b|)` pass). A zero
+/// tolerance demands exact equality.
+pub fn check_col_close(
+    actual: &Column,
+    expected: &Column,
+    tol: f64,
+    what: &str,
+) -> Result<(), String> {
+    if actual.len() != expected.len() {
+        return Err(format!(
+            "{what}: length {} vs {}",
+            actual.len(),
+            expected.len()
+        ));
+    }
+    if actual.dtype() != expected.dtype() {
+        return Err(format!(
+            "{what}: dtype {:?} vs {:?}",
+            actual.dtype(),
+            expected.dtype()
+        ));
+    }
+    for i in 0..actual.len() {
+        let (a, e) = (actual.get(i), expected.get(i));
+        let ok = match (&a, &e) {
+            (Scalar::Float(x), Scalar::Float(y)) => {
+                x == y || (x - y).abs() <= tol * x.abs().max(y.abs())
+            }
+            _ => (a.is_null() && e.is_null()) || a == e,
+        };
+        if !ok {
+            return Err(format!("{what}: row {i}: {a:?} vs {e:?}"));
+        }
+    }
+    Ok(())
+}
+
+/// First divergence between two frames (column count, names in order,
+/// then per-column [`check_col_equiv`]), or `Ok`.
+pub fn check_frame_equiv(actual: &DataFrame, expected: &DataFrame, what: &str) -> Result<(), String> {
+    check_frame_close(actual, expected, 0.0, what)
+}
+
+/// [`check_frame_equiv`] with a relative Float64 tolerance — the
+/// established 1e-12 re-association allowance for parallel float
+/// aggregation.
+pub fn check_frame_close(
+    actual: &DataFrame,
+    expected: &DataFrame,
+    tol: f64,
+    what: &str,
+) -> Result<(), String> {
+    if actual.num_columns() != expected.num_columns() {
+        return Err(format!(
+            "{what}: {} columns vs {}",
+            actual.num_columns(),
+            expected.num_columns()
+        ));
+    }
+    for (a, e) in actual.series().iter().zip(expected.series()) {
+        if a.name() != e.name() {
+            return Err(format!("{what}: column {:?} vs {:?}", a.name(), e.name()));
+        }
+        check_col_close(a.column(), e.column(), tol, &format!("{what}.{}", a.name()))?;
+    }
+    Ok(())
+}
+
+/// Panicking wrapper over [`check_col_equiv`].
+pub fn assert_col_equiv(actual: &Column, expected: &Column, what: &str) {
+    if let Err(msg) = check_col_equiv(actual, expected, what) {
+        panic!("{msg}");
+    }
+}
+
+/// Panicking wrapper over [`check_frame_equiv`].
+pub fn assert_frame_equiv(actual: &DataFrame, expected: &DataFrame, what: &str) {
+    if let Err(msg) = check_frame_equiv(actual, expected, what) {
+        panic!("{msg}");
+    }
+}
+
+/// Panicking wrapper over [`check_frame_close`].
+pub fn assert_frame_close(actual: &DataFrame, expected: &DataFrame, tol: f64, what: &str) {
+    if let Err(msg) = check_frame_close(actual, expected, tol, what) {
+        panic!("{msg}");
+    }
+}

@@ -1,0 +1,751 @@
+//! The frozen seed-semantics reference implementations.
+//!
+//! Every function here is the naive `Scalar`-per-row algorithm the seed
+//! repo shipped, extracted verbatim from the private copies that used to
+//! live in `crates/columnar/tests/differential.rs` and
+//! `crates/bench/src/kernel_bench.rs`. They define *what the engine must
+//! compute*; the engine's vectorized, parallel, fused, and encoded
+//! kernels are only allowed to change the cost of a computation, never
+//! its result.
+//!
+//! Freeze policy: these bodies do not change. A behavioural divergence
+//! between a reference and the engine is an engine bug (or, rarely, a
+//! deliberate semantics change that must update the reference, its
+//! callers, and the fuzz corpus expectations in the same commit, with
+//! the ISSUE/ROADMAP note explaining why). Performance of this module is
+//! irrelevant by design — the slowness *is* the baseline the bench suite
+//! measures against.
+
+use lafp_columnar::column::{ArithOp, CmpOp, ColumnBuilder, RleCol};
+use lafp_columnar::csv::{split_record, CsvOptions};
+use lafp_columnar::groupby::GroupBySpec;
+use lafp_columnar::join::JoinKind;
+use lafp_columnar::sort::SortOptions;
+use lafp_columnar::{AggKind, Bitmap, Column, DType, DataFrame, Scalar, Series};
+use std::collections::HashMap;
+
+// ---------------------------------------------------------------------------
+// Group-by
+// ---------------------------------------------------------------------------
+
+/// The seed aggregation state: `Scalar`-boxed min/max, stringly distinct.
+#[derive(Clone)]
+pub struct RefAggState {
+    /// Float running sum (drives `Sum` on float values and `Mean`).
+    pub sum: f64,
+    /// Wrapping integer running sum (drives `Sum` on int/bool values).
+    pub int_sum: i64,
+    /// Count of non-null values seen.
+    pub count: u64,
+    /// Smallest value by `Scalar::cmp_values`.
+    pub min: Option<Scalar>,
+    /// Largest value by `Scalar::cmp_values`.
+    pub max: Option<Scalar>,
+    /// Distinct rendered values (the seed's stringly `nunique`).
+    pub distinct: std::collections::HashSet<String>,
+    /// Whether the value column was integer-like (Int64 or Bool).
+    pub value_is_int: bool,
+}
+
+impl RefAggState {
+    /// Fresh state for a value column whose dtype is integer-like or not.
+    pub fn new(value_is_int: bool) -> RefAggState {
+        RefAggState {
+            sum: 0.0,
+            int_sum: 0,
+            count: 0,
+            min: None,
+            max: None,
+            distinct: Default::default(),
+            value_is_int,
+        }
+    }
+
+    /// Fold one value into the state. Nulls are skipped entirely.
+    pub fn update(&mut self, v: &Scalar, agg: AggKind) {
+        if v.is_null() {
+            return;
+        }
+        self.count += 1;
+        match agg {
+            AggKind::Sum | AggKind::Mean => {
+                if let Some(x) = v.as_f64() {
+                    self.sum += x;
+                }
+                if let Some(x) = v.as_i64() {
+                    self.int_sum = self.int_sum.wrapping_add(x);
+                }
+            }
+            AggKind::Min => {
+                if self.min.as_ref().is_none_or(|m| v.cmp_values(m).is_lt()) {
+                    self.min = Some(v.clone());
+                }
+            }
+            AggKind::Max => {
+                if self.max.as_ref().is_none_or(|m| v.cmp_values(m).is_gt()) {
+                    self.max = Some(v.clone());
+                }
+            }
+            AggKind::NUnique => {
+                self.distinct.insert(v.to_string());
+            }
+            AggKind::Count => {}
+        }
+    }
+
+    /// The aggregate result (a group with zero non-null values is null
+    /// for Sum/Mean, per the seed semantics).
+    pub fn finish(&self, agg: AggKind) -> Scalar {
+        match agg {
+            AggKind::Sum => {
+                if self.count == 0 {
+                    Scalar::Null
+                } else if self.value_is_int {
+                    Scalar::Int(self.int_sum)
+                } else {
+                    Scalar::Float(self.sum)
+                }
+            }
+            AggKind::Mean => {
+                if self.count == 0 {
+                    Scalar::Null
+                } else {
+                    Scalar::Float(self.sum / self.count as f64)
+                }
+            }
+            AggKind::Count => Scalar::Int(self.count as i64),
+            AggKind::Min => self.min.clone().unwrap_or(Scalar::Null),
+            AggKind::Max => self.max.clone().unwrap_or(Scalar::Null),
+            AggKind::NUnique => Scalar::Int(self.distinct.len() as i64),
+        }
+    }
+}
+
+/// The canonical group/join key: rendered scalars joined with `\u{1}`.
+/// Nulls render `"NaN"`, so a null key equates with a literal `"NaN"`.
+pub fn canon(key: &[Scalar]) -> String {
+    key.iter()
+        .map(|s| s.to_string())
+        .collect::<Vec<_>>()
+        .join("\u{1}")
+}
+
+/// The seed group-by: one `Vec<Scalar>` + canonical `String` per input
+/// row, output rows sorted by canonical key.
+pub fn group_by_ref(frame: &DataFrame, spec: &GroupBySpec) -> DataFrame {
+    let key_cols: Vec<&Series> = spec
+        .keys
+        .iter()
+        .map(|k| frame.column(k).unwrap())
+        .collect();
+    let value_col = frame.column(&spec.value).unwrap();
+    let value_is_int =
+        value_col.column().dtype() == DType::Int64 || value_col.column().dtype() == DType::Bool;
+    let mut groups: HashMap<String, RefAggState> = HashMap::new();
+    let mut key_order: Vec<Vec<Scalar>> = Vec::new();
+    for i in 0..frame.num_rows() {
+        let key: Vec<Scalar> = key_cols.iter().map(|s| s.get(i)).collect();
+        let canon_key = canon(&key);
+        let state = match groups.entry(canon_key) {
+            std::collections::hash_map::Entry::Occupied(e) => e.into_mut(),
+            std::collections::hash_map::Entry::Vacant(e) => {
+                key_order.push(key);
+                e.insert(RefAggState::new(value_is_int))
+            }
+        };
+        state.update(&value_col.get(i), spec.agg);
+    }
+    key_order.sort_by_cached_key(|k| canon(k));
+    let mut key_builders: Vec<ColumnBuilder> = (0..spec.keys.len())
+        .map(|k| {
+            let dtype = key_order
+                .iter()
+                .find_map(|key| key[k].dtype())
+                .unwrap_or(DType::Utf8);
+            ColumnBuilder::new(dtype)
+        })
+        .collect();
+    let mut values: Vec<Scalar> = Vec::with_capacity(key_order.len());
+    for key in &key_order {
+        for (k, b) in key_builders.iter_mut().enumerate() {
+            b.push_scalar(&key[k]).unwrap();
+        }
+        values.push(groups[&canon(key)].finish(spec.agg));
+    }
+    let out_dtype = values
+        .iter()
+        .find_map(Scalar::dtype)
+        .unwrap_or(DType::Float64);
+    let mut vb = ColumnBuilder::new(out_dtype);
+    for v in &values {
+        vb.push_scalar(v).unwrap();
+    }
+    let mut series = Vec::new();
+    for (k, b) in key_builders.into_iter().enumerate() {
+        series.push(Series::new(spec.keys[k].clone(), b.finish()));
+    }
+    series.push(Series::new(spec.value.clone(), vb.finish()));
+    DataFrame::new(series).unwrap()
+}
+
+// ---------------------------------------------------------------------------
+// Element-wise kernels
+// ---------------------------------------------------------------------------
+
+/// The seed element-wise arithmetic: `get(i) -> Scalar` per element.
+/// Int/Int stays int (wrapping, `rem_euclid` for Mod, Mod-by-zero is
+/// null) except `Div`, which is float like pandas. Everything else is
+/// float with NaN for null inputs.
+pub fn arith_ref(left: &Column, op: ArithOp, right: &Column) -> Column {
+    let len = left.len();
+    let both_int = left.dtype() == DType::Int64 && right.dtype() == DType::Int64;
+    if both_int && op != ArithOp::Div {
+        let mut out = Vec::with_capacity(len);
+        let mut validity = Bitmap::new(len, true);
+        let mut has_null = false;
+        for i in 0..len {
+            let (a, b) = (left.get(i), right.get(i));
+            match (a.as_i64(), b.as_i64()) {
+                (Some(x), Some(y)) if !(op == ArithOp::Mod && y == 0) => out.push(match op {
+                    ArithOp::Add => x.wrapping_add(y),
+                    ArithOp::Sub => x.wrapping_sub(y),
+                    ArithOp::Mul => x.wrapping_mul(y),
+                    ArithOp::Mod => x.rem_euclid(y),
+                    ArithOp::Div => unreachable!(),
+                }),
+                _ => {
+                    out.push(0);
+                    validity.set(i, false);
+                    has_null = true;
+                }
+            }
+        }
+        return Column::Int64(out, has_null.then_some(validity));
+    }
+    let mut out = Vec::with_capacity(len);
+    for i in 0..len {
+        let (a, b) = (left.get(i), right.get(i));
+        let v = match (a.as_f64(), b.as_f64()) {
+            (Some(x), Some(y)) => match op {
+                ArithOp::Add => x + y,
+                ArithOp::Sub => x - y,
+                ArithOp::Mul => x * y,
+                ArithOp::Div => x / y,
+                ArithOp::Mod => x.rem_euclid(y),
+            },
+            _ => f64::NAN,
+        };
+        out.push(v);
+    }
+    Column::Float64(out, None)
+}
+
+/// The seed column comparison: two `Scalar`s per row; any null operand
+/// yields `false` except under `Ne`, which yields `true`.
+pub fn compare_ref(left: &Column, op: CmpOp, right: &Column) -> Bitmap {
+    Bitmap::from_iter((0..left.len()).map(|i| {
+        let (a, b) = (left.get(i), right.get(i));
+        if a.is_null() || b.is_null() {
+            op == CmpOp::Ne
+        } else {
+            let ord = a.cmp_values(&b);
+            match op {
+                CmpOp::Eq => ord.is_eq(),
+                CmpOp::Ne => !ord.is_eq(),
+                CmpOp::Lt => ord.is_lt(),
+                CmpOp::Le => !ord.is_gt(),
+                CmpOp::Gt => ord.is_gt(),
+                CmpOp::Ge => !ord.is_lt(),
+            }
+        }
+    }))
+}
+
+/// [`compare_ref`] with a broadcast right-hand scalar: the same null
+/// semantics, one boxed comparison per row.
+pub fn compare_scalar_ref(left: &Column, op: CmpOp, rhs: &Scalar) -> Bitmap {
+    Bitmap::from_iter((0..left.len()).map(|i| {
+        let a = left.get(i);
+        if a.is_null() || rhs.is_null() {
+            op == CmpOp::Ne
+        } else {
+            let ord = a.cmp_values(rhs);
+            match op {
+                CmpOp::Eq => ord.is_eq(),
+                CmpOp::Ne => !ord.is_eq(),
+                CmpOp::Lt => ord.is_lt(),
+                CmpOp::Le => !ord.is_gt(),
+                CmpOp::Gt => ord.is_gt(),
+                CmpOp::Ge => !ord.is_lt(),
+            }
+        }
+    }))
+}
+
+/// The seed filter: index vector, then a gather that deep-copied string
+/// payloads (emulated with a `String` materialization per kept row).
+pub fn filter_ref(frame: &DataFrame, mask: &Bitmap) -> DataFrame {
+    let idx = mask.set_indices();
+    let columns = frame
+        .series()
+        .iter()
+        .map(|s| {
+            let col = match s.column() {
+                Column::Utf8(..) => {
+                    let strings: Vec<Option<String>> = idx
+                        .iter()
+                        .map(|&i| match s.column().get(i) {
+                            Scalar::Str(v) => Some(v),
+                            _ => None,
+                        })
+                        .collect();
+                    Column::from_opt_strings(strings)
+                }
+                other => other.take(&idx).unwrap(),
+            };
+            Series::new(s.name(), col)
+        })
+        .collect();
+    DataFrame::new(columns).unwrap()
+}
+
+/// The seed slice: materialize the index range, then gather row by row
+/// (with the string deep-copy the seed's `Vec<String>` storage implied).
+pub fn slice_ref(col: &Column, offset: usize, len: usize) -> Column {
+    let end = (offset + len).min(col.len());
+    let idx: Vec<usize> = (offset.min(col.len())..end).collect();
+    match col {
+        Column::Utf8(..) => {
+            let strings: Vec<Option<String>> = idx
+                .iter()
+                .map(|&i| match col.get(i) {
+                    Scalar::Str(v) => Some(v),
+                    _ => None,
+                })
+                .collect();
+            Column::from_opt_strings(strings)
+        }
+        other => other.take(&idx).unwrap(),
+    }
+}
+
+/// The seed fillna: scalar builder loop. Panics when the builder rejects
+/// the fill scalar for this dtype; use [`try_fillna_ref`] where the
+/// frame-level pass-through-on-error semantics are needed.
+pub fn fillna_ref(col: &Column, fill: &Scalar) -> Column {
+    try_fillna_ref(col, fill).expect("fill scalar representable in the column dtype")
+}
+
+/// [`fillna_ref`] that reports an unrepresentable fill instead of
+/// panicking. `None` exactly when the engine's `Column::fillna` errors:
+/// a column with no nulls never consults the fill scalar, and a column
+/// with nulls fails only if the builder rejects the scalar.
+pub fn try_fillna_ref(col: &Column, fill: &Scalar) -> Option<Column> {
+    let mut b = ColumnBuilder::new(col.dtype());
+    for i in 0..col.len() {
+        if col.is_null_at(i) {
+            b.push_scalar(fill).ok()?;
+        } else {
+            b.push_scalar(&col.get(i)).ok()?;
+        }
+    }
+    Some(b.finish())
+}
+
+/// The seed frame-level fillna (the Dask `FillNa` operator's contract):
+/// fill every column, passing columns with an unrepresentable fill
+/// through unchanged.
+pub fn fillna_frame_ref(frame: &DataFrame, fill: &Scalar) -> DataFrame {
+    let columns = frame
+        .series()
+        .iter()
+        .map(|s| {
+            let col = try_fillna_ref(s.column(), fill).unwrap_or_else(|| s.column().clone());
+            Series::new(s.name(), col)
+        })
+        .collect();
+    DataFrame::new(columns).unwrap()
+}
+
+/// The seed cast: scalar builder loop through `Scalar` boxing. `None`
+/// when any value is unrepresentable in the target dtype.
+pub fn cast_ref(col: &Column, target: DType) -> Option<Column> {
+    let mut b = ColumnBuilder::new(target);
+    for i in 0..col.len() {
+        match col.get(i) {
+            Scalar::Null => b.push_null(),
+            s => b.push_scalar(&s).ok()?,
+        }
+    }
+    Some(b.finish())
+}
+
+/// The seed float reduction: one `Scalar` per row, NaN skipped, null
+/// when no addend survives.
+pub fn sum_ref(col: &Column) -> Scalar {
+    let mut acc = 0.0;
+    let mut any = false;
+    for i in 0..col.len() {
+        if let Some(x) = col.get(i).as_f64() {
+            if !x.is_nan() {
+                acc += x;
+                any = true;
+            }
+        }
+    }
+    if any {
+        Scalar::Float(acc)
+    } else {
+        Scalar::Null
+    }
+}
+
+/// The seed row-wise concat: one boxed scalar per row of both frames,
+/// matched by the left frame's column order.
+pub fn concat_ref(left: &DataFrame, right: &DataFrame) -> DataFrame {
+    let columns = left
+        .series()
+        .iter()
+        .map(|s| {
+            let other = right.column(s.name()).unwrap().column();
+            let mut b = ColumnBuilder::new(s.column().dtype());
+            for i in 0..s.len() {
+                match s.get(i) {
+                    Scalar::Null => b.push_null(),
+                    v => b.push_scalar(&v).unwrap(),
+                }
+            }
+            for i in 0..other.len() {
+                match other.get(i) {
+                    Scalar::Null => b.push_null(),
+                    v => b.push_scalar(&v).unwrap(),
+                }
+            }
+            Series::new(s.name(), b.finish())
+        })
+        .collect();
+    DataFrame::new(columns).unwrap()
+}
+
+// ---------------------------------------------------------------------------
+// Join
+// ---------------------------------------------------------------------------
+
+/// The seed hash join: one canonical key `String` per row on *both*
+/// sides (so a null key equates with a literal `"NaN"`), `Scalar`-boxed
+/// gather of the right columns, `_x`/`_y` suffixes on overlapping
+/// non-key columns.
+pub fn merge_ref(left: &DataFrame, right: &DataFrame, on: &[String], how: JoinKind) -> DataFrame {
+    let key_strings = |frame: &DataFrame| -> Vec<String> {
+        let cols: Vec<&Series> = on.iter().map(|k| frame.column(k).unwrap()).collect();
+        (0..frame.num_rows())
+            .map(|i| {
+                cols.iter()
+                    .map(|s| s.get(i).to_string())
+                    .collect::<Vec<_>>()
+                    .join("\u{1}")
+            })
+            .collect()
+    };
+    let right_keys = key_strings(right);
+    let mut build: HashMap<&str, Vec<usize>> = HashMap::new();
+    for (i, k) in right_keys.iter().enumerate() {
+        build.entry(k.as_str()).or_default().push(i);
+    }
+    let left_keys = key_strings(left);
+    let mut left_idx: Vec<usize> = Vec::new();
+    let mut right_idx: Vec<Option<usize>> = Vec::new();
+    for (i, k) in left_keys.iter().enumerate() {
+        match build.get(k.as_str()) {
+            Some(matches) => {
+                for &j in matches {
+                    left_idx.push(i);
+                    right_idx.push(Some(j));
+                }
+            }
+            None => {
+                if how == JoinKind::Left {
+                    left_idx.push(i);
+                    right_idx.push(None);
+                }
+            }
+        }
+    }
+    let gather_optional = |col: &Column| -> Column {
+        if right_idx.iter().all(Option::is_some) {
+            let idx: Vec<usize> = right_idx.iter().map(|i| i.unwrap()).collect();
+            return col.take(&idx).unwrap();
+        }
+        let mut b = ColumnBuilder::new(col.dtype());
+        for ix in &right_idx {
+            match ix {
+                Some(i) => b.push_scalar(&col.get(*i)).unwrap(),
+                None => b.push_null(),
+            }
+        }
+        b.finish()
+    };
+    let key_set: std::collections::HashSet<&str> = on.iter().map(String::as_str).collect();
+    let overlap: std::collections::HashSet<&str> = left
+        .column_names()
+        .into_iter()
+        .filter(|n| !key_set.contains(n) && right.has_column(n))
+        .collect();
+    let mut out: Vec<Series> = Vec::new();
+    for s in left.series() {
+        let name = if overlap.contains(s.name()) {
+            format!("{}_x", s.name())
+        } else {
+            s.name().to_string()
+        };
+        out.push(Series::new(name, s.column().take(&left_idx).unwrap()));
+    }
+    for s in right.series() {
+        if key_set.contains(s.name()) {
+            continue;
+        }
+        let name = if overlap.contains(s.name()) {
+            format!("{}_y", s.name())
+        } else {
+            s.name().to_string()
+        };
+        out.push(Series::new(name, gather_optional(s.column())));
+    }
+    DataFrame::new(out).unwrap()
+}
+
+// ---------------------------------------------------------------------------
+// Sort / top-n
+// ---------------------------------------------------------------------------
+
+/// The seed sort: `Vec<Scalar>` key columns, boxed `cmp_values` per row
+/// comparison, nulls last regardless of direction, stable on ties.
+pub fn sort_values_ref(frame: &DataFrame, options: &SortOptions) -> DataFrame {
+    use std::cmp::Ordering;
+    let dir = |k: usize| -> bool {
+        options.ascending.get(k).copied().unwrap_or(
+            options.ascending.first().copied().unwrap_or(true),
+        )
+    };
+    let key_cols: Vec<Vec<Scalar>> = options
+        .by
+        .iter()
+        .map(|name| {
+            let s = frame.column(name).unwrap();
+            (0..frame.num_rows()).map(|i| s.get(i)).collect()
+        })
+        .collect();
+    let mut order: Vec<usize> = (0..frame.num_rows()).collect();
+    order.sort_by(|&a, &b| {
+        for (k, col) in key_cols.iter().enumerate() {
+            let (x, y) = (&col[a], &col[b]);
+            let ord = match (x.is_null(), y.is_null()) {
+                (true, true) => Ordering::Equal,
+                (true, false) => Ordering::Greater,
+                (false, true) => Ordering::Less,
+                (false, false) => {
+                    let o = x.cmp_values(y);
+                    if dir(k) {
+                        o
+                    } else {
+                        o.reverse()
+                    }
+                }
+            };
+            if ord != Ordering::Equal {
+                return ord;
+            }
+        }
+        Ordering::Equal
+    });
+    frame.take(&order).unwrap()
+}
+
+/// The seed nlargest: full descending sort, then head.
+pub fn nlargest_ref(frame: &DataFrame, n: usize, column: &str) -> DataFrame {
+    sort_values_ref(frame, &SortOptions::single(column, false)).head(n)
+}
+
+/// The seed nsmallest: full ascending sort, then head.
+pub fn nsmallest_ref(frame: &DataFrame, n: usize, column: &str) -> DataFrame {
+    sort_values_ref(frame, &SortOptions::single(column, true)).head(n)
+}
+
+// ---------------------------------------------------------------------------
+// CSV
+// ---------------------------------------------------------------------------
+
+/// The seed CSV reader with dtype inference: one `Vec<String>` per
+/// record via `split_record`, inference over the first 1000 records
+/// (bool, then int, then float, then datetime, else utf8), one boxed
+/// `Scalar` per cell through `push_scalar`. Empty fields are null.
+pub fn read_csv_infer_ref(path: &std::path::Path, options: &CsvOptions) -> DataFrame {
+    use std::io::BufRead;
+    let file = std::fs::File::open(path).unwrap();
+    let reader = std::io::BufReader::new(file);
+    let mut lines = reader.lines();
+    let header = split_record(&lines.next().unwrap().unwrap());
+    let keep: Vec<usize> = match &options.usecols {
+        Some(cols) => (0..header.len())
+            .filter(|&i| cols.iter().any(|c| *c == header[i]))
+            .collect(),
+        None => (0..header.len()).collect(),
+    };
+    let records: Vec<Vec<String>> = lines
+        .map(|l| l.unwrap())
+        .filter(|l| !l.trim_end_matches(['\n', '\r']).is_empty())
+        .map(|l| split_record(l.trim_end_matches(['\n', '\r'])))
+        .collect();
+    let infer = |col_idx: usize| -> DType {
+        let sample = records.iter().take(1000).map(|r| r[col_idx].as_str());
+        let mut any = false;
+        let (mut all_int, mut all_float, mut all_bool) = (true, true, true);
+        let mut all_dt = true;
+        for v in sample {
+            if v.is_empty() {
+                continue;
+            }
+            any = true;
+            let t = v.trim();
+            all_int &= t.parse::<i64>().is_ok();
+            all_float &= t.parse::<f64>().is_ok();
+            all_bool &= matches!(t, "True" | "true" | "False" | "false");
+            all_dt &= lafp_columnar::value::parse_datetime(t).is_some();
+        }
+        if !any {
+            DType::Utf8
+        } else if all_bool {
+            DType::Bool
+        } else if all_int {
+            DType::Int64
+        } else if all_float {
+            DType::Float64
+        } else if all_dt {
+            DType::Datetime
+        } else {
+            DType::Utf8
+        }
+    };
+    let mut series = Vec::new();
+    for &col_idx in &keep {
+        let name = &header[col_idx];
+        let dtype = if let Some(&dt) = options.dtypes.get(name) {
+            dt
+        } else if options.parse_dates.iter().any(|c| c == name) {
+            DType::Datetime
+        } else {
+            infer(col_idx)
+        };
+        let mut b = ColumnBuilder::new(dtype);
+        for r in &records {
+            let raw = &r[col_idx];
+            if raw.is_empty() {
+                b.push_null();
+                continue;
+            }
+            let scalar = match dtype {
+                DType::Int64 => Scalar::Int(raw.trim().parse().unwrap()),
+                DType::Float64 => Scalar::Float(raw.trim().parse().unwrap()),
+                DType::Bool => Scalar::Bool(matches!(raw.trim(), "True" | "true" | "1")),
+                DType::Datetime => {
+                    Scalar::Datetime(lafp_columnar::value::parse_datetime(raw).unwrap())
+                }
+                DType::Utf8 | DType::Categorical => Scalar::Str(raw.clone()),
+            };
+            b.push_scalar(&scalar).unwrap();
+        }
+        series.push(Series::new(name.clone(), b.finish()));
+    }
+    DataFrame::new(series).unwrap()
+}
+
+/// The seed CSV reader with a caller-supplied schema (no inference): a
+/// fresh `Vec<String>` per record via `split_record`, one boxed `Scalar`
+/// per cell through `push_scalar`.
+pub fn read_csv_schema_ref(path: &std::path::Path, schema: &[(String, DType)]) -> DataFrame {
+    use std::io::BufRead;
+    let file = std::fs::File::open(path).unwrap();
+    let mut reader = std::io::BufReader::new(file);
+    let mut line = String::new();
+    reader.read_line(&mut line).unwrap();
+    let header = split_record(line.trim_end_matches(['\n', '\r']));
+    assert_eq!(header.len(), schema.len());
+    let mut builders: Vec<ColumnBuilder> = schema
+        .iter()
+        .map(|(_, dt)| ColumnBuilder::new(*dt))
+        .collect();
+    loop {
+        line.clear();
+        if reader.read_line(&mut line).unwrap() == 0 {
+            break;
+        }
+        let trimmed = line.trim_end_matches(['\n', '\r']);
+        if trimmed.is_empty() {
+            continue;
+        }
+        let record = split_record(trimmed);
+        for (slot, raw) in record.iter().enumerate() {
+            let b = &mut builders[slot];
+            if raw.is_empty() {
+                b.push_null();
+                continue;
+            }
+            let scalar = match schema[slot].1 {
+                DType::Int64 => Scalar::Int(raw.trim().parse().unwrap()),
+                DType::Float64 => Scalar::Float(raw.trim().parse().unwrap()),
+                DType::Bool => Scalar::Bool(matches!(raw.trim(), "True" | "true" | "1")),
+                DType::Datetime => {
+                    Scalar::Datetime(lafp_columnar::value::parse_datetime(raw).unwrap())
+                }
+                DType::Utf8 | DType::Categorical => Scalar::Str(raw.clone()),
+            };
+            b.push_scalar(&scalar).unwrap();
+        }
+    }
+    DataFrame::new(
+        schema
+            .iter()
+            .zip(builders)
+            .map(|((name, _), b)| Series::new(name.clone(), b.finish()))
+            .collect(),
+    )
+    .unwrap()
+}
+
+// ---------------------------------------------------------------------------
+// Encoding construction helpers
+// ---------------------------------------------------------------------------
+
+/// Hand-rolled run-length encode without `rle_encode`'s shrink gate, so
+/// differential tests and the fuzzer can cover inputs the ingest
+/// heuristic would refuse (alternating values, empty columns). The
+/// result decodes to exactly the input.
+pub fn force_rle(col: &Column) -> Column {
+    let rows = col.len();
+    let mut ends: Vec<u32> = Vec::new();
+    let mut starts: Vec<usize> = Vec::new();
+    for i in 0..rows {
+        let new_run = i == 0 || {
+            let (an, bn) = (col.is_null_at(i - 1), col.is_null_at(i));
+            match (an, bn) {
+                (true, true) => false,
+                (false, false) => col.get(i - 1) != col.get(i),
+                _ => true,
+            }
+        };
+        if new_run {
+            if i > 0 {
+                ends.push(i as u32);
+            }
+            starts.push(i);
+        }
+    }
+    if rows > 0 {
+        ends.push(rows as u32);
+    }
+    let values = col.take(&starts).expect("run starts in bounds");
+    Column::Rle(RleCol {
+        values: Box::new(values),
+        ends,
+    })
+}
